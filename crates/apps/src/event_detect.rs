@@ -1,0 +1,85 @@
+//! EventDetect: exponential smoothing plus hysteresis alarm over a bursty
+//! field — the intro-style motivating workload (rare events, state-dependent
+//! branches). Branch probabilities here are strongly regime-dependent, which
+//! stresses the Markov (i.i.d.) modeling assumption.
+
+use ct_ir::program::Program;
+use ct_mote::devices::BurstyAdc;
+use ct_mote::interp::Mote;
+
+/// NLC source.
+pub const SOURCE: &str = r#"
+module EventDetect {
+    var smoothed: u16 = 100;
+    var armed: bool = true;
+    var events: u32;
+
+    proc sample() {
+        var v: u16 = read_adc();
+        smoothed = (smoothed * 7 + v) / 8;
+        if (armed) {
+            if (smoothed > 700) {
+                events = events + 1;
+                armed = false;
+                led_set(0, 1);
+            } else { }
+        } else {
+            if (smoothed < 300) {
+                armed = true;
+                led_set(0, 0);
+            } else { }
+        }
+    }
+}
+"#;
+
+/// The procedure the experiments profile.
+pub const TARGET_PROC: &str = "sample";
+
+/// Compiles the app.
+///
+/// # Panics
+///
+/// Panics if the bundled source fails to compile (a bug in this crate).
+pub fn program() -> Program {
+    ct_ir::compile_source(SOURCE).expect("bundled EventDetect source compiles")
+}
+
+/// Standard workload: quiet around 100, bursts to 900–1023.
+pub fn configure(mote: &mut Mote) {
+    mote.devices.adc = Box::new(BurstyAdc::new((50, 200), (850, 1023), 0.02, 0.05));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_ir::instr::ProcId;
+    use ct_mote::cost::AvrCost;
+    use ct_mote::trace::NullProfiler;
+
+    #[test]
+    fn events_fire_on_bursts() {
+        let p = program();
+        let mut mote = Mote::new(p.clone(), Box::new(AvrCost));
+        configure(&mut mote);
+        for _ in 0..5000 {
+            mote.call(ProcId(0), &[], &mut NullProfiler).unwrap();
+        }
+        let events = mote.globals.load(p.global_id("events").unwrap());
+        assert!(events > 3, "bursty field should trigger events, got {events}");
+        assert!(events < 2500, "events must be rare, got {events}");
+    }
+
+    #[test]
+    fn hysteresis_disarms_between_events() {
+        let p = program();
+        let mut mote = Mote::new(p.clone(), Box::new(AvrCost));
+        // Constant high field: exactly one event, then stays disarmed.
+        mote.devices.adc = Box::new(ct_mote::devices::ConstantAdc(1000));
+        for _ in 0..200 {
+            mote.call(ProcId(0), &[], &mut NullProfiler).unwrap();
+        }
+        assert_eq!(mote.globals.load(p.global_id("events").unwrap()), 1);
+        assert_eq!(mote.globals.load(p.global_id("armed").unwrap()), 0);
+    }
+}

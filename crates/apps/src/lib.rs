@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! # ct-apps
+//!
+//! The benchmark sensor network applications — reimplementations of the
+//! TinyOS example-app skeletons the paper's platform would run, written in
+//! NLC and driven by nondeterministic simulated inputs:
+//!
+//! | app | pattern | estimation stress |
+//! |---|---|---|
+//! | [`blink`] | timer LED cascade | skewed deterministic frequencies |
+//! | [`sense`] | ADC threshold alarm | single input-driven branch |
+//! | [`oscilloscope`] | buffer + radio flush | rare branch + bounded loop |
+//! | [`surge`] | multi-hop routing | input-dependent loop bound |
+//! | [`event_detect`] | hysteresis alarm | regime-dependent branches |
+//! | [`crc`] | CRC-16 kernel | 64 i.i.d. branches per call |
+//! | [`fir`] | 8-tap filter | deterministic trip count |
+//! | [`sort`] | bubble sort window | non-homogeneous branch |
+//!
+//! [`registry::all_apps`] exposes them uniformly; [`synthetic`] generates
+//! random structured programs and parameterized CFG problems for the
+//! estimator ablation and scalability experiments.
+//!
+//! ## Example
+//!
+//! ```
+//! use ct_apps::registry::all_apps;
+//! use ct_mote::cost::AvrCost;
+//! use ct_mote::trace::NullProfiler;
+//!
+//! for app in all_apps() {
+//!     let mut mote = app.boot(Box::new(AvrCost));
+//!     let pid = app.target_id(mote.program());
+//!     mote.call(pid, &[], &mut NullProfiler).unwrap();
+//! }
+//! ```
+
+pub mod blink;
+pub mod crc;
+pub mod event_detect;
+pub mod fir;
+pub mod oscilloscope;
+pub mod registry;
+pub mod sense;
+pub mod sort;
+pub mod surge;
+pub mod synthetic;
+
+pub use registry::{all_apps, app_by_name, App};

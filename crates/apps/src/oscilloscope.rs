@@ -1,0 +1,91 @@
+//! Oscilloscope: periodic sampling into a buffer, flushed over the radio
+//! when full — the classic TinyOS data-collection app. Exercises a rare
+//! branch (the flush, 1/16), a bounded loop (the send loop) and a lossy-radio
+//! branch.
+
+use ct_ir::program::Program;
+use ct_mote::devices::SineAdc;
+use ct_mote::interp::Mote;
+
+/// NLC source.
+pub const SOURCE: &str = r#"
+module Oscilloscope {
+    var buf: u16[16];
+    var idx: u16;
+    var flushes: u32;
+    var send_failures: u32;
+
+    proc sample() {
+        buf[idx] = read_adc();
+        idx = idx + 1;
+        if (idx >= 16) {
+            var i: u16 = 0;
+            while (i < 16) {
+                var ok: bool = send_msg(buf[i]);
+                if (!ok) { send_failures = send_failures + 1; } else { }
+                i = i + 1;
+            }
+            flushes = flushes + 1;
+            idx = 0;
+        } else { }
+    }
+}
+"#;
+
+/// The procedure the experiments profile.
+pub const TARGET_PROC: &str = "sample";
+
+/// Compiles the app.
+///
+/// # Panics
+///
+/// Panics if the bundled source fails to compile (a bug in this crate).
+pub fn program() -> Program {
+    ct_ir::compile_source(SOURCE).expect("bundled Oscilloscope source compiles")
+}
+
+/// Standard workload: a slow sine field; 10% radio loss.
+pub fn configure(mote: &mut Mote) {
+    mote.devices.adc = Box::new(SineAdc::new(512.0, 300.0, 64.0, 20.0));
+    mote.devices.radio.loss_prob = 0.1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_ir::instr::ProcId;
+    use ct_mote::cost::AvrCost;
+    use ct_mote::trace::{GroundTruthProfiler, NullProfiler};
+
+    #[test]
+    fn flushes_every_sixteen_samples() {
+        let p = program();
+        let mut mote = Mote::new(p.clone(), Box::new(AvrCost));
+        configure(&mut mote);
+        for _ in 0..160 {
+            mote.call(ProcId(0), &[], &mut NullProfiler).unwrap();
+        }
+        assert_eq!(mote.globals.load(p.global_id("flushes").unwrap()), 10);
+        // 10 flushes × 16 packets, ~10% lost.
+        let sent = mote.devices.radio.sent.len() as i64;
+        let failed = mote.globals.load(p.global_id("send_failures").unwrap());
+        assert_eq!(sent + failed, 160);
+        assert!(failed > 0, "lossy radio should drop some packets");
+    }
+
+    #[test]
+    fn flush_branch_probability_is_one_sixteenth() {
+        let p = program();
+        let mut mote = Mote::new(p.clone(), Box::new(AvrCost));
+        configure(&mut mote);
+        let mut gt = GroundTruthProfiler::new(&p);
+        for _ in 0..1600 {
+            mote.call(ProcId(0), &[], &mut gt).unwrap();
+        }
+        let cfg = &p.procs[0].cfg;
+        let probs = gt.branch_probs(ProcId(0), cfg);
+        // The first branch block is the flush condition.
+        let flush_p = probs.as_slice()[0];
+        assert!((flush_p - 1.0 / 16.0).abs() < 0.01, "{:?}", probs);
+    }
+}

@@ -1,0 +1,85 @@
+//! Sense: threshold detection over an ADC stream (the SenseToLeds pattern).
+//! One input-driven branch whose probability tracks the sensor field — the
+//! simplest end-to-end target for timing-based estimation.
+
+use ct_ir::program::Program;
+use ct_mote::devices::UniformAdc;
+use ct_mote::interp::Mote;
+
+/// NLC source.
+pub const SOURCE: &str = r#"
+module Sense {
+    var threshold: u16 = 700;
+    var alarms: u32;
+    var reading: u16;
+
+    proc check() {
+        reading = read_adc();
+        if (reading > threshold) {
+            alarms = alarms + 1;
+            led_set(0, 1);
+        } else {
+            led_set(0, 0);
+        }
+    }
+}
+"#;
+
+/// The procedure the experiments profile.
+pub const TARGET_PROC: &str = "check";
+
+/// The alarm probability implied by [`configure`]'s uniform 0..=1023 input
+/// and the 700 threshold.
+pub const EXPECTED_ALARM_PROB: f64 = 323.0 / 1024.0;
+
+/// Compiles the app.
+///
+/// # Panics
+///
+/// Panics if the bundled source fails to compile (a bug in this crate).
+pub fn program() -> Program {
+    ct_ir::compile_source(SOURCE).expect("bundled Sense source compiles")
+}
+
+/// Standard workload: uniform field over the full ADC range.
+pub fn configure(mote: &mut Mote) {
+    mote.devices.adc = Box::new(UniformAdc { lo: 0, hi: 1023 });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_ir::instr::ProcId;
+    use ct_mote::cost::AvrCost;
+    use ct_mote::trace::GroundTruthProfiler;
+
+    #[test]
+    fn alarm_probability_matches_field() {
+        let p = program();
+        let mut mote = Mote::new(p.clone(), Box::new(AvrCost));
+        configure(&mut mote);
+        let mut gt = GroundTruthProfiler::new(&p);
+        for _ in 0..5000 {
+            mote.call(ProcId(0), &[], &mut gt).unwrap();
+        }
+        let cfg = &p.procs[0].cfg;
+        let probs = gt.branch_probs(ProcId(0), cfg);
+        assert!(
+            (probs.as_slice()[0] - EXPECTED_ALARM_PROB).abs() < 0.02,
+            "{:?}",
+            probs
+        );
+    }
+
+    #[test]
+    fn alarm_counter_accumulates() {
+        let p = program();
+        let mut mote = Mote::new(p.clone(), Box::new(AvrCost));
+        configure(&mut mote);
+        for _ in 0..100 {
+            mote.call(ProcId(0), &[], &mut ct_mote::trace::NullProfiler).unwrap();
+        }
+        let alarms = mote.globals.load(p.global_id("alarms").unwrap());
+        assert!(alarms > 0 && alarms < 100, "{alarms}");
+    }
+}

@@ -1,0 +1,106 @@
+//! Sorter: bubble sort over an 8-sample window. The swap branch probability
+//! *decays across passes* as the window gets sorted — a deliberate violation
+//! of the time-homogeneous Markov assumption, included as the honest
+//! hard case for the estimators (see EXPERIMENTS.md).
+
+use ct_ir::program::Program;
+use ct_mote::devices::UniformAdc;
+use ct_mote::interp::Mote;
+
+/// NLC source.
+pub const SOURCE: &str = r#"
+module Sorter {
+    var buf: u16[8];
+    var swaps: u32;
+
+    proc sort_window() {
+        var i: u16 = 0;
+        while (i < 8) {
+            buf[i] = read_adc();
+            i = i + 1;
+        }
+        var pass: u16 = 0;
+        while (pass < 7) {
+            var j: u16 = 0;
+            while (j < 7 - pass) {
+                if (buf[j] > buf[j + 1]) {
+                    var t: u16 = buf[j];
+                    buf[j] = buf[j + 1];
+                    buf[j + 1] = t;
+                    swaps = swaps + 1;
+                } else { }
+                j = j + 1;
+            }
+            pass = pass + 1;
+        }
+    }
+}
+"#;
+
+/// The procedure the experiments profile.
+pub const TARGET_PROC: &str = "sort_window";
+
+/// Compiles the app.
+///
+/// # Panics
+///
+/// Panics if the bundled source fails to compile (a bug in this crate).
+pub fn program() -> Program {
+    ct_ir::compile_source(SOURCE).expect("bundled Sorter source compiles")
+}
+
+/// Standard workload: uniformly random windows.
+pub fn configure(mote: &mut Mote) {
+    mote.devices.adc = Box::new(UniformAdc { lo: 0, hi: 1023 });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_ir::instr::ProcId;
+    use ct_mote::cost::AvrCost;
+    use ct_mote::devices::TraceAdc;
+    use ct_mote::trace::NullProfiler;
+
+    #[test]
+    fn sorts_the_window() {
+        let p = program();
+        let mut mote = Mote::new(p.clone(), Box::new(AvrCost));
+        mote.devices.adc = Box::new(TraceAdc::new(vec![9, 3, 7, 1, 8, 2, 6, 4]));
+        mote.call(ProcId(0), &[], &mut NullProfiler).unwrap();
+        let buf = mote.globals.array(p.global_id("buf").unwrap()).to_vec();
+        assert_eq!(buf, vec![1, 2, 3, 4, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn swap_count_matches_inversions() {
+        let p = program();
+        let mut mote = Mote::new(p.clone(), Box::new(AvrCost));
+        // Reverse-sorted input: 28 inversions for 8 elements.
+        mote.devices.adc = Box::new(TraceAdc::new(vec![8, 7, 6, 5, 4, 3, 2, 1]));
+        mote.call(ProcId(0), &[], &mut NullProfiler).unwrap();
+        assert_eq!(mote.globals.load(p.global_id("swaps").unwrap()), 28);
+    }
+
+    #[test]
+    fn already_sorted_needs_no_swaps() {
+        let p = program();
+        let mut mote = Mote::new(p.clone(), Box::new(AvrCost));
+        mote.devices.adc = Box::new(TraceAdc::new(vec![1, 2, 3, 4, 5, 6, 7, 8]));
+        mote.call(ProcId(0), &[], &mut NullProfiler).unwrap();
+        assert_eq!(mote.globals.load(p.global_id("swaps").unwrap()), 0);
+    }
+
+    #[test]
+    fn random_windows_swap_about_half() {
+        let p = program();
+        let mut mote = Mote::new(p.clone(), Box::new(AvrCost));
+        configure(&mut mote);
+        for _ in 0..100 {
+            mote.call(ProcId(0), &[], &mut NullProfiler).unwrap();
+        }
+        let swaps = mote.globals.load(p.global_id("swaps").unwrap());
+        // Expected inversions per window = 28/2 = 14 → 1400 total, ±noise.
+        assert!((1000..1800).contains(&swaps), "{swaps}");
+    }
+}

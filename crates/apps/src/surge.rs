@@ -1,0 +1,107 @@
+//! Surge-lite: multi-hop data collection — drain the receive queue, consume
+//! packets addressed to this node, forward the rest (with a lossy radio).
+//! The input-dependent loop bound (queue depth) and the address/loss branches
+//! make this the most network-shaped profile target.
+
+use ct_ir::program::Program;
+use ct_mote::interp::Mote;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// NLC source.
+pub const SOURCE: &str = r#"
+module Surge {
+    var consumed: u32;
+    var forwarded: u32;
+    var dropped: u32;
+
+    proc on_receive() {
+        var n: u16 = 0;
+        while (recv_avail() && (n < 4)) {
+            var pkt: u16 = recv_msg();
+            var dest: u16 = pkt & 15;
+            if (dest == node_id()) {
+                consumed = consumed + 1;
+            } else {
+                var ok: bool = send_msg(pkt);
+                if (ok) { forwarded = forwarded + 1; }
+                else { dropped = dropped + 1; }
+            }
+            n = n + 1;
+        }
+    }
+}
+"#;
+
+/// The procedure the experiments profile.
+pub const TARGET_PROC: &str = "on_receive";
+
+/// Compiles the app.
+///
+/// # Panics
+///
+/// Panics if the bundled source fails to compile (a bug in this crate).
+pub fn program() -> Program {
+    ct_ir::compile_source(SOURCE).expect("bundled Surge source compiles")
+}
+
+/// Standard workload: node id 3, 15% radio loss.
+pub fn configure(mote: &mut Mote) {
+    mote.devices.node_id = 3;
+    mote.devices.radio.loss_prob = 0.15;
+}
+
+/// Delivers a random batch of packets before each handler invocation
+/// (Poisson-ish arrivals between timer events). ~1/16 of payload addresses
+/// match the node.
+pub fn deliver_batch(mote: &mut Mote, call_index: usize) {
+    let mut rng = StdRng::seed_from_u64(0x5D06E + call_index as u64);
+    let batch = rng.gen_range(0..=3);
+    for _ in 0..batch {
+        mote.devices.radio.deliver(rng.gen_range(0..=1023));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_ir::instr::ProcId;
+    use ct_mote::cost::AvrCost;
+    use ct_mote::trace::NullProfiler;
+
+    #[test]
+    fn packets_are_routed() {
+        let p = program();
+        let mut mote = Mote::new(p.clone(), Box::new(AvrCost));
+        configure(&mut mote);
+        for i in 0..500 {
+            deliver_batch(&mut mote, i);
+            mote.call(ProcId(0), &[], &mut NullProfiler).unwrap();
+        }
+        let consumed = mote.globals.load(p.global_id("consumed").unwrap());
+        let forwarded = mote.globals.load(p.global_id("forwarded").unwrap());
+        let dropped = mote.globals.load(p.global_id("dropped").unwrap());
+        let total = consumed + forwarded + dropped;
+        assert!(total > 400, "should process most packets, got {total}");
+        // ~1/16 consumed, rest forwarded/dropped with 15% loss.
+        assert!(consumed > 0);
+        assert!(forwarded > 5 * dropped / 2, "forwarded {forwarded} dropped {dropped}");
+    }
+
+    #[test]
+    fn empty_queue_takes_fast_path() {
+        let p = program();
+        let mut mote = Mote::new(p.clone(), Box::new(AvrCost));
+        configure(&mut mote);
+        let before = mote.cycles;
+        mote.call(ProcId(0), &[], &mut NullProfiler).unwrap();
+        let fast = mote.cycles - before;
+
+        deliver_batch(&mut mote, 0);
+        deliver_batch(&mut mote, 1);
+        let before = mote.cycles;
+        mote.call(ProcId(0), &[], &mut NullProfiler).unwrap();
+        let busy = mote.cycles - before;
+        assert!(busy > fast, "{busy} vs {fast}");
+    }
+}

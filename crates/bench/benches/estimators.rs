@@ -1,0 +1,51 @@
+//! Criterion microbenchmarks: estimator throughput (EM vs moments vs flow)
+//! on a fixed synthetic problem.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ct_apps::synthetic::diamond_chain_problem;
+use ct_core::estimator::{estimate, EstimateOptions, Method};
+use ct_core::samples::TimingSamples;
+use ct_markov::chain_from_cfg;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_estimators(c: &mut Criterion) {
+    let (cfg, bc, ec, truth) = diamond_chain_problem(3, 11);
+    let chain = chain_from_cfg(&cfg, &truth).unwrap();
+    let edges = cfg.edges();
+    let mut rng = StdRng::seed_from_u64(5);
+    let ticks: Vec<u64> = (0..1000)
+        .map(|_| {
+            let run = ct_markov::sample_run(&chain, 0, &mut rng, 100_000).unwrap();
+            let mut d: u64 = run.iter().map(|&b| bc[b]).sum();
+            for w in run.windows(2) {
+                let e = edges
+                    .iter()
+                    .find(|e| e.from.index() == w[0] && e.to.index() == w[1])
+                    .unwrap();
+                d += ec[e.index];
+            }
+            d
+        })
+        .collect();
+    let samples = TimingSamples::new(ticks, 1);
+
+    let mut group = c.benchmark_group("estimators");
+    for method in [Method::Em, Method::Moments, Method::FlowMean] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(method.to_string()),
+            &method,
+            |b, &method| {
+                let opts = EstimateOptions { method: Some(method), ..Default::default() };
+                b.iter(|| {
+                    estimate(black_box(&cfg), &bc, &ec, black_box(&samples), opts).unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimators);
+criterion_main!(benches);

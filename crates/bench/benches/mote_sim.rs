@@ -1,0 +1,34 @@
+//! Criterion microbenchmarks: mote simulator throughput (cycles simulated
+//! per wall second) on the benchmark apps, with and without instrumentation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ct_bench::Mcu;
+use ct_mote::trace::{GroundTruthProfiler, NullProfiler};
+use std::hint::black_box;
+
+fn bench_mote(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mote_sim");
+    for name in ["sense", "crc", "sort"] {
+        let app = ct_apps::app_by_name(name).unwrap();
+        group.bench_with_input(BenchmarkId::new("uninstrumented", name), name, |b, _| {
+            let mut mote = app.boot(Mcu::Avr.cost_model());
+            let pid = app.target_id(mote.program());
+            b.iter(|| {
+                black_box(mote.call(pid, &[], &mut NullProfiler).unwrap());
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("ground_truth", name), name, |b, _| {
+            let mut mote = app.boot(Mcu::Avr.cost_model());
+            let program = mote.program().clone();
+            let pid = app.target_id(&program);
+            let mut gt = GroundTruthProfiler::new(&program);
+            b.iter(|| {
+                black_box(mote.call(pid, &[], &mut gt).unwrap());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mote);
+criterion_main!(benches);

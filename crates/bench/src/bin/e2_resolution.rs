@@ -1,0 +1,37 @@
+//! E2 — Estimation accuracy vs timer resolution (Figure).
+//!
+//! Claim evaluated: Code Tomography works with the cheap, coarse timers
+//! motes actually have. The quantization-aware likelihood should degrade
+//! gracefully as ticks get coarser than path-duration differences.
+
+use ct_bench::{estimate_run, f4, run_app, write_result, Mcu, Table};
+use ct_core::estimator::EstimateOptions;
+use ct_mote::timer::VirtualTimer;
+
+fn main() {
+    // cycles per tick: cycle-accurate, 1 MHz @8 MHz, 125 kHz, 32.768 kHz
+    // crystal, and a pathologically slow tick.
+    let resolutions = [1u64, 8, 64, 244, 1024];
+    let n = 5_000;
+    let mut table = Table::new(vec!["app", "cpt=1", "cpt=8", "cpt=64", "cpt=244", "cpt=1024"]);
+
+    for app in ct_apps::all_apps() {
+        let mut cells = vec![app.name.to_string()];
+        for (i, &cpt) in resolutions.iter().enumerate() {
+            let run = run_app(&app, Mcu::Avr, n, VirtualTimer::new(cpt), 0, 2000 + i as u64);
+            let (_est, acc) = estimate_run(&run, EstimateOptions::default());
+            cells.push(f4(acc.weighted_mae));
+        }
+        table.row(cells);
+        eprintln!("e2: {} done", app.name);
+    }
+
+    let out = format!(
+        "# E2 — Estimation accuracy (weighted MAE) vs timer resolution\n\n\
+         n = {n} samples per point; AVR cost model. cpt = cycles per tick\n\
+         (244 ≈ a 32.768 kHz crystal viewed from an 8 MHz core).\n\n{}",
+        table.to_markdown()
+    );
+    println!("{out}");
+    write_result("e2_resolution.md", &out);
+}

@@ -1,0 +1,97 @@
+//! E3 — Profiling overhead comparison (Table).
+//!
+//! Claim evaluated: entry/exit timestamps cost far less than conventional
+//! instrumentation on all three mote-relevant axes: cycles, RAM, flash.
+
+use ct_bench::{f2, run_with_profiler, write_result, Mcu, Table};
+use ct_mote::trace::{NullProfiler, TimingProfiler};
+use ct_mote::timer::VirtualTimer;
+use ct_profilers::ball_larus::BallLarusProfiler;
+use ct_profilers::edge_counter::EdgeCounterProfiler;
+use ct_profilers::overhead::tomography;
+use ct_profilers::sampling::SamplingProfiler;
+
+fn main() {
+    let n = 2_000;
+    let seed = 3_000;
+    let mut table = Table::new(vec![
+        "app",
+        "approach",
+        "cycles +%",
+        "ram B",
+        "flash B",
+        "exact?",
+    ]);
+
+    for app in ct_apps::all_apps() {
+        let program = app.compile();
+        let base = run_with_profiler(&app, Mcu::Avr, n, seed, &mut NullProfiler);
+
+        // Code Tomography: a timestamp at every proc entry/exit.
+        let mut tp =
+            TimingProfiler::new(&program, VirtualTimer::khz32_at_8mhz(), tomography::TIMESTAMP_CYCLES);
+        let tomo = run_with_profiler(&app, Mcu::Avr, n, seed, &mut tp);
+
+        let mut ec = EdgeCounterProfiler::new(&program);
+        let edges = run_with_profiler(&app, Mcu::Avr, n, seed, &mut ec);
+
+        let mut bl = BallLarusProfiler::new(&program);
+        let ball = run_with_profiler(&app, Mcu::Avr, n, seed, &mut bl);
+
+        let mut sp = SamplingProfiler::new(&program, 1009);
+        let sampling = run_with_profiler(&app, Mcu::Avr, n, seed, &mut sp);
+
+        let pct = |cycles: u64| f2((cycles as f64 - base as f64) / base as f64 * 100.0);
+        let rows: Vec<(&str, String, u32, u32, &str)> = vec![
+            (
+                "tomography",
+                pct(tomo),
+                tomography::ram_bytes(&program),
+                tomography::flash_bytes(&program),
+                "estimated",
+            ),
+            (
+                "edge-counters",
+                pct(edges),
+                EdgeCounterProfiler::ram_bytes(&program),
+                EdgeCounterProfiler::flash_bytes(&program),
+                "exact",
+            ),
+            (
+                "ball-larus",
+                pct(ball),
+                bl.ram_bytes(&program),
+                bl.flash_bytes(&program),
+                "exact",
+            ),
+            (
+                "sampling",
+                pct(sampling),
+                SamplingProfiler::ram_bytes(&program),
+                SamplingProfiler::flash_bytes(&program),
+                "approx",
+            ),
+        ];
+        for (name, pct, ram, flash, exact) in rows {
+            table.row(vec![
+                app.name.to_string(),
+                name.to_string(),
+                pct,
+                ram.to_string(),
+                flash.to_string(),
+                exact.to_string(),
+            ]);
+        }
+        eprintln!("e3: {} done", app.name);
+    }
+
+    let out = format!(
+        "# E3 — Profiling overhead: runtime cycles, RAM, flash\n\n\
+         {n} target invocations per app; AVR cost model; sampling period 1009 cycles;\n\
+         tomography timestamps cost {} cycles each.\n\n{}",
+        tomography::TIMESTAMP_CYCLES,
+        table.to_markdown()
+    );
+    println!("{out}");
+    write_result("e3_overhead.md", &out);
+}

@@ -1,0 +1,298 @@
+//! Shared measurement harness for the experiment binaries: boot an app, run
+//! its standard workload under simultaneous ground-truth and timing
+//! instrumentation, estimate, place, and re-measure.
+
+use ct_apps::App;
+use ct_cfg::graph::Cfg;
+use ct_cfg::layout::{Layout, LayoutCost, PenaltyModel};
+use ct_cfg::profile::{BranchProbs, EdgeProfile};
+use ct_core::accuracy::{compare, AccuracyReport};
+use ct_core::estimator::{estimate, Estimate, EstimateOptions, Method};
+use ct_core::unrolled::estimate_unrolled;
+use ct_core::samples::TimingSamples;
+use ct_ir::instr::ProcId;
+use ct_ir::program::Program;
+use ct_mote::cost::{AvrCost, CostModel, Msp430Cost};
+use ct_mote::interp::Mote;
+use ct_mote::timer::VirtualTimer;
+use ct_mote::trace::{GroundTruthProfiler, PairProfiler, Profiler, TimingProfiler};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Which MCU calibration to run under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mcu {
+    /// ATmega128-class.
+    Avr,
+    /// MSP430-class.
+    Msp430,
+}
+
+impl Mcu {
+    /// Boxes the corresponding cost model.
+    pub fn cost_model(self) -> Box<dyn CostModel> {
+        match self {
+            Mcu::Avr => Box::new(AvrCost),
+            Mcu::Msp430 => Box::new(Msp430Cost),
+        }
+    }
+}
+
+/// Everything one measured workload run produces.
+#[derive(Debug)]
+pub struct AppRun {
+    /// The compiled program.
+    pub program: Program,
+    /// The profiled procedure.
+    pub pid: ProcId,
+    /// Static block costs of the target under the run's layout.
+    pub block_costs: Vec<u64>,
+    /// Static edge costs of the target under the run's layout.
+    pub edge_costs: Vec<u64>,
+    /// Exclusive-duration samples of the target.
+    pub samples: TimingSamples,
+    /// Ground-truth edge profile of the target.
+    pub truth_profile: EdgeProfile,
+    /// Ground-truth branch probabilities.
+    pub truth: BranchProbs,
+    /// Statically counted loops of the target (from the compiler's
+    /// trip-count analysis).
+    pub counted_loops: Vec<(ct_cfg::graph::BlockId, u64)>,
+    /// Target invocations.
+    pub invocations: u64,
+    /// Total cycles consumed by the run.
+    pub cycles_used: u64,
+}
+
+impl AppRun {
+    /// The target procedure's CFG.
+    pub fn cfg(&self) -> &Cfg {
+        &self.program.procs[self.pid.index()].cfg
+    }
+}
+
+/// Runs `app`'s standard workload `n` times, measuring with `timer`.
+///
+/// `seed` drives all nondeterminism (inputs, radio, contamination), so runs
+/// are reproducible and layout comparisons can replay identical inputs.
+///
+/// # Panics
+///
+/// Panics if the app traps (bundled apps must not).
+pub fn run_app(app: &App, mcu: Mcu, n: usize, timer: VirtualTimer, ts_overhead: u64, seed: u64) -> AppRun {
+    let mut mote = app.boot(mcu.cost_model());
+    mote.reseed(seed);
+    run_on_mote(app, &mut mote, n, timer, ts_overhead)
+}
+
+/// Like [`run_app`] but on an existing (possibly re-laid-out) mote.
+///
+/// # Panics
+///
+/// Panics if the app traps.
+pub fn run_on_mote(
+    app: &App,
+    mote: &mut Mote,
+    n: usize,
+    timer: VirtualTimer,
+    ts_overhead: u64,
+) -> AppRun {
+    let program = mote.program().clone();
+    let pid = app.target_id(&program);
+    let mut gt = GroundTruthProfiler::new(&program);
+    let mut tp = TimingProfiler::new(&program, timer, ts_overhead);
+    let start_cycles = mote.cycles;
+    for i in 0..n {
+        if let Some(hook) = app.per_call {
+            hook(mote, i);
+        }
+        let mut pair = PairProfiler { a: &mut gt, b: &mut tp };
+        mote.call(pid, &[], &mut pair)
+            .unwrap_or_else(|e| panic!("{} trapped: {e}", app.name));
+    }
+    let cfg = &program.procs[pid.index()].cfg;
+    AppRun {
+        counted_loops: program.procs[pid.index()].counted_loops.clone(),
+        block_costs: mote.static_block_costs(pid).to_vec(),
+        edge_costs: mote.static_edge_costs(pid).to_vec(),
+        samples: TimingSamples::new(tp.samples(pid).to_vec(), timer.cycles_per_tick()),
+        truth_profile: gt.profile(pid).clone(),
+        truth: gt.branch_probs(pid, cfg),
+        invocations: gt.invocations(pid),
+        cycles_used: mote.cycles - start_cycles,
+        program,
+        pid,
+    }
+}
+
+/// Runs `app`'s workload under an arbitrary profiler (for overhead
+/// comparisons), returning cycles consumed.
+///
+/// # Panics
+///
+/// Panics if the app traps.
+pub fn run_with_profiler(
+    app: &App,
+    mcu: Mcu,
+    n: usize,
+    seed: u64,
+    profiler: &mut dyn Profiler,
+) -> u64 {
+    let mut mote = app.boot(mcu.cost_model());
+    mote.reseed(seed);
+    let pid = app.target_id(mote.program());
+    let start = mote.cycles;
+    for i in 0..n {
+        if let Some(hook) = app.per_call {
+            hook(&mut mote, i);
+        }
+        mote.call(pid, &[], profiler)
+            .unwrap_or_else(|e| panic!("{} trapped: {e}", app.name));
+    }
+    mote.cycles - start
+}
+
+/// Estimates the target's branch probabilities from a run's samples and
+/// scores them against the run's ground truth.
+///
+/// When the compiler proved trip counts for the target's loops (and no
+/// explicit method is forced), estimation runs on the counted-loop-unrolled
+/// model — exactly what a profile-guided compiler with the program's IR in
+/// hand would do — falling back to the plain estimator on any failure.
+pub fn estimate_run(run: &AppRun, opts: EstimateOptions) -> (Estimate, AccuracyReport) {
+    if opts.method.is_none() && !run.counted_loops.is_empty() {
+        if let Ok(u) = estimate_unrolled(
+            run.cfg(),
+            &run.counted_loops,
+            &run.block_costs,
+            &run.edge_costs,
+            &run.samples,
+            opts.em,
+        ) {
+            let est = Estimate {
+                probs: u.probs,
+                method: Method::EmUnrolled,
+                iterations: u.iterations,
+                loglik: Some(u.loglik),
+                unexplained: u.unexplained,
+            };
+            let acc =
+                compare(run.cfg(), &est.probs, &run.truth, &run.truth_profile, run.invocations);
+            return (est, acc);
+        }
+    }
+    let est = estimate(run.cfg(), &run.block_costs, &run.edge_costs, &run.samples, opts)
+        .unwrap_or_else(|e| panic!("estimation failed: {e}"));
+    let acc = compare(run.cfg(), &est.probs, &run.truth, &run.truth_profile, run.invocations);
+    (est, acc)
+}
+
+/// Expected per-invocation edge traversal frequencies under a probability
+/// vector (the placement input derived from an estimate).
+///
+/// # Panics
+///
+/// Panics if the Markov solve fails (exit unreachable under `probs`).
+pub fn edge_frequencies(cfg: &Cfg, probs: &BranchProbs) -> Vec<f64> {
+    ct_markov::visits::expected_edge_traversals(cfg, probs)
+        .unwrap_or_else(|e| panic!("frequency derivation failed: {e}"))
+}
+
+/// A uniformly random valid layout (entry first) — the pessimal baseline for
+/// the placement experiments.
+pub fn random_layout(cfg: &Cfg, seed: u64) -> Layout {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rest: Vec<_> = cfg.block_ids().skip(1).collect();
+    rest.shuffle(&mut rng);
+    let mut order = vec![cfg.entry()];
+    order.extend(rest);
+    Layout::from_order(cfg, order).expect("shuffled permutation is valid")
+}
+
+/// Replays `app`'s workload (same seed) on a mote whose target uses `layout`,
+/// returning the measured layout cost and total cycles.
+///
+/// # Panics
+///
+/// Panics if the app traps.
+pub fn replay_with_layout(
+    app: &App,
+    mcu: Mcu,
+    layout: Layout,
+    n: usize,
+    seed: u64,
+) -> (LayoutCost, u64) {
+    let mut mote = app.boot(mcu.cost_model());
+    mote.reseed(seed);
+    let pid = app.target_id(mote.program());
+    mote.set_layout(pid, layout.clone());
+    let run = run_on_mote(app, &mut mote, n, VirtualTimer::cycle_accurate(), 0);
+    let pen = mcu.cost_model().penalties();
+    let cost = layout.evaluate(run.cfg(), &run.truth_profile, &pen);
+    (cost, run.cycles_used)
+}
+
+/// The default penalty model for an MCU.
+pub fn penalties(mcu: Mcu) -> PenaltyModel {
+    mcu.cost_model().penalties()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_apps::app_by_name;
+
+    #[test]
+    fn run_app_produces_consistent_artifacts() {
+        let app = app_by_name("sense").unwrap();
+        let run = run_app(&app, Mcu::Avr, 300, VirtualTimer::cycle_accurate(), 0, 42);
+        assert_eq!(run.samples.len(), 300);
+        assert_eq!(run.invocations, 300);
+        assert!(run.truth_profile.is_flow_consistent(run.cfg(), 300));
+        assert!(run.cycles_used > 0);
+    }
+
+    #[test]
+    fn runs_are_reproducible_per_seed() {
+        let app = app_by_name("sense").unwrap();
+        let a = run_app(&app, Mcu::Avr, 100, VirtualTimer::cycle_accurate(), 0, 7);
+        let b = run_app(&app, Mcu::Avr, 100, VirtualTimer::cycle_accurate(), 0, 7);
+        assert_eq!(a.samples.ticks(), b.samples.ticks());
+        assert_eq!(a.truth_profile, b.truth_profile);
+        let c = run_app(&app, Mcu::Avr, 100, VirtualTimer::cycle_accurate(), 0, 8);
+        assert_ne!(a.samples.ticks(), c.samples.ticks());
+    }
+
+    #[test]
+    fn estimate_run_recovers_sense_branch() {
+        let app = app_by_name("sense").unwrap();
+        let run = run_app(&app, Mcu::Avr, 2000, VirtualTimer::cycle_accurate(), 0, 1);
+        let (est, acc) = estimate_run(&run, EstimateOptions::default());
+        assert!(acc.mae < 0.02, "mae {} (est {:?} truth {:?})", acc.mae, est.probs, run.truth);
+    }
+
+    #[test]
+    fn random_layout_is_valid_and_seeded() {
+        let app = app_by_name("sense").unwrap();
+        let p = app.compile();
+        let cfg = &p.procs[0].cfg;
+        let a = random_layout(cfg, 1);
+        let b = random_layout(cfg, 1);
+        let c = random_layout(cfg, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.order()[0], cfg.entry());
+    }
+
+    #[test]
+    fn replay_with_layout_measures_cost() {
+        let app = app_by_name("sense").unwrap();
+        let p = app.compile();
+        let pid = app.target_id(&p);
+        let cfg = p.procs[pid.index()].cfg.clone();
+        let (cost, cycles) = replay_with_layout(&app, Mcu::Avr, Layout::natural(&cfg), 200, 3);
+        assert!(cycles > 0);
+        assert!(cost.branches_taken + cost.branches_not_taken == 200);
+    }
+}

@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! # ct-bench
+//!
+//! The experiment harness regenerating the paper's evaluation: one binary
+//! per table/figure (see DESIGN.md's experiment index) plus Criterion
+//! microbenchmarks.
+//!
+//! | binary | experiment |
+//! |---|---|
+//! | `e1_accuracy` | estimation accuracy vs sample count (Table) |
+//! | `e2_resolution` | accuracy vs timer resolution (Figure) |
+//! | `e3_overhead` | profiling overhead comparison (Table) |
+//! | `e4_placement` | misprediction reduction by layout (Table) |
+//! | `e5_speedup` | end-to-end cycle improvement (Figure) |
+//! | `e6_noise` | robustness to interrupt contamination (Figure) |
+//! | `e7_estimators` | EM vs moments vs flow ablation (Figure) |
+//! | `e8_scalability` | estimation cost vs CFG size (Figure) |
+//! | `e9_pipeline` | full per-app case study (Table) |
+//! | `e10_unroll_ablation` | counted-loop unrolling ablation (Table, extension) |
+//! | `e11_model_error` | robustness to block-cost model error (Table, extension) |
+//! | `e12_cross_mcu` | cross-MCU pipeline + energy (Table, extension) |
+//!
+//! Each binary prints a markdown table and mirrors it into `results/`.
+//!
+//! ## Example
+//!
+//! ```
+//! use ct_bench::harness::{run_app, estimate_run, Mcu};
+//! use ct_core::estimator::EstimateOptions;
+//! use ct_mote::timer::VirtualTimer;
+//!
+//! let app = ct_apps::app_by_name("sense").unwrap();
+//! let run = run_app(&app, Mcu::Avr, 500, VirtualTimer::mhz1_at_8mhz(), 0, 1);
+//! let (_est, acc) = estimate_run(&run, EstimateOptions::default());
+//! assert!(acc.mae < 0.05);
+//! ```
+
+pub mod harness;
+pub mod table;
+
+pub use harness::{
+    edge_frequencies, estimate_run, penalties, random_layout, replay_with_layout, run_app,
+    run_on_mote, run_with_profiler, AppRun, Mcu,
+};
+pub use table::{f2, f4, write_result, Table};

@@ -1,0 +1,127 @@
+//! Minimal table builder: the experiment harnesses print markdown tables to
+//! stdout and mirror them into `results/`.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// A simple string table with a header row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Table {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        assert!(!headers.is_empty(), "table needs at least one column");
+        Table { headers, rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Table {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders GitHub-flavored markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(out, "|{}|", self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+        for r in &self.rows {
+            let _ = writeln!(out, "| {} |", r.join(" | "));
+        }
+        out
+    }
+
+    /// Renders CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.join(","));
+        for r in &self.rows {
+            let _ = writeln!(out, "{}", r.join(","));
+        }
+        out
+    }
+}
+
+/// Writes `content` under `results/<name>` (creating the directory), best
+/// effort: failures are reported to stderr but do not abort the experiment.
+pub fn write_result(name: &str, content: &str) {
+    let dir = Path::new("results");
+    if let Err(e) = fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create results dir: {e}");
+        return;
+    }
+    if let Err(e) = fs::write(dir.join(name), content) {
+        eprintln!("warning: cannot write results/{name}: {e}");
+    }
+}
+
+/// Formats a float with 4 decimal places (the report convention).
+pub fn f4(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+/// Formats a float with 2 decimal places.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_rendering() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["1", "2"]).row(vec!["3", "4"]);
+        let md = t.to_markdown();
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| 3 | 4 |"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let mut t = Table::new(vec!["x"]);
+        t.row(vec!["7"]);
+        assert_eq!(t.to_csv(), "x\n7\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        Table::new(vec!["a", "b"]).row(vec!["1"]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f4(0.123456), "0.1235");
+        assert_eq!(f2(10.0), "10.00");
+    }
+}

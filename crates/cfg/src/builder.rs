@@ -1,0 +1,181 @@
+//! Convenience constructors for common CFG shapes.
+//!
+//! These are used heavily by tests and by the synthetic-workload generators
+//! in `ct-apps` (experiment E7/E8 sweep over graph families).
+
+use crate::graph::{BlockId, Cfg, Terminator};
+
+/// A straight-line CFG: `entry → b1 → … → exit` with `n` blocks total.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn linear(n: usize) -> Cfg {
+    assert!(n > 0, "linear CFG needs at least one block");
+    let mut cfg = Cfg::new("linear");
+    for i in 0..n {
+        if i + 1 < n {
+            cfg.add_block(format!("b{i}"), Terminator::Jump(BlockId(i as u32 + 1)));
+        } else {
+            cfg.add_block(format!("b{i}"), Terminator::Return);
+        }
+    }
+    cfg
+}
+
+/// The canonical if/else diamond:
+///
+/// ```text
+///       cond(b0)
+///      /        \
+///  then(b1)   else(b2)
+///      \        /
+///       join(b3) → return
+/// ```
+pub fn diamond() -> Cfg {
+    let mut cfg = Cfg::new("diamond");
+    let cond = cfg.add_block("cond", Terminator::Return);
+    let then_b = cfg.add_block("then", Terminator::Return);
+    let else_b = cfg.add_block("else", Terminator::Return);
+    let join = cfg.add_block("join", Terminator::Return);
+    cfg.set_terminator(cond, Terminator::Branch { on_true: then_b, on_false: else_b });
+    cfg.set_terminator(then_b, Terminator::Jump(join));
+    cfg.set_terminator(else_b, Terminator::Jump(join));
+    cfg
+}
+
+/// A single `while` loop:
+///
+/// ```text
+/// entry(b0) → header(b1) --true--> body(b2) → header
+///                        --false-> exit(b3) → return
+/// ```
+pub fn while_loop() -> Cfg {
+    let mut cfg = Cfg::new("while_loop");
+    let entry = cfg.add_block("entry", Terminator::Return);
+    let header = cfg.add_block("header", Terminator::Return);
+    let body = cfg.add_block("body", Terminator::Jump(header));
+    let exit = cfg.add_block("exit", Terminator::Return);
+    cfg.set_terminator(entry, Terminator::Jump(header));
+    cfg.set_terminator(header, Terminator::Branch { on_true: body, on_false: exit });
+    cfg
+}
+
+/// A chain of `k` independent diamonds, each condition feeding the next:
+/// `2^k` acyclic paths. Useful for scaling experiments.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn diamond_chain(k: usize) -> Cfg {
+    assert!(k > 0, "diamond chain needs at least one diamond");
+    let mut cfg = Cfg::new(format!("diamond_chain_{k}"));
+    // Blocks per diamond: cond, then, else, join. Join of diamond i is the
+    // cond of diamond i+1 — except the last join which returns.
+    // Layout: for diamond i, base = 3*i: cond=base, then=base+1, else=base+2,
+    // next cond (or final join) = base+3.
+    for i in 0..k {
+        let base = 3 * i as u32;
+        cfg.add_block(
+            format!("cond{i}"),
+            Terminator::Branch { on_true: BlockId(base + 1), on_false: BlockId(base + 2) },
+        );
+        cfg.add_block(format!("then{i}"), Terminator::Jump(BlockId(base + 3)));
+        cfg.add_block(format!("else{i}"), Terminator::Jump(BlockId(base + 3)));
+    }
+    cfg.add_block("exit", Terminator::Return);
+    cfg
+}
+
+/// Two nested `while` loops (outer containing inner), exercising loop-nest
+/// analysis:
+///
+/// ```text
+/// entry → oh --true--> ih --true--> ibody → ih
+///           \            --false-> obody → oh
+///            --false-> exit
+/// ```
+pub fn nested_loops() -> Cfg {
+    let mut cfg = Cfg::new("nested_loops");
+    let entry = cfg.add_block("entry", Terminator::Return);
+    let outer_h = cfg.add_block("outer_header", Terminator::Return);
+    let inner_h = cfg.add_block("inner_header", Terminator::Return);
+    let inner_b = cfg.add_block("inner_body", Terminator::Jump(inner_h));
+    let outer_b = cfg.add_block("outer_latch", Terminator::Jump(outer_h));
+    let exit = cfg.add_block("exit", Terminator::Return);
+    cfg.set_terminator(entry, Terminator::Jump(outer_h));
+    cfg.set_terminator(outer_h, Terminator::Branch { on_true: inner_h, on_false: exit });
+    cfg.set_terminator(inner_h, Terminator::Branch { on_true: inner_b, on_false: outer_b });
+    cfg
+}
+
+/// An irreducible graph (two mutually-jumping blocks entered separately):
+/// the classic counterexample for structural analysis.
+pub fn irreducible() -> Cfg {
+    let mut cfg = Cfg::new("irreducible");
+    let entry = cfg.add_block("entry", Terminator::Return);
+    let a = cfg.add_block("a", Terminator::Return);
+    let b = cfg.add_block("b", Terminator::Return);
+    let exit = cfg.add_block("exit", Terminator::Return);
+    cfg.set_terminator(entry, Terminator::Branch { on_true: a, on_false: b });
+    cfg.set_terminator(a, Terminator::Branch { on_true: b, on_false: exit });
+    cfg.set_terminator(b, Terminator::Branch { on_true: a, on_false: exit });
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_shapes() {
+        let cfg = linear(1);
+        assert_eq!(cfg.len(), 1);
+        assert!(cfg.validate().is_ok());
+        let cfg = linear(5);
+        assert_eq!(cfg.len(), 5);
+        assert!(cfg.validate().is_ok());
+        assert!(cfg.is_acyclic());
+        assert_eq!(cfg.edges().len(), 4);
+    }
+
+    #[test]
+    fn diamond_has_one_branch() {
+        let cfg = diamond();
+        assert_eq!(cfg.branch_blocks().len(), 1);
+        assert!(cfg.is_acyclic());
+    }
+
+    #[test]
+    fn while_loop_is_cyclic_and_valid() {
+        let cfg = while_loop();
+        assert!(cfg.validate().is_ok());
+        assert!(!cfg.is_acyclic());
+    }
+
+    #[test]
+    fn diamond_chain_path_count_grows() {
+        for k in 1..5 {
+            let cfg = diamond_chain(k);
+            assert!(cfg.validate().is_ok(), "k={k}");
+            assert_eq!(cfg.branch_blocks().len(), k);
+            assert_eq!(cfg.len(), 3 * k + 1);
+            assert!(cfg.is_acyclic());
+        }
+    }
+
+    #[test]
+    fn nested_loops_valid_and_cyclic() {
+        let cfg = nested_loops();
+        assert!(cfg.validate().is_ok());
+        assert!(!cfg.is_acyclic());
+        assert_eq!(cfg.branch_blocks().len(), 2);
+    }
+
+    #[test]
+    fn irreducible_validates_structurally() {
+        // Irreducibility is not a validity error; structural analysis rejects
+        // it separately.
+        assert!(irreducible().validate().is_ok());
+    }
+}

@@ -1,0 +1,387 @@
+//! Code layout: the flash-memory order of basic blocks and its cost model.
+//!
+//! A [`Layout`] decides which successor of every conditional branch is the
+//! fall-through. On mote MCUs with static predict-not-taken pipelines, a
+//! *taken* conditional branch is a misprediction (pipeline bubble), and an
+//! unconditional jump costs cycles that a fall-through would not. The same
+//! accounting is used prospectively by `ct-placement` (to choose a layout
+//! from a profile) and dynamically by `ct-mote` (to charge cycles during
+//! simulation), so the optimizer and the machine always agree.
+
+use crate::graph::{BlockId, Cfg, EdgeKind, Terminator};
+use crate::profile::EdgeProfile;
+
+/// Extra-cycle parameters for control transfers under a concrete layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PenaltyModel {
+    /// Extra cycles when a conditional branch is taken (static
+    /// predict-not-taken misprediction / pipeline refill).
+    pub taken_branch_extra: u64,
+    /// Cycles of an unconditional jump instruction that the layout failed to
+    /// elide.
+    pub jump_cycles: u64,
+}
+
+impl PenaltyModel {
+    /// AVR-class defaults: a taken branch costs one extra cycle on ATmega,
+    /// and `rjmp` costs two cycles.
+    pub fn avr() -> PenaltyModel {
+        PenaltyModel { taken_branch_extra: 1, jump_cycles: 2 }
+    }
+
+    /// MSP430-class defaults: both taken conditional jumps and `jmp` cost two
+    /// cycles versus zero for straight-line fetch.
+    pub fn msp430() -> PenaltyModel {
+        PenaltyModel { taken_branch_extra: 2, jump_cycles: 2 }
+    }
+}
+
+impl Default for PenaltyModel {
+    fn default() -> Self {
+        PenaltyModel::avr()
+    }
+}
+
+/// A permutation of a procedure's blocks — their flash order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layout {
+    order: Vec<BlockId>,
+    /// position[b] = index of block b within `order`.
+    position: Vec<usize>,
+}
+
+impl Layout {
+    /// The layout that keeps blocks in id order (the "original" compiler
+    /// output before placement optimization).
+    pub fn natural(cfg: &Cfg) -> Layout {
+        Layout::from_order(cfg, cfg.block_ids().collect()).expect("identity order is valid")
+    }
+
+    /// Builds a layout from an explicit block order.
+    ///
+    /// Returns `None` unless `order` is a permutation of the blocks of `cfg`
+    /// starting with the entry block (the entry must be first: the caller
+    /// jumps to the procedure's first flash address).
+    pub fn from_order(cfg: &Cfg, order: Vec<BlockId>) -> Option<Layout> {
+        if order.len() != cfg.len() {
+            return None;
+        }
+        if order.first() != Some(&cfg.entry()) {
+            return None;
+        }
+        let mut position = vec![usize::MAX; cfg.len()];
+        for (i, b) in order.iter().enumerate() {
+            if b.index() >= cfg.len() || position[b.index()] != usize::MAX {
+                return None;
+            }
+            position[b.index()] = i;
+        }
+        Some(Layout { order, position })
+    }
+
+    /// The block order.
+    pub fn order(&self) -> &[BlockId] {
+        &self.order
+    }
+
+    /// Flash position of `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is out of range for this layout.
+    pub fn position(&self, b: BlockId) -> usize {
+        self.position[b.index()]
+    }
+
+    /// The block physically following `b`, if any.
+    pub fn next_in_layout(&self, b: BlockId) -> Option<BlockId> {
+        let p = self.position(b);
+        self.order.get(p + 1).copied()
+    }
+
+    /// Extra cycles charged when control flows along `from → to` given this
+    /// layout: `0` for fall-throughs, the taken penalty for taken branches,
+    /// the jump cost for materialized jumps. See [`Layout::transfer_kind`].
+    pub fn transfer_cost(
+        &self,
+        cfg: &Cfg,
+        penalties: &PenaltyModel,
+        from: BlockId,
+        to: BlockId,
+    ) -> u64 {
+        match self.transfer_kind(cfg, from, to) {
+            TransferKind::FallThrough => 0,
+            TransferKind::TakenBranch => penalties.taken_branch_extra,
+            TransferKind::Jump => penalties.jump_cycles,
+            TransferKind::TakenBranchOverJump => penalties.taken_branch_extra,
+        }
+    }
+
+    /// Classifies the machine-level transfer realizing CFG edge `from → to`
+    /// under this layout.
+    ///
+    /// For a conditional branch with successors `(t, f)`:
+    /// - if `f` is next in layout: `t` is a taken branch, `f` falls through;
+    /// - if `t` is next in layout: the condition is inverted, so `f` is a
+    ///   taken branch and `t` falls through;
+    /// - otherwise the compiler emits `brcond t; jmp f`: the `t` edge is a
+    ///   taken branch over the jump, and the `f` edge pays the jump.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is not a successor of `from`.
+    pub fn transfer_kind(&self, cfg: &Cfg, from: BlockId, to: BlockId) -> TransferKind {
+        let next = self.next_in_layout(from);
+        match cfg.block(from).term {
+            Terminator::Jump(t) => {
+                assert_eq!(t, to, "to must be a successor of from");
+                if next == Some(t) {
+                    TransferKind::FallThrough
+                } else {
+                    TransferKind::Jump
+                }
+            }
+            Terminator::Branch { on_true, on_false } => {
+                assert!(to == on_true || to == on_false, "to must be a successor of from");
+                if next == Some(on_false) {
+                    if to == on_true {
+                        TransferKind::TakenBranch
+                    } else {
+                        TransferKind::FallThrough
+                    }
+                } else if next == Some(on_true) {
+                    // Inverted polarity.
+                    if to == on_false {
+                        TransferKind::TakenBranch
+                    } else {
+                        TransferKind::FallThrough
+                    }
+                } else {
+                    // Neither successor adjacent: brcond t; jmp f.
+                    if to == on_true {
+                        TransferKind::TakenBranchOverJump
+                    } else {
+                        TransferKind::Jump
+                    }
+                }
+            }
+            Terminator::Return => panic!("return block has no successors"),
+        }
+    }
+
+    /// Evaluates this layout against an edge profile: total extra cycles and
+    /// the conditional-branch misprediction statistics.
+    pub fn evaluate(
+        &self,
+        cfg: &Cfg,
+        profile: &EdgeProfile,
+        penalties: &PenaltyModel,
+    ) -> LayoutCost {
+        let mut cost = LayoutCost::default();
+        for e in cfg.edges() {
+            let n = profile.count(e.index);
+            if n == 0 {
+                continue;
+            }
+            let kind = self.transfer_kind(cfg, e.from, e.to);
+            let is_conditional =
+                matches!(e.kind, EdgeKind::BranchTrue | EdgeKind::BranchFalse);
+            match kind {
+                TransferKind::FallThrough => {
+                    if is_conditional {
+                        cost.branches_not_taken += n;
+                    }
+                }
+                TransferKind::TakenBranch | TransferKind::TakenBranchOverJump => {
+                    cost.branches_taken += n;
+                    cost.extra_cycles += n * penalties.taken_branch_extra;
+                }
+                TransferKind::Jump => {
+                    cost.jumps_executed += n;
+                    cost.extra_cycles += n * penalties.jump_cycles;
+                    if is_conditional {
+                        // The false edge of a both-ways-displaced branch: the
+                        // conditional itself fell through (predicted right)
+                        // before the jump, so it does not count as taken.
+                        cost.branches_not_taken += n;
+                    }
+                }
+            }
+        }
+        cost
+    }
+}
+
+/// Machine-level realization of a CFG edge under a layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferKind {
+    /// Straight-line fetch continues; no extra cost.
+    FallThrough,
+    /// A conditional branch that is taken (mispredicted under static
+    /// not-taken prediction).
+    TakenBranch,
+    /// A conditional branch taken over a materialized `jmp` (branch target
+    /// displaced).
+    TakenBranchOverJump,
+    /// An executed unconditional jump.
+    Jump,
+}
+
+/// Aggregate cost of running a profile under a layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LayoutCost {
+    /// Conditional branch executions that were taken (= mispredictions under
+    /// static not-taken prediction).
+    pub branches_taken: u64,
+    /// Conditional branch executions that fell through.
+    pub branches_not_taken: u64,
+    /// Unconditional jumps executed (not elided by adjacency).
+    pub jumps_executed: u64,
+    /// Total extra cycles versus an ideal all-fall-through layout.
+    pub extra_cycles: u64,
+}
+
+impl LayoutCost {
+    /// Fraction of conditional branch executions that were taken; `0.0` when
+    /// no conditional branches executed.
+    pub fn misprediction_rate(&self) -> f64 {
+        let total = self.branches_taken + self.branches_not_taken;
+        if total == 0 {
+            0.0
+        } else {
+            self.branches_taken as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{diamond, linear};
+
+    #[test]
+    fn natural_layout_is_identity() {
+        let cfg = diamond();
+        let l = Layout::natural(&cfg);
+        assert_eq!(l.order(), &[BlockId(0), BlockId(1), BlockId(2), BlockId(3)]);
+        assert_eq!(l.position(BlockId(2)), 2);
+    }
+
+    #[test]
+    fn from_order_rejects_non_permutations() {
+        let cfg = diamond();
+        assert!(Layout::from_order(&cfg, vec![BlockId(0), BlockId(1)]).is_none());
+        assert!(Layout::from_order(
+            &cfg,
+            vec![BlockId(0), BlockId(1), BlockId(1), BlockId(3)]
+        )
+        .is_none());
+        // Entry must come first.
+        assert!(Layout::from_order(
+            &cfg,
+            vec![BlockId(1), BlockId(0), BlockId(2), BlockId(3)]
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn linear_natural_layout_is_all_fallthrough() {
+        let cfg = linear(4);
+        let l = Layout::natural(&cfg);
+        for e in cfg.edges() {
+            assert_eq!(l.transfer_kind(&cfg, e.from, e.to), TransferKind::FallThrough);
+        }
+    }
+
+    #[test]
+    fn diamond_natural_layout_classification() {
+        let cfg = diamond();
+        let l = Layout::natural(&cfg);
+        // Order: cond, then, else, join.
+        // cond: next is then (= on_true) → inverted polarity: true falls
+        // through, false is a taken branch.
+        assert_eq!(
+            l.transfer_kind(&cfg, BlockId(0), BlockId(1)),
+            TransferKind::FallThrough
+        );
+        assert_eq!(
+            l.transfer_kind(&cfg, BlockId(0), BlockId(2)),
+            TransferKind::TakenBranch
+        );
+        // then → join: else intervenes, so the jump is materialized.
+        assert_eq!(l.transfer_kind(&cfg, BlockId(1), BlockId(3)), TransferKind::Jump);
+        // else → join: adjacent, elided.
+        assert_eq!(
+            l.transfer_kind(&cfg, BlockId(2), BlockId(3)),
+            TransferKind::FallThrough
+        );
+    }
+
+    #[test]
+    fn displaced_branch_uses_branch_over_jump() {
+        let cfg = diamond();
+        // Order: cond, join, then, else — neither successor adjacent to cond.
+        let l = Layout::from_order(
+            &cfg,
+            vec![BlockId(0), BlockId(3), BlockId(1), BlockId(2)],
+        )
+        .unwrap();
+        assert_eq!(
+            l.transfer_kind(&cfg, BlockId(0), BlockId(1)),
+            TransferKind::TakenBranchOverJump
+        );
+        assert_eq!(l.transfer_kind(&cfg, BlockId(0), BlockId(2)), TransferKind::Jump);
+    }
+
+    #[test]
+    fn evaluate_counts_mispredictions() {
+        let cfg = diamond();
+        let l = Layout::natural(&cfg);
+        // 30 true, 10 false.
+        let prof = EdgeProfile::from_counts(&cfg, vec![30, 10, 30, 10]);
+        let cost = l.evaluate(&cfg, &prof, &PenaltyModel::avr());
+        // true falls through (30 not taken), false is taken (10 mispredicts),
+        // then→join is 30 executed jumps.
+        assert_eq!(cost.branches_taken, 10);
+        assert_eq!(cost.branches_not_taken, 30);
+        assert_eq!(cost.jumps_executed, 30);
+        assert_eq!(cost.extra_cycles, 10 + 30 * 2);
+        assert!((cost.misprediction_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn better_layout_reduces_cost() {
+        let cfg = diamond();
+        let prof = EdgeProfile::from_counts(&cfg, vec![30, 10, 30, 10]);
+        let natural = Layout::natural(&cfg);
+        // Hot path cond→then→join contiguous: cond, then, join, else.
+        let optimized = Layout::from_order(
+            &cfg,
+            vec![BlockId(0), BlockId(1), BlockId(3), BlockId(2)],
+        )
+        .unwrap();
+        let pen = PenaltyModel::avr();
+        let c_nat = natural.evaluate(&cfg, &prof, &pen);
+        let c_opt = optimized.evaluate(&cfg, &prof, &pen);
+        assert!(c_opt.extra_cycles < c_nat.extra_cycles, "{c_opt:?} vs {c_nat:?}");
+        // Hot-path layout: true falls through, false taken (10), else→join
+        // jump (10): extra = 10*1 + 10*2 = 30 < 70.
+        assert_eq!(c_opt.extra_cycles, 30);
+    }
+
+    #[test]
+    fn misprediction_rate_zero_when_no_branches() {
+        let cfg = linear(3);
+        let l = Layout::natural(&cfg);
+        let prof = EdgeProfile::from_counts(&cfg, vec![5, 5]);
+        let cost = l.evaluate(&cfg, &prof, &PenaltyModel::avr());
+        assert_eq!(cost.misprediction_rate(), 0.0);
+        assert_eq!(cost.extra_cycles, 0);
+    }
+
+    #[test]
+    fn penalty_model_presets_differ() {
+        assert_ne!(PenaltyModel::avr(), PenaltyModel::msp430());
+        assert_eq!(PenaltyModel::default(), PenaltyModel::avr());
+    }
+}

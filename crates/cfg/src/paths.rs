@@ -1,0 +1,214 @@
+//! Path enumeration over acyclic CFGs (or acyclic slices of reducible ones).
+//!
+//! Used by the path-mixture duration model, by Ball–Larus path profiling, and
+//! by the scalability experiment (E8), which measures how the path population
+//! grows with graph size.
+
+use crate::graph::{BlockId, Cfg, Terminator};
+use std::error::Error;
+use std::fmt;
+
+/// One entry-to-exit path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Path {
+    /// Blocks visited, entry first.
+    pub blocks: Vec<BlockId>,
+    /// Indices (into [`Cfg::edges`]) of the edges traversed, in order.
+    pub edges: Vec<usize>,
+}
+
+impl Path {
+    /// Total cost of the path under per-block cycle costs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `costs` is shorter than the largest block id on the path.
+    pub fn cost(&self, costs: &[u64]) -> u64 {
+        self.blocks.iter().map(|b| costs[b.index()]).sum()
+    }
+}
+
+/// Error from [`enumerate_paths`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathError {
+    /// The graph contains a cycle; enumeration is only defined for DAGs.
+    Cyclic,
+    /// More than `limit` paths exist.
+    TooManyPaths {
+        /// The enumeration cap that was exceeded.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for PathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathError::Cyclic => write!(f, "cannot enumerate paths of a cyclic graph"),
+            PathError::TooManyPaths { limit } => {
+                write!(f, "path enumeration exceeded the limit of {limit}")
+            }
+        }
+    }
+}
+
+impl Error for PathError {}
+
+/// Enumerates every entry→return path of an acyclic CFG, up to `limit`.
+///
+/// # Errors
+///
+/// [`PathError::Cyclic`] when the graph has cycles; [`PathError::TooManyPaths`]
+/// when the population exceeds `limit` (callers choose between erroring and
+/// switching estimators).
+///
+/// # Examples
+///
+/// ```
+/// use ct_cfg::builder::diamond;
+/// use ct_cfg::paths::enumerate_paths;
+/// let paths = enumerate_paths(&diamond(), 100).unwrap();
+/// assert_eq!(paths.len(), 2);
+/// ```
+pub fn enumerate_paths(cfg: &Cfg, limit: usize) -> Result<Vec<Path>, PathError> {
+    if !cfg.is_acyclic() {
+        return Err(PathError::Cyclic);
+    }
+    // Precompute the edge index of each (from, successor slot).
+    let edges = cfg.edges();
+    let edge_of = |from: BlockId, to: BlockId| -> usize {
+        edges
+            .iter()
+            .find(|e| e.from == from && e.to == to)
+            .expect("edge exists for successor")
+            .index
+    };
+
+    let mut out = Vec::new();
+    // DFS with explicit stack of (block, taken-edge trail).
+    let mut stack: Vec<(BlockId, Vec<BlockId>, Vec<usize>)> =
+        vec![(cfg.entry(), vec![cfg.entry()], Vec::new())];
+    while let Some((b, blocks, trail)) = stack.pop() {
+        match cfg.block(b).term {
+            Terminator::Return => {
+                out.push(Path { blocks, edges: trail });
+                if out.len() > limit {
+                    return Err(PathError::TooManyPaths { limit });
+                }
+            }
+            _ => {
+                for s in cfg.successors(b) {
+                    let mut nb = blocks.clone();
+                    nb.push(s);
+                    let mut nt = trail.clone();
+                    nt.push(edge_of(b, s));
+                    stack.push((s, nb, nt));
+                }
+            }
+        }
+    }
+    // Deterministic order: lexicographic by edge trail.
+    out.sort_by(|a, b| a.edges.cmp(&b.edges));
+    Ok(out)
+}
+
+/// Counts entry→return paths without materializing them (dynamic programming
+/// in topological order). Saturates at `u64::MAX`.
+///
+/// # Panics
+///
+/// Panics if the graph is cyclic.
+pub fn count_paths(cfg: &Cfg) -> u64 {
+    assert!(cfg.is_acyclic(), "count_paths requires an acyclic graph");
+    let rpo = cfg.reverse_postorder();
+    let mut count = vec![0u64; cfg.len()];
+    for &b in rpo.iter().rev() {
+        match cfg.block(b).term {
+            Terminator::Return => count[b.index()] = 1,
+            _ => {
+                let mut acc: u64 = 0;
+                for s in cfg.successors(b) {
+                    acc = acc.saturating_add(count[s.index()]);
+                }
+                count[b.index()] = acc;
+            }
+        }
+    }
+    count[cfg.entry().index()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{diamond, diamond_chain, linear, while_loop};
+
+    #[test]
+    fn linear_has_single_path() {
+        let paths = enumerate_paths(&linear(4), 10).unwrap();
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].blocks.len(), 4);
+        assert_eq!(paths[0].edges.len(), 3);
+    }
+
+    #[test]
+    fn diamond_has_two_paths() {
+        let paths = enumerate_paths(&diamond(), 10).unwrap();
+        assert_eq!(paths.len(), 2);
+        for p in &paths {
+            assert_eq!(p.blocks.first(), Some(&BlockId(0)));
+            assert_eq!(p.blocks.last(), Some(&BlockId(3)));
+            assert_eq!(p.blocks.len(), 3);
+        }
+    }
+
+    #[test]
+    fn diamond_chain_paths_are_exponential() {
+        for k in 1..6 {
+            let cfg = diamond_chain(k);
+            assert_eq!(count_paths(&cfg), 1 << k);
+            let paths = enumerate_paths(&cfg, 1 << k).unwrap();
+            assert_eq!(paths.len(), 1 << k);
+        }
+    }
+
+    #[test]
+    fn limit_is_enforced() {
+        let cfg = diamond_chain(5); // 32 paths
+        assert_eq!(
+            enumerate_paths(&cfg, 31),
+            Err(PathError::TooManyPaths { limit: 31 })
+        );
+    }
+
+    #[test]
+    fn cyclic_graph_rejected() {
+        assert_eq!(enumerate_paths(&while_loop(), 10), Err(PathError::Cyclic));
+    }
+
+    #[test]
+    fn path_cost_sums_block_costs() {
+        let paths = enumerate_paths(&diamond(), 10).unwrap();
+        let costs = [10, 100, 1000, 5];
+        let mut totals: Vec<u64> = paths.iter().map(|p| p.cost(&costs)).collect();
+        totals.sort();
+        assert_eq!(totals, vec![115, 1015]);
+    }
+
+    #[test]
+    fn paths_are_deterministically_ordered() {
+        let a = enumerate_paths(&diamond_chain(3), 100).unwrap();
+        let b = enumerate_paths(&diamond_chain(3), 100).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn edge_trails_are_consistent_with_blocks() {
+        let cfg = diamond();
+        let edges = cfg.edges();
+        for p in enumerate_paths(&cfg, 10).unwrap() {
+            for (i, &ei) in p.edges.iter().enumerate() {
+                assert_eq!(edges[ei].from, p.blocks[i]);
+                assert_eq!(edges[ei].to, p.blocks[i + 1]);
+            }
+        }
+    }
+}

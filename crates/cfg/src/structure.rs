@@ -1,0 +1,527 @@
+//! Structural decomposition of reducible, single-exit CFGs into a region
+//! tree.
+//!
+//! Code Tomography's duration model is compositional: sequences convolve,
+//! branches mix, loops repeat geometrically. That composition needs the
+//! program's *structure*, not just its graph. NLC has no `goto`, so every
+//! lowered procedure is structured; this module recovers the structure tree
+//! from the graph (so estimators work from the CFG alone, exactly as the
+//! paper's tooling works from compiled binaries), and cleanly rejects
+//! irreducible or unstructured graphs, which fall back to the
+//! method-of-moments estimator.
+
+use crate::dominators::Dominators;
+use crate::graph::{BlockId, Cfg, Terminator};
+use crate::loops::{is_reducible, LoopForest};
+use std::error::Error;
+use std::fmt;
+
+/// A node of the structure tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Region {
+    /// A single basic block (no control decision of its own).
+    Block(BlockId),
+    /// Regions executed one after another.
+    Seq(Vec<Region>),
+    /// Two-way conditional. `cond` is the branching block; either arm may be
+    /// an empty `Seq` (an `if` without `else`).
+    IfElse {
+        /// The block whose terminator decides the branch.
+        cond: BlockId,
+        /// Region executed when the branch condition is true.
+        then_arm: Box<Region>,
+        /// Region executed when the branch condition is false.
+        else_arm: Box<Region>,
+    },
+    /// A header-controlled (`while`-style) loop. The header's branch decides
+    /// between one more `body` execution and the loop exit.
+    Loop {
+        /// The loop header block.
+        header: BlockId,
+        /// True when the header's *true* edge continues the loop.
+        continue_on_true: bool,
+        /// The loop body (excludes the header; ends with the latch).
+        body: Box<Region>,
+    },
+}
+
+impl Region {
+    /// All blocks mentioned by this region, in traversal order.
+    pub fn blocks(&self) -> Vec<BlockId> {
+        let mut out = Vec::new();
+        self.collect_blocks(&mut out);
+        out
+    }
+
+    fn collect_blocks(&self, out: &mut Vec<BlockId>) {
+        match self {
+            Region::Block(b) => out.push(*b),
+            Region::Seq(items) => {
+                for r in items {
+                    r.collect_blocks(out);
+                }
+            }
+            Region::IfElse { cond, then_arm, else_arm } => {
+                out.push(*cond);
+                then_arm.collect_blocks(out);
+                else_arm.collect_blocks(out);
+            }
+            Region::Loop { header, body, .. } => {
+                out.push(*header);
+                body.collect_blocks(out);
+            }
+        }
+    }
+
+    /// All decision blocks (branch conditions and loop headers) in traversal
+    /// order.
+    pub fn decision_blocks(&self) -> Vec<BlockId> {
+        let mut out = Vec::new();
+        self.collect_decisions(&mut out);
+        out
+    }
+
+    fn collect_decisions(&self, out: &mut Vec<BlockId>) {
+        match self {
+            Region::Block(_) => {}
+            Region::Seq(items) => {
+                for r in items {
+                    r.collect_decisions(out);
+                }
+            }
+            Region::IfElse { cond, then_arm, else_arm } => {
+                out.push(*cond);
+                then_arm.collect_decisions(out);
+                else_arm.collect_decisions(out);
+            }
+            Region::Loop { header, body, .. } => {
+                out.push(*header);
+                body.collect_decisions(out);
+            }
+        }
+    }
+
+    /// Number of decision blocks in the region tree.
+    pub fn decision_count(&self) -> usize {
+        self.decision_blocks().len()
+    }
+}
+
+/// Why a CFG could not be decomposed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StructureError {
+    /// The graph failed [`Cfg::validate`].
+    Invalid(String),
+    /// The graph has retreating edges that are not natural-loop back edges.
+    Irreducible,
+    /// The graph has more than one return block.
+    MultipleExits {
+        /// How many return blocks were found.
+        count: usize,
+    },
+    /// A shape the matcher does not recognize (e.g. a branch arm that jumps
+    /// into the middle of the other arm).
+    Unstructured {
+        /// Where the matcher gave up.
+        at: BlockId,
+    },
+    /// A loop whose shape is not header-controlled (e.g. multiple latches).
+    UnsupportedLoop {
+        /// The offending loop's header.
+        header: BlockId,
+    },
+}
+
+impl fmt::Display for StructureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StructureError::Invalid(msg) => write!(f, "invalid control-flow graph: {msg}"),
+            StructureError::Irreducible => write!(f, "control-flow graph is irreducible"),
+            StructureError::MultipleExits { count } => {
+                write!(f, "structural analysis requires a single exit, found {count}")
+            }
+            StructureError::Unstructured { at } => {
+                write!(f, "unstructured control flow at block {at}")
+            }
+            StructureError::UnsupportedLoop { header } => {
+                write!(f, "unsupported loop shape at header {header}")
+            }
+        }
+    }
+}
+
+impl Error for StructureError {}
+
+/// Decomposes a validated, reducible, single-exit CFG into a [`Region`] tree.
+///
+/// # Errors
+///
+/// Returns a [`StructureError`] describing why decomposition failed; callers
+/// (the estimator front end) fall back to moment matching in that case.
+///
+/// # Examples
+///
+/// ```
+/// use ct_cfg::builder::while_loop;
+/// use ct_cfg::structure::{decompose, Region};
+/// let tree = decompose(&while_loop()).unwrap();
+/// // entry block, the loop, exit block.
+/// match tree {
+///     Region::Seq(items) => assert_eq!(items.len(), 3),
+///     other => panic!("expected Seq, got {other:?}"),
+/// }
+/// ```
+pub fn decompose(cfg: &Cfg) -> Result<Region, StructureError> {
+    cfg.validate().map_err(|e| StructureError::Invalid(e.to_string()))?;
+    if !is_reducible(cfg) {
+        return Err(StructureError::Irreducible);
+    }
+    let exits = cfg.exit_blocks();
+    if exits.len() != 1 {
+        return Err(StructureError::MultipleExits { count: exits.len() });
+    }
+    let dom = Dominators::compute(cfg);
+    let loops = LoopForest::compute_with(cfg, &dom);
+    let pdom = PostDominators::compute(cfg);
+    let mut d = Decomposer { cfg, loops: &loops, pdom: &pdom };
+    // The outermost region runs from the entry until falling off the end
+    // (stop = None means "until Return").
+    let region = d.parse_seq(cfg.entry(), None)?;
+    Ok(region)
+}
+
+struct Decomposer<'a> {
+    cfg: &'a Cfg,
+    loops: &'a LoopForest,
+    pdom: &'a PostDominators,
+}
+
+impl<'a> Decomposer<'a> {
+    /// Parses the region starting at `start` and ending just before `stop`
+    /// (or at a `Return` when `stop` is `None`). Returns a `Seq`, possibly of
+    /// a single item.
+    fn parse_seq(&mut self, start: BlockId, stop: Option<BlockId>) -> Result<Region, StructureError> {
+        let mut items = Vec::new();
+        let mut cur = start;
+        let mut guard = 0usize;
+        loop {
+            if Some(cur) == stop {
+                break;
+            }
+            guard += 1;
+            if guard > self.cfg.len() * 4 + 16 {
+                // A cycle the matcher failed to consume as a loop.
+                return Err(StructureError::Unstructured { at: cur });
+            }
+
+            // Loop header? Consume the whole loop as one item.
+            if let Some(li) = self.loop_headed_at(cur) {
+                let (region, exit) = self.parse_loop(cur, li)?;
+                items.push(region);
+                if Some(exit) == stop {
+                    break;
+                }
+                cur = exit;
+                continue;
+            }
+
+            match self.cfg.block(cur).term {
+                Terminator::Return => {
+                    items.push(Region::Block(cur));
+                    if stop.is_some() {
+                        // A return before reaching the expected stop block.
+                        return Err(StructureError::Unstructured { at: cur });
+                    }
+                    break;
+                }
+                Terminator::Jump(t) => {
+                    items.push(Region::Block(cur));
+                    cur = t;
+                }
+                Terminator::Branch { on_true, on_false } => {
+                    let join = self
+                        .pdom
+                        .ipdom(cur)
+                        .ok_or(StructureError::Unstructured { at: cur })?;
+                    let then_arm = if on_true == join {
+                        Region::Seq(vec![])
+                    } else {
+                        self.parse_seq(on_true, Some(join))?
+                    };
+                    let else_arm = if on_false == join {
+                        Region::Seq(vec![])
+                    } else {
+                        self.parse_seq(on_false, Some(join))?
+                    };
+                    items.push(Region::IfElse {
+                        cond: cur,
+                        then_arm: Box::new(then_arm),
+                        else_arm: Box::new(else_arm),
+                    });
+                    cur = join;
+                }
+            }
+        }
+        Ok(Region::Seq(items))
+    }
+
+    /// If `b` heads a natural loop, returns the loop's index.
+    fn loop_headed_at(&self, b: BlockId) -> Option<usize> {
+        self.loops.loops().iter().position(|l| l.header == b)
+    }
+
+    /// Parses a header-controlled loop; returns the loop region and the block
+    /// control continues at after the loop exits.
+    fn parse_loop(&mut self, header: BlockId, li: usize) -> Result<(Region, BlockId), StructureError> {
+        let l = &self.loops.loops()[li];
+        let Terminator::Branch { on_true, on_false } = self.cfg.block(header).term else {
+            return Err(StructureError::UnsupportedLoop { header });
+        };
+        let true_in = l.contains(on_true);
+        let false_in = l.contains(on_false);
+        let (body_start, exit, continue_on_true) = match (true_in, false_in) {
+            (true, false) => (on_true, on_false, true),
+            (false, true) => (on_false, on_true, false),
+            _ => return Err(StructureError::UnsupportedLoop { header }),
+        };
+        if l.latches.len() != 1 {
+            return Err(StructureError::UnsupportedLoop { header });
+        }
+        // The body runs from body_start back to the header.
+        let body = self.parse_seq(body_start, Some(header))?;
+        Ok((
+            Region::Loop { header, continue_on_true, body: Box::new(body) },
+            exit,
+        ))
+    }
+}
+
+/// Immediate postdominators, computed on the reversed graph with a virtual
+/// exit joining all `Return` blocks.
+#[derive(Debug, Clone)]
+pub struct PostDominators {
+    /// `ipdom[b]`: immediate postdominator; `None` when `b`'s only
+    /// postdominator is the virtual exit.
+    ipdom: Vec<Option<BlockId>>,
+}
+
+impl PostDominators {
+    /// Computes postdominators for every block of `cfg`.
+    pub fn compute(cfg: &Cfg) -> PostDominators {
+        let n = cfg.len();
+        let virtual_exit = n; // index of the virtual exit in the reversed graph
+        // Reversed adjacency: rsucc[b] = predecessors of b in reverse graph = successors in cfg... careful:
+        // In the reversed graph, the "successors" of b are cfg's predecessors of b,
+        // and the entry is the virtual exit.
+        let mut rev_succ: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
+        let mut rev_pred: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
+        for (id, b) in cfg.iter() {
+            for s in b.term.successors() {
+                // cfg edge id->s becomes reversed edge s->id
+                rev_succ[s.index()].push(id.index());
+                rev_pred[id.index()].push(s.index());
+            }
+            if matches!(b.term, Terminator::Return) {
+                rev_succ[virtual_exit].push(id.index());
+                rev_pred[id.index()].push(virtual_exit);
+            }
+        }
+
+        // Reverse postorder DFS from the virtual exit over rev_succ.
+        let mut visited = vec![false; n + 1];
+        let mut postorder = Vec::with_capacity(n + 1);
+        let mut stack: Vec<(usize, usize)> = vec![(virtual_exit, 0)];
+        visited[virtual_exit] = true;
+        while let Some(&mut (node, ref mut child)) = stack.last_mut() {
+            if *child < rev_succ[node].len() {
+                let next = rev_succ[node][*child];
+                *child += 1;
+                if !visited[next] {
+                    visited[next] = true;
+                    stack.push((next, 0));
+                }
+            } else {
+                postorder.push(node);
+                stack.pop();
+            }
+        }
+        postorder.reverse();
+        let mut rpo_pos = vec![usize::MAX; n + 1];
+        for (i, &b) in postorder.iter().enumerate() {
+            rpo_pos[b] = i;
+        }
+
+        let mut idom: Vec<Option<usize>> = vec![None; n + 1];
+        idom[virtual_exit] = Some(virtual_exit);
+        let intersect = |idom: &[Option<usize>], mut a: usize, mut b: usize| -> usize {
+            while a != b {
+                while rpo_pos[a] > rpo_pos[b] {
+                    a = idom[a].expect("processed");
+                }
+                while rpo_pos[b] > rpo_pos[a] {
+                    b = idom[b].expect("processed");
+                }
+            }
+            a
+        };
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in postorder.iter().skip(1) {
+                let mut new_idom: Option<usize> = None;
+                for &p in &rev_pred[b] {
+                    if idom[p].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, cur, p),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b] != Some(ni) {
+                        idom[b] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        let ipdom = (0..n)
+            .map(|b| match idom[b] {
+                Some(d) if d < n => Some(BlockId(d as u32)),
+                _ => None,
+            })
+            .collect();
+        PostDominators { ipdom }
+    }
+
+    /// Immediate postdominator of `b`; `None` when it is the virtual exit
+    /// (i.e. `b` is a return block, or every path from `b` returns
+    /// immediately).
+    pub fn ipdom(&self, b: BlockId) -> Option<BlockId> {
+        self.ipdom[b.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{diamond, diamond_chain, irreducible, linear, nested_loops, while_loop};
+
+    #[test]
+    fn linear_decomposes_to_block_seq() {
+        let tree = decompose(&linear(3)).unwrap();
+        match tree {
+            Region::Seq(items) => {
+                assert_eq!(items.len(), 3);
+                assert!(items.iter().all(|r| matches!(r, Region::Block(_))));
+            }
+            other => panic!("expected Seq, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn diamond_decomposes_to_if_else() {
+        let tree = decompose(&diamond()).unwrap();
+        let Region::Seq(items) = tree else { panic!() };
+        assert_eq!(items.len(), 2); // the IfElse, then the join block
+        let Region::IfElse { cond, then_arm, else_arm } = &items[0] else {
+            panic!("expected IfElse, got {:?}", items[0])
+        };
+        assert_eq!(*cond, BlockId(0));
+        assert_eq!(then_arm.blocks(), vec![BlockId(1)]);
+        assert_eq!(else_arm.blocks(), vec![BlockId(2)]);
+    }
+
+    #[test]
+    fn while_loop_decomposes() {
+        let tree = decompose(&while_loop()).unwrap();
+        let Region::Seq(items) = tree else { panic!() };
+        assert_eq!(items.len(), 3); // entry, Loop, exit
+        let Region::Loop { header, continue_on_true, body } = &items[1] else {
+            panic!("expected Loop, got {:?}", items[1])
+        };
+        assert_eq!(*header, BlockId(1));
+        assert!(*continue_on_true);
+        assert_eq!(body.blocks(), vec![BlockId(2)]);
+    }
+
+    #[test]
+    fn nested_loops_decompose() {
+        let tree = decompose(&nested_loops()).unwrap();
+        let decisions = tree.decision_blocks();
+        assert_eq!(decisions, vec![BlockId(1), BlockId(2)]);
+        // Outer loop body contains the inner loop.
+        let Region::Seq(items) = &tree else { panic!() };
+        let Region::Loop { body: outer_body, .. } = &items[1] else { panic!() };
+        let Region::Seq(inner_items) = outer_body.as_ref() else { panic!() };
+        assert!(inner_items.iter().any(|r| matches!(r, Region::Loop { .. })));
+    }
+
+    #[test]
+    fn diamond_chain_decision_count() {
+        for k in 1..5 {
+            let tree = decompose(&diamond_chain(k)).unwrap();
+            assert_eq!(tree.decision_count(), k);
+        }
+    }
+
+    #[test]
+    fn irreducible_rejected() {
+        assert_eq!(decompose(&irreducible()), Err(StructureError::Irreducible));
+    }
+
+    #[test]
+    fn multiple_exits_rejected() {
+        use crate::graph::{Cfg, Terminator};
+        let mut cfg = Cfg::new("two_exits");
+        let e = cfg.add_block("entry", Terminator::Return);
+        let a = cfg.add_block("a", Terminator::Return);
+        let b = cfg.add_block("b", Terminator::Return);
+        cfg.set_terminator(e, Terminator::Branch { on_true: a, on_false: b });
+        assert_eq!(decompose(&cfg), Err(StructureError::MultipleExits { count: 2 }));
+    }
+
+    #[test]
+    fn region_blocks_cover_cfg() {
+        let cfg = nested_loops();
+        let tree = decompose(&cfg).unwrap();
+        let mut blocks = tree.blocks();
+        blocks.sort();
+        blocks.dedup();
+        assert_eq!(blocks.len(), cfg.len());
+    }
+
+    #[test]
+    fn postdominators_of_diamond() {
+        let cfg = diamond();
+        let pdom = PostDominators::compute(&cfg);
+        assert_eq!(pdom.ipdom(BlockId(0)), Some(BlockId(3)));
+        assert_eq!(pdom.ipdom(BlockId(1)), Some(BlockId(3)));
+        assert_eq!(pdom.ipdom(BlockId(2)), Some(BlockId(3)));
+        assert_eq!(pdom.ipdom(BlockId(3)), None);
+    }
+
+    #[test]
+    fn if_without_else_decomposes_with_empty_arm() {
+        use crate::graph::{Cfg, Terminator};
+        // cond -(true)-> then -> join; cond -(false)-> join; join -> return
+        let mut cfg = Cfg::new("if_then");
+        let cond = cfg.add_block("cond", Terminator::Return);
+        let then_b = cfg.add_block("then", Terminator::Return);
+        let join = cfg.add_block("join", Terminator::Return);
+        cfg.set_terminator(cond, Terminator::Branch { on_true: then_b, on_false: join });
+        cfg.set_terminator(then_b, Terminator::Jump(join));
+        let tree = decompose(&cfg).unwrap();
+        let Region::Seq(items) = tree else { panic!() };
+        let Region::IfElse { else_arm, .. } = &items[0] else { panic!() };
+        assert_eq!(**else_arm, Region::Seq(vec![]));
+    }
+
+    #[test]
+    fn structure_error_display() {
+        assert!(StructureError::Irreducible.to_string().contains("irreducible"));
+        assert!(StructureError::MultipleExits { count: 3 }.to_string().contains('3'));
+    }
+}

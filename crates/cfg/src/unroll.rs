@@ -1,0 +1,430 @@
+//! Loop unrolling for *estimation models*.
+//!
+//! A counted loop (statically known trip count, see `ct_ir::tripcount`) is
+//! deterministic at runtime, but the Markov duration model approximates it as
+//! geometric — a misspecification that both widens the model's duration
+//! support and lets EM trade loop iterations against data-dependent branches.
+//! Unrolling such loops in the *model's* CFG (k body copies in sequence, the
+//! header's branch resolved statically) removes the approximation entirely.
+//!
+//! This transforms only the estimation model: every new block/edge maps back
+//! to its original, so costs are inherited and estimated edge counts fold
+//! back onto the original CFG.
+
+use crate::graph::{BlockId, Cfg, Terminator};
+use crate::loops::LoopForest;
+use std::error::Error;
+use std::fmt;
+
+/// An unrolled estimation CFG with provenance maps.
+#[derive(Debug, Clone)]
+pub struct Unrolled {
+    /// The unrolled graph.
+    pub cfg: Cfg,
+    /// For every unrolled block: the original block it copies.
+    pub orig_block: Vec<BlockId>,
+    /// For every unrolled edge (by unrolled edge index): the original edge
+    /// index it corresponds to.
+    pub orig_edge: Vec<usize>,
+}
+
+impl Unrolled {
+    /// Maps per-original-block values (e.g. cycle costs) onto the unrolled
+    /// blocks.
+    pub fn map_block_values<T: Copy>(&self, values: &[T]) -> Vec<T> {
+        self.orig_block.iter().map(|b| values[b.index()]).collect()
+    }
+
+    /// Maps per-original-edge values (e.g. transfer costs) onto the unrolled
+    /// edges.
+    pub fn map_edge_values<T: Copy>(&self, values: &[T]) -> Vec<T> {
+        self.orig_edge.iter().map(|&e| values[e]).collect()
+    }
+
+    /// Folds per-unrolled-edge counts back onto original edges by summation.
+    pub fn fold_edge_counts(&self, counts: &[f64], n_orig_edges: usize) -> Vec<f64> {
+        let mut out = vec![0.0; n_orig_edges];
+        for (ei, &c) in counts.iter().enumerate() {
+            out[self.orig_edge[ei]] += c;
+        }
+        out
+    }
+}
+
+/// Why a loop could not be unrolled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UnrollError {
+    /// The given block does not head a natural loop.
+    NotALoopHeader {
+        /// The offending block.
+        header: BlockId,
+    },
+    /// The loop has multiple latches or exits through non-header blocks.
+    UnsupportedShape {
+        /// The loop's header.
+        header: BlockId,
+    },
+    /// Unrolling would exceed the block budget.
+    TooLarge {
+        /// Blocks the result would need.
+        blocks: usize,
+    },
+}
+
+impl fmt::Display for UnrollError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnrollError::NotALoopHeader { header } => {
+                write!(f, "block {header} does not head a natural loop")
+            }
+            UnrollError::UnsupportedShape { header } => {
+                write!(f, "loop at {header} has an unsupported shape for unrolling")
+            }
+            UnrollError::TooLarge { blocks } => {
+                write!(f, "unrolling would produce {blocks} blocks")
+            }
+        }
+    }
+}
+
+impl Error for UnrollError {}
+
+/// Block budget for the unrolled model.
+pub const MAX_UNROLLED_BLOCKS: usize = 4096;
+
+/// Unrolls every listed counted loop (`(header, trips)` pairs refer to the
+/// *original* graph). Inner loops are processed first so nested counted
+/// loops unroll multiplicatively.
+///
+/// # Errors
+///
+/// Returns the first [`UnrollError`]; the input graph is never modified.
+pub fn unroll(cfg: &Cfg, counted: &[(BlockId, u64)]) -> Result<Unrolled, UnrollError> {
+    // Order headers innermost-first using the original nesting depth.
+    let forest = LoopForest::compute(cfg);
+    let mut order: Vec<(BlockId, u64)> = counted.to_vec();
+    order.sort_by_key(|&(h, _)| std::cmp::Reverse(forest.depth_of(h)));
+
+    let mut current = Unrolled {
+        cfg: cfg.clone(),
+        orig_block: cfg.block_ids().collect(),
+        orig_edge: cfg.edges().iter().map(|e| e.index).collect(),
+    };
+    for (orig_header, trips) in order {
+        current = unroll_one(&current, cfg, orig_header, trips)?;
+    }
+    Ok(current)
+}
+
+/// Unrolls one loop (identified by its original header) inside the current
+/// partially-unrolled graph.
+fn unroll_one(
+    cur: &Unrolled,
+    orig: &Cfg,
+    orig_header: BlockId,
+    trips: u64,
+) -> Result<Unrolled, UnrollError> {
+    let g = &cur.cfg;
+    // The header exists exactly once until an enclosing loop is unrolled
+    // (we process innermost-first), so this lookup is unambiguous.
+    let header = g
+        .block_ids()
+        .find(|b| cur.orig_block[b.index()] == orig_header)
+        .ok_or(UnrollError::NotALoopHeader { header: orig_header })?;
+
+    let forest = LoopForest::compute(g);
+    let Some(li) = forest.loops().iter().position(|l| l.header == header) else {
+        return Err(UnrollError::NotALoopHeader { header: orig_header });
+    };
+    let l = &forest.loops()[li];
+    if l.latches.len() != 1 {
+        return Err(UnrollError::UnsupportedShape { header: orig_header });
+    }
+    let Terminator::Branch { on_true, on_false } = g.block(header).term else {
+        return Err(UnrollError::UnsupportedShape { header: orig_header });
+    };
+    let (body_entry, exit) = match (l.contains(on_true), l.contains(on_false)) {
+        (true, false) => (on_true, on_false),
+        (false, true) => (on_false, on_true),
+        _ => return Err(UnrollError::UnsupportedShape { header: orig_header }),
+    };
+    // Body blocks (loop minus header); all their edges must stay inside the
+    // loop or return to the header (no side exits — NLC guarantees this).
+    let body: Vec<BlockId> = l.body.iter().copied().filter(|&b| b != header).collect();
+    for &b in &body {
+        for s in g.successors(b) {
+            if !l.contains(s) {
+                return Err(UnrollError::UnsupportedShape { header: orig_header });
+            }
+        }
+    }
+
+    let k = trips as usize;
+    let outside: Vec<BlockId> = g.block_ids().filter(|b| !l.contains(*b)).collect();
+    let new_len = outside.len() + (k + 1) + k * body.len();
+    if new_len > MAX_UNROLLED_BLOCKS {
+        return Err(UnrollError::TooLarge { blocks: new_len });
+    }
+
+    // Allocate the new id space: outside blocks keep relative order first
+    // (entry stays block 0 — it is never inside a loop), then header copies
+    // interleaved with body copies.
+    let mut new_cfg = Cfg::new(g.name().to_string());
+    let mut new_orig: Vec<BlockId> = Vec::with_capacity(new_len);
+    let mut outside_map = vec![None; g.len()];
+    for &b in &outside {
+        let id = new_cfg.add_block(g.block(b).name.clone(), Terminator::Return);
+        outside_map[b.index()] = Some(id);
+        new_orig.push(cur.orig_block[b.index()]);
+    }
+    // header copy i at h_ids[i]; body copy i maps body[j] -> body_maps[i][j].
+    let mut h_ids = Vec::with_capacity(k + 1);
+    let mut body_maps: Vec<Vec<BlockId>> = Vec::with_capacity(k);
+    for i in 0..=k {
+        let id = new_cfg.add_block(
+            format!("{}@{}", g.block(header).name, i),
+            Terminator::Return,
+        );
+        new_orig.push(cur.orig_block[header.index()]);
+        h_ids.push(id);
+        if i < k {
+            let mut m = Vec::with_capacity(body.len());
+            for &b in &body {
+                let bid = new_cfg.add_block(
+                    format!("{}@{}", g.block(b).name, i),
+                    Terminator::Return,
+                );
+                new_orig.push(cur.orig_block[b.index()]);
+                m.push(bid);
+            }
+            body_maps.push(m);
+        }
+    }
+    let body_pos = |b: BlockId| body.iter().position(|&x| x == b).expect("body block");
+
+    // Terminators for outside blocks: targets inside the loop can only be
+    // the header (natural-loop property) → h_0.
+    let map_outside = |t: BlockId| -> BlockId {
+        if t == header {
+            h_ids[0]
+        } else {
+            outside_map[t.index()].expect("target outside the loop")
+        }
+    };
+    for &b in &outside {
+        let new_term = match g.block(b).term {
+            Terminator::Jump(t) => Terminator::Jump(map_outside(t)),
+            Terminator::Branch { on_true, on_false } => Terminator::Branch {
+                on_true: map_outside(on_true),
+                on_false: map_outside(on_false),
+            },
+            Terminator::Return => Terminator::Return,
+        };
+        new_cfg.set_terminator(outside_map[b.index()].expect("mapped"), new_term);
+    }
+    // Header copies: i < k continue into body copy i; the last exits.
+    for i in 0..k {
+        let target = body_maps[i][body_pos(body_entry)];
+        new_cfg.set_terminator(h_ids[i], Terminator::Jump(target));
+    }
+    new_cfg.set_terminator(h_ids[k], Terminator::Jump(map_outside(exit)));
+    // Body copies: internal edges stay within the copy; edges to the header
+    // go to the next header copy.
+    for i in 0..k {
+        for (j, &b) in body.iter().enumerate() {
+            let map_inside = |t: BlockId| -> BlockId {
+                if t == header {
+                    h_ids[i + 1]
+                } else {
+                    body_maps[i][body_pos(t)]
+                }
+            };
+            let new_term = match g.block(b).term {
+                Terminator::Jump(t) => Terminator::Jump(map_inside(t)),
+                Terminator::Branch { on_true, on_false } => Terminator::Branch {
+                    on_true: map_inside(on_true),
+                    on_false: map_inside(on_false),
+                },
+                Terminator::Return => {
+                    return Err(UnrollError::UnsupportedShape { header: orig_header })
+                }
+            };
+            new_cfg.set_terminator(body_maps[i][j], new_term);
+        }
+    }
+
+    // Edge provenance: each new edge (u', v') descends from the current
+    // edge (cur(u'), cur(v')), which in turn maps to an original edge.
+    let cur_of: Vec<BlockId> = {
+        // new block -> block id in `g` it copies.
+        let mut v = Vec::with_capacity(new_len);
+        for &b in &outside {
+            v.push(b);
+        }
+        for i in 0..=k {
+            v.push(header);
+            if i < k {
+                for &b in &body {
+                    v.push(b);
+                }
+            }
+        }
+        v
+    };
+    debug_assert_eq!(cur_of.len(), new_cfg.len());
+
+    let cur_edge_index: std::collections::HashMap<(u32, u32), usize> =
+        g.edges().iter().map(|e| ((e.from.0, e.to.0), e.index)).collect();
+    let mut orig_edge = Vec::new();
+    for e in new_cfg.edges() {
+        let cu = cur_of[e.from.index()];
+        let cv = cur_of[e.to.index()];
+        let cur_ei = *cur_edge_index
+            .get(&(cu.0, cv.0))
+            .expect("unrolled edge descends from an existing edge");
+        orig_edge.push(cur.orig_edge[cur_ei]);
+    }
+
+    let _ = orig;
+    Ok(Unrolled { cfg: new_cfg, orig_block: new_orig, orig_edge })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::while_loop;
+    use crate::profile::BranchProbs;
+
+    #[test]
+    fn unroll_simple_loop_three_trips() {
+        let cfg = while_loop(); // entry, header, body, exit
+        let u = unroll(&cfg, &[(BlockId(1), 3)]).unwrap();
+        // entry + exit + 4 header copies + 3 body copies = 9 blocks.
+        assert_eq!(u.cfg.len(), 9);
+        assert!(u.cfg.validate().is_ok());
+        assert!(u.cfg.is_acyclic());
+        // Exactly one path: entry → h0 → b0 → h1 → b1 → h2 → b2 → h3 → exit.
+        let paths = crate::paths::enumerate_paths(&u.cfg, 10).unwrap();
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].blocks.len(), 9);
+    }
+
+    #[test]
+    fn unroll_zero_trips_skips_body() {
+        let cfg = while_loop();
+        let u = unroll(&cfg, &[(BlockId(1), 0)]).unwrap();
+        assert!(u.cfg.is_acyclic());
+        let paths = crate::paths::enumerate_paths(&u.cfg, 10).unwrap();
+        assert_eq!(paths.len(), 1);
+        // entry → h0 → exit.
+        assert_eq!(paths[0].blocks.len(), 3);
+    }
+
+    #[test]
+    fn provenance_maps_costs_and_counts() {
+        let cfg = while_loop();
+        let u = unroll(&cfg, &[(BlockId(1), 2)]).unwrap();
+        let bc = [7u64, 11, 13, 17];
+        let mapped = u.map_block_values(&bc);
+        // Total cost of the single path: entry + 3 headers + 2 bodies + exit.
+        let total: u64 = mapped.iter().sum();
+        assert_eq!(total, 7 + 3 * 11 + 2 * 13 + 17);
+
+        // Edge counts fold back: each unrolled edge counts toward its origin.
+        let n_edges = u.cfg.edges().len();
+        let folded = u.fold_edge_counts(&vec![1.0; n_edges], cfg.edges().len());
+        // Original edges: entry→header ×1, header→body ×2, header→exit ×1,
+        // body→header ×2.
+        let edges = cfg.edges();
+        for e in &edges {
+            let expected = match (e.from, e.to) {
+                (BlockId(0), BlockId(1)) => 1.0,
+                (BlockId(1), BlockId(2)) => 2.0,
+                (BlockId(1), BlockId(3)) => 1.0,
+                (BlockId(2), BlockId(1)) => 2.0,
+                _ => unreachable!(),
+            };
+            assert_eq!(folded[e.index], expected, "edge {:?}", e);
+        }
+    }
+
+    #[test]
+    fn nested_counted_loops_unroll_multiplicatively() {
+        // Build: entry → oh; oh ⊃ (ih ⊃ ibody); both counted 2.
+        let cfg = crate::builder::nested_loops();
+        let u = unroll(&cfg, &[(BlockId(1), 2), (BlockId(2), 2)]).unwrap();
+        assert!(u.cfg.validate().is_ok());
+        assert!(u.cfg.is_acyclic());
+        let paths = crate::paths::enumerate_paths(&u.cfg, 10).unwrap();
+        assert_eq!(paths.len(), 1, "fully counted nest has one path");
+        // Inner body runs 2×2 = 4 times.
+        let inner_body_copies = u
+            .orig_block
+            .iter()
+            .filter(|&&b| b == BlockId(3))
+            .count();
+        assert_eq!(inner_body_copies, 4);
+    }
+
+    #[test]
+    fn duration_distribution_matches_deterministic_run() {
+        // After unrolling, the model's duration distribution for the loop
+        // must be a single point at the deterministic path cost.
+        let cfg = while_loop();
+        let bc = [2u64, 3, 10, 1];
+        let u = unroll(&cfg, &[(BlockId(1), 4)]).unwrap();
+        let ubc = u.map_block_values(&bc);
+        let uec = vec![0u64; u.cfg.edges().len()];
+        let probs = BranchProbs::uniform(&u.cfg, 0.5); // no branches remain
+        assert!(probs.is_empty());
+        let paths = crate::paths::enumerate_paths(&u.cfg, 10).unwrap();
+        assert_eq!(paths[0].cost(&ubc), 2 + 5 * 3 + 4 * 10 + 1);
+        let _ = uec;
+    }
+
+    #[test]
+    fn non_header_rejected() {
+        let cfg = while_loop();
+        assert!(matches!(
+            unroll(&cfg, &[(BlockId(0), 3)]),
+            Err(UnrollError::NotALoopHeader { .. })
+        ));
+    }
+
+    #[test]
+    fn budget_enforced() {
+        let cfg = while_loop();
+        assert!(matches!(
+            unroll(&cfg, &[(BlockId(1), 1_000_000)]),
+            Err(UnrollError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn branches_inside_loop_survive_unrolling() {
+        // Loop body containing an if: body entry branches to two sub-blocks
+        // that rejoin before the latch.
+        let mut cfg = Cfg::new("loop_with_if");
+        let entry = cfg.add_block("entry", Terminator::Return);
+        let header = cfg.add_block("header", Terminator::Return);
+        let bcond = cfg.add_block("bcond", Terminator::Return);
+        let bthen = cfg.add_block("bthen", Terminator::Return);
+        let belse = cfg.add_block("belse", Terminator::Return);
+        let latch = cfg.add_block("latch", Terminator::Jump(header));
+        let exit = cfg.add_block("exit", Terminator::Return);
+        cfg.set_terminator(entry, Terminator::Jump(header));
+        cfg.set_terminator(header, Terminator::Branch { on_true: bcond, on_false: exit });
+        cfg.set_terminator(bcond, Terminator::Branch { on_true: bthen, on_false: belse });
+        cfg.set_terminator(bthen, Terminator::Jump(latch));
+        cfg.set_terminator(belse, Terminator::Jump(latch));
+        assert!(cfg.validate().is_ok());
+
+        let u = unroll(&cfg, &[(header, 3)]).unwrap();
+        assert!(u.cfg.validate().is_ok());
+        assert!(u.cfg.is_acyclic());
+        // Three copies of the inner branch remain.
+        assert_eq!(u.cfg.branch_blocks().len(), 3);
+        // 2^3 paths.
+        assert_eq!(crate::paths::count_paths(&u.cfg), 8);
+    }
+}

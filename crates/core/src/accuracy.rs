@@ -1,0 +1,122 @@
+//! Scoring estimated profiles against ground truth.
+
+use ct_cfg::graph::Cfg;
+use ct_cfg::profile::{BranchProbs, EdgeProfile};
+use ct_stats::metrics;
+
+/// Accuracy of an estimated branch-probability vector.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AccuracyReport {
+    /// Mean absolute error over branches.
+    pub mae: f64,
+    /// Root-mean-square error over branches.
+    pub rmse: f64,
+    /// Worst single-branch error.
+    pub max_err: f64,
+    /// MAE weighted by how often each branch executes (errors on hot
+    /// branches matter more for placement).
+    pub weighted_mae: f64,
+    /// Number of branches compared.
+    pub n_branches: usize,
+}
+
+/// Compares estimated probabilities to ground truth, weighting by the branch
+/// blocks' execution counts implied by `truth_profile`.
+///
+/// Returns a zeroed report for branchless procedures.
+///
+/// # Panics
+///
+/// Panics if the probability vectors do not match `cfg`.
+pub fn compare(
+    cfg: &Cfg,
+    estimated: &BranchProbs,
+    truth: &BranchProbs,
+    truth_profile: &EdgeProfile,
+    invocations: u64,
+) -> AccuracyReport {
+    let est = estimated.as_slice();
+    let tru = truth.as_slice();
+    assert_eq!(est.len(), tru.len(), "branch count mismatch");
+    if est.is_empty() {
+        return AccuracyReport::default();
+    }
+    let visits = truth_profile.block_visits(cfg, invocations);
+    let weights: Vec<f64> =
+        truth.blocks().iter().map(|b| visits[b.index()] as f64).collect();
+    AccuracyReport {
+        mae: metrics::mae(est, tru),
+        rmse: metrics::rmse(est, tru),
+        max_err: metrics::max_abs_error(est, tru),
+        weighted_mae: metrics::weighted_mae(est, tru, &weights),
+        n_branches: est.len(),
+    }
+}
+
+/// Compares probability vectors directly with uniform weights (when no
+/// profile is available, e.g. synthetic sweeps).
+///
+/// # Panics
+///
+/// Panics if the vectors differ in length.
+pub fn compare_unweighted(estimated: &BranchProbs, truth: &BranchProbs) -> AccuracyReport {
+    let est = estimated.as_slice();
+    let tru = truth.as_slice();
+    assert_eq!(est.len(), tru.len(), "branch count mismatch");
+    if est.is_empty() {
+        return AccuracyReport::default();
+    }
+    AccuracyReport {
+        mae: metrics::mae(est, tru),
+        rmse: metrics::rmse(est, tru),
+        max_err: metrics::max_abs_error(est, tru),
+        weighted_mae: metrics::mae(est, tru),
+        n_branches: est.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_cfg::builder::diamond;
+
+    #[test]
+    fn perfect_estimate_scores_zero() {
+        let cfg = diamond();
+        let truth = BranchProbs::from_vec(&cfg, vec![0.7]);
+        let prof = EdgeProfile::from_counts(&cfg, vec![70, 30, 70, 30]);
+        let r = compare(&cfg, &truth.clone(), &truth, &prof, 100);
+        assert_eq!(r.mae, 0.0);
+        assert_eq!(r.max_err, 0.0);
+        assert_eq!(r.n_branches, 1);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let cfg = diamond();
+        let truth = BranchProbs::from_vec(&cfg, vec![0.7]);
+        let est = BranchProbs::from_vec(&cfg, vec![0.6]);
+        let prof = EdgeProfile::from_counts(&cfg, vec![70, 30, 70, 30]);
+        let r = compare(&cfg, &est, &truth, &prof, 100);
+        assert!((r.mae - 0.1).abs() < 1e-12);
+        assert!((r.weighted_mae - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unweighted_comparison() {
+        let cfg = diamond();
+        let truth = BranchProbs::from_vec(&cfg, vec![0.5]);
+        let est = BranchProbs::from_vec(&cfg, vec![0.9]);
+        let r = compare_unweighted(&est, &truth);
+        assert!((r.mae - 0.4).abs() < 1e-12);
+        assert!((r.rmse - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn branchless_reports_zeroes() {
+        let cfg = ct_cfg::builder::linear(2);
+        let truth = BranchProbs::uniform(&cfg, 0.5);
+        let r = compare_unweighted(&truth.clone(), &truth);
+        assert_eq!(r, AccuracyReport::default());
+    }
+}

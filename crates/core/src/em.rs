@@ -1,0 +1,374 @@
+//! The Code Tomography EM estimator.
+//!
+//! Maximum-likelihood estimation of the Markov branch parameters from
+//! end-to-end timing observations, by expectation–maximization over the
+//! time-expanded chain:
+//!
+//! - **E-step** ([`crate::fb::e_step`]): posterior expected traversal counts
+//!   of every CFG edge given the observed (quantized) durations under the
+//!   current parameters.
+//! - **M-step**: each branch's probability is re-estimated as expected true
+//!   traversals over expected visits.
+//!
+//! This is Baum–Welch on a semi-Markov chain whose emissions are cycle
+//! costs, observed through the timer's quantization kernel.
+
+use crate::fb::{e_step, FbError, FbParams};
+use crate::samples::TimingSamples;
+use ct_cfg::graph::{Cfg, EdgeKind};
+use ct_cfg::profile::BranchProbs;
+
+/// EM configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmOptions {
+    /// Iteration cap.
+    pub max_iter: usize,
+    /// Convergence threshold on the max parameter change.
+    pub tol: f64,
+    /// Probabilities are clamped into `[min_prob, 1 − min_prob]` to keep
+    /// likelihoods finite (a branch never observed taken stays estimable).
+    pub min_prob: f64,
+    /// Symmetric Dirichlet pseudo-count per branch side (MAP-EM). `0.0` is
+    /// plain maximum likelihood; small positive values (e.g. `1.0`) shrink
+    /// low-sample estimates toward ½ and stabilize rarely-executed branches.
+    pub prior_strength: f64,
+    /// Dynamic-programming controls.
+    pub fb: FbParams,
+}
+
+impl Default for EmOptions {
+    fn default() -> Self {
+        EmOptions {
+            max_iter: 100,
+            tol: 1e-5,
+            min_prob: 1e-4,
+            prior_strength: 0.0,
+            fb: FbParams::default(),
+        }
+    }
+}
+
+/// The outcome of an EM run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmResult {
+    /// Estimated branch probabilities.
+    pub probs: BranchProbs,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Final log-likelihood of the explained samples.
+    pub loglik: f64,
+    /// Whether the parameter change fell below tolerance.
+    pub converged: bool,
+    /// Samples the model could not explain at the final parameters.
+    pub unexplained: usize,
+    /// Posterior expected traversal counts per edge at the final E-step
+    /// (summed over samples; used to fold unrolled-CFG estimates back).
+    pub edge_counts: Vec<f64>,
+}
+
+/// Estimates branch probabilities by EM, starting from the uninformative
+/// `θ = 0.5`.
+///
+/// # Errors
+///
+/// Propagates [`FbError`] from the dynamic programs.
+pub fn estimate_em(
+    cfg: &Cfg,
+    block_costs: &[u64],
+    edge_costs: &[u64],
+    samples: &TimingSamples,
+    opts: EmOptions,
+) -> Result<EmResult, FbError> {
+    estimate_em_from(cfg, block_costs, edge_costs, samples, BranchProbs::uniform(cfg, 0.5), opts)
+}
+
+/// Estimates branch probabilities by EM from an explicit starting point
+/// (used for restarts and warm starts).
+///
+/// # Errors
+///
+/// Propagates [`FbError`] from the dynamic programs.
+pub fn estimate_em_from(
+    cfg: &Cfg,
+    block_costs: &[u64],
+    edge_costs: &[u64],
+    samples: &TimingSamples,
+    init: BranchProbs,
+    opts: EmOptions,
+) -> Result<EmResult, FbError> {
+    let edges = cfg.edges();
+    let branch_blocks = cfg.branch_blocks();
+    // Per branch block: (true edge index, false edge index).
+    let branch_edges: Vec<(usize, usize)> = branch_blocks
+        .iter()
+        .map(|&bb| {
+            let t = edges
+                .iter()
+                .find(|e| e.from == bb && e.kind == EdgeKind::BranchTrue)
+                .expect("branch has true edge")
+                .index;
+            let f = edges
+                .iter()
+                .find(|e| e.from == bb && e.kind == EdgeKind::BranchFalse)
+                .expect("branch has false edge")
+                .index;
+            (t, f)
+        })
+        .collect();
+
+    let mut probs = init;
+    let mut loglik = f64::NEG_INFINITY;
+    let mut unexplained = 0;
+    let mut converged = false;
+    let mut iterations = 0;
+
+    if branch_blocks.is_empty() || samples.is_empty() {
+        // Nothing to estimate; still report the likelihood once.
+        let (exp, _) = e_step(cfg, block_costs, edge_costs, &probs, samples, opts.fb)?;
+        return Ok(EmResult {
+            probs,
+            iterations: 0,
+            loglik: exp.loglik,
+            converged: true,
+            unexplained: exp.unexplained,
+            edge_counts: exp.counts,
+        });
+    }
+
+    let mut edge_counts = vec![0.0; edges.len()];
+    for iter in 0..opts.max_iter {
+        iterations = iter + 1;
+        let (exp, _) = e_step(cfg, block_costs, edge_costs, &probs, samples, opts.fb)?;
+        loglik = exp.loglik;
+        unexplained = exp.unexplained;
+        edge_counts = exp.counts.clone();
+
+        let mut max_delta: f64 = 0.0;
+        let mut next = probs.clone();
+        for (i, &bb) in branch_blocks.iter().enumerate() {
+            let (ti, fi) = branch_edges[i];
+            // MAP with a symmetric Beta(1+a, 1+a) prior: add `a` pseudo-counts
+            // to each side (a = 0 recovers plain maximum likelihood).
+            let a = opts.prior_strength.max(0.0);
+            let nt = edge_counts[ti] + a;
+            let nf = edge_counts[fi] + a;
+            let total = nt + nf;
+            if total <= 0.0 {
+                continue; // branch unreachable under current data
+            }
+            let theta = (nt / total).clamp(opts.min_prob, 1.0 - opts.min_prob);
+            let old = probs.prob_true(bb).expect("branch block");
+            max_delta = max_delta.max((theta - old).abs());
+            next.set_prob_true(bb, theta);
+        }
+        probs = next;
+        if max_delta < opts.tol {
+            converged = true;
+            break;
+        }
+    }
+
+    Ok(EmResult { probs, iterations, loglik, converged, unexplained, edge_counts })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_cfg::builder::{diamond, diamond_chain, while_loop};
+    use ct_cfg::graph::BlockId;
+    use ct_markov::chain_from_cfg;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Generates synthetic tick samples from the true model.
+    fn synth_samples(
+        cfg: &ct_cfg::graph::Cfg,
+        block_costs: &[u64],
+        edge_costs: &[u64],
+        truth: &BranchProbs,
+        n: usize,
+        cpt: u64,
+        seed: u64,
+    ) -> TimingSamples {
+        // Fold edge costs into a sampling walk: easiest is a manual walk.
+        let chain = chain_from_cfg(cfg, truth).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let edges = cfg.edges();
+        let mut ticks = Vec::with_capacity(n);
+        for i in 0..n {
+            // Walk the chain, summing block + edge costs.
+            let run = ct_markov::sample_run(&chain, cfg.entry().index(), &mut rng, 100_000)
+                .expect("absorbing");
+            let mut d: u64 = run.iter().map(|&b| block_costs[b]).sum();
+            for w in run.windows(2) {
+                let e = edges
+                    .iter()
+                    .find(|e| e.from.index() == w[0] && e.to.index() == w[1])
+                    .expect("edge");
+                d += edge_costs[e.index];
+            }
+            // Random phase quantization.
+            let phase = (i as u64 * 7919) % cpt;
+            ticks.push((phase + d) / cpt - phase / cpt);
+        }
+        TimingSamples::new(ticks, cpt)
+    }
+
+    #[test]
+    fn recovers_diamond_probability_cycle_accurate() {
+        let cfg = diamond();
+        let bc = vec![10, 100, 200, 5];
+        let ec = vec![1, 2, 0, 0];
+        let truth = BranchProbs::from_vec(&cfg, vec![0.8]);
+        let samples = synth_samples(&cfg, &bc, &ec, &truth, 2000, 1, 1);
+        let r = estimate_em(&cfg, &bc, &ec, &samples, EmOptions::default()).unwrap();
+        let est = r.probs.as_slice()[0];
+        assert!((est - 0.8).abs() < 0.03, "estimated {est}");
+        assert!(r.converged);
+        assert_eq!(r.unexplained, 0);
+    }
+
+    #[test]
+    fn recovers_diamond_probability_under_quantization() {
+        let cfg = diamond();
+        let bc = vec![10, 100, 200, 5];
+        let ec = vec![1, 2, 0, 0];
+        let truth = BranchProbs::from_vec(&cfg, vec![0.3]);
+        // cpt = 244 is coarser than both path durations (116 / 217 cycles):
+        // most samples are 0 or 1 ticks, yet the fractional split still
+        // identifies the mixture.
+        let samples = synth_samples(&cfg, &bc, &ec, &truth, 4000, 244, 2);
+        let r = estimate_em(&cfg, &bc, &ec, &samples, EmOptions::default()).unwrap();
+        let est = r.probs.as_slice()[0];
+        assert!((est - 0.3).abs() < 0.06, "estimated {est}");
+    }
+
+    #[test]
+    fn recovers_loop_continuation_probability() {
+        let cfg = while_loop();
+        let bc = vec![2, 3, 10, 1];
+        let ec = vec![0; cfg.edges().len()];
+        let truth = BranchProbs::from_vec(&cfg, vec![0.7]);
+        let samples = synth_samples(&cfg, &bc, &ec, &truth, 1500, 1, 3);
+        let r = estimate_em(&cfg, &bc, &ec, &samples, EmOptions::default()).unwrap();
+        let est = r.probs.prob_true(BlockId(1)).unwrap();
+        assert!((est - 0.7).abs() < 0.03, "estimated {est}");
+    }
+
+    #[test]
+    fn recovers_multiple_branches() {
+        let cfg = diamond_chain(3);
+        // Distinct arm costs make all three branches identifiable.
+        let bc = vec![10, 50, 90, 8, 120, 30, 12, 200, 70, 5];
+        let ec = vec![0; cfg.edges().len()];
+        let truth = BranchProbs::from_vec(&cfg, vec![0.9, 0.4, 0.65]);
+        let samples = synth_samples(&cfg, &bc, &ec, &truth, 4000, 1, 4);
+        let r = estimate_em(&cfg, &bc, &ec, &samples, EmOptions::default()).unwrap();
+        for (est, tru) in r.probs.as_slice().iter().zip(truth.as_slice()) {
+            assert!((est - tru).abs() < 0.05, "{:?} vs {:?}", r.probs, truth);
+        }
+    }
+
+    #[test]
+    fn branchless_cfg_is_trivially_converged() {
+        let cfg = ct_cfg::builder::linear(3);
+        let bc = vec![5, 6, 7];
+        let ec = vec![0, 0];
+        let samples = TimingSamples::new(vec![18, 18], 1);
+        let r = estimate_em(&cfg, &bc, &ec, &samples, EmOptions::default()).unwrap();
+        assert!(r.converged);
+        assert_eq!(r.iterations, 0);
+        assert!(r.probs.is_empty());
+    }
+
+    #[test]
+    fn empty_samples_return_prior() {
+        let cfg = diamond();
+        let bc = vec![10, 100, 200, 5];
+        let ec = vec![0; 4];
+        let samples = TimingSamples::new(vec![], 1);
+        let r = estimate_em(&cfg, &bc, &ec, &samples, EmOptions::default()).unwrap();
+        assert_eq!(r.probs.as_slice()[0], 0.5);
+    }
+
+    #[test]
+    fn loglik_increases_monotonically() {
+        // EM guarantee: run a few fixed iteration counts and compare.
+        let cfg = diamond();
+        let bc = vec![10, 100, 200, 5];
+        let ec = vec![0; 4];
+        let truth = BranchProbs::from_vec(&cfg, vec![0.85]);
+        let samples = synth_samples(&cfg, &bc, &ec, &truth, 500, 1, 5);
+        let mut last = f64::NEG_INFINITY;
+        for iters in [1, 2, 4, 8] {
+            let opts = EmOptions { max_iter: iters, tol: 0.0, ..Default::default() };
+            let r = estimate_em(&cfg, &bc, &ec, &samples, opts).unwrap();
+            assert!(r.loglik >= last - 1e-9, "loglik decreased: {} -> {}", last, r.loglik);
+            last = r.loglik;
+        }
+    }
+
+    #[test]
+    fn prior_shrinks_small_samples_toward_half() {
+        let cfg = diamond();
+        let bc = vec![10, 100, 200, 5];
+        let ec = vec![0; 4];
+        // Tiny, extreme sample: 5 fast observations only.
+        let samples = TimingSamples::new(vec![115; 5], 1);
+        let ml = estimate_em(&cfg, &bc, &ec, &samples, EmOptions::default()).unwrap();
+        let map = estimate_em(
+            &cfg,
+            &bc,
+            &ec,
+            &samples,
+            EmOptions { prior_strength: 2.0, ..Default::default() },
+        )
+        .unwrap();
+        let p_ml = ml.probs.as_slice()[0];
+        let p_map = map.probs.as_slice()[0];
+        assert!(p_ml > 0.99, "ML saturates: {p_ml}");
+        // MAP: (5+2)/(5+4) ≈ 0.778 — shrunk toward the prior.
+        assert!((p_map - 7.0 / 9.0).abs() < 1e-6, "{p_map}");
+    }
+
+    #[test]
+    fn zero_prior_is_plain_ml() {
+        let cfg = diamond();
+        let bc = vec![10, 100, 200, 5];
+        let ec = vec![0; 4];
+        let mut ticks = vec![115u64; 70];
+        ticks.extend(vec![215u64; 30]);
+        let samples = TimingSamples::new(ticks, 1);
+        let a = estimate_em(&cfg, &bc, &ec, &samples, EmOptions::default()).unwrap();
+        let b = estimate_em(
+            &cfg,
+            &bc,
+            &ec,
+            &samples,
+            EmOptions { prior_strength: 0.0, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(a.probs, b.probs);
+    }
+
+    #[test]
+    fn warm_start_converges_faster() {
+        let cfg = diamond();
+        let bc = vec![10, 100, 200, 5];
+        let ec = vec![0; 4];
+        let truth = BranchProbs::from_vec(&cfg, vec![0.8]);
+        let samples = synth_samples(&cfg, &bc, &ec, &truth, 1000, 1, 6);
+        let cold = estimate_em(&cfg, &bc, &ec, &samples, EmOptions::default()).unwrap();
+        let warm = estimate_em_from(
+            &cfg,
+            &bc,
+            &ec,
+            &samples,
+            truth.clone(),
+            EmOptions::default(),
+        )
+        .unwrap();
+        assert!(warm.iterations <= cold.iterations);
+        assert!((warm.probs.as_slice()[0] - cold.probs.as_slice()[0]).abs() < 0.01);
+    }
+}

@@ -1,0 +1,329 @@
+//! The estimator front door: method selection and a uniform result type.
+
+use crate::em::EmOptions;
+use crate::fb::FbError;
+use crate::flow_nnls::{estimate_flow, FlowError};
+use crate::moments::{estimate_moments, MomentsError, MomentsOptions};
+use crate::samples::TimingSamples;
+use ct_cfg::graph::Cfg;
+use ct_cfg::profile::BranchProbs;
+use std::error::Error;
+use std::fmt;
+
+/// Which estimation algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Exact EM over the time-expanded chain (default; most accurate).
+    Em,
+    /// EM on a counted-loop-unrolled model with tied copy parameters
+    /// (compiler-assisted; see [`crate::unrolled`]).
+    EmUnrolled,
+    /// Mean/variance matching (cheap fallback for path-explosive CFGs).
+    Moments,
+    /// Flow-constrained NNLS on the mean (linear inverse baseline).
+    FlowMean,
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Method::Em => "em",
+            Method::EmUnrolled => "em+unroll",
+            Method::Moments => "moments",
+            Method::FlowMean => "flow-mean",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Estimation configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EstimateOptions {
+    /// Forced method; `None` selects EM with automatic fallback to moments
+    /// when the time-expanded support explodes.
+    pub method: Option<Method>,
+    /// EM controls.
+    pub em: EmOptions,
+    /// Moments controls.
+    pub moments: MomentsOptions,
+    /// Extra random EM restarts beyond the moments-warm start (the best
+    /// final likelihood wins). Coarse timers create mirror local optima when
+    /// arm-cost differences are sub-tick; restarts are the standard cure.
+    pub restarts: usize,
+}
+
+impl Default for EstimateOptions {
+    fn default() -> Self {
+        EstimateOptions {
+            method: None,
+            em: EmOptions::default(),
+            moments: MomentsOptions::default(),
+            restarts: 2,
+        }
+    }
+}
+
+/// A branch-probability estimate with provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Estimate {
+    /// The estimated parameters.
+    pub probs: BranchProbs,
+    /// The method that produced them.
+    pub method: Method,
+    /// Iterations/sweeps the method used.
+    pub iterations: usize,
+    /// Log-likelihood (EM only).
+    pub loglik: Option<f64>,
+    /// Samples the model could not explain (EM only).
+    pub unexplained: usize,
+}
+
+/// Estimation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EstimateError {
+    /// EM failed.
+    Em(FbError),
+    /// Moments failed.
+    Moments(MomentsError),
+    /// Flow failed.
+    Flow(FlowError),
+}
+
+impl fmt::Display for EstimateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EstimateError::Em(e) => write!(f, "em estimator: {e}"),
+            EstimateError::Moments(e) => write!(f, "moments estimator: {e}"),
+            EstimateError::Flow(e) => write!(f, "flow estimator: {e}"),
+        }
+    }
+}
+
+impl Error for EstimateError {}
+
+/// Estimates a procedure's branch probabilities from end-to-end timing
+/// samples — the Code Tomography entry point.
+///
+/// With `method: None`, runs EM and falls back to moment matching when the
+/// time-expanded dynamic program exceeds its budget.
+///
+/// # Errors
+///
+/// Returns the underlying method's error.
+///
+/// # Examples
+///
+/// ```
+/// use ct_cfg::builder::diamond;
+/// use ct_core::estimator::{estimate, EstimateOptions};
+/// use ct_core::samples::TimingSamples;
+///
+/// let cfg = diamond();
+/// let block_costs = [10, 100, 200, 5];
+/// let edge_costs = [0, 0, 0, 0];
+/// // 80% of runs take the fast (115-cycle) path.
+/// let mut ticks = vec![115u64; 80];
+/// ticks.extend(vec![215u64; 20]);
+/// let samples = TimingSamples::new(ticks, 1);
+/// let est = estimate(&cfg, &block_costs, &edge_costs, &samples,
+///                    EstimateOptions::default()).unwrap();
+/// assert!((est.probs.as_slice()[0] - 0.8).abs() < 0.01);
+/// ```
+pub fn estimate(
+    cfg: &Cfg,
+    block_costs: &[u64],
+    edge_costs: &[u64],
+    samples: &TimingSamples,
+    opts: EstimateOptions,
+) -> Result<Estimate, EstimateError> {
+    match opts.method {
+        Some(Method::Em) | Some(Method::EmUnrolled) => {
+            run_em(cfg, block_costs, edge_costs, samples, opts).map_err(EstimateError::Em)
+        }
+        Some(Method::Moments) => run_moments(cfg, block_costs, edge_costs, samples, opts)
+            .map_err(EstimateError::Moments),
+        Some(Method::FlowMean) => {
+            let r = estimate_flow(cfg, block_costs, edge_costs, samples)
+                .map_err(EstimateError::Flow)?;
+            Ok(Estimate {
+                probs: r.probs,
+                method: Method::FlowMean,
+                iterations: 1,
+                loglik: None,
+                unexplained: 0,
+            })
+        }
+        None => match run_em(cfg, block_costs, edge_costs, samples, opts) {
+            Ok(e) => Ok(e),
+            Err(FbError::SupportExplosion { .. }) => {
+                run_moments(cfg, block_costs, edge_costs, samples, opts)
+                    .map_err(EstimateError::Moments)
+            }
+            Err(e) => Err(EstimateError::Em(e)),
+        },
+    }
+}
+
+fn run_em(
+    cfg: &Cfg,
+    block_costs: &[u64],
+    edge_costs: &[u64],
+    samples: &TimingSamples,
+    opts: EstimateOptions,
+) -> Result<Estimate, FbError> {
+    // Warm-start from a cheap moments fit: long loops at the uniform prior
+    // make long observed durations exponentially unlikely (they fall below
+    // the DP's pruning threshold and EM cannot move); starting near the
+    // right mean fixes that. Clamp away from 1 so loop supports stay finite.
+    let moments_init = match estimate_moments(cfg, block_costs, edge_costs, samples, opts.moments)
+    {
+        Ok(m) => {
+            let mut init = m.probs;
+            for bb in init.blocks().to_vec() {
+                let p = init.prob_true(bb).expect("branch block");
+                init.set_prob_true(bb, p.clamp(0.02, 0.98));
+            }
+            init
+        }
+        Err(_) => ct_cfg::profile::BranchProbs::uniform(cfg, 0.5),
+    };
+
+    // Candidate starting points: the moments fit plus seeded random probes.
+    let mut inits = vec![moments_init];
+    let mut state = 0x0C0D_E70Au64;
+    for _ in 0..opts.restarts {
+        let mut init = ct_cfg::profile::BranchProbs::uniform(cfg, 0.5);
+        for bb in init.blocks().to_vec() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+            init.set_prob_true(bb, 0.1 + 0.8 * u);
+        }
+        inits.push(init);
+    }
+
+    let mut best: Option<crate::em::EmResult> = None;
+    let mut last_err = None;
+    for init in inits {
+        match crate::em::estimate_em_from(cfg, block_costs, edge_costs, samples, init, opts.em) {
+            Ok(r) => {
+                // Fewer rejected samples first, then the higher likelihood.
+                let better = match &best {
+                    None => true,
+                    Some(b) => {
+                        (r.unexplained, std::cmp::Reverse(r.loglik))
+                            < (b.unexplained, std::cmp::Reverse(b.loglik))
+                    }
+                };
+                if better {
+                    best = Some(r);
+                }
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    let r = match best {
+        Some(r) => r,
+        None => return Err(last_err.expect("at least one attempt ran")),
+    };
+    Ok(Estimate {
+        probs: r.probs,
+        method: Method::Em,
+        iterations: r.iterations,
+        loglik: Some(r.loglik),
+        unexplained: r.unexplained,
+    })
+}
+
+fn run_moments(
+    cfg: &Cfg,
+    block_costs: &[u64],
+    edge_costs: &[u64],
+    samples: &TimingSamples,
+    opts: EstimateOptions,
+) -> Result<Estimate, MomentsError> {
+    let r = estimate_moments(cfg, block_costs, edge_costs, samples, opts.moments)?;
+    Ok(Estimate {
+        probs: r.probs,
+        method: Method::Moments,
+        iterations: r.sweeps,
+        loglik: None,
+        unexplained: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fb::FbParams;
+    use ct_cfg::builder::{diamond, while_loop};
+
+    fn diamond_samples(p_fast: f64, n: usize) -> (ct_cfg::graph::Cfg, Vec<u64>, Vec<u64>, TimingSamples) {
+        let cfg = diamond();
+        let bc = vec![10u64, 100, 200, 5];
+        let ec = vec![0u64; 4];
+        let n_fast = (n as f64 * p_fast) as usize;
+        let mut ticks = vec![115u64; n_fast];
+        ticks.extend(vec![215u64; n - n_fast]);
+        (cfg, bc, ec, TimingSamples::new(ticks, 1))
+    }
+
+    #[test]
+    fn default_runs_em() {
+        let (cfg, bc, ec, samples) = diamond_samples(0.6, 100);
+        let e = estimate(&cfg, &bc, &ec, &samples, EstimateOptions::default()).unwrap();
+        assert_eq!(e.method, Method::Em);
+        assert!(e.loglik.is_some());
+        assert!((e.probs.as_slice()[0] - 0.6).abs() < 0.01);
+    }
+
+    #[test]
+    fn forced_methods_all_work() {
+        let (cfg, bc, ec, samples) = diamond_samples(0.7, 200);
+        for m in [Method::Em, Method::Moments, Method::FlowMean] {
+            let opts = EstimateOptions { method: Some(m), ..Default::default() };
+            let e = estimate(&cfg, &bc, &ec, &samples, opts).unwrap();
+            assert_eq!(e.method, m);
+            assert!(
+                (e.probs.as_slice()[0] - 0.7).abs() < 0.05,
+                "{m}: {:?}",
+                e.probs
+            );
+        }
+    }
+
+    #[test]
+    fn auto_falls_back_to_moments_on_explosion() {
+        let cfg = while_loop();
+        let bc = vec![2u64, 3, 10, 1];
+        let ec = vec![0u64; cfg.edges().len()];
+        // Long loop: q=0.9 → durations far out; strangle the DP budget so EM
+        // cannot run.
+        let mut ticks = Vec::new();
+        for k in 0..60u64 {
+            let copies = (2000.0 * 0.9f64.powi(k as i32) * 0.1) as usize;
+            if copies > 0 {
+                ticks.push(6 + 13 * k);
+                ticks.extend(vec![6 + 13 * k; copies - 1]);
+            }
+        }
+        let samples = TimingSamples::new(ticks, 1);
+        let mut opts = EstimateOptions::default();
+        opts.em.fb = FbParams { mass_eps: 1e-12, max_entries: 3 };
+        let e = estimate(&cfg, &bc, &ec, &samples, opts).unwrap();
+        assert_eq!(e.method, Method::Moments);
+        let est = e.probs.prob_true(ct_cfg::graph::BlockId(1)).unwrap();
+        assert!((est - 0.9).abs() < 0.05, "estimated {est}");
+    }
+
+    #[test]
+    fn method_display() {
+        assert_eq!(Method::Em.to_string(), "em");
+        assert_eq!(Method::FlowMean.to_string(), "flow-mean");
+    }
+
+    #[test]
+    fn error_display() {
+        let e = EstimateError::Moments(MomentsError::NoSamples);
+        assert!(e.to_string().contains("moments"));
+    }
+}

@@ -1,0 +1,478 @@
+//! Forward–backward analysis of the per-procedure Markov chain over the
+//! time-expanded state space.
+//!
+//! This is the inference engine behind the EM estimator. For the chain with
+//! parameters `θ` and static block/edge cycle costs:
+//!
+//! - the **forward** table `f(b, t)` is the probability of arriving at block
+//!   `b` (before executing it) having consumed exactly `t` cycles;
+//! - the **backward** table `g(b, t)` is the probability that the total
+//!   remaining duration (including executing `b`) is exactly `t`.
+//!
+//! The procedure's duration distribution is `g(entry, ·)`, and the posterior
+//! expected traversal count of edge `(u → v)` given an observed duration
+//! decomposes as `p_e · Σ_t f(u,t) · g(v, d − t − c_u − c_e) / D(d)` — the
+//! Baum–Welch statistics, computed here against the quantization kernel so
+//! coarse-timer observations are handled exactly.
+
+use crate::quantize::{duration_window, tick_likelihood};
+use crate::samples::TimingSamples;
+use ct_cfg::graph::{BlockId, Cfg, Terminator};
+use ct_cfg::profile::BranchProbs;
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Tuning knobs for the time-expanded dynamic programs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FbParams {
+    /// Probability mass below which a DP entry is dropped (and accounted as
+    /// truncated).
+    pub mass_eps: f64,
+    /// Cap on total `(block, time)` expansions per dynamic program
+    /// (runaway-loop guard).
+    pub max_entries: usize,
+}
+
+impl Default for FbParams {
+    fn default() -> Self {
+        FbParams { mass_eps: 1e-9, max_entries: 4_000_000 }
+    }
+}
+
+/// Failure of the time-expanded DP.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FbError {
+    /// The DP exceeded its entry budget (loop continuation probability too
+    /// close to 1 for the requested precision).
+    SupportExplosion {
+        /// The configured entry cap.
+        max_entries: usize,
+    },
+    /// The CFG/probability inputs were inconsistent (e.g. cost vector length
+    /// mismatch).
+    Shape(String),
+}
+
+impl fmt::Display for FbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FbError::SupportExplosion { max_entries } => {
+                write!(f, "time-expanded DP exceeded {max_entries} entries")
+            }
+            FbError::Shape(msg) => write!(f, "shape error: {msg}"),
+        }
+    }
+}
+
+impl Error for FbError {}
+
+/// Sparse probability table per block: sorted `(cycles, probability)` pairs.
+pub type SparsePmf = Vec<(u64, f64)>;
+
+/// Forward and backward tables for one parameter vector.
+#[derive(Debug, Clone)]
+pub struct FbTables {
+    /// `forward[b]`: arrival distribution at block `b`.
+    pub forward: Vec<SparsePmf>,
+    /// `backward[b]`: remaining-duration distribution from block `b`.
+    pub backward: Vec<SparsePmf>,
+    /// Probability mass lost to `mass_eps` pruning (upper bound across DPs).
+    pub truncated: f64,
+}
+
+impl FbTables {
+    /// The procedure's end-to-end duration distribution (`g(entry, ·)`).
+    pub fn duration_pmf(&self, cfg: &Cfg) -> &SparsePmf {
+        &self.backward[cfg.entry().index()]
+    }
+}
+
+/// Computes forward and backward tables.
+///
+/// # Errors
+///
+/// [`FbError::SupportExplosion`] when pruning cannot contain the DP, and
+/// [`FbError::Shape`] for mismatched cost vectors.
+pub fn compute_tables(
+    cfg: &Cfg,
+    block_costs: &[u64],
+    edge_costs: &[u64],
+    probs: &BranchProbs,
+    params: FbParams,
+) -> Result<FbTables, FbError> {
+    if block_costs.len() != cfg.len() {
+        return Err(FbError::Shape(format!(
+            "expected {} block costs, got {}",
+            cfg.len(),
+            block_costs.len()
+        )));
+    }
+    if edge_costs.len() != cfg.edges().len() {
+        return Err(FbError::Shape(format!(
+            "expected {} edge costs, got {}",
+            cfg.edges().len(),
+            edge_costs.len()
+        )));
+    }
+    let edge_probs = probs.edge_probs(cfg);
+    let out_edges = collect_out_edges(cfg);
+
+    let mut truncated = 0.0;
+    let forward = forward_table(
+        cfg,
+        block_costs,
+        edge_costs,
+        &edge_probs,
+        &out_edges,
+        params,
+        &mut truncated,
+    )?;
+    let mut backward = Vec::with_capacity(cfg.len());
+    for b in cfg.block_ids() {
+        backward.push(remaining_pmf(
+            cfg,
+            b,
+            block_costs,
+            edge_costs,
+            &edge_probs,
+            &out_edges,
+            params,
+            &mut truncated,
+        )?);
+    }
+    Ok(FbTables { forward, backward, truncated })
+}
+
+/// Out-edges per block: `(edge_index, to)`.
+fn collect_out_edges(cfg: &Cfg) -> Vec<Vec<(usize, BlockId)>> {
+    let mut out = vec![Vec::new(); cfg.len()];
+    for e in cfg.edges() {
+        out[e.from.index()].push((e.index, e.to));
+    }
+    out
+}
+
+fn forward_table(
+    cfg: &Cfg,
+    block_costs: &[u64],
+    edge_costs: &[u64],
+    edge_probs: &[f64],
+    out_edges: &[Vec<(usize, BlockId)>],
+    params: FbParams,
+    truncated: &mut f64,
+) -> Result<Vec<SparsePmf>, FbError> {
+    let n = cfg.len();
+    let mut acc: Vec<BTreeMap<u64, f64>> = vec![BTreeMap::new(); n];
+    let mut frontier: BTreeMap<(usize, u64), f64> = BTreeMap::new();
+    frontier.insert((cfg.entry().index(), 0), 1.0);
+    acc[cfg.entry().index()].insert(0, 1.0);
+    let mut processed: usize = 0;
+
+    while !frontier.is_empty() {
+        processed += frontier.len();
+        if processed > params.max_entries {
+            return Err(FbError::SupportExplosion { max_entries: params.max_entries });
+        }
+        let mut next: BTreeMap<(usize, u64), f64> = BTreeMap::new();
+        for ((b, t), mass) in frontier {
+            if matches!(cfg.block(BlockId(b as u32)).term, Terminator::Return) {
+                continue; // absorbed; arrival already recorded
+            }
+            for &(ei, v) in &out_edges[b] {
+                let p = edge_probs[ei];
+                if p <= 0.0 {
+                    continue;
+                }
+                let m = mass * p;
+                if m < params.mass_eps {
+                    *truncated += m;
+                    continue;
+                }
+                let t2 = t + block_costs[b] + edge_costs[ei];
+                *next.entry((v.index(), t2)).or_insert(0.0) += m;
+                *acc[v.index()].entry(t2).or_insert(0.0) += m;
+            }
+        }
+        frontier = next;
+    }
+    Ok(acc.into_iter().map(|m| m.into_iter().collect()).collect())
+}
+
+/// Distribution of total remaining duration from `start` (including
+/// executing `start`).
+#[allow(clippy::too_many_arguments)]
+fn remaining_pmf(
+    cfg: &Cfg,
+    start: BlockId,
+    block_costs: &[u64],
+    edge_costs: &[u64],
+    edge_probs: &[f64],
+    out_edges: &[Vec<(usize, BlockId)>],
+    params: FbParams,
+    truncated: &mut f64,
+) -> Result<SparsePmf, FbError> {
+    let mut result: BTreeMap<u64, f64> = BTreeMap::new();
+    let mut frontier: BTreeMap<(usize, u64), f64> = BTreeMap::new();
+    frontier.insert((start.index(), 0), 1.0);
+    let mut processed: usize = 0;
+
+    while !frontier.is_empty() {
+        processed += frontier.len();
+        if processed > params.max_entries {
+            return Err(FbError::SupportExplosion { max_entries: params.max_entries });
+        }
+        let mut next: BTreeMap<(usize, u64), f64> = BTreeMap::new();
+        for ((b, t), mass) in frontier {
+            let t_after = t + block_costs[b];
+            if matches!(cfg.block(BlockId(b as u32)).term, Terminator::Return) {
+                *result.entry(t_after).or_insert(0.0) += mass;
+                continue;
+            }
+            for &(ei, v) in &out_edges[b] {
+                let p = edge_probs[ei];
+                if p <= 0.0 {
+                    continue;
+                }
+                let m = mass * p;
+                if m < params.mass_eps {
+                    *truncated += m;
+                    continue;
+                }
+                *next.entry((v.index(), t_after + edge_costs[ei])).or_insert(0.0) += m;
+            }
+        }
+        frontier = next;
+    }
+    Ok(result.into_iter().collect())
+}
+
+/// Posterior expected edge-traversal counts aggregated over a sample set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeExpectations {
+    /// Expected traversal count per edge (summed over samples).
+    pub counts: Vec<f64>,
+    /// Total log-likelihood of the explained samples.
+    pub loglik: f64,
+    /// Samples whose observed ticks have (numerically) zero probability
+    /// under the model — contamination or truncation casualties.
+    pub unexplained: usize,
+}
+
+/// Runs one E-step: builds tables for `probs` and computes posterior expected
+/// edge-traversal counts for `samples` (the entry point the EM loop uses).
+pub fn e_step(
+    cfg: &Cfg,
+    block_costs: &[u64],
+    edge_costs: &[u64],
+    probs: &BranchProbs,
+    samples: &TimingSamples,
+    params: FbParams,
+) -> Result<(EdgeExpectations, FbTables), FbError> {
+    let tables = compute_tables(cfg, block_costs, edge_costs, probs, params)?;
+    let cpt = samples.cycles_per_tick();
+    let edges = cfg.edges();
+    let edge_probs = probs.edge_probs(cfg);
+    let duration = tables.duration_pmf(cfg);
+    let mut counts = vec![0.0; edges.len()];
+    let mut loglik = 0.0;
+    let mut unexplained = 0;
+
+    for (t_obs, n) in samples.counted() {
+        let (lo, hi) = duration_window(t_obs, cpt);
+        let z: f64 = pmf_range(duration, lo, hi)
+            .map(|&(d, p)| p * tick_likelihood(t_obs, d, cpt))
+            .sum();
+        if z <= 1e-300 {
+            unexplained += n;
+            continue;
+        }
+        loglik += n as f64 * z.ln();
+
+        for e in edges.iter() {
+            let p_e = edge_probs[e.index];
+            if p_e <= 0.0 {
+                continue;
+            }
+            let delta = block_costs[e.from.index()] + edge_costs[e.index];
+            let f_u = &tables.forward[e.from.index()];
+            let g_v = &tables.backward[e.to.index()];
+            let mut acc = 0.0;
+            for &(t, fm) in f_u {
+                let base = t + delta;
+                if base > hi {
+                    continue;
+                }
+                let s_lo = lo.saturating_sub(base);
+                let s_hi = hi - base;
+                for &(s, gm) in pmf_slice(g_v, s_lo, s_hi) {
+                    let k = tick_likelihood(t_obs, base + s, cpt);
+                    if k > 0.0 {
+                        acc += fm * gm * k;
+                    }
+                }
+            }
+            counts[e.index] += n as f64 * p_e * acc / z;
+        }
+    }
+
+    Ok((EdgeExpectations { counts, loglik, unexplained }, tables))
+}
+
+fn pmf_range(pmf: &SparsePmf, lo: u64, hi: u64) -> impl Iterator<Item = &(u64, f64)> {
+    pmf_slice(pmf, lo, hi).iter()
+}
+
+fn pmf_slice(pmf: &SparsePmf, lo: u64, hi: u64) -> &[(u64, f64)] {
+    if lo > hi {
+        return &[];
+    }
+    let start = pmf.partition_point(|&(d, _)| d < lo);
+    let end = pmf.partition_point(|&(d, _)| d <= hi);
+    &pmf[start..end]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_cfg::builder::{diamond, while_loop};
+
+    fn diamond_setup(p: f64) -> (ct_cfg::graph::Cfg, Vec<u64>, Vec<u64>, BranchProbs) {
+        let cfg = diamond();
+        let block_costs = vec![10, 100, 200, 5];
+        let edge_costs = vec![1, 2, 0, 0];
+        let probs = BranchProbs::from_vec(&cfg, vec![p]);
+        (cfg, block_costs, edge_costs, probs)
+    }
+
+    #[test]
+    fn duration_pmf_of_diamond_is_two_point() {
+        let (cfg, bc, ec, probs) = diamond_setup(0.7);
+        let t = compute_tables(&cfg, &bc, &ec, &probs, FbParams::default()).unwrap();
+        let d = t.duration_pmf(&cfg);
+        // true path: 10+1+100+0+5 = 116; false: 10+2+200+0+5 = 217.
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].0, 116);
+        assert!((d[0].1 - 0.7).abs() < 1e-12);
+        assert_eq!(d[1].0, 217);
+        assert!((d[1].1 - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forward_table_arrivals() {
+        let (cfg, bc, ec, probs) = diamond_setup(0.7);
+        let t = compute_tables(&cfg, &bc, &ec, &probs, FbParams::default()).unwrap();
+        // Arrive at then (b1) at t = 10+1 = 11 with mass 0.7.
+        assert_eq!(t.forward[1], vec![(11, 0.7)]);
+        // Arrive at join (b3) from both arms.
+        assert_eq!(t.forward[3].len(), 2);
+        let total: f64 = t.forward[3].iter().map(|&(_, m)| m).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn e_step_attributes_samples_to_paths() {
+        let (cfg, bc, ec, probs) = diamond_setup(0.5);
+        // 30 observations of the fast path, 10 of the slow, cycle-accurate.
+        let mut ticks = vec![116u64; 30];
+        ticks.extend(vec![217u64; 10]);
+        let samples = TimingSamples::new(ticks, 1);
+        let (exp, _) = e_step(&cfg, &bc, &ec, &probs, &samples, FbParams::default()).unwrap();
+        // Edge 0 = cond→then: all 30 fast samples; edge 1 = cond→else: 10.
+        assert!((exp.counts[0] - 30.0).abs() < 1e-9, "{:?}", exp.counts);
+        assert!((exp.counts[1] - 10.0).abs() < 1e-9);
+        assert_eq!(exp.unexplained, 0);
+        assert!(exp.loglik < 0.0);
+    }
+
+    #[test]
+    fn e_step_with_quantized_ticks() {
+        let (cfg, bc, ec, probs) = diamond_setup(0.5);
+        // cpt = 100: fast path 116 cycles → ticks 1 (84%) or 2 (16%);
+        // slow path 217 → ticks 2 (83%) or 3 (17%). Observed tick 3 must be
+        // attributed fully to the slow path.
+        let samples = TimingSamples::new(vec![3], 100);
+        let (exp, _) = e_step(&cfg, &bc, &ec, &probs, &samples, FbParams::default()).unwrap();
+        assert!(exp.counts[0].abs() < 1e-12, "{:?}", exp.counts);
+        assert!((exp.counts[1] - 1.0).abs() < 1e-9);
+        // Tick 1 is unambiguously fast.
+        let samples = TimingSamples::new(vec![1], 100);
+        let (exp, _) = e_step(&cfg, &bc, &ec, &probs, &samples, FbParams::default()).unwrap();
+        assert!((exp.counts[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn impossible_observation_is_unexplained() {
+        let (cfg, bc, ec, probs) = diamond_setup(0.5);
+        let samples = TimingSamples::new(vec![9999], 1);
+        let (exp, _) = e_step(&cfg, &bc, &ec, &probs, &samples, FbParams::default()).unwrap();
+        assert_eq!(exp.unexplained, 1);
+        assert!(exp.counts.iter().all(|&c| c == 0.0));
+    }
+
+    #[test]
+    fn loop_tables_have_geometric_support() {
+        let cfg = while_loop();
+        let bc = vec![2, 3, 10, 1];
+        let ec = vec![0; cfg.edges().len()];
+        let mut probs = BranchProbs::uniform(&cfg, 0.5);
+        probs.set_prob_true(ct_cfg::graph::BlockId(1), 0.5);
+        let t = compute_tables(&cfg, &bc, &ec, &probs, FbParams::default()).unwrap();
+        let d = t.duration_pmf(&cfg);
+        // k iterations: 2 + 3(k+1) + 10k + 1 = 6 + 13k, each w.p. 0.5^{k+1}.
+        assert_eq!(d[0], (6, 0.5));
+        assert_eq!(d[1].0, 19);
+        assert!((d[1].1 - 0.25).abs() < 1e-12);
+        let total: f64 = d.iter().map(|&(_, p)| p).sum();
+        assert!(total > 0.999);
+    }
+
+    #[test]
+    fn loop_e_step_counts_iterations() {
+        let cfg = while_loop();
+        let bc = vec![2, 3, 10, 1];
+        let ec = vec![0; cfg.edges().len()];
+        let probs = BranchProbs::from_vec(&cfg, vec![0.5]);
+        // Observe a run with exactly 2 iterations: d = 6 + 26 = 32.
+        let samples = TimingSamples::new(vec![32], 1);
+        let (exp, _) = e_step(&cfg, &bc, &ec, &probs, &samples, FbParams::default()).unwrap();
+        // Back edge (body→header) is edge index 2 (jump); header true edge
+        // (continue) index 0 taken twice, false edge once.
+        let edges = cfg.edges();
+        let true_idx = edges
+            .iter()
+            .find(|e| e.kind == ct_cfg::graph::EdgeKind::BranchTrue)
+            .unwrap()
+            .index;
+        let false_idx = edges
+            .iter()
+            .find(|e| e.kind == ct_cfg::graph::EdgeKind::BranchFalse)
+            .unwrap()
+            .index;
+        assert!((exp.counts[true_idx] - 2.0).abs() < 1e-9, "{:?}", exp.counts);
+        assert!((exp.counts[false_idx] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn explosion_guard_fires() {
+        let cfg = while_loop();
+        let bc = vec![2, 3, 10, 1];
+        let ec = vec![0; cfg.edges().len()];
+        let probs = BranchProbs::from_vec(&cfg, vec![0.9999]);
+        let params = FbParams { mass_eps: 1e-300, max_entries: 4 };
+        assert!(matches!(
+            compute_tables(&cfg, &bc, &ec, &probs, params),
+            Err(FbError::SupportExplosion { .. })
+        ));
+    }
+
+    #[test]
+    fn shape_errors_detected() {
+        let (cfg, bc, _, probs) = diamond_setup(0.5);
+        let bad_ec = vec![0u64; 1];
+        assert!(matches!(
+            compute_tables(&cfg, &bc, &bad_ec, &probs, FbParams::default()),
+            Err(FbError::Shape(_))
+        ));
+    }
+}

@@ -1,0 +1,342 @@
+//! Method-of-moments estimation: match the model's duration mean/variance to
+//! the sample moments.
+//!
+//! This is the fallback estimator for procedures whose time-expanded support
+//! is too large for exact forward–backward (deeply nested or long loops). It
+//! uses only two statistics of the sample, so it is cheaper but weaker than
+//! EM — experiment E7 quantifies exactly how much weaker.
+
+use crate::samples::TimingSamples;
+use ct_cfg::graph::{Cfg, Terminator};
+use ct_cfg::profile::BranchProbs;
+use ct_stats::matrix::Matrix;
+use ct_stats::solve::Lu;
+use std::error::Error;
+use std::fmt;
+
+/// Failure of the moments estimator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MomentsError {
+    /// The chain does not reach its exit under some probed parameters.
+    Divergent,
+    /// Input shapes are inconsistent.
+    Shape(String),
+    /// No samples were provided.
+    NoSamples,
+}
+
+impl fmt::Display for MomentsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MomentsError::Divergent => write!(f, "model diverges (exit unreachable)"),
+            MomentsError::Shape(m) => write!(f, "shape error: {m}"),
+            MomentsError::NoSamples => write!(f, "no timing samples provided"),
+        }
+    }
+}
+
+impl Error for MomentsError {}
+
+/// Model mean and variance of the end-to-end duration under `probs`, with
+/// per-block and per-edge cycle costs.
+///
+/// # Errors
+///
+/// [`MomentsError::Divergent`] when the exit is unreachable (singular
+/// system), [`MomentsError::Shape`] on mismatched inputs.
+pub fn model_moments(
+    cfg: &Cfg,
+    block_costs: &[u64],
+    edge_costs: &[u64],
+    probs: &BranchProbs,
+) -> Result<(f64, f64), MomentsError> {
+    let n = cfg.len();
+    if block_costs.len() != n {
+        return Err(MomentsError::Shape("block cost length".into()));
+    }
+    let edges = cfg.edges();
+    if edge_costs.len() != edges.len() {
+        return Err(MomentsError::Shape("edge cost length".into()));
+    }
+    let edge_probs = probs.edge_probs(cfg);
+
+    // Unknowns: E[T_b] for non-return blocks ("transient"); returns are known.
+    let transient: Vec<usize> = cfg
+        .iter()
+        .filter(|(_, b)| !matches!(b.term, Terminator::Return))
+        .map(|(id, _)| id.index())
+        .collect();
+    if transient.is_empty() {
+        let c = block_costs[cfg.entry().index()] as f64;
+        return Ok((c, 0.0));
+    }
+    let t = transient.len();
+    let pos = |b: usize| transient.iter().position(|&x| x == b);
+
+    // First moment: E[T_b] = Σ_e p_e (c_b + c_e + E[T_v]).
+    let mut a = Matrix::identity(t);
+    let mut b1 = vec![0.0; t];
+    for (ti, &bi) in transient.iter().enumerate() {
+        for e in edges.iter().filter(|e| e.from.index() == bi) {
+            let p = edge_probs[e.index];
+            if p <= 0.0 {
+                continue;
+            }
+            let step = (block_costs[bi] + edge_costs[e.index]) as f64;
+            b1[ti] += p * step;
+            match pos(e.to.index()) {
+                Some(tj) => a[(ti, tj)] -= p,
+                None => b1[ti] += p * block_costs[e.to.index()] as f64,
+            }
+        }
+    }
+    let lu = Lu::factor(&a).map_err(|_| MomentsError::Divergent)?;
+    let m1 = lu.solve(&b1).map_err(|_| MomentsError::Divergent)?;
+
+    // Second moment: E[T_b²] = Σ_e p_e [(s)² + 2 s E[T_v] + E[T_v²]],
+    // s = c_b + c_e; for return targets E[T_v] = c_v, E[T_v²] = c_v².
+    let mut b2 = vec![0.0; t];
+    for (ti, &bi) in transient.iter().enumerate() {
+        for e in edges.iter().filter(|e| e.from.index() == bi) {
+            let p = edge_probs[e.index];
+            if p <= 0.0 {
+                continue;
+            }
+            let s = (block_costs[bi] + edge_costs[e.index]) as f64;
+            let (ev, known_second) = match pos(e.to.index()) {
+                Some(tj) => (m1[tj], None),
+                None => {
+                    let c = block_costs[e.to.index()] as f64;
+                    (c, Some(c * c))
+                }
+            };
+            b2[ti] += p * (s * s + 2.0 * s * ev + known_second.unwrap_or(0.0));
+        }
+    }
+    // Same coefficient matrix (I − Q) as the first moment: the linear part of
+    // E[T_v²] for transient targets has coefficient p_e.
+    let m2 = lu.solve(&b2).map_err(|_| MomentsError::Divergent)?;
+
+    let entry_pos = pos(cfg.entry().index()).expect("entry is transient");
+    let mean = m1[entry_pos];
+    let variance = (m2[entry_pos] - mean * mean).max(0.0);
+    Ok((mean, variance))
+}
+
+/// Options for the moments search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MomentsOptions {
+    /// Coordinate-descent sweeps over the parameter vector.
+    pub sweeps: usize,
+    /// Golden-section iterations per coordinate.
+    pub line_iters: usize,
+    /// Probability clamp.
+    pub min_prob: f64,
+    /// Weight of the variance term relative to the mean term.
+    pub variance_weight: f64,
+}
+
+impl Default for MomentsOptions {
+    fn default() -> Self {
+        MomentsOptions { sweeps: 12, line_iters: 24, min_prob: 1e-3, variance_weight: 0.5 }
+    }
+}
+
+/// The outcome of a moments fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MomentsResult {
+    /// Estimated branch probabilities.
+    pub probs: BranchProbs,
+    /// Final objective value (normalized squared moment mismatch).
+    pub objective: f64,
+    /// Coordinate sweeps executed.
+    pub sweeps: usize,
+}
+
+/// Fits branch probabilities by matching model mean and variance to the
+/// sample moments (quantization-corrected), via coordinate descent with
+/// golden-section line search.
+///
+/// # Errors
+///
+/// [`MomentsError::NoSamples`] for empty input; propagates model errors.
+pub fn estimate_moments(
+    cfg: &Cfg,
+    block_costs: &[u64],
+    edge_costs: &[u64],
+    samples: &TimingSamples,
+    opts: MomentsOptions,
+) -> Result<MomentsResult, MomentsError> {
+    if samples.is_empty() {
+        return Err(MomentsError::NoSamples);
+    }
+    let cpt = samples.cycles_per_tick() as f64;
+    let sample_mean = samples.mean_cycles();
+    // Quantization adds ≈ cpt²/6 variance (uniform phase); subtract it.
+    let sample_var = (samples.variance_cycles() - cpt * cpt / 6.0).max(0.0);
+
+    let mean_scale = sample_mean.abs().max(1.0);
+    let var_scale = sample_var.abs().max(1.0);
+
+    let objective = |probs: &BranchProbs| -> f64 {
+        match model_moments(cfg, block_costs, edge_costs, probs) {
+            Ok((m, v)) => {
+                let dm = (m - sample_mean) / mean_scale;
+                let dv = (v - sample_var) / var_scale;
+                dm * dm + opts.variance_weight * dv * dv
+            }
+            Err(_) => f64::INFINITY,
+        }
+    };
+
+    let mut probs = BranchProbs::uniform(cfg, 0.5);
+    let blocks: Vec<_> = probs.blocks().to_vec();
+    let mut best = objective(&probs);
+    let mut sweeps_done = 0;
+
+    for _ in 0..opts.sweeps {
+        sweeps_done += 1;
+        let mut improved = false;
+        for &bb in &blocks {
+            // Golden-section search on θ_bb.
+            let phi = 0.618_033_988_75;
+            let mut lo = opts.min_prob;
+            let mut hi = 1.0 - opts.min_prob;
+            let eval = |theta: f64, probs: &mut BranchProbs| {
+                probs.set_prob_true(bb, theta);
+                objective(probs)
+            };
+            let mut x1 = hi - phi * (hi - lo);
+            let mut x2 = lo + phi * (hi - lo);
+            let mut f1 = eval(x1, &mut probs);
+            let mut f2 = eval(x2, &mut probs);
+            for _ in 0..opts.line_iters {
+                if f1 <= f2 {
+                    hi = x2;
+                    x2 = x1;
+                    f2 = f1;
+                    x1 = hi - phi * (hi - lo);
+                    f1 = eval(x1, &mut probs);
+                } else {
+                    lo = x1;
+                    x1 = x2;
+                    f1 = f2;
+                    x2 = lo + phi * (hi - lo);
+                    f2 = eval(x2, &mut probs);
+                }
+            }
+            let (theta, f) = if f1 <= f2 { (x1, f1) } else { (x2, f2) };
+            probs.set_prob_true(bb, theta);
+            if f + 1e-12 < best {
+                best = f;
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+
+    Ok(MomentsResult { probs, objective: best, sweeps: sweeps_done })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_cfg::builder::{diamond, while_loop};
+    use ct_cfg::graph::BlockId;
+
+    #[test]
+    fn model_moments_match_markov_for_state_rewards() {
+        // Edge costs zero → must agree with ct-markov's reward moments.
+        let cfg = while_loop();
+        let bc = vec![2u64, 3, 10, 1];
+        let ec = vec![0u64; cfg.edges().len()];
+        let probs = BranchProbs::from_vec(&cfg, vec![0.6]);
+        let (m, v) = model_moments(&cfg, &bc, &ec, &probs).unwrap();
+        let chain = ct_markov::chain_from_cfg(&cfg, &probs).unwrap();
+        let rewards: Vec<f64> = bc.iter().map(|&c| c as f64).collect();
+        let dm = ct_markov::duration_moments(&chain, &rewards, 0).unwrap();
+        assert!((m - dm.mean).abs() < 1e-9, "{m} vs {}", dm.mean);
+        assert!((v - dm.variance).abs() < 1e-6, "{v} vs {}", dm.variance);
+    }
+
+    #[test]
+    fn model_moments_include_edge_costs() {
+        let cfg = diamond();
+        let bc = vec![10u64, 100, 200, 5];
+        let zero = vec![0u64; 4];
+        let ec = vec![7u64, 3, 2, 4];
+        let probs = BranchProbs::from_vec(&cfg, vec![0.5]);
+        let (m0, _) = model_moments(&cfg, &bc, &zero, &probs).unwrap();
+        let (m1, _) = model_moments(&cfg, &bc, &ec, &probs).unwrap();
+        // Expected extra: 0.5(7+2) + 0.5(3+4) = 8.
+        assert!((m1 - m0 - 8.0).abs() < 1e-9, "{m0} {m1}");
+    }
+
+    #[test]
+    fn diamond_variance_is_bernoulli_spread() {
+        let cfg = diamond();
+        let bc = vec![0u64, 100, 200, 0];
+        let ec = vec![0u64; 4];
+        let probs = BranchProbs::from_vec(&cfg, vec![0.5]);
+        let (m, v) = model_moments(&cfg, &bc, &ec, &probs).unwrap();
+        assert!((m - 150.0).abs() < 1e-9);
+        assert!((v - 2500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn estimate_recovers_diamond_probability() {
+        let cfg = diamond();
+        let bc = vec![10u64, 100, 200, 5];
+        let ec = vec![0u64; 4];
+        // True p = 0.75: durations 115 (p) / 215 (1-p). Synthesize exact
+        // moment-consistent samples.
+        let mut ticks = vec![115u64; 750];
+        ticks.extend(vec![215u64; 250]);
+        let samples = TimingSamples::new(ticks, 1);
+        let r = estimate_moments(&cfg, &bc, &ec, &samples, MomentsOptions::default()).unwrap();
+        let est = r.probs.as_slice()[0];
+        assert!((est - 0.75).abs() < 0.02, "estimated {est}");
+    }
+
+    #[test]
+    fn estimate_recovers_loop_parameter() {
+        let cfg = while_loop();
+        let bc = vec![2u64, 3, 10, 1];
+        let ec = vec![0u64; cfg.edges().len()];
+        // q = 0.5: durations 6 + 13k w.p. 0.5^{k+1}. Build a sample matching
+        // the distribution closely.
+        let mut ticks = Vec::new();
+        for k in 0..12u32 {
+            let copies = (4096.0 * 0.5f64.powi(k as i32 + 1)) as usize;
+            ticks.extend(vec![6 + 13 * k as u64; copies]);
+        }
+        let samples = TimingSamples::new(ticks, 1);
+        let r = estimate_moments(&cfg, &bc, &ec, &samples, MomentsOptions::default()).unwrap();
+        let est = r.probs.prob_true(BlockId(1)).unwrap();
+        assert!((est - 0.5).abs() < 0.04, "estimated {est}");
+    }
+
+    #[test]
+    fn no_samples_is_an_error() {
+        let cfg = diamond();
+        let bc = vec![1u64; 4];
+        let ec = vec![0u64; 4];
+        let samples = TimingSamples::new(vec![], 1);
+        assert_eq!(
+            estimate_moments(&cfg, &bc, &ec, &samples, MomentsOptions::default()),
+            Err(MomentsError::NoSamples)
+        );
+    }
+
+    #[test]
+    fn shape_mismatch_detected() {
+        let cfg = diamond();
+        let probs = BranchProbs::uniform(&cfg, 0.5);
+        assert!(matches!(
+            model_moments(&cfg, &[1, 2], &[0; 4], &probs),
+            Err(MomentsError::Shape(_))
+        ));
+    }
+}

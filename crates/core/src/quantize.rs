@@ -1,0 +1,110 @@
+//! The quantization likelihood kernel: probability of observing a tick count
+//! given a true cycle duration.
+//!
+//! A procedure whose activation starts at a uniformly random timer phase
+//! `φ ∈ [0, cpt)` and runs for `d` cycles is observed as
+//! `⌊(φ+d)/cpt⌋ − ⌊φ/cpt⌋` ticks, which equals `⌊d/cpt⌋` with probability
+//! `1 − (d mod cpt)/cpt` and `⌊d/cpt⌋ + 1` otherwise. This two-point kernel
+//! is what lets the estimator use coarse timers *exactly* instead of
+//! pretending ticks are cycles.
+
+/// Probability of observing `ticks` given a true duration of `d` cycles on a
+/// timer with `cpt` cycles per tick, under a uniformly random start phase.
+///
+/// # Panics
+///
+/// Panics if `cpt == 0`.
+pub fn tick_likelihood(ticks: u64, d: u64, cpt: u64) -> f64 {
+    assert!(cpt > 0, "cycles per tick must be positive");
+    let base = d / cpt;
+    let frac = (d % cpt) as f64 / cpt as f64;
+    if ticks == base {
+        1.0 - frac
+    } else if ticks == base + 1 {
+        frac
+    } else {
+        0.0
+    }
+}
+
+/// The inclusive range of cycle durations that could produce `ticks` with
+/// nonzero probability: `[(ticks−1)·cpt + 1, (ticks+1)·cpt − 1]`, clipped at
+/// zero.
+pub fn duration_window(ticks: u64, cpt: u64) -> (u64, u64) {
+    assert!(cpt > 0, "cycles per tick must be positive");
+    let lo = (ticks.saturating_sub(1)) * cpt + u64::from(ticks > 0);
+    let hi = (ticks + 1) * cpt - 1;
+    (lo, hi)
+}
+
+/// Expected observed ticks for duration `d`: `d / cpt` exactly (the kernel is
+/// unbiased in expectation).
+pub fn expected_ticks(d: u64, cpt: u64) -> f64 {
+    assert!(cpt > 0, "cycles per tick must be positive");
+    d as f64 / cpt as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_multiple_is_deterministic() {
+        assert_eq!(tick_likelihood(3, 300, 100), 1.0);
+        assert_eq!(tick_likelihood(4, 300, 100), 0.0);
+        assert_eq!(tick_likelihood(2, 300, 100), 0.0);
+    }
+
+    #[test]
+    fn kernel_sums_to_one() {
+        for d in [0u64, 1, 99, 100, 101, 250, 999] {
+            let total: f64 = (0..20).map(|t| tick_likelihood(t, d, 100)).sum();
+            assert!((total - 1.0).abs() < 1e-12, "d={d}");
+        }
+    }
+
+    #[test]
+    fn kernel_is_unbiased() {
+        let cpt = 100;
+        for d in [37u64, 150, 249, 980] {
+            let mean: f64 = (0..20).map(|t| t as f64 * tick_likelihood(t, d, cpt)).sum();
+            assert!((mean - expected_ticks(d, cpt)).abs() < 1e-12, "d={d}");
+        }
+    }
+
+    #[test]
+    fn fractional_part_splits_mass() {
+        // d = 250, cpt = 100: 2 ticks w.p. 0.5, 3 ticks w.p. 0.5.
+        assert!((tick_likelihood(2, 250, 100) - 0.5).abs() < 1e-12);
+        assert!((tick_likelihood(3, 250, 100) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycle_accurate_timer_is_exact() {
+        assert_eq!(tick_likelihood(57, 57, 1), 1.0);
+        assert_eq!(tick_likelihood(56, 57, 1), 0.0);
+    }
+
+    #[test]
+    fn window_covers_support() {
+        let cpt = 100;
+        for ticks in [0u64, 1, 5] {
+            let (lo, hi) = duration_window(ticks, cpt);
+            // Everything inside the window has positive likelihood...
+            for d in lo..=hi {
+                assert!(tick_likelihood(ticks, d, cpt) > 0.0, "ticks={ticks} d={d}");
+            }
+            // ...and the boundary just outside has zero.
+            if lo > 0 {
+                assert_eq!(tick_likelihood(ticks, lo - 1, cpt), 0.0);
+            }
+            assert_eq!(tick_likelihood(ticks, hi + 1, cpt), 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_duration_is_zero_ticks() {
+        assert_eq!(tick_likelihood(0, 0, 244), 1.0);
+        assert_eq!(duration_window(0, 244), (0, 243));
+    }
+}

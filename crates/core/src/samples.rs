@@ -1,0 +1,116 @@
+//! Timing sample containers: what the mote's instrumentation hands the
+//! estimator.
+
+use ct_stats::descriptive::Summary;
+
+/// End-to-end timing samples of one procedure: exclusive durations in ticks
+//  of a known timer resolution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingSamples {
+    ticks: Vec<u64>,
+    cycles_per_tick: u64,
+}
+
+impl TimingSamples {
+    /// Wraps tick samples measured at `cycles_per_tick` resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles_per_tick == 0`.
+    pub fn new(ticks: Vec<u64>, cycles_per_tick: u64) -> TimingSamples {
+        assert!(cycles_per_tick > 0, "timer resolution must be positive");
+        TimingSamples { ticks, cycles_per_tick }
+    }
+
+    /// The raw tick values.
+    pub fn ticks(&self) -> &[u64] {
+        &self.ticks
+    }
+
+    /// Timer resolution in cycles per tick.
+    pub fn cycles_per_tick(&self) -> u64 {
+        self.cycles_per_tick
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.ticks.len()
+    }
+
+    /// True when no samples were collected.
+    pub fn is_empty(&self) -> bool {
+        self.ticks.is_empty()
+    }
+
+    /// Sample mean converted to cycles (ticks × resolution, plus half a tick
+    /// to correct the floor-quantization bias).
+    pub fn mean_cycles(&self) -> f64 {
+        if self.ticks.is_empty() {
+            return 0.0;
+        }
+        let s = Summary::of(&self.as_f64());
+        s.mean * self.cycles_per_tick as f64 + 0.0
+    }
+
+    /// Sample variance in cycles².
+    pub fn variance_cycles(&self) -> f64 {
+        let s = Summary::of(&self.as_f64());
+        s.variance * (self.cycles_per_tick as f64).powi(2)
+    }
+
+    /// Distinct tick values with their multiplicities, ascending.
+    pub fn counted(&self) -> Vec<(u64, usize)> {
+        let mut sorted = self.ticks.clone();
+        sorted.sort_unstable();
+        let mut out: Vec<(u64, usize)> = Vec::new();
+        for t in sorted {
+            match out.last_mut() {
+                Some((v, n)) if *v == t => *n += 1,
+                _ => out.push((t, 1)),
+            }
+        }
+        out
+    }
+
+    fn as_f64(&self) -> Vec<f64> {
+        self.ticks.iter().map(|&t| t as f64).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counted_groups_duplicates() {
+        let s = TimingSamples::new(vec![3, 1, 3, 3, 2, 1], 1);
+        assert_eq!(s.counted(), vec![(1, 2), (2, 1), (3, 3)]);
+    }
+
+    #[test]
+    fn mean_scales_with_resolution() {
+        let s = TimingSamples::new(vec![2, 4], 100);
+        assert!((s.mean_cycles() - 300.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_scales_quadratically() {
+        let s = TimingSamples::new(vec![2, 4], 10);
+        // tick variance = 2 → cycles² variance = 200.
+        assert!((s.variance_cycles() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_samples_are_harmless() {
+        let s = TimingSamples::new(vec![], 10);
+        assert!(s.is_empty());
+        assert_eq!(s.mean_cycles(), 0.0);
+        assert_eq!(s.counted(), vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "resolution must be positive")]
+    fn zero_resolution_rejected() {
+        TimingSamples::new(vec![1], 0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests of the estimation engine: consistency of the
+//! forward–backward tables, EM recovery, and estimator agreement.
+
+use ct_cfg::builder::{diamond, while_loop};
+use ct_cfg::profile::BranchProbs;
+use ct_core::fb::{compute_tables, FbParams};
+use ct_core::quantize::{duration_window, tick_likelihood};
+use ct_core::samples::TimingSamples;
+use ct_core::unrolled::estimate_unrolled;
+use ct_core::{estimate, EstimateOptions};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The backward table from the entry is a (near-)normalized distribution
+    /// and its mean matches the Markov expected duration.
+    #[test]
+    fn duration_pmf_consistency(p in 0.05f64..0.95) {
+        let cfg = diamond();
+        let bc = [11u64, 70, 140, 6];
+        let ec = [1u64, 2, 0, 1];
+        let probs = BranchProbs::from_vec(&cfg, vec![p]);
+        let t = compute_tables(&cfg, &bc, &ec, &probs, FbParams::default()).unwrap();
+        let d = t.duration_pmf(&cfg);
+        let total: f64 = d.iter().map(|&(_, m)| m).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+        let mean: f64 = d.iter().map(|&(t, m)| t as f64 * m).sum();
+        // Expected: 11 + p(1+70) + (1-p)(2+140) + (exit edge 0/1 depends on
+        // arm) + 6 — compute via the model directly instead:
+        let (model_mean, _) = ct_core::model_moments(&cfg, &bc, &ec, &probs).unwrap();
+        prop_assert!((mean - model_mean).abs() < 1e-6, "{mean} vs {model_mean}");
+    }
+
+    /// Forward mass arriving at the exit equals 1 (probability conservation).
+    #[test]
+    fn forward_mass_conserved(q in 0.05f64..0.8) {
+        let cfg = while_loop();
+        let bc = [2u64, 3, 10, 1];
+        let ec = [0u64; 4];
+        let probs = BranchProbs::from_vec(&cfg, vec![q]);
+        let t = compute_tables(&cfg, &bc, &ec, &probs, FbParams::default()).unwrap();
+        let exit_mass: f64 = t.forward[3].iter().map(|&(_, m)| m).sum();
+        prop_assert!((exit_mass - 1.0).abs() < 1e-6, "{exit_mass}");
+    }
+
+    /// EM recovers the empirical mixture weight on two-point samples exactly
+    /// (cycle-accurate, identifiable arms).
+    #[test]
+    fn em_matches_empirical(k in 1usize..2000) {
+        let n = 2000usize;
+        let cfg = diamond();
+        let bc = [10u64, 100, 220, 5];
+        let ec = [0u64; 4];
+        let mut ticks = vec![115u64; k];
+        ticks.extend(vec![235u64; n - k]);
+        let samples = TimingSamples::new(ticks, 1);
+        let est = estimate(&cfg, &bc, &ec, &samples, EstimateOptions::default()).unwrap();
+        let want = k as f64 / n as f64;
+        prop_assert!((est.probs.as_slice()[0] - want).abs() < 5e-3,
+            "est {} want {want}", est.probs.as_slice()[0]);
+    }
+
+    /// The quantization window is exactly the kernel's support.
+    #[test]
+    fn window_is_tight(ticks in 0u64..100, cpt in 1u64..500) {
+        let (lo, hi) = duration_window(ticks, cpt);
+        prop_assert!(tick_likelihood(ticks, lo, cpt) > 0.0);
+        prop_assert!(tick_likelihood(ticks, hi, cpt) > 0.0);
+        if lo > 0 {
+            prop_assert_eq!(tick_likelihood(ticks, lo - 1, cpt), 0.0);
+        }
+        prop_assert_eq!(tick_likelihood(ticks, hi + 1, cpt), 0.0);
+    }
+
+    /// Unrolled estimation of a deterministic loop pins the header parameter
+    /// at trips/(trips+1) regardless of data.
+    #[test]
+    fn unrolled_header_pinned(trips in 1u64..12) {
+        let cfg = while_loop();
+        let bc = [2u64, 3, 10, 1];
+        let ec = [0u64; 4];
+        let d = 2 + (trips + 1) * 3 + trips * 10 + 1;
+        let samples = TimingSamples::new(vec![d; 50], 1);
+        let r = estimate_unrolled(
+            &cfg,
+            &[(ct_cfg::graph::BlockId(1), trips)],
+            &bc,
+            &ec,
+            &samples,
+            Default::default(),
+        )
+        .unwrap();
+        let q = r.probs.prob_true(ct_cfg::graph::BlockId(1)).unwrap();
+        let want = trips as f64 / (trips as f64 + 1.0);
+        prop_assert!((q - want).abs() < 1e-9);
+        prop_assert_eq!(r.unexplained, 0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Front-end error type shared by the lexer, parser and semantic analysis.
+
+use crate::token::Span;
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while compiling NLC source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IrError {
+    /// Lexical error (unknown character, malformed literal, ...).
+    Lex {
+        /// Human-readable description.
+        message: String,
+        /// Where the error occurred.
+        span: Span,
+    },
+    /// Syntax error.
+    Parse {
+        /// Human-readable description.
+        message: String,
+        /// Where the error occurred.
+        span: Span,
+    },
+    /// Semantic error (unknown name, type mismatch, recursion, ...).
+    Sema {
+        /// Human-readable description.
+        message: String,
+        /// Where the error occurred.
+        span: Span,
+    },
+}
+
+impl IrError {
+    /// The error's source location.
+    pub fn span(&self) -> Span {
+        match self {
+            IrError::Lex { span, .. } | IrError::Parse { span, .. } | IrError::Sema { span, .. } => {
+                *span
+            }
+        }
+    }
+
+    /// The error's message without the location prefix.
+    pub fn message(&self) -> &str {
+        match self {
+            IrError::Lex { message, .. }
+            | IrError::Parse { message, .. }
+            | IrError::Sema { message, .. } => message,
+        }
+    }
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (kind, message, span) = match self {
+            IrError::Lex { message, span } => ("lex", message, span),
+            IrError::Parse { message, span } => ("parse", message, span),
+            IrError::Sema { message, span } => ("semantic", message, span),
+        };
+        write!(f, "{kind} error at {span}: {message}")
+    }
+}
+
+impl Error for IrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location_and_kind() {
+        let e = IrError::Sema {
+            message: "unknown variable `x`".into(),
+            span: Span { start: 0, end: 1, line: 4, col: 9 },
+        };
+        let s = e.to_string();
+        assert!(s.contains("semantic error"));
+        assert!(s.contains("4:9"));
+        assert!(s.contains("unknown variable"));
+    }
+
+    #[test]
+    fn accessors() {
+        let e = IrError::Parse {
+            message: "expected `;`".into(),
+            span: Span { start: 5, end: 6, line: 1, col: 6 },
+        };
+        assert_eq!(e.message(), "expected `;`");
+        assert_eq!(e.span().col, 6);
+    }
+}

@@ -1,0 +1,203 @@
+//! The abstract mote instruction set NLC lowers to.
+//!
+//! Blocks hold flat instruction lists over an operand stack. Every
+//! instruction has a *fixed* cycle cost under a given MCU cost model (defined
+//! in `ct-mote`), which is what makes per-block static costs — the backbone
+//! of Code Tomography's duration model — well defined.
+
+use crate::ast::{BinOp, UnOp};
+use crate::types::Ty;
+use std::fmt;
+
+/// Index of a module-level variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GlobalId(pub u32);
+
+impl GlobalId {
+    /// The id as a container index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Index of a procedure within its [`crate::program::Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcId(pub u32);
+
+impl ProcId {
+    /// The id as a container index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Mote hardware operations exposed to NLC as builtin calls.
+///
+/// These are where nondeterministic inputs enter the program: `read_adc` and
+/// `recv_*` draw from the input streams configured on the simulated mote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Intrinsic {
+    /// `read_adc() -> u16`: sample the sensor ADC.
+    ReadAdc,
+    /// `led_set(which: u8, on: u8)`: drive an LED.
+    LedSet,
+    /// `led_toggle(which: u8)`: toggle an LED.
+    LedToggle,
+    /// `send_msg(payload: u16) -> bool`: transmit a radio packet; returns
+    /// channel success.
+    SendMsg,
+    /// `recv_avail() -> bool`: is a received packet pending?
+    RecvAvail,
+    /// `recv_msg() -> u16`: dequeue a received packet payload (0 if none).
+    RecvMsg,
+    /// `node_id() -> u16`: this mote's identifier.
+    NodeId,
+}
+
+/// Argument/result kind for intrinsic signature checking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValKind {
+    /// Any integer type.
+    Int,
+    /// Boolean.
+    Bool,
+}
+
+impl Intrinsic {
+    /// Looks up an intrinsic by its NLC name.
+    pub fn from_name(name: &str) -> Option<Intrinsic> {
+        Some(match name {
+            "read_adc" => Intrinsic::ReadAdc,
+            "led_set" => Intrinsic::LedSet,
+            "led_toggle" => Intrinsic::LedToggle,
+            "send_msg" => Intrinsic::SendMsg,
+            "recv_avail" => Intrinsic::RecvAvail,
+            "recv_msg" => Intrinsic::RecvMsg,
+            "node_id" => Intrinsic::NodeId,
+            _ => return None,
+        })
+    }
+
+    /// The NLC-visible name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Intrinsic::ReadAdc => "read_adc",
+            Intrinsic::LedSet => "led_set",
+            Intrinsic::LedToggle => "led_toggle",
+            Intrinsic::SendMsg => "send_msg",
+            Intrinsic::RecvAvail => "recv_avail",
+            Intrinsic::RecvMsg => "recv_msg",
+            Intrinsic::NodeId => "node_id",
+        }
+    }
+
+    /// Parameter kinds.
+    pub fn params(self) -> &'static [ValKind] {
+        match self {
+            Intrinsic::ReadAdc | Intrinsic::RecvAvail | Intrinsic::RecvMsg | Intrinsic::NodeId => {
+                &[]
+            }
+            Intrinsic::LedToggle | Intrinsic::SendMsg => &[ValKind::Int],
+            Intrinsic::LedSet => &[ValKind::Int, ValKind::Int],
+        }
+    }
+
+    /// Result kind, if the intrinsic produces a value.
+    pub fn result(self) -> Option<ValKind> {
+        match self {
+            Intrinsic::ReadAdc | Intrinsic::RecvMsg | Intrinsic::NodeId => Some(ValKind::Int),
+            Intrinsic::SendMsg | Intrinsic::RecvAvail => Some(ValKind::Bool),
+            Intrinsic::LedSet | Intrinsic::LedToggle => None,
+        }
+    }
+}
+
+/// One stack-machine instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// Push a constant.
+    PushConst(i64),
+    /// Push local slot `n` (parameters occupy the first slots).
+    LoadLocal(u16),
+    /// Pop into local slot `n`.
+    StoreLocal(u16),
+    /// Push global scalar.
+    LoadGlobal(GlobalId),
+    /// Pop into global scalar.
+    StoreGlobal(GlobalId),
+    /// Pop an index; push `global[index]`. Traps when out of bounds.
+    LoadElem(GlobalId),
+    /// Pop a value, pop an index; store into `global[index]`. Traps when out
+    /// of bounds.
+    StoreElem(GlobalId),
+    /// Apply a unary operator to the stack top.
+    Unary(UnOp),
+    /// Pop rhs, pop lhs, push `lhs op rhs`. Division/remainder trap on zero.
+    Binary(BinOp),
+    /// Wrap the stack top into a type's value range.
+    Cast(Ty),
+    /// Call a procedure; arguments are on the stack (last on top); the result
+    /// (if any) is pushed.
+    Call(ProcId),
+    /// Invoke a mote hardware intrinsic.
+    Intrinsic(Intrinsic),
+    /// Discard the stack top.
+    Pop,
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::PushConst(v) => write!(f, "push {v}"),
+            Instr::LoadLocal(n) => write!(f, "ldloc {n}"),
+            Instr::StoreLocal(n) => write!(f, "stloc {n}"),
+            Instr::LoadGlobal(g) => write!(f, "ldglob g{}", g.0),
+            Instr::StoreGlobal(g) => write!(f, "stglob g{}", g.0),
+            Instr::LoadElem(g) => write!(f, "ldelem g{}", g.0),
+            Instr::StoreElem(g) => write!(f, "stelem g{}", g.0),
+            Instr::Unary(op) => write!(f, "un {op:?}"),
+            Instr::Binary(op) => write!(f, "bin {op:?}"),
+            Instr::Cast(ty) => write!(f, "cast {ty}"),
+            Instr::Call(p) => write!(f, "call p{}", p.0),
+            Instr::Intrinsic(i) => write!(f, "intr {}", i.name()),
+            Instr::Pop => write!(f, "pop"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intrinsic_names_round_trip() {
+        for i in [
+            Intrinsic::ReadAdc,
+            Intrinsic::LedSet,
+            Intrinsic::LedToggle,
+            Intrinsic::SendMsg,
+            Intrinsic::RecvAvail,
+            Intrinsic::RecvMsg,
+            Intrinsic::NodeId,
+        ] {
+            assert_eq!(Intrinsic::from_name(i.name()), Some(i));
+        }
+        assert_eq!(Intrinsic::from_name("sleep"), None);
+    }
+
+    #[test]
+    fn intrinsic_signatures() {
+        assert_eq!(Intrinsic::ReadAdc.params().len(), 0);
+        assert_eq!(Intrinsic::ReadAdc.result(), Some(ValKind::Int));
+        assert_eq!(Intrinsic::LedSet.params().len(), 2);
+        assert_eq!(Intrinsic::LedSet.result(), None);
+        assert_eq!(Intrinsic::SendMsg.result(), Some(ValKind::Bool));
+    }
+
+    #[test]
+    fn instr_display() {
+        assert_eq!(Instr::PushConst(3).to_string(), "push 3");
+        assert_eq!(Instr::Call(ProcId(2)).to_string(), "call p2");
+        assert_eq!(Instr::Intrinsic(Intrinsic::ReadAdc).to_string(), "intr read_adc");
+    }
+}

@@ -1,0 +1,353 @@
+//! Hand-written lexer for NLC source.
+
+use crate::error::IrError;
+use crate::token::{Span, Tok, Token};
+
+/// Tokenizes `src`, appending a final [`Tok::Eof`] token.
+///
+/// # Errors
+///
+/// Returns [`IrError::Lex`] on unknown characters, malformed numbers, or
+/// unterminated block comments.
+///
+/// # Examples
+///
+/// ```
+/// use ct_ir::lexer::tokenize;
+/// use ct_ir::token::Tok;
+/// let toks = tokenize("var x: u16 = 0x10;").unwrap();
+/// assert_eq!(toks[0].tok, Tok::Var);
+/// assert!(matches!(toks[5].tok, Tok::Int(16)));
+/// ```
+pub fn tokenize(src: &str) -> Result<Vec<Token>, IrError> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1 }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn here(&self) -> Span {
+        Span { start: self.pos, end: self.pos, line: self.line, col: self.col }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> IrError {
+        IrError::Lex { message: msg.into(), span: self.here() }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, IrError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let span_start = self.here();
+            let Some(c) = self.peek() else {
+                out.push(Token { tok: Tok::Eof, span: span_start });
+                return Ok(out);
+            };
+            let tok = match c {
+                b'0'..=b'9' => self.number()?,
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.ident_or_keyword(),
+                _ => self.punct()?,
+            };
+            let mut span = span_start;
+            span.end = self.pos;
+            out.push(Token { tok, span });
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), IrError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let open = self.here();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'*'), Some(b'/')) => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => {
+                                return Err(IrError::Lex {
+                                    message: "unterminated block comment".into(),
+                                    span: open,
+                                });
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Tok, IrError> {
+        let start = self.pos;
+        if self.peek() == Some(b'0') && matches!(self.peek2(), Some(b'x') | Some(b'X')) {
+            self.bump();
+            self.bump();
+            let hex_start = self.pos;
+            while matches!(self.peek(), Some(c) if c.is_ascii_hexdigit()) {
+                self.bump();
+            }
+            if self.pos == hex_start {
+                return Err(self.err("expected hexadecimal digits after `0x`"));
+            }
+            let text = std::str::from_utf8(&self.src[hex_start..self.pos]).expect("ascii");
+            let v = i64::from_str_radix(text, 16)
+                .map_err(|_| self.err("hexadecimal literal out of range"))?;
+            return Ok(Tok::Int(v));
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.bump();
+        }
+        // Reject identifiers glued to numbers, e.g. `12abc`.
+        if matches!(self.peek(), Some(c) if c.is_ascii_alphabetic() || c == b'_') {
+            return Err(self.err("malformed numeric literal"));
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
+        let v: i64 = text.parse().map_err(|_| self.err("decimal literal out of range"))?;
+        Ok(Tok::Int(v))
+    }
+
+    fn ident_or_keyword(&mut self) -> Tok {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == b'_') {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
+        match text {
+            "module" => Tok::Module,
+            "var" => Tok::Var,
+            "proc" => Tok::Proc,
+            "if" => Tok::If,
+            "else" => Tok::Else,
+            "while" => Tok::While,
+            "return" => Tok::Return,
+            "true" => Tok::True,
+            "false" => Tok::False,
+            _ => Tok::Ident(text.to_string()),
+        }
+    }
+
+    fn punct(&mut self) -> Result<Tok, IrError> {
+        let c = self.bump().expect("peeked");
+        let two = |lexer: &mut Self, tok| {
+            lexer.bump();
+            tok
+        };
+        Ok(match c {
+            b'(' => Tok::LParen,
+            b')' => Tok::RParen,
+            b'{' => Tok::LBrace,
+            b'}' => Tok::RBrace,
+            b'[' => Tok::LBracket,
+            b']' => Tok::RBracket,
+            b',' => Tok::Comma,
+            b';' => Tok::Semi,
+            b':' => Tok::Colon,
+            b'+' => Tok::Plus,
+            b'*' => Tok::Star,
+            b'/' => Tok::Slash,
+            b'%' => Tok::Percent,
+            b'^' => Tok::Caret,
+            b'~' => Tok::Tilde,
+            b'-' => {
+                if self.peek() == Some(b'>') {
+                    two(self, Tok::Arrow)
+                } else {
+                    Tok::Minus
+                }
+            }
+            b'=' => {
+                if self.peek() == Some(b'=') {
+                    two(self, Tok::EqEq)
+                } else {
+                    Tok::Assign
+                }
+            }
+            b'!' => {
+                if self.peek() == Some(b'=') {
+                    two(self, Tok::NotEq)
+                } else {
+                    Tok::Bang
+                }
+            }
+            b'<' => match self.peek() {
+                Some(b'=') => two(self, Tok::Le),
+                Some(b'<') => two(self, Tok::Shl),
+                _ => Tok::Lt,
+            },
+            b'>' => match self.peek() {
+                Some(b'=') => two(self, Tok::Ge),
+                Some(b'>') => two(self, Tok::Shr),
+                _ => Tok::Gt,
+            },
+            b'&' => {
+                if self.peek() == Some(b'&') {
+                    two(self, Tok::AndAnd)
+                } else {
+                    Tok::Amp
+                }
+            }
+            b'|' => {
+                if self.peek() == Some(b'|') {
+                    two(self, Tok::OrOr)
+                } else {
+                    Tok::Pipe
+                }
+            }
+            other => {
+                return Err(self.err(format!("unexpected character `{}`", other as char)));
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        tokenize(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_identifiers() {
+        assert_eq!(
+            toks("module proc if else while return var foo"),
+            vec![
+                Tok::Module,
+                Tok::Proc,
+                Tok::If,
+                Tok::Else,
+                Tok::While,
+                Tok::Return,
+                Tok::Var,
+                Tok::Ident("foo".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_decimal_and_hex() {
+        assert_eq!(toks("42 0x2A 0"), vec![Tok::Int(42), Tok::Int(42), Tok::Int(0), Tok::Eof]);
+    }
+
+    #[test]
+    fn compound_operators() {
+        assert_eq!(
+            toks("-> == != <= >= << >> && || = < >"),
+            vec![
+                Tok::Arrow,
+                Tok::EqEq,
+                Tok::NotEq,
+                Tok::Le,
+                Tok::Ge,
+                Tok::Shl,
+                Tok::Shr,
+                Tok::AndAnd,
+                Tok::OrOr,
+                Tok::Assign,
+                Tok::Lt,
+                Tok::Gt,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let t = toks("a // line comment\n b /* block\n comment */ c");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ident("b".into()),
+                Tok::Ident("c".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_block_comment_errors() {
+        assert!(matches!(tokenize("/* oops"), Err(IrError::Lex { .. })));
+    }
+
+    #[test]
+    fn malformed_number_errors() {
+        assert!(matches!(tokenize("12abc"), Err(IrError::Lex { .. })));
+        assert!(matches!(tokenize("0x"), Err(IrError::Lex { .. })));
+    }
+
+    #[test]
+    fn unknown_character_errors() {
+        assert!(matches!(tokenize("a $ b"), Err(IrError::Lex { .. })));
+    }
+
+    #[test]
+    fn spans_track_lines() {
+        let tokens = tokenize("a\n  b").unwrap();
+        assert_eq!(tokens[0].span.line, 1);
+        assert_eq!(tokens[1].span.line, 2);
+        assert_eq!(tokens[1].span.col, 3);
+    }
+
+    #[test]
+    fn minus_vs_arrow() {
+        assert_eq!(toks("a - b -> c"), vec![
+            Tok::Ident("a".into()),
+            Tok::Minus,
+            Tok::Ident("b".into()),
+            Tok::Arrow,
+            Tok::Ident("c".into()),
+            Tok::Eof
+        ]);
+    }
+}

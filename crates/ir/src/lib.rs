@@ -1,0 +1,64 @@
+#![warn(missing_docs)]
+
+//! # ct-ir
+//!
+//! The NLC ("nesC-lite") front end: a small structured language for sensor
+//! mote programs, compiled to per-procedure control-flow graphs of
+//! stack-machine instructions with statically known per-block cycle costs.
+//!
+//! The pipeline is [`parser::parse_module`] → [`sema::analyze`] →
+//! [`lower::lower`], bundled as [`compile_source`].
+//!
+//! Language restrictions (all checked by sema) guarantee that every lowered
+//! procedure is *structured*: reducible, single-exit, header-controlled
+//! single-latch loops. `ct_cfg::structure::decompose` therefore always
+//! succeeds on NLC output, which is what lets the Code Tomography duration
+//! model compose sequence/branch/loop distributions exactly.
+//!
+//! ## Example
+//!
+//! ```
+//! let program = ct_ir::compile_source(r#"
+//!     module Sense {
+//!         var threshold: u16 = 512;
+//!         var alarms: u16;
+//!
+//!         proc check() {
+//!             var v: u16 = read_adc();
+//!             if (v > threshold) { alarms = alarms + 1; led_set(0, 1); }
+//!             else { led_set(0, 0); }
+//!         }
+//!     }
+//! "#).unwrap();
+//! let check = &program.procs[0];
+//! assert_eq!(check.cfg.branch_blocks().len(), 1);
+//! assert!(ct_cfg::structure::decompose(&check.cfg).is_ok());
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod instr;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+pub mod pretty;
+pub mod program;
+pub mod sema;
+pub mod token;
+pub mod tripcount;
+pub mod types;
+
+pub use error::IrError;
+pub use instr::{GlobalId, Instr, Intrinsic, ProcId, ValKind};
+pub use lower::compile_source;
+pub use program::{Global, Procedure, Program};
+pub use types::Ty;
+
+/// Alias for [`compile_source`], the one-call front end.
+///
+/// # Errors
+///
+/// Propagates lex, parse and semantic errors.
+pub fn compile(src: &str) -> Result<Program, IrError> {
+    compile_source(src)
+}

@@ -1,0 +1,558 @@
+//! Recursive-descent parser for NLC.
+//!
+//! Grammar (EBNF, whitespace/comments elided):
+//!
+//! ```text
+//! module   := "module" IDENT "{" (global | proc)* "}"
+//! global   := "var" IDENT ":" TYPE ("[" INT "]")? ("=" INT)? ";"
+//! proc     := "proc" IDENT "(" params? ")" ("->" TYPE)? block
+//! params   := IDENT ":" TYPE ("," IDENT ":" TYPE)*
+//! block    := "{" stmt* "}"
+//! stmt     := "var" IDENT ":" TYPE ("=" expr)? ";"
+//!           | "if" "(" expr ")" block ("else" block)?
+//!           | "while" "(" expr ")" block
+//!           | "return" expr? ";"
+//!           | IDENT ("[" expr "]")? "=" expr ";"        (assignment)
+//!           | expr ";"                                   (call statement)
+//! expr     := or
+//! or       := and ("||" and)*
+//! and      := cmp ("&&" cmp)*
+//! cmp      := bitor (("<"|"<="|">"|">="|"=="|"!=") bitor)?
+//! bitor    := bitxor ("|" bitxor)*
+//! bitxor   := bitand ("^" bitand)*
+//! bitand   := shift ("&" shift)*
+//! shift    := add (("<<"|">>") add)*
+//! add      := mul (("+"|"-") mul)*
+//! mul      := unary (("*"|"/"|"%") unary)*
+//! unary    := ("-"|"!"|"~") unary | primary
+//! primary  := INT | "true" | "false" | IDENT call_or_index? | "(" expr ")"
+//! ```
+
+use crate::ast::*;
+use crate::error::IrError;
+use crate::lexer::tokenize;
+use crate::token::{Span, Tok, Token};
+use crate::types::Ty;
+
+/// Parses a complete NLC module from source text.
+///
+/// # Errors
+///
+/// Returns [`IrError::Lex`] or [`IrError::Parse`] with the offending
+/// location.
+///
+/// # Examples
+///
+/// ```
+/// use ct_ir::parser::parse_module;
+/// let m = parse_module("module M { proc f() { return; } }").unwrap();
+/// assert_eq!(m.name, "M");
+/// assert_eq!(m.procs.len(), 1);
+/// ```
+pub fn parse_module(src: &str) -> Result<Module, IrError> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let module = p.module()?;
+    p.expect(Tok::Eof)?;
+    Ok(module)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].tok
+    }
+
+    fn peek_span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.peek() == tok {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<Token, IrError> {
+        if *self.peek() == tok {
+            Ok(self.bump())
+        } else {
+            Err(self.err(format!("expected {tok}, found {}", self.peek())))
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> IrError {
+        IrError::Parse { message: message.into(), span: self.peek_span() }
+    }
+
+    fn ident(&mut self) -> Result<(String, Span), IrError> {
+        let span = self.peek_span();
+        match self.peek().clone() {
+            Tok::Ident(name) => {
+                self.bump();
+                Ok((name, span))
+            }
+            other => Err(self.err(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn ty(&mut self) -> Result<Ty, IrError> {
+        let (name, span) = self.ident()?;
+        Ty::from_name(&name)
+            .ok_or(IrError::Parse { message: format!("unknown type `{name}`"), span })
+    }
+
+    fn int_literal(&mut self) -> Result<i64, IrError> {
+        match *self.peek() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(v)
+            }
+            ref other => Err(self.err(format!("expected integer literal, found {other}"))),
+        }
+    }
+
+    fn module(&mut self) -> Result<Module, IrError> {
+        self.expect(Tok::Module)?;
+        let (name, _) = self.ident()?;
+        self.expect(Tok::LBrace)?;
+        let mut globals = Vec::new();
+        let mut procs = Vec::new();
+        loop {
+            match self.peek() {
+                Tok::Var => globals.push(self.global()?),
+                Tok::Proc => procs.push(self.proc()?),
+                Tok::RBrace => {
+                    self.bump();
+                    break;
+                }
+                other => {
+                    return Err(self.err(format!(
+                        "expected `var`, `proc` or `}}` in module body, found {other}"
+                    )))
+                }
+            }
+        }
+        Ok(Module { name, globals, procs })
+    }
+
+    fn global(&mut self) -> Result<GlobalDecl, IrError> {
+        let span = self.peek_span();
+        self.expect(Tok::Var)?;
+        let (name, _) = self.ident()?;
+        self.expect(Tok::Colon)?;
+        let ty = self.ty()?;
+        let array_len = if self.eat(&Tok::LBracket) {
+            let len = self.int_literal()?;
+            if len <= 0 || len > u32::MAX as i64 {
+                return Err(self.err("array length must be a positive 32-bit integer"));
+            }
+            self.expect(Tok::RBracket)?;
+            Some(len as u32)
+        } else {
+            None
+        };
+        let init = if self.eat(&Tok::Assign) {
+            if array_len.is_some() {
+                return Err(self.err("array globals cannot have initializers"));
+            }
+            if self.eat(&Tok::True) {
+                Some(1)
+            } else if self.eat(&Tok::False) {
+                Some(0)
+            } else {
+                let neg = self.eat(&Tok::Minus);
+                let v = self.int_literal()?;
+                Some(if neg { -v } else { v })
+            }
+        } else {
+            None
+        };
+        self.expect(Tok::Semi)?;
+        Ok(GlobalDecl { name, ty, array_len, init, span })
+    }
+
+    fn proc(&mut self) -> Result<ProcDecl, IrError> {
+        let span = self.peek_span();
+        self.expect(Tok::Proc)?;
+        let (name, _) = self.ident()?;
+        self.expect(Tok::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat(&Tok::RParen) {
+            loop {
+                let (pname, pspan) = self.ident()?;
+                self.expect(Tok::Colon)?;
+                let pty = self.ty()?;
+                params.push(Param { name: pname, ty: pty, span: pspan });
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+            self.expect(Tok::RParen)?;
+        }
+        let ret = if self.eat(&Tok::Arrow) { Some(self.ty()?) } else { None };
+        let body = self.block()?;
+        Ok(ProcDecl { name, params, ret, body, span })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, IrError> {
+        self.expect(Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, IrError> {
+        let span = self.peek_span();
+        match self.peek().clone() {
+            Tok::Var => {
+                self.bump();
+                let (name, _) = self.ident()?;
+                self.expect(Tok::Colon)?;
+                let ty = self.ty()?;
+                let init = if self.eat(&Tok::Assign) { Some(self.expr()?) } else { None };
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::VarDecl { name, ty, init, span })
+            }
+            Tok::If => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen)?;
+                let then_blk = self.block()?;
+                let else_blk = if self.eat(&Tok::Else) { self.block()? } else { Vec::new() };
+                Ok(Stmt::If { cond, then_blk, else_blk, span })
+            }
+            Tok::While => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt::While { cond, body, span })
+            }
+            Tok::Return => {
+                self.bump();
+                let value = if *self.peek() == Tok::Semi { None } else { Some(self.expr()?) };
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Return { value, span })
+            }
+            Tok::Ident(name) => {
+                // Distinguish assignment from a call statement by lookahead.
+                let start = self.pos;
+                self.bump();
+                match self.peek().clone() {
+                    Tok::Assign => {
+                        self.bump();
+                        let value = self.expr()?;
+                        self.expect(Tok::Semi)?;
+                        Ok(Stmt::Assign { target: LValue::Var(name), value, span })
+                    }
+                    Tok::LBracket => {
+                        self.bump();
+                        let index = self.expr()?;
+                        self.expect(Tok::RBracket)?;
+                        if self.eat(&Tok::Assign) {
+                            let value = self.expr()?;
+                            self.expect(Tok::Semi)?;
+                            Ok(Stmt::Assign {
+                                target: LValue::Elem(name, Box::new(index)),
+                                value,
+                                span,
+                            })
+                        } else {
+                            // An element read as an expression statement is
+                            // useless; reject it early.
+                            Err(self.err("expected `=` after array element in statement"))
+                        }
+                    }
+                    _ => {
+                        // Re-parse from the identifier as an expression
+                        // statement (a call).
+                        self.pos = start;
+                        let expr = self.expr()?;
+                        if !matches!(expr.kind, ExprKind::Call(..)) {
+                            return Err(IrError::Parse {
+                                message: "expression statements must be calls".into(),
+                                span: expr.span,
+                            });
+                        }
+                        self.expect(Tok::Semi)?;
+                        Ok(Stmt::Expr { expr, span })
+                    }
+                }
+            }
+            other => Err(self.err(format!("expected statement, found {other}"))),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, IrError> {
+        self.binary_level(0)
+    }
+
+    /// Precedence-climbing over the binary operator tiers.
+    fn binary_level(&mut self, level: usize) -> Result<Expr, IrError> {
+        // Tiers from loosest to tightest binding.
+        const TIERS: &[&[(Tok, BinOp)]] = &[
+            &[(Tok::OrOr, BinOp::Or)],
+            &[(Tok::AndAnd, BinOp::And)],
+            &[
+                (Tok::Lt, BinOp::Lt),
+                (Tok::Le, BinOp::Le),
+                (Tok::Gt, BinOp::Gt),
+                (Tok::Ge, BinOp::Ge),
+                (Tok::EqEq, BinOp::Eq),
+                (Tok::NotEq, BinOp::Ne),
+            ],
+            &[(Tok::Pipe, BinOp::BitOr)],
+            &[(Tok::Caret, BinOp::BitXor)],
+            &[(Tok::Amp, BinOp::BitAnd)],
+            &[(Tok::Shl, BinOp::Shl), (Tok::Shr, BinOp::Shr)],
+            &[(Tok::Plus, BinOp::Add), (Tok::Minus, BinOp::Sub)],
+            &[(Tok::Star, BinOp::Mul), (Tok::Slash, BinOp::Div), (Tok::Percent, BinOp::Rem)],
+        ];
+        if level >= TIERS.len() {
+            return self.unary();
+        }
+        let span = self.peek_span();
+        let mut lhs = self.binary_level(level + 1)?;
+        'outer: loop {
+            for (tok, op) in TIERS[level] {
+                if self.peek() == tok {
+                    // Comparisons do not chain: `a < b < c` is rejected.
+                    if level == 2 && matches!(lhs.kind, ExprKind::Binary(op2, ..) if op2.is_comparison())
+                    {
+                        return Err(self.err("comparison operators cannot be chained"));
+                    }
+                    self.bump();
+                    let rhs = self.binary_level(level + 1)?;
+                    lhs = Expr {
+                        kind: ExprKind::Binary(*op, Box::new(lhs), Box::new(rhs)),
+                        span,
+                    };
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, IrError> {
+        let span = self.peek_span();
+        let op = match self.peek() {
+            Tok::Minus => Some(UnOp::Neg),
+            Tok::Bang => Some(UnOp::Not),
+            Tok::Tilde => Some(UnOp::BitNot),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let operand = self.unary()?;
+            return Ok(Expr { kind: ExprKind::Unary(op, Box::new(operand)), span });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, IrError> {
+        let span = self.peek_span();
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Expr { kind: ExprKind::Int(v), span })
+            }
+            Tok::True => {
+                self.bump();
+                Ok(Expr { kind: ExprKind::Bool(true), span })
+            }
+            Tok::False => {
+                self.bump();
+                Ok(Expr { kind: ExprKind::Bool(false), span })
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                match self.peek() {
+                    Tok::LParen => {
+                        self.bump();
+                        let mut args = Vec::new();
+                        if !self.eat(&Tok::RParen) {
+                            loop {
+                                args.push(self.expr()?);
+                                if !self.eat(&Tok::Comma) {
+                                    break;
+                                }
+                            }
+                            self.expect(Tok::RParen)?;
+                        }
+                        Ok(Expr { kind: ExprKind::Call(name, args), span })
+                    }
+                    Tok::LBracket => {
+                        self.bump();
+                        let index = self.expr()?;
+                        self.expect(Tok::RBracket)?;
+                        Ok(Expr { kind: ExprKind::Elem(name, Box::new(index)), span })
+                    }
+                    _ => Ok(Expr { kind: ExprKind::Var(name), span }),
+                }
+            }
+            other => Err(self.err(format!("expected expression, found {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_expr(src: &str) -> Expr {
+        let m = parse_module(&format!("module T {{ proc f() {{ x = {src}; }} }}")).unwrap();
+        match &m.procs[0].body[0] {
+            Stmt::Assign { value, .. } => value.clone(),
+            other => panic!("expected assignment, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_empty_module() {
+        let m = parse_module("module Empty { }").unwrap();
+        assert_eq!(m.name, "Empty");
+        assert!(m.globals.is_empty());
+        assert!(m.procs.is_empty());
+    }
+
+    #[test]
+    fn parses_globals() {
+        let m = parse_module(
+            "module G { var a: u16; var b: u8 = 7; var c: i16 = -3; var buf: u16[8]; }",
+        )
+        .unwrap();
+        assert_eq!(m.globals.len(), 4);
+        assert_eq!(m.globals[1].init, Some(7));
+        assert_eq!(m.globals[2].init, Some(-3));
+        assert_eq!(m.globals[3].array_len, Some(8));
+    }
+
+    #[test]
+    fn parses_proc_signature() {
+        let m = parse_module("module P { proc add(a: u16, b: u16) -> u16 { return a + b; } }")
+            .unwrap();
+        let p = &m.procs[0];
+        assert_eq!(p.name, "add");
+        assert_eq!(p.params.len(), 2);
+        assert_eq!(p.ret, Some(Ty::U16));
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let e = parse_expr("1 + 2 * 3");
+        let ExprKind::Binary(BinOp::Add, _, rhs) = &e.kind else { panic!("{e:?}") };
+        assert!(matches!(rhs.kind, ExprKind::Binary(BinOp::Mul, ..)));
+    }
+
+    #[test]
+    fn precedence_comparison_over_logical() {
+        let e = parse_expr("a < b && c > d");
+        let ExprKind::Binary(BinOp::And, lhs, rhs) = &e.kind else { panic!("{e:?}") };
+        assert!(matches!(lhs.kind, ExprKind::Binary(BinOp::Lt, ..)));
+        assert!(matches!(rhs.kind, ExprKind::Binary(BinOp::Gt, ..)));
+    }
+
+    #[test]
+    fn parens_override_precedence() {
+        let e = parse_expr("(1 + 2) * 3");
+        let ExprKind::Binary(BinOp::Mul, lhs, _) = &e.kind else { panic!("{e:?}") };
+        assert!(matches!(lhs.kind, ExprKind::Binary(BinOp::Add, ..)));
+    }
+
+    #[test]
+    fn chained_comparison_rejected() {
+        let r = parse_module("module T { proc f() { x = a < b < c; } }");
+        assert!(matches!(r, Err(IrError::Parse { .. })));
+    }
+
+    #[test]
+    fn unary_operators_nest() {
+        let e = parse_expr("-~!x");
+        let ExprKind::Unary(UnOp::Neg, inner) = &e.kind else { panic!("{e:?}") };
+        let ExprKind::Unary(UnOp::BitNot, inner2) = &inner.kind else { panic!() };
+        assert!(matches!(inner2.kind, ExprKind::Unary(UnOp::Not, _)));
+    }
+
+    #[test]
+    fn statements_parse() {
+        let m = parse_module(
+            "module S { proc f(n: u16) {
+                var i: u16 = 0;
+                while (i < n) {
+                    if (i % 2 == 0) { led_toggle(0); } else { }
+                    buf[i] = i * 2;
+                    i = i + 1;
+                }
+                return;
+            } }",
+        )
+        .unwrap();
+        assert_eq!(m.procs[0].body.len(), 3);
+        let Stmt::While { body, .. } = &m.procs[0].body[1] else { panic!() };
+        assert_eq!(body.len(), 3);
+        assert!(matches!(&body[1], Stmt::Assign { target: LValue::Elem(..), .. }));
+    }
+
+    #[test]
+    fn call_statement_allowed_other_exprs_rejected() {
+        assert!(parse_module("module S { proc f() { g(1, 2); } }").is_ok());
+        assert!(matches!(
+            parse_module("module S { proc f() { 1 + 2; } }"),
+            Err(IrError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_semicolon_reports_location() {
+        let e = parse_module("module S { proc f() { x = 1 } }").unwrap_err();
+        assert!(e.to_string().contains("expected `;`"));
+    }
+
+    #[test]
+    fn array_initializer_rejected() {
+        assert!(parse_module("module S { var b: u8[4] = 1; }").is_err());
+    }
+
+    #[test]
+    fn call_with_no_args_and_nested_calls() {
+        let e = parse_expr("f(g(), h(1, k(2)))");
+        let ExprKind::Call(name, args) = &e.kind else { panic!() };
+        assert_eq!(name, "f");
+        assert_eq!(args.len(), 2);
+    }
+
+    #[test]
+    fn if_without_else_has_empty_else_block() {
+        let m = parse_module("module S { proc f() { if (true) { return; } } }").unwrap();
+        let Stmt::If { else_blk, .. } = &m.procs[0].body[0] else { panic!() };
+        assert!(else_blk.is_empty());
+    }
+}

@@ -1,0 +1,70 @@
+//! Textual dumps of lowered programs, for debugging and documentation.
+
+use crate::program::{Procedure, Program};
+use std::fmt::Write as _;
+
+/// Renders a lowered procedure as block-structured pseudo-assembly.
+///
+/// # Examples
+///
+/// ```
+/// let p = ct_ir::compile_source("module M { proc f(x: u16) -> u16 { return x + 1; } }").unwrap();
+/// let text = ct_ir::pretty::dump_procedure(&p.procs[0]);
+/// assert!(text.contains("proc f"));
+/// assert!(text.contains("ldloc 0"));
+/// ```
+pub fn dump_procedure(proc: &Procedure) -> String {
+    let mut out = String::new();
+    let ret = proc.ret.map(|t| format!(" -> {t}")).unwrap_or_default();
+    let params: Vec<String> = proc.params.iter().map(|t| t.to_string()).collect();
+    let _ = writeln!(out, "proc {}({}){} [{} locals]", proc.name, params.join(", "), ret, proc.n_locals);
+    for (id, block) in proc.cfg.iter() {
+        let _ = writeln!(out, "{id} ({}):", block.name);
+        for instr in proc.block_code(id) {
+            let _ = writeln!(out, "    {instr}");
+        }
+        let _ = writeln!(out, "    => {:?}", block.term);
+    }
+    out
+}
+
+/// Renders every global and procedure of a program.
+pub fn dump_program(program: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "module {}", program.name);
+    for g in &program.globals {
+        let arr = if g.len > 1 { format!("[{}]", g.len) } else { String::new() };
+        let _ = writeln!(out, "  var {}: {}{} = {}", g.name, g.ty, arr, g.init);
+    }
+    for p in &program.procs {
+        for line in dump_procedure(p).lines() {
+            let _ = writeln!(out, "  {line}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::compile_source;
+
+    #[test]
+    fn dump_contains_blocks_and_terminators() {
+        let p = compile_source(
+            "module M { var a: u8; proc f(x: u8) { if (x > 1) { a = 1; } else { a = 2; } } }",
+        )
+        .unwrap();
+        let text = super::dump_procedure(&p.procs[0]);
+        assert!(text.contains("b0 (entry):"));
+        assert!(text.contains("Branch"));
+        assert!(text.contains("stglob"));
+    }
+
+    #[test]
+    fn dump_program_lists_globals() {
+        let p = compile_source("module M { var a: u16 = 3; var b: u8[4]; }").unwrap();
+        let text = super::dump_program(&p);
+        assert!(text.contains("var a: u16 = 3"));
+        assert!(text.contains("var b: u8[4]"));
+    }
+}

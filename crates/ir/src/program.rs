@@ -1,0 +1,150 @@
+//! Lowered program containers: procedures with CFGs and instruction payloads.
+
+use crate::instr::{GlobalId, Instr, ProcId};
+use crate::types::Ty;
+use ct_cfg::graph::{BlockId, Cfg};
+
+/// A module-level variable after lowering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Global {
+    /// Source name.
+    pub name: String,
+    /// Element type.
+    pub ty: Ty,
+    /// Element count (1 for scalars).
+    pub len: u32,
+    /// Initial value for scalars; arrays zero-initialize.
+    pub init: i64,
+}
+
+impl Global {
+    /// RAM footprint in bytes.
+    pub fn size_bytes(&self) -> u32 {
+        self.ty.size_bytes() * self.len
+    }
+}
+
+/// A lowered procedure: its CFG plus per-block instruction lists.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Procedure {
+    /// Source name.
+    pub name: String,
+    /// Parameter types in order (parameters occupy local slots `0..params.len()`).
+    pub params: Vec<Ty>,
+    /// Return type; `None` for void.
+    pub ret: Option<Ty>,
+    /// Total local slots (parameters included).
+    pub n_locals: u16,
+    /// Control-flow graph; entry is block 0, exactly one return block.
+    pub cfg: Cfg,
+    /// Instruction list of each block, indexed by block id.
+    pub code: Vec<Vec<Instr>>,
+    /// Statically counted loops: `(header block, exact trip count)` for
+    /// every loop the trip-count analysis proved deterministic.
+    pub counted_loops: Vec<(BlockId, u64)>,
+}
+
+impl Procedure {
+    /// The instructions of block `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is out of range.
+    pub fn block_code(&self, b: BlockId) -> &[Instr] {
+        &self.code[b.index()]
+    }
+
+    /// Total instruction count across all blocks (a flash-size proxy).
+    pub fn instr_count(&self) -> usize {
+        self.code.iter().map(Vec::len).sum()
+    }
+}
+
+/// A lowered module: globals plus procedures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Module name.
+    pub name: String,
+    /// Module variables, indexed by [`GlobalId`].
+    pub globals: Vec<Global>,
+    /// Procedures, indexed by [`ProcId`].
+    pub procs: Vec<Procedure>,
+}
+
+impl Program {
+    /// Looks up a procedure id by name.
+    pub fn proc_id(&self, name: &str) -> Option<ProcId> {
+        self.procs.iter().position(|p| p.name == name).map(|i| ProcId(i as u32))
+    }
+
+    /// Borrow of procedure `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn proc(&self, id: ProcId) -> &Procedure {
+        &self.procs[id.index()]
+    }
+
+    /// Looks up a global id by name.
+    pub fn global_id(&self, name: &str) -> Option<GlobalId> {
+        self.globals.iter().position(|g| g.name == name).map(|i| GlobalId(i as u32))
+    }
+
+    /// Borrow of global `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn global(&self, id: GlobalId) -> &Global {
+        &self.globals[id.index()]
+    }
+
+    /// Total module-variable RAM in bytes.
+    pub fn ram_bytes(&self) -> u32 {
+        self.globals.iter().map(Global::size_bytes).sum()
+    }
+
+    /// Total instruction count across all procedures (a flash-size proxy).
+    pub fn instr_count(&self) -> usize {
+        self.procs.iter().map(Procedure::instr_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+
+    const SRC: &str = "module M {
+        var total: u32;
+        var buf: u16[4];
+        proc bump(x: u16) -> u32 { total = total + x; return total; }
+        proc zero() { total = 0; }
+    }";
+
+    #[test]
+    fn lookups_by_name() {
+        let p = compile(SRC).unwrap();
+        assert_eq!(p.proc_id("bump"), Some(ProcId(0)));
+        assert_eq!(p.proc_id("zero"), Some(ProcId(1)));
+        assert_eq!(p.proc_id("missing"), None);
+        assert_eq!(p.global_id("buf"), Some(GlobalId(1)));
+        assert_eq!(p.global_id("missing"), None);
+    }
+
+    #[test]
+    fn ram_accounting() {
+        let p = compile(SRC).unwrap();
+        // u32 scalar (4) + u16[4] (8).
+        assert_eq!(p.ram_bytes(), 12);
+        assert_eq!(p.global(GlobalId(1)).size_bytes(), 8);
+    }
+
+    #[test]
+    fn instruction_counts_are_positive() {
+        let p = compile(SRC).unwrap();
+        assert!(p.instr_count() > 0);
+        assert!(p.proc(ProcId(0)).instr_count() >= p.proc(ProcId(1)).instr_count());
+    }
+}

@@ -1,0 +1,605 @@
+//! Semantic analysis: name resolution, kind checking, structural rules.
+//!
+//! Rules enforced here (beyond syntax):
+//!
+//! - unique global, procedure and per-procedure local names; locals may not
+//!   shadow globals or parameters; procedures may not shadow intrinsics;
+//! - conditions are `bool`; arithmetic is integer; `==`/`!=` compare equal
+//!   kinds; `&&`/`||`/`!` are boolean-only;
+//! - array variables are indexed, scalars are not; array indices are integers;
+//! - calls match arity and argument kinds; void calls cannot be used as
+//!   values;
+//! - `return` appears only as the last statement of a procedure body (this is
+//!   what guarantees lowered CFGs are structured and single-exit);
+//! - the call graph is acyclic (no recursion — mote stacks are tiny, and
+//!   exclusive-time sample extraction relies on properly nested activations).
+
+use crate::ast::*;
+use crate::error::IrError;
+use crate::instr::{GlobalId, Intrinsic, ProcId, ValKind};
+use crate::token::Span;
+use crate::types::Ty;
+use std::collections::HashMap;
+
+/// Resolution tables produced by [`analyze`], consumed by lowering.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// Global name → (id, element type, array length if any).
+    pub globals: HashMap<String, (GlobalId, Ty, Option<u32>)>,
+    /// Procedure name → (id, parameter types, return type).
+    pub procs: HashMap<String, (ProcId, Vec<Ty>, Option<Ty>)>,
+    /// Per-procedure local name → (slot, type); parameters occupy the first
+    /// slots. Indexed by [`ProcId`].
+    pub locals: Vec<HashMap<String, (u16, Ty)>>,
+    /// Per-procedure total slot count. Indexed by [`ProcId`].
+    pub n_locals: Vec<u16>,
+}
+
+/// Kind of a checked expression (`None` means void, only legal in statement
+/// position).
+type ExprKindResult = Result<Option<ValKind>, IrError>;
+
+fn kind_of(ty: Ty) -> ValKind {
+    if ty == Ty::Bool {
+        ValKind::Bool
+    } else {
+        ValKind::Int
+    }
+}
+
+fn sema_err(message: impl Into<String>, span: Span) -> IrError {
+    IrError::Sema { message: message.into(), span }
+}
+
+/// Checks `module` and builds its resolution tables.
+///
+/// # Errors
+///
+/// Returns the first [`IrError::Sema`] violation found.
+pub fn analyze(module: &Module) -> Result<Analysis, IrError> {
+    let mut globals = HashMap::new();
+    for (i, g) in module.globals.iter().enumerate() {
+        if globals.contains_key(&g.name) {
+            return Err(sema_err(format!("duplicate global `{}`", g.name), g.span));
+        }
+        if let Some(init) = g.init {
+            if g.ty == Ty::Bool && !(init == 0 || init == 1) {
+                return Err(sema_err("bool initializer must be 0 or 1", g.span));
+            }
+        }
+        globals.insert(g.name.clone(), (GlobalId(i as u32), g.ty, g.array_len));
+    }
+
+    let mut procs = HashMap::new();
+    for (i, p) in module.procs.iter().enumerate() {
+        if Intrinsic::from_name(&p.name).is_some() {
+            return Err(sema_err(format!("procedure `{}` shadows an intrinsic", p.name), p.span));
+        }
+        if procs.contains_key(&p.name) {
+            return Err(sema_err(format!("duplicate procedure `{}`", p.name), p.span));
+        }
+        let params: Vec<Ty> = p.params.iter().map(|q| q.ty).collect();
+        procs.insert(p.name.clone(), (ProcId(i as u32), params, p.ret));
+    }
+
+    let mut all_locals = Vec::with_capacity(module.procs.len());
+    let mut n_locals_all = Vec::with_capacity(module.procs.len());
+    for p in &module.procs {
+        let mut checker = ProcChecker {
+            globals: &globals,
+            procs: &procs,
+            locals: HashMap::new(),
+            proc: p,
+        };
+        checker.collect_and_check()?;
+        n_locals_all.push(checker.locals.len() as u16);
+        all_locals.push(checker.locals);
+    }
+
+    let analysis = Analysis { globals, procs, locals: all_locals, n_locals: n_locals_all };
+    check_no_recursion(module, &analysis)?;
+    Ok(analysis)
+}
+
+struct ProcChecker<'a> {
+    globals: &'a HashMap<String, (GlobalId, Ty, Option<u32>)>,
+    procs: &'a HashMap<String, (ProcId, Vec<Ty>, Option<Ty>)>,
+    locals: HashMap<String, (u16, Ty)>,
+    proc: &'a ProcDecl,
+}
+
+impl<'a> ProcChecker<'a> {
+    fn collect_and_check(&mut self) -> Result<(), IrError> {
+        for param in &self.proc.params {
+            self.declare_local(&param.name, param.ty, param.span)?;
+        }
+        self.check_stmts(&self.proc.body, true)?;
+        Ok(())
+    }
+
+    fn declare_local(&mut self, name: &str, ty: Ty, span: Span) -> Result<u16, IrError> {
+        if self.globals.contains_key(name) {
+            return Err(sema_err(format!("local `{name}` shadows a global"), span));
+        }
+        if self.locals.contains_key(name) {
+            return Err(sema_err(format!("duplicate local `{name}`"), span));
+        }
+        let slot = self.locals.len() as u16;
+        self.locals.insert(name.to_string(), (slot, ty));
+        Ok(slot)
+    }
+
+    /// Checks a statement list. `top_level` marks the procedure body itself,
+    /// where a trailing `return` is allowed.
+    fn check_stmts(&mut self, stmts: &[Stmt], top_level: bool) -> Result<(), IrError> {
+        for (i, stmt) in stmts.iter().enumerate() {
+            let is_last_top = top_level && i + 1 == stmts.len();
+            if matches!(stmt, Stmt::Return { .. }) && !is_last_top {
+                return Err(sema_err(
+                    "`return` is only allowed as the last statement of a procedure body",
+                    stmt.span(),
+                ));
+            }
+            self.check_stmt(stmt)?;
+        }
+        Ok(())
+    }
+
+    fn check_stmt(&mut self, stmt: &Stmt) -> Result<(), IrError> {
+        match stmt {
+            Stmt::VarDecl { name, ty, init, span } => {
+                if let Some(e) = init {
+                    self.expect_kind(e, kind_of(*ty))?;
+                }
+                self.declare_local(name, *ty, *span)?;
+                Ok(())
+            }
+            Stmt::Assign { target, value, span } => {
+                let target_kind = match target {
+                    LValue::Var(name) => {
+                        if let Some(&(_, ty)) = self.locals.get(name) {
+                            kind_of(ty)
+                        } else if let Some(&(_, ty, len)) = self.globals.get(name) {
+                            if len.is_some() {
+                                return Err(sema_err(
+                                    format!("array `{name}` must be indexed"),
+                                    *span,
+                                ));
+                            }
+                            kind_of(ty)
+                        } else {
+                            return Err(sema_err(format!("unknown variable `{name}`"), *span));
+                        }
+                    }
+                    LValue::Elem(name, index) => {
+                        let Some(&(_, ty, len)) = self.globals.get(name) else {
+                            return Err(sema_err(format!("unknown array `{name}`"), *span));
+                        };
+                        if len.is_none() {
+                            return Err(sema_err(format!("`{name}` is not an array"), *span));
+                        }
+                        self.expect_kind(index, ValKind::Int)?;
+                        kind_of(ty)
+                    }
+                };
+                self.expect_kind(value, target_kind)
+            }
+            Stmt::If { cond, then_blk, else_blk, .. } => {
+                self.expect_kind(cond, ValKind::Bool)?;
+                self.check_stmts(then_blk, false)?;
+                self.check_stmts(else_blk, false)
+            }
+            Stmt::While { cond, body, .. } => {
+                self.expect_kind(cond, ValKind::Bool)?;
+                self.check_stmts(body, false)
+            }
+            Stmt::Return { value, span } => match (&self.proc.ret, value) {
+                (None, None) => Ok(()),
+                (None, Some(_)) => {
+                    Err(sema_err("void procedure cannot return a value", *span))
+                }
+                (Some(ty), Some(e)) => self.expect_kind(e, kind_of(*ty)),
+                (Some(_), None) => {
+                    Err(sema_err("procedure with return type must return a value", *span))
+                }
+            },
+            Stmt::Expr { expr, .. } => {
+                // Parser guarantees this is a call; void results are fine.
+                self.check_expr(expr).map(|_| ())
+            }
+        }
+    }
+
+    fn expect_kind(&mut self, e: &Expr, want: ValKind) -> Result<(), IrError> {
+        match self.check_expr(e)? {
+            Some(k) if k == want => Ok(()),
+            Some(k) => Err(sema_err(
+                format!("expected {want:?} expression, found {k:?}"),
+                e.span,
+            )),
+            None => Err(sema_err("void call used as a value", e.span)),
+        }
+    }
+
+    fn check_expr(&mut self, e: &Expr) -> ExprKindResult {
+        match &e.kind {
+            ExprKind::Int(_) => Ok(Some(ValKind::Int)),
+            ExprKind::Bool(_) => Ok(Some(ValKind::Bool)),
+            ExprKind::Var(name) => {
+                if let Some(&(_, ty)) = self.locals.get(name) {
+                    Ok(Some(kind_of(ty)))
+                } else if let Some(&(_, ty, len)) = self.globals.get(name) {
+                    if len.is_some() {
+                        return Err(sema_err(format!("array `{name}` must be indexed"), e.span));
+                    }
+                    Ok(Some(kind_of(ty)))
+                } else {
+                    Err(sema_err(format!("unknown variable `{name}`"), e.span))
+                }
+            }
+            ExprKind::Elem(name, index) => {
+                let Some(&(_, ty, len)) = self.globals.get(name) else {
+                    return Err(sema_err(format!("unknown array `{name}`"), e.span));
+                };
+                if len.is_none() {
+                    return Err(sema_err(format!("`{name}` is not an array"), e.span));
+                }
+                self.expect_kind(index, ValKind::Int)?;
+                Ok(Some(kind_of(ty)))
+            }
+            ExprKind::Unary(op, operand) => {
+                let want = match op {
+                    UnOp::Neg | UnOp::BitNot => ValKind::Int,
+                    UnOp::Not => ValKind::Bool,
+                };
+                self.expect_kind(operand, want)?;
+                Ok(Some(want))
+            }
+            ExprKind::Binary(op, lhs, rhs) => {
+                if op.is_logical() {
+                    self.expect_kind(lhs, ValKind::Bool)?;
+                    self.expect_kind(rhs, ValKind::Bool)?;
+                    Ok(Some(ValKind::Bool))
+                } else if matches!(op, BinOp::Eq | BinOp::Ne) {
+                    let lk = self
+                        .check_expr(lhs)?
+                        .ok_or_else(|| sema_err("void call used as a value", lhs.span))?;
+                    self.expect_kind(rhs, lk)?;
+                    Ok(Some(ValKind::Bool))
+                } else if op.is_comparison() {
+                    self.expect_kind(lhs, ValKind::Int)?;
+                    self.expect_kind(rhs, ValKind::Int)?;
+                    Ok(Some(ValKind::Bool))
+                } else {
+                    self.expect_kind(lhs, ValKind::Int)?;
+                    self.expect_kind(rhs, ValKind::Int)?;
+                    Ok(Some(ValKind::Int))
+                }
+            }
+            ExprKind::Call(name, args) => {
+                if let Some(intr) = Intrinsic::from_name(name) {
+                    let params = intr.params();
+                    if args.len() != params.len() {
+                        return Err(sema_err(
+                            format!(
+                                "intrinsic `{name}` expects {} argument(s), got {}",
+                                params.len(),
+                                args.len()
+                            ),
+                            e.span,
+                        ));
+                    }
+                    for (a, &k) in args.iter().zip(params) {
+                        self.expect_kind(a, k)?;
+                    }
+                    Ok(intr.result())
+                } else if let Some((_, params, ret)) = self.procs.get(name).cloned() {
+                    if args.len() != params.len() {
+                        return Err(sema_err(
+                            format!(
+                                "procedure `{name}` expects {} argument(s), got {}",
+                                params.len(),
+                                args.len()
+                            ),
+                            e.span,
+                        ));
+                    }
+                    for (a, ty) in args.iter().zip(&params) {
+                        self.expect_kind(a, kind_of(*ty))?;
+                    }
+                    Ok(ret.map(kind_of))
+                } else {
+                    Err(sema_err(format!("unknown procedure `{name}`"), e.span))
+                }
+            }
+        }
+    }
+}
+
+/// Rejects recursion (direct or mutual) in the call graph.
+fn check_no_recursion(module: &Module, analysis: &Analysis) -> Result<(), IrError> {
+    let n = module.procs.len();
+    // Build adjacency: proc → procs it calls.
+    let mut calls: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, p) in module.procs.iter().enumerate() {
+        let mut targets = Vec::new();
+        collect_calls_stmts(&p.body, &mut targets);
+        for name in targets {
+            if let Some((pid, _, _)) = analysis.procs.get(&name) {
+                calls[i].push(pid.index());
+            }
+        }
+    }
+    // Iterative DFS cycle detection.
+    let mut state = vec![0u8; n];
+    for start in 0..n {
+        if state[start] != 0 {
+            continue;
+        }
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        state[start] = 1;
+        while let Some(&mut (node, ref mut child)) = stack.last_mut() {
+            if *child < calls[node].len() {
+                let next = calls[node][*child];
+                *child += 1;
+                match state[next] {
+                    0 => {
+                        state[next] = 1;
+                        stack.push((next, 0));
+                    }
+                    1 => {
+                        return Err(sema_err(
+                            format!(
+                                "recursion involving procedure `{}` is not allowed",
+                                module.procs[next].name
+                            ),
+                            module.procs[next].span,
+                        ));
+                    }
+                    _ => {}
+                }
+            } else {
+                state[node] = 2;
+                stack.pop();
+            }
+        }
+    }
+    Ok(())
+}
+
+fn collect_calls_stmts(stmts: &[Stmt], out: &mut Vec<String>) {
+    for s in stmts {
+        match s {
+            Stmt::VarDecl { init, .. } => {
+                if let Some(e) = init {
+                    collect_calls_expr(e, out);
+                }
+            }
+            Stmt::Assign { target, value, .. } => {
+                if let LValue::Elem(_, idx) = target {
+                    collect_calls_expr(idx, out);
+                }
+                collect_calls_expr(value, out);
+            }
+            Stmt::If { cond, then_blk, else_blk, .. } => {
+                collect_calls_expr(cond, out);
+                collect_calls_stmts(then_blk, out);
+                collect_calls_stmts(else_blk, out);
+            }
+            Stmt::While { cond, body, .. } => {
+                collect_calls_expr(cond, out);
+                collect_calls_stmts(body, out);
+            }
+            Stmt::Return { value, .. } => {
+                if let Some(e) = value {
+                    collect_calls_expr(e, out);
+                }
+            }
+            Stmt::Expr { expr, .. } => collect_calls_expr(expr, out),
+        }
+    }
+}
+
+fn collect_calls_expr(e: &Expr, out: &mut Vec<String>) {
+    match &e.kind {
+        ExprKind::Call(name, args) => {
+            out.push(name.clone());
+            for a in args {
+                collect_calls_expr(a, out);
+            }
+        }
+        ExprKind::Elem(_, idx) => collect_calls_expr(idx, out),
+        ExprKind::Unary(_, x) => collect_calls_expr(x, out),
+        ExprKind::Binary(_, l, r) => {
+            collect_calls_expr(l, out);
+            collect_calls_expr(r, out);
+        }
+        ExprKind::Int(_) | ExprKind::Bool(_) | ExprKind::Var(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_module;
+
+    fn check(src: &str) -> Result<Analysis, IrError> {
+        analyze(&parse_module(src).unwrap())
+    }
+
+    fn check_err(src: &str, needle: &str) {
+        let e = check(src).unwrap_err();
+        assert!(
+            e.to_string().contains(needle),
+            "expected error containing {needle:?}, got: {e}"
+        );
+    }
+
+    #[test]
+    fn accepts_well_typed_module() {
+        let a = check(
+            "module M {
+                var total: u32;
+                var buf: u16[4];
+                proc f(x: u16) -> u32 {
+                    var acc: u32 = 0;
+                    if (x > 10) { acc = total + x; } else { acc = buf[x % 4]; }
+                    total = acc;
+                    return acc;
+                }
+            }",
+        )
+        .unwrap();
+        assert_eq!(a.n_locals[0], 2); // x + acc
+        assert_eq!(a.locals[0]["x"].0, 0);
+        assert_eq!(a.locals[0]["acc"].0, 1);
+    }
+
+    #[test]
+    fn rejects_duplicate_global() {
+        check_err("module M { var a: u8; var a: u16; }", "duplicate global");
+    }
+
+    #[test]
+    fn rejects_duplicate_proc() {
+        check_err("module M { proc f() {} proc f() {} }", "duplicate procedure");
+    }
+
+    #[test]
+    fn rejects_intrinsic_shadowing() {
+        check_err("module M { proc read_adc() {} }", "shadows an intrinsic");
+    }
+
+    #[test]
+    fn rejects_local_shadowing_global() {
+        check_err("module M { var a: u8; proc f() { var a: u8; } }", "shadows a global");
+    }
+
+    #[test]
+    fn rejects_duplicate_local_even_across_scopes() {
+        check_err(
+            "module M { proc f() { if (true) { var x: u8; } else { } var x: u8; } }",
+            "duplicate local",
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_variable() {
+        check_err("module M { proc f() { x = 1; } }", "unknown variable");
+    }
+
+    #[test]
+    fn rejects_integer_condition() {
+        check_err("module M { proc f(x: u8) { if (x) { } else { } } }", "expected Bool");
+    }
+
+    #[test]
+    fn rejects_bool_arithmetic() {
+        check_err("module M { proc f() { var b: bool = true + 1; } }", "expected Int");
+    }
+
+    #[test]
+    fn rejects_mixed_equality() {
+        check_err("module M { proc f(x: u8) { var b: bool = x == true; } }", "expected Int");
+    }
+
+    #[test]
+    fn rejects_unindexed_array_use() {
+        check_err("module M { var b: u8[2]; proc f() { b = 1; } }", "must be indexed");
+    }
+
+    #[test]
+    fn rejects_indexing_scalar() {
+        check_err("module M { var s: u8; proc f() { s[0] = 1; } }", "not an array");
+    }
+
+    #[test]
+    fn rejects_bad_arity() {
+        check_err(
+            "module M { proc g(x: u8) {} proc f() { g(); } }",
+            "expects 1 argument(s), got 0",
+        );
+        check_err("module M { proc f() { read_adc(1); } }", "expects 0 argument(s)");
+    }
+
+    #[test]
+    fn rejects_void_call_as_value() {
+        check_err(
+            "module M { proc g() {} proc f() { var x: u8 = g(); } }",
+            "void call used as a value",
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_procedure() {
+        check_err("module M { proc f() { nope(); } }", "unknown procedure");
+    }
+
+    #[test]
+    fn rejects_early_return() {
+        check_err(
+            "module M { proc f(x: u8) { if (x > 1) { return; } else { } led_toggle(0); } }",
+            "only allowed as the last statement",
+        );
+    }
+
+    #[test]
+    fn accepts_trailing_return() {
+        assert!(check("module M { proc f() -> u8 { return 3; } }").is_ok());
+    }
+
+    #[test]
+    fn rejects_return_type_mismatches() {
+        check_err("module M { proc f() { return 1; } }", "void procedure cannot return");
+        check_err(
+            "module M { proc f() -> u8 { return; } }",
+            "must return a value",
+        );
+        check_err(
+            "module M { proc f() -> u8 { return true; } }",
+            "expected Int",
+        );
+    }
+
+    #[test]
+    fn rejects_direct_recursion() {
+        check_err("module M { proc f() { f(); } }", "recursion involving");
+    }
+
+    #[test]
+    fn rejects_mutual_recursion() {
+        check_err(
+            "module M { proc f() { g(); } proc g() { f(); } }",
+            "recursion involving",
+        );
+    }
+
+    #[test]
+    fn accepts_dag_call_graph() {
+        assert!(check(
+            "module M {
+                proc leaf(x: u8) -> u8 { return x + 1; }
+                proc mid(x: u8) -> u8 { return leaf(x) + leaf(x); }
+                proc top() -> u8 { return mid(leaf(1)); }
+            }"
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_bool_global_init() {
+        check_err("module M { var b: bool = 2; }", "bool initializer");
+    }
+
+    #[test]
+    fn intrinsic_results_typed() {
+        assert!(check(
+            "module M { proc f() { var ok: bool = send_msg(7); var v: u16 = recv_msg(); } }"
+        )
+        .is_ok());
+        check_err(
+            "module M { proc f() { var v: u16 = recv_avail(); } }",
+            "expected Int",
+        );
+    }
+}

@@ -1,0 +1,191 @@
+//! Tokens and source positions for the NLC lexer.
+
+use std::fmt;
+
+/// A half-open byte span in the source, with 1-based line/column of its start
+/// for diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: u32,
+    /// 1-based column number of `start`.
+    pub col: u32,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword candidate.
+    Ident(String),
+    /// Integer literal (decimal or `0x` hexadecimal).
+    Int(i64),
+    /// `module`
+    Module,
+    /// `var`
+    Var,
+    /// `proc`
+    Proc,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `return`
+    Return,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `->`
+    Arrow,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `~`
+    Tilde,
+    /// `!`
+    Bang,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Int(v) => write!(f, "integer `{v}`"),
+            Tok::Module => f.write_str("`module`"),
+            Tok::Var => f.write_str("`var`"),
+            Tok::Proc => f.write_str("`proc`"),
+            Tok::If => f.write_str("`if`"),
+            Tok::Else => f.write_str("`else`"),
+            Tok::While => f.write_str("`while`"),
+            Tok::Return => f.write_str("`return`"),
+            Tok::True => f.write_str("`true`"),
+            Tok::False => f.write_str("`false`"),
+            Tok::LParen => f.write_str("`(`"),
+            Tok::RParen => f.write_str("`)`"),
+            Tok::LBrace => f.write_str("`{`"),
+            Tok::RBrace => f.write_str("`}`"),
+            Tok::LBracket => f.write_str("`[`"),
+            Tok::RBracket => f.write_str("`]`"),
+            Tok::Comma => f.write_str("`,`"),
+            Tok::Semi => f.write_str("`;`"),
+            Tok::Colon => f.write_str("`:`"),
+            Tok::Arrow => f.write_str("`->`"),
+            Tok::Assign => f.write_str("`=`"),
+            Tok::Plus => f.write_str("`+`"),
+            Tok::Minus => f.write_str("`-`"),
+            Tok::Star => f.write_str("`*`"),
+            Tok::Slash => f.write_str("`/`"),
+            Tok::Percent => f.write_str("`%`"),
+            Tok::Amp => f.write_str("`&`"),
+            Tok::Pipe => f.write_str("`|`"),
+            Tok::Caret => f.write_str("`^`"),
+            Tok::Tilde => f.write_str("`~`"),
+            Tok::Bang => f.write_str("`!`"),
+            Tok::Shl => f.write_str("`<<`"),
+            Tok::Shr => f.write_str("`>>`"),
+            Tok::Lt => f.write_str("`<`"),
+            Tok::Le => f.write_str("`<=`"),
+            Tok::Gt => f.write_str("`>`"),
+            Tok::Ge => f.write_str("`>=`"),
+            Tok::EqEq => f.write_str("`==`"),
+            Tok::NotEq => f.write_str("`!=`"),
+            Tok::AndAnd => f.write_str("`&&`"),
+            Tok::OrOr => f.write_str("`||`"),
+            Tok::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// Where it appeared.
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_displays_line_col() {
+        let s = Span { start: 0, end: 1, line: 3, col: 7 };
+        assert_eq!(s.to_string(), "3:7");
+    }
+
+    #[test]
+    fn token_display_is_nonempty() {
+        for t in [Tok::Module, Tok::Arrow, Tok::Ident("x".into()), Tok::Int(5), Tok::Eof] {
+            assert!(!t.to_string().is_empty());
+        }
+    }
+}

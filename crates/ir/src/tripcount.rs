@@ -1,0 +1,207 @@
+//! Static trip-count analysis for counted loops.
+//!
+//! Detects the classic counted-loop shape —
+//!
+//! ```text
+//! var i: u16 = C0;            // or `i = C0;`
+//! while (i < C1) {            // or `<=`
+//!     ...                     // i not assigned here
+//!     i = i + STEP;           // last statement, STEP a positive constant
+//! }
+//! ```
+//!
+//! — and computes the exact iteration count. The estimator uses this the way
+//! a profile-guided compiler would: counted loops are *deterministic*, so
+//! unrolling them in the duration model removes their (misspecified)
+//! geometric approximation entirely and concentrates the likelihood on the
+//! data-dependent branches. See `ct_cfg::unroll` and
+//! `ct_core::unrolled` for the consumers.
+
+use crate::ast::{BinOp, Expr, ExprKind, LValue, ProcDecl, Stmt};
+use crate::token::Span;
+use std::collections::HashMap;
+
+/// Trip counts of every detected counted `while`, keyed by the `while`
+/// statement's span (unique per statement).
+pub fn counted_whiles(proc: &ProcDecl) -> HashMap<Span, u64> {
+    let mut out = HashMap::new();
+    scan_stmts(&proc.body, &mut out);
+    out
+}
+
+fn scan_stmts(stmts: &[Stmt], out: &mut HashMap<Span, u64>) {
+    for (i, stmt) in stmts.iter().enumerate() {
+        match stmt {
+            Stmt::While { cond, body, span } => {
+                if i > 0 {
+                    if let Some(trips) = match_counted(&stmts[i - 1], cond, body) {
+                        out.insert(*span, trips);
+                    }
+                }
+                scan_stmts(body, out);
+            }
+            Stmt::If { then_blk, else_blk, .. } => {
+                scan_stmts(then_blk, out);
+                scan_stmts(else_blk, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Matches the counted pattern; returns the exact trip count.
+fn match_counted(prev: &Stmt, cond: &Expr, body: &[Stmt]) -> Option<u64> {
+    // Condition: i < C1 or i <= C1.
+    let ExprKind::Binary(op, lhs, rhs) = &cond.kind else { return None };
+    let inclusive = match op {
+        BinOp::Lt => false,
+        BinOp::Le => true,
+        _ => return None,
+    };
+    let ExprKind::Var(var) = &lhs.kind else { return None };
+    let ExprKind::Int(c1) = rhs.kind else { return None };
+
+    // Initialization immediately before the loop.
+    let c0 = match prev {
+        Stmt::VarDecl { name, init, .. } if name == var => match init {
+            None => 0,
+            Some(Expr { kind: ExprKind::Int(v), .. }) => *v,
+            _ => return None,
+        },
+        Stmt::Assign { target: LValue::Var(name), value, .. } if name == var => {
+            match value.kind {
+                ExprKind::Int(v) => v,
+                _ => return None,
+            }
+        }
+        _ => return None,
+    };
+
+    // Increment: the body's last statement is `i = i + STEP`.
+    let Some(Stmt::Assign { target: LValue::Var(name), value, .. }) = body.last() else {
+        return None;
+    };
+    if name != var {
+        return None;
+    }
+    let ExprKind::Binary(BinOp::Add, il, ir) = &value.kind else { return None };
+    let ExprKind::Var(iv) = &il.kind else { return None };
+    let ExprKind::Int(step) = ir.kind else { return None };
+    if iv != var || step <= 0 {
+        return None;
+    }
+
+    // The loop variable must not be written anywhere else in the body
+    // (the final increment is checked above and excluded here).
+    if assigns_var(&body[..body.len() - 1], var) {
+        return None;
+    }
+
+    // Exact count with guard against wrap-around shenanigans.
+    if c0 < 0 || c1 < 0 || c1 > u32::MAX as i64 {
+        return None;
+    }
+    let bound = if inclusive { c1 + 1 } else { c1 };
+    if bound <= c0 {
+        return Some(0);
+    }
+    let trips = (bound - c0 + step - 1) / step;
+    Some(trips as u64)
+}
+
+fn assigns_var(stmts: &[Stmt], var: &str) -> bool {
+    stmts.iter().any(|s| match s {
+        Stmt::Assign { target: LValue::Var(name), .. } => name == var,
+        Stmt::VarDecl { name, .. } => name == var,
+        Stmt::If { then_blk, else_blk, .. } => {
+            assigns_var(then_blk, var) || assigns_var(else_blk, var)
+        }
+        Stmt::While { body, .. } => assigns_var(body, var),
+        _ => false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_module;
+
+    fn trips_of(body_src: &str) -> Vec<u64> {
+        let m = parse_module(&format!("module T {{ var g: u32; proc f() {{ {body_src} }} }}"))
+            .unwrap();
+        let mut v: Vec<u64> = counted_whiles(&m.procs[0]).values().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn basic_counted_loop() {
+        assert_eq!(trips_of("var i: u16 = 0; while (i < 8) { g = g + i; i = i + 1; }"), vec![8]);
+    }
+
+    #[test]
+    fn inclusive_bound_and_step() {
+        assert_eq!(trips_of("var i: u16 = 0; while (i <= 8) { i = i + 1; }"), vec![9]);
+        assert_eq!(trips_of("var i: u16 = 0; while (i < 10) { i = i + 3; }"), vec![4]);
+        assert_eq!(trips_of("var i: u16 = 2; while (i < 10) { i = i + 2; }"), vec![4]);
+    }
+
+    #[test]
+    fn assignment_init_also_matches() {
+        assert_eq!(
+            trips_of("var i: u16 = 99; i = 0; while (i < 5) { i = i + 1; }"),
+            vec![5]
+        );
+    }
+
+    #[test]
+    fn default_zero_init_matches() {
+        assert_eq!(trips_of("var i: u16; while (i < 3) { i = i + 1; }"), vec![3]);
+    }
+
+    #[test]
+    fn zero_trip_loop() {
+        assert_eq!(trips_of("var i: u16 = 9; while (i < 5) { i = i + 1; }"), vec![0]);
+    }
+
+    #[test]
+    fn nested_counted_loops_both_found() {
+        let t = trips_of(
+            "var i: u16 = 0; while (i < 8) {
+                var j: u16 = 0;
+                while (j < 8) { g = g + 1; j = j + 1; }
+                i = i + 1;
+            }",
+        );
+        assert_eq!(t, vec![8, 8]);
+    }
+
+    #[test]
+    fn data_dependent_loops_are_not_counted() {
+        assert!(trips_of("var i: u16 = 0; while (read_adc() < 500) { i = i + 1; }").is_empty());
+        // Bound is a variable, not a constant.
+        assert!(trips_of("var n: u16 = 8; var i: u16 = 0; while (i < n) { i = i + 1; }")
+            .is_empty());
+    }
+
+    #[test]
+    fn extra_writes_to_loop_var_disqualify() {
+        assert!(trips_of(
+            "var i: u16 = 0; while (i < 8) { if (g > 3) { i = i + 5; } else { } i = i + 1; }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn increment_not_last_disqualifies() {
+        assert!(trips_of("var i: u16 = 0; while (i < 8) { i = i + 1; g = g + 1; }").is_empty());
+    }
+
+    #[test]
+    fn counted_loop_inside_if_found() {
+        let t = trips_of(
+            "if (g > 1) { var i: u16 = 0; while (i < 4) { i = i + 1; } } else { }",
+        );
+        assert_eq!(t, vec![4]);
+    }
+}

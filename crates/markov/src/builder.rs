@@ -1,0 +1,86 @@
+//! Building the per-procedure Markov chain from a CFG and branch
+//! probabilities — the paper's program model.
+
+use crate::chain::{ChainError, Dtmc};
+use ct_cfg::graph::{Cfg, Terminator};
+use ct_cfg::profile::BranchProbs;
+use ct_stats::matrix::Matrix;
+
+/// Builds the discrete-time Markov chain of a procedure: one state per basic
+/// block, transition probabilities from `probs`, return blocks absorbing.
+///
+/// # Errors
+///
+/// Propagates [`ChainError`] if the assembled matrix is invalid (which would
+/// indicate an inconsistent `probs` vector).
+///
+/// # Examples
+///
+/// ```
+/// use ct_cfg::builder::diamond;
+/// use ct_cfg::profile::BranchProbs;
+/// use ct_markov::builder::chain_from_cfg;
+/// let cfg = diamond();
+/// let chain = chain_from_cfg(&cfg, &BranchProbs::from_vec(&cfg, vec![0.8])).unwrap();
+/// assert!((chain.prob(0, 1) - 0.8).abs() < 1e-12);
+/// assert!(chain.is_absorbing_state(3));
+/// ```
+pub fn chain_from_cfg(cfg: &Cfg, probs: &BranchProbs) -> Result<Dtmc, ChainError> {
+    let n = cfg.len();
+    let mut p = Matrix::zeros(n, n);
+    for (id, b) in cfg.iter() {
+        match b.term {
+            Terminator::Jump(t) => p[(id.index(), t.index())] = 1.0,
+            Terminator::Branch { on_true, on_false } => {
+                let pt = probs.prob_true(id).unwrap_or(0.5);
+                p[(id.index(), on_true.index())] = pt;
+                p[(id.index(), on_false.index())] = 1.0 - pt;
+            }
+            Terminator::Return => p[(id.index(), id.index())] = 1.0,
+        }
+    }
+    Dtmc::new(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_cfg::builder::{diamond, linear, while_loop};
+    use ct_cfg::graph::BlockId;
+
+    #[test]
+    fn linear_chain_is_deterministic() {
+        let cfg = linear(3);
+        let chain = chain_from_cfg(&cfg, &BranchProbs::uniform(&cfg, 0.5)).unwrap();
+        assert_eq!(chain.prob(0, 1), 1.0);
+        assert_eq!(chain.prob(1, 2), 1.0);
+        assert!(chain.is_absorbing_state(2));
+    }
+
+    #[test]
+    fn branch_probabilities_transfer() {
+        let cfg = diamond();
+        let probs = BranchProbs::from_vec(&cfg, vec![0.25]);
+        let chain = chain_from_cfg(&cfg, &probs).unwrap();
+        assert!((chain.prob(0, 1) - 0.25).abs() < 1e-12);
+        assert!((chain.prob(0, 2) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loop_back_edge_probability() {
+        let cfg = while_loop();
+        let mut probs = BranchProbs::uniform(&cfg, 0.5);
+        probs.set_prob_true(BlockId(1), 0.9);
+        let chain = chain_from_cfg(&cfg, &probs).unwrap();
+        assert!((chain.prob(1, 2) - 0.9).abs() < 1e-12);
+        assert!((chain.prob(1, 3) - 0.1).abs() < 1e-12);
+        assert_eq!(chain.prob(2, 1), 1.0);
+    }
+
+    #[test]
+    fn exactly_exits_absorb() {
+        let cfg = diamond();
+        let chain = chain_from_cfg(&cfg, &BranchProbs::uniform(&cfg, 0.5)).unwrap();
+        assert_eq!(chain.absorbing_states(), vec![3]);
+    }
+}

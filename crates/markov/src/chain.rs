@@ -1,0 +1,230 @@
+//! Discrete-time Markov chains over finite state spaces.
+
+use ct_stats::matrix::Matrix;
+use std::error::Error;
+use std::fmt;
+
+/// Error constructing or analyzing a chain.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChainError {
+    /// A row of the transition matrix does not sum to 1 (within tolerance).
+    NotStochastic {
+        /// Offending row.
+        row: usize,
+        /// Its sum.
+        sum: f64,
+    },
+    /// A transition probability is negative or non-finite.
+    BadProbability {
+        /// Offending row.
+        row: usize,
+        /// Offending column.
+        col: usize,
+    },
+    /// The matrix is not square.
+    NotSquare,
+    /// The requested analysis needs at least one absorbing state.
+    NoAbsorbingStates,
+    /// A transient state cannot reach any absorbing state, so absorption
+    /// analyses diverge.
+    AbsorptionUnreachable {
+        /// A state from which absorption is unreachable.
+        state: usize,
+    },
+    /// The linear solve inside an analysis failed (singular system).
+    Numeric(String),
+}
+
+impl fmt::Display for ChainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChainError::NotStochastic { row, sum } => {
+                write!(f, "row {row} sums to {sum}, expected 1")
+            }
+            ChainError::BadProbability { row, col } => {
+                write!(f, "invalid probability at ({row}, {col})")
+            }
+            ChainError::NotSquare => write!(f, "transition matrix must be square"),
+            ChainError::NoAbsorbingStates => {
+                write!(f, "analysis requires at least one absorbing state")
+            }
+            ChainError::AbsorptionUnreachable { state } => {
+                write!(f, "absorption is unreachable from state {state}")
+            }
+            ChainError::Numeric(msg) => write!(f, "numeric failure: {msg}"),
+        }
+    }
+}
+
+impl Error for ChainError {}
+
+/// A finite discrete-time Markov chain.
+///
+/// # Examples
+///
+/// ```
+/// use ct_stats::matrix::Matrix;
+/// use ct_markov::chain::Dtmc;
+/// let p = Matrix::from_rows(&[&[0.5, 0.5], &[0.0, 1.0]]);
+/// let chain = Dtmc::new(p).unwrap();
+/// assert!(chain.is_absorbing_state(1));
+/// assert!(!chain.is_absorbing_state(0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dtmc {
+    p: Matrix,
+}
+
+/// Row-sum tolerance for stochasticity validation.
+const STOCHASTIC_TOL: f64 = 1e-9;
+
+impl Dtmc {
+    /// Validates and wraps a row-stochastic transition matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainError`] when the matrix is not square, has invalid
+    /// entries, or a row does not sum to one.
+    pub fn new(p: Matrix) -> Result<Dtmc, ChainError> {
+        if p.rows() != p.cols() {
+            return Err(ChainError::NotSquare);
+        }
+        for i in 0..p.rows() {
+            let mut sum = 0.0;
+            for j in 0..p.cols() {
+                let v = p[(i, j)];
+                if !v.is_finite() || !(0.0..=1.0 + STOCHASTIC_TOL).contains(&v) {
+                    return Err(ChainError::BadProbability { row: i, col: j });
+                }
+                sum += v;
+            }
+            if (sum - 1.0).abs() > STOCHASTIC_TOL {
+                return Err(ChainError::NotStochastic { row: i, sum });
+            }
+        }
+        Ok(Dtmc { p })
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.p.rows()
+    }
+
+    /// True when the chain has no states. (Never true for a constructed
+    /// chain; provided for API completeness.)
+    pub fn is_empty(&self) -> bool {
+        self.p.rows() == 0
+    }
+
+    /// Transition probability from `i` to `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn prob(&self, i: usize, j: usize) -> f64 {
+        self.p[(i, j)]
+    }
+
+    /// The transition matrix.
+    pub fn matrix(&self) -> &Matrix {
+        &self.p
+    }
+
+    /// True when state `i` is absorbing (`p(i,i) == 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn is_absorbing_state(&self, i: usize) -> bool {
+        (self.p[(i, i)] - 1.0).abs() <= STOCHASTIC_TOL
+    }
+
+    /// Indices of all absorbing states.
+    pub fn absorbing_states(&self) -> Vec<usize> {
+        (0..self.len()).filter(|&i| self.is_absorbing_state(i)).collect()
+    }
+
+    /// Indices of all transient (non-absorbing) states.
+    pub fn transient_states(&self) -> Vec<usize> {
+        (0..self.len()).filter(|&i| !self.is_absorbing_state(i)).collect()
+    }
+
+    /// One-step distribution: `row · P` for a distribution over states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dist.len()` differs from the state count.
+    #[allow(clippy::needless_range_loop)]
+    pub fn step(&self, dist: &[f64]) -> Vec<f64> {
+        assert_eq!(dist.len(), self.len(), "distribution length mismatch");
+        let mut out = vec![0.0; self.len()];
+        for i in 0..self.len() {
+            if dist[i] == 0.0 {
+                continue;
+            }
+            for j in 0..self.len() {
+                out[j] += dist[i] * self.p[(i, j)];
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_valid_chain() {
+        let p = Matrix::from_rows(&[&[0.3, 0.7], &[1.0, 0.0]]);
+        assert!(Dtmc::new(p).is_ok());
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let p = Matrix::zeros(2, 3);
+        assert_eq!(Dtmc::new(p), Err(ChainError::NotSquare));
+    }
+
+    #[test]
+    fn rejects_bad_row_sum() {
+        let p = Matrix::from_rows(&[&[0.3, 0.3], &[0.0, 1.0]]);
+        assert!(matches!(Dtmc::new(p), Err(ChainError::NotStochastic { row: 0, .. })));
+    }
+
+    #[test]
+    fn rejects_negative_probability() {
+        let p = Matrix::from_rows(&[&[-0.1, 1.1], &[0.0, 1.0]]);
+        assert!(matches!(Dtmc::new(p), Err(ChainError::BadProbability { .. })));
+    }
+
+    #[test]
+    fn classifies_absorbing_and_transient() {
+        let p = Matrix::from_rows(&[&[0.5, 0.25, 0.25], &[0.0, 1.0, 0.0], &[0.0, 0.0, 1.0]]);
+        let c = Dtmc::new(p).unwrap();
+        assert_eq!(c.absorbing_states(), vec![1, 2]);
+        assert_eq!(c.transient_states(), vec![0]);
+    }
+
+    #[test]
+    fn step_propagates_distribution() {
+        let p = Matrix::from_rows(&[&[0.0, 1.0], &[0.0, 1.0]]);
+        let c = Dtmc::new(p).unwrap();
+        let d = c.step(&[1.0, 0.0]);
+        assert_eq!(d, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn step_preserves_total_mass() {
+        let p = Matrix::from_rows(&[&[0.5, 0.5], &[0.2, 0.8]]);
+        let c = Dtmc::new(p).unwrap();
+        let d = c.step(&[0.4, 0.6]);
+        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ChainError::NotStochastic { row: 2, sum: 0.9 };
+        assert!(e.to_string().contains("row 2"));
+    }
+}

@@ -1,0 +1,271 @@
+//! Accumulated-reward (duration) moments and exact duration distributions.
+//!
+//! With per-state rewards `c` (block cycle costs), the total reward until
+//! absorption `T` satisfies, for transient `i`:
+//!
+//! ```text
+//! E[Tᵢ]  = cᵢ + Σⱼ pᵢⱼ E[Tⱼ]
+//! E[Tᵢ²] = cᵢ² + 2 cᵢ (E[Tᵢ] − cᵢ) + Σⱼ pᵢⱼ E[Tⱼ²]
+//! ```
+//!
+//! (with `E[T_a] = c_a`, `E[T_a²] = c_a²` at absorbing `a`: the return block
+//! executes once). The method-of-moments estimator in `ct-core` matches these
+//! model moments against sample moments of the observed timings.
+
+use crate::chain::{ChainError, Dtmc};
+use ct_stats::matrix::Matrix;
+use ct_stats::solve::Lu;
+use std::collections::BTreeMap;
+
+/// Mean and variance of the total accumulated reward until absorption.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DurationMoments {
+    /// Expected total reward.
+    pub mean: f64,
+    /// Variance of the total reward.
+    pub variance: f64,
+}
+
+/// Computes [`DurationMoments`] from `start`.
+///
+/// # Errors
+///
+/// [`ChainError::NoAbsorbingStates`] / [`ChainError::AbsorptionUnreachable`]
+/// as in the absorbing analysis.
+///
+/// # Panics
+///
+/// Panics if `rewards.len()` differs from the state count or `start` is out
+/// of range.
+pub fn duration_moments(
+    chain: &Dtmc,
+    rewards: &[f64],
+    start: usize,
+) -> Result<DurationMoments, ChainError> {
+    let n = chain.len();
+    assert_eq!(rewards.len(), n, "one reward per state required");
+    assert!(start < n, "start state out of range");
+
+    let absorbing = chain.absorbing_states();
+    if absorbing.is_empty() {
+        return Err(ChainError::NoAbsorbingStates);
+    }
+    if chain.is_absorbing_state(start) {
+        return Ok(DurationMoments { mean: rewards[start], variance: 0.0 });
+    }
+    let transient = chain.transient_states();
+    let t = transient.len();
+
+    let mut i_minus_q = Matrix::identity(t);
+    for (ti, &si) in transient.iter().enumerate() {
+        for (tj, &sj) in transient.iter().enumerate() {
+            i_minus_q[(ti, tj)] -= chain.prob(si, sj);
+        }
+    }
+    let lu = Lu::factor(&i_minus_q).map_err(|_| ChainError::AbsorptionUnreachable {
+        state: transient[0],
+    })?;
+
+    // First moment: (I−Q) m = c_T + R c_A.
+    let mut b1 = vec![0.0; t];
+    for (ti, &si) in transient.iter().enumerate() {
+        let mut acc = rewards[si];
+        for &sa in &absorbing {
+            acc += chain.prob(si, sa) * rewards[sa];
+        }
+        b1[ti] = acc;
+    }
+    let m1 = lu.solve(&b1).map_err(|e| ChainError::Numeric(e.to_string()))?;
+
+    // Second moment: (I−Q) s = b₂ where
+    // b₂ᵢ = cᵢ² + 2 cᵢ (mᵢ − cᵢ) + Σ_a r_{ia} c_a².
+    let mut b2 = vec![0.0; t];
+    for (ti, &si) in transient.iter().enumerate() {
+        let c = rewards[si];
+        let mut acc = c * c + 2.0 * c * (m1[ti] - c);
+        for &sa in &absorbing {
+            acc += chain.prob(si, sa) * rewards[sa] * rewards[sa];
+        }
+        b2[ti] = acc;
+    }
+    let m2 = lu.solve(&b2).map_err(|e| ChainError::Numeric(e.to_string()))?;
+
+    let si = transient.iter().position(|&s| s == start).expect("start is transient");
+    let mean = m1[si];
+    let variance = (m2[si] - mean * mean).max(0.0);
+    Ok(DurationMoments { mean, variance })
+}
+
+/// Exact distribution of the total integer reward until absorption, starting
+/// from `start`.
+///
+/// Dynamic programming over `(state, accumulated reward)` pairs; probability
+/// mass below `mass_eps` per entry is dropped (and reported as truncated).
+///
+/// # Errors
+///
+/// [`ChainError::Numeric`] if the DP exceeds `max_entries` live entries,
+/// which indicates runaway loops for the requested precision.
+///
+/// # Panics
+///
+/// Panics if `costs.len()` differs from the state count.
+pub fn duration_distribution(
+    chain: &Dtmc,
+    costs: &[u64],
+    start: usize,
+    mass_eps: f64,
+    max_entries: usize,
+) -> Result<DurationDistribution, ChainError> {
+    let n = chain.len();
+    assert_eq!(costs.len(), n, "one cost per state required");
+    assert!(start < n, "start state out of range");
+
+    let mut result: BTreeMap<u64, f64> = BTreeMap::new();
+    let mut truncated = 0.0;
+    // Live frontier: (state, reward so far *excluding* the current state's
+    // own cost) → probability.
+    let mut frontier: BTreeMap<(usize, u64), f64> = BTreeMap::new();
+    frontier.insert((start, 0), 1.0);
+
+    while !frontier.is_empty() {
+        if frontier.len() > max_entries {
+            return Err(ChainError::Numeric(format!(
+                "duration DP exceeded {max_entries} live entries"
+            )));
+        }
+        let mut next: BTreeMap<(usize, u64), f64> = BTreeMap::new();
+        for ((state, acc), mass) in frontier {
+            let total = acc + costs[state];
+            if chain.is_absorbing_state(state) {
+                *result.entry(total).or_insert(0.0) += mass;
+                continue;
+            }
+            for j in 0..n {
+                let p = chain.prob(state, j);
+                if p <= 0.0 {
+                    continue;
+                }
+                let m = mass * p;
+                if m < mass_eps {
+                    truncated += m;
+                    continue;
+                }
+                *next.entry((j, total)).or_insert(0.0) += m;
+            }
+        }
+        frontier = next;
+    }
+
+    Ok(DurationDistribution { pmf: result, truncated_mass: truncated })
+}
+
+/// A (possibly truncated) probability mass function over integer durations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DurationDistribution {
+    /// Duration → probability.
+    pub pmf: BTreeMap<u64, f64>,
+    /// Probability mass dropped by truncation.
+    pub truncated_mass: f64,
+}
+
+impl DurationDistribution {
+    /// Mean of the (retained) distribution.
+    pub fn mean(&self) -> f64 {
+        self.pmf.iter().map(|(&t, &p)| t as f64 * p).sum()
+    }
+
+    /// Total retained probability mass.
+    pub fn total_mass(&self) -> f64 {
+        self.pmf.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_stats::matrix::Matrix;
+
+    fn branch_chain(p_left: f64) -> (Dtmc, Vec<u64>) {
+        // 0 → 1 (cost 10) or 2 (cost 20); both → 3 (absorbing, cost 1). 0 costs 5.
+        let p = Matrix::from_rows(&[
+            &[0.0, p_left, 1.0 - p_left, 0.0],
+            &[0.0, 0.0, 0.0, 1.0],
+            &[0.0, 0.0, 0.0, 1.0],
+            &[0.0, 0.0, 0.0, 1.0],
+        ]);
+        (Dtmc::new(p).unwrap(), vec![5, 10, 20, 1])
+    }
+
+    #[test]
+    fn branch_moments_match_mixture() {
+        let (chain, costs) = branch_chain(0.5);
+        let rewards: Vec<f64> = costs.iter().map(|&c| c as f64).collect();
+        let m = duration_moments(&chain, &rewards, 0).unwrap();
+        // Totals: 16 or 26 with equal probability → mean 21, var 25.
+        assert!((m.mean - 21.0).abs() < 1e-9);
+        assert!((m.variance - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geometric_loop_moments() {
+        // State 0: stay w.p. q (reward 3), exit to 1 (reward 0).
+        let q = 0.5;
+        let p = Matrix::from_rows(&[&[q, 1.0 - q], &[0.0, 1.0]]);
+        let chain = Dtmc::new(p).unwrap();
+        let m = duration_moments(&chain, &[3.0, 0.0], 0).unwrap();
+        // Visits of state 0 ~ 1 + Geometric(1-q): mean 2, var q/(1-q)² = 2.
+        assert!((m.mean - 6.0).abs() < 1e-9);
+        assert!((m.variance - 9.0 * 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn start_absorbed_has_zero_variance() {
+        let (chain, _) = branch_chain(0.5);
+        let m = duration_moments(&chain, &[0.0, 0.0, 0.0, 7.0], 3).unwrap();
+        assert_eq!(m.mean, 7.0);
+        assert_eq!(m.variance, 0.0);
+    }
+
+    #[test]
+    fn distribution_of_branch_is_two_point() {
+        let (chain, costs) = branch_chain(0.25);
+        let d = duration_distribution(&chain, &costs, 0, 1e-12, 10_000).unwrap();
+        assert_eq!(d.pmf.len(), 2);
+        assert!((d.pmf[&16] - 0.25).abs() < 1e-12);
+        assert!((d.pmf[&26] - 0.75).abs() < 1e-12);
+        assert!((d.total_mass() - 1.0).abs() < 1e-12);
+        assert!((d.mean() - 23.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distribution_of_loop_is_geometric() {
+        let q = 0.5;
+        let p = Matrix::from_rows(&[&[q, 1.0 - q], &[0.0, 1.0]]);
+        let chain = Dtmc::new(p).unwrap();
+        let d = duration_distribution(&chain, &[3, 0], 0, 1e-10, 10_000).unwrap();
+        // Durations 3k for k ≥ 1 with prob (1/2)^k.
+        assert!((d.pmf[&3] - 0.5).abs() < 1e-9);
+        assert!((d.pmf[&6] - 0.25).abs() < 1e-9);
+        assert!((d.pmf[&9] - 0.125).abs() < 1e-9);
+        assert!(d.truncated_mass < 1e-6);
+    }
+
+    #[test]
+    fn distribution_mean_matches_moments() {
+        let (chain, costs) = branch_chain(0.6);
+        let rewards: Vec<f64> = costs.iter().map(|&c| c as f64).collect();
+        let m = duration_moments(&chain, &rewards, 0).unwrap();
+        let d = duration_distribution(&chain, &costs, 0, 1e-12, 10_000).unwrap();
+        assert!((m.mean - d.mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dp_entry_cap_enforced() {
+        let q = 0.999;
+        let p = Matrix::from_rows(&[&[q, 1.0 - q], &[0.0, 1.0]]);
+        let chain = Dtmc::new(p).unwrap();
+        // Extremely slow-mixing loop with tiny eps and tiny cap must error.
+        assert!(duration_distribution(&chain, &[1, 0], 0, 1e-300, 0).is_err());
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests: Markov theory against Monte-Carlo simulation.
+
+use ct_cfg::builder::{diamond, while_loop};
+use ct_cfg::graph::BlockId;
+use ct_cfg::profile::BranchProbs;
+use ct_markov::{
+    chain_from_cfg, duration_distribution, duration_moments, sample_duration, AbsorbingAnalysis,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Expected visits from the fundamental matrix match simulation.
+    #[test]
+    fn visits_match_simulation(q in 0.05f64..0.9, seed in 0u64..100) {
+        let cfg = while_loop();
+        let probs = BranchProbs::from_vec(&cfg, vec![q]);
+        let chain = chain_from_cfg(&cfg, &probs).unwrap();
+        let analysis = AbsorbingAnalysis::new(&chain).unwrap();
+        let expected = analysis.expected_visits(0, cfg.len());
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 4000;
+        let mut totals = vec![0u64; cfg.len()];
+        for _ in 0..n {
+            let run = ct_markov::sample_run(&chain, 0, &mut rng, 100_000).unwrap();
+            for &s in &run {
+                totals[s] += 1;
+            }
+        }
+        for b in 0..cfg.len() {
+            let sim = totals[b] as f64 / n as f64;
+            // Absorbing state visits are counted once in simulation but are
+            // not "transient visits"; skip the exit block.
+            if b == 3 { continue; }
+            let tol = 0.15 * expected[b].max(0.3);
+            prop_assert!((sim - expected[b]).abs() < tol,
+                "block {b}: sim {sim} vs expected {}", expected[b]);
+        }
+    }
+
+    /// Duration moments match the exact distribution's moments.
+    #[test]
+    fn moments_match_distribution(q in 0.05f64..0.8, c_body in 1u64..40) {
+        let cfg = while_loop();
+        let probs = BranchProbs::from_vec(&cfg, vec![q]);
+        let chain = chain_from_cfg(&cfg, &probs).unwrap();
+        let costs = [2u64, 3, c_body, 1];
+        let rewards: Vec<f64> = costs.iter().map(|&c| c as f64).collect();
+        let m = duration_moments(&chain, &rewards, 0).unwrap();
+        let d = duration_distribution(&chain, &costs, 0, 1e-12, 1_000_000).unwrap();
+        prop_assert!(d.truncated_mass < 1e-6);
+        let mean = d.mean();
+        prop_assert!((m.mean - mean).abs() < 1e-6 * mean.max(1.0), "{} vs {mean}", m.mean);
+        let var: f64 = d.pmf.iter().map(|(&t, &p)| p * (t as f64 - mean).powi(2)).sum();
+        prop_assert!((m.variance - var).abs() < 1e-4 * var.max(1.0), "{} vs {var}", m.variance);
+    }
+
+    /// Sampled durations live in the exact distribution's support.
+    #[test]
+    fn samples_in_support(p in 0.1f64..0.9, seed in 0u64..50) {
+        let cfg = diamond();
+        let probs = BranchProbs::from_vec(&cfg, vec![p]);
+        let chain = chain_from_cfg(&cfg, &probs).unwrap();
+        let costs = [7u64, 13, 29, 3];
+        let d = duration_distribution(&chain, &costs, 0, 1e-12, 10_000).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let s = sample_duration(&chain, &costs, 0, &mut rng, 1000).unwrap();
+            prop_assert!(d.pmf.contains_key(&s), "sample {s} outside support");
+        }
+    }
+
+    /// Absorption probabilities sum to one from every transient start.
+    #[test]
+    fn absorption_probs_normalize(p in 0.01f64..0.99) {
+        let cfg = diamond();
+        let probs = BranchProbs::from_vec(&cfg, vec![p]);
+        let chain = chain_from_cfg(&cfg, &probs).unwrap();
+        let analysis = AbsorbingAnalysis::new(&chain).unwrap();
+        for s in chain.transient_states() {
+            let total: f64 = analysis.absorption_probs(s).iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Loop visits scale as 1/(1-q).
+    #[test]
+    fn loop_visits_geometric(q in 0.05f64..0.95) {
+        let cfg = while_loop();
+        let probs = BranchProbs::from_vec(&cfg, vec![q]);
+        let v = ct_markov::visits::expected_visits(&cfg, &probs).unwrap();
+        prop_assert!((v[BlockId(1).index()] - 1.0 / (1.0 - q)).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,360 @@
+//! Simulated mote peripherals: ADC sensor, radio, LEDs.
+//!
+//! The ADC is where nondeterministic inputs enter sensor programs — branch
+//! behaviour downstream of `read_adc()` is what Code Tomography estimates.
+//! Several source models are provided so the benchmark apps see realistic
+//! input regimes (steady fields, periodic signals, bursty events, replayed
+//! traces).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// A stream of 10-bit ADC readings.
+pub trait AdcSource {
+    /// Draws the next reading (expected range 0..=1023, not enforced).
+    fn sample(&mut self, rng: &mut StdRng) -> u16;
+}
+
+/// Always returns the same value (a dead-calm sensor field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConstantAdc(pub u16);
+
+impl AdcSource for ConstantAdc {
+    fn sample(&mut self, _rng: &mut StdRng) -> u16 {
+        self.0
+    }
+}
+
+/// Uniform readings in `lo..=hi`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniformAdc {
+    /// Inclusive lower bound.
+    pub lo: u16,
+    /// Inclusive upper bound.
+    pub hi: u16,
+}
+
+impl AdcSource for UniformAdc {
+    fn sample(&mut self, rng: &mut StdRng) -> u16 {
+        rng.gen_range(self.lo..=self.hi)
+    }
+}
+
+/// A slow sinusoid plus uniform noise — a periodic environmental signal
+/// (temperature, light).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SineAdc {
+    /// Midpoint of the signal.
+    pub center: f64,
+    /// Peak deviation from the midpoint.
+    pub amplitude: f64,
+    /// Samples per full period.
+    pub period: f64,
+    /// Half-width of the uniform noise.
+    pub noise: f64,
+    t: u64,
+}
+
+impl SineAdc {
+    /// Creates a sinusoid source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period <= 0`.
+    pub fn new(center: f64, amplitude: f64, period: f64, noise: f64) -> SineAdc {
+        assert!(period > 0.0, "period must be positive");
+        SineAdc { center, amplitude, period, noise, t: 0 }
+    }
+}
+
+impl AdcSource for SineAdc {
+    fn sample(&mut self, rng: &mut StdRng) -> u16 {
+        let phase = 2.0 * std::f64::consts::PI * (self.t as f64) / self.period;
+        self.t += 1;
+        let noise = if self.noise > 0.0 { rng.gen_range(-self.noise..=self.noise) } else { 0.0 };
+        let v = self.center + self.amplitude * phase.sin() + noise;
+        v.clamp(0.0, 1023.0) as u16
+    }
+}
+
+/// A two-state Markov-modulated source: long quiet spells with occasional
+/// bursts of high readings — the regime event-detection apps are built for.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BurstyAdc {
+    /// Reading range while quiet.
+    pub quiet: (u16, u16),
+    /// Reading range while bursting.
+    pub burst: (u16, u16),
+    /// Probability of entering a burst per sample.
+    pub p_enter: f64,
+    /// Probability of leaving a burst per sample.
+    pub p_exit: f64,
+    in_burst: bool,
+}
+
+impl BurstyAdc {
+    /// Creates a bursty source starting in the quiet state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probabilities are not in `[0, 1]`.
+    pub fn new(quiet: (u16, u16), burst: (u16, u16), p_enter: f64, p_exit: f64) -> BurstyAdc {
+        assert!((0.0..=1.0).contains(&p_enter) && (0.0..=1.0).contains(&p_exit));
+        BurstyAdc { quiet, burst, p_enter, p_exit, in_burst: false }
+    }
+}
+
+impl AdcSource for BurstyAdc {
+    fn sample(&mut self, rng: &mut StdRng) -> u16 {
+        if self.in_burst {
+            if rng.gen_bool(self.p_exit) {
+                self.in_burst = false;
+            }
+        } else if rng.gen_bool(self.p_enter) {
+            self.in_burst = true;
+        }
+        let (lo, hi) = if self.in_burst { self.burst } else { self.quiet };
+        rng.gen_range(lo..=hi)
+    }
+}
+
+/// Replays a fixed trace, cycling at the end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceAdc {
+    values: Vec<u16>,
+    idx: usize,
+}
+
+impl TraceAdc {
+    /// Wraps a trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn new(values: Vec<u16>) -> TraceAdc {
+        assert!(!values.is_empty(), "trace must be nonempty");
+        TraceAdc { values, idx: 0 }
+    }
+}
+
+impl AdcSource for TraceAdc {
+    fn sample(&mut self, _rng: &mut StdRng) -> u16 {
+        let v = self.values[self.idx];
+        self.idx = (self.idx + 1) % self.values.len();
+        v
+    }
+}
+
+/// The mote's radio: a receive queue and a lossy transmit path.
+#[derive(Debug)]
+pub struct Radio {
+    rx_queue: VecDeque<u16>,
+    /// Payloads successfully transmitted.
+    pub sent: Vec<u16>,
+    /// Probability that a transmission fails (CSMA collision / no ack).
+    pub loss_prob: f64,
+}
+
+impl Radio {
+    /// A lossless radio with an empty receive queue.
+    pub fn new() -> Radio {
+        Radio { rx_queue: VecDeque::new(), sent: Vec::new(), loss_prob: 0.0 }
+    }
+
+    /// Enqueues an incoming packet (used by the scheduler's arrival process).
+    pub fn deliver(&mut self, payload: u16) {
+        self.rx_queue.push_back(payload);
+    }
+
+    /// True when a packet is pending.
+    pub fn rx_available(&self) -> bool {
+        !self.rx_queue.is_empty()
+    }
+
+    /// Dequeues a packet payload; 0 when none is pending.
+    pub fn receive(&mut self) -> u16 {
+        self.rx_queue.pop_front().unwrap_or(0)
+    }
+
+    /// Transmits; returns channel success.
+    pub fn send(&mut self, payload: u16, rng: &mut StdRng) -> bool {
+        if self.loss_prob > 0.0 && rng.gen_bool(self.loss_prob) {
+            false
+        } else {
+            self.sent.push(payload);
+            true
+        }
+    }
+}
+
+impl Default for Radio {
+    fn default() -> Self {
+        Radio::new()
+    }
+}
+
+/// The mote's LED bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Leds {
+    /// Current LED states.
+    pub state: [bool; 3],
+    /// Total toggle/set operations (an observable for app tests).
+    pub operations: u64,
+}
+
+impl Leds {
+    /// Sets LED `which % 3` to `on`.
+    pub fn set(&mut self, which: u8, on: bool) {
+        self.state[(which % 3) as usize] = on;
+        self.operations += 1;
+    }
+
+    /// Toggles LED `which % 3`.
+    pub fn toggle(&mut self, which: u8) {
+        let i = (which % 3) as usize;
+        self.state[i] = !self.state[i];
+        self.operations += 1;
+    }
+}
+
+/// All peripherals of one mote.
+#[derive(Debug)]
+pub struct Devices {
+    /// The sensor.
+    pub adc: Box<dyn AdcSource>,
+    /// Total ADC conversions performed (for energy accounting).
+    pub adc_samples: u64,
+    /// The radio.
+    pub radio: Radio,
+    /// The LED bank.
+    pub leds: Leds,
+    /// This mote's identifier (returned by `node_id()`).
+    pub node_id: u16,
+}
+
+impl std::fmt::Debug for dyn AdcSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("AdcSource")
+    }
+}
+
+impl Devices {
+    /// Devices with a given ADC source, lossless radio, dark LEDs, node 1.
+    pub fn with_adc(adc: Box<dyn AdcSource>) -> Devices {
+        Devices {
+            adc,
+            adc_samples: 0,
+            radio: Radio::new(),
+            leds: Leds::default(),
+            node_id: 1,
+        }
+    }
+}
+
+impl Default for Devices {
+    fn default() -> Self {
+        Devices::with_adc(Box::new(UniformAdc { lo: 0, hi: 1023 }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn constant_adc_is_constant() {
+        let mut a = ConstantAdc(512);
+        let mut r = rng();
+        assert_eq!(a.sample(&mut r), 512);
+        assert_eq!(a.sample(&mut r), 512);
+    }
+
+    #[test]
+    fn uniform_adc_within_bounds() {
+        let mut a = UniformAdc { lo: 100, hi: 200 };
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = a.sample(&mut r);
+            assert!((100..=200).contains(&v));
+        }
+    }
+
+    #[test]
+    fn sine_adc_oscillates_and_clamps() {
+        let mut a = SineAdc::new(512.0, 400.0, 16.0, 0.0);
+        let mut r = rng();
+        let samples: Vec<u16> = (0..16).map(|_| a.sample(&mut r)).collect();
+        let max = *samples.iter().max().unwrap();
+        let min = *samples.iter().min().unwrap();
+        assert!(max > 800, "{samples:?}");
+        assert!(min < 200, "{samples:?}");
+    }
+
+    #[test]
+    fn bursty_adc_visits_both_regimes() {
+        let mut a = BurstyAdc::new((0, 100), (900, 1023), 0.2, 0.2);
+        let mut r = rng();
+        let samples: Vec<u16> = (0..500).map(|_| a.sample(&mut r)).collect();
+        assert!(samples.iter().any(|&v| v <= 100));
+        assert!(samples.iter().any(|&v| v >= 900));
+    }
+
+    #[test]
+    fn trace_adc_cycles() {
+        let mut a = TraceAdc::new(vec![1, 2, 3]);
+        let mut r = rng();
+        let got: Vec<u16> = (0..5).map(|_| a.sample(&mut r)).collect();
+        assert_eq!(got, vec![1, 2, 3, 1, 2]);
+    }
+
+    #[test]
+    fn radio_queue_fifo() {
+        let mut radio = Radio::new();
+        assert!(!radio.rx_available());
+        assert_eq!(radio.receive(), 0);
+        radio.deliver(5);
+        radio.deliver(6);
+        assert!(radio.rx_available());
+        assert_eq!(radio.receive(), 5);
+        assert_eq!(radio.receive(), 6);
+        assert!(!radio.rx_available());
+    }
+
+    #[test]
+    fn lossless_radio_sends_everything() {
+        let mut radio = Radio::new();
+        let mut r = rng();
+        assert!(radio.send(9, &mut r));
+        assert_eq!(radio.sent, vec![9]);
+    }
+
+    #[test]
+    fn lossy_radio_drops_some() {
+        let mut radio = Radio::new();
+        radio.loss_prob = 0.5;
+        let mut r = rng();
+        let ok = (0..200).filter(|_| radio.send(1, &mut r)).count();
+        assert!(ok > 50 && ok < 150, "{ok}");
+        assert_eq!(radio.sent.len(), ok);
+    }
+
+    #[test]
+    fn leds_toggle_and_count() {
+        let mut leds = Leds::default();
+        leds.toggle(0);
+        assert!(leds.state[0]);
+        leds.toggle(0);
+        assert!(!leds.state[0]);
+        leds.set(2, true);
+        assert!(leds.state[2]);
+        leds.set(4, true); // wraps to LED 1
+        assert!(leds.state[1]);
+        assert_eq!(leds.operations, 4);
+    }
+}

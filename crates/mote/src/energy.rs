@@ -1,0 +1,113 @@
+//! Mote energy accounting.
+//!
+//! The reason sensor-network work cares about cycles at all is energy: motes
+//! run on batteries, and every saved cycle is CPU-active time the node spends
+//! asleep instead. This module converts a run's observable activity — cycles,
+//! ADC samples, radio transmissions — into charge (µC), using
+//! datasheet-order-of-magnitude constants for the two MCU classes.
+
+use crate::devices::Devices;
+
+/// Electrical model of one mote platform.
+///
+/// Charge is reported in microcoulombs (µC): multiply by the supply voltage
+/// for energy in µJ.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// CPU active-mode charge per cycle (µC). At 8 MHz and ~8 mA active
+    /// current, one cycle ≈ 1e-6 µC… scaled here to µC per megacycle for
+    /// numeric sanity: this field is µC per 1e6 cycles.
+    pub cpu_uc_per_mcycle: f64,
+    /// Charge per ADC conversion (µC).
+    pub adc_uc_per_sample: f64,
+    /// Charge per radio packet transmission (µC).
+    pub radio_uc_per_tx: f64,
+}
+
+impl EnergyModel {
+    /// MicaZ-class (ATmega128 + CC2420): 8 mA active at 8 MHz → 1000 µC per
+    /// megacycle; ADC conversion ≈ 2 µC; one short packet TX ≈ 30 µC.
+    pub fn micaz() -> EnergyModel {
+        EnergyModel {
+            cpu_uc_per_mcycle: 1000.0,
+            adc_uc_per_sample: 2.0,
+            radio_uc_per_tx: 30.0,
+        }
+    }
+
+    /// TelosB-class (MSP430 + CC2420): lower active current (~2 mA at 8 MHz)
+    /// → 250 µC per megacycle, same radio.
+    pub fn telosb() -> EnergyModel {
+        EnergyModel {
+            cpu_uc_per_mcycle: 250.0,
+            adc_uc_per_sample: 1.5,
+            radio_uc_per_tx: 30.0,
+        }
+    }
+
+    /// Charge consumed by a run with the given activity counts.
+    pub fn charge_uc(&self, cycles: u64, adc_samples: u64, radio_tx: u64) -> f64 {
+        self.cpu_uc_per_mcycle * cycles as f64 / 1e6
+            + self.adc_uc_per_sample * adc_samples as f64
+            + self.radio_uc_per_tx * radio_tx as f64
+    }
+
+    /// Charge consumed by a mote's devices plus `cycles` of CPU activity.
+    pub fn charge_of(&self, cycles: u64, devices: &Devices) -> f64 {
+        self.charge_uc(cycles, devices.adc_samples, devices.radio.sent.len() as u64)
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel::micaz()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::AvrCost;
+    use crate::interp::Mote;
+    use crate::trace::NullProfiler;
+    use ct_ir::instr::ProcId;
+
+    #[test]
+    fn charge_components_add_up() {
+        let m = EnergyModel::micaz();
+        let c = m.charge_uc(2_000_000, 10, 3);
+        assert!((c - (2000.0 + 20.0 + 90.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn telosb_cpu_is_cheaper() {
+        let cycles = 8_000_000;
+        let micaz = EnergyModel::micaz().charge_uc(cycles, 0, 0);
+        let telosb = EnergyModel::telosb().charge_uc(cycles, 0, 0);
+        assert!(telosb < micaz / 3.0);
+    }
+
+    #[test]
+    fn device_activity_is_counted() {
+        let program = ct_ir::compile_source(
+            "module M { proc f() { var v: u16 = read_adc(); var ok: bool = send_msg(v); } }",
+        )
+        .unwrap();
+        let mut mote = Mote::new(program, Box::new(AvrCost));
+        for _ in 0..5 {
+            mote.call(ProcId(0), &[], &mut NullProfiler).unwrap();
+        }
+        assert_eq!(mote.devices.adc_samples, 5);
+        let model = EnergyModel::micaz();
+        let with_radio = model.charge_of(mote.cycles, &mote.devices);
+        // CPU-only charge must be strictly less.
+        let cpu_only = model.charge_uc(mote.cycles, 0, 0);
+        assert!(with_radio > cpu_only);
+    }
+
+    #[test]
+    fn fewer_cycles_means_less_charge() {
+        let m = EnergyModel::default();
+        assert!(m.charge_uc(1_000_000, 0, 0) < m.charge_uc(1_100_000, 0, 0));
+    }
+}

@@ -1,0 +1,136 @@
+//! Mote RAM: storage for module-level variables.
+
+use ct_ir::instr::GlobalId;
+use ct_ir::program::Program;
+
+/// The global-variable store of a running mote.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalStore {
+    values: Vec<Vec<i64>>,
+    lens: Vec<u32>,
+}
+
+impl GlobalStore {
+    /// Allocates and initializes storage for every global of `program`.
+    pub fn new(program: &Program) -> GlobalStore {
+        let values = program
+            .globals
+            .iter()
+            .map(|g| {
+                let mut v = vec![0i64; g.len as usize];
+                if g.len == 1 {
+                    v[0] = g.init;
+                }
+                v
+            })
+            .collect();
+        let lens = program.globals.iter().map(|g| g.len).collect();
+        GlobalStore { values, lens }
+    }
+
+    /// Reads a scalar global.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    pub fn load(&self, g: GlobalId) -> i64 {
+        self.values[g.index()][0]
+    }
+
+    /// Writes a scalar global.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    pub fn store(&mut self, g: GlobalId, v: i64) {
+        self.values[g.index()][0] = v;
+    }
+
+    /// Reads an array element, or `None` when the index is out of bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    pub fn load_elem(&self, g: GlobalId, index: i64) -> Option<i64> {
+        if index < 0 || index as u64 >= self.lens[g.index()] as u64 {
+            return None;
+        }
+        Some(self.values[g.index()][index as usize])
+    }
+
+    /// Writes an array element; `false` when the index is out of bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    pub fn store_elem(&mut self, g: GlobalId, index: i64, v: i64) -> bool {
+        if index < 0 || index as u64 >= self.lens[g.index()] as u64 {
+            return false;
+        }
+        self.values[g.index()][index as usize] = v;
+        true
+    }
+
+    /// Resets every global to its initial value.
+    pub fn reset(&mut self, program: &Program) {
+        *self = GlobalStore::new(program);
+    }
+
+    /// Snapshot of an array's contents (for app-level assertions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    pub fn array(&self, g: GlobalId) -> &[i64] {
+        &self.values[g.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn program() -> Program {
+        ct_ir::compile_source("module M { var a: u16 = 42; var buf: u8[3]; }").unwrap()
+    }
+
+    #[test]
+    fn scalars_initialize() {
+        let store = GlobalStore::new(&program());
+        assert_eq!(store.load(GlobalId(0)), 42);
+    }
+
+    #[test]
+    fn arrays_zero_initialize() {
+        let store = GlobalStore::new(&program());
+        assert_eq!(store.array(GlobalId(1)), &[0, 0, 0]);
+    }
+
+    #[test]
+    fn store_and_load_round_trip() {
+        let mut store = GlobalStore::new(&program());
+        store.store(GlobalId(0), 7);
+        assert_eq!(store.load(GlobalId(0)), 7);
+    }
+
+    #[test]
+    fn elem_bounds_are_checked() {
+        let mut store = GlobalStore::new(&program());
+        assert!(store.store_elem(GlobalId(1), 2, 9));
+        assert_eq!(store.load_elem(GlobalId(1), 2), Some(9));
+        assert!(!store.store_elem(GlobalId(1), 3, 1));
+        assert_eq!(store.load_elem(GlobalId(1), -1), None);
+        assert_eq!(store.load_elem(GlobalId(1), 3), None);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let p = program();
+        let mut store = GlobalStore::new(&p);
+        store.store(GlobalId(0), 0);
+        store.store_elem(GlobalId(1), 0, 5);
+        store.reset(&p);
+        assert_eq!(store.load(GlobalId(0)), 42);
+        assert_eq!(store.array(GlobalId(1)), &[0, 0, 0]);
+    }
+}

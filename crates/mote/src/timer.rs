@@ -1,0 +1,101 @@
+//! The mote's hardware timer: a quantizing view of the cycle counter.
+//!
+//! Code Tomography's measurements come from cheap hardware timers — a 32.768
+//! kHz crystal on TelosB-class motes — whose resolution is coarse relative to
+//! the CPU clock. The estimator must recover branch probabilities *through*
+//! this quantization; experiment E2 sweeps [`VirtualTimer::cycles_per_tick`].
+
+/// A deterministic quantizing timer: `ticks = floor(cycles / cycles_per_tick)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VirtualTimer {
+    cycles_per_tick: u64,
+}
+
+impl VirtualTimer {
+    /// Creates a timer with the given resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles_per_tick == 0`.
+    pub fn new(cycles_per_tick: u64) -> VirtualTimer {
+        assert!(cycles_per_tick > 0, "timer resolution must be at least one cycle");
+        VirtualTimer { cycles_per_tick }
+    }
+
+    /// A cycle-accurate timer (every cycle is a tick).
+    pub fn cycle_accurate() -> VirtualTimer {
+        VirtualTimer::new(1)
+    }
+
+    /// A 32.768 kHz crystal viewed from an 8 MHz core: ~244 cycles per tick.
+    /// This is the TelosB/MicaZ-class configuration the paper's platform
+    /// would use for low-power timestamps.
+    pub fn khz32_at_8mhz() -> VirtualTimer {
+        VirtualTimer::new(244)
+    }
+
+    /// A 1 MHz timer viewed from an 8 MHz core: 8 cycles per tick.
+    pub fn mhz1_at_8mhz() -> VirtualTimer {
+        VirtualTimer::new(8)
+    }
+
+    /// The resolution in cycles per tick.
+    pub fn cycles_per_tick(&self) -> u64 {
+        self.cycles_per_tick
+    }
+
+    /// The timer reading after `cycles` CPU cycles.
+    pub fn ticks(&self, cycles: u64) -> u64 {
+        cycles / self.cycles_per_tick
+    }
+}
+
+impl Default for VirtualTimer {
+    fn default() -> Self {
+        VirtualTimer::cycle_accurate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_accurate_is_identity() {
+        let t = VirtualTimer::cycle_accurate();
+        assert_eq!(t.ticks(0), 0);
+        assert_eq!(t.ticks(12345), 12345);
+    }
+
+    #[test]
+    fn quantization_floors() {
+        let t = VirtualTimer::new(100);
+        assert_eq!(t.ticks(99), 0);
+        assert_eq!(t.ticks(100), 1);
+        assert_eq!(t.ticks(250), 2);
+    }
+
+    #[test]
+    fn presets() {
+        assert_eq!(VirtualTimer::khz32_at_8mhz().cycles_per_tick(), 244);
+        assert_eq!(VirtualTimer::mhz1_at_8mhz().cycles_per_tick(), 8);
+        assert_eq!(VirtualTimer::default(), VirtualTimer::cycle_accurate());
+    }
+
+    #[test]
+    fn ticks_are_monotone() {
+        let t = VirtualTimer::new(7);
+        let mut last = 0;
+        for c in 0..1000 {
+            let now = t.ticks(c);
+            assert!(now >= last);
+            last = now;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cycle")]
+    fn zero_resolution_panics() {
+        VirtualTimer::new(0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests of the mote: interpreter semantics against a Rust
+//! oracle, determinism, and cycle-accounting invariants.
+
+use ct_ir::instr::ProcId;
+use ct_mote::cost::{AvrCost, Msp430Cost};
+use ct_mote::interp::Mote;
+use ct_mote::trace::NullProfiler;
+use proptest::prelude::*;
+
+fn boot(src: &str) -> Mote {
+    Mote::new(ct_ir::compile_source(src).unwrap(), Box::new(AvrCost))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arithmetic matches a Rust oracle with u16 wrapping on stores.
+    #[test]
+    fn arithmetic_oracle(a in 0u16..=u16::MAX, b in 0u16..=u16::MAX) {
+        let mut mote = boot(
+            "module M { proc f(a: u16, b: u16) -> u16 { return a + b * 3 - (a & b); } }",
+        );
+        let r = mote.call(ProcId(0), &[a as i64, b as i64], &mut NullProfiler).unwrap();
+        let expect = (a as i64 + b as i64 * 3 - (a & b) as i64) as u16;
+        prop_assert_eq!(r, Some(expect as i64));
+    }
+
+    /// Division oracle (nonzero divisor).
+    #[test]
+    fn division_oracle(a in 0u16..=u16::MAX, b in 1u16..=u16::MAX) {
+        let mut mote = boot(
+            "module M { proc f(a: u16, b: u16) -> u16 { return a / b + a % b; } }",
+        );
+        let r = mote.call(ProcId(0), &[a as i64, b as i64], &mut NullProfiler).unwrap();
+        let expect = ((a / b) as i64 + (a % b) as i64) as u16 as i64;
+        prop_assert_eq!(r, Some(expect));
+    }
+
+    /// Loop summation oracle.
+    #[test]
+    fn loop_sum_oracle(n in 0u16..200) {
+        let mut mote = boot(
+            "module M { proc f(n: u16) -> u32 {
+                var acc: u32 = 0;
+                var i: u16 = 0;
+                while (i < n) { acc = acc + i * i; i = i + 1; }
+                return acc;
+            } }",
+        );
+        let r = mote.call(ProcId(0), &[n as i64], &mut NullProfiler).unwrap();
+        let expect: i64 = (0..n as i64).map(|i| i * i).sum::<i64>() & 0xFFFF_FFFF;
+        prop_assert_eq!(r, Some(expect));
+    }
+
+    /// Identical calls cost identical cycles (pure procedures).
+    #[test]
+    fn cycle_cost_deterministic(x in 0u16..1000) {
+        let src = "module M { var a: u32; proc f(x: u16) {
+            if (x % 3 == 0) { a = a + x; } else { a = a ^ x; }
+        } }";
+        let mut mote = boot(src);
+        let c0 = mote.cycles;
+        mote.call(ProcId(0), &[x as i64], &mut NullProfiler).unwrap();
+        let d1 = mote.cycles - c0;
+        let c1 = mote.cycles;
+        mote.call(ProcId(0), &[x as i64], &mut NullProfiler).unwrap();
+        let d2 = mote.cycles - c1;
+        prop_assert_eq!(d1, d2);
+    }
+
+    /// The MSP430 model runs everything the AVR model runs (same semantics,
+    /// different cycles).
+    #[test]
+    fn models_agree_on_semantics(a in 0u16..5000, b in 0u16..5000) {
+        let src = "module M { proc f(a: u16, b: u16) -> u16 {
+            var m: u16 = 0;
+            if (a > b) { m = a - b; } else { m = b - a; }
+            return m;
+        } }";
+        let program = ct_ir::compile_source(src).unwrap();
+        let mut avr = Mote::new(program.clone(), Box::new(AvrCost));
+        let mut msp = Mote::new(program, Box::new(Msp430Cost));
+        let ra = avr.call(ProcId(0), &[a as i64, b as i64], &mut NullProfiler).unwrap();
+        let rm = msp.call(ProcId(0), &[a as i64, b as i64], &mut NullProfiler).unwrap();
+        prop_assert_eq!(ra, rm);
+        prop_assert_eq!(ra, Some((a as i64 - b as i64).abs()));
+    }
+
+    /// Bounds traps fire for exactly the out-of-range indices.
+    #[test]
+    fn array_bounds_exact(i in 0i64..20) {
+        let mut mote = boot("module M { var b: u8[8]; proc f(i: u16) { b[i] = 1; } }");
+        let r = mote.call(ProcId(0), &[i], &mut NullProfiler);
+        if i < 8 {
+            prop_assert!(r.is_ok());
+        } else {
+            prop_assert!(r.is_err());
+        }
+    }
+
+    /// Seeded reruns of a stochastic workload reproduce exactly.
+    #[test]
+    fn seeded_determinism(seed in 0u64..500) {
+        let src = "module M { var acc: u32; proc f() {
+            var v: u16 = read_adc();
+            if (v > 512) { acc = acc + v; } else { }
+        } }";
+        let run = |seed: u64| {
+            let mut mote = boot(src);
+            mote.reseed(seed);
+            for _ in 0..20 {
+                mote.call(ProcId(0), &[], &mut NullProfiler).unwrap();
+            }
+            (mote.cycles, mote.globals.load(ct_ir::instr::GlobalId(0)))
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+}

@@ -1,0 +1,125 @@
+//! Whole-program placement: one optimized layout per procedure from a set of
+//! per-procedure edge frequencies — the "feed the estimates back to the
+//! compiler" step of the paper's pipeline.
+
+use crate::cost_model::best_layout;
+use crate::pettis_hansen::pettis_hansen;
+use crate::traces::greedy_traces;
+use ct_cfg::graph::Cfg;
+use ct_cfg::layout::{Layout, PenaltyModel};
+
+/// Placement strategy selection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Default)]
+pub enum Strategy {
+    /// Pettis–Hansen bottom-up chaining.
+    PettisHansen,
+    /// Greedy trace growing with the given extension threshold.
+    Traces {
+        /// Minimum successor share to extend a trace.
+        threshold: f64,
+    },
+    /// Run both and keep whichever scores better under the penalty model.
+    #[default]
+    Best,
+}
+
+
+/// Computes an optimized layout for one procedure.
+///
+/// # Panics
+///
+/// Panics if `edge_freq.len()` differs from the edge count.
+pub fn place_procedure(
+    cfg: &Cfg,
+    edge_freq: &[f64],
+    penalties: &PenaltyModel,
+    strategy: Strategy,
+) -> Layout {
+    match strategy {
+        Strategy::PettisHansen => pettis_hansen(cfg, edge_freq),
+        Strategy::Traces { threshold } => greedy_traces(cfg, edge_freq, threshold),
+        Strategy::Best => {
+            let candidates = vec![
+                pettis_hansen(cfg, edge_freq),
+                crate::pettis_hansen::pettis_hansen_raw(cfg, edge_freq),
+                greedy_traces(cfg, edge_freq, 0.5),
+                Layout::natural(cfg),
+            ];
+            best_layout(cfg, candidates, edge_freq, penalties)
+        }
+    }
+}
+
+/// Computes optimized layouts for every procedure of a program, given
+/// per-procedure edge frequencies (indexed by procedure id).
+///
+/// # Panics
+///
+/// Panics if the outer vectors disagree in length.
+pub fn place_program(
+    cfgs: &[&Cfg],
+    edge_freqs: &[Vec<f64>],
+    penalties: &PenaltyModel,
+    strategy: Strategy,
+) -> Vec<Layout> {
+    assert_eq!(cfgs.len(), edge_freqs.len(), "one frequency vector per procedure");
+    cfgs.iter()
+        .zip(edge_freqs)
+        .map(|(cfg, freq)| place_procedure(cfg, freq, penalties, strategy))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost_model::expected_cost;
+    use ct_cfg::builder::diamond;
+
+    #[test]
+    fn best_strategy_never_loses_to_natural() {
+        let cfg = diamond();
+        let pen = PenaltyModel::avr();
+        for freq in [[90.0, 10.0, 90.0, 10.0], [10.0, 90.0, 10.0, 90.0], [50.0, 50.0, 50.0, 50.0]]
+        {
+            let best = place_procedure(&cfg, &freq, &pen, Strategy::Best);
+            let c_best = expected_cost(&cfg, &best, &freq, &pen);
+            let c_nat = expected_cost(&cfg, &Layout::natural(&cfg), &freq, &pen);
+            assert!(
+                c_best.extra_cycles <= c_nat.extra_cycles + 1e-9,
+                "{freq:?}: {c_best:?} vs {c_nat:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn strategies_produce_valid_layouts() {
+        let cfg = diamond();
+        let freq = [70.0, 30.0, 70.0, 30.0];
+        let pen = PenaltyModel::msp430();
+        for s in [
+            Strategy::PettisHansen,
+            Strategy::Traces { threshold: 0.5 },
+            Strategy::Best,
+        ] {
+            let l = place_procedure(&cfg, &freq, &pen, s);
+            assert_eq!(l.order().len(), cfg.len());
+            assert_eq!(l.order()[0], cfg.entry());
+        }
+    }
+
+    #[test]
+    fn place_program_maps_per_procedure() {
+        let cfg1 = diamond();
+        let cfg2 = ct_cfg::builder::linear(3);
+        let freqs = vec![vec![1.0; 4], vec![1.0; 2]];
+        let layouts = place_program(
+            &[&cfg1, &cfg2],
+            &freqs,
+            &PenaltyModel::avr(),
+            Strategy::default(),
+        );
+        assert_eq!(layouts.len(), 2);
+        assert_eq!(layouts[1].order().len(), 3);
+    }
+}

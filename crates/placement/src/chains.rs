@@ -1,0 +1,124 @@
+//! Block chains: the working structure of bottom-up code positioning.
+//!
+//! A chain is an ordered run of blocks intended to be laid out contiguously,
+//! so that every intra-chain edge becomes a fall-through. Pettis–Hansen
+//! merges chains along hot edges (tail-of-one to head-of-another) until no
+//! merge is possible.
+
+use ct_cfg::graph::BlockId;
+
+/// A set of disjoint block chains covering a procedure's blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainSet {
+    /// chain id per block (dense indices into `chains`; merged chains keep
+    /// one id and the other becomes empty).
+    chain_of: Vec<usize>,
+    chains: Vec<Vec<BlockId>>,
+}
+
+impl ChainSet {
+    /// One singleton chain per block, for a procedure with `n` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn singletons(n: usize) -> ChainSet {
+        assert!(n > 0, "procedure must have blocks");
+        ChainSet {
+            chain_of: (0..n).collect(),
+            chains: (0..n).map(|i| vec![BlockId(i as u32)]).collect(),
+        }
+    }
+
+    /// The chain id containing `b`.
+    pub fn chain_id(&self, b: BlockId) -> usize {
+        self.chain_of[b.index()]
+    }
+
+    /// The blocks of chain `id` in order (empty for merged-away ids).
+    pub fn chain(&self, id: usize) -> &[BlockId] {
+        &self.chains[id]
+    }
+
+    /// True when `b` is the last block of its chain.
+    pub fn is_tail(&self, b: BlockId) -> bool {
+        self.chains[self.chain_of[b.index()]].last() == Some(&b)
+    }
+
+    /// True when `b` is the first block of its chain.
+    pub fn is_head(&self, b: BlockId) -> bool {
+        self.chains[self.chain_of[b.index()]].first() == Some(&b)
+    }
+
+    /// Merges the chain ending at `tail` with the chain starting at `head`
+    /// (making the edge `tail → head` a fall-through). Returns `false` when
+    /// the merge is not possible: the blocks are mid-chain, or already in the
+    /// same chain.
+    pub fn merge(&mut self, tail: BlockId, head: BlockId) -> bool {
+        let a = self.chain_of[tail.index()];
+        let b = self.chain_of[head.index()];
+        if a == b || !self.is_tail(tail) || !self.is_head(head) {
+            return false;
+        }
+        let moved = std::mem::take(&mut self.chains[b]);
+        for &blk in &moved {
+            self.chain_of[blk.index()] = a;
+        }
+        self.chains[a].extend(moved);
+        true
+    }
+
+    /// All nonempty chains, preserving creation order.
+    pub fn nonempty(&self) -> Vec<&[BlockId]> {
+        self.chains.iter().filter(|c| !c.is_empty()).map(|c| c.as_slice()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_are_heads_and_tails() {
+        let cs = ChainSet::singletons(3);
+        for i in 0..3 {
+            let b = BlockId(i);
+            assert!(cs.is_head(b));
+            assert!(cs.is_tail(b));
+        }
+        assert_eq!(cs.nonempty().len(), 3);
+    }
+
+    #[test]
+    fn merge_joins_chains() {
+        let mut cs = ChainSet::singletons(3);
+        assert!(cs.merge(BlockId(0), BlockId(1)));
+        assert_eq!(cs.chain(cs.chain_id(BlockId(0))), &[BlockId(0), BlockId(1)]);
+        assert!(cs.is_head(BlockId(0)));
+        assert!(cs.is_tail(BlockId(1)));
+        assert!(!cs.is_tail(BlockId(0)));
+        assert_eq!(cs.nonempty().len(), 2);
+    }
+
+    #[test]
+    fn merge_rejects_mid_chain_and_same_chain() {
+        let mut cs = ChainSet::singletons(4);
+        assert!(cs.merge(BlockId(0), BlockId(1)));
+        assert!(cs.merge(BlockId(1), BlockId(2)));
+        // 0-1-2 now one chain.
+        assert!(!cs.merge(BlockId(0), BlockId(3))); // 0 is not a tail
+        assert!(!cs.merge(BlockId(2), BlockId(1))); // same chain
+        assert!(cs.merge(BlockId(2), BlockId(3)));
+        assert_eq!(cs.nonempty().len(), 1);
+    }
+
+    #[test]
+    fn chains_cover_all_blocks_exactly_once() {
+        let mut cs = ChainSet::singletons(5);
+        cs.merge(BlockId(3), BlockId(4));
+        cs.merge(BlockId(0), BlockId(3));
+        let mut all: Vec<BlockId> = cs.nonempty().iter().flat_map(|c| c.iter().copied()).collect();
+        all.sort();
+        assert_eq!(all, (0..5).map(BlockId).collect::<Vec<_>>());
+    }
+}

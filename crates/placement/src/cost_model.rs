@@ -1,0 +1,150 @@
+//! Prospective layout scoring and candidate selection.
+//!
+//! [`ct_cfg::layout::Layout::evaluate`] scores a layout against *measured*
+//! integer edge counts; placement, however, works from *expected* (fractional)
+//! traversal frequencies derived from estimated branch probabilities. This
+//! module provides the fractional scorer and a best-of selector, so the
+//! optimizer and the simulator use the same penalty arithmetic.
+
+use ct_cfg::graph::{Cfg, EdgeKind};
+use ct_cfg::layout::{Layout, PenaltyModel, TransferKind};
+
+/// Expected extra cycles and misprediction statistics of a layout under
+/// fractional edge frequencies.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ExpectedLayoutCost {
+    /// Expected taken conditional branches per invocation.
+    pub branches_taken: f64,
+    /// Expected not-taken conditional branches per invocation.
+    pub branches_not_taken: f64,
+    /// Expected executed unconditional jumps per invocation.
+    pub jumps_executed: f64,
+    /// Expected extra cycles per invocation.
+    pub extra_cycles: f64,
+}
+
+impl ExpectedLayoutCost {
+    /// Expected misprediction rate (taken / all conditional executions).
+    pub fn misprediction_rate(&self) -> f64 {
+        let total = self.branches_taken + self.branches_not_taken;
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.branches_taken / total
+        }
+    }
+}
+
+/// Scores `layout` against expected per-edge traversal frequencies.
+///
+/// # Panics
+///
+/// Panics if `edge_freq.len()` differs from the edge count.
+pub fn expected_cost(
+    cfg: &Cfg,
+    layout: &Layout,
+    edge_freq: &[f64],
+    penalties: &PenaltyModel,
+) -> ExpectedLayoutCost {
+    let edges = cfg.edges();
+    assert_eq!(edge_freq.len(), edges.len(), "one frequency per edge required");
+    let mut cost = ExpectedLayoutCost::default();
+    for e in &edges {
+        let f = edge_freq[e.index];
+        if f <= 0.0 {
+            continue;
+        }
+        let conditional = matches!(e.kind, EdgeKind::BranchTrue | EdgeKind::BranchFalse);
+        match layout.transfer_kind(cfg, e.from, e.to) {
+            TransferKind::FallThrough => {
+                if conditional {
+                    cost.branches_not_taken += f;
+                }
+            }
+            TransferKind::TakenBranch | TransferKind::TakenBranchOverJump => {
+                cost.branches_taken += f;
+                cost.extra_cycles += f * penalties.taken_branch_extra as f64;
+            }
+            TransferKind::Jump => {
+                cost.jumps_executed += f;
+                cost.extra_cycles += f * penalties.jump_cycles as f64;
+                if conditional {
+                    cost.branches_not_taken += f;
+                }
+            }
+        }
+    }
+    cost
+}
+
+/// Picks the candidate layout with the lowest expected extra cycles
+/// (ties: earlier candidate wins).
+///
+/// # Panics
+///
+/// Panics if `candidates` is empty.
+pub fn best_layout(
+    cfg: &Cfg,
+    candidates: Vec<Layout>,
+    edge_freq: &[f64],
+    penalties: &PenaltyModel,
+) -> Layout {
+    assert!(!candidates.is_empty(), "need at least one candidate layout");
+    candidates
+        .into_iter()
+        .map(|l| {
+            let c = expected_cost(cfg, &l, edge_freq, penalties);
+            (l, c.extra_cycles)
+        })
+        .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("costs are not NaN"))
+        .map(|(l, _)| l)
+        .expect("nonempty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_cfg::builder::diamond;
+    use ct_cfg::graph::BlockId;
+    use ct_cfg::profile::EdgeProfile;
+
+    #[test]
+    fn expected_cost_matches_integer_evaluate() {
+        let cfg = diamond();
+        let counts = vec![30u64, 10, 30, 10];
+        let profile = EdgeProfile::from_counts(&cfg, counts.clone());
+        let freq: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+        let pen = PenaltyModel::avr();
+        let layout = Layout::natural(&cfg);
+        let exact = layout.evaluate(&cfg, &profile, &pen);
+        let expected = expected_cost(&cfg, &layout, &freq, &pen);
+        assert!((expected.extra_cycles - exact.extra_cycles as f64).abs() < 1e-9);
+        assert!((expected.branches_taken - exact.branches_taken as f64).abs() < 1e-9);
+        assert!(
+            (expected.misprediction_rate() - exact.misprediction_rate()).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn best_layout_picks_cheapest() {
+        let cfg = diamond();
+        let freq = [90.0, 10.0, 90.0, 10.0];
+        let pen = PenaltyModel::avr();
+        let natural = Layout::natural(&cfg);
+        let hot = Layout::from_order(
+            &cfg,
+            vec![BlockId(0), BlockId(1), BlockId(3), BlockId(2)],
+        )
+        .unwrap();
+        let best = best_layout(&cfg, vec![natural.clone(), hot.clone()], &freq, &pen);
+        assert_eq!(best, hot);
+    }
+
+    #[test]
+    fn zero_frequencies_cost_nothing() {
+        let cfg = diamond();
+        let c = expected_cost(&cfg, &Layout::natural(&cfg), &[0.0; 4], &PenaltyModel::avr());
+        assert_eq!(c.extra_cycles, 0.0);
+        assert_eq!(c.misprediction_rate(), 0.0);
+    }
+}

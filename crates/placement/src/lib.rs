@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! # ct-placement
+//!
+//! Profile-guided code placement: turning (estimated or measured) edge
+//! frequencies into flash block layouts that make hot paths fall through —
+//! the downstream optimization Code Tomography feeds.
+//!
+//! - [`chains`] / [`mod@pettis_hansen`] — bottom-up positioning (Pettis–Hansen,
+//!   PLDI 1990).
+//! - [`traces`] — greedy trace growing (the ablation alternative).
+//! - [`cost_model`] — expected-cost scoring shared with the mote's penalty
+//!   arithmetic, plus best-of-candidates selection.
+//! - [`polarity`] — per-branch alignment diagnostics.
+//! - [`apply`] — whole-program placement entry points.
+//!
+//! ## Example
+//!
+//! ```
+//! use ct_cfg::builder::diamond;
+//! use ct_cfg::layout::PenaltyModel;
+//! use ct_placement::{place_procedure, Strategy};
+//! use ct_placement::cost_model::expected_cost;
+//!
+//! let cfg = diamond();
+//! // The false arm is hot (90% of executions).
+//! let freq = [0.1, 0.9, 0.1, 0.9];
+//! let pen = PenaltyModel::avr();
+//! let layout = place_procedure(&cfg, &freq, &pen, Strategy::Best);
+//! let cost = expected_cost(&cfg, &layout, &freq, &pen);
+//! // The hot branch is aligned: ≤10% of decisions mispredict.
+//! assert!(cost.misprediction_rate() <= 0.1 + 1e-9);
+//! ```
+
+pub mod apply;
+pub mod chains;
+pub mod cost_model;
+pub mod pettis_hansen;
+pub mod polarity;
+pub mod traces;
+
+pub use apply::{place_procedure, place_program, Strategy};
+pub use cost_model::{best_layout, expected_cost, ExpectedLayoutCost};
+pub use pettis_hansen::{pettis_hansen, pettis_hansen_raw};
+pub use polarity::{alignment_rate, branch_alignments, BranchAlignment};
+pub use traces::greedy_traces;

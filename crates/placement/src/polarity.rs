@@ -1,0 +1,114 @@
+//! Branch-polarity analysis: which conditional branches have their hot edge
+//! as the fall-through under a layout.
+//!
+//! Polarity is implicit in our layout model — the compiler inverts the
+//! condition whenever the layout puts the true-successor next — so this
+//! module is diagnostic: it reports per-branch alignment, which the ablation
+//! experiments use to show *why* a layout wins.
+
+use ct_cfg::graph::{BlockId, Cfg, EdgeKind, Terminator};
+use ct_cfg::layout::{Layout, TransferKind};
+
+/// Alignment of one conditional branch under a layout.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BranchAlignment {
+    /// The branch block.
+    pub block: BlockId,
+    /// Frequency of its hotter outgoing edge.
+    pub hot_freq: f64,
+    /// Frequency of its colder outgoing edge.
+    pub cold_freq: f64,
+    /// True when the hotter edge falls through (the desired polarity).
+    pub hot_is_fallthrough: bool,
+}
+
+/// Reports the alignment of every conditional branch.
+///
+/// # Panics
+///
+/// Panics if `edge_freq.len()` differs from the edge count.
+pub fn branch_alignments(cfg: &Cfg, layout: &Layout, edge_freq: &[f64]) -> Vec<BranchAlignment> {
+    let edges = cfg.edges();
+    assert_eq!(edge_freq.len(), edges.len(), "one frequency per edge required");
+    let mut out = Vec::new();
+    for bb in cfg.branch_blocks() {
+        let Terminator::Branch { .. } = cfg.block(bb).term else { unreachable!() };
+        let te = edges
+            .iter()
+            .find(|e| e.from == bb && e.kind == EdgeKind::BranchTrue)
+            .expect("true edge");
+        let fe = edges
+            .iter()
+            .find(|e| e.from == bb && e.kind == EdgeKind::BranchFalse)
+            .expect("false edge");
+        let (hot, cold) = if edge_freq[te.index] >= edge_freq[fe.index] {
+            (te, fe)
+        } else {
+            (fe, te)
+        };
+        let hot_is_fallthrough = matches!(
+            layout.transfer_kind(cfg, hot.from, hot.to),
+            TransferKind::FallThrough
+        );
+        out.push(BranchAlignment {
+            block: bb,
+            hot_freq: edge_freq[hot.index],
+            cold_freq: edge_freq[cold.index],
+            hot_is_fallthrough,
+        });
+    }
+    out
+}
+
+/// Fraction of executed conditional decisions whose hot edge falls through
+/// (1.0 = perfectly aligned layout). Branches that never execute are skipped.
+pub fn alignment_rate(cfg: &Cfg, layout: &Layout, edge_freq: &[f64]) -> f64 {
+    let alignments = branch_alignments(cfg, layout, edge_freq);
+    let total: f64 = alignments.iter().map(|a| a.hot_freq + a.cold_freq).sum();
+    if total <= 0.0 {
+        return 1.0;
+    }
+    let aligned: f64 = alignments
+        .iter()
+        .filter(|a| a.hot_is_fallthrough)
+        .map(|a| a.hot_freq + a.cold_freq)
+        .sum();
+    aligned / total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pettis_hansen::pettis_hansen;
+    use ct_cfg::builder::diamond;
+
+    #[test]
+    fn ph_layout_aligns_hot_branch() {
+        let cfg = diamond();
+        let freq = [5.0, 95.0, 5.0, 95.0]; // else-arm hot
+        let ph = pettis_hansen(&cfg, &freq);
+        let a = branch_alignments(&cfg, &ph, &freq);
+        assert_eq!(a.len(), 1);
+        assert!(a[0].hot_is_fallthrough);
+        assert_eq!(a[0].hot_freq, 95.0);
+        assert_eq!(alignment_rate(&cfg, &ph, &freq), 1.0);
+    }
+
+    #[test]
+    fn misaligned_layout_detected() {
+        let cfg = diamond();
+        let freq = [5.0, 95.0, 5.0, 95.0];
+        // Natural layout: lowering order [cond, join, then, else] — the hot
+        // else arm is displaced, so its transfer is not a fall-through.
+        let natural = ct_cfg::layout::Layout::natural(&cfg);
+        let rate = alignment_rate(&cfg, &natural, &freq);
+        assert!(rate < 1.0, "rate {rate}");
+    }
+
+    #[test]
+    fn unexecuted_branches_are_neutral() {
+        let cfg = diamond();
+        let natural = ct_cfg::layout::Layout::natural(&cfg);
+        assert_eq!(alignment_rate(&cfg, &natural, &[0.0; 4]), 1.0);
+    }
+}

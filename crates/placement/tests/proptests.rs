@@ -1,0 +1,91 @@
+//! Property-based tests of placement: validity, determinism and
+//! never-worse-than-natural guarantees of the `Best` strategy.
+
+use ct_cfg::builder::{diamond, diamond_chain, nested_loops, while_loop};
+use ct_cfg::graph::Cfg;
+use ct_cfg::layout::{Layout, PenaltyModel};
+use ct_placement::cost_model::expected_cost;
+use ct_placement::{
+    alignment_rate, greedy_traces, pettis_hansen, place_procedure,
+    Strategy as PlacementStrategy,
+};
+use proptest::prelude::*;
+
+fn check_valid(cfg: &Cfg, layout: &Layout) -> Result<(), TestCaseError> {
+    prop_assert_eq!(layout.order().len(), cfg.len());
+    prop_assert_eq!(layout.order()[0], cfg.entry());
+    let mut seen: Vec<_> = layout.order().to_vec();
+    seen.sort();
+    seen.dedup();
+    prop_assert_eq!(seen.len(), cfg.len());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Both algorithms always emit valid layouts on assorted shapes.
+    #[test]
+    fn layouts_always_valid(shape in 0usize..4, w in proptest::collection::vec(0.0f64..100.0, 32)) {
+        let cfg = match shape {
+            0 => diamond(),
+            1 => while_loop(),
+            2 => nested_loops(),
+            _ => diamond_chain(3),
+        };
+        let weights: Vec<f64> = (0..cfg.edges().len()).map(|i| w[i % w.len()]).collect();
+        check_valid(&cfg, &pettis_hansen(&cfg, &weights))?;
+        check_valid(&cfg, &greedy_traces(&cfg, &weights, 0.5))?;
+    }
+
+    /// `Strategy::Best` never scores worse than the natural layout.
+    #[test]
+    fn best_never_loses(w in proptest::collection::vec(0.0f64..100.0, 32)) {
+        for cfg in [diamond(), while_loop(), diamond_chain(2)] {
+            let weights: Vec<f64> = (0..cfg.edges().len()).map(|i| w[i % w.len()]).collect();
+            let pen = PenaltyModel::avr();
+            let best = place_procedure(&cfg, &weights, &pen, PlacementStrategy::Best);
+            let c_best = expected_cost(&cfg, &best, &weights, &pen).extra_cycles;
+            let c_nat =
+                expected_cost(&cfg, &Layout::natural(&cfg), &weights, &pen).extra_cycles;
+            prop_assert!(c_best <= c_nat + 1e-9, "{c_best} vs {c_nat}");
+        }
+    }
+
+    /// Pettis–Hansen fully aligns a single skewed branch.
+    #[test]
+    fn ph_aligns_single_branch(hot in 60.0f64..100.0, cold in 0.0f64..40.0) {
+        let cfg = diamond();
+        // then-arm hot.
+        let weights = [hot, cold, hot, cold];
+        let l = pettis_hansen(&cfg, &weights);
+        prop_assert_eq!(alignment_rate(&cfg, &l, &weights), 1.0);
+        // else-arm hot.
+        let weights = [cold, hot, cold, hot];
+        let l = pettis_hansen(&cfg, &weights);
+        prop_assert_eq!(alignment_rate(&cfg, &l, &weights), 1.0);
+    }
+
+    /// Placement is scale-invariant: multiplying all weights by a constant
+    /// yields the same layout.
+    #[test]
+    fn ph_scale_invariant(w in proptest::collection::vec(0.1f64..10.0, 4), k in 1.0f64..50.0) {
+        let cfg = diamond();
+        let scaled: Vec<f64> = w.iter().map(|x| x * k).collect();
+        prop_assert_eq!(pettis_hansen(&cfg, &w), pettis_hansen(&cfg, &scaled));
+    }
+
+    /// Expected-cost mispredictions shrink (or stay) after Best placement,
+    /// for flow-consistent diamond weights.
+    #[test]
+    fn best_does_not_increase_mispredictions(t in 0.0f64..100.0, f in 0.0f64..100.0) {
+        let cfg = diamond();
+        let weights = [t, f, t, f];
+        let pen = PenaltyModel::msp430();
+        let best = place_procedure(&cfg, &weights, &pen, PlacementStrategy::Best);
+        let nat = Layout::natural(&cfg);
+        let m_best = expected_cost(&cfg, &best, &weights, &pen).misprediction_rate();
+        let m_nat = expected_cost(&cfg, &nat, &weights, &pen).misprediction_rate();
+        prop_assert!(m_best <= m_nat + 1e-9, "{m_best} vs {m_nat}");
+    }
+}

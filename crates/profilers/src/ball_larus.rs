@@ -1,0 +1,548 @@
+//! Ball–Larus efficient path profiling (PLDI 1996), the stronger
+//! conventional baseline: one register update per edge and one table
+//! increment per completed path, yielding exact *path* frequencies.
+//!
+//! Loops are handled the standard way: back edges end the current path and
+//! start a new one, via pseudo edges `latch → EXIT` and `ENTRY → header` in
+//! the numbering DAG. Path ids decode uniquely back to edge sequences, so an
+//! exact edge profile is recoverable — at the cost of a path register, a
+//! count table in scarce RAM, and instrumentation on most edges.
+
+use ct_cfg::dominators::Dominators;
+use ct_cfg::graph::Cfg;
+use ct_cfg::profile::EdgeProfile;
+use ct_ir::instr::ProcId;
+use ct_ir::program::Program;
+use ct_mote::trace::Profiler;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Cycles of one `r += val` update (only charged when `val > 0`; zero-valued
+/// increments are elided by the instrumenting compiler).
+pub const REGISTER_UPDATE_CYCLES: u64 = 4;
+
+/// Cycles of one path-table increment (at exits and back edges).
+pub const PATH_RECORD_CYCLES: u64 = 14;
+
+/// RAM bytes for the path register.
+pub const REGISTER_RAM_BYTES: u32 = 2;
+
+/// Flash bytes per instrumented edge.
+pub const EDGE_SITE_FLASH_BYTES: u32 = 8;
+
+/// Flash bytes of the fixed record/dispatch code per procedure.
+pub const FIXED_FLASH_BYTES: u32 = 24;
+
+/// Ball–Larus is declared infeasible beyond this many static paths (the
+/// count table would not fit mote RAM).
+pub const MAX_PATHS: u64 = 4096;
+
+/// Why a procedure cannot be Ball–Larus instrumented.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlError {
+    /// Static path count exceeds [`MAX_PATHS`].
+    TooManyPaths {
+        /// The offending count.
+        paths: u64,
+    },
+    /// The CFG has no single exit or failed validation.
+    BadShape(String),
+}
+
+impl fmt::Display for BlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlError::TooManyPaths { paths } => {
+                write!(f, "procedure has {paths} static paths (> {MAX_PATHS})")
+            }
+            BlError::BadShape(m) => write!(f, "cannot instrument: {m}"),
+        }
+    }
+}
+
+impl Error for BlError {}
+
+/// An out-edge of the numbering DAG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct DagEdge {
+    /// Ball–Larus increment value.
+    val: u64,
+    /// Target vertex.
+    target: usize,
+    /// Index of the underlying real CFG edge, `None` for pseudo edges.
+    real_edge: Option<usize>,
+}
+
+/// The Ball–Larus numbering of one procedure.
+#[derive(Debug, Clone)]
+pub struct BlNumbering {
+    /// DAG adjacency (real non-back edges plus pseudo edges), per vertex, in
+    /// numbering order.
+    dag: Vec<Vec<DagEdge>>,
+    /// Per real edge: the increment value (`0` for back edges; applied at
+    /// traversal).
+    edge_val: Vec<u64>,
+    /// Per real edge: is it a back edge (ends a path)?
+    is_back: Vec<bool>,
+    /// Per real edge (back edges only): `(terminal value added when
+    /// recording, initial register value after restart)`.
+    back_vals: Vec<Option<(u64, u64)>>,
+    /// Total static path count.
+    num_paths: u64,
+    entry: usize,
+}
+
+impl BlNumbering {
+    /// Computes the numbering for a validated single-exit CFG.
+    ///
+    /// # Errors
+    ///
+    /// [`BlError::BadShape`] for invalid/multi-exit graphs,
+    /// [`BlError::TooManyPaths`] beyond [`MAX_PATHS`].
+    pub fn compute(cfg: &Cfg) -> Result<BlNumbering, BlError> {
+        cfg.validate().map_err(|e| BlError::BadShape(e.to_string()))?;
+        let exits = cfg.exit_blocks();
+        if exits.len() != 1 {
+            return Err(BlError::BadShape(format!("{} exits", exits.len())));
+        }
+        let exit = exits[0].index();
+        let entry = cfg.entry().index();
+        let n = cfg.len();
+        let dom = Dominators::compute(cfg);
+        let edges = cfg.edges();
+
+        let is_back: Vec<bool> =
+            edges.iter().map(|e| dom.dominates(e.to, e.from)).collect();
+
+        // DAG adjacency: real non-back edges in edge order, then pseudo
+        // edges (latch→EXIT at the latch; ENTRY→header at the entry).
+        let mut dag: Vec<Vec<DagEdge>> = vec![Vec::new(); n];
+        for e in &edges {
+            if !is_back[e.index] {
+                dag[e.from.index()].push(DagEdge {
+                    val: 0,
+                    target: e.to.index(),
+                    real_edge: Some(e.index),
+                });
+            }
+        }
+        // Pseudo edges, deterministically ordered by the back edge's index.
+        for e in &edges {
+            if is_back[e.index] {
+                dag[e.from.index()].push(DagEdge { val: 0, target: exit, real_edge: None });
+                dag[entry].push(DagEdge { val: 0, target: e.to.index(), real_edge: None });
+            }
+        }
+
+        // NumPaths via reverse topological order of the DAG.
+        let order = topo_order(&dag, n).ok_or_else(|| {
+            BlError::BadShape("numbering DAG is cyclic (irreducible CFG)".into())
+        })?;
+        let mut num_paths = vec![0u64; n];
+        for &v in order.iter().rev() {
+            if v == exit {
+                num_paths[v] = 1;
+                // The exit may still have pseudo out-edges? No: pseudo edges
+                // go *to* the exit. Real out-edges of the exit do not exist.
+                continue;
+            }
+            let mut acc: u64 = 0;
+            for de in &mut dag[v] {
+                de.val = acc;
+                acc = acc.saturating_add(num_paths[de.target]);
+            }
+            num_paths[v] = acc;
+        }
+        let total = num_paths[entry];
+        if total > MAX_PATHS {
+            return Err(BlError::TooManyPaths { paths: total });
+        }
+        if total == 0 {
+            return Err(BlError::BadShape("no entry-to-exit path".into()));
+        }
+
+        // Per-real-edge values and back-edge records.
+        let mut edge_val = vec![0u64; edges.len()];
+        let mut back_vals = vec![None; edges.len()];
+        for e in &edges {
+            if is_back[e.index] {
+                let term = dag[e.from.index()]
+                    .iter()
+                    .find(|de| de.real_edge.is_none() && de.target == exit)
+                    .expect("latch has pseudo exit edge")
+                    .val;
+                let init = dag[entry]
+                    .iter()
+                    .find(|de| de.real_edge.is_none() && de.target == e.to.index())
+                    .expect("entry has pseudo header edge")
+                    .val;
+                back_vals[e.index] = Some((term, init));
+            } else {
+                edge_val[e.index] = dag[e.from.index()]
+                    .iter()
+                    .find(|de| de.real_edge == Some(e.index))
+                    .expect("real edge in DAG")
+                    .val;
+            }
+        }
+
+        Ok(BlNumbering { dag, edge_val, is_back, back_vals, num_paths: total, entry })
+    }
+
+    /// Total static path count.
+    pub fn num_paths(&self) -> u64 {
+        self.num_paths
+    }
+
+    /// Decodes a path id into the real CFG edges it traverses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range (corrupt count table).
+    pub fn decode(&self, id: u64) -> Vec<usize> {
+        assert!(id < self.num_paths, "path id {id} out of range");
+        let mut real_edges = Vec::new();
+        let mut v = self.entry;
+        let mut remaining = id;
+        loop {
+            let outs = &self.dag[v];
+            if outs.is_empty() {
+                break; // exit reached (the exit has no DAG out-edges)
+            }
+            // Values are cumulative in out-edge order, so the edge whose id
+            // range contains `remaining` is the last one with val ≤ remaining.
+            let mut chosen = outs[0];
+            for de in outs {
+                if de.val <= remaining {
+                    chosen = *de;
+                } else {
+                    break;
+                }
+            }
+            remaining -= chosen.val;
+            if let Some(re) = chosen.real_edge {
+                real_edges.push(re);
+            }
+            v = chosen.target;
+        }
+        real_edges
+    }
+}
+
+fn topo_order(dag: &[Vec<DagEdge>], n: usize) -> Option<Vec<usize>> {
+    let mut indeg = vec![0usize; n];
+    for outs in dag {
+        for de in outs {
+            indeg[de.target] += 1;
+        }
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(v) = queue.pop() {
+        order.push(v);
+        for de in &dag[v] {
+            indeg[de.target] -= 1;
+            if indeg[de.target] == 0 {
+                queue.push(de.target);
+            }
+        }
+    }
+    if order.len() == n {
+        Some(order)
+    } else {
+        None
+    }
+}
+
+/// The runtime profiler: path register semantics over the interpreter's edge
+/// events.
+#[derive(Debug)]
+pub struct BallLarusProfiler {
+    numberings: Vec<Option<BlNumbering>>,
+    /// Per procedure: path id → count.
+    path_counts: Vec<HashMap<u64, u64>>,
+    /// Per procedure, per edge: back-edge traversal counts (recorded at path
+    /// breaks).
+    back_counts: Vec<Vec<u64>>,
+    /// Per procedure activation stack of register values (nested calls).
+    reg_stack: Vec<(ProcId, u64)>,
+    invocations: Vec<u64>,
+}
+
+impl BallLarusProfiler {
+    /// Instruments every procedure of `program` that admits a numbering;
+    /// procedures that do not (too many paths) are left uninstrumented and
+    /// reported by [`Self::numbering`] as `None`.
+    pub fn new(program: &Program) -> BallLarusProfiler {
+        let numberings: Vec<Option<BlNumbering>> = program
+            .procs
+            .iter()
+            .map(|p| BlNumbering::compute(&p.cfg).ok())
+            .collect();
+        BallLarusProfiler {
+            path_counts: vec![HashMap::new(); program.procs.len()],
+            back_counts: program
+                .procs
+                .iter()
+                .map(|p| vec![0; p.cfg.edges().len()])
+                .collect(),
+            reg_stack: Vec::new(),
+            invocations: vec![0; program.procs.len()],
+            numberings,
+        }
+    }
+
+    /// The numbering of `proc`, if instrumentable.
+    pub fn numbering(&self, proc: ProcId) -> Option<&BlNumbering> {
+        self.numberings[proc.index()].as_ref()
+    }
+
+    /// Activations of `proc`.
+    pub fn invocations(&self, proc: ProcId) -> u64 {
+        self.invocations[proc.index()]
+    }
+
+    /// Raw path counts of `proc`.
+    pub fn path_counts(&self, proc: ProcId) -> &HashMap<u64, u64> {
+        &self.path_counts[proc.index()]
+    }
+
+    /// Reconstructs the exact edge profile of `proc` from path counts.
+    ///
+    /// Returns `None` when the procedure was not instrumentable.
+    pub fn edge_profile(&self, proc: ProcId, cfg: &Cfg) -> Option<EdgeProfile> {
+        let numbering = self.numberings[proc.index()].as_ref()?;
+        let mut counts = vec![0u64; cfg.edges().len()];
+        for (&id, &n) in &self.path_counts[proc.index()] {
+            for re in numbering.decode(id) {
+                counts[re] += n;
+            }
+        }
+        for (e, &n) in self.back_counts[proc.index()].iter().enumerate() {
+            counts[e] += n;
+        }
+        Some(EdgeProfile::from_counts(cfg, counts))
+    }
+
+    /// Static RAM cost for `program` (register + count table per
+    /// instrumentable procedure).
+    pub fn ram_bytes(&self, program: &Program) -> u32 {
+        program
+            .procs
+            .iter()
+            .enumerate()
+            .map(|(i, _)| match &self.numberings[i] {
+                Some(nb) => REGISTER_RAM_BYTES + 2 * nb.num_paths().min(MAX_PATHS) as u32,
+                None => 0,
+            })
+            .sum()
+    }
+
+    /// Static flash cost for `program`.
+    pub fn flash_bytes(&self, program: &Program) -> u32 {
+        program
+            .procs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| match &self.numberings[i] {
+                Some(nb) => {
+                    let sites = nb
+                        .edge_val
+                        .iter()
+                        .enumerate()
+                        .filter(|&(e, &v)| v > 0 || nb.is_back[e])
+                        .count() as u32;
+                    let _ = p;
+                    FIXED_FLASH_BYTES + sites * EDGE_SITE_FLASH_BYTES
+                }
+                None => 0,
+            })
+            .sum()
+    }
+}
+
+impl Profiler for BallLarusProfiler {
+    fn on_proc_enter(&mut self, proc: ProcId, _cycles: u64) -> u64 {
+        self.invocations[proc.index()] += 1;
+        self.reg_stack.push((proc, 0));
+        0
+    }
+
+    fn on_proc_exit(&mut self, proc: ProcId, _cycles: u64) -> u64 {
+        let (p, r) = self.reg_stack.pop().expect("enter/exit balanced");
+        debug_assert_eq!(p, proc);
+        if self.numberings[proc.index()].is_some() {
+            *self.path_counts[proc.index()].entry(r).or_insert(0) += 1;
+            PATH_RECORD_CYCLES
+        } else {
+            0
+        }
+    }
+
+    fn on_edge(&mut self, proc: ProcId, edge_index: usize) -> u64 {
+        let Some(nb) = self.numberings[proc.index()].as_ref() else {
+            return 0;
+        };
+        let (p, r) = self.reg_stack.last_mut().expect("inside an activation");
+        debug_assert_eq!(*p, proc);
+        if nb.is_back[edge_index] {
+            let (term, init) = nb.back_vals[edge_index].expect("back edge vals");
+            let id = *r + term;
+            *self.path_counts[proc.index()].entry(id).or_insert(0) += 1;
+            self.back_counts[proc.index()][edge_index] += 1;
+            *r = init;
+            PATH_RECORD_CYCLES
+        } else {
+            let v = nb.edge_val[edge_index];
+            *r += v;
+            if v > 0 {
+                REGISTER_UPDATE_CYCLES
+            } else {
+                0
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_cfg::builder::{diamond, diamond_chain, while_loop};
+    use ct_mote::cost::AvrCost;
+    use ct_mote::interp::Mote;
+    use ct_mote::trace::{GroundTruthProfiler, PairProfiler};
+
+    #[test]
+    fn diamond_numbering_has_two_paths() {
+        let nb = BlNumbering::compute(&diamond()).unwrap();
+        assert_eq!(nb.num_paths(), 2);
+        let p0 = nb.decode(0);
+        let p1 = nb.decode(1);
+        assert_ne!(p0, p1);
+        assert_eq!(p0.len(), 2);
+        assert_eq!(p1.len(), 2);
+    }
+
+    #[test]
+    fn diamond_chain_path_counts_are_exponential() {
+        for k in 1..6 {
+            let nb = BlNumbering::compute(&diamond_chain(k)).unwrap();
+            assert_eq!(nb.num_paths(), 1 << k, "k={k}");
+        }
+    }
+
+    #[test]
+    fn while_loop_numbering_breaks_at_back_edge() {
+        let cfg = while_loop();
+        let nb = BlNumbering::compute(&cfg).unwrap();
+        // Paths: entry→header→exit, entry→header→body(break),
+        // restart header→exit, restart header→body(break): ids exist for
+        // entry-rooted and header-rooted prefixes.
+        assert!(nb.num_paths() >= 3, "{}", nb.num_paths());
+    }
+
+    #[test]
+    fn decode_ids_are_unique() {
+        let cfg = diamond_chain(3);
+        let nb = BlNumbering::compute(&cfg).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for id in 0..nb.num_paths() {
+            assert!(seen.insert(nb.decode(id)), "duplicate decode for {id}");
+        }
+    }
+
+    #[test]
+    fn too_many_paths_rejected() {
+        let cfg = diamond_chain(13); // 8192 paths
+        assert!(matches!(
+            BlNumbering::compute(&cfg),
+            Err(BlError::TooManyPaths { .. })
+        ));
+    }
+
+    /// End-to-end: Ball–Larus edge profile must equal ground truth exactly.
+    fn assert_matches_ground_truth(src: &str, args: impl Fn(usize) -> Vec<i64>, n: usize) {
+        let program = ct_ir::compile_source(src).unwrap();
+        let mut mote = Mote::new(program.clone(), Box::new(AvrCost));
+        let mut gt = GroundTruthProfiler::new(&program);
+        let mut bl = BallLarusProfiler::new(&program);
+        for i in 0..n {
+            let mut pair = PairProfiler { a: &mut gt, b: &mut bl };
+            mote.call(ProcId(0), &args(i), &mut pair).unwrap();
+        }
+        let cfg = &program.procs[0].cfg;
+        let from_bl = bl.edge_profile(ProcId(0), cfg).unwrap();
+        assert_eq!(from_bl.counts(), gt.profile(ProcId(0)).counts());
+    }
+
+    #[test]
+    fn branch_profile_matches_ground_truth() {
+        assert_matches_ground_truth(
+            "module M { var a: u16; proc f(x: u16) {
+                if (x % 3 == 0) { a = a + x; } else { a = a * 2; }
+            } }",
+            |i| vec![i as i64],
+            50,
+        );
+    }
+
+    #[test]
+    fn loop_profile_matches_ground_truth() {
+        assert_matches_ground_truth(
+            "module M { var a: u32; proc f(n: u16) {
+                var i: u16 = 0;
+                while (i < n) { a = a + i; i = i + 1; }
+            } }",
+            |i| vec![(i % 7) as i64],
+            40,
+        );
+    }
+
+    #[test]
+    fn nested_control_flow_matches_ground_truth() {
+        assert_matches_ground_truth(
+            "module M { var a: u32; proc f(n: u16) {
+                var i: u16 = 0;
+                while (i < n) {
+                    if (i % 2 == 0) { a = a + i; } else { a = a + 3; }
+                    i = i + 1;
+                }
+            } }",
+            |i| vec![(i % 9) as i64],
+            60,
+        );
+    }
+
+    #[test]
+    fn overheads_are_charged() {
+        let program = ct_ir::compile_source(
+            "module M { var a: u16; proc f(x: u16) {
+                if (x > 1) { a = 1; } else { a = 2; }
+            } }",
+        )
+        .unwrap();
+        let mut base = Mote::new(program.clone(), Box::new(AvrCost));
+        base.call(ProcId(0), &[5], &mut ct_mote::trace::NullProfiler).unwrap();
+        let base_cycles = base.cycles;
+
+        let mut mote = Mote::new(program.clone(), Box::new(AvrCost));
+        let mut bl = BallLarusProfiler::new(&program);
+        mote.call(ProcId(0), &[5], &mut bl).unwrap();
+        assert!(mote.cycles > base_cycles);
+        // Cheaper per call than edge counters on this shape: BL charges at
+        // most one register update plus one record.
+        assert!(mote.cycles - base_cycles <= REGISTER_UPDATE_CYCLES + PATH_RECORD_CYCLES);
+    }
+
+    #[test]
+    fn static_costs_reported() {
+        let program = ct_ir::compile_source(
+            "module M { var a: u16; proc f(x: u16) { if (x > 1) { a = 1; } else { a = 2; } } }",
+        )
+        .unwrap();
+        let bl = BallLarusProfiler::new(&program);
+        assert!(bl.ram_bytes(&program) >= REGISTER_RAM_BYTES + 4);
+        assert!(bl.flash_bytes(&program) >= FIXED_FLASH_BYTES);
+    }
+}

@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+
+//! # ct-profilers
+//!
+//! The conventional on-mote profilers Code Tomography is evaluated against,
+//! each with an explicit overhead model (cycles per event, RAM, flash):
+//!
+//! - [`edge_counter`] — a 16-bit RAM counter on every CFG edge: exact, and
+//!   the most expensive in both cycles and RAM.
+//! - [`ball_larus`] — Ball–Larus efficient path profiling: exact path
+//!   frequencies from one register update per edge plus a table increment per
+//!   path; RAM scales with the static path count.
+//! - [`sampling`] — timer-interrupt PC sampling: cheap but time-biased and
+//!   approximate.
+//! - [`overhead`] — the unified cost-reporting vocabulary (experiment E3).
+//!
+//! The simulator-only ground truth profiler lives in `ct_mote::trace`; Code
+//! Tomography's timestamp layer is `ct_mote::trace::TimingProfiler` with the
+//! static costs modeled in [`overhead::tomography`].
+//!
+//! ## Example
+//!
+//! ```
+//! use ct_profilers::edge_counter::EdgeCounterProfiler;
+//! use ct_mote::{cost::AvrCost, interp::Mote};
+//! use ct_ir::instr::ProcId;
+//!
+//! let program = ct_ir::compile_source(
+//!     "module M { var a: u16; proc f(x: u16) {
+//!          if (x > 5) { a = a + 1; } else { }
+//!      } }",
+//! ).unwrap();
+//! let mut mote = Mote::new(program.clone(), Box::new(AvrCost));
+//! let mut counters = EdgeCounterProfiler::new(&program);
+//! for x in 0..10 {
+//!     mote.call(ProcId(0), &[x], &mut counters).unwrap();
+//! }
+//! let probs = counters.profile(ProcId(0)).branch_probs(&program.procs[0].cfg);
+//! assert!((probs.as_slice()[0] - 0.4).abs() < 1e-9);
+//! ```
+
+pub mod ball_larus;
+pub mod edge_counter;
+pub mod overhead;
+pub mod sampling;
+
+pub use ball_larus::{BallLarusProfiler, BlError, BlNumbering};
+pub use edge_counter::EdgeCounterProfiler;
+pub use overhead::{static_costs, OverheadReport};
+pub use sampling::SamplingProfiler;

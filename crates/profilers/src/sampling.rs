@@ -1,0 +1,223 @@
+//! Timer-interrupt PC sampling: the cheap-but-noisy conventional profiler.
+//!
+//! A periodic interrupt records which basic block the CPU is executing. The
+//! block histogram is *time*-weighted, not *visit*-weighted — long blocks
+//! soak up samples — so deriving branch probabilities requires dividing each
+//! block's sample share by its cycle cost. Even then, the result is only an
+//! approximation (and the ISR itself costs cycles), which is exactly the
+//! trade-off the overhead/accuracy experiments quantify.
+
+use ct_cfg::graph::{BlockId, Cfg, Terminator};
+use ct_cfg::profile::BranchProbs;
+use ct_ir::instr::ProcId;
+use ct_ir::program::Program;
+use ct_mote::trace::Profiler;
+
+/// Cycles of one sampling ISR (save context, read PC, store, restore).
+pub const ISR_CYCLES: u64 = 25;
+
+/// RAM bytes per block histogram slot.
+pub const SLOT_RAM_BYTES: u32 = 2;
+
+/// Flash bytes of the ISR and setup code (per program).
+pub const FIXED_FLASH_BYTES: u32 = 64;
+
+/// A sampling profiler firing every `period` cycles.
+#[derive(Debug, Clone)]
+pub struct SamplingProfiler {
+    period: u64,
+    next_sample: u64,
+    /// Per procedure, per block: samples observed.
+    block_samples: Vec<Vec<u64>>,
+    /// Samples taken while in each procedure (for the overhead model).
+    pub total_samples: u64,
+    /// Currently executing (proc, block), tracked from block events.
+    current: Option<(ProcId, BlockId)>,
+}
+
+impl SamplingProfiler {
+    /// Creates a sampler firing every `period` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0`.
+    pub fn new(program: &Program, period: u64) -> SamplingProfiler {
+        assert!(period > 0, "sampling period must be positive");
+        SamplingProfiler {
+            period,
+            next_sample: period,
+            block_samples: program.procs.iter().map(|p| vec![0; p.cfg.len()]).collect(),
+            total_samples: 0,
+            current: None,
+        }
+    }
+
+    /// Raw per-block sample counts for `proc`.
+    pub fn block_samples(&self, proc: ProcId) -> &[u64] {
+        &self.block_samples[proc.index()]
+    }
+
+    /// Derives branch probabilities from the time-weighted histogram by
+    /// cost-correcting each block's share. Unobserved branches fall back to
+    /// 0.5.
+    pub fn branch_probs(&self, proc: ProcId, cfg: &Cfg, block_costs: &[u64]) -> BranchProbs {
+        let samples = &self.block_samples[proc.index()];
+        // Visit-rate estimate: samples / cost.
+        let rate = |b: BlockId| -> f64 {
+            let c = block_costs[b.index()].max(1) as f64;
+            samples[b.index()] as f64 / c
+        };
+        let mut probs = BranchProbs::uniform(cfg, 0.5);
+        for bb in cfg.branch_blocks() {
+            let Terminator::Branch { on_true, on_false } = cfg.block(bb).term else {
+                unreachable!("branch_blocks only yields branches")
+            };
+            let (rt, rf) = (rate(on_true), rate(on_false));
+            if rt + rf > 0.0 {
+                probs.set_prob_true(bb, rt / (rt + rf));
+            }
+        }
+        probs
+    }
+
+    /// Static RAM cost.
+    pub fn ram_bytes(program: &Program) -> u32 {
+        program.procs.iter().map(|p| p.cfg.len() as u32 * SLOT_RAM_BYTES).sum()
+    }
+
+    /// Static flash cost.
+    pub fn flash_bytes(_program: &Program) -> u32 {
+        FIXED_FLASH_BYTES
+    }
+}
+
+impl SamplingProfiler {
+    /// Fires all samples due by `cycles`, attributing them to the block that
+    /// was executing (PC sampling at block granularity).
+    fn drain_due(&mut self, cycles: u64) -> u64 {
+        let mut overhead = 0;
+        while cycles >= self.next_sample {
+            if let Some((p, b)) = self.current {
+                self.block_samples[p.index()][b.index()] += 1;
+                self.total_samples += 1;
+                overhead += ISR_CYCLES;
+            }
+            self.next_sample += self.period;
+        }
+        overhead
+    }
+}
+
+impl Profiler for SamplingProfiler {
+    fn on_block(&mut self, proc: ProcId, block: BlockId, cycles: u64) -> u64 {
+        let overhead = self.drain_due(cycles);
+        self.current = Some((proc, block));
+        overhead
+    }
+
+    fn on_proc_enter(&mut self, _proc: ProcId, cycles: u64) -> u64 {
+        // Skip sample points that elapsed while the CPU slept between events.
+        if self.current.is_none() && cycles >= self.next_sample {
+            let periods = (cycles - self.next_sample) / self.period + 1;
+            self.next_sample += periods * self.period;
+        }
+        0
+    }
+
+    fn on_proc_exit(&mut self, _proc: ProcId, cycles: u64) -> u64 {
+        let overhead = self.drain_due(cycles);
+        self.current = None;
+        overhead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_mote::cost::{block_costs, AvrCost};
+    use ct_mote::interp::Mote;
+
+    const SRC: &str = "module M { var a: u32; proc f(x: u16) {
+        if (x > 100) {
+            var i: u16 = 0;
+            while (i < 50) { a = a + i; i = i + 1; }
+        } else { a = 0; }
+    } }";
+
+    #[test]
+    fn samples_accumulate_in_hot_blocks() {
+        let program = ct_ir::compile_source(SRC).unwrap();
+        let mut mote = Mote::new(program.clone(), Box::new(AvrCost));
+        let mut sp = SamplingProfiler::new(&program, 97);
+        for i in 0..200 {
+            mote.call(ProcId(0), &[if i % 2 == 0 { 200 } else { 0 }], &mut sp).unwrap();
+        }
+        assert!(sp.total_samples > 100, "{}", sp.total_samples);
+        // The loop body (hot) must dominate the sample histogram.
+        let samples = sp.block_samples(ProcId(0));
+        let max_idx = samples.iter().enumerate().max_by_key(|&(_, &s)| s).unwrap().0;
+        let name = &program.procs[0].cfg.block(BlockId(max_idx as u32)).name;
+        assert!(
+            name.contains("loop"),
+            "hottest block should be in the loop, got {name} ({samples:?})"
+        );
+    }
+
+    #[test]
+    fn derived_probs_are_rough_but_directional() {
+        let program = ct_ir::compile_source(SRC).unwrap();
+        let costs = block_costs(&program.procs[0], &AvrCost);
+        let mut mote = Mote::new(program.clone(), Box::new(AvrCost));
+        let mut sp = SamplingProfiler::new(&program, 53);
+        // 90% of calls take the loop arm.
+        for i in 0..500 {
+            mote.call(ProcId(0), &[if i % 10 == 0 { 0 } else { 200 }], &mut sp).unwrap();
+        }
+        let cfg = &program.procs[0].cfg;
+        let probs = sp.branch_probs(ProcId(0), cfg, &costs);
+        // The outer branch (first branch block) strongly favors true.
+        let outer = cfg.branch_blocks()[0];
+        let p = probs.prob_true(outer).unwrap();
+        assert!(p > 0.6, "expected directional estimate, got {p}");
+    }
+
+    #[test]
+    fn isr_overhead_charged() {
+        let program = ct_ir::compile_source(SRC).unwrap();
+        let mut base = Mote::new(program.clone(), Box::new(AvrCost));
+        base.call(ProcId(0), &[200], &mut ct_mote::trace::NullProfiler).unwrap();
+        let base_cycles = base.cycles;
+
+        let mut mote = Mote::new(program.clone(), Box::new(AvrCost));
+        let mut sp = SamplingProfiler::new(&program, 100);
+        mote.call(ProcId(0), &[200], &mut sp).unwrap();
+        assert_eq!(mote.cycles, base_cycles + sp.total_samples * ISR_CYCLES);
+        assert!(sp.total_samples > 0);
+    }
+
+    #[test]
+    fn unsampled_branch_defaults_to_half() {
+        let program = ct_ir::compile_source(SRC).unwrap();
+        let costs = block_costs(&program.procs[0], &AvrCost);
+        let sp = SamplingProfiler::new(&program, 100);
+        let cfg = &program.procs[0].cfg;
+        let probs = sp.branch_probs(ProcId(0), cfg, &costs);
+        for &p in probs.as_slice() {
+            assert_eq!(p, 0.5);
+        }
+    }
+
+    #[test]
+    fn static_costs() {
+        let program = ct_ir::compile_source(SRC).unwrap();
+        assert!(SamplingProfiler::ram_bytes(&program) > 0);
+        assert_eq!(SamplingProfiler::flash_bytes(&program), FIXED_FLASH_BYTES);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_rejected() {
+        let program = ct_ir::compile_source("module M { proc f() {} }").unwrap();
+        SamplingProfiler::new(&program, 0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Property-based tests of the baseline profilers: Ball–Larus must always
+//! reconstruct ground truth exactly; overheads must account precisely.
+
+use ct_ir::instr::ProcId;
+use ct_mote::cost::AvrCost;
+use ct_mote::interp::Mote;
+use ct_mote::trace::{GroundTruthProfiler, NullProfiler, PairProfiler};
+use ct_profilers::ball_larus::{BallLarusProfiler, BlNumbering};
+use ct_profilers::edge_counter::{EdgeCounterProfiler, EDGE_INCREMENT_CYCLES};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Ball–Larus edge reconstruction equals ground truth on random
+    /// structured programs under random inputs.
+    #[test]
+    fn ball_larus_exact_on_generated_programs(seed in 0u64..200) {
+        let config = ct_apps::synthetic::GenConfig { decisions: 3, max_depth: 2, loop_share: 0.3 };
+        let program = ct_apps::synthetic::random_program(seed, config);
+        let mut mote = Mote::new(program.clone(), Box::new(AvrCost));
+        mote.devices.adc = Box::new(ct_mote::devices::UniformAdc { lo: 0, hi: 1023 });
+        mote.reseed(seed);
+        let mut gt = GroundTruthProfiler::new(&program);
+        let mut bl = BallLarusProfiler::new(&program);
+        for _ in 0..30 {
+            let mut pair = PairProfiler { a: &mut gt, b: &mut bl };
+            mote.call(ProcId(0), &[], &mut pair).unwrap();
+        }
+        let cfg = &program.procs[0].cfg;
+        if let Some(profile) = bl.edge_profile(ProcId(0), cfg) {
+            prop_assert_eq!(profile.counts(), gt.profile(ProcId(0)).counts());
+        }
+    }
+
+    /// Path numbering assigns every id a unique decodable path.
+    #[test]
+    fn numbering_ids_decode_uniquely(seed in 0u64..100) {
+        let config = ct_apps::synthetic::GenConfig { decisions: 3, max_depth: 2, loop_share: 0.4 };
+        let program = ct_apps::synthetic::random_program(seed, config);
+        let cfg = &program.procs[0].cfg;
+        if let Ok(nb) = BlNumbering::compute(cfg) {
+            let mut seen = std::collections::HashSet::new();
+            for id in 0..nb.num_paths().min(512) {
+                prop_assert!(seen.insert(nb.decode(id)), "duplicate path for id {id}");
+            }
+        }
+    }
+
+    /// Edge counter overhead is exactly increments × traversals.
+    #[test]
+    fn edge_counter_overhead_exact(seed in 0u64..100) {
+        let config = ct_apps::synthetic::GenConfig { decisions: 2, max_depth: 2, loop_share: 0.3 };
+        let program = ct_apps::synthetic::random_program(seed, config);
+
+        let mut base = Mote::new(program.clone(), Box::new(AvrCost));
+        base.devices.adc = Box::new(ct_mote::devices::UniformAdc { lo: 0, hi: 1023 });
+        base.reseed(seed);
+        for _ in 0..10 {
+            base.call(ProcId(0), &[], &mut NullProfiler).unwrap();
+        }
+
+        let mut inst = Mote::new(program.clone(), Box::new(AvrCost));
+        inst.devices.adc = Box::new(ct_mote::devices::UniformAdc { lo: 0, hi: 1023 });
+        inst.reseed(seed);
+        let mut ec = EdgeCounterProfiler::new(&program);
+        for _ in 0..10 {
+            inst.call(ProcId(0), &[], &mut ec).unwrap();
+        }
+        let traversals: u64 = ec.profile(ProcId(0)).counts().iter().sum();
+        prop_assert_eq!(inst.cycles, base.cycles + traversals * EDGE_INCREMENT_CYCLES);
+    }
+}

@@ -1,0 +1,239 @@
+//! Fixed-width histograms over `f64` samples.
+//!
+//! Used to inspect end-to-end duration distributions and to feed the
+//! mixture-deconvolution diagnostics in `ct-core`.
+
+use std::fmt;
+
+/// A histogram with uniform bin width over `[lo, hi)`.
+///
+/// Samples below `lo` or at/above `hi` are counted in underflow/overflow
+/// buckets rather than dropped, so total mass is conserved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` equal-width bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `lo >= hi` or either bound is not finite.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo.is_finite() && hi.is_finite(), "histogram bounds must be finite");
+        assert!(lo < hi, "histogram bounds must satisfy lo < hi");
+        Histogram { lo, hi, counts: vec![0; bins], underflow: 0, overflow: 0, total: 0 }
+    }
+
+    /// Creates a histogram sized to the data range of `xs` with `bins` bins,
+    /// then records every sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty or `bins == 0`.
+    pub fn from_samples(xs: &[f64], bins: usize) -> Self {
+        assert!(!xs.is_empty(), "cannot infer histogram range from empty sample");
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &x in xs {
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        if lo == hi {
+            // Degenerate range: widen so the single value lands in-bin.
+            hi = lo + 1.0;
+        }
+        // Nudge hi so the max sample falls inside the half-open range.
+        let width = (hi - lo) / bins as f64;
+        let mut h = Histogram::new(lo, hi + width * 1e-9, bins);
+        for &x in xs {
+            h.record(x);
+        }
+        h
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.counts.len() as f64;
+            let idx = ((x - self.lo) / width) as usize;
+            let idx = idx.min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Count in bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// The `[lo, hi)` interval of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_range(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.counts.len(), "bin index out of range");
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        (self.lo + width * i as f64, self.lo + width * (i + 1) as f64)
+    }
+
+    /// Total recorded samples, including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Samples below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples at or above the range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Normalized bin masses (fractions of the total, ignoring under/overflow
+    /// in the numerator but not the denominator). Empty histogram yields all
+    /// zeros.
+    pub fn densities(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts.iter().map(|&c| c as f64 / self.total as f64).collect()
+    }
+
+    /// Index of the fullest bin, or `None` if no in-range samples.
+    pub fn mode_bin(&self) -> Option<usize> {
+        let (idx, &cnt) = self.counts.iter().enumerate().max_by_key(|(_, &c)| c)?;
+        if cnt == 0 {
+            None
+        } else {
+            Some(idx)
+        }
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        for i in 0..self.counts.len() {
+            let (lo, hi) = self.bin_range(i);
+            let bar_len = (self.counts[i] * 40 / max) as usize;
+            writeln!(
+                f,
+                "[{lo:10.1}, {hi:10.1})  {:>8}  {}",
+                self.counts[i],
+                "#".repeat(bar_len)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_places_samples_in_right_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(0.5);
+        h.record(9.5);
+        h.record(5.0);
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(9), 1);
+        assert_eq!(h.count(5), 1);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn under_and_overflow_are_counted() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.record(-1.0);
+        h.record(2.0);
+        h.record(1.0); // hi is exclusive
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn from_samples_covers_all_points() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let h = Histogram::from_samples(&xs, 4);
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+        assert_eq!(h.total(), 5);
+        let in_bins: u64 = (0..h.bins()).map(|i| h.count(i)).sum();
+        assert_eq!(in_bins, 5);
+    }
+
+    #[test]
+    fn from_samples_degenerate_range() {
+        let h = Histogram::from_samples(&[7.0, 7.0, 7.0], 3);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.overflow() + h.underflow(), 0);
+    }
+
+    #[test]
+    fn densities_sum_to_in_range_fraction() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for i in 0..10 {
+            h.record(i as f64);
+        }
+        let sum: f64 = h.densities().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mode_bin_finds_fullest() {
+        let mut h = Histogram::new(0.0, 3.0, 3);
+        h.record(1.5);
+        h.record(1.6);
+        h.record(0.5);
+        assert_eq!(h.mode_bin(), Some(1));
+    }
+
+    #[test]
+    fn mode_bin_empty_is_none() {
+        let h = Histogram::new(0.0, 1.0, 3);
+        assert_eq!(h.mode_bin(), None);
+    }
+
+    #[test]
+    fn bin_range_partitions_interval() {
+        let h = Histogram::new(0.0, 10.0, 4);
+        assert_eq!(h.bin_range(0), (0.0, 2.5));
+        assert_eq!(h.bin_range(3), (7.5, 10.0));
+    }
+
+    #[test]
+    fn display_renders_without_panic() {
+        let mut h = Histogram::new(0.0, 2.0, 2);
+        h.record(0.5);
+        let s = h.to_string();
+        assert!(s.contains('#'));
+    }
+}

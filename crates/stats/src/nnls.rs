@@ -1,0 +1,235 @@
+//! Nonnegative least squares (Lawson–Hanson active set method).
+//!
+//! The flow-constrained "tomography" estimator solves `min ||A v - t||₂`
+//! subject to `v ≥ 0`, where `v` are expected basic-block visit counts and
+//! `t` are mean end-to-end procedure timings.
+
+use crate::matrix::Matrix;
+use crate::solve::{lstsq, SolveError};
+
+/// Options controlling the NNLS iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NnlsOptions {
+    /// Maximum number of outer iterations (each moves one variable into the
+    /// passive set). Defaults to `3 * cols`.
+    pub max_iter: Option<usize>,
+    /// Tolerance on the dual feasibility (gradient) test.
+    pub tol: f64,
+}
+
+impl Default for NnlsOptions {
+    fn default() -> Self {
+        NnlsOptions { max_iter: None, tol: 1e-10 }
+    }
+}
+
+/// The result of an NNLS solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NnlsSolution {
+    /// The nonnegative solution vector.
+    pub x: Vec<f64>,
+    /// Final residual norm `||A x - b||₂`.
+    pub residual_norm: f64,
+    /// Number of outer iterations used.
+    pub iterations: usize,
+}
+
+/// Solves `min ||A x - b||₂` subject to `x ≥ 0` with the Lawson–Hanson
+/// active-set algorithm.
+///
+/// # Errors
+///
+/// Returns [`SolveError::DimensionMismatch`] when `b.len() != a.rows()`, and
+/// propagates rank errors from the inner unconstrained solves (which indicate
+/// a degenerate passive set).
+///
+/// # Examples
+///
+/// ```
+/// use ct_stats::matrix::Matrix;
+/// use ct_stats::nnls::{nnls, NnlsOptions};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Unconstrained solution would have a negative component; NNLS clamps it.
+/// let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+/// let sol = nnls(&a, &[2.0, -1.0, 1.0], NnlsOptions::default())?;
+/// assert!(sol.x.iter().all(|&v| v >= 0.0));
+/// # Ok(())
+/// # }
+/// ```
+pub fn nnls(a: &Matrix, b: &[f64], opts: NnlsOptions) -> Result<NnlsSolution, SolveError> {
+    let m = a.rows();
+    let n = a.cols();
+    if b.len() != m {
+        return Err(SolveError::DimensionMismatch { expected: m, got: b.len() });
+    }
+    let max_iter = opts.max_iter.unwrap_or(3 * n.max(1));
+
+    let mut x = vec![0.0; n];
+    let mut passive = vec![false; n];
+    let mut iterations = 0;
+
+    let residual = |x: &[f64]| -> Vec<f64> {
+        let ax = a.mul_vec(x);
+        ax.iter().zip(b).map(|(p, q)| q - p).collect()
+    };
+
+    loop {
+        // Dual: w = Aᵀ (b - A x).
+        let r = residual(&x);
+        let at = a.transpose();
+        let w = at.mul_vec(&r);
+
+        // Pick the most promising active variable.
+        let mut best: Option<(usize, f64)> = None;
+        for j in 0..n {
+            if !passive[j] && w[j] > opts.tol
+                && best.is_none_or(|(_, bw)| w[j] > bw) {
+                    best = Some((j, w[j]));
+                }
+        }
+        let Some((j_star, _)) = best else { break };
+        if iterations >= max_iter {
+            break;
+        }
+        iterations += 1;
+        passive[j_star] = true;
+
+        // Inner loop: solve on the passive set; walk back any negatives.
+        loop {
+            let idx: Vec<usize> = (0..n).filter(|&j| passive[j]).collect();
+            let z = solve_on_subset(a, b, &idx)?;
+            if z.iter().all(|&v| v > opts.tol) {
+                for (k, &j) in idx.iter().enumerate() {
+                    x[j] = z[k];
+                }
+                for j in 0..n {
+                    if !passive[j] {
+                        x[j] = 0.0;
+                    }
+                }
+                break;
+            }
+            // Step from x toward z, stopping where the first passive variable
+            // hits zero; move that variable to the active set.
+            let mut alpha = f64::INFINITY;
+            for (k, &j) in idx.iter().enumerate() {
+                if z[k] <= opts.tol {
+                    let denom = x[j] - z[k];
+                    if denom > 0.0 {
+                        alpha = alpha.min(x[j] / denom);
+                    } else {
+                        alpha = 0.0;
+                    }
+                }
+            }
+            if !alpha.is_finite() {
+                alpha = 0.0;
+            }
+            for (k, &j) in idx.iter().enumerate() {
+                x[j] += alpha * (z[k] - x[j]);
+                if x[j] <= opts.tol {
+                    x[j] = 0.0;
+                    passive[j] = false;
+                }
+            }
+            if idx.iter().all(|&j| !passive[j]) {
+                // Everything left the passive set; restart the outer loop.
+                break;
+            }
+        }
+    }
+
+    let r = residual(&x);
+    let residual_norm = r.iter().map(|v| v * v).sum::<f64>().sqrt();
+    Ok(NnlsSolution { x, residual_norm, iterations })
+}
+
+/// Unconstrained least squares restricted to the columns in `idx`.
+fn solve_on_subset(a: &Matrix, b: &[f64], idx: &[usize]) -> Result<Vec<f64>, SolveError> {
+    assert!(!idx.is_empty(), "passive set must be nonempty");
+    let m = a.rows();
+    let mut sub = Matrix::zeros(m, idx.len());
+    for i in 0..m {
+        for (k, &j) in idx.iter().enumerate() {
+            sub[(i, k)] = a[(i, j)];
+        }
+    }
+    lstsq(&sub, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconstrained_optimum_is_returned_when_nonnegative() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let sol = nnls(&a, &[2.0, 3.0], NnlsOptions::default()).unwrap();
+        assert!((sol.x[0] - 2.0).abs() < 1e-9);
+        assert!((sol.x[1] - 3.0).abs() < 1e-9);
+        assert!(sol.residual_norm < 1e-9);
+    }
+
+    #[test]
+    fn negative_component_gets_clamped_to_zero() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let sol = nnls(&a, &[2.0, -3.0], NnlsOptions::default()).unwrap();
+        assert!((sol.x[0] - 2.0).abs() < 1e-9);
+        assert_eq!(sol.x[1], 0.0);
+        assert!((sol.residual_norm - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_zero_when_b_is_nonpositive_direction() {
+        let a = Matrix::from_rows(&[&[1.0], &[1.0]]);
+        let sol = nnls(&a, &[-1.0, -1.0], NnlsOptions::default()).unwrap();
+        assert_eq!(sol.x, vec![0.0]);
+    }
+
+    #[test]
+    fn overdetermined_mixture_recovery() {
+        // b = 2*col0 + 1*col1 exactly.
+        let a = Matrix::from_rows(&[
+            &[1.0, 2.0],
+            &[2.0, 1.0],
+            &[0.5, 0.5],
+            &[3.0, 0.0],
+        ]);
+        let b = [4.0, 5.0, 1.5, 6.0];
+        let sol = nnls(&a, &b, NnlsOptions::default()).unwrap();
+        assert!((sol.x[0] - 2.0).abs() < 1e-8, "{:?}", sol);
+        assert!((sol.x[1] - 1.0).abs() < 1e-8, "{:?}", sol);
+    }
+
+    #[test]
+    fn rejects_mismatched_rhs() {
+        let a = Matrix::zeros(2, 2);
+        assert!(matches!(
+            nnls(&a, &[1.0], NnlsOptions::default()),
+            Err(SolveError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn respects_iteration_cap() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let opts = NnlsOptions { max_iter: Some(0), ..Default::default() };
+        let sol = nnls(&a, &[1.0, 1.0], opts).unwrap();
+        assert_eq!(sol.iterations, 0);
+        assert_eq!(sol.x, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn solution_is_always_nonnegative_on_random_like_inputs() {
+        // A few deterministic pseudo-random cases exercised without rand.
+        let cases: &[(&[f64], &[f64], &[f64])] = &[
+            (&[1.0, -1.0], &[-1.0, 2.0], &[1.0, -2.0]),
+            (&[0.3, 0.7], &[0.9, 0.1], &[-0.5, 0.5]),
+        ];
+        for (r0, r1, b) in cases {
+            let a = Matrix::from_rows(&[r0, r1]);
+            let sol = nnls(&a, b, NnlsOptions::default()).unwrap();
+            assert!(sol.x.iter().all(|&v| v >= 0.0), "{:?}", sol);
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the numeric substrate.
+
+use ct_stats::descriptive::Summary;
+use ct_stats::dist::{project_to_simplex, Categorical};
+use ct_stats::matrix::Matrix;
+use ct_stats::metrics::{kl_divergence, total_variation};
+use ct_stats::nnls::{nnls, NnlsOptions};
+use ct_stats::solve::{lstsq, Lu};
+use proptest::prelude::*;
+
+fn small_vec(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-100.0f64..100.0, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// LU solve round-trips: A·x = b for diagonally dominant A.
+    #[test]
+    fn lu_solves_diagonally_dominant(
+        off in proptest::collection::vec(-1.0f64..1.0, 9),
+        b in small_vec(3),
+    ) {
+        let mut a = Matrix::zeros(3, 3);
+        for i in 0..3 {
+            for j in 0..3 {
+                a[(i, j)] = off[i * 3 + j];
+            }
+            a[(i, i)] = 10.0 + off[i * 3 + i];
+        }
+        let lu = Lu::factor(&a).expect("diagonally dominant is nonsingular");
+        let x = lu.solve(&b).unwrap();
+        let ax = a.mul_vec(&x);
+        for (p, q) in ax.iter().zip(&b) {
+            prop_assert!((p - q).abs() < 1e-6, "{ax:?} vs {b:?}");
+        }
+    }
+
+    /// Least squares residual is orthogonal to the column space.
+    #[test]
+    fn lstsq_residual_is_orthogonal(b in small_vec(4)) {
+        let a = Matrix::from_rows(&[
+            &[1.0, 0.5],
+            &[2.0, -1.0],
+            &[0.0, 3.0],
+            &[1.0, 1.0],
+        ]);
+        let x = lstsq(&a, &b).unwrap();
+        let ax = a.mul_vec(&x);
+        let r: Vec<f64> = b.iter().zip(&ax).map(|(p, q)| p - q).collect();
+        let at = a.transpose();
+        let atr = at.mul_vec(&r);
+        for v in atr {
+            prop_assert!(v.abs() < 1e-6, "residual not orthogonal: {v}");
+        }
+    }
+
+    /// NNLS solutions are nonnegative and never beat the unconstrained
+    /// optimum.
+    #[test]
+    fn nnls_is_feasible(b in small_vec(3)) {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[0.5, -1.0], &[2.0, 0.3]]);
+        let sol = nnls(&a, &b, NnlsOptions::default()).unwrap();
+        prop_assert!(sol.x.iter().all(|&v| v >= 0.0));
+        // Residual at least as large as the unconstrained one.
+        if let Ok(x_free) = lstsq(&a, &b) {
+            let ax = a.mul_vec(&x_free);
+            let free_res: f64 = b.iter().zip(&ax).map(|(p, q)| (p - q).powi(2)).sum::<f64>().sqrt();
+            prop_assert!(sol.residual_norm + 1e-9 >= free_res);
+        }
+    }
+
+    /// Welford summary matches naive two-pass computation.
+    #[test]
+    fn summary_matches_naive(xs in proptest::collection::vec(-1e4f64..1e4, 2..50)) {
+        let s = Summary::of(&xs);
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        prop_assert!((s.mean - mean).abs() < 1e-6 * mean.abs().max(1.0));
+        prop_assert!((s.variance - var).abs() < 1e-6 * var.abs().max(1.0));
+    }
+
+    /// Categorical sampling only produces valid indices and probabilities
+    /// normalize.
+    #[test]
+    fn categorical_is_normalized(w in proptest::collection::vec(0.0f64..10.0, 1..8), seed in 0u64..1000) {
+        prop_assume!(w.iter().sum::<f64>() > 0.0);
+        let c = Categorical::new(&w).unwrap();
+        prop_assert!((c.probs().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..20 {
+            prop_assert!(c.sample(&mut rng) < w.len());
+        }
+    }
+
+    /// Simplex projection is idempotent and feasible.
+    #[test]
+    fn simplex_projection_idempotent(v in proptest::collection::vec(-5.0f64..5.0, 1..6)) {
+        let p = project_to_simplex(&v);
+        prop_assert!(p.iter().all(|&x| x >= -1e-12));
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let pp = project_to_simplex(&p);
+        for (a, b) in p.iter().zip(&pp) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    /// KL ≥ 0 and TV ∈ [0, 1] for distributions.
+    #[test]
+    fn divergences_behave(w1 in proptest::collection::vec(0.01f64..1.0, 4), w2 in proptest::collection::vec(0.01f64..1.0, 4)) {
+        let norm = |w: &[f64]| -> Vec<f64> {
+            let s: f64 = w.iter().sum();
+            w.iter().map(|x| x / s).collect()
+        };
+        let p = norm(&w1);
+        let q = norm(&w2);
+        prop_assert!(kl_divergence(&p, &q) >= -1e-12);
+        let tv = total_variation(&p, &q);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&tv));
+    }
+}

@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Embed the latest results/*.md tables into EXPERIMENTS.md.
+
+Replaces everything between `<!-- RESULTS -->` and the next `## ` heading
+with the concatenated per-experiment result files, in experiment order.
+"""
+
+import pathlib
+import re
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+ORDER = [
+    "e1_accuracy", "e2_resolution", "e3_overhead", "e4_placement",
+    "e5_speedup", "e6_noise", "e7_estimators", "e8_scalability",
+    "e9_pipeline", "e10_unroll_ablation", "e11_model_error", "e12_cross_mcu",
+]
+
+
+def main() -> None:
+    chunks = []
+    for name in ORDER:
+        p = ROOT / "results" / f"{name}.md"
+        if p.exists():
+            chunks.append(p.read_text().strip())
+        else:
+            chunks.append(f"# {name}: results file missing — regenerate with "
+                          f"`cargo run --release -p ct-bench --bin {name}`")
+    body = "\n\n".join(chunks)
+
+    exp = ROOT / "EXPERIMENTS.md"
+    text = exp.read_text()
+    pattern = re.compile(r"<!-- RESULTS -->.*?(?=\n## Reading the results)", re.S)
+    text = pattern.sub(f"<!-- RESULTS -->\n\n{body}\n", text)
+    exp.write_text(text)
+    print(f"embedded {len(chunks)} result files into EXPERIMENTS.md")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+//! Integration tests for the extension features: trip-count analysis,
+//! unrolled estimation, and energy accounting.
+
+use code_tomography::core::samples::TimingSamples;
+use code_tomography::core::unrolled::estimate_unrolled;
+use code_tomography::mote::cost::AvrCost;
+use code_tomography::mote::energy::EnergyModel;
+use code_tomography::mote::interp::Mote;
+use code_tomography::mote::timer::VirtualTimer;
+use code_tomography::mote::trace::{GroundTruthProfiler, PairProfiler, TimingProfiler};
+
+#[test]
+fn crc_trip_counts_are_detected_by_the_compiler() {
+    let program = code_tomography::apps::crc::program();
+    let proc = &program.procs[0];
+    // Outer byte loop (8) and inner bit loop (8).
+    let mut trips: Vec<u64> = proc.counted_loops.iter().map(|&(_, k)| k).collect();
+    trips.sort_unstable();
+    assert_eq!(trips, vec![8, 8]);
+}
+
+#[test]
+fn all_counted_apps_unroll_within_budget() {
+    for app in code_tomography::apps::all_apps() {
+        let program = app.compile();
+        let proc = &program.procs[app.target_id(&program).index()];
+        if proc.counted_loops.is_empty() {
+            continue;
+        }
+        let u = code_tomography::cfg::unroll::unroll(&proc.cfg, &proc.counted_loops)
+            .unwrap_or_else(|e| panic!("{}: {e}", app.name));
+        assert!(u.cfg.validate().is_ok(), "{}", app.name);
+        // Costs map over without loss.
+        assert_eq!(u.orig_block.len(), u.cfg.len());
+        assert_eq!(u.orig_edge.len(), u.cfg.edges().len());
+    }
+}
+
+#[test]
+fn unrolled_estimation_recovers_crc_bit_branch_end_to_end() {
+    let app = code_tomography::apps::app_by_name("crc").unwrap();
+    let mut mote = app.boot(Box::new(AvrCost));
+    mote.reseed(77);
+    let program = mote.program().clone();
+    let pid = app.target_id(&program);
+    let mut gt = GroundTruthProfiler::new(&program);
+    let mut tp = TimingProfiler::new(&program, VirtualTimer::cycle_accurate(), 0);
+    for _ in 0..400 {
+        let mut pair = PairProfiler { a: &mut gt, b: &mut tp };
+        mote.call(pid, &[], &mut pair).unwrap();
+    }
+    let proc = &program.procs[pid.index()];
+    let samples = TimingSamples::new(tp.samples(pid).to_vec(), 1);
+    let r = estimate_unrolled(
+        &proc.cfg,
+        &proc.counted_loops,
+        mote.static_block_costs(pid),
+        mote.static_edge_costs(pid),
+        &samples,
+        Default::default(),
+    )
+    .unwrap();
+    let truth = gt.branch_probs(pid, &proc.cfg);
+    for (est, tru) in r.probs.as_slice().iter().zip(truth.as_slice()) {
+        assert!((est - tru).abs() < 0.02, "{:?} vs {:?}", r.probs, truth);
+    }
+    assert_eq!(r.unexplained, 0);
+}
+
+#[test]
+fn energy_accounting_tracks_activity() {
+    let app = code_tomography::apps::app_by_name("oscilloscope").unwrap();
+    let mut mote = app.boot(Box::new(AvrCost));
+    mote.reseed(5);
+    let pid = app.target_id(mote.program());
+    for _ in 0..64 {
+        mote.call(pid, &[], &mut code_tomography::mote::trace::NullProfiler).unwrap();
+    }
+    assert_eq!(mote.devices.adc_samples, 64);
+    assert!(!mote.devices.radio.sent.is_empty(), "four flushes should transmit");
+
+    let micaz = EnergyModel::micaz().charge_of(mote.cycles, &mote.devices);
+    let telosb = EnergyModel::telosb().charge_of(mote.cycles, &mote.devices);
+    assert!(micaz > telosb, "MicaZ CPU draws more than TelosB");
+    // Radio + ADC must be visible in the bill.
+    let cpu_only = EnergyModel::micaz().charge_uc(mote.cycles, 0, 0);
+    assert!(micaz > cpu_only);
+}
