@@ -66,7 +66,10 @@ mod tests {
             mote.call(ProcId(0), &[], &mut NullProfiler).unwrap();
         }
         let events = mote.globals.load(p.global_id("events").unwrap());
-        assert!(events > 3, "bursty field should trigger events, got {events}");
+        assert!(
+            events > 3,
+            "bursty field should trigger events, got {events}"
+        );
         assert!(events < 2500, "events must be rare, got {events}");
     }
 

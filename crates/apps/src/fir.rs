@@ -86,7 +86,8 @@ mod tests {
         configure(&mut mote);
         mote.devices.adc = Box::new(ConstantAdc(800));
         for _ in 0..16 {
-            mote.call(target_proc_id(&p), &[], &mut NullProfiler).unwrap();
+            mote.call(target_proc_id(&p), &[], &mut NullProfiler)
+                .unwrap();
         }
         // After ≥8 steps of constant 800 input: output = 8·800/8 = 800.
         assert_eq!(mote.globals.load(p.global_id("output").unwrap()), 800);

@@ -77,7 +77,8 @@ mod tests {
         let mut mote = Mote::new(p.clone(), Box::new(AvrCost));
         configure(&mut mote);
         for _ in 0..100 {
-            mote.call(ProcId(0), &[], &mut ct_mote::trace::NullProfiler).unwrap();
+            mote.call(ProcId(0), &[], &mut ct_mote::trace::NullProfiler)
+                .unwrap();
         }
         let alarms = mote.globals.load(p.global_id("alarms").unwrap());
         assert!(alarms > 0 && alarms < 100, "{alarms}");

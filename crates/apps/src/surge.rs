@@ -85,7 +85,10 @@ mod tests {
         assert!(total > 400, "should process most packets, got {total}");
         // ~1/16 consumed, rest forwarded/dropped with 15% loss.
         assert!(consumed > 0);
-        assert!(forwarded > 5 * dropped / 2, "forwarded {forwarded} dropped {dropped}");
+        assert!(
+            forwarded > 5 * dropped / 2,
+            "forwarded {forwarded} dropped {dropped}"
+        );
     }
 
     #[test]

@@ -22,7 +22,9 @@ pub fn diamond_chain_problem(k: usize, seed: u64) -> (Cfg, Vec<u64>, Vec<u64>, B
     let mut rng = StdRng::seed_from_u64(seed);
     // Distinct arm costs keep every branch identifiable from durations.
     let block_costs: Vec<u64> = (0..cfg.len()).map(|_| rng.gen_range(5..200)).collect();
-    let edge_costs: Vec<u64> = (0..cfg.edges().len()).map(|_| rng.gen_range(0..3)).collect();
+    let edge_costs: Vec<u64> = (0..cfg.edges().len())
+        .map(|_| rng.gen_range(0..3))
+        .collect();
     let probs: Vec<f64> = (0..k).map(|_| rng.gen_range(0.05..0.95)).collect();
     let truth = BranchProbs::from_vec(&cfg, probs);
     (cfg, block_costs, edge_costs, truth)
@@ -33,7 +35,9 @@ pub fn loop_problem(seed: u64) -> (Cfg, Vec<u64>, Vec<u64>, BranchProbs) {
     let cfg = builder::while_loop();
     let mut rng = StdRng::seed_from_u64(seed);
     let block_costs: Vec<u64> = (0..cfg.len()).map(|_| rng.gen_range(2..50)).collect();
-    let edge_costs: Vec<u64> = (0..cfg.edges().len()).map(|_| rng.gen_range(0..3)).collect();
+    let edge_costs: Vec<u64> = (0..cfg.edges().len())
+        .map(|_| rng.gen_range(0..3))
+        .collect();
     let q = rng.gen_range(0.2..0.85);
     let truth = BranchProbs::from_vec(&cfg, vec![q]);
     (cfg, block_costs, edge_costs, truth)
@@ -52,7 +56,11 @@ pub struct GenConfig {
 
 impl Default for GenConfig {
     fn default() -> Self {
-        GenConfig { decisions: 4, max_depth: 3, loop_share: 0.3 }
+        GenConfig {
+            decisions: 4,
+            max_depth: 3,
+            loop_share: 0.3,
+        }
     }
 }
 
@@ -64,7 +72,14 @@ pub fn random_source(seed: u64, config: GenConfig) -> String {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut body = String::new();
     let mut remaining = config.decisions;
-    gen_block(&mut rng, &mut body, &mut remaining, config.max_depth, &config, 2);
+    gen_block(
+        &mut rng,
+        &mut body,
+        &mut remaining,
+        config.max_depth,
+        &config,
+        2,
+    );
     // Spend any leftover decision budget as a flat tail of conditionals.
     while remaining > 0 {
         remaining -= 1;
@@ -96,7 +111,7 @@ fn gen_block(
         // A plain assignment keeps blocks nonempty and costs distinct.
         let g = rng.gen_range(0..4);
         let c = rng.gen_range(1..60);
-        let op = ["+", "^", "*"][rng.gen_range(0..3)];
+        let op = ["+", "^", "*"][rng.gen_range(0..3usize)];
         let _ = writeln!(out, "{pad}g{g} = g{g} {op} {c};");
 
         if *remaining == 0 || depth == 0 {
@@ -148,7 +163,10 @@ mod tests {
     #[test]
     fn problems_are_deterministic_per_seed() {
         assert_eq!(diamond_chain_problem(3, 9).1, diamond_chain_problem(3, 9).1);
-        assert_ne!(diamond_chain_problem(3, 9).1, diamond_chain_problem(3, 10).1);
+        assert_ne!(
+            diamond_chain_problem(3, 9).1,
+            diamond_chain_problem(3, 10).1
+        );
     }
 
     #[test]
@@ -164,7 +182,10 @@ mod tests {
     #[test]
     fn decision_budget_is_spent() {
         for seed in 0..10 {
-            let config = GenConfig { decisions: 5, ..Default::default() };
+            let config = GenConfig {
+                decisions: 5,
+                ..Default::default()
+            };
             let p = random_program(seed, config);
             assert_eq!(
                 p.procs[0].cfg.branch_blocks().len(),

@@ -37,10 +37,11 @@ fn bench_estimators(c: &mut Criterion) {
             BenchmarkId::from_parameter(method.to_string()),
             &method,
             |b, &method| {
-                let opts = EstimateOptions { method: Some(method), ..Default::default() };
-                b.iter(|| {
-                    estimate(black_box(&cfg), &bc, &ec, black_box(&samples), opts).unwrap()
-                });
+                let opts = EstimateOptions {
+                    method: Some(method),
+                    ..Default::default()
+                };
+                b.iter(|| estimate(black_box(&cfg), &bc, &ec, black_box(&samples), opts).unwrap());
             },
         );
     }

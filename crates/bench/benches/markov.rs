@@ -17,9 +17,7 @@ fn bench_markov(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("fb_tables", k), &k, |b, _| {
             b.iter(|| {
-                black_box(
-                    compute_tables(&cfg, &bc, &ec, &truth, FbParams::default()).unwrap(),
-                )
+                black_box(compute_tables(&cfg, &bc, &ec, &truth, FbParams::default()).unwrap())
             });
         });
     }

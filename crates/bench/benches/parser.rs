@@ -9,15 +9,30 @@ fn bench_frontend(c: &mut Criterion) {
     let mut group = c.benchmark_group("frontend");
     for app in ct_apps::all_apps() {
         group.throughput(Throughput::Bytes(app.source.len() as u64));
-        group.bench_with_input(BenchmarkId::new("compile", app.name), app.source, |b, src| {
-            b.iter(|| black_box(ct_ir::compile_source(src).unwrap()));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("compile", app.name),
+            app.source,
+            |b, src| {
+                b.iter(|| black_box(ct_ir::compile_source(src).unwrap()));
+            },
+        );
     }
-    let big = random_source(1, GenConfig { decisions: 32, max_depth: 4, loop_share: 0.3 });
+    let big = random_source(
+        1,
+        GenConfig {
+            decisions: 32,
+            max_depth: 4,
+            loop_share: 0.3,
+        },
+    );
     group.throughput(Throughput::Bytes(big.len() as u64));
-    group.bench_with_input(BenchmarkId::new("compile", "generated_32"), &big, |b, src| {
-        b.iter(|| black_box(ct_ir::compile_source(src).unwrap()));
-    });
+    group.bench_with_input(
+        BenchmarkId::new("compile", "generated_32"),
+        &big,
+        |b, src| {
+            b.iter(|| black_box(ct_ir::compile_source(src).unwrap()));
+        },
+    );
     group.finish();
 }
 

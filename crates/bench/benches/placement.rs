@@ -11,8 +11,9 @@ fn bench_placement(c: &mut Criterion) {
     let mut group = c.benchmark_group("placement");
     for k in [4usize, 16, 64] {
         let cfg = diamond_chain(k);
-        let weights: Vec<f64> =
-            (0..cfg.edges().len()).map(|i| ((i * 37) % 100) as f64).collect();
+        let weights: Vec<f64> = (0..cfg.edges().len())
+            .map(|i| ((i * 37) % 100) as f64)
+            .collect();
         group.bench_with_input(BenchmarkId::new("pettis_hansen", k), &k, |b, _| {
             b.iter(|| black_box(pettis_hansen(&cfg, &weights)));
         });

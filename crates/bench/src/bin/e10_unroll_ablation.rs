@@ -34,9 +34,21 @@ fn main() {
             &run.block_costs,
             &run.edge_costs,
             &run.samples,
-            EstimateOptions { method: Some(Method::Em), ..Default::default() },
+            EstimateOptions {
+                method: Some(Method::Em),
+                ..Default::default()
+            },
         )
-        .map(|e| compare(cfg, &e.probs, &run.truth, &run.truth_profile, run.invocations).weighted_mae);
+        .map(|e| {
+            compare(
+                cfg,
+                &e.probs,
+                &run.truth,
+                &run.truth_profile,
+                run.invocations,
+            )
+            .weighted_mae
+        });
 
         let unrolled = estimate_unrolled(
             cfg,
@@ -46,16 +58,37 @@ fn main() {
             &run.samples,
             Default::default(),
         )
-        .map(|u| compare(cfg, &u.probs, &run.truth, &run.truth_profile, run.invocations).weighted_mae);
+        .map(|u| {
+            compare(
+                cfg,
+                &u.probs,
+                &run.truth,
+                &run.truth_profile,
+                run.invocations,
+            )
+            .weighted_mae
+        });
 
         let moments = estimate(
             cfg,
             &run.block_costs,
             &run.edge_costs,
             &run.samples,
-            EstimateOptions { method: Some(Method::Moments), ..Default::default() },
+            EstimateOptions {
+                method: Some(Method::Moments),
+                ..Default::default()
+            },
         )
-        .map(|e| compare(cfg, &e.probs, &run.truth, &run.truth_profile, run.invocations).weighted_mae);
+        .map(|e| {
+            compare(
+                cfg,
+                &e.probs,
+                &run.truth,
+                &run.truth_profile,
+                run.invocations,
+            )
+            .weighted_mae
+        });
 
         let unrolled_blocks = ct_cfg::unroll::unroll(cfg, &run.counted_loops)
             .map(|u| u.cfg.len().to_string())

@@ -15,18 +15,21 @@ use ct_core::unrolled::estimate_unrolled;
 use ct_mote::timer::VirtualTimer;
 
 /// Re-estimates a run with perturbed block costs.
-fn estimate_with_model_error(
-    run: &ct_bench::AppRun,
-    delta: f64,
-) -> Option<(Estimate, f64)> {
+fn estimate_with_model_error(run: &ct_bench::AppRun, delta: f64) -> Option<(Estimate, f64)> {
     let bc: Vec<u64> = run
         .block_costs
         .iter()
         .map(|&c| (((c as f64) * (1.0 + delta)).round() as u64).max(1))
         .collect();
     let est = if run.counted_loops.is_empty() {
-        ct_core::estimate(run.cfg(), &bc, &run.edge_costs, &run.samples, EstimateOptions::default())
-            .ok()?
+        ct_core::estimate(
+            run.cfg(),
+            &bc,
+            &run.edge_costs,
+            &run.samples,
+            EstimateOptions::default(),
+        )
+        .ok()?
     } else {
         let u = estimate_unrolled(
             run.cfg(),
@@ -45,7 +48,13 @@ fn estimate_with_model_error(
             unexplained: u.unexplained,
         }
     };
-    let acc = compare(run.cfg(), &est.probs, &run.truth, &run.truth_profile, run.invocations);
+    let acc = compare(
+        run.cfg(),
+        &est.probs,
+        &run.truth,
+        &run.truth_profile,
+        run.invocations,
+    );
     Some((est, acc.weighted_mae))
 }
 
@@ -64,7 +73,9 @@ fn main() {
             let mut cells = vec![name.to_string(), cpt.to_string()];
             for &d in &deltas {
                 let wmae = if d == 0.0 {
-                    estimate_run(&run, EstimateOptions::default()).1.weighted_mae
+                    estimate_run(&run, EstimateOptions::default())
+                        .1
+                        .weighted_mae
                 } else {
                     match estimate_with_model_error(&run, d) {
                         Some((_, w)) => w,

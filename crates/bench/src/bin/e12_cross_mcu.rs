@@ -31,8 +31,10 @@ fn main() {
     ]);
 
     for app in ct_apps::all_apps() {
-        for (mcu, energy) in [(Mcu::Avr, EnergyModel::micaz()), (Mcu::Msp430, EnergyModel::telosb())]
-        {
+        for (mcu, energy) in [
+            (Mcu::Avr, EnergyModel::micaz()),
+            (Mcu::Msp430, EnergyModel::telosb()),
+        ] {
             let run = run_app(&app, mcu, n, VirtualTimer::mhz1_at_8mhz(), 0, seed);
             let (est, acc) = estimate_run(&run, EstimateOptions::default());
             let cfg = run.cfg().clone();
@@ -43,8 +45,7 @@ fn main() {
             let (before, cyc_before) =
                 replay_with_layout(&app, mcu, Layout::natural(&cfg), n, seed);
             let (after, cyc_after) = replay_with_layout(&app, mcu, optimized, n, seed);
-            let saved_pct =
-                (cyc_before as f64 - cyc_after as f64) / cyc_before as f64 * 100.0;
+            let saved_pct = (cyc_before as f64 - cyc_after as f64) / cyc_before as f64 * 100.0;
             // Placement changes CPU cycles only; device activity is identical
             // on replayed inputs, so the charge delta is pure CPU.
             let charge_saved = energy.charge_uc(cyc_before - cyc_after.min(cyc_before), 0, 0);

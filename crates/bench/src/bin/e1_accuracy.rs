@@ -4,36 +4,45 @@
 //! improving with more samples. Cycle-accurate timer isolates the
 //! statistical (not quantization) error.
 
-use ct_bench::{estimate_run, f4, run_app, write_result, Mcu, Table};
+use ct_bench::{estimate_run, f4, par_sweep, run_app, write_result, Mcu, Table};
 use ct_core::estimator::EstimateOptions;
 use ct_mote::timer::VirtualTimer;
 
 fn main() {
     let sample_counts = [100usize, 500, 1_000, 5_000, 20_000];
     let mut table = Table::new(vec![
-        "app",
-        "branches",
-        "n=100",
-        "n=500",
-        "n=1000",
-        "n=5000",
-        "n=20000",
-        "method",
+        "app", "branches", "n=100", "n=500", "n=1000", "n=5000", "n=20000", "method",
     ]);
 
-    for app in ct_apps::all_apps() {
-        let mut cells = vec![app.name.to_string()];
-        let mut method = String::new();
-        for (i, &n) in sample_counts.iter().enumerate() {
-            let run = run_app(&app, Mcu::Avr, n, VirtualTimer::cycle_accurate(), 0, 1000 + i as u64);
-            let (est, acc) = estimate_run(&run, EstimateOptions::default());
-            method = est.method.to_string();
-            if i == 0 {
-                cells.push(acc.n_branches.to_string());
-            }
-            cells.push(f4(acc.weighted_mae));
-        }
-        cells.push(method);
+    // One job per (app, sample count) cell; results come back in grid order.
+    let apps = ct_apps::all_apps();
+    let grid: Vec<(usize, usize, usize)> = (0..apps.len())
+        .flat_map(|a| {
+            sample_counts
+                .iter()
+                .enumerate()
+                .map(move |(i, &n)| (a, i, n))
+        })
+        .collect();
+    let measured = par_sweep(grid, |(a, i, n)| {
+        let app = &apps[a];
+        let run = run_app(
+            app,
+            Mcu::Avr,
+            n,
+            VirtualTimer::cycle_accurate(),
+            0,
+            1000 + i as u64,
+        );
+        let (est, acc) = estimate_run(&run, EstimateOptions::default());
+        (acc.n_branches, acc.weighted_mae, est.method.to_string())
+    });
+
+    for (a, app) in apps.iter().enumerate() {
+        let row = &measured[a * sample_counts.len()..(a + 1) * sample_counts.len()];
+        let mut cells = vec![app.name.to_string(), row[0].0.to_string()];
+        cells.extend(row.iter().map(|&(_, wmae, _)| f4(wmae)));
+        cells.push(row.last().expect("nonempty row").2.clone());
         table.row(cells);
         eprintln!("e1: {} done", app.name);
     }

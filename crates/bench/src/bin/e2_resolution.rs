@@ -4,7 +4,7 @@
 //! motes actually have. The quantization-aware likelihood should degrade
 //! gracefully as ticks get coarser than path-duration differences.
 
-use ct_bench::{estimate_run, f4, run_app, write_result, Mcu, Table};
+use ct_bench::{estimate_run, f4, par_sweep, run_app, write_result, Mcu, Table};
 use ct_core::estimator::EstimateOptions;
 use ct_mote::timer::VirtualTimer;
 
@@ -13,15 +13,37 @@ fn main() {
     // crystal, and a pathologically slow tick.
     let resolutions = [1u64, 8, 64, 244, 1024];
     let n = 5_000;
-    let mut table = Table::new(vec!["app", "cpt=1", "cpt=8", "cpt=64", "cpt=244", "cpt=1024"]);
+    let mut table = Table::new(vec![
+        "app", "cpt=1", "cpt=8", "cpt=64", "cpt=244", "cpt=1024",
+    ]);
 
-    for app in ct_apps::all_apps() {
+    // One job per (app, resolution) cell; results come back in grid order.
+    let apps = ct_apps::all_apps();
+    let grid: Vec<(usize, usize, u64)> = (0..apps.len())
+        .flat_map(|a| {
+            resolutions
+                .iter()
+                .enumerate()
+                .map(move |(i, &cpt)| (a, i, cpt))
+        })
+        .collect();
+    let measured = par_sweep(grid, |(a, i, cpt)| {
+        let run = run_app(
+            &apps[a],
+            Mcu::Avr,
+            n,
+            VirtualTimer::new(cpt),
+            0,
+            2000 + i as u64,
+        );
+        let (_est, acc) = estimate_run(&run, EstimateOptions::default());
+        acc.weighted_mae
+    });
+
+    for (a, app) in apps.iter().enumerate() {
+        let row = &measured[a * resolutions.len()..(a + 1) * resolutions.len()];
         let mut cells = vec![app.name.to_string()];
-        for (i, &cpt) in resolutions.iter().enumerate() {
-            let run = run_app(&app, Mcu::Avr, n, VirtualTimer::new(cpt), 0, 2000 + i as u64);
-            let (_est, acc) = estimate_run(&run, EstimateOptions::default());
-            cells.push(f4(acc.weighted_mae));
-        }
+        cells.extend(row.iter().map(|&wmae| f4(wmae)));
         table.row(cells);
         eprintln!("e2: {} done", app.name);
     }

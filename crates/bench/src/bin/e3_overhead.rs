@@ -4,8 +4,8 @@
 //! instrumentation on all three mote-relevant axes: cycles, RAM, flash.
 
 use ct_bench::{f2, run_with_profiler, write_result, Mcu, Table};
-use ct_mote::trace::{NullProfiler, TimingProfiler};
 use ct_mote::timer::VirtualTimer;
+use ct_mote::trace::{NullProfiler, TimingProfiler};
 use ct_profilers::ball_larus::BallLarusProfiler;
 use ct_profilers::edge_counter::EdgeCounterProfiler;
 use ct_profilers::overhead::tomography;
@@ -28,8 +28,11 @@ fn main() {
         let base = run_with_profiler(&app, Mcu::Avr, n, seed, &mut NullProfiler);
 
         // Code Tomography: a timestamp at every proc entry/exit.
-        let mut tp =
-            TimingProfiler::new(&program, VirtualTimer::khz32_at_8mhz(), tomography::TIMESTAMP_CYCLES);
+        let mut tp = TimingProfiler::new(
+            &program,
+            VirtualTimer::khz32_at_8mhz(),
+            tomography::TIMESTAMP_CYCLES,
+        );
         let tomo = run_with_profiler(&app, Mcu::Avr, n, seed, &mut tp);
 
         let mut ec = EdgeCounterProfiler::new(&program);

@@ -38,8 +38,14 @@ fn main() {
         let layouts: Vec<(&str, Layout)> = vec![
             ("natural", Layout::natural(&cfg)),
             ("random", random_layout(&cfg, 99)),
-            ("PH(true)", place_procedure(&cfg, &freq_true, &pen, Strategy::PettisHansen)),
-            ("PH(estimated)", place_procedure(&cfg, &freq_est, &pen, Strategy::PettisHansen)),
+            (
+                "PH(true)",
+                place_procedure(&cfg, &freq_true, &pen, Strategy::PettisHansen),
+            ),
+            (
+                "PH(estimated)",
+                place_procedure(&cfg, &freq_est, &pen, Strategy::PettisHansen),
+            ),
         ];
 
         let mut rates = Vec::new();

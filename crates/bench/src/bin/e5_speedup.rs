@@ -47,7 +47,11 @@ fn main() {
         let base = cycles[0] as f64;
         let saved_true = base - cycles[2] as f64;
         let saved_est = base - cycles[3] as f64;
-        let captured = if saved_true > 0.0 { saved_est / saved_true } else { 1.0 };
+        let captured = if saved_true > 0.0 {
+            saved_est / saved_true
+        } else {
+            1.0
+        };
         table.row(vec![
             app.name.to_string(),
             cycles[0].to_string(),

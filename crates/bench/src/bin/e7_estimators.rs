@@ -49,13 +49,7 @@ fn synth_samples(
 fn main() {
     let n = 3_000;
     let mut table = Table::new(vec![
-        "problem",
-        "branches",
-        "method",
-        "mae",
-        "max err",
-        "iters",
-        "time ms",
+        "problem", "branches", "method", "mae", "max err", "iters", "time ms",
     ]);
 
     type Problem = (String, Cfg, Vec<u64>, Vec<u64>, BranchProbs);
@@ -67,25 +61,38 @@ fn main() {
     let (cfg, bc, ec, truth) = loop_problem(99);
     problems.push(("while_loop".into(), cfg, bc, ec, truth));
 
-    for (name, cfg, bc, ec, truth) in &problems {
-        let samples = synth_samples(cfg, bc, ec, truth, n, 7_000);
-        for method in [Method::Em, Method::Moments, Method::FlowMean] {
-            let opts = EstimateOptions { method: Some(method), ..Default::default() };
-            let start = Instant::now();
-            let est = estimate(cfg, bc, ec, &samples, opts).expect("estimation succeeds");
-            let elapsed = start.elapsed().as_secs_f64() * 1e3;
-            let acc = compare_unweighted(&est.probs, truth);
-            table.row(vec![
-                name.clone(),
-                truth.len().to_string(),
-                method.to_string(),
-                f4(acc.mae),
-                f4(acc.max_err),
-                est.iterations.to_string(),
-                format!("{elapsed:.2}"),
-            ]);
+    // One job per problem (methods stay serial inside a job so their
+    // relative per-method timings remain comparable); problems fan out.
+    let rows_per_problem =
+        ct_bench::par_sweep(problems.iter().collect(), |(name, cfg, bc, ec, truth)| {
+            let samples = synth_samples(cfg, bc, ec, truth, n, 7_000);
+            let mut rows = Vec::new();
+            for method in [Method::Em, Method::Moments, Method::FlowMean] {
+                let opts = EstimateOptions {
+                    method: Some(method),
+                    ..Default::default()
+                };
+                let start = Instant::now();
+                let est = estimate(cfg, bc, ec, &samples, opts).expect("estimation succeeds");
+                let elapsed = start.elapsed().as_secs_f64() * 1e3;
+                let acc = compare_unweighted(&est.probs, truth);
+                rows.push(vec![
+                    name.clone(),
+                    truth.len().to_string(),
+                    method.to_string(),
+                    f4(acc.mae),
+                    f4(acc.max_err),
+                    est.iterations.to_string(),
+                    format!("{elapsed:.2}"),
+                ]);
+            }
+            eprintln!("e7: {name} done");
+            rows
+        });
+    for rows in rows_per_problem {
+        for row in rows {
+            table.row(row);
         }
-        eprintln!("e7: {name} done");
     }
 
     let out = format!(

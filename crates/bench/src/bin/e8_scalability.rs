@@ -4,13 +4,13 @@
 //! the automatic EM→moments fallback engages where the time-expanded support
 //! explodes (deep diamond chains widen the duration support exponentially).
 
-use ct_apps::synthetic::{random_program, diamond_chain_problem, GenConfig};
+use ct_apps::synthetic::{diamond_chain_problem, random_program, GenConfig};
 use ct_bench::{f4, write_result, Mcu, Table};
+use ct_core::accuracy::compare;
 use ct_core::estimator::{estimate, EstimateOptions};
 use ct_core::samples::TimingSamples;
 use ct_mote::timer::VirtualTimer;
 use ct_mote::trace::{GroundTruthProfiler, PairProfiler, TimingProfiler};
-use ct_core::accuracy::compare;
 use std::time::Instant;
 
 fn main() {
@@ -27,12 +27,16 @@ fn main() {
 
     // Part 1: generated structured programs of growing decision count,
     // executed on the mote (real ground truth, real timing samples).
-    for decisions in [2usize, 4, 6, 8, 10, 12] {
-        let program = random_program(8_000 + decisions as u64, GenConfig {
-            decisions,
-            max_depth: 3,
-            loop_share: 0.25,
-        });
+    // Each cell is self-contained (own program, mote, seed) — fan them out.
+    let part1 = ct_bench::par_sweep(vec![2usize, 4, 6, 8, 10, 12], |decisions| {
+        let program = random_program(
+            8_000 + decisions as u64,
+            GenConfig {
+                decisions,
+                max_depth: 3,
+                loop_share: 0.25,
+            },
+        );
         let mut mote = ct_mote::interp::Mote::new(program.clone(), Mcu::Avr.cost_model());
         mote.devices.adc = Box::new(ct_mote::devices::UniformAdc { lo: 0, hi: 1023 });
         mote.reseed(42);
@@ -40,8 +44,12 @@ fn main() {
         let mut gt = GroundTruthProfiler::new(&program);
         let mut tp = TimingProfiler::new(&program, VirtualTimer::cycle_accurate(), 0);
         for _ in 0..n {
-            let mut pair = PairProfiler { a: &mut gt, b: &mut tp };
-            mote.call(pid, &[], &mut pair).expect("generated programs run");
+            let mut pair = PairProfiler {
+                a: &mut gt,
+                b: &mut tp,
+            };
+            mote.call(pid, &[], &mut pair)
+                .expect("generated programs run");
         }
         let cfg = &program.procs[0].cfg;
         let samples = TimingSamples::new(tp.samples(pid).to_vec(), 1);
@@ -59,7 +67,8 @@ fn main() {
         } else {
             "∞ (loops)".into()
         };
-        table.row(vec![
+        eprintln!("e8: generated_d{decisions} done");
+        vec![
             format!("generated_d{decisions}"),
             cfg.len().to_string(),
             truth.len().to_string(),
@@ -67,13 +76,15 @@ fn main() {
             est.method.to_string(),
             f4(acc.weighted_mae),
             format!("{elapsed:.2}"),
-        ]);
-        eprintln!("e8: generated_d{decisions} done");
+        ]
+    });
+    for row in part1 {
+        table.row(row);
     }
 
     // Part 2: diamond chains of growing width with synthetic exact samples —
     // shows the EM→moments fallback point.
-    for k in [2usize, 4, 6, 8, 10, 12] {
+    let part2 = ct_bench::par_sweep(vec![2usize, 4, 6, 8, 10, 12], |k| {
         let (cfg, bc, ec, truth) = diamond_chain_problem(k, 900 + k as u64);
         let chain = ct_markov::chain_from_cfg(&cfg, &truth).expect("valid chain");
         let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(9_000);
@@ -100,7 +111,8 @@ fn main() {
             .expect("estimation succeeds");
         let elapsed = start.elapsed().as_secs_f64() * 1e3;
         let acc = ct_core::accuracy::compare_unweighted(&est.probs, &truth);
-        table.row(vec![
+        eprintln!("e8: diamond_chain_{k} done");
+        vec![
             format!("diamond_chain_{k}"),
             cfg.len().to_string(),
             k.to_string(),
@@ -108,8 +120,10 @@ fn main() {
             est.method.to_string(),
             f4(acc.mae),
             format!("{elapsed:.2}"),
-        ]);
-        eprintln!("e8: diamond_chain_{k} done");
+        ]
+    });
+    for row in part2 {
+        table.row(row);
     }
 
     let out = format!(

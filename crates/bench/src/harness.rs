@@ -8,8 +8,8 @@ use ct_cfg::layout::{Layout, LayoutCost, PenaltyModel};
 use ct_cfg::profile::{BranchProbs, EdgeProfile};
 use ct_core::accuracy::{compare, AccuracyReport};
 use ct_core::estimator::{estimate, Estimate, EstimateOptions, Method};
-use ct_core::unrolled::estimate_unrolled;
 use ct_core::samples::TimingSamples;
+use ct_core::unrolled::estimate_unrolled;
 use ct_ir::instr::ProcId;
 use ct_ir::program::Program;
 use ct_mote::cost::{AvrCost, CostModel, Msp430Cost};
@@ -80,7 +80,14 @@ impl AppRun {
 /// # Panics
 ///
 /// Panics if the app traps (bundled apps must not).
-pub fn run_app(app: &App, mcu: Mcu, n: usize, timer: VirtualTimer, ts_overhead: u64, seed: u64) -> AppRun {
+pub fn run_app(
+    app: &App,
+    mcu: Mcu,
+    n: usize,
+    timer: VirtualTimer,
+    ts_overhead: u64,
+    seed: u64,
+) -> AppRun {
     let mut mote = app.boot(mcu.cost_model());
     mote.reseed(seed);
     run_on_mote(app, &mut mote, n, timer, ts_overhead)
@@ -107,7 +114,10 @@ pub fn run_on_mote(
         if let Some(hook) = app.per_call {
             hook(mote, i);
         }
-        let mut pair = PairProfiler { a: &mut gt, b: &mut tp };
+        let mut pair = PairProfiler {
+            a: &mut gt,
+            b: &mut tp,
+        };
         mote.call(pid, &[], &mut pair)
             .unwrap_or_else(|e| panic!("{} trapped: {e}", app.name));
     }
@@ -177,14 +187,31 @@ pub fn estimate_run(run: &AppRun, opts: EstimateOptions) -> (Estimate, AccuracyR
                 loglik: Some(u.loglik),
                 unexplained: u.unexplained,
             };
-            let acc =
-                compare(run.cfg(), &est.probs, &run.truth, &run.truth_profile, run.invocations);
+            let acc = compare(
+                run.cfg(),
+                &est.probs,
+                &run.truth,
+                &run.truth_profile,
+                run.invocations,
+            );
             return (est, acc);
         }
     }
-    let est = estimate(run.cfg(), &run.block_costs, &run.edge_costs, &run.samples, opts)
-        .unwrap_or_else(|e| panic!("estimation failed: {e}"));
-    let acc = compare(run.cfg(), &est.probs, &run.truth, &run.truth_profile, run.invocations);
+    let est = estimate(
+        run.cfg(),
+        &run.block_costs,
+        &run.edge_costs,
+        &run.samples,
+        opts,
+    )
+    .unwrap_or_else(|e| panic!("estimation failed: {e}"));
+    let acc = compare(
+        run.cfg(),
+        &est.probs,
+        &run.truth,
+        &run.truth_profile,
+        run.invocations,
+    );
     (est, acc)
 }
 
@@ -238,6 +265,23 @@ pub fn penalties(mcu: Mcu) -> PenaltyModel {
     mcu.cost_model().penalties()
 }
 
+/// Fans an app × configuration sweep grid out over scoped threads
+/// (`CT_THREADS` to override the worker count), returning one result per
+/// cell **in cell order** — so tables assembled from the results are
+/// identical to the serial loops this replaces, for any thread count.
+///
+/// Each cell must be self-contained (boot its own mote, own its seed): the
+/// experiment binaries already work that way so runs are reproducible, which
+/// is exactly what makes them safe to run concurrently.
+pub fn par_sweep<T, U, F>(cells: Vec<T>, job: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    ct_stats::parallel::par_map(cells, job)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -269,7 +313,13 @@ mod tests {
         let app = app_by_name("sense").unwrap();
         let run = run_app(&app, Mcu::Avr, 2000, VirtualTimer::cycle_accurate(), 0, 1);
         let (est, acc) = estimate_run(&run, EstimateOptions::default());
-        assert!(acc.mae < 0.02, "mae {} (est {:?} truth {:?})", acc.mae, est.probs, run.truth);
+        assert!(
+            acc.mae < 0.02,
+            "mae {} (est {:?} truth {:?})",
+            acc.mae,
+            est.probs,
+            run.truth
+        );
     }
 
     #[test]

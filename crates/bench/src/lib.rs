@@ -40,7 +40,7 @@ pub mod harness;
 pub mod table;
 
 pub use harness::{
-    edge_frequencies, estimate_run, penalties, random_layout, replay_with_layout, run_app,
-    run_on_mote, run_with_profiler, AppRun, Mcu,
+    edge_frequencies, estimate_run, par_sweep, penalties, random_layout, replay_with_layout,
+    run_app, run_on_mote, run_with_profiler, AppRun, Mcu,
 };
 pub use table::{f2, f4, write_result, Table};

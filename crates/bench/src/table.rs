@@ -21,7 +21,10 @@ impl Table {
     pub fn new<S: Into<String>>(headers: Vec<S>) -> Table {
         let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
         assert!(!headers.is_empty(), "table needs at least one column");
-        Table { headers, rows: Vec::new() }
+        Table {
+            headers,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -50,7 +53,15 @@ impl Table {
     pub fn to_markdown(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "| {} |", self.headers.join(" | "));
-        let _ = writeln!(out, "|{}|", self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
+        );
         for r in &self.rows {
             let _ = writeln!(out, "| {} |", r.join(" | "));
         }

@@ -38,7 +38,13 @@ pub fn diamond() -> Cfg {
     let then_b = cfg.add_block("then", Terminator::Return);
     let else_b = cfg.add_block("else", Terminator::Return);
     let join = cfg.add_block("join", Terminator::Return);
-    cfg.set_terminator(cond, Terminator::Branch { on_true: then_b, on_false: else_b });
+    cfg.set_terminator(
+        cond,
+        Terminator::Branch {
+            on_true: then_b,
+            on_false: else_b,
+        },
+    );
     cfg.set_terminator(then_b, Terminator::Jump(join));
     cfg.set_terminator(else_b, Terminator::Jump(join));
     cfg
@@ -57,7 +63,13 @@ pub fn while_loop() -> Cfg {
     let body = cfg.add_block("body", Terminator::Jump(header));
     let exit = cfg.add_block("exit", Terminator::Return);
     cfg.set_terminator(entry, Terminator::Jump(header));
-    cfg.set_terminator(header, Terminator::Branch { on_true: body, on_false: exit });
+    cfg.set_terminator(
+        header,
+        Terminator::Branch {
+            on_true: body,
+            on_false: exit,
+        },
+    );
     cfg
 }
 
@@ -78,7 +90,10 @@ pub fn diamond_chain(k: usize) -> Cfg {
         let base = 3 * i as u32;
         cfg.add_block(
             format!("cond{i}"),
-            Terminator::Branch { on_true: BlockId(base + 1), on_false: BlockId(base + 2) },
+            Terminator::Branch {
+                on_true: BlockId(base + 1),
+                on_false: BlockId(base + 2),
+            },
         );
         cfg.add_block(format!("then{i}"), Terminator::Jump(BlockId(base + 3)));
         cfg.add_block(format!("else{i}"), Terminator::Jump(BlockId(base + 3)));
@@ -104,8 +119,20 @@ pub fn nested_loops() -> Cfg {
     let outer_b = cfg.add_block("outer_latch", Terminator::Jump(outer_h));
     let exit = cfg.add_block("exit", Terminator::Return);
     cfg.set_terminator(entry, Terminator::Jump(outer_h));
-    cfg.set_terminator(outer_h, Terminator::Branch { on_true: inner_h, on_false: exit });
-    cfg.set_terminator(inner_h, Terminator::Branch { on_true: inner_b, on_false: outer_b });
+    cfg.set_terminator(
+        outer_h,
+        Terminator::Branch {
+            on_true: inner_h,
+            on_false: exit,
+        },
+    );
+    cfg.set_terminator(
+        inner_h,
+        Terminator::Branch {
+            on_true: inner_b,
+            on_false: outer_b,
+        },
+    );
     cfg
 }
 
@@ -117,9 +144,27 @@ pub fn irreducible() -> Cfg {
     let a = cfg.add_block("a", Terminator::Return);
     let b = cfg.add_block("b", Terminator::Return);
     let exit = cfg.add_block("exit", Terminator::Return);
-    cfg.set_terminator(entry, Terminator::Branch { on_true: a, on_false: b });
-    cfg.set_terminator(a, Terminator::Branch { on_true: b, on_false: exit });
-    cfg.set_terminator(b, Terminator::Branch { on_true: a, on_false: exit });
+    cfg.set_terminator(
+        entry,
+        Terminator::Branch {
+            on_true: a,
+            on_false: b,
+        },
+    );
+    cfg.set_terminator(
+        a,
+        Terminator::Branch {
+            on_true: b,
+            on_false: exit,
+        },
+    );
+    cfg.set_terminator(
+        b,
+        Terminator::Branch {
+            on_true: a,
+            on_false: exit,
+        },
+    );
     cfg
 }
 

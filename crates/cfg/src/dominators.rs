@@ -190,7 +190,10 @@ mod tests {
     fn dominator_chain_walks_to_entry() {
         let cfg = linear(3);
         let dom = Dominators::compute(&cfg);
-        assert_eq!(dom.dominator_chain(BlockId(2)), vec![BlockId(2), BlockId(1), BlockId(0)]);
+        assert_eq!(
+            dom.dominator_chain(BlockId(2)),
+            vec![BlockId(2), BlockId(1), BlockId(0)]
+        );
     }
 
     #[test]

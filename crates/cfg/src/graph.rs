@@ -165,7 +165,10 @@ pub struct Cfg {
 impl Cfg {
     /// Creates an empty CFG with the given procedure name.
     pub fn new(name: impl Into<String>) -> Self {
-        Cfg { name: name.into(), blocks: Vec::new() }
+        Cfg {
+            name: name.into(),
+            blocks: Vec::new(),
+        }
     }
 
     /// The procedure name.
@@ -176,7 +179,10 @@ impl Cfg {
     /// Appends a block and returns its id. The first block added is the entry.
     pub fn add_block(&mut self, name: impl Into<String>, term: Terminator) -> BlockId {
         let id = BlockId(self.blocks.len() as u32);
-        self.blocks.push(Block { name: name.into(), term });
+        self.blocks.push(Block {
+            name: name.into(),
+            term,
+        });
         id
     }
 
@@ -220,7 +226,10 @@ impl Cfg {
 
     /// Iterator over `(BlockId, &Block)` in id order.
     pub fn iter(&self) -> impl Iterator<Item = (BlockId, &Block)> {
-        self.blocks.iter().enumerate().map(|(i, b)| (BlockId(i as u32), b))
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId(i as u32), b))
     }
 
     /// All block ids in id order.
@@ -253,7 +262,12 @@ impl Cfg {
         for (id, b) in self.iter() {
             match b.term {
                 Terminator::Jump(t) => {
-                    edges.push(Edge { index: edges.len(), from: id, to: t, kind: EdgeKind::Jump });
+                    edges.push(Edge {
+                        index: edges.len(),
+                        from: id,
+                        to: t,
+                        kind: EdgeKind::Jump,
+                    });
                 }
                 Terminator::Branch { on_true, on_false } => {
                     edges.push(Edge {
@@ -285,7 +299,10 @@ impl Cfg {
 
     /// Ids of all blocks with a conditional branch terminator, in id order.
     pub fn branch_blocks(&self) -> Vec<BlockId> {
-        self.iter().filter(|(_, b)| b.term.is_branch()).map(|(id, _)| id).collect()
+        self.iter()
+            .filter(|(_, b)| b.term.is_branch())
+            .map(|(id, _)| id)
+            .collect()
     }
 
     /// Blocks in reverse postorder from the entry (a topological order for
@@ -341,7 +358,13 @@ impl Cfg {
         let mut indeg: Vec<usize> = preds
             .iter()
             .enumerate()
-            .map(|(i, p)| if reach[i] { p.iter().filter(|q| reach[q.index()]).count() } else { 0 })
+            .map(|(i, p)| {
+                if reach[i] {
+                    p.iter().filter(|q| reach[q.index()]).count()
+                } else {
+                    0
+                }
+            })
             .collect();
         let mut queue: Vec<BlockId> = self
             .block_ids()
@@ -376,7 +399,10 @@ impl Cfg {
         for (id, b) in self.iter() {
             for t in b.term.successors() {
                 if t.index() >= self.blocks.len() {
-                    return Err(CfgError::TargetOutOfRange { block: id, target: t });
+                    return Err(CfgError::TargetOutOfRange {
+                        block: id,
+                        target: t,
+                    });
                 }
             }
             if let Terminator::Branch { on_true, on_false } = b.term {
@@ -390,7 +416,9 @@ impl Cfg {
         }
         let reach = self.reachable();
         if let Some(i) = reach.iter().position(|&r| !r) {
-            return Err(CfgError::Unreachable { block: BlockId(i as u32) });
+            return Err(CfgError::Unreachable {
+                block: BlockId(i as u32),
+            });
         }
         Ok(())
     }
@@ -409,7 +437,13 @@ mod tests {
         let body = cfg.add_block("body", Terminator::Jump(header));
         let exit = cfg.add_block("exit", Terminator::Return);
         cfg.set_terminator(entry, Terminator::Jump(header));
-        cfg.set_terminator(header, Terminator::Branch { on_true: body, on_false: exit });
+        cfg.set_terminator(
+            header,
+            Terminator::Branch {
+                on_true: body,
+                on_false: exit,
+            },
+        );
         cfg
     }
 
@@ -479,7 +513,10 @@ mod tests {
     fn validate_rejects_out_of_range_target() {
         let mut cfg = Cfg::new("x");
         cfg.add_block("entry", Terminator::Jump(BlockId(9)));
-        assert!(matches!(cfg.validate(), Err(CfgError::TargetOutOfRange { .. })));
+        assert!(matches!(
+            cfg.validate(),
+            Err(CfgError::TargetOutOfRange { .. })
+        ));
     }
 
     #[test]
@@ -487,16 +524,28 @@ mod tests {
         let mut cfg = Cfg::new("x");
         cfg.add_block("entry", Terminator::Return);
         cfg.add_block("island", Terminator::Return);
-        assert_eq!(cfg.validate(), Err(CfgError::Unreachable { block: BlockId(1) }));
+        assert_eq!(
+            cfg.validate(),
+            Err(CfgError::Unreachable { block: BlockId(1) })
+        );
     }
 
     #[test]
     fn validate_rejects_degenerate_branch() {
         let mut cfg = Cfg::new("x");
         let b1 = BlockId(1);
-        cfg.add_block("entry", Terminator::Branch { on_true: b1, on_false: b1 });
+        cfg.add_block(
+            "entry",
+            Terminator::Branch {
+                on_true: b1,
+                on_false: b1,
+            },
+        );
         cfg.add_block("next", Terminator::Return);
-        assert!(matches!(cfg.validate(), Err(CfgError::DegenerateBranch { .. })));
+        assert!(matches!(
+            cfg.validate(),
+            Err(CfgError::DegenerateBranch { .. })
+        ));
     }
 
     #[test]

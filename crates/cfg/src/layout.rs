@@ -26,13 +26,19 @@ impl PenaltyModel {
     /// AVR-class defaults: a taken branch costs one extra cycle on ATmega,
     /// and `rjmp` costs two cycles.
     pub fn avr() -> PenaltyModel {
-        PenaltyModel { taken_branch_extra: 1, jump_cycles: 2 }
+        PenaltyModel {
+            taken_branch_extra: 1,
+            jump_cycles: 2,
+        }
     }
 
     /// MSP430-class defaults: both taken conditional jumps and `jmp` cost two
     /// cycles versus zero for straight-line fetch.
     pub fn msp430() -> PenaltyModel {
-        PenaltyModel { taken_branch_extra: 2, jump_cycles: 2 }
+        PenaltyModel {
+            taken_branch_extra: 2,
+            jump_cycles: 2,
+        }
     }
 }
 
@@ -142,7 +148,10 @@ impl Layout {
                 }
             }
             Terminator::Branch { on_true, on_false } => {
-                assert!(to == on_true || to == on_false, "to must be a successor of from");
+                assert!(
+                    to == on_true || to == on_false,
+                    "to must be a successor of from"
+                );
                 if next == Some(on_false) {
                     if to == on_true {
                         TransferKind::TakenBranch
@@ -184,8 +193,7 @@ impl Layout {
                 continue;
             }
             let kind = self.transfer_kind(cfg, e.from, e.to);
-            let is_conditional =
-                matches!(e.kind, EdgeKind::BranchTrue | EdgeKind::BranchFalse);
+            let is_conditional = matches!(e.kind, EdgeKind::BranchTrue | EdgeKind::BranchFalse);
             match kind {
                 TransferKind::FallThrough => {
                     if is_conditional {
@@ -271,17 +279,15 @@ mod tests {
     fn from_order_rejects_non_permutations() {
         let cfg = diamond();
         assert!(Layout::from_order(&cfg, vec![BlockId(0), BlockId(1)]).is_none());
-        assert!(Layout::from_order(
-            &cfg,
-            vec![BlockId(0), BlockId(1), BlockId(1), BlockId(3)]
-        )
-        .is_none());
+        assert!(
+            Layout::from_order(&cfg, vec![BlockId(0), BlockId(1), BlockId(1), BlockId(3)])
+                .is_none()
+        );
         // Entry must come first.
-        assert!(Layout::from_order(
-            &cfg,
-            vec![BlockId(1), BlockId(0), BlockId(2), BlockId(3)]
-        )
-        .is_none());
+        assert!(
+            Layout::from_order(&cfg, vec![BlockId(1), BlockId(0), BlockId(2), BlockId(3)])
+                .is_none()
+        );
     }
 
     #[test]
@@ -289,7 +295,10 @@ mod tests {
         let cfg = linear(4);
         let l = Layout::natural(&cfg);
         for e in cfg.edges() {
-            assert_eq!(l.transfer_kind(&cfg, e.from, e.to), TransferKind::FallThrough);
+            assert_eq!(
+                l.transfer_kind(&cfg, e.from, e.to),
+                TransferKind::FallThrough
+            );
         }
     }
 
@@ -309,7 +318,10 @@ mod tests {
             TransferKind::TakenBranch
         );
         // then → join: else intervenes, so the jump is materialized.
-        assert_eq!(l.transfer_kind(&cfg, BlockId(1), BlockId(3)), TransferKind::Jump);
+        assert_eq!(
+            l.transfer_kind(&cfg, BlockId(1), BlockId(3)),
+            TransferKind::Jump
+        );
         // else → join: adjacent, elided.
         assert_eq!(
             l.transfer_kind(&cfg, BlockId(2), BlockId(3)),
@@ -321,16 +333,16 @@ mod tests {
     fn displaced_branch_uses_branch_over_jump() {
         let cfg = diamond();
         // Order: cond, join, then, else — neither successor adjacent to cond.
-        let l = Layout::from_order(
-            &cfg,
-            vec![BlockId(0), BlockId(3), BlockId(1), BlockId(2)],
-        )
-        .unwrap();
+        let l =
+            Layout::from_order(&cfg, vec![BlockId(0), BlockId(3), BlockId(1), BlockId(2)]).unwrap();
         assert_eq!(
             l.transfer_kind(&cfg, BlockId(0), BlockId(1)),
             TransferKind::TakenBranchOverJump
         );
-        assert_eq!(l.transfer_kind(&cfg, BlockId(0), BlockId(2)), TransferKind::Jump);
+        assert_eq!(
+            l.transfer_kind(&cfg, BlockId(0), BlockId(2)),
+            TransferKind::Jump
+        );
     }
 
     #[test]
@@ -355,15 +367,15 @@ mod tests {
         let prof = EdgeProfile::from_counts(&cfg, vec![30, 10, 30, 10]);
         let natural = Layout::natural(&cfg);
         // Hot path cond→then→join contiguous: cond, then, join, else.
-        let optimized = Layout::from_order(
-            &cfg,
-            vec![BlockId(0), BlockId(1), BlockId(3), BlockId(2)],
-        )
-        .unwrap();
+        let optimized =
+            Layout::from_order(&cfg, vec![BlockId(0), BlockId(1), BlockId(3), BlockId(2)]).unwrap();
         let pen = PenaltyModel::avr();
         let c_nat = natural.evaluate(&cfg, &prof, &pen);
         let c_opt = optimized.evaluate(&cfg, &prof, &pen);
-        assert!(c_opt.extra_cycles < c_nat.extra_cycles, "{c_opt:?} vs {c_nat:?}");
+        assert!(
+            c_opt.extra_cycles < c_nat.extra_cycles,
+            "{c_opt:?} vs {c_nat:?}"
+        );
         // Hot-path layout: true falls through, false taken (10), else→join
         // jump (10): extra = 10*1 + 10*2 = 30 < 70.
         assert_eq!(c_opt.extra_cycles, 30);

@@ -50,4 +50,4 @@ pub use graph::{Block, BlockId, Cfg, CfgError, Edge, EdgeKind, Terminator};
 pub use layout::{Layout, LayoutCost, PenaltyModel, TransferKind};
 pub use profile::{BranchProbs, EdgeProfile};
 pub use structure::{decompose, Region, StructureError};
-pub use unroll::{unroll, Unrolled, UnrollError};
+pub use unroll::{unroll, UnrollError, Unrolled};

@@ -85,7 +85,11 @@ impl LoopForest {
                 }
             }
             let body: Vec<BlockId> = cfg.block_ids().filter(|b| in_loop[b.index()]).collect();
-            loops.push(NaturalLoop { header, latches, body });
+            loops.push(NaturalLoop {
+                header,
+                latches,
+                body,
+            });
         }
 
         // Nesting: loop j is a parent of loop i when j's body strictly
@@ -97,8 +101,8 @@ impl LoopForest {
                 if i == j {
                     continue;
                 }
-                let contains =
-                    loops[i].body.iter().all(|b| loops[j].contains(*b)) && loops[j].body.len() > loops[i].body.len();
+                let contains = loops[i].body.iter().all(|b| loops[j].contains(*b))
+                    && loops[j].body.len() > loops[i].body.len();
                 if contains {
                     best = match best {
                         None => Some(j),
@@ -122,7 +126,11 @@ impl LoopForest {
             }
         }
 
-        LoopForest { loops, parent, innermost }
+        LoopForest {
+            loops,
+            parent,
+            innermost,
+        }
     }
 
     /// All loops, sorted by header id.
@@ -229,8 +237,16 @@ mod tests {
         let forest = LoopForest::compute(&cfg);
         assert_eq!(forest.len(), 2);
         // Outer loop headed at b1 contains inner loop headed at b2.
-        let outer = forest.loops().iter().position(|l| l.header == BlockId(1)).unwrap();
-        let inner = forest.loops().iter().position(|l| l.header == BlockId(2)).unwrap();
+        let outer = forest
+            .loops()
+            .iter()
+            .position(|l| l.header == BlockId(1))
+            .unwrap();
+        let inner = forest
+            .loops()
+            .iter()
+            .position(|l| l.header == BlockId(2))
+            .unwrap();
         assert_eq!(forest.parent_of(inner), Some(outer));
         assert_eq!(forest.parent_of(outer), None);
         // inner_body (b3) is at depth 2; outer_latch (b4) at depth 1.

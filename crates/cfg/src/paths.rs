@@ -90,7 +90,10 @@ pub fn enumerate_paths(cfg: &Cfg, limit: usize) -> Result<Vec<Path>, PathError> 
     while let Some((b, blocks, trail)) = stack.pop() {
         match cfg.block(b).term {
             Terminator::Return => {
-                out.push(Path { blocks, edges: trail });
+                out.push(Path {
+                    blocks,
+                    edges: trail,
+                });
                 if out.len() > limit {
                     return Err(PathError::TooManyPaths { limit });
                 }

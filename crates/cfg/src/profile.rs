@@ -18,7 +18,9 @@ pub struct EdgeProfile {
 impl EdgeProfile {
     /// A zeroed profile shaped for `cfg`.
     pub fn zeroed(cfg: &Cfg) -> EdgeProfile {
-        EdgeProfile { counts: vec![0; cfg.edges().len()] }
+        EdgeProfile {
+            counts: vec![0; cfg.edges().len()],
+        }
     }
 
     /// Wraps raw counts.
@@ -60,7 +62,11 @@ impl EdgeProfile {
     ///
     /// Panics if the profiles have different shapes.
     pub fn merge(&mut self, other: &EdgeProfile) {
-        assert_eq!(self.counts.len(), other.counts.len(), "profile shape mismatch");
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "profile shape mismatch"
+        );
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
         }
@@ -118,9 +124,16 @@ impl EdgeProfile {
                 .map(|e| self.counts[e.index])
                 .unwrap_or(0);
             let total = t + f;
-            p_true.push(if total == 0 { 0.5 } else { t as f64 / total as f64 });
+            p_true.push(if total == 0 {
+                0.5
+            } else {
+                t as f64 / total as f64
+            });
         }
-        BranchProbs { blocks: cfg.branch_blocks(), p_true }
+        BranchProbs {
+            blocks: cfg.branch_blocks(),
+            p_true,
+        }
     }
 }
 
@@ -144,7 +157,10 @@ impl BranchProbs {
         assert!((0.0..=1.0).contains(&p), "probability out of range");
         let blocks = cfg.branch_blocks();
         let n = blocks.len();
-        BranchProbs { blocks, p_true: vec![p; n] }
+        BranchProbs {
+            blocks,
+            p_true: vec![p; n],
+        }
     }
 
     /// Builds from explicit per-branch probabilities in
@@ -186,7 +202,10 @@ impl BranchProbs {
     /// Probability of the true edge at `block`, or `None` if `block` is not a
     /// branch block.
     pub fn prob_true(&self, block: BlockId) -> Option<f64> {
-        self.blocks.iter().position(|&b| b == block).map(|i| self.p_true[i])
+        self.blocks
+            .iter()
+            .position(|&b| b == block)
+            .map(|i| self.p_true[i])
     }
 
     /// Sets the probability at `block`.

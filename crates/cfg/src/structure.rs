@@ -61,7 +61,11 @@ impl Region {
                     r.collect_blocks(out);
                 }
             }
-            Region::IfElse { cond, then_arm, else_arm } => {
+            Region::IfElse {
+                cond,
+                then_arm,
+                else_arm,
+            } => {
                 out.push(*cond);
                 then_arm.collect_blocks(out);
                 else_arm.collect_blocks(out);
@@ -89,7 +93,11 @@ impl Region {
                     r.collect_decisions(out);
                 }
             }
-            Region::IfElse { cond, then_arm, else_arm } => {
+            Region::IfElse {
+                cond,
+                then_arm,
+                else_arm,
+            } => {
                 out.push(*cond);
                 then_arm.collect_decisions(out);
                 else_arm.collect_decisions(out);
@@ -138,7 +146,10 @@ impl fmt::Display for StructureError {
             StructureError::Invalid(msg) => write!(f, "invalid control-flow graph: {msg}"),
             StructureError::Irreducible => write!(f, "control-flow graph is irreducible"),
             StructureError::MultipleExits { count } => {
-                write!(f, "structural analysis requires a single exit, found {count}")
+                write!(
+                    f,
+                    "structural analysis requires a single exit, found {count}"
+                )
             }
             StructureError::Unstructured { at } => {
                 write!(f, "unstructured control flow at block {at}")
@@ -172,7 +183,8 @@ impl Error for StructureError {}
 /// }
 /// ```
 pub fn decompose(cfg: &Cfg) -> Result<Region, StructureError> {
-    cfg.validate().map_err(|e| StructureError::Invalid(e.to_string()))?;
+    cfg.validate()
+        .map_err(|e| StructureError::Invalid(e.to_string()))?;
     if !is_reducible(cfg) {
         return Err(StructureError::Irreducible);
     }
@@ -183,7 +195,11 @@ pub fn decompose(cfg: &Cfg) -> Result<Region, StructureError> {
     let dom = Dominators::compute(cfg);
     let loops = LoopForest::compute_with(cfg, &dom);
     let pdom = PostDominators::compute(cfg);
-    let mut d = Decomposer { cfg, loops: &loops, pdom: &pdom };
+    let mut d = Decomposer {
+        cfg,
+        loops: &loops,
+        pdom: &pdom,
+    };
     // The outermost region runs from the entry until falling off the end
     // (stop = None means "until Return").
     let region = d.parse_seq(cfg.entry(), None)?;
@@ -200,7 +216,11 @@ impl<'a> Decomposer<'a> {
     /// Parses the region starting at `start` and ending just before `stop`
     /// (or at a `Return` when `stop` is `None`). Returns a `Seq`, possibly of
     /// a single item.
-    fn parse_seq(&mut self, start: BlockId, stop: Option<BlockId>) -> Result<Region, StructureError> {
+    fn parse_seq(
+        &mut self,
+        start: BlockId,
+        stop: Option<BlockId>,
+    ) -> Result<Region, StructureError> {
         let mut items = Vec::new();
         let mut cur = start;
         let mut guard = 0usize;
@@ -272,7 +292,11 @@ impl<'a> Decomposer<'a> {
 
     /// Parses a header-controlled loop; returns the loop region and the block
     /// control continues at after the loop exits.
-    fn parse_loop(&mut self, header: BlockId, li: usize) -> Result<(Region, BlockId), StructureError> {
+    fn parse_loop(
+        &mut self,
+        header: BlockId,
+        li: usize,
+    ) -> Result<(Region, BlockId), StructureError> {
         let l = &self.loops.loops()[li];
         let Terminator::Branch { on_true, on_false } = self.cfg.block(header).term else {
             return Err(StructureError::UnsupportedLoop { header });
@@ -290,7 +314,11 @@ impl<'a> Decomposer<'a> {
         // The body runs from body_start back to the header.
         let body = self.parse_seq(body_start, Some(header))?;
         Ok((
-            Region::Loop { header, continue_on_true, body: Box::new(body) },
+            Region::Loop {
+                header,
+                continue_on_true,
+                body: Box::new(body),
+            },
             exit,
         ))
     }
@@ -310,9 +338,9 @@ impl PostDominators {
     pub fn compute(cfg: &Cfg) -> PostDominators {
         let n = cfg.len();
         let virtual_exit = n; // index of the virtual exit in the reversed graph
-        // Reversed adjacency: rsucc[b] = predecessors of b in reverse graph = successors in cfg... careful:
-        // In the reversed graph, the "successors" of b are cfg's predecessors of b,
-        // and the entry is the virtual exit.
+                              // Reversed adjacency: rsucc[b] = predecessors of b in reverse graph = successors in cfg... careful:
+                              // In the reversed graph, the "successors" of b are cfg's predecessors of b,
+                              // and the entry is the virtual exit.
         let mut rev_succ: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
         let mut rev_pred: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
         for (id, b) in cfg.iter() {
@@ -426,7 +454,12 @@ mod tests {
         let tree = decompose(&diamond()).unwrap();
         let Region::Seq(items) = tree else { panic!() };
         assert_eq!(items.len(), 2); // the IfElse, then the join block
-        let Region::IfElse { cond, then_arm, else_arm } = &items[0] else {
+        let Region::IfElse {
+            cond,
+            then_arm,
+            else_arm,
+        } = &items[0]
+        else {
             panic!("expected IfElse, got {:?}", items[0])
         };
         assert_eq!(*cond, BlockId(0));
@@ -439,7 +472,12 @@ mod tests {
         let tree = decompose(&while_loop()).unwrap();
         let Region::Seq(items) = tree else { panic!() };
         assert_eq!(items.len(), 3); // entry, Loop, exit
-        let Region::Loop { header, continue_on_true, body } = &items[1] else {
+        let Region::Loop {
+            header,
+            continue_on_true,
+            body,
+        } = &items[1]
+        else {
             panic!("expected Loop, got {:?}", items[1])
         };
         assert_eq!(*header, BlockId(1));
@@ -454,8 +492,15 @@ mod tests {
         assert_eq!(decisions, vec![BlockId(1), BlockId(2)]);
         // Outer loop body contains the inner loop.
         let Region::Seq(items) = &tree else { panic!() };
-        let Region::Loop { body: outer_body, .. } = &items[1] else { panic!() };
-        let Region::Seq(inner_items) = outer_body.as_ref() else { panic!() };
+        let Region::Loop {
+            body: outer_body, ..
+        } = &items[1]
+        else {
+            panic!()
+        };
+        let Region::Seq(inner_items) = outer_body.as_ref() else {
+            panic!()
+        };
         assert!(inner_items.iter().any(|r| matches!(r, Region::Loop { .. })));
     }
 
@@ -479,8 +524,17 @@ mod tests {
         let e = cfg.add_block("entry", Terminator::Return);
         let a = cfg.add_block("a", Terminator::Return);
         let b = cfg.add_block("b", Terminator::Return);
-        cfg.set_terminator(e, Terminator::Branch { on_true: a, on_false: b });
-        assert_eq!(decompose(&cfg), Err(StructureError::MultipleExits { count: 2 }));
+        cfg.set_terminator(
+            e,
+            Terminator::Branch {
+                on_true: a,
+                on_false: b,
+            },
+        );
+        assert_eq!(
+            decompose(&cfg),
+            Err(StructureError::MultipleExits { count: 2 })
+        );
     }
 
     #[test]
@@ -511,17 +565,29 @@ mod tests {
         let cond = cfg.add_block("cond", Terminator::Return);
         let then_b = cfg.add_block("then", Terminator::Return);
         let join = cfg.add_block("join", Terminator::Return);
-        cfg.set_terminator(cond, Terminator::Branch { on_true: then_b, on_false: join });
+        cfg.set_terminator(
+            cond,
+            Terminator::Branch {
+                on_true: then_b,
+                on_false: join,
+            },
+        );
         cfg.set_terminator(then_b, Terminator::Jump(join));
         let tree = decompose(&cfg).unwrap();
         let Region::Seq(items) = tree else { panic!() };
-        let Region::IfElse { else_arm, .. } = &items[0] else { panic!() };
+        let Region::IfElse { else_arm, .. } = &items[0] else {
+            panic!()
+        };
         assert_eq!(**else_arm, Region::Seq(vec![]));
     }
 
     #[test]
     fn structure_error_display() {
-        assert!(StructureError::Irreducible.to_string().contains("irreducible"));
-        assert!(StructureError::MultipleExits { count: 3 }.to_string().contains('3'));
+        assert!(StructureError::Irreducible
+            .to_string()
+            .contains("irreducible"));
+        assert!(StructureError::MultipleExits { count: 3 }
+            .to_string()
+            .contains('3'));
     }
 }

@@ -130,23 +130,35 @@ fn unroll_one(
     let header = g
         .block_ids()
         .find(|b| cur.orig_block[b.index()] == orig_header)
-        .ok_or(UnrollError::NotALoopHeader { header: orig_header })?;
+        .ok_or(UnrollError::NotALoopHeader {
+            header: orig_header,
+        })?;
 
     let forest = LoopForest::compute(g);
     let Some(li) = forest.loops().iter().position(|l| l.header == header) else {
-        return Err(UnrollError::NotALoopHeader { header: orig_header });
+        return Err(UnrollError::NotALoopHeader {
+            header: orig_header,
+        });
     };
     let l = &forest.loops()[li];
     if l.latches.len() != 1 {
-        return Err(UnrollError::UnsupportedShape { header: orig_header });
+        return Err(UnrollError::UnsupportedShape {
+            header: orig_header,
+        });
     }
     let Terminator::Branch { on_true, on_false } = g.block(header).term else {
-        return Err(UnrollError::UnsupportedShape { header: orig_header });
+        return Err(UnrollError::UnsupportedShape {
+            header: orig_header,
+        });
     };
     let (body_entry, exit) = match (l.contains(on_true), l.contains(on_false)) {
         (true, false) => (on_true, on_false),
         (false, true) => (on_false, on_true),
-        _ => return Err(UnrollError::UnsupportedShape { header: orig_header }),
+        _ => {
+            return Err(UnrollError::UnsupportedShape {
+                header: orig_header,
+            })
+        }
     };
     // Body blocks (loop minus header); all their edges must stay inside the
     // loop or return to the header (no side exits — NLC guarantees this).
@@ -154,7 +166,9 @@ fn unroll_one(
     for &b in &body {
         for s in g.successors(b) {
             if !l.contains(s) {
-                return Err(UnrollError::UnsupportedShape { header: orig_header });
+                return Err(UnrollError::UnsupportedShape {
+                    header: orig_header,
+                });
             }
         }
     }
@@ -190,10 +204,8 @@ fn unroll_one(
         if i < k {
             let mut m = Vec::with_capacity(body.len());
             for &b in &body {
-                let bid = new_cfg.add_block(
-                    format!("{}@{}", g.block(b).name, i),
-                    Terminator::Return,
-                );
+                let bid =
+                    new_cfg.add_block(format!("{}@{}", g.block(b).name, i), Terminator::Return);
                 new_orig.push(cur.orig_block[b.index()]);
                 m.push(bid);
             }
@@ -246,7 +258,9 @@ fn unroll_one(
                     on_false: map_inside(on_false),
                 },
                 Terminator::Return => {
-                    return Err(UnrollError::UnsupportedShape { header: orig_header })
+                    return Err(UnrollError::UnsupportedShape {
+                        header: orig_header,
+                    })
                 }
             };
             new_cfg.set_terminator(body_maps[i][j], new_term);
@@ -273,8 +287,11 @@ fn unroll_one(
     };
     debug_assert_eq!(cur_of.len(), new_cfg.len());
 
-    let cur_edge_index: std::collections::HashMap<(u32, u32), usize> =
-        g.edges().iter().map(|e| ((e.from.0, e.to.0), e.index)).collect();
+    let cur_edge_index: std::collections::HashMap<(u32, u32), usize> = g
+        .edges()
+        .iter()
+        .map(|e| ((e.from.0, e.to.0), e.index))
+        .collect();
     let mut orig_edge = Vec::new();
     for e in new_cfg.edges() {
         let cu = cur_of[e.from.index()];
@@ -286,7 +303,11 @@ fn unroll_one(
     }
 
     let _ = orig;
-    Ok(Unrolled { cfg: new_cfg, orig_block: new_orig, orig_edge })
+    Ok(Unrolled {
+        cfg: new_cfg,
+        orig_block: new_orig,
+        orig_edge,
+    })
 }
 
 #[cfg(test)]
@@ -358,11 +379,7 @@ mod tests {
         let paths = crate::paths::enumerate_paths(&u.cfg, 10).unwrap();
         assert_eq!(paths.len(), 1, "fully counted nest has one path");
         // Inner body runs 2×2 = 4 times.
-        let inner_body_copies = u
-            .orig_block
-            .iter()
-            .filter(|&&b| b == BlockId(3))
-            .count();
+        let inner_body_copies = u.orig_block.iter().filter(|&&b| b == BlockId(3)).count();
         assert_eq!(inner_body_copies, 4);
     }
 
@@ -413,8 +430,20 @@ mod tests {
         let latch = cfg.add_block("latch", Terminator::Jump(header));
         let exit = cfg.add_block("exit", Terminator::Return);
         cfg.set_terminator(entry, Terminator::Jump(header));
-        cfg.set_terminator(header, Terminator::Branch { on_true: bcond, on_false: exit });
-        cfg.set_terminator(bcond, Terminator::Branch { on_true: bthen, on_false: belse });
+        cfg.set_terminator(
+            header,
+            Terminator::Branch {
+                on_true: bcond,
+                on_false: exit,
+            },
+        );
+        cfg.set_terminator(
+            bcond,
+            Terminator::Branch {
+                on_true: bthen,
+                on_false: belse,
+            },
+        );
         cfg.set_terminator(bthen, Terminator::Jump(latch));
         cfg.set_terminator(belse, Terminator::Jump(latch));
         assert!(cfg.validate().is_ok());

@@ -43,7 +43,13 @@ fn structured_cfg(script: &[u8]) -> Cfg {
                 let join = cfg.add_block(format!("join{i}"), Terminator::Return);
                 let t = cfg.add_block(format!("then{i}"), Terminator::Jump(join));
                 let e = cfg.add_block(format!("else{i}"), Terminator::Jump(join));
-                cfg.set_terminator(cur, Terminator::Branch { on_true: t, on_false: e });
+                cfg.set_terminator(
+                    cur,
+                    Terminator::Branch {
+                        on_true: t,
+                        on_false: e,
+                    },
+                );
                 cur = join;
             }
             Item::Loop => {
@@ -51,7 +57,13 @@ fn structured_cfg(script: &[u8]) -> Cfg {
                 let body = cfg.add_block(format!("body{i}"), Terminator::Jump(header));
                 let exit = cfg.add_block(format!("exit{i}"), Terminator::Return);
                 cfg.set_terminator(cur, Terminator::Jump(header));
-                cfg.set_terminator(header, Terminator::Branch { on_true: body, on_false: exit });
+                cfg.set_terminator(
+                    header,
+                    Terminator::Branch {
+                        on_true: body,
+                        on_false: exit,
+                    },
+                );
                 cur = exit;
             }
         }

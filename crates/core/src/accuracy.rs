@@ -42,8 +42,11 @@ pub fn compare(
         return AccuracyReport::default();
     }
     let visits = truth_profile.block_visits(cfg, invocations);
-    let weights: Vec<f64> =
-        truth.blocks().iter().map(|b| visits[b.index()] as f64).collect();
+    let weights: Vec<f64> = truth
+        .blocks()
+        .iter()
+        .map(|b| visits[b.index()] as f64)
+        .collect();
     AccuracyReport {
         mae: metrics::mae(est, tru),
         rmse: metrics::rmse(est, tru),

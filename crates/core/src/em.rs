@@ -79,7 +79,14 @@ pub fn estimate_em(
     samples: &TimingSamples,
     opts: EmOptions,
 ) -> Result<EmResult, FbError> {
-    estimate_em_from(cfg, block_costs, edge_costs, samples, BranchProbs::uniform(cfg, 0.5), opts)
+    estimate_em_from(
+        cfg,
+        block_costs,
+        edge_costs,
+        samples,
+        BranchProbs::uniform(cfg, 0.5),
+        opts,
+    )
 }
 
 /// Estimates branch probabilities by EM from an explicit starting point
@@ -168,7 +175,14 @@ pub fn estimate_em_from(
         }
     }
 
-    Ok(EmResult { probs, iterations, loglik, converged, unexplained, edge_counts })
+    Ok(EmResult {
+        probs,
+        iterations,
+        loglik,
+        converged,
+        unexplained,
+        edge_counts,
+    })
 }
 
 #[cfg(test)]
@@ -301,9 +315,18 @@ mod tests {
         let samples = synth_samples(&cfg, &bc, &ec, &truth, 500, 1, 5);
         let mut last = f64::NEG_INFINITY;
         for iters in [1, 2, 4, 8] {
-            let opts = EmOptions { max_iter: iters, tol: 0.0, ..Default::default() };
+            let opts = EmOptions {
+                max_iter: iters,
+                tol: 0.0,
+                ..Default::default()
+            };
             let r = estimate_em(&cfg, &bc, &ec, &samples, opts).unwrap();
-            assert!(r.loglik >= last - 1e-9, "loglik decreased: {} -> {}", last, r.loglik);
+            assert!(
+                r.loglik >= last - 1e-9,
+                "loglik decreased: {} -> {}",
+                last,
+                r.loglik
+            );
             last = r.loglik;
         }
     }
@@ -321,7 +344,10 @@ mod tests {
             &bc,
             &ec,
             &samples,
-            EmOptions { prior_strength: 2.0, ..Default::default() },
+            EmOptions {
+                prior_strength: 2.0,
+                ..Default::default()
+            },
         )
         .unwrap();
         let p_ml = ml.probs.as_slice()[0];
@@ -345,7 +371,10 @@ mod tests {
             &bc,
             &ec,
             &samples,
-            EmOptions { prior_strength: 0.0, ..Default::default() },
+            EmOptions {
+                prior_strength: 0.0,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(a.probs, b.probs);

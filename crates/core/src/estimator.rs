@@ -140,8 +140,9 @@ pub fn estimate(
         Some(Method::Em) | Some(Method::EmUnrolled) => {
             run_em(cfg, block_costs, edge_costs, samples, opts).map_err(EstimateError::Em)
         }
-        Some(Method::Moments) => run_moments(cfg, block_costs, edge_costs, samples, opts)
-            .map_err(EstimateError::Moments),
+        Some(Method::Moments) => {
+            run_moments(cfg, block_costs, edge_costs, samples, opts).map_err(EstimateError::Moments)
+        }
         Some(Method::FlowMean) => {
             let r = estimate_flow(cfg, block_costs, edge_costs, samples)
                 .map_err(EstimateError::Flow)?;
@@ -175,36 +176,47 @@ fn run_em(
     // make long observed durations exponentially unlikely (they fall below
     // the DP's pruning threshold and EM cannot move); starting near the
     // right mean fixes that. Clamp away from 1 so loop supports stay finite.
-    let moments_init = match estimate_moments(cfg, block_costs, edge_costs, samples, opts.moments)
-    {
+    let moments_init = match estimate_moments(cfg, block_costs, edge_costs, samples, opts.moments) {
         Ok(m) => {
-            let mut init = m.probs;
-            for bb in init.blocks().to_vec() {
-                let p = init.prob_true(bb).expect("branch block");
-                init.set_prob_true(bb, p.clamp(0.02, 0.98));
-            }
-            init
+            let clamped: Vec<f64> = m
+                .probs
+                .as_slice()
+                .iter()
+                .map(|p| p.clamp(0.02, 0.98))
+                .collect();
+            ct_cfg::profile::BranchProbs::from_vec(cfg, clamped)
         }
         Err(_) => ct_cfg::profile::BranchProbs::uniform(cfg, 0.5),
     };
 
     // Candidate starting points: the moments fit plus seeded random probes.
+    let n_branches = moments_init.len();
     let mut inits = vec![moments_init];
     let mut state = 0x0C0D_E70Au64;
     for _ in 0..opts.restarts {
-        let mut init = ct_cfg::profile::BranchProbs::uniform(cfg, 0.5);
-        for bb in init.blocks().to_vec() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            let u = (state >> 11) as f64 / (1u64 << 53) as f64;
-            init.set_prob_true(bb, 0.1 + 0.8 * u);
-        }
-        inits.push(init);
+        let probe: Vec<f64> = (0..n_branches)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+                0.1 + 0.8 * u
+            })
+            .collect();
+        inits.push(ct_cfg::profile::BranchProbs::from_vec(cfg, probe));
     }
+
+    // All starting points are independent; fan them out. Results come back
+    // in input order, so the best-of reduction below is identical to the
+    // serial loop it replaces for any `CT_THREADS`.
+    let attempts = ct_stats::parallel::par_map(inits, |init| {
+        crate::em::estimate_em_from(cfg, block_costs, edge_costs, samples, init, opts.em)
+    });
 
     let mut best: Option<crate::em::EmResult> = None;
     let mut last_err = None;
-    for init in inits {
-        match crate::em::estimate_em_from(cfg, block_costs, edge_costs, samples, init, opts.em) {
+    for attempt in attempts {
+        match attempt {
             Ok(r) => {
                 // Fewer rejected samples first, then the higher likelihood.
                 let better = match &best {
@@ -257,7 +269,10 @@ mod tests {
     use crate::fb::FbParams;
     use ct_cfg::builder::{diamond, while_loop};
 
-    fn diamond_samples(p_fast: f64, n: usize) -> (ct_cfg::graph::Cfg, Vec<u64>, Vec<u64>, TimingSamples) {
+    fn diamond_samples(
+        p_fast: f64,
+        n: usize,
+    ) -> (ct_cfg::graph::Cfg, Vec<u64>, Vec<u64>, TimingSamples) {
         let cfg = diamond();
         let bc = vec![10u64, 100, 200, 5];
         let ec = vec![0u64; 4];
@@ -280,7 +295,10 @@ mod tests {
     fn forced_methods_all_work() {
         let (cfg, bc, ec, samples) = diamond_samples(0.7, 200);
         for m in [Method::Em, Method::Moments, Method::FlowMean] {
-            let opts = EstimateOptions { method: Some(m), ..Default::default() };
+            let opts = EstimateOptions {
+                method: Some(m),
+                ..Default::default()
+            };
             let e = estimate(&cfg, &bc, &ec, &samples, opts).unwrap();
             assert_eq!(e.method, m);
             assert!(
@@ -308,7 +326,10 @@ mod tests {
         }
         let samples = TimingSamples::new(ticks, 1);
         let mut opts = EstimateOptions::default();
-        opts.em.fb = FbParams { mass_eps: 1e-12, max_entries: 3 };
+        opts.em.fb = FbParams {
+            mass_eps: 1e-12,
+            max_entries: 3,
+        };
         let e = estimate(&cfg, &bc, &ec, &samples, opts).unwrap();
         assert_eq!(e.method, Method::Moments);
         let est = e.probs.prob_true(ct_cfg::graph::BlockId(1)).unwrap();

@@ -14,12 +14,28 @@
 //! decomposes as `p_e · Σ_t f(u,t) · g(v, d − t − c_u − c_e) / D(d)` — the
 //! Baum–Welch statistics, computed here against the quantization kernel so
 //! coarse-timer observations are handled exactly.
+//!
+//! ## Engine layout
+//!
+//! Both tables are computed by frontier propagation with flat sorted-vec
+//! PMFs (`ct_stats::pmf`) instead of `BTreeMap` frontiers:
+//!
+//! - the forward table by one propagation from the entry block;
+//! - **all** backward tables by one propagation over the *reversed* graph,
+//!   seeded at the Return blocks — `g(u)` receives `p_e · (c_u + c_e ⊕ g(v))`
+//!   along each edge `u → v`, so every block's remaining-duration PMF
+//!   materializes in a single pass (the first generation ran an independent
+//!   DP per block; that engine survives as [`crate::fb_reference`]);
+//! - the E-step computes **one** windowed convolution
+//!   `h_e(d) = Σ_t f(u,t) · g(v, d − t − c_u − c_e)` per edge and scores all
+//!   observed ticks against it, instead of rescanning the `f ⊗ g` product
+//!   for every `(sample, edge)` pair.
 
-use crate::quantize::{duration_window, tick_likelihood};
+use crate::quantize::{duration_window, pmf_tick_score};
 use crate::samples::TimingSamples;
-use ct_cfg::graph::{BlockId, Cfg, Terminator};
+use ct_cfg::graph::{Cfg, Terminator};
 use ct_cfg::profile::BranchProbs;
-use std::collections::BTreeMap;
+use ct_stats::pmf;
 use std::error::Error;
 use std::fmt;
 
@@ -36,7 +52,10 @@ pub struct FbParams {
 
 impl Default for FbParams {
     fn default() -> Self {
-        FbParams { mass_eps: 1e-9, max_entries: 4_000_000 }
+        FbParams {
+            mass_eps: 1e-9,
+            max_entries: 4_000_000,
+        }
     }
 }
 
@@ -101,6 +120,7 @@ pub fn compute_tables(
     probs: &BranchProbs,
     params: FbParams,
 ) -> Result<FbTables, FbError> {
+    let edges = cfg.edges();
     if block_costs.len() != cfg.len() {
         return Err(FbError::Shape(format!(
             "expected {} block costs, got {}",
@@ -108,15 +128,24 @@ pub fn compute_tables(
             block_costs.len()
         )));
     }
-    if edge_costs.len() != cfg.edges().len() {
+    if edge_costs.len() != edges.len() {
         return Err(FbError::Shape(format!(
             "expected {} edge costs, got {}",
-            cfg.edges().len(),
+            edges.len(),
             edge_costs.len()
         )));
     }
     let edge_probs = probs.edge_probs(cfg);
-    let out_edges = collect_out_edges(cfg);
+    let is_return: Vec<bool> = cfg
+        .iter()
+        .map(|(_, b)| matches!(b.term, Terminator::Return))
+        .collect();
+    let mut out_edges = vec![Vec::new(); cfg.len()];
+    let mut in_edges = vec![Vec::new(); cfg.len()];
+    for e in &edges {
+        out_edges[e.from.index()].push((e.index, e.to.index()));
+        in_edges[e.to.index()].push((e.index, e.from.index()));
+    }
 
     let mut truncated = 0.0;
     let forward = forward_table(
@@ -125,126 +154,188 @@ pub fn compute_tables(
         edge_costs,
         &edge_probs,
         &out_edges,
+        &is_return,
         params,
         &mut truncated,
     )?;
-    let mut backward = Vec::with_capacity(cfg.len());
-    for b in cfg.block_ids() {
-        backward.push(remaining_pmf(
-            cfg,
-            b,
-            block_costs,
-            edge_costs,
-            &edge_probs,
-            &out_edges,
-            params,
-            &mut truncated,
-        )?);
-    }
-    Ok(FbTables { forward, backward, truncated })
+    let backward = backward_tables(
+        block_costs,
+        edge_costs,
+        &edge_probs,
+        &in_edges,
+        &is_return,
+        params,
+        &mut truncated,
+    )?;
+    Ok(FbTables {
+        forward,
+        backward,
+        truncated,
+    })
 }
 
-/// Out-edges per block: `(edge_index, to)`.
-fn collect_out_edges(cfg: &Cfg) -> Vec<Vec<(usize, BlockId)>> {
-    let mut out = vec![Vec::new(); cfg.len()];
-    for e in cfg.edges() {
-        out[e.from.index()].push((e.index, e.to));
-    }
-    out
-}
-
+/// Forward propagation from the entry block with per-block flat frontiers.
+///
+/// Blocks are visited in index order and frontier entries in ascending time,
+/// and merged masses are summed in contribution order — the same enumeration
+/// and summation order as the reference `BTreeMap` engine, so results match
+/// it bit-for-bit.
+#[allow(clippy::too_many_arguments)]
 fn forward_table(
     cfg: &Cfg,
     block_costs: &[u64],
     edge_costs: &[u64],
     edge_probs: &[f64],
-    out_edges: &[Vec<(usize, BlockId)>],
+    out_edges: &[Vec<(usize, usize)>],
+    is_return: &[bool],
     params: FbParams,
     truncated: &mut f64,
 ) -> Result<Vec<SparsePmf>, FbError> {
     let n = cfg.len();
-    let mut acc: Vec<BTreeMap<u64, f64>> = vec![BTreeMap::new(); n];
-    let mut frontier: BTreeMap<(usize, u64), f64> = BTreeMap::new();
-    frontier.insert((cfg.entry().index(), 0), 1.0);
-    acc[cfg.entry().index()].insert(0, 1.0);
+    // Raw (uncoalesced) arrival contributions per block, coalesced at the end.
+    let mut acc: Vec<Vec<(u64, f64)>> = vec![Vec::new(); n];
+    // Current frontier per block, coalesced; and next-round staging.
+    let mut cur: Vec<SparsePmf> = vec![Vec::new(); n];
+    let mut next: Vec<Vec<(u64, f64)>> = vec![Vec::new(); n];
+    let entry = cfg.entry().index();
+    cur[entry].push((0, 1.0));
+    acc[entry].push((0, 1.0));
     let mut processed: usize = 0;
 
-    while !frontier.is_empty() {
-        processed += frontier.len();
+    loop {
+        let frontier_len: usize = cur.iter().map(Vec::len).sum();
+        if frontier_len == 0 {
+            break;
+        }
+        processed += frontier_len;
         if processed > params.max_entries {
-            return Err(FbError::SupportExplosion { max_entries: params.max_entries });
+            return Err(FbError::SupportExplosion {
+                max_entries: params.max_entries,
+            });
         }
-        let mut next: BTreeMap<(usize, u64), f64> = BTreeMap::new();
-        for ((b, t), mass) in frontier {
-            if matches!(cfg.block(BlockId(b as u32)).term, Terminator::Return) {
-                continue; // absorbed; arrival already recorded
+        for b in 0..n {
+            if cur[b].is_empty() {
+                continue;
             }
-            for &(ei, v) in &out_edges[b] {
-                let p = edge_probs[ei];
-                if p <= 0.0 {
-                    continue;
+            if is_return[b] {
+                cur[b].clear(); // absorbed; arrival already recorded
+                continue;
+            }
+            let c_b = block_costs[b];
+            for &(t, mass) in &cur[b] {
+                for &(ei, v) in &out_edges[b] {
+                    let p = edge_probs[ei];
+                    if p <= 0.0 {
+                        continue;
+                    }
+                    let m = mass * p;
+                    if m < params.mass_eps {
+                        *truncated += m;
+                        continue;
+                    }
+                    let t2 = t + c_b + edge_costs[ei];
+                    next[v].push((t2, m));
+                    acc[v].push((t2, m));
                 }
-                let m = mass * p;
-                if m < params.mass_eps {
-                    *truncated += m;
-                    continue;
-                }
-                let t2 = t + block_costs[b] + edge_costs[ei];
-                *next.entry((v.index(), t2)).or_insert(0.0) += m;
-                *acc[v.index()].entry(t2).or_insert(0.0) += m;
+            }
+            cur[b].clear();
+        }
+        for b in 0..n {
+            if !next[b].is_empty() {
+                std::mem::swap(&mut cur[b], &mut next[b]);
+                pmf::coalesce(&mut cur[b]);
             }
         }
-        frontier = next;
     }
-    Ok(acc.into_iter().map(|m| m.into_iter().collect()).collect())
+    Ok(acc
+        .into_iter()
+        .map(|mut v| {
+            pmf::coalesce(&mut v);
+            v
+        })
+        .collect())
 }
 
-/// Distribution of total remaining duration from `start` (including
-/// executing `start`).
-#[allow(clippy::too_many_arguments)]
-fn remaining_pmf(
-    cfg: &Cfg,
-    start: BlockId,
+/// All blocks' remaining-duration PMFs in **one** propagation over the
+/// reversed graph.
+///
+/// Seed: each Return block `r` holds `g(r) = {(c_r, 1.0)}`. Propagation:
+/// when `g(v)` gains mass `m` at remaining time `t`, every in-edge
+/// `u → v` (probability `p`, cost `c_e`) contributes
+/// `(t + c_e + c_u, m·p)` to `g(u)` — both into the result and back into
+/// the frontier for `u`'s own predecessors. Mass in cycles decays by the
+/// branch probabilities each lap and is pruned at `mass_eps`, exactly like
+/// the per-block DPs this replaces; the difference is that every path
+/// suffix is walked once instead of once per starting block.
+fn backward_tables(
     block_costs: &[u64],
     edge_costs: &[u64],
     edge_probs: &[f64],
-    out_edges: &[Vec<(usize, BlockId)>],
+    in_edges: &[Vec<(usize, usize)>],
+    is_return: &[bool],
     params: FbParams,
     truncated: &mut f64,
-) -> Result<SparsePmf, FbError> {
-    let mut result: BTreeMap<u64, f64> = BTreeMap::new();
-    let mut frontier: BTreeMap<(usize, u64), f64> = BTreeMap::new();
-    frontier.insert((start.index(), 0), 1.0);
+) -> Result<Vec<SparsePmf>, FbError> {
+    let n = block_costs.len();
+    let mut result: Vec<Vec<(u64, f64)>> = vec![Vec::new(); n];
+    let mut cur: Vec<SparsePmf> = vec![Vec::new(); n];
+    let mut next: Vec<Vec<(u64, f64)>> = vec![Vec::new(); n];
+    for b in 0..n {
+        if is_return[b] {
+            let c = block_costs[b];
+            cur[b].push((c, 1.0));
+            result[b].push((c, 1.0));
+        }
+    }
     let mut processed: usize = 0;
 
-    while !frontier.is_empty() {
-        processed += frontier.len();
-        if processed > params.max_entries {
-            return Err(FbError::SupportExplosion { max_entries: params.max_entries });
+    loop {
+        let frontier_len: usize = cur.iter().map(Vec::len).sum();
+        if frontier_len == 0 {
+            break;
         }
-        let mut next: BTreeMap<(usize, u64), f64> = BTreeMap::new();
-        for ((b, t), mass) in frontier {
-            let t_after = t + block_costs[b];
-            if matches!(cfg.block(BlockId(b as u32)).term, Terminator::Return) {
-                *result.entry(t_after).or_insert(0.0) += mass;
+        processed += frontier_len;
+        if processed > params.max_entries {
+            return Err(FbError::SupportExplosion {
+                max_entries: params.max_entries,
+            });
+        }
+        for v in 0..n {
+            if cur[v].is_empty() {
                 continue;
             }
-            for &(ei, v) in &out_edges[b] {
-                let p = edge_probs[ei];
-                if p <= 0.0 {
-                    continue;
+            for &(t, mass) in &cur[v] {
+                for &(ei, u) in &in_edges[v] {
+                    let p = edge_probs[ei];
+                    if p <= 0.0 {
+                        continue;
+                    }
+                    let m = mass * p;
+                    if m < params.mass_eps {
+                        *truncated += m;
+                        continue;
+                    }
+                    let t2 = t + edge_costs[ei] + block_costs[u];
+                    next[u].push((t2, m));
+                    result[u].push((t2, m));
                 }
-                let m = mass * p;
-                if m < params.mass_eps {
-                    *truncated += m;
-                    continue;
-                }
-                *next.entry((v.index(), t_after + edge_costs[ei])).or_insert(0.0) += m;
+            }
+            cur[v].clear();
+        }
+        for b in 0..n {
+            if !next[b].is_empty() {
+                std::mem::swap(&mut cur[b], &mut next[b]);
+                pmf::coalesce(&mut cur[b]);
             }
         }
-        frontier = next;
     }
-    Ok(result.into_iter().collect())
+    Ok(result
+        .into_iter()
+        .map(|mut v| {
+            pmf::coalesce(&mut v);
+            v
+        })
+        .collect())
 }
 
 /// Posterior expected edge-traversal counts aggregated over a sample set.
@@ -261,6 +352,12 @@ pub struct EdgeExpectations {
 
 /// Runs one E-step: builds tables for `probs` and computes posterior expected
 /// edge-traversal counts for `samples` (the entry point the EM loop uses).
+///
+/// Per edge `e = (u → v)` this convolves `f(u) ⊗ g(v)` **once** over the
+/// union of the observed ticks' duration windows,
+/// `h_e(d) = Σ_t f(u,t) · g(v, d − t − c_u − c_e)`, then scores every
+/// distinct tick against `h_e` — instead of rescanning the product per
+/// `(sample, edge)` pair.
 pub fn e_step(
     cfg: &Cfg,
     block_costs: &[u64],
@@ -278,58 +375,52 @@ pub fn e_step(
     let mut loglik = 0.0;
     let mut unexplained = 0;
 
+    // Normalizers per distinct tick, plus the union window over explained
+    // ticks — the support the per-edge convolutions are restricted to.
+    let mut explained: Vec<(u64, usize, f64)> = Vec::new();
+    let (mut win_lo, mut win_hi) = (u64::MAX, 0u64);
     for (t_obs, n) in samples.counted() {
-        let (lo, hi) = duration_window(t_obs, cpt);
-        let z: f64 = pmf_range(duration, lo, hi)
-            .map(|&(d, p)| p * tick_likelihood(t_obs, d, cpt))
-            .sum();
+        let z = pmf_tick_score(duration, t_obs, cpt);
         if z <= 1e-300 {
             unexplained += n;
             continue;
         }
         loglik += n as f64 * z.ln();
+        let (lo, hi) = duration_window(t_obs, cpt);
+        win_lo = win_lo.min(lo);
+        win_hi = win_hi.max(hi);
+        explained.push((t_obs, n, z));
+    }
 
+    if !explained.is_empty() {
         for e in edges.iter() {
             let p_e = edge_probs[e.index];
             if p_e <= 0.0 {
                 continue;
             }
             let delta = block_costs[e.from.index()] + edge_costs[e.index];
-            let f_u = &tables.forward[e.from.index()];
-            let g_v = &tables.backward[e.to.index()];
-            let mut acc = 0.0;
-            for &(t, fm) in f_u {
-                let base = t + delta;
-                if base > hi {
-                    continue;
-                }
-                let s_lo = lo.saturating_sub(base);
-                let s_hi = hi - base;
-                for &(s, gm) in pmf_slice(g_v, s_lo, s_hi) {
-                    let k = tick_likelihood(t_obs, base + s, cpt);
-                    if k > 0.0 {
-                        acc += fm * gm * k;
-                    }
-                }
+            let h = pmf::convolve_window(
+                &tables.forward[e.from.index()],
+                &tables.backward[e.to.index()],
+                delta,
+                win_lo,
+                win_hi,
+            );
+            for &(t_obs, n, z) in &explained {
+                let acc = pmf_tick_score(&h, t_obs, cpt);
+                counts[e.index] += n as f64 * p_e * acc / z;
             }
-            counts[e.index] += n as f64 * p_e * acc / z;
         }
     }
 
-    Ok((EdgeExpectations { counts, loglik, unexplained }, tables))
-}
-
-fn pmf_range(pmf: &SparsePmf, lo: u64, hi: u64) -> impl Iterator<Item = &(u64, f64)> {
-    pmf_slice(pmf, lo, hi).iter()
-}
-
-fn pmf_slice(pmf: &SparsePmf, lo: u64, hi: u64) -> &[(u64, f64)] {
-    if lo > hi {
-        return &[];
-    }
-    let start = pmf.partition_point(|&(d, _)| d < lo);
-    let end = pmf.partition_point(|&(d, _)| d <= hi);
-    &pmf[start..end]
+    Ok((
+        EdgeExpectations {
+            counts,
+            loglik,
+            unexplained,
+        },
+        tables,
+    ))
 }
 
 #[cfg(test)]
@@ -368,6 +459,16 @@ mod tests {
         assert_eq!(t.forward[3].len(), 2);
         let total: f64 = t.forward[3].iter().map(|&(_, m)| m).sum();
         assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backward_tables_cover_every_block() {
+        let (cfg, bc, ec, probs) = diamond_setup(0.7);
+        let t = compute_tables(&cfg, &bc, &ec, &probs, FbParams::default()).unwrap();
+        // g(then) = {100+0+5}, g(else) = {200+0+5}, g(join) = {5}.
+        assert_eq!(t.backward[1], vec![(105, 1.0)]);
+        assert_eq!(t.backward[2], vec![(205, 1.0)]);
+        assert_eq!(t.backward[3], vec![(5, 1.0)]);
     }
 
     #[test]
@@ -449,7 +550,11 @@ mod tests {
             .find(|e| e.kind == ct_cfg::graph::EdgeKind::BranchFalse)
             .unwrap()
             .index;
-        assert!((exp.counts[true_idx] - 2.0).abs() < 1e-9, "{:?}", exp.counts);
+        assert!(
+            (exp.counts[true_idx] - 2.0).abs() < 1e-9,
+            "{:?}",
+            exp.counts
+        );
         assert!((exp.counts[false_idx] - 1.0).abs() < 1e-9);
     }
 
@@ -459,7 +564,10 @@ mod tests {
         let bc = vec![2, 3, 10, 1];
         let ec = vec![0; cfg.edges().len()];
         let probs = BranchProbs::from_vec(&cfg, vec![0.9999]);
-        let params = FbParams { mass_eps: 1e-300, max_entries: 4 };
+        let params = FbParams {
+            mass_eps: 1e-300,
+            max_entries: 4,
+        };
         assert!(matches!(
             compute_tables(&cfg, &bc, &ec, &probs, params),
             Err(FbError::SupportExplosion { .. })
@@ -474,5 +582,35 @@ mod tests {
             compute_tables(&cfg, &bc, &bad_ec, &probs, FbParams::default()),
             Err(FbError::Shape(_))
         ));
+    }
+
+    #[test]
+    fn matches_reference_engine_on_loop() {
+        let cfg = while_loop();
+        let bc = vec![2, 3, 10, 1];
+        let ec = vec![0; cfg.edges().len()];
+        let probs = BranchProbs::from_vec(&cfg, vec![0.7]);
+        let params = FbParams {
+            mass_eps: 1e-12,
+            ..FbParams::default()
+        };
+        let new = compute_tables(&cfg, &bc, &ec, &probs, params).unwrap();
+        let old = crate::fb_reference::compute_tables(&cfg, &bc, &ec, &probs, params).unwrap();
+        for b in 0..cfg.len() {
+            assert_eq!(new.forward[b].len(), old.forward[b].len(), "forward[{b}]");
+            for (x, y) in new.forward[b].iter().zip(&old.forward[b]) {
+                assert_eq!(x.0, y.0);
+                assert!((x.1 - y.1).abs() < 1e-12);
+            }
+            assert_eq!(
+                new.backward[b].len(),
+                old.backward[b].len(),
+                "backward[{b}]"
+            );
+            for (x, y) in new.backward[b].iter().zip(&old.backward[b]) {
+                assert_eq!(x.0, y.0);
+                assert!((x.1 - y.1).abs() < 1e-12);
+            }
+        }
     }
 }

@@ -54,6 +54,8 @@ pub mod accuracy;
 pub mod em;
 pub mod estimator;
 pub mod fb;
+#[doc(hidden)]
+pub mod fb_reference;
 pub mod flow_nnls;
 pub mod moments;
 pub mod quantize;
@@ -65,7 +67,7 @@ pub use accuracy::{compare, compare_unweighted, AccuracyReport};
 pub use em::{estimate_em, EmOptions, EmResult};
 pub use estimator::{estimate, Estimate, EstimateError, EstimateOptions, Method};
 pub use fb::{compute_tables, e_step, FbError, FbParams, FbTables};
-pub use flow_nnls::{estimate_flow, FlowResult};
+pub use flow_nnls::{estimate_flow, estimate_flow_many, FlowResult};
 pub use moments::{estimate_moments, model_moments, MomentsOptions, MomentsResult};
 pub use samples::TimingSamples;
-pub use unrolled::{estimate_unrolled, UnrolledEstimate, UnrolledError};
+pub use unrolled::{estimate_unrolled, UnrolledError, UnrolledEstimate};

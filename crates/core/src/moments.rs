@@ -138,7 +138,12 @@ pub struct MomentsOptions {
 
 impl Default for MomentsOptions {
     fn default() -> Self {
-        MomentsOptions { sweeps: 12, line_iters: 24, min_prob: 1e-3, variance_weight: 0.5 }
+        MomentsOptions {
+            sweeps: 12,
+            line_iters: 24,
+            min_prob: 1e-3,
+            variance_weight: 0.5,
+        }
     }
 }
 
@@ -237,7 +242,11 @@ pub fn estimate_moments(
         }
     }
 
-    Ok(MomentsResult { probs, objective: best, sweeps: sweeps_done })
+    Ok(MomentsResult {
+        probs,
+        objective: best,
+        sweeps: sweeps_done,
+    })
 }
 
 #[cfg(test)]

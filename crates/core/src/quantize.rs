@@ -44,6 +44,19 @@ pub fn expected_ticks(d: u64, cpt: u64) -> f64 {
     d as f64 / cpt as f64
 }
 
+/// Probability of observing `ticks` under a duration PMF (sorted flat
+/// `(cycles, mass)` pairs): `Σ_d p(d) · tick_likelihood(ticks, d, cpt)`.
+///
+/// Only the support inside [`duration_window`] is visited, so scoring is
+/// O(log |pmf| + window) regardless of the PMF's full support size.
+pub fn pmf_tick_score(pmf: &[(u64, f64)], ticks: u64, cpt: u64) -> f64 {
+    let (lo, hi) = duration_window(ticks, cpt);
+    ct_stats::pmf::slice_range(pmf, lo, hi)
+        .iter()
+        .map(|&(d, m)| m * tick_likelihood(ticks, d, cpt))
+        .sum()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,5 +119,15 @@ mod tests {
     fn zero_duration_is_zero_ticks() {
         assert_eq!(tick_likelihood(0, 0, 244), 1.0);
         assert_eq!(duration_window(0, 244), (0, 243));
+    }
+
+    #[test]
+    fn pmf_score_matches_pointwise_sum() {
+        // d = 250 and d = 310 under cpt = 100, observed tick 3:
+        // 0.5·0.5 (from 250) + 0.5·0.9 (from 310) = 0.7.
+        let pmf = vec![(250u64, 0.5), (310u64, 0.5)];
+        assert!((pmf_tick_score(&pmf, 3, 100) - 0.7).abs() < 1e-12);
+        // Out-of-window support contributes nothing.
+        assert_eq!(pmf_tick_score(&pmf, 9, 100), 0.0);
     }
 }

@@ -79,7 +79,10 @@ mod tests {
             loglik: Some(-12.0),
             unexplained: 2,
         };
-        let acc = AccuracyReport { mae: 0.01, ..Default::default() };
+        let acc = AccuracyReport {
+            mae: 0.01,
+            ..Default::default()
+        };
         let line = summary_line("sense", &est, &acc);
         assert!(line.contains("method=em"));
         assert!(line.contains("unexplained=2"));

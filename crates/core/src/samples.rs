@@ -19,7 +19,10 @@ impl TimingSamples {
     /// Panics if `cycles_per_tick == 0`.
     pub fn new(ticks: Vec<u64>, cycles_per_tick: u64) -> TimingSamples {
         assert!(cycles_per_tick > 0, "timer resolution must be positive");
-        TimingSamples { ticks, cycles_per_tick }
+        TimingSamples {
+            ticks,
+            cycles_per_tick,
+        }
     }
 
     /// The raw tick values.

@@ -102,8 +102,8 @@ pub fn estimate_unrolled(
 
     for iter in 0..opts.max_iter.max(1) {
         iterations = iter + 1;
-        let (exp, _) = e_step(&u.cfg, &ubc, &uec, &u_probs, samples, opts.fb)
-            .map_err(UnrolledError::Em)?;
+        let (exp, _) =
+            e_step(&u.cfg, &ubc, &uec, &u_probs, samples, opts.fb).map_err(UnrolledError::Em)?;
         loglik = exp.loglik;
         unexplained = exp.unexplained;
         final_counts = exp.counts.clone();
@@ -162,7 +162,13 @@ pub fn estimate_unrolled(
     let folded = u.fold_edge_counts(&final_counts, cfg.edges().len());
     let edge_counts: Vec<f64> = folded.iter().map(|c| c / n).collect();
 
-    Ok(UnrolledEstimate { probs, iterations, loglik, unexplained, edge_counts })
+    Ok(UnrolledEstimate {
+        probs,
+        iterations,
+        loglik,
+        unexplained,
+        edge_counts,
+    })
 }
 
 #[cfg(test)]
@@ -182,8 +188,20 @@ mod tests {
         let latch = cfg.add_block("latch", Terminator::Jump(header));
         let exit = cfg.add_block("exit", Terminator::Return);
         cfg.set_terminator(entry, Terminator::Jump(header));
-        cfg.set_terminator(header, Terminator::Branch { on_true: bcond, on_false: exit });
-        cfg.set_terminator(bcond, Terminator::Branch { on_true: bthen, on_false: belse });
+        cfg.set_terminator(
+            header,
+            Terminator::Branch {
+                on_true: bcond,
+                on_false: exit,
+            },
+        );
+        cfg.set_terminator(
+            bcond,
+            Terminator::Branch {
+                on_true: bthen,
+                on_false: belse,
+            },
+        );
         cfg.set_terminator(bthen, Terminator::Jump(latch));
         cfg.set_terminator(belse, Terminator::Jump(latch));
         let bc = vec![5, 3, 4, 50, 20, 2, 1];
@@ -214,8 +232,15 @@ mod tests {
     fn recovers_inner_branch_with_deterministic_loop() {
         let (cfg, bc, ec, header) = counted_loop_with_branch();
         let samples = synth(&cfg, &bc, 0.3, 1500);
-        let r = estimate_unrolled(&cfg, &[(header, 3)], &bc, &ec, &samples, EmOptions::default())
-            .unwrap();
+        let r = estimate_unrolled(
+            &cfg,
+            &[(header, 3)],
+            &bc,
+            &ec,
+            &samples,
+            EmOptions::default(),
+        )
+        .unwrap();
         // Inner branch recovered.
         let inner = r.probs.prob_true(BlockId(2)).unwrap();
         assert!((inner - 0.3).abs() < 0.03, "inner {inner}");
@@ -229,8 +254,15 @@ mod tests {
     fn edge_counts_are_exact_for_counted_edges() {
         let (cfg, bc, ec, header) = counted_loop_with_branch();
         let samples = synth(&cfg, &bc, 0.5, 800);
-        let r = estimate_unrolled(&cfg, &[(header, 3)], &bc, &ec, &samples, EmOptions::default())
-            .unwrap();
+        let r = estimate_unrolled(
+            &cfg,
+            &[(header, 3)],
+            &bc,
+            &ec,
+            &samples,
+            EmOptions::default(),
+        )
+        .unwrap();
         let edges = cfg.edges();
         // header→bcond traversed exactly 3×/invocation; header→exit 1×.
         let h_body = edges
@@ -243,7 +275,11 @@ mod tests {
             .find(|e| e.from == header && e.to == BlockId(6))
             .unwrap()
             .index;
-        assert!((r.edge_counts[h_body] - 3.0).abs() < 1e-6, "{:?}", r.edge_counts);
+        assert!(
+            (r.edge_counts[h_body] - 3.0).abs() < 1e-6,
+            "{:?}",
+            r.edge_counts
+        );
         assert!((r.edge_counts[h_exit] - 1.0).abs() < 1e-6);
     }
 

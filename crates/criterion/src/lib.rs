@@ -1,0 +1,284 @@
+#![warn(missing_docs)]
+
+//! Vendored offline shim for the [`criterion`](https://crates.io/crates/criterion)
+//! 0.5 API surface this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! a minimal wall-clock benchmark harness with the same surface:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId`], [`Throughput`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. There is no statistical analysis — each
+//! benchmark is warmed up, timed for a fixed budget, and its mean
+//! nanoseconds/iteration printed in a stable machine-greppable format:
+//!
+//! ```text
+//! bench: <group>/<id> ... <mean_ns> ns/iter (<iters> iters)
+//! ```
+//!
+//! Environment knobs: `CT_BENCH_WARMUP_MS` (default 200) and
+//! `CT_BENCH_MEASURE_MS` (default 1000) bound the per-benchmark time budget.
+
+use std::time::{Duration, Instant};
+
+/// Benchmark harness entry point (mirrors `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let _ = self;
+        BenchmarkGroup {
+            name: name.into(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs a single standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        run_benchmark(&id.into(), &mut f);
+    }
+}
+
+/// A group of related benchmarks (mirrors `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _marker: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the throughput of subsequent benchmarks (recorded for API
+    /// compatibility; not reported).
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Sets the nominal sample count (accepted for API compatibility).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` against `input` under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_benchmark(&label, &mut |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks a no-input closure under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoLabel,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_label());
+        run_benchmark(&label, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Conversion into a benchmark label (accepts strings and [`BenchmarkId`]).
+pub trait IntoLabel {
+    /// The label text.
+    fn into_label(self) -> String;
+}
+
+impl IntoLabel for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoLabel for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+impl IntoLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// A parameter-only id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Work per iteration, for throughput reporting (accepted, not reported).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    mode: BencherMode,
+    /// Total time measured across iterations (measure mode).
+    elapsed: Duration,
+    /// Iterations executed.
+    iters: u64,
+    /// Iteration budget for the current `iter` call.
+    budget: u64,
+}
+
+enum BencherMode {
+    /// Calibration: run a fixed small iteration count and record elapsed.
+    Calibrate,
+    /// Measurement: run the budgeted iteration count.
+    Measure,
+}
+
+impl Bencher {
+    /// Times `f`, running it repeatedly under the harness's time budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let n = self.budget;
+        let start = Instant::now();
+        for _ in 0..n {
+            std::hint::black_box(f());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += n;
+        let _ = match self.mode {
+            BencherMode::Calibrate => 0,
+            BencherMode::Measure => 1,
+        };
+    }
+}
+
+fn env_ms(name: &str, default: u64) -> Duration {
+    let ms = std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default);
+    Duration::from_millis(ms)
+}
+
+/// Calibrates, measures, and prints one benchmark.
+fn run_benchmark(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let warmup = env_ms("CT_BENCH_WARMUP_MS", 200);
+    let measure = env_ms("CT_BENCH_MEASURE_MS", 1000);
+
+    // Calibration: find an iteration count that roughly fills the warmup
+    // budget, doubling from 1.
+    let mut per_iter = Duration::from_nanos(0);
+    let mut budget = 1u64;
+    let cal_start = Instant::now();
+    loop {
+        let mut b = Bencher {
+            mode: BencherMode::Calibrate,
+            elapsed: Duration::ZERO,
+            iters: 0,
+            budget,
+        };
+        f(&mut b);
+        if b.iters > 0 {
+            per_iter = b.elapsed / (b.iters as u32).max(1);
+        }
+        if cal_start.elapsed() >= warmup || b.elapsed >= warmup / 2 {
+            break;
+        }
+        budget = budget.saturating_mul(2).min(1 << 30);
+    }
+
+    // Measurement: one batch sized to the measurement budget.
+    let per_iter_ns = per_iter.as_nanos().max(1) as u64;
+    let iters = (measure.as_nanos() as u64 / per_iter_ns).clamp(1, 1 << 32);
+    let mut b = Bencher {
+        mode: BencherMode::Measure,
+        elapsed: Duration::ZERO,
+        iters: 0,
+        budget: iters,
+    };
+    f(&mut b);
+    let mean_ns = if b.iters == 0 {
+        0.0
+    } else {
+        b.elapsed.as_nanos() as f64 / b.iters as f64
+    };
+    println!(
+        "bench: {label} ... {mean_ns:.1} ns/iter ({} iters)",
+        b.iters
+    );
+}
+
+/// Declares a benchmark group function (mirrors `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main` (mirrors `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        std::env::set_var("CT_BENCH_WARMUP_MS", "5");
+        std::env::set_var("CT_BENCH_MEASURE_MS", "10");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        let mut calls = 0u64;
+        group.bench_with_input(BenchmarkId::new("f", 1), &3u64, |b, &x| {
+            b.iter(|| {
+                calls += 1;
+                x * 2
+            });
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("f", 8).label, "f/8");
+        assert_eq!(BenchmarkId::from_parameter("em").label, "em");
+    }
+}

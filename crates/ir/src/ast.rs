@@ -243,7 +243,10 @@ pub enum BinOp {
 impl BinOp {
     /// True for operators producing `bool` from integer operands.
     pub fn is_comparison(self) -> bool {
-        matches!(self, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne)
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
     }
 
     /// True for `&&`/`||`, which take and produce `bool`.
@@ -267,7 +270,15 @@ mod tests {
 
     #[test]
     fn stmt_span_accessor() {
-        let s = Stmt::Return { value: None, span: Span { start: 1, end: 2, line: 9, col: 1 } };
+        let s = Stmt::Return {
+            value: None,
+            span: Span {
+                start: 1,
+                end: 2,
+                line: 9,
+                col: 1,
+            },
+        };
         assert_eq!(s.span().line, 9);
     }
 }

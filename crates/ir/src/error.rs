@@ -34,9 +34,9 @@ impl IrError {
     /// The error's source location.
     pub fn span(&self) -> Span {
         match self {
-            IrError::Lex { span, .. } | IrError::Parse { span, .. } | IrError::Sema { span, .. } => {
-                *span
-            }
+            IrError::Lex { span, .. }
+            | IrError::Parse { span, .. }
+            | IrError::Sema { span, .. } => *span,
         }
     }
 
@@ -71,7 +71,12 @@ mod tests {
     fn display_includes_location_and_kind() {
         let e = IrError::Sema {
             message: "unknown variable `x`".into(),
-            span: Span { start: 0, end: 1, line: 4, col: 9 },
+            span: Span {
+                start: 0,
+                end: 1,
+                line: 4,
+                col: 9,
+            },
         };
         let s = e.to_string();
         assert!(s.contains("semantic error"));
@@ -83,7 +88,12 @@ mod tests {
     fn accessors() {
         let e = IrError::Parse {
             message: "expected `;`".into(),
-            span: Span { start: 5, end: 6, line: 1, col: 6 },
+            span: Span {
+                start: 5,
+                end: 6,
+                line: 1,
+                col: 6,
+            },
         };
         assert_eq!(e.message(), "expected `;`");
         assert_eq!(e.span().col, 6);

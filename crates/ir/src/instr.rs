@@ -198,6 +198,9 @@ mod tests {
     fn instr_display() {
         assert_eq!(Instr::PushConst(3).to_string(), "push 3");
         assert_eq!(Instr::Call(ProcId(2)).to_string(), "call p2");
-        assert_eq!(Instr::Intrinsic(Intrinsic::ReadAdc).to_string(), "intr read_adc");
+        assert_eq!(
+            Instr::Intrinsic(Intrinsic::ReadAdc).to_string(),
+            "intr read_adc"
+        );
     }
 }

@@ -32,7 +32,12 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1 }
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -56,11 +61,19 @@ impl<'a> Lexer<'a> {
     }
 
     fn here(&self) -> Span {
-        Span { start: self.pos, end: self.pos, line: self.line, col: self.col }
+        Span {
+            start: self.pos,
+            end: self.pos,
+            line: self.line,
+            col: self.col,
+        }
     }
 
     fn err(&self, msg: impl Into<String>) -> IrError {
-        IrError::Lex { message: msg.into(), span: self.here() }
+        IrError::Lex {
+            message: msg.into(),
+            span: self.here(),
+        }
     }
 
     fn run(mut self) -> Result<Vec<Token>, IrError> {
@@ -69,7 +82,10 @@ impl<'a> Lexer<'a> {
             self.skip_trivia()?;
             let span_start = self.here();
             let Some(c) = self.peek() else {
-                out.push(Token { tok: Tok::Eof, span: span_start });
+                out.push(Token {
+                    tok: Tok::Eof,
+                    span: span_start,
+                });
                 return Ok(out);
             };
             let tok = match c {
@@ -150,7 +166,9 @@ impl<'a> Lexer<'a> {
             return Err(self.err("malformed numeric literal"));
         }
         let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
-        let v: i64 = text.parse().map_err(|_| self.err("decimal literal out of range"))?;
+        let v: i64 = text
+            .parse()
+            .map_err(|_| self.err("decimal literal out of range"))?;
         Ok(Tok::Int(v))
     }
 
@@ -276,7 +294,10 @@ mod tests {
 
     #[test]
     fn numbers_decimal_and_hex() {
-        assert_eq!(toks("42 0x2A 0"), vec![Tok::Int(42), Tok::Int(42), Tok::Int(0), Tok::Eof]);
+        assert_eq!(
+            toks("42 0x2A 0"),
+            vec![Tok::Int(42), Tok::Int(42), Tok::Int(0), Tok::Eof]
+        );
     }
 
     #[test]
@@ -341,13 +362,16 @@ mod tests {
 
     #[test]
     fn minus_vs_arrow() {
-        assert_eq!(toks("a - b -> c"), vec![
-            Tok::Ident("a".into()),
-            Tok::Minus,
-            Tok::Ident("b".into()),
-            Tok::Arrow,
-            Tok::Ident("c".into()),
-            Tok::Eof
-        ]);
+        assert_eq!(
+            toks("a - b -> c"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Minus,
+                Tok::Ident("b".into()),
+                Tok::Arrow,
+                Tok::Ident("c".into()),
+                Tok::Eof
+            ]
+        );
     }
 }

@@ -53,7 +53,11 @@ pub fn lower(module: &Module, analysis: &Analysis) -> Program {
         })
         .collect();
 
-    Program { name: module.name.clone(), globals, procs }
+    Program {
+        name: module.name.clone(),
+        globals,
+        procs,
+    }
 }
 
 /// Parses, checks and lowers NLC source in one call.
@@ -164,7 +168,12 @@ impl<'a> Lowerer<'a> {
                     self.emit(Instr::StoreElem(gid));
                 }
             },
-            Stmt::If { cond, then_blk, else_blk, .. } => {
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+                ..
+            } => {
                 self.lower_expr(cond);
                 let join = self.new_block("join");
                 let cond_block = self.cur;
@@ -190,7 +199,8 @@ impl<'a> Lowerer<'a> {
                         (t, join)
                     }
                 };
-                self.cfg.set_terminator(cond_block, Terminator::Branch { on_true, on_false });
+                self.cfg
+                    .set_terminator(cond_block, Terminator::Branch { on_true, on_false });
                 self.cur = join;
             }
             Stmt::While { cond, body, span } => {
@@ -211,8 +221,13 @@ impl<'a> Lowerer<'a> {
                 self.cfg.set_terminator(self.cur, Terminator::Jump(header));
 
                 let exit = self.new_block("loop_exit");
-                self.cfg
-                    .set_terminator(header, Terminator::Branch { on_true: body_block, on_false: exit });
+                self.cfg.set_terminator(
+                    header,
+                    Terminator::Branch {
+                        on_true: body_block,
+                        on_false: exit,
+                    },
+                );
                 self.cur = exit;
             }
             Stmt::Return { value, .. } => {
@@ -346,9 +361,7 @@ mod tests {
 
     #[test]
     fn if_without_else_still_valid() {
-        let p = compile(
-            "module M { var a: u16; proc f(x: u16) { if (x > 5) { a = 1; } } }",
-        );
+        let p = compile("module M { var a: u16; proc f(x: u16) { if (x > 5) { a = 1; } } }");
         assert!(p.procs[0].cfg.validate().is_ok());
         assert!(decompose(&p.procs[0].cfg).is_ok());
     }
@@ -455,9 +468,8 @@ mod tests {
 
     #[test]
     fn loop_condition_lives_in_header() {
-        let p = compile(
-            "module M { proc f(n: u16) { var i: u16 = 0; while (i < n) { i = i + 1; } } }",
-        );
+        let p =
+            compile("module M { proc f(n: u16) { var i: u16 = 0; while (i < n) { i = i + 1; } } }");
         let proc = &p.procs[0];
         let header = proc
             .cfg

@@ -97,7 +97,10 @@ impl Parser {
     }
 
     fn err(&self, message: impl Into<String>) -> IrError {
-        IrError::Parse { message: message.into(), span: self.peek_span() }
+        IrError::Parse {
+            message: message.into(),
+            span: self.peek_span(),
+        }
     }
 
     fn ident(&mut self) -> Result<(String, Span), IrError> {
@@ -113,8 +116,10 @@ impl Parser {
 
     fn ty(&mut self) -> Result<Ty, IrError> {
         let (name, span) = self.ident()?;
-        Ty::from_name(&name)
-            .ok_or(IrError::Parse { message: format!("unknown type `{name}`"), span })
+        Ty::from_name(&name).ok_or(IrError::Parse {
+            message: format!("unknown type `{name}`"),
+            span,
+        })
     }
 
     fn int_literal(&mut self) -> Result<i64, IrError> {
@@ -148,7 +153,11 @@ impl Parser {
                 }
             }
         }
-        Ok(Module { name, globals, procs })
+        Ok(Module {
+            name,
+            globals,
+            procs,
+        })
     }
 
     fn global(&mut self) -> Result<GlobalDecl, IrError> {
@@ -184,7 +193,13 @@ impl Parser {
             None
         };
         self.expect(Tok::Semi)?;
-        Ok(GlobalDecl { name, ty, array_len, init, span })
+        Ok(GlobalDecl {
+            name,
+            ty,
+            array_len,
+            init,
+            span,
+        })
     }
 
     fn proc(&mut self) -> Result<ProcDecl, IrError> {
@@ -198,16 +213,30 @@ impl Parser {
                 let (pname, pspan) = self.ident()?;
                 self.expect(Tok::Colon)?;
                 let pty = self.ty()?;
-                params.push(Param { name: pname, ty: pty, span: pspan });
+                params.push(Param {
+                    name: pname,
+                    ty: pty,
+                    span: pspan,
+                });
                 if !self.eat(&Tok::Comma) {
                     break;
                 }
             }
             self.expect(Tok::RParen)?;
         }
-        let ret = if self.eat(&Tok::Arrow) { Some(self.ty()?) } else { None };
+        let ret = if self.eat(&Tok::Arrow) {
+            Some(self.ty()?)
+        } else {
+            None
+        };
         let body = self.block()?;
-        Ok(ProcDecl { name, params, ret, body, span })
+        Ok(ProcDecl {
+            name,
+            params,
+            ret,
+            body,
+            span,
+        })
     }
 
     fn block(&mut self) -> Result<Vec<Stmt>, IrError> {
@@ -227,9 +256,18 @@ impl Parser {
                 let (name, _) = self.ident()?;
                 self.expect(Tok::Colon)?;
                 let ty = self.ty()?;
-                let init = if self.eat(&Tok::Assign) { Some(self.expr()?) } else { None };
+                let init = if self.eat(&Tok::Assign) {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
                 self.expect(Tok::Semi)?;
-                Ok(Stmt::VarDecl { name, ty, init, span })
+                Ok(Stmt::VarDecl {
+                    name,
+                    ty,
+                    init,
+                    span,
+                })
             }
             Tok::If => {
                 self.bump();
@@ -237,8 +275,17 @@ impl Parser {
                 let cond = self.expr()?;
                 self.expect(Tok::RParen)?;
                 let then_blk = self.block()?;
-                let else_blk = if self.eat(&Tok::Else) { self.block()? } else { Vec::new() };
-                Ok(Stmt::If { cond, then_blk, else_blk, span })
+                let else_blk = if self.eat(&Tok::Else) {
+                    self.block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then_blk,
+                    else_blk,
+                    span,
+                })
             }
             Tok::While => {
                 self.bump();
@@ -250,7 +297,11 @@ impl Parser {
             }
             Tok::Return => {
                 self.bump();
-                let value = if *self.peek() == Tok::Semi { None } else { Some(self.expr()?) };
+                let value = if *self.peek() == Tok::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect(Tok::Semi)?;
                 Ok(Stmt::Return { value, span })
             }
@@ -263,7 +314,11 @@ impl Parser {
                         self.bump();
                         let value = self.expr()?;
                         self.expect(Tok::Semi)?;
-                        Ok(Stmt::Assign { target: LValue::Var(name), value, span })
+                        Ok(Stmt::Assign {
+                            target: LValue::Var(name),
+                            value,
+                            span,
+                        })
                     }
                     Tok::LBracket => {
                         self.bump();
@@ -326,7 +381,11 @@ impl Parser {
             &[(Tok::Amp, BinOp::BitAnd)],
             &[(Tok::Shl, BinOp::Shl), (Tok::Shr, BinOp::Shr)],
             &[(Tok::Plus, BinOp::Add), (Tok::Minus, BinOp::Sub)],
-            &[(Tok::Star, BinOp::Mul), (Tok::Slash, BinOp::Div), (Tok::Percent, BinOp::Rem)],
+            &[
+                (Tok::Star, BinOp::Mul),
+                (Tok::Slash, BinOp::Div),
+                (Tok::Percent, BinOp::Rem),
+            ],
         ];
         if level >= TIERS.len() {
             return self.unary();
@@ -337,7 +396,8 @@ impl Parser {
             for (tok, op) in TIERS[level] {
                 if self.peek() == tok {
                     // Comparisons do not chain: `a < b < c` is rejected.
-                    if level == 2 && matches!(lhs.kind, ExprKind::Binary(op2, ..) if op2.is_comparison())
+                    if level == 2
+                        && matches!(lhs.kind, ExprKind::Binary(op2, ..) if op2.is_comparison())
                     {
                         return Err(self.err("comparison operators cannot be chained"));
                     }
@@ -366,7 +426,10 @@ impl Parser {
         if let Some(op) = op {
             self.bump();
             let operand = self.unary()?;
-            return Ok(Expr { kind: ExprKind::Unary(op, Box::new(operand)), span });
+            return Ok(Expr {
+                kind: ExprKind::Unary(op, Box::new(operand)),
+                span,
+            });
         }
         self.primary()
     }
@@ -376,15 +439,24 @@ impl Parser {
         match self.peek().clone() {
             Tok::Int(v) => {
                 self.bump();
-                Ok(Expr { kind: ExprKind::Int(v), span })
+                Ok(Expr {
+                    kind: ExprKind::Int(v),
+                    span,
+                })
             }
             Tok::True => {
                 self.bump();
-                Ok(Expr { kind: ExprKind::Bool(true), span })
+                Ok(Expr {
+                    kind: ExprKind::Bool(true),
+                    span,
+                })
             }
             Tok::False => {
                 self.bump();
-                Ok(Expr { kind: ExprKind::Bool(false), span })
+                Ok(Expr {
+                    kind: ExprKind::Bool(false),
+                    span,
+                })
             }
             Tok::LParen => {
                 self.bump();
@@ -407,15 +479,24 @@ impl Parser {
                             }
                             self.expect(Tok::RParen)?;
                         }
-                        Ok(Expr { kind: ExprKind::Call(name, args), span })
+                        Ok(Expr {
+                            kind: ExprKind::Call(name, args),
+                            span,
+                        })
                     }
                     Tok::LBracket => {
                         self.bump();
                         let index = self.expr()?;
                         self.expect(Tok::RBracket)?;
-                        Ok(Expr { kind: ExprKind::Elem(name, Box::new(index)), span })
+                        Ok(Expr {
+                            kind: ExprKind::Elem(name, Box::new(index)),
+                            span,
+                        })
                     }
-                    _ => Ok(Expr { kind: ExprKind::Var(name), span }),
+                    _ => Ok(Expr {
+                        kind: ExprKind::Var(name),
+                        span,
+                    }),
                 }
             }
             other => Err(self.err(format!("expected expression, found {other}"))),
@@ -457,8 +538,8 @@ mod tests {
 
     #[test]
     fn parses_proc_signature() {
-        let m = parse_module("module P { proc add(a: u16, b: u16) -> u16 { return a + b; } }")
-            .unwrap();
+        let m =
+            parse_module("module P { proc add(a: u16, b: u16) -> u16 { return a + b; } }").unwrap();
         let p = &m.procs[0];
         assert_eq!(p.name, "add");
         assert_eq!(p.params.len(), 2);
@@ -468,14 +549,18 @@ mod tests {
     #[test]
     fn precedence_mul_over_add() {
         let e = parse_expr("1 + 2 * 3");
-        let ExprKind::Binary(BinOp::Add, _, rhs) = &e.kind else { panic!("{e:?}") };
+        let ExprKind::Binary(BinOp::Add, _, rhs) = &e.kind else {
+            panic!("{e:?}")
+        };
         assert!(matches!(rhs.kind, ExprKind::Binary(BinOp::Mul, ..)));
     }
 
     #[test]
     fn precedence_comparison_over_logical() {
         let e = parse_expr("a < b && c > d");
-        let ExprKind::Binary(BinOp::And, lhs, rhs) = &e.kind else { panic!("{e:?}") };
+        let ExprKind::Binary(BinOp::And, lhs, rhs) = &e.kind else {
+            panic!("{e:?}")
+        };
         assert!(matches!(lhs.kind, ExprKind::Binary(BinOp::Lt, ..)));
         assert!(matches!(rhs.kind, ExprKind::Binary(BinOp::Gt, ..)));
     }
@@ -483,7 +568,9 @@ mod tests {
     #[test]
     fn parens_override_precedence() {
         let e = parse_expr("(1 + 2) * 3");
-        let ExprKind::Binary(BinOp::Mul, lhs, _) = &e.kind else { panic!("{e:?}") };
+        let ExprKind::Binary(BinOp::Mul, lhs, _) = &e.kind else {
+            panic!("{e:?}")
+        };
         assert!(matches!(lhs.kind, ExprKind::Binary(BinOp::Add, ..)));
     }
 
@@ -496,8 +583,12 @@ mod tests {
     #[test]
     fn unary_operators_nest() {
         let e = parse_expr("-~!x");
-        let ExprKind::Unary(UnOp::Neg, inner) = &e.kind else { panic!("{e:?}") };
-        let ExprKind::Unary(UnOp::BitNot, inner2) = &inner.kind else { panic!() };
+        let ExprKind::Unary(UnOp::Neg, inner) = &e.kind else {
+            panic!("{e:?}")
+        };
+        let ExprKind::Unary(UnOp::BitNot, inner2) = &inner.kind else {
+            panic!()
+        };
         assert!(matches!(inner2.kind, ExprKind::Unary(UnOp::Not, _)));
     }
 
@@ -516,9 +607,17 @@ mod tests {
         )
         .unwrap();
         assert_eq!(m.procs[0].body.len(), 3);
-        let Stmt::While { body, .. } = &m.procs[0].body[1] else { panic!() };
+        let Stmt::While { body, .. } = &m.procs[0].body[1] else {
+            panic!()
+        };
         assert_eq!(body.len(), 3);
-        assert!(matches!(&body[1], Stmt::Assign { target: LValue::Elem(..), .. }));
+        assert!(matches!(
+            &body[1],
+            Stmt::Assign {
+                target: LValue::Elem(..),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -544,7 +643,9 @@ mod tests {
     #[test]
     fn call_with_no_args_and_nested_calls() {
         let e = parse_expr("f(g(), h(1, k(2)))");
-        let ExprKind::Call(name, args) = &e.kind else { panic!() };
+        let ExprKind::Call(name, args) = &e.kind else {
+            panic!()
+        };
         assert_eq!(name, "f");
         assert_eq!(args.len(), 2);
     }
@@ -552,7 +653,9 @@ mod tests {
     #[test]
     fn if_without_else_has_empty_else_block() {
         let m = parse_module("module S { proc f() { if (true) { return; } } }").unwrap();
-        let Stmt::If { else_blk, .. } = &m.procs[0].body[0] else { panic!() };
+        let Stmt::If { else_blk, .. } = &m.procs[0].body[0] else {
+            panic!()
+        };
         assert!(else_blk.is_empty());
     }
 }

@@ -17,7 +17,14 @@ pub fn dump_procedure(proc: &Procedure) -> String {
     let mut out = String::new();
     let ret = proc.ret.map(|t| format!(" -> {t}")).unwrap_or_default();
     let params: Vec<String> = proc.params.iter().map(|t| t.to_string()).collect();
-    let _ = writeln!(out, "proc {}({}){} [{} locals]", proc.name, params.join(", "), ret, proc.n_locals);
+    let _ = writeln!(
+        out,
+        "proc {}({}){} [{} locals]",
+        proc.name,
+        params.join(", "),
+        ret,
+        proc.n_locals
+    );
     for (id, block) in proc.cfg.iter() {
         let _ = writeln!(out, "{id} ({}):", block.name);
         for instr in proc.block_code(id) {
@@ -33,7 +40,11 @@ pub fn dump_program(program: &Program) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "module {}", program.name);
     for g in &program.globals {
-        let arr = if g.len > 1 { format!("[{}]", g.len) } else { String::new() };
+        let arr = if g.len > 1 {
+            format!("[{}]", g.len)
+        } else {
+            String::new()
+        };
         let _ = writeln!(out, "  var {}: {}{} = {}", g.name, g.ty, arr, g.init);
     }
     for p in &program.procs {

@@ -74,7 +74,10 @@ pub struct Program {
 impl Program {
     /// Looks up a procedure id by name.
     pub fn proc_id(&self, name: &str) -> Option<ProcId> {
-        self.procs.iter().position(|p| p.name == name).map(|i| ProcId(i as u32))
+        self.procs
+            .iter()
+            .position(|p| p.name == name)
+            .map(|i| ProcId(i as u32))
     }
 
     /// Borrow of procedure `id`.
@@ -88,7 +91,10 @@ impl Program {
 
     /// Looks up a global id by name.
     pub fn global_id(&self, name: &str) -> Option<GlobalId> {
-        self.globals.iter().position(|g| g.name == name).map(|i| GlobalId(i as u32))
+        self.globals
+            .iter()
+            .position(|g| g.name == name)
+            .map(|i| GlobalId(i as u32))
     }
 
     /// Borrow of global `id`.

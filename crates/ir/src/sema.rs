@@ -48,7 +48,10 @@ fn kind_of(ty: Ty) -> ValKind {
 }
 
 fn sema_err(message: impl Into<String>, span: Span) -> IrError {
-    IrError::Sema { message: message.into(), span }
+    IrError::Sema {
+        message: message.into(),
+        span,
+    }
 }
 
 /// Checks `module` and builds its resolution tables.
@@ -73,10 +76,16 @@ pub fn analyze(module: &Module) -> Result<Analysis, IrError> {
     let mut procs = HashMap::new();
     for (i, p) in module.procs.iter().enumerate() {
         if Intrinsic::from_name(&p.name).is_some() {
-            return Err(sema_err(format!("procedure `{}` shadows an intrinsic", p.name), p.span));
+            return Err(sema_err(
+                format!("procedure `{}` shadows an intrinsic", p.name),
+                p.span,
+            ));
         }
         if procs.contains_key(&p.name) {
-            return Err(sema_err(format!("duplicate procedure `{}`", p.name), p.span));
+            return Err(sema_err(
+                format!("duplicate procedure `{}`", p.name),
+                p.span,
+            ));
         }
         let params: Vec<Ty> = p.params.iter().map(|q| q.ty).collect();
         procs.insert(p.name.clone(), (ProcId(i as u32), params, p.ret));
@@ -96,7 +105,12 @@ pub fn analyze(module: &Module) -> Result<Analysis, IrError> {
         all_locals.push(checker.locals);
     }
 
-    let analysis = Analysis { globals, procs, locals: all_locals, n_locals: n_locals_all };
+    let analysis = Analysis {
+        globals,
+        procs,
+        locals: all_locals,
+        n_locals: n_locals_all,
+    };
     check_no_recursion(module, &analysis)?;
     Ok(analysis)
 }
@@ -147,14 +161,23 @@ impl<'a> ProcChecker<'a> {
 
     fn check_stmt(&mut self, stmt: &Stmt) -> Result<(), IrError> {
         match stmt {
-            Stmt::VarDecl { name, ty, init, span } => {
+            Stmt::VarDecl {
+                name,
+                ty,
+                init,
+                span,
+            } => {
                 if let Some(e) = init {
                     self.expect_kind(e, kind_of(*ty))?;
                 }
                 self.declare_local(name, *ty, *span)?;
                 Ok(())
             }
-            Stmt::Assign { target, value, span } => {
+            Stmt::Assign {
+                target,
+                value,
+                span,
+            } => {
                 let target_kind = match target {
                     LValue::Var(name) => {
                         if let Some(&(_, ty)) = self.locals.get(name) {
@@ -184,7 +207,12 @@ impl<'a> ProcChecker<'a> {
                 };
                 self.expect_kind(value, target_kind)
             }
-            Stmt::If { cond, then_blk, else_blk, .. } => {
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+                ..
+            } => {
                 self.expect_kind(cond, ValKind::Bool)?;
                 self.check_stmts(then_blk, false)?;
                 self.check_stmts(else_blk, false)
@@ -195,13 +223,12 @@ impl<'a> ProcChecker<'a> {
             }
             Stmt::Return { value, span } => match (&self.proc.ret, value) {
                 (None, None) => Ok(()),
-                (None, Some(_)) => {
-                    Err(sema_err("void procedure cannot return a value", *span))
-                }
+                (None, Some(_)) => Err(sema_err("void procedure cannot return a value", *span)),
                 (Some(ty), Some(e)) => self.expect_kind(e, kind_of(*ty)),
-                (Some(_), None) => {
-                    Err(sema_err("procedure with return type must return a value", *span))
-                }
+                (Some(_), None) => Err(sema_err(
+                    "procedure with return type must return a value",
+                    *span,
+                )),
             },
             Stmt::Expr { expr, .. } => {
                 // Parser guarantees this is a call; void results are fine.
@@ -381,7 +408,12 @@ fn collect_calls_stmts(stmts: &[Stmt], out: &mut Vec<String>) {
                 }
                 collect_calls_expr(value, out);
             }
-            Stmt::If { cond, then_blk, else_blk, .. } => {
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+                ..
+            } => {
                 collect_calls_expr(cond, out);
                 collect_calls_stmts(then_blk, out);
                 collect_calls_stmts(else_blk, out);
@@ -462,7 +494,10 @@ mod tests {
 
     #[test]
     fn rejects_duplicate_proc() {
-        check_err("module M { proc f() {} proc f() {} }", "duplicate procedure");
+        check_err(
+            "module M { proc f() {} proc f() {} }",
+            "duplicate procedure",
+        );
     }
 
     #[test]
@@ -472,7 +507,10 @@ mod tests {
 
     #[test]
     fn rejects_local_shadowing_global() {
-        check_err("module M { var a: u8; proc f() { var a: u8; } }", "shadows a global");
+        check_err(
+            "module M { var a: u8; proc f() { var a: u8; } }",
+            "shadows a global",
+        );
     }
 
     #[test]
@@ -490,27 +528,42 @@ mod tests {
 
     #[test]
     fn rejects_integer_condition() {
-        check_err("module M { proc f(x: u8) { if (x) { } else { } } }", "expected Bool");
+        check_err(
+            "module M { proc f(x: u8) { if (x) { } else { } } }",
+            "expected Bool",
+        );
     }
 
     #[test]
     fn rejects_bool_arithmetic() {
-        check_err("module M { proc f() { var b: bool = true + 1; } }", "expected Int");
+        check_err(
+            "module M { proc f() { var b: bool = true + 1; } }",
+            "expected Int",
+        );
     }
 
     #[test]
     fn rejects_mixed_equality() {
-        check_err("module M { proc f(x: u8) { var b: bool = x == true; } }", "expected Int");
+        check_err(
+            "module M { proc f(x: u8) { var b: bool = x == true; } }",
+            "expected Int",
+        );
     }
 
     #[test]
     fn rejects_unindexed_array_use() {
-        check_err("module M { var b: u8[2]; proc f() { b = 1; } }", "must be indexed");
+        check_err(
+            "module M { var b: u8[2]; proc f() { b = 1; } }",
+            "must be indexed",
+        );
     }
 
     #[test]
     fn rejects_indexing_scalar() {
-        check_err("module M { var s: u8; proc f() { s[0] = 1; } }", "not an array");
+        check_err(
+            "module M { var s: u8; proc f() { s[0] = 1; } }",
+            "not an array",
+        );
     }
 
     #[test]
@@ -519,7 +572,10 @@ mod tests {
             "module M { proc g(x: u8) {} proc f() { g(); } }",
             "expects 1 argument(s), got 0",
         );
-        check_err("module M { proc f() { read_adc(1); } }", "expects 0 argument(s)");
+        check_err(
+            "module M { proc f() { read_adc(1); } }",
+            "expects 0 argument(s)",
+        );
     }
 
     #[test]
@@ -550,7 +606,10 @@ mod tests {
 
     #[test]
     fn rejects_return_type_mismatches() {
-        check_err("module M { proc f() { return 1; } }", "void procedure cannot return");
+        check_err(
+            "module M { proc f() { return 1; } }",
+            "void procedure cannot return",
+        );
         check_err(
             "module M { proc f() -> u8 { return; } }",
             "must return a value",

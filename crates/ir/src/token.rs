@@ -178,13 +178,24 @@ mod tests {
 
     #[test]
     fn span_displays_line_col() {
-        let s = Span { start: 0, end: 1, line: 3, col: 7 };
+        let s = Span {
+            start: 0,
+            end: 1,
+            line: 3,
+            col: 7,
+        };
         assert_eq!(s.to_string(), "3:7");
     }
 
     #[test]
     fn token_display_is_nonempty() {
-        for t in [Tok::Module, Tok::Arrow, Tok::Ident("x".into()), Tok::Int(5), Tok::Eof] {
+        for t in [
+            Tok::Module,
+            Tok::Arrow,
+            Tok::Ident("x".into()),
+            Tok::Int(5),
+            Tok::Eof,
+        ] {
             assert!(!t.to_string().is_empty());
         }
     }

@@ -40,7 +40,9 @@ fn scan_stmts(stmts: &[Stmt], out: &mut HashMap<Span, u64>) {
                 }
                 scan_stmts(body, out);
             }
-            Stmt::If { then_blk, else_blk, .. } => {
+            Stmt::If {
+                then_blk, else_blk, ..
+            } => {
                 scan_stmts(then_blk, out);
                 scan_stmts(else_blk, out);
             }
@@ -52,41 +54,63 @@ fn scan_stmts(stmts: &[Stmt], out: &mut HashMap<Span, u64>) {
 /// Matches the counted pattern; returns the exact trip count.
 fn match_counted(prev: &Stmt, cond: &Expr, body: &[Stmt]) -> Option<u64> {
     // Condition: i < C1 or i <= C1.
-    let ExprKind::Binary(op, lhs, rhs) = &cond.kind else { return None };
+    let ExprKind::Binary(op, lhs, rhs) = &cond.kind else {
+        return None;
+    };
     let inclusive = match op {
         BinOp::Lt => false,
         BinOp::Le => true,
         _ => return None,
     };
-    let ExprKind::Var(var) = &lhs.kind else { return None };
-    let ExprKind::Int(c1) = rhs.kind else { return None };
+    let ExprKind::Var(var) = &lhs.kind else {
+        return None;
+    };
+    let ExprKind::Int(c1) = rhs.kind else {
+        return None;
+    };
 
     // Initialization immediately before the loop.
     let c0 = match prev {
         Stmt::VarDecl { name, init, .. } if name == var => match init {
             None => 0,
-            Some(Expr { kind: ExprKind::Int(v), .. }) => *v,
+            Some(Expr {
+                kind: ExprKind::Int(v),
+                ..
+            }) => *v,
             _ => return None,
         },
-        Stmt::Assign { target: LValue::Var(name), value, .. } if name == var => {
-            match value.kind {
-                ExprKind::Int(v) => v,
-                _ => return None,
-            }
-        }
+        Stmt::Assign {
+            target: LValue::Var(name),
+            value,
+            ..
+        } if name == var => match value.kind {
+            ExprKind::Int(v) => v,
+            _ => return None,
+        },
         _ => return None,
     };
 
     // Increment: the body's last statement is `i = i + STEP`.
-    let Some(Stmt::Assign { target: LValue::Var(name), value, .. }) = body.last() else {
+    let Some(Stmt::Assign {
+        target: LValue::Var(name),
+        value,
+        ..
+    }) = body.last()
+    else {
         return None;
     };
     if name != var {
         return None;
     }
-    let ExprKind::Binary(BinOp::Add, il, ir) = &value.kind else { return None };
-    let ExprKind::Var(iv) = &il.kind else { return None };
-    let ExprKind::Int(step) = ir.kind else { return None };
+    let ExprKind::Binary(BinOp::Add, il, ir) = &value.kind else {
+        return None;
+    };
+    let ExprKind::Var(iv) = &il.kind else {
+        return None;
+    };
+    let ExprKind::Int(step) = ir.kind else {
+        return None;
+    };
     if iv != var || step <= 0 {
         return None;
     }
@@ -111,11 +135,14 @@ fn match_counted(prev: &Stmt, cond: &Expr, body: &[Stmt]) -> Option<u64> {
 
 fn assigns_var(stmts: &[Stmt], var: &str) -> bool {
     stmts.iter().any(|s| match s {
-        Stmt::Assign { target: LValue::Var(name), .. } => name == var,
+        Stmt::Assign {
+            target: LValue::Var(name),
+            ..
+        } => name == var,
         Stmt::VarDecl { name, .. } => name == var,
-        Stmt::If { then_blk, else_blk, .. } => {
-            assigns_var(then_blk, var) || assigns_var(else_blk, var)
-        }
+        Stmt::If {
+            then_blk, else_blk, ..
+        } => assigns_var(then_blk, var) || assigns_var(else_blk, var),
         Stmt::While { body, .. } => assigns_var(body, var),
         _ => false,
     })
@@ -127,8 +154,10 @@ mod tests {
     use crate::parser::parse_module;
 
     fn trips_of(body_src: &str) -> Vec<u64> {
-        let m = parse_module(&format!("module T {{ var g: u32; proc f() {{ {body_src} }} }}"))
-            .unwrap();
+        let m = parse_module(&format!(
+            "module T {{ var g: u32; proc f() {{ {body_src} }} }}"
+        ))
+        .unwrap();
         let mut v: Vec<u64> = counted_whiles(&m.procs[0]).values().copied().collect();
         v.sort_unstable();
         v
@@ -136,14 +165,26 @@ mod tests {
 
     #[test]
     fn basic_counted_loop() {
-        assert_eq!(trips_of("var i: u16 = 0; while (i < 8) { g = g + i; i = i + 1; }"), vec![8]);
+        assert_eq!(
+            trips_of("var i: u16 = 0; while (i < 8) { g = g + i; i = i + 1; }"),
+            vec![8]
+        );
     }
 
     #[test]
     fn inclusive_bound_and_step() {
-        assert_eq!(trips_of("var i: u16 = 0; while (i <= 8) { i = i + 1; }"), vec![9]);
-        assert_eq!(trips_of("var i: u16 = 0; while (i < 10) { i = i + 3; }"), vec![4]);
-        assert_eq!(trips_of("var i: u16 = 2; while (i < 10) { i = i + 2; }"), vec![4]);
+        assert_eq!(
+            trips_of("var i: u16 = 0; while (i <= 8) { i = i + 1; }"),
+            vec![9]
+        );
+        assert_eq!(
+            trips_of("var i: u16 = 0; while (i < 10) { i = i + 3; }"),
+            vec![4]
+        );
+        assert_eq!(
+            trips_of("var i: u16 = 2; while (i < 10) { i = i + 2; }"),
+            vec![4]
+        );
     }
 
     #[test]
@@ -156,12 +197,18 @@ mod tests {
 
     #[test]
     fn default_zero_init_matches() {
-        assert_eq!(trips_of("var i: u16; while (i < 3) { i = i + 1; }"), vec![3]);
+        assert_eq!(
+            trips_of("var i: u16; while (i < 3) { i = i + 1; }"),
+            vec![3]
+        );
     }
 
     #[test]
     fn zero_trip_loop() {
-        assert_eq!(trips_of("var i: u16 = 9; while (i < 5) { i = i + 1; }"), vec![0]);
+        assert_eq!(
+            trips_of("var i: u16 = 9; while (i < 5) { i = i + 1; }"),
+            vec![0]
+        );
     }
 
     #[test]
@@ -180,8 +227,9 @@ mod tests {
     fn data_dependent_loops_are_not_counted() {
         assert!(trips_of("var i: u16 = 0; while (read_adc() < 500) { i = i + 1; }").is_empty());
         // Bound is a variable, not a constant.
-        assert!(trips_of("var n: u16 = 8; var i: u16 = 0; while (i < n) { i = i + 1; }")
-            .is_empty());
+        assert!(
+            trips_of("var n: u16 = 8; var i: u16 = 0; while (i < n) { i = i + 1; }").is_empty()
+        );
     }
 
     #[test]
@@ -199,9 +247,7 @@ mod tests {
 
     #[test]
     fn counted_loop_inside_if_found() {
-        let t = trips_of(
-            "if (g > 1) { var i: u16 = 0; while (i < 4) { i = i + 1; } } else { }",
-        );
+        let t = trips_of("if (g > 1) { var i: u16 = 0; while (i < 4) { i = i + 1; } } else { }");
         assert_eq!(t, vec![4]);
     }
 }

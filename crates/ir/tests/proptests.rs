@@ -13,7 +13,11 @@ fn expr_strategy() -> impl Strategy<Value = String> {
         Just("y".to_string()),
     ];
     leaf.prop_recursive(3, 24, 2, |inner| {
-        (inner.clone(), prop_oneof![Just("+"), Just("*"), Just("-"), Just("&"), Just("^")], inner)
+        (
+            inner.clone(),
+            prop_oneof![Just("+"), Just("*"), Just("-"), Just("&"), Just("^")],
+            inner,
+        )
             .prop_map(|(a, op, b)| format!("({a} {op} {b})"))
     })
 }

@@ -73,7 +73,12 @@ impl AbsorbingAnalysis {
         let fundamental = lu
             .inverse()
             .map_err(|e| ChainError::Numeric(e.to_string()))?;
-        Ok(AbsorbingAnalysis { transient, absorbing, fundamental, r })
+        Ok(AbsorbingAnalysis {
+            transient,
+            absorbing,
+            fundamental,
+            r,
+        })
     }
 
     /// The transient states, in the order used by matrix rows.
@@ -157,11 +162,7 @@ mod tests {
     fn simple() -> Dtmc {
         // state 0 transient: 0.5 → 1 (transient), 0.5 → 2 (absorbing)
         // state 1 transient: 1.0 → 2
-        let p = Matrix::from_rows(&[
-            &[0.0, 0.5, 0.5],
-            &[0.0, 0.0, 1.0],
-            &[0.0, 0.0, 1.0],
-        ]);
+        let p = Matrix::from_rows(&[&[0.0, 0.5, 0.5], &[0.0, 0.0, 1.0], &[0.0, 0.0, 1.0]]);
         Dtmc::new(p).unwrap()
     }
 
@@ -190,11 +191,7 @@ mod tests {
     #[test]
     fn absorption_probs_split_correctly() {
         // 0 → 1 (abs) w.p. 0.3, → 2 (abs) w.p. 0.7.
-        let p = Matrix::from_rows(&[
-            &[0.0, 0.3, 0.7],
-            &[0.0, 1.0, 0.0],
-            &[0.0, 0.0, 1.0],
-        ]);
+        let p = Matrix::from_rows(&[&[0.0, 0.3, 0.7], &[0.0, 1.0, 0.0], &[0.0, 0.0, 1.0]]);
         let chain = Dtmc::new(p).unwrap();
         let a = AbsorbingAnalysis::new(&chain).unwrap();
         let probs = a.absorption_probs(0);
@@ -215,11 +212,7 @@ mod tests {
     #[test]
     fn unreachable_absorption_detected() {
         // States 0,1 cycle forever; 2 absorbs but is unreachable from them.
-        let p = Matrix::from_rows(&[
-            &[0.0, 1.0, 0.0],
-            &[1.0, 0.0, 0.0],
-            &[0.0, 0.0, 1.0],
-        ]);
+        let p = Matrix::from_rows(&[&[0.0, 1.0, 0.0], &[1.0, 0.0, 0.0], &[0.0, 0.0, 1.0]]);
         let chain = Dtmc::new(p).unwrap();
         assert!(matches!(
             AbsorbingAnalysis::new(&chain),

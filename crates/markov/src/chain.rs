@@ -141,12 +141,16 @@ impl Dtmc {
 
     /// Indices of all absorbing states.
     pub fn absorbing_states(&self) -> Vec<usize> {
-        (0..self.len()).filter(|&i| self.is_absorbing_state(i)).collect()
+        (0..self.len())
+            .filter(|&i| self.is_absorbing_state(i))
+            .collect()
     }
 
     /// Indices of all transient (non-absorbing) states.
     pub fn transient_states(&self) -> Vec<usize> {
-        (0..self.len()).filter(|&i| !self.is_absorbing_state(i)).collect()
+        (0..self.len())
+            .filter(|&i| !self.is_absorbing_state(i))
+            .collect()
     }
 
     /// One-step distribution: `row · P` for a distribution over states.
@@ -189,13 +193,19 @@ mod tests {
     #[test]
     fn rejects_bad_row_sum() {
         let p = Matrix::from_rows(&[&[0.3, 0.3], &[0.0, 1.0]]);
-        assert!(matches!(Dtmc::new(p), Err(ChainError::NotStochastic { row: 0, .. })));
+        assert!(matches!(
+            Dtmc::new(p),
+            Err(ChainError::NotStochastic { row: 0, .. })
+        ));
     }
 
     #[test]
     fn rejects_negative_probability() {
         let p = Matrix::from_rows(&[&[-0.1, 1.1], &[0.0, 1.0]]);
-        assert!(matches!(Dtmc::new(p), Err(ChainError::BadProbability { .. })));
+        assert!(matches!(
+            Dtmc::new(p),
+            Err(ChainError::BadProbability { .. })
+        ));
     }
 
     #[test]

@@ -51,7 +51,10 @@ pub fn duration_moments(
         return Err(ChainError::NoAbsorbingStates);
     }
     if chain.is_absorbing_state(start) {
-        return Ok(DurationMoments { mean: rewards[start], variance: 0.0 });
+        return Ok(DurationMoments {
+            mean: rewards[start],
+            variance: 0.0,
+        });
     }
     let transient = chain.transient_states();
     let t = transient.len();
@@ -75,7 +78,9 @@ pub fn duration_moments(
         }
         b1[ti] = acc;
     }
-    let m1 = lu.solve(&b1).map_err(|e| ChainError::Numeric(e.to_string()))?;
+    let m1 = lu
+        .solve(&b1)
+        .map_err(|e| ChainError::Numeric(e.to_string()))?;
 
     // Second moment: (I−Q) s = b₂ where
     // b₂ᵢ = cᵢ² + 2 cᵢ (mᵢ − cᵢ) + Σ_a r_{ia} c_a².
@@ -88,9 +93,14 @@ pub fn duration_moments(
         }
         b2[ti] = acc;
     }
-    let m2 = lu.solve(&b2).map_err(|e| ChainError::Numeric(e.to_string()))?;
+    let m2 = lu
+        .solve(&b2)
+        .map_err(|e| ChainError::Numeric(e.to_string()))?;
 
-    let si = transient.iter().position(|&s| s == start).expect("start is transient");
+    let si = transient
+        .iter()
+        .position(|&s| s == start)
+        .expect("start is transient");
     let mean = m1[si];
     let variance = (m2[si] - mean * mean).max(0.0);
     Ok(DurationMoments { mean, variance })
@@ -157,7 +167,10 @@ pub fn duration_distribution(
         frontier = next;
     }
 
-    Ok(DurationDistribution { pmf: result, truncated_mass: truncated })
+    Ok(DurationDistribution {
+        pmf: result,
+        truncated_mass: truncated,
+    })
 }
 
 /// A (possibly truncated) probability mass function over integer durations.

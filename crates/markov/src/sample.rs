@@ -37,7 +37,9 @@ pub fn sample_run<R: Rng + ?Sized>(
         if chain.is_absorbing_state(cur) {
             return Some(trajectory);
         }
-        let dist = dists[cur].as_ref().expect("transient state has outgoing mass");
+        let dist = dists[cur]
+            .as_ref()
+            .expect("transient state has outgoing mass");
         cur = dist.sample(rng);
         trajectory.push(cur);
     }

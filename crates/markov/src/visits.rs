@@ -94,8 +94,14 @@ mod tests {
         let mut probs = BranchProbs::uniform(&cfg, 0.5);
         probs.set_prob_true(BlockId(1), 0.75); // 3 expected body iterations
         let v = expected_visits(&cfg, &probs).unwrap();
-        assert!((v[1] - 4.0).abs() < 1e-9, "header visited 1/(1-q) times: {v:?}");
-        assert!((v[2] - 3.0).abs() < 1e-9, "body visited q/(1-q) times: {v:?}");
+        assert!(
+            (v[1] - 4.0).abs() < 1e-9,
+            "header visited 1/(1-q) times: {v:?}"
+        );
+        assert!(
+            (v[2] - 3.0).abs() < 1e-9,
+            "body visited q/(1-q) times: {v:?}"
+        );
         assert!((v[3] - 1.0).abs() < 1e-9);
     }
 

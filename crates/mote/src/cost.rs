@@ -148,7 +148,11 @@ pub fn block_costs(proc: &Procedure, model: &dyn CostModel) -> Vec<u64> {
     proc.cfg
         .iter()
         .map(|(id, b)| {
-            let instrs: u64 = proc.block_code(id).iter().map(|i| model.instr_cost(i)).sum();
+            let instrs: u64 = proc
+                .block_code(id)
+                .iter()
+                .map(|i| model.instr_cost(i))
+                .sum();
             let term = match b.term {
                 Terminator::Branch { .. } => model.branch_base(),
                 Terminator::Jump(_) => 0,
@@ -169,9 +173,7 @@ pub fn edge_costs(proc: &Procedure, model: &dyn CostModel, layout: &Layout) -> V
         .iter()
         .map(|e| match layout.transfer_kind(&proc.cfg, e.from, e.to) {
             TransferKind::FallThrough => 0,
-            TransferKind::TakenBranch | TransferKind::TakenBranchOverJump => {
-                pen.taken_branch_extra
-            }
+            TransferKind::TakenBranch | TransferKind::TakenBranchOverJump => pen.taken_branch_extra,
             TransferKind::Jump => pen.jump_cycles,
         })
         .collect()
@@ -207,22 +209,31 @@ mod tests {
         let proc = sample_proc();
         let costs = block_costs(&proc, &AvrCost);
         let bb = proc.cfg.branch_blocks()[0];
-        let instr_sum: u64 =
-            proc.block_code(bb).iter().map(|i| AvrCost.instr_cost(i)).sum();
+        let instr_sum: u64 = proc
+            .block_code(bb)
+            .iter()
+            .map(|i| AvrCost.instr_cost(i))
+            .sum();
         assert_eq!(costs[bb.index()], instr_sum + AvrCost.branch_base());
     }
 
     #[test]
     fn models_differ() {
         let proc = sample_proc();
-        assert_ne!(block_costs(&proc, &AvrCost), block_costs(&proc, &Msp430Cost));
+        assert_ne!(
+            block_costs(&proc, &AvrCost),
+            block_costs(&proc, &Msp430Cost)
+        );
         assert_eq!(AvrCost.name(), "avr");
         assert_eq!(Msp430Cost.name(), "msp430");
     }
 
     #[test]
     fn division_is_expensive() {
-        assert!(AvrCost.instr_cost(&Instr::Binary(BinOp::Div)) > 10 * AvrCost.instr_cost(&Instr::Binary(BinOp::Add)));
+        assert!(
+            AvrCost.instr_cost(&Instr::Binary(BinOp::Div))
+                > 10 * AvrCost.instr_cost(&Instr::Binary(BinOp::Add))
+        );
     }
 
     #[test]

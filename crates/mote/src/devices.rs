@@ -64,7 +64,13 @@ impl SineAdc {
     /// Panics if `period <= 0`.
     pub fn new(center: f64, amplitude: f64, period: f64, noise: f64) -> SineAdc {
         assert!(period > 0.0, "period must be positive");
-        SineAdc { center, amplitude, period, noise, t: 0 }
+        SineAdc {
+            center,
+            amplitude,
+            period,
+            noise,
+            t: 0,
+        }
     }
 }
 
@@ -72,7 +78,11 @@ impl AdcSource for SineAdc {
     fn sample(&mut self, rng: &mut StdRng) -> u16 {
         let phase = 2.0 * std::f64::consts::PI * (self.t as f64) / self.period;
         self.t += 1;
-        let noise = if self.noise > 0.0 { rng.gen_range(-self.noise..=self.noise) } else { 0.0 };
+        let noise = if self.noise > 0.0 {
+            rng.gen_range(-self.noise..=self.noise)
+        } else {
+            0.0
+        };
         let v = self.center + self.amplitude * phase.sin() + noise;
         v.clamp(0.0, 1023.0) as u16
     }
@@ -101,7 +111,13 @@ impl BurstyAdc {
     /// Panics if the probabilities are not in `[0, 1]`.
     pub fn new(quiet: (u16, u16), burst: (u16, u16), p_enter: f64, p_exit: f64) -> BurstyAdc {
         assert!((0.0..=1.0).contains(&p_enter) && (0.0..=1.0).contains(&p_exit));
-        BurstyAdc { quiet, burst, p_enter, p_exit, in_burst: false }
+        BurstyAdc {
+            quiet,
+            burst,
+            p_enter,
+            p_exit,
+            in_burst: false,
+        }
     }
 }
 
@@ -114,7 +130,11 @@ impl AdcSource for BurstyAdc {
         } else if rng.gen_bool(self.p_enter) {
             self.in_burst = true;
         }
-        let (lo, hi) = if self.in_burst { self.burst } else { self.quiet };
+        let (lo, hi) = if self.in_burst {
+            self.burst
+        } else {
+            self.quiet
+        };
         rng.gen_range(lo..=hi)
     }
 }
@@ -159,7 +179,11 @@ pub struct Radio {
 impl Radio {
     /// A lossless radio with an empty receive queue.
     pub fn new() -> Radio {
-        Radio { rx_queue: VecDeque::new(), sent: Vec::new(), loss_prob: 0.0 }
+        Radio {
+            rx_queue: VecDeque::new(),
+            sent: Vec::new(),
+            loss_prob: 0.0,
+        }
     }
 
     /// Enqueues an incoming packet (used by the scheduler's arrival process).

@@ -45,7 +45,10 @@ pub fn profile_invocations(
     let start_cycles = mote.cycles;
     for i in 0..n {
         let args = args_for(i);
-        let mut pair = PairProfiler { a: &mut gt, b: &mut tp };
+        let mut pair = PairProfiler {
+            a: &mut gt,
+            b: &mut tp,
+        };
         mote.call(proc, &args, &mut pair)?;
     }
     Ok(ProfiledRun {
@@ -74,7 +77,10 @@ pub fn profile_events(
     let mut tp = TimingProfiler::new(&program, timer, ts_overhead);
     let start_cycles = mote.cycles;
     {
-        let mut pair = PairProfiler { a: &mut gt, b: &mut tp };
+        let mut pair = PairProfiler {
+            a: &mut gt,
+            b: &mut tp,
+        };
         scheduler.run_events(mote, n_events, &mut pair)?;
     }
     Ok(ProfiledRun {
@@ -158,8 +164,8 @@ mod tests {
             proc: ProcId(0),
             args: vec![],
         });
-        let run = profile_events(&mut mote, &mut sched, 50, VirtualTimer::khz32_at_8mhz(), 0)
-            .unwrap();
+        let run =
+            profile_events(&mut mote, &mut sched, 50, VirtualTimer::khz32_at_8mhz(), 0).unwrap();
         assert_eq!(run.ground_truth.invocations(ProcId(0)), 50);
         assert_eq!(run.samples[0].len(), 50);
     }

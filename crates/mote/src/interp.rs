@@ -127,7 +127,11 @@ impl Mote {
     /// Boots a mote with `program` under `cost_model`, natural (compiler
     /// id-order) layouts, default devices and a fixed RNG seed.
     pub fn new(program: Program, cost_model: Box<dyn CostModel>) -> Mote {
-        let layouts: Vec<Layout> = program.procs.iter().map(|p| Layout::natural(&p.cfg)).collect();
+        let layouts: Vec<Layout> = program
+            .procs
+            .iter()
+            .map(|p| Layout::natural(&p.cfg))
+            .collect();
         Mote::with_layouts(program, cost_model, layouts)
     }
 
@@ -142,9 +146,16 @@ impl Mote {
         cost_model: Box<dyn CostModel>,
         layouts: Vec<Layout>,
     ) -> Mote {
-        assert_eq!(layouts.len(), program.procs.len(), "one layout per procedure");
-        let block_costs: Vec<Vec<u64>> =
-            program.procs.iter().map(|p| block_costs(p, cost_model.as_ref())).collect();
+        assert_eq!(
+            layouts.len(),
+            program.procs.len(),
+            "one layout per procedure"
+        );
+        let block_costs: Vec<Vec<u64>> = program
+            .procs
+            .iter()
+            .map(|p| block_costs(p, cost_model.as_ref()))
+            .collect();
         let edge_costs: Vec<Vec<u64>> = program
             .procs
             .iter()
@@ -202,7 +213,11 @@ impl Mote {
     /// Panics if the layout does not fit the procedure's CFG.
     pub fn set_layout(&mut self, proc: ProcId, layout: Layout) {
         let p = &self.program.procs[proc.index()];
-        assert_eq!(layout.order().len(), p.cfg.len(), "layout does not fit procedure");
+        assert_eq!(
+            layout.order().len(),
+            p.cfg.len(),
+            "layout does not fit procedure"
+        );
         self.edge_costs[proc.index()] = edge_costs(p, self.cost_model.as_ref(), &layout);
         self.layouts[proc.index()] = layout;
     }
@@ -256,7 +271,11 @@ impl Mote {
     ) -> Result<Option<i64>, TrapError> {
         let entry = self.program.procs[proc.index()].cfg.entry();
         if depth >= self.config.call_depth_limit {
-            return Err(TrapError { kind: TrapKind::CallDepthExceeded, proc, block: entry });
+            return Err(TrapError {
+                kind: TrapKind::CallDepthExceeded,
+                proc,
+                block: entry,
+            });
         }
         let (n_params, n_locals, has_ret) = {
             let p = &self.program.procs[proc.index()];
@@ -267,8 +286,7 @@ impl Mote {
         let overhead = profiler.on_proc_enter(proc, self.cycles);
         self.cycles += overhead;
         // Interrupt contamination lands inside the measured window.
-        if self.config.contamination_prob > 0.0
-            && self.rng.gen_bool(self.config.contamination_prob)
+        if self.config.contamination_prob > 0.0 && self.rng.gen_bool(self.config.contamination_prob)
         {
             self.cycles += self.config.contamination_cycles;
         }
@@ -443,9 +461,7 @@ impl Mote {
         stack: &mut Vec<i64>,
         trap: &dyn Fn(TrapKind) -> TrapError,
     ) -> Result<(), TrapError> {
-        let pop = |stack: &mut Vec<i64>| {
-            stack.pop().ok_or_else(|| trap(TrapKind::StackUnderflow))
-        };
+        let pop = |stack: &mut Vec<i64>| stack.pop().ok_or_else(|| trap(TrapKind::StackUnderflow));
         match intr {
             Intrinsic::ReadAdc => {
                 let v = self.devices.adc.sample(&mut self.rng);
@@ -488,8 +504,8 @@ pub fn proc_cfg(mote: &Mote, proc: ProcId) -> &Cfg {
 mod tests {
     use super::*;
     use crate::cost::AvrCost;
-    use crate::trace::{GroundTruthProfiler, NullProfiler, TimingProfiler};
     use crate::timer::VirtualTimer;
+    use crate::trace::{GroundTruthProfiler, NullProfiler, TimingProfiler};
 
     fn boot(src: &str) -> Mote {
         Mote::new(ct_ir::compile_source(src).unwrap(), Box::new(AvrCost))
@@ -517,8 +533,14 @@ mod tests {
             return y;
         } }";
         let mut mote = boot(src);
-        assert_eq!(mote.call(ProcId(0), &[20], &mut NullProfiler).unwrap(), Some(1));
-        assert_eq!(mote.call(ProcId(0), &[5], &mut NullProfiler).unwrap(), Some(2));
+        assert_eq!(
+            mote.call(ProcId(0), &[20], &mut NullProfiler).unwrap(),
+            Some(1)
+        );
+        assert_eq!(
+            mote.call(ProcId(0), &[5], &mut NullProfiler).unwrap(),
+            Some(2)
+        );
     }
 
     #[test]
@@ -530,20 +552,30 @@ mod tests {
             return acc;
         } }";
         let mut mote = boot(src);
-        assert_eq!(mote.call(ProcId(0), &[10], &mut NullProfiler).unwrap(), Some(45));
-        assert_eq!(mote.call(ProcId(0), &[0], &mut NullProfiler).unwrap(), Some(0));
+        assert_eq!(
+            mote.call(ProcId(0), &[10], &mut NullProfiler).unwrap(),
+            Some(45)
+        );
+        assert_eq!(
+            mote.call(ProcId(0), &[0], &mut NullProfiler).unwrap(),
+            Some(0)
+        );
     }
 
     #[test]
     fn globals_persist_across_calls() {
-        let src = "module M { var total: u32; proc bump() -> u32 { total = total + 1; return total; } }";
+        let src =
+            "module M { var total: u32; proc bump() -> u32 { total = total + 1; return total; } }";
         let mut mote = boot(src);
         for expected in 1..=5 {
             let r = mote.call(ProcId(0), &[], &mut NullProfiler).unwrap();
             assert_eq!(r, Some(expected));
         }
         mote.reset_memory();
-        assert_eq!(mote.call(ProcId(0), &[], &mut NullProfiler).unwrap(), Some(1));
+        assert_eq!(
+            mote.call(ProcId(0), &[], &mut NullProfiler).unwrap(),
+            Some(1)
+        );
     }
 
     #[test]
@@ -553,7 +585,10 @@ mod tests {
             proc sumsq(a: u16, b: u16) -> u32 { return sq(a) + sq(b); }
         }";
         let mut mote = boot(src);
-        assert_eq!(mote.call(ProcId(1), &[3, 4], &mut NullProfiler).unwrap(), Some(25));
+        assert_eq!(
+            mote.call(ProcId(1), &[3, 4], &mut NullProfiler).unwrap(),
+            Some(25)
+        );
     }
 
     #[test]
@@ -564,7 +599,10 @@ mod tests {
             return buf[2];
         } }";
         let mut mote = boot(src);
-        assert_eq!(mote.call(ProcId(0), &[8], &mut NullProfiler).unwrap(), Some(6));
+        assert_eq!(
+            mote.call(ProcId(0), &[8], &mut NullProfiler).unwrap(),
+            Some(6)
+        );
     }
 
     #[test]
@@ -573,7 +611,10 @@ mod tests {
         let e = mote.call(ProcId(0), &[0], &mut NullProfiler).unwrap_err();
         assert_eq!(e.kind, TrapKind::DivideByZero);
         // The mote survives the trap.
-        assert_eq!(mote.call(ProcId(0), &[2], &mut NullProfiler).unwrap(), Some(5));
+        assert_eq!(
+            mote.call(ProcId(0), &[2], &mut NullProfiler).unwrap(),
+            Some(5)
+        );
     }
 
     #[test]
@@ -616,15 +657,17 @@ mod tests {
         for &arg in &[20i64, 5] {
             let mut gt = GroundTruthProfiler::new(&program);
             let mut tp = TimingProfiler::new(&program, VirtualTimer::cycle_accurate(), 0);
-            let mut pair = crate::trace::PairProfiler { a: &mut gt, b: &mut tp };
+            let mut pair = crate::trace::PairProfiler {
+                a: &mut gt,
+                b: &mut tp,
+            };
             mote.call(pid, &[arg], &mut pair).unwrap();
             let bc = mote.static_block_costs(pid);
             let ec = mote.static_edge_costs(pid);
             let cfg = &program.procs[0].cfg;
             // Path cost from the exact edge profile.
             let visits = gt.profile(pid).block_visits(cfg, 1);
-            let block_sum: u64 =
-                visits.iter().enumerate().map(|(i, &v)| v * bc[i]).sum();
+            let block_sum: u64 = visits.iter().enumerate().map(|(i, &v)| v * bc[i]).sum();
             let edge_sum: u64 = (0..cfg.edges().len())
                 .map(|i| gt.profile(pid).count(i) * ec[i])
                 .sum();
@@ -676,9 +719,15 @@ mod tests {
             return v;
         } }";
         let mut mote = boot(src);
-        assert_eq!(mote.call(ProcId(0), &[], &mut NullProfiler).unwrap(), Some(9999));
+        assert_eq!(
+            mote.call(ProcId(0), &[], &mut NullProfiler).unwrap(),
+            Some(9999)
+        );
         mote.devices.radio.deliver(42);
-        assert_eq!(mote.call(ProcId(0), &[], &mut NullProfiler).unwrap(), Some(42));
+        assert_eq!(
+            mote.call(ProcId(0), &[], &mut NullProfiler).unwrap(),
+            Some(42)
+        );
     }
 
     #[test]
@@ -747,7 +796,11 @@ mod tests {
 
     #[test]
     fn trap_display_names_location() {
-        let e = TrapError { kind: TrapKind::DivideByZero, proc: ProcId(1), block: BlockId(2) };
+        let e = TrapError {
+            kind: TrapKind::DivideByZero,
+            proc: ProcId(1),
+            block: BlockId(2),
+        };
         assert!(e.to_string().contains("p1"));
         assert!(e.to_string().contains("b2"));
     }

@@ -81,7 +81,10 @@ impl Scheduler {
     ///
     /// Panics if the mean interval is zero.
     pub fn set_rx(&mut self, rx: RxProcess) -> &mut Scheduler {
-        assert!(rx.mean_interval_cycles > 0, "mean interval must be positive");
+        assert!(
+            rx.mean_interval_cycles > 0,
+            "mean interval must be positive"
+        );
         self.next_rx = self.sample_interval(rx.mean_interval_cycles);
         self.rx = Some(rx);
         self
@@ -160,8 +163,7 @@ mod tests {
 
     #[test]
     fn timer_fires_periodically() {
-        let mut mote =
-            boot("module M { var n: u32; proc tick() { n = n + 1; } }");
+        let mut mote = boot("module M { var n: u32; proc tick() { n = n + 1; } }");
         let mut sched = Scheduler::new();
         sched.add_timer(TimerBinding {
             period_cycles: 10_000,
@@ -195,9 +197,8 @@ mod tests {
     #[test]
     fn overrunning_handler_misses_deadlines() {
         // Busy handler (long loop) with a tiny period.
-        let mut mote = boot(
-            "module M { proc busy() { var i: u16 = 0; while (i < 1000) { i = i + 1; } } }",
-        );
+        let mut mote =
+            boot("module M { proc busy() { var i: u16 = 0; while (i < 1000) { i = i + 1; } } }");
         let mut sched = Scheduler::new();
         sched.add_timer(TimerBinding {
             period_cycles: 10,
@@ -249,7 +250,10 @@ mod tests {
             proc: ProcId(0),
             args: vec![],
         });
-        sched.set_rx(RxProcess { mean_interval_cycles: 10_000, payload: (1, 100) });
+        sched.set_rx(RxProcess {
+            mean_interval_cycles: 10_000,
+            payload: (1, 100),
+        });
         sched.run_events(&mut mote, 20, &mut NullProfiler).unwrap();
         let got = mote.globals.load(ct_ir::instr::GlobalId(0));
         // ~10 packets arrive per period on average.
@@ -260,6 +264,8 @@ mod tests {
     #[should_panic(expected = "no timers bound")]
     fn running_without_timers_panics() {
         let mut mote = boot("module M { proc f() {} }");
-        Scheduler::new().run_events(&mut mote, 1, &mut NullProfiler).unwrap();
+        Scheduler::new()
+            .run_events(&mut mote, 1, &mut NullProfiler)
+            .unwrap();
     }
 }

@@ -18,7 +18,10 @@ impl VirtualTimer {
     ///
     /// Panics if `cycles_per_tick == 0`.
     pub fn new(cycles_per_tick: u64) -> VirtualTimer {
-        assert!(cycles_per_tick > 0, "timer resolution must be at least one cycle");
+        assert!(
+            cycles_per_tick > 0,
+            "timer resolution must be at least one cycle"
+        );
         VirtualTimer { cycles_per_tick }
     }
 

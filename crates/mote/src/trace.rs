@@ -64,7 +64,11 @@ impl GroundTruthProfiler {
     /// Shapes a profiler for every procedure of `program`.
     pub fn new(program: &Program) -> GroundTruthProfiler {
         GroundTruthProfiler {
-            profiles: program.procs.iter().map(|p| EdgeProfile::zeroed(&p.cfg)).collect(),
+            profiles: program
+                .procs
+                .iter()
+                .map(|p| EdgeProfile::zeroed(&p.cfg))
+                .collect(),
             invocations: vec![0; program.procs.len()],
         }
     }
@@ -281,7 +285,10 @@ mod tests {
         let p = program();
         let mut gt = GroundTruthProfiler::new(&p);
         let mut tp = TimingProfiler::new(&p, VirtualTimer::cycle_accurate(), 5);
-        let mut pair = PairProfiler { a: &mut gt, b: &mut tp };
+        let mut pair = PairProfiler {
+            a: &mut gt,
+            b: &mut tp,
+        };
         assert_eq!(pair.on_proc_enter(ProcId(0), 0), 5);
         assert_eq!(gt.invocations(ProcId(0)), 1);
     }

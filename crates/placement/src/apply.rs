@@ -9,8 +9,7 @@ use ct_cfg::graph::Cfg;
 use ct_cfg::layout::{Layout, PenaltyModel};
 
 /// Placement strategy selection.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum Strategy {
     /// Pettis–Hansen bottom-up chaining.
     PettisHansen,
@@ -23,7 +22,6 @@ pub enum Strategy {
     #[default]
     Best,
 }
-
 
 /// Computes an optimized layout for one procedure.
 ///
@@ -63,7 +61,11 @@ pub fn place_program(
     penalties: &PenaltyModel,
     strategy: Strategy,
 ) -> Vec<Layout> {
-    assert_eq!(cfgs.len(), edge_freqs.len(), "one frequency vector per procedure");
+    assert_eq!(
+        cfgs.len(),
+        edge_freqs.len(),
+        "one frequency vector per procedure"
+    );
     cfgs.iter()
         .zip(edge_freqs)
         .map(|(cfg, freq)| place_procedure(cfg, freq, penalties, strategy))
@@ -80,8 +82,11 @@ mod tests {
     fn best_strategy_never_loses_to_natural() {
         let cfg = diamond();
         let pen = PenaltyModel::avr();
-        for freq in [[90.0, 10.0, 90.0, 10.0], [10.0, 90.0, 10.0, 90.0], [50.0, 50.0, 50.0, 50.0]]
-        {
+        for freq in [
+            [90.0, 10.0, 90.0, 10.0],
+            [10.0, 90.0, 10.0, 90.0],
+            [50.0, 50.0, 50.0, 50.0],
+        ] {
             let best = place_procedure(&cfg, &freq, &pen, Strategy::Best);
             let c_best = expected_cost(&cfg, &best, &freq, &pen);
             let c_nat = expected_cost(&cfg, &Layout::natural(&cfg), &freq, &pen);

@@ -70,7 +70,11 @@ impl ChainSet {
 
     /// All nonempty chains, preserving creation order.
     pub fn nonempty(&self) -> Vec<&[BlockId]> {
-        self.chains.iter().filter(|c| !c.is_empty()).map(|c| c.as_slice()).collect()
+        self.chains
+            .iter()
+            .filter(|c| !c.is_empty())
+            .map(|c| c.as_slice())
+            .collect()
     }
 }
 
@@ -117,7 +121,11 @@ mod tests {
         let mut cs = ChainSet::singletons(5);
         cs.merge(BlockId(3), BlockId(4));
         cs.merge(BlockId(0), BlockId(3));
-        let mut all: Vec<BlockId> = cs.nonempty().iter().flat_map(|c| c.iter().copied()).collect();
+        let mut all: Vec<BlockId> = cs
+            .nonempty()
+            .iter()
+            .flat_map(|c| c.iter().copied())
+            .collect();
         all.sort();
         assert_eq!(all, (0..5).map(BlockId).collect::<Vec<_>>());
     }

@@ -47,7 +47,11 @@ pub fn expected_cost(
     penalties: &PenaltyModel,
 ) -> ExpectedLayoutCost {
     let edges = cfg.edges();
-    assert_eq!(edge_freq.len(), edges.len(), "one frequency per edge required");
+    assert_eq!(
+        edge_freq.len(),
+        edges.len(),
+        "one frequency per edge required"
+    );
     let mut cost = ExpectedLayoutCost::default();
     for e in &edges {
         let f = edge_freq[e.index];
@@ -120,9 +124,7 @@ mod tests {
         let expected = expected_cost(&cfg, &layout, &freq, &pen);
         assert!((expected.extra_cycles - exact.extra_cycles as f64).abs() < 1e-9);
         assert!((expected.branches_taken - exact.branches_taken as f64).abs() < 1e-9);
-        assert!(
-            (expected.misprediction_rate() - exact.misprediction_rate()).abs() < 1e-12
-        );
+        assert!((expected.misprediction_rate() - exact.misprediction_rate()).abs() < 1e-12);
     }
 
     #[test]
@@ -131,11 +133,8 @@ mod tests {
         let freq = [90.0, 10.0, 90.0, 10.0];
         let pen = PenaltyModel::avr();
         let natural = Layout::natural(&cfg);
-        let hot = Layout::from_order(
-            &cfg,
-            vec![BlockId(0), BlockId(1), BlockId(3), BlockId(2)],
-        )
-        .unwrap();
+        let hot =
+            Layout::from_order(&cfg, vec![BlockId(0), BlockId(1), BlockId(3), BlockId(2)]).unwrap();
         let best = best_layout(&cfg, vec![natural.clone(), hot.clone()], &freq, &pen);
         assert_eq!(best, hot);
     }
@@ -143,7 +142,12 @@ mod tests {
     #[test]
     fn zero_frequencies_cost_nothing() {
         let cfg = diamond();
-        let c = expected_cost(&cfg, &Layout::natural(&cfg), &[0.0; 4], &PenaltyModel::avr());
+        let c = expected_cost(
+            &cfg,
+            &Layout::natural(&cfg),
+            &[0.0; 4],
+            &PenaltyModel::avr(),
+        );
         assert_eq!(c.extra_cycles, 0.0);
         assert_eq!(c.misprediction_rate(), 0.0);
     }

@@ -54,7 +54,11 @@ pub fn pettis_hansen_raw(cfg: &Cfg, edge_weights: &[f64]) -> Layout {
 
 fn ph_with_filter(cfg: &Cfg, edge_weights: &[f64], skip_edge: &[bool]) -> Layout {
     let edges = cfg.edges();
-    assert_eq!(edge_weights.len(), edges.len(), "one weight per edge required");
+    assert_eq!(
+        edge_weights.len(),
+        edges.len(),
+        "one weight per edge required"
+    );
     assert!(!cfg.is_empty(), "empty CFG");
 
     // Hottest-first, deterministic tie-break on edge index.
@@ -98,8 +102,8 @@ fn ph_with_filter(cfg: &Cfg, edge_weights: &[f64], skip_edge: &[bool]) -> Layout
                 .map(|e| {
                     let cf = chains.chain_id(e.from);
                     let ct = chains.chain_id(e.to);
-                    let touches = (placed.contains(&cf) && ct == c)
-                        || (placed.contains(&ct) && cf == c);
+                    let touches =
+                        (placed.contains(&cf) && ct == c) || (placed.contains(&ct) && cf == c);
                     if touches {
                         edge_weights[e.index]
                     } else {
@@ -112,7 +116,10 @@ fn ph_with_filter(cfg: &Cfg, edge_weights: &[f64], skip_edge: &[bool]) -> Layout
             .iter()
             .enumerate()
             .max_by(|(_, &a), (_, &b)| {
-                strength(a).partial_cmp(&strength(b)).expect("not NaN").then(b.cmp(&a))
+                strength(a)
+                    .partial_cmp(&strength(b))
+                    .expect("not NaN")
+                    .then(b.cmp(&a))
             })
             .expect("remaining nonempty");
         placed.push(best);

@@ -29,10 +29,16 @@ pub struct BranchAlignment {
 /// Panics if `edge_freq.len()` differs from the edge count.
 pub fn branch_alignments(cfg: &Cfg, layout: &Layout, edge_freq: &[f64]) -> Vec<BranchAlignment> {
     let edges = cfg.edges();
-    assert_eq!(edge_freq.len(), edges.len(), "one frequency per edge required");
+    assert_eq!(
+        edge_freq.len(),
+        edges.len(),
+        "one frequency per edge required"
+    );
     let mut out = Vec::new();
     for bb in cfg.branch_blocks() {
-        let Terminator::Branch { .. } = cfg.block(bb).term else { unreachable!() };
+        let Terminator::Branch { .. } = cfg.block(bb).term else {
+            unreachable!()
+        };
         let te = edges
             .iter()
             .find(|e| e.from == bb && e.kind == EdgeKind::BranchTrue)

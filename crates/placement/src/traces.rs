@@ -19,9 +19,16 @@ use ct_cfg::layout::Layout;
 /// empty, or `threshold` is not in `[0, 1]`.
 pub fn greedy_traces(cfg: &Cfg, edge_weights: &[f64], threshold: f64) -> Layout {
     let edges = cfg.edges();
-    assert_eq!(edge_weights.len(), edges.len(), "one weight per edge required");
+    assert_eq!(
+        edge_weights.len(),
+        edges.len(),
+        "one weight per edge required"
+    );
     assert!(!cfg.is_empty(), "empty CFG");
-    assert!((0.0..=1.0).contains(&threshold), "threshold must be a fraction");
+    assert!(
+        (0.0..=1.0).contains(&threshold),
+        "threshold must be a fraction"
+    );
 
     let n = cfg.len();
     // Block heat: total incoming + outgoing weight.
@@ -37,7 +44,10 @@ pub fn greedy_traces(cfg: &Cfg, edge_weights: &[f64], threshold: f64) -> Layout 
     // Seed order: the entry first, then blocks hottest-first (stable by id).
     let mut seeds: Vec<usize> = (0..n).collect();
     seeds.sort_by(|&a, &b| {
-        heat[b].partial_cmp(&heat[a]).expect("weights are not NaN").then(a.cmp(&b))
+        heat[b]
+            .partial_cmp(&heat[a])
+            .expect("weights are not NaN")
+            .then(a.cmp(&b))
     });
     seeds.retain(|&b| b != cfg.entry().index());
     seeds.insert(0, cfg.entry().index());

@@ -6,8 +6,7 @@ use ct_cfg::graph::Cfg;
 use ct_cfg::layout::{Layout, PenaltyModel};
 use ct_placement::cost_model::expected_cost;
 use ct_placement::{
-    alignment_rate, greedy_traces, pettis_hansen, place_procedure,
-    Strategy as PlacementStrategy,
+    alignment_rate, greedy_traces, pettis_hansen, place_procedure, Strategy as PlacementStrategy,
 };
 use proptest::prelude::*;
 

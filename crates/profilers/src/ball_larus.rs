@@ -101,7 +101,8 @@ impl BlNumbering {
     /// [`BlError::BadShape`] for invalid/multi-exit graphs,
     /// [`BlError::TooManyPaths`] beyond [`MAX_PATHS`].
     pub fn compute(cfg: &Cfg) -> Result<BlNumbering, BlError> {
-        cfg.validate().map_err(|e| BlError::BadShape(e.to_string()))?;
+        cfg.validate()
+            .map_err(|e| BlError::BadShape(e.to_string()))?;
         let exits = cfg.exit_blocks();
         if exits.len() != 1 {
             return Err(BlError::BadShape(format!("{} exits", exits.len())));
@@ -112,8 +113,7 @@ impl BlNumbering {
         let dom = Dominators::compute(cfg);
         let edges = cfg.edges();
 
-        let is_back: Vec<bool> =
-            edges.iter().map(|e| dom.dominates(e.to, e.from)).collect();
+        let is_back: Vec<bool> = edges.iter().map(|e| dom.dominates(e.to, e.from)).collect();
 
         // DAG adjacency: real non-back edges in edge order, then pseudo
         // edges (latch→EXIT at the latch; ENTRY→header at the entry).
@@ -130,15 +130,22 @@ impl BlNumbering {
         // Pseudo edges, deterministically ordered by the back edge's index.
         for e in &edges {
             if is_back[e.index] {
-                dag[e.from.index()].push(DagEdge { val: 0, target: exit, real_edge: None });
-                dag[entry].push(DagEdge { val: 0, target: e.to.index(), real_edge: None });
+                dag[e.from.index()].push(DagEdge {
+                    val: 0,
+                    target: exit,
+                    real_edge: None,
+                });
+                dag[entry].push(DagEdge {
+                    val: 0,
+                    target: e.to.index(),
+                    real_edge: None,
+                });
             }
         }
 
         // NumPaths via reverse topological order of the DAG.
-        let order = topo_order(&dag, n).ok_or_else(|| {
-            BlError::BadShape("numbering DAG is cyclic (irreducible CFG)".into())
-        })?;
+        let order = topo_order(&dag, n)
+            .ok_or_else(|| BlError::BadShape("numbering DAG is cyclic (irreducible CFG)".into()))?;
         let mut num_paths = vec![0u64; n];
         for &v in order.iter().rev() {
             if v == exit {
@@ -187,7 +194,14 @@ impl BlNumbering {
             }
         }
 
-        Ok(BlNumbering { dag, edge_val, is_back, back_vals, num_paths: total, entry })
+        Ok(BlNumbering {
+            dag,
+            edge_val,
+            is_back,
+            back_vals,
+            num_paths: total,
+            entry,
+        })
     }
 
     /// Total static path count.
@@ -468,7 +482,10 @@ mod tests {
         let mut gt = GroundTruthProfiler::new(&program);
         let mut bl = BallLarusProfiler::new(&program);
         for i in 0..n {
-            let mut pair = PairProfiler { a: &mut gt, b: &mut bl };
+            let mut pair = PairProfiler {
+                a: &mut gt,
+                b: &mut bl,
+            };
             mote.call(ProcId(0), &args(i), &mut pair).unwrap();
         }
         let cfg = &program.procs[0].cfg;
@@ -523,7 +540,8 @@ mod tests {
         )
         .unwrap();
         let mut base = Mote::new(program.clone(), Box::new(AvrCost));
-        base.call(ProcId(0), &[5], &mut ct_mote::trace::NullProfiler).unwrap();
+        base.call(ProcId(0), &[5], &mut ct_mote::trace::NullProfiler)
+            .unwrap();
         let base_cycles = base.cycles;
 
         let mut mote = Mote::new(program.clone(), Box::new(AvrCost));

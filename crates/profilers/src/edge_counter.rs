@@ -33,7 +33,11 @@ impl EdgeCounterProfiler {
     /// Shapes counters for every procedure of `program`.
     pub fn new(program: &Program) -> EdgeCounterProfiler {
         EdgeCounterProfiler {
-            profiles: program.procs.iter().map(|p| EdgeProfile::zeroed(&p.cfg)).collect(),
+            profiles: program
+                .procs
+                .iter()
+                .map(|p| EdgeProfile::zeroed(&p.cfg))
+                .collect(),
             invocations: vec![0; program.procs.len()],
         }
     }
@@ -112,7 +116,9 @@ mod tests {
     fn overhead_is_charged_per_edge() {
         let program = ct_ir::compile_source(SRC).unwrap();
         let mut base_mote = Mote::new(program.clone(), Box::new(AvrCost));
-        base_mote.call(ProcId(0), &[20], &mut ct_mote::trace::NullProfiler).unwrap();
+        base_mote
+            .call(ProcId(0), &[20], &mut ct_mote::trace::NullProfiler)
+            .unwrap();
         let base = base_mote.cycles;
 
         let mut mote = Mote::new(program.clone(), Box::new(AvrCost));

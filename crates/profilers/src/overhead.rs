@@ -28,8 +28,7 @@ impl OverheadReport {
         if self.base_cycles == 0 {
             return 0.0;
         }
-        (self.instrumented_cycles.saturating_sub(self.base_cycles)) as f64
-            / self.base_cycles as f64
+        (self.instrumented_cycles.saturating_sub(self.base_cycles)) as f64 / self.base_cycles as f64
             * 100.0
     }
 }
@@ -84,7 +83,11 @@ pub fn static_costs(program: &Program) -> Vec<(String, u32, u32)> {
             EdgeCounterProfiler::ram_bytes(program),
             EdgeCounterProfiler::flash_bytes(program),
         ),
-        ("ball-larus".into(), bl.ram_bytes(program), bl.flash_bytes(program)),
+        (
+            "ball-larus".into(),
+            bl.ram_bytes(program),
+            bl.flash_bytes(program),
+        ),
         (
             "sampling".into(),
             SamplingProfiler::ram_bytes(program),

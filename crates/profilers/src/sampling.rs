@@ -82,7 +82,11 @@ impl SamplingProfiler {
 
     /// Static RAM cost.
     pub fn ram_bytes(program: &Program) -> u32 {
-        program.procs.iter().map(|p| p.cfg.len() as u32 * SLOT_RAM_BYTES).sum()
+        program
+            .procs
+            .iter()
+            .map(|p| p.cfg.len() as u32 * SLOT_RAM_BYTES)
+            .sum()
     }
 
     /// Static flash cost.
@@ -150,12 +154,18 @@ mod tests {
         let mut mote = Mote::new(program.clone(), Box::new(AvrCost));
         let mut sp = SamplingProfiler::new(&program, 97);
         for i in 0..200 {
-            mote.call(ProcId(0), &[if i % 2 == 0 { 200 } else { 0 }], &mut sp).unwrap();
+            mote.call(ProcId(0), &[if i % 2 == 0 { 200 } else { 0 }], &mut sp)
+                .unwrap();
         }
         assert!(sp.total_samples > 100, "{}", sp.total_samples);
         // The loop body (hot) must dominate the sample histogram.
         let samples = sp.block_samples(ProcId(0));
-        let max_idx = samples.iter().enumerate().max_by_key(|&(_, &s)| s).unwrap().0;
+        let max_idx = samples
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &s)| s)
+            .unwrap()
+            .0;
         let name = &program.procs[0].cfg.block(BlockId(max_idx as u32)).name;
         assert!(
             name.contains("loop"),
@@ -171,7 +181,8 @@ mod tests {
         let mut sp = SamplingProfiler::new(&program, 53);
         // 90% of calls take the loop arm.
         for i in 0..500 {
-            mote.call(ProcId(0), &[if i % 10 == 0 { 0 } else { 200 }], &mut sp).unwrap();
+            mote.call(ProcId(0), &[if i % 10 == 0 { 0 } else { 200 }], &mut sp)
+                .unwrap();
         }
         let cfg = &program.procs[0].cfg;
         let probs = sp.branch_probs(ProcId(0), cfg, &costs);
@@ -185,7 +196,8 @@ mod tests {
     fn isr_overhead_charged() {
         let program = ct_ir::compile_source(SRC).unwrap();
         let mut base = Mote::new(program.clone(), Box::new(AvrCost));
-        base.call(ProcId(0), &[200], &mut ct_mote::trace::NullProfiler).unwrap();
+        base.call(ProcId(0), &[200], &mut ct_mote::trace::NullProfiler)
+            .unwrap();
         let base_cycles = base.cycles;
 
         let mut mote = Mote::new(program.clone(), Box::new(AvrCost));

@@ -1,0 +1,52 @@
+//! Collection strategies: `proptest::collection::vec`.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Anything usable as a element-count specification for [`vec`].
+pub trait IntoSizeRange {
+    /// Lower and inclusive upper bound on the length.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl IntoSizeRange for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self)
+    }
+}
+
+impl IntoSizeRange for core::ops::Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty size range");
+        (self.start, self.end - 1)
+    }
+}
+
+impl IntoSizeRange for core::ops::RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (*self.start(), *self.end())
+    }
+}
+
+/// Generates `Vec`s whose elements come from `element` and whose length is
+/// drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+    let (lo, hi) = size.bounds();
+    VecStrategy { element, lo, hi }
+}
+
+/// Strategy returned by [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    lo: usize,
+    hi: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.lo..=self.hi);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

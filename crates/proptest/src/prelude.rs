@@ -1,0 +1,11 @@
+//! The usual `use proptest::prelude::*;` imports.
+
+pub use crate::collection;
+pub use crate::strategy::{any, Any, BoxedStrategy, Just, Strategy, Union};
+pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+/// Namespace mirror of upstream's `prelude::prop` (e.g. `prop::collection`).
+pub mod prop {
+    pub use crate::collection;
+}

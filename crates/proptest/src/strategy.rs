@@ -1,0 +1,312 @@
+//! Value-generation strategies.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::rc::Rc;
+
+/// A generator of test values. Unlike upstream proptest there is no shrink
+/// tree: a strategy is just a deterministic function of the case RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Type-erases the strategy (cheaply clonable).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Rc::new(self),
+        }
+    }
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a recursive strategy: `recurse` receives the strategy for the
+    /// previous depth level and returns the strategy for composite values.
+    /// Depth is bounded by `depth`; the size hints are accepted for API
+    /// compatibility and ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let mut cur = self.boxed();
+        for _ in 0..depth {
+            let leaf = cur.clone();
+            let composite = recurse(cur).boxed();
+            cur = Union::new(vec![leaf, composite]).boxed();
+        }
+        cur
+    }
+}
+
+/// A type-erased, clonable strategy.
+pub struct BoxedStrategy<T> {
+    inner: Rc<dyn Strategy<Value = T>>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        self.inner.generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice among boxed strategies (built by `prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Wraps a non-empty option list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T: 'static> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let i = rng.gen_range(0..self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+/// Types with a canonical strategy, for [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.gen()
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                rng.gen()
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The canonical strategy for `T` (mirrors `proptest::arbitrary::any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Pattern strings: a regex-lite subset — `[class]{lo,hi}` and `\PC{lo,hi}`
+/// (any printable character) — is interpreted; anything else generates the
+/// pattern itself as a literal.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut StdRng) -> String {
+        match parse_pattern(self) {
+            Some((chars, lo, hi)) => {
+                let len = rng.gen_range(lo..=hi);
+                (0..len)
+                    .map(|_| chars[rng.gen_range(0..chars.len())])
+                    .collect()
+            }
+            None => (*self).to_string(),
+        }
+    }
+}
+
+/// Parses `[class]{lo,hi}` / `\PC{lo,hi}` into (alphabet, lo, hi).
+fn parse_pattern(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+    let (alphabet, rest) = if let Some(rest) = pat.strip_prefix("\\PC") {
+        // \PC: printable characters. ASCII printable plus a few multibyte
+        // code points to exercise UTF-8 handling.
+        let mut chars: Vec<char> = (0x20u8..0x7f).map(char::from).collect();
+        chars.extend(['é', 'λ', '∑', '中']);
+        (chars, rest)
+    } else if let Some(body) = pat.strip_prefix('[') {
+        let close = find_unescaped_close(body)?;
+        let mut chars = Vec::new();
+        let mut it = body[..close].chars();
+        while let Some(c) = it.next() {
+            if c == '\\' {
+                match it.next()? {
+                    'n' => chars.push('\n'),
+                    't' => chars.push('\t'),
+                    'r' => chars.push('\r'),
+                    other => chars.push(other),
+                }
+            } else {
+                chars.push(c);
+            }
+        }
+        if chars.is_empty() {
+            return None;
+        }
+        (chars, &body[close + 1..])
+    } else {
+        return None;
+    };
+    let body = rest.strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = body.split_once(',')?;
+    Some((alphabet, lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+/// Index of the first `]` in `s` not preceded by a backslash.
+fn find_unescaped_close(s: &str) -> Option<usize> {
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b']' => return Some(i),
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pattern_parsing_handles_classes_and_escapes() {
+        let (chars, lo, hi) = parse_pattern("[ab\\n]{2,5}").unwrap();
+        assert_eq!(chars, vec!['a', 'b', '\n']);
+        assert_eq!((lo, hi), (2, 5));
+        let (chars, lo, hi) = parse_pattern("\\PC{0,120}").unwrap();
+        assert!(chars.contains(&'a') && chars.contains(&' '));
+        assert_eq!((lo, hi), (0, 120));
+        assert!(parse_pattern("plain").is_none());
+    }
+
+    #[test]
+    fn string_strategy_respects_length_and_alphabet() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..200 {
+            let s = "[ab]{1,4}".generate(&mut rng);
+            assert!((1..=4).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c == 'a' || c == 'b'));
+        }
+    }
+
+    #[test]
+    fn recursive_strategy_is_bounded() {
+        let leaf = (0u32..10).prop_map(|v| v.to_string());
+        let strat = leaf.prop_recursive(3, 24, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| format!("({a}+{b})"))
+        });
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..100 {
+            let e = strat.generate(&mut rng);
+            // Depth 3 → at most 2^3 leaves → bounded length.
+            assert!(e.len() < 200, "{e}");
+        }
+    }
+}

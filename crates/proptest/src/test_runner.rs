@@ -1,0 +1,35 @@
+//! Test-runner configuration and case outcomes.
+
+/// Why a generated case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// An assertion failed (`prop_assert!` and friends).
+    Fail(String),
+    /// The case was discarded by `prop_assume!`.
+    Reject,
+}
+
+/// Result type of a property body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration (mirrors `proptest::test_runner::ProptestConfig`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        // Upstream defaults to 256; 64 keeps the simulation-heavy suites
+        // fast while still exercising the properties.
+        ProptestConfig { cases: 64 }
+    }
+}

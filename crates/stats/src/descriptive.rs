@@ -43,7 +43,13 @@ impl Summary {
         }
         let n = xs.len();
         let variance = if n >= 2 { m2 / (n as f64 - 1.0) } else { 0.0 };
-        Summary { n, mean, variance, min, max }
+        Summary {
+            n,
+            mean,
+            variance,
+            min,
+            max,
+        }
     }
 
     /// Standard deviation (square root of the unbiased variance).

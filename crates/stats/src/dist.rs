@@ -83,7 +83,10 @@ impl Categorical {
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.gen();
         // Binary search over the cumulative distribution.
-        match self.cumulative.binary_search_by(|c| c.partial_cmp(&u).expect("finite")) {
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("finite"))
+        {
             Ok(i) => (i + 1).min(self.probs.len() - 1),
             Err(i) => i.min(self.probs.len() - 1),
         }

@@ -27,9 +27,19 @@ impl Histogram {
     /// Panics if `bins == 0` or `lo >= hi` or either bound is not finite.
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(bins > 0, "histogram needs at least one bin");
-        assert!(lo.is_finite() && hi.is_finite(), "histogram bounds must be finite");
+        assert!(
+            lo.is_finite() && hi.is_finite(),
+            "histogram bounds must be finite"
+        );
         assert!(lo < hi, "histogram bounds must satisfy lo < hi");
-        Histogram { lo, hi, counts: vec![0; bins], underflow: 0, overflow: 0, total: 0 }
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
     }
 
     /// Creates a histogram sized to the data range of `xs` with `bins` bins,
@@ -39,7 +49,10 @@ impl Histogram {
     ///
     /// Panics if `xs` is empty or `bins == 0`.
     pub fn from_samples(xs: &[f64], bins: usize) -> Self {
-        assert!(!xs.is_empty(), "cannot infer histogram range from empty sample");
+        assert!(
+            !xs.is_empty(),
+            "cannot infer histogram range from empty sample"
+        );
         let mut lo = f64::INFINITY;
         let mut hi = f64::NEG_INFINITY;
         for &x in xs {
@@ -121,7 +134,10 @@ impl Histogram {
         if self.total == 0 {
             return vec![0.0; self.counts.len()];
         }
-        self.counts.iter().map(|&c| c as f64 / self.total as f64).collect()
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
     }
 
     /// Index of the fullest bin, or `None` if no in-range samples.

@@ -34,10 +34,13 @@ pub mod hist;
 pub mod matrix;
 pub mod metrics;
 pub mod nnls;
+pub mod parallel;
+pub mod pmf;
 pub mod solve;
 
 pub use descriptive::Summary;
 pub use hist::Histogram;
 pub use matrix::Matrix;
 pub use nnls::{nnls, NnlsOptions, NnlsSolution};
+pub use parallel::{par_map, thread_count};
 pub use solve::{lstsq, Lu, SolveError};

@@ -8,7 +8,11 @@
 pub fn rmse(estimated: &[f64], truth: &[f64]) -> f64 {
     assert_eq!(estimated.len(), truth.len(), "rmse requires equal lengths");
     assert!(!estimated.is_empty(), "rmse of empty vectors");
-    let sse: f64 = estimated.iter().zip(truth).map(|(a, b)| (a - b) * (a - b)).sum();
+    let sse: f64 = estimated
+        .iter()
+        .zip(truth)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum();
     (sse / estimated.len() as f64).sqrt()
 }
 
@@ -20,7 +24,11 @@ pub fn rmse(estimated: &[f64], truth: &[f64]) -> f64 {
 pub fn mae(estimated: &[f64], truth: &[f64]) -> f64 {
     assert_eq!(estimated.len(), truth.len(), "mae requires equal lengths");
     assert!(!estimated.is_empty(), "mae of empty vectors");
-    let sae: f64 = estimated.iter().zip(truth).map(|(a, b)| (a - b).abs()).sum();
+    let sae: f64 = estimated
+        .iter()
+        .zip(truth)
+        .map(|(a, b)| (a - b).abs())
+        .sum();
     sae / estimated.len() as f64
 }
 
@@ -30,7 +38,11 @@ pub fn mae(estimated: &[f64], truth: &[f64]) -> f64 {
 ///
 /// Panics if the slices differ in length.
 pub fn max_abs_error(estimated: &[f64], truth: &[f64]) -> f64 {
-    assert_eq!(estimated.len(), truth.len(), "max_abs_error requires equal lengths");
+    assert_eq!(
+        estimated.len(),
+        truth.len(),
+        "max_abs_error requires equal lengths"
+    );
     estimated
         .iter()
         .zip(truth)
@@ -49,7 +61,11 @@ pub fn max_abs_error(estimated: &[f64], truth: &[f64]) -> f64 {
 ///
 /// Panics if the slices differ in length.
 pub fn weighted_mae(estimated: &[f64], truth: &[f64], weights: &[f64]) -> f64 {
-    assert_eq!(estimated.len(), truth.len(), "weighted_mae requires equal lengths");
+    assert_eq!(
+        estimated.len(),
+        truth.len(),
+        "weighted_mae requires equal lengths"
+    );
     assert_eq!(estimated.len(), weights.len(), "weights length mismatch");
     let total_w: f64 = weights.iter().sum();
     if total_w <= 0.0 {

@@ -19,7 +19,10 @@ pub struct NnlsOptions {
 
 impl Default for NnlsOptions {
     fn default() -> Self {
-        NnlsOptions { max_iter: None, tol: 1e-10 }
+        NnlsOptions {
+            max_iter: None,
+            tol: 1e-10,
+        }
     }
 }
 
@@ -60,7 +63,10 @@ pub fn nnls(a: &Matrix, b: &[f64], opts: NnlsOptions) -> Result<NnlsSolution, So
     let m = a.rows();
     let n = a.cols();
     if b.len() != m {
-        return Err(SolveError::DimensionMismatch { expected: m, got: b.len() });
+        return Err(SolveError::DimensionMismatch {
+            expected: m,
+            got: b.len(),
+        });
     }
     let max_iter = opts.max_iter.unwrap_or(3 * n.max(1));
 
@@ -82,10 +88,9 @@ pub fn nnls(a: &Matrix, b: &[f64], opts: NnlsOptions) -> Result<NnlsSolution, So
         // Pick the most promising active variable.
         let mut best: Option<(usize, f64)> = None;
         for j in 0..n {
-            if !passive[j] && w[j] > opts.tol
-                && best.is_none_or(|(_, bw)| w[j] > bw) {
-                    best = Some((j, w[j]));
-                }
+            if !passive[j] && w[j] > opts.tol && best.is_none_or(|(_, bw)| w[j] > bw) {
+                best = Some((j, w[j]));
+            }
         }
         let Some((j_star, _)) = best else { break };
         if iterations >= max_iter {
@@ -141,7 +146,11 @@ pub fn nnls(a: &Matrix, b: &[f64], opts: NnlsOptions) -> Result<NnlsSolution, So
 
     let r = residual(&x);
     let residual_norm = r.iter().map(|v| v * v).sum::<f64>().sqrt();
-    Ok(NnlsSolution { x, residual_norm, iterations })
+    Ok(NnlsSolution {
+        x,
+        residual_norm,
+        iterations,
+    })
 }
 
 /// Unconstrained least squares restricted to the columns in `idx`.
@@ -189,12 +198,7 @@ mod tests {
     #[test]
     fn overdetermined_mixture_recovery() {
         // b = 2*col0 + 1*col1 exactly.
-        let a = Matrix::from_rows(&[
-            &[1.0, 2.0],
-            &[2.0, 1.0],
-            &[0.5, 0.5],
-            &[3.0, 0.0],
-        ]);
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0], &[0.5, 0.5], &[3.0, 0.0]]);
         let b = [4.0, 5.0, 1.5, 6.0];
         let sol = nnls(&a, &b, NnlsOptions::default()).unwrap();
         assert!((sol.x[0] - 2.0).abs() < 1e-8, "{:?}", sol);
@@ -213,7 +217,10 @@ mod tests {
     #[test]
     fn respects_iteration_cap() {
         let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
-        let opts = NnlsOptions { max_iter: Some(0), ..Default::default() };
+        let opts = NnlsOptions {
+            max_iter: Some(0),
+            ..Default::default()
+        };
         let sol = nnls(&a, &[1.0, 1.0], opts).unwrap();
         assert_eq!(sol.iterations, 0);
         assert_eq!(sol.x, vec![0.0, 0.0]);

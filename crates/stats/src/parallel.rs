@@ -1,0 +1,139 @@
+//! Scoped-thread parallel map with deterministic result ordering.
+//!
+//! The workspace's sweep loops (EM restarts, per-procedure estimation,
+//! app × configuration benchmark grids) are embarrassingly parallel over
+//! independent inputs. [`par_map`] fans such a batch out over
+//! `std::thread::scope` workers — no external thread-pool dependency — and
+//! returns results **in input order**, so parallel and serial execution are
+//! observably identical.
+//!
+//! The worker count comes from the `CT_THREADS` environment variable when
+//! set (a positive integer; `1` forces the serial path), otherwise from
+//! [`std::thread::available_parallelism`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Parses a `CT_THREADS`-style override. `None` when absent or unparsable.
+fn parse_threads(var: Option<&str>) -> Option<usize> {
+    var.and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
+/// The worker count [`par_map`] uses: `CT_THREADS` when set, else the
+/// machine's available parallelism.
+pub fn thread_count() -> usize {
+    parse_threads(std::env::var("CT_THREADS").ok().as_deref())
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// Maps `f` over `items` on up to [`thread_count`] scoped threads, returning
+/// results in input order.
+///
+/// With one worker (or one item) this is exactly `items.into_iter().map(f)`,
+/// including evaluation order — the property the determinism tests pin down.
+/// A panic in any worker propagates.
+pub fn par_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    par_map_with(thread_count(), items, f)
+}
+
+/// [`par_map`] with an explicit worker count (testable without touching the
+/// process environment).
+pub fn par_map_with<T, U, F>(threads: usize, items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let threads = threads.max(1).min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Work-stealing by atomic index; each result lands in its input's slot,
+    // so output order is independent of scheduling.
+    let next = AtomicUsize::new(0);
+    let inputs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let outputs: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = inputs[i].lock().unwrap().take().expect("item taken once");
+                let result = f(item);
+                *outputs[i].lock().unwrap() = Some(result);
+            });
+        }
+    });
+    outputs
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap().expect("worker filled slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_threads_accepts_positive_integers() {
+        assert_eq!(parse_threads(Some("4")), Some(4));
+        assert_eq!(parse_threads(Some(" 2 ")), Some(2));
+        assert_eq!(parse_threads(Some("0")), None);
+        assert_eq!(parse_threads(Some("abc")), None);
+        assert_eq!(parse_threads(None), None);
+    }
+
+    #[test]
+    fn results_are_in_input_order() {
+        for threads in [1, 2, 4, 7] {
+            let out = par_map_with(threads, (0u64..100).collect(), |x| x * x);
+            let want: Vec<u64> = (0..100).map(|x| x * x).collect();
+            assert_eq!(out, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_agree_on_stateful_work() {
+        // Simulated per-item PRNG work: result depends only on the input.
+        let work = |seed: u64| {
+            let mut state = seed;
+            for _ in 0..1000 {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+            }
+            state
+        };
+        let serial = par_map_with(1, (0u64..64).collect(), work);
+        let parallel = par_map_with(8, (0u64..64).collect(), work);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_and_singleton_batches() {
+        let empty: Vec<u32> = par_map_with(4, Vec::<u32>::new(), |x| x);
+        assert!(empty.is_empty());
+        assert_eq!(par_map_with(4, vec![9u32], |x| x + 1), vec![10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scoped thread panicked")]
+    fn worker_panic_propagates() {
+        let _ = par_map_with(2, vec![1u32, 2, 3, 4], |x| {
+            if x == 3 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

@@ -1,0 +1,214 @@
+//! Flat sparse PMF kernels over integer (cycle-count) support.
+//!
+//! A PMF is a `Vec<(u64, f64)>` sorted by support point with strictly
+//! increasing keys — the representation the time-expanded dynamic programs in
+//! `ct-core` use for per-block duration distributions. The kernels here are
+//! the hot primitives of the inference engine: coalescing raw contribution
+//! lists, pruning sub-epsilon mass, windowed slicing, and windowed
+//! convolution of two PMFs.
+//!
+//! All kernels are allocation-light and branch-predictable: sorted flat
+//! vectors replace the `BTreeMap` frontiers the first implementation used,
+//! which were dominated by pointer-chasing and per-node allocation.
+
+/// One support point: `(value, probability_mass)`.
+pub type Entry = (u64, f64);
+
+/// Sorts `entries` by support point and sums duplicate keys left-to-right
+/// (stable), leaving a strictly-increasing flat PMF.
+///
+/// Left-to-right summation over a stable sort reproduces the summation order
+/// of inserting the entries into a `BTreeMap` in their original order, which
+/// keeps results bit-comparable with the reference implementation.
+pub fn coalesce(entries: &mut Vec<Entry>) {
+    if entries.len() <= 1 {
+        return;
+    }
+    entries.sort_by_key(|&(d, _)| d);
+    let mut w = 0;
+    for r in 1..entries.len() {
+        if entries[r].0 == entries[w].0 {
+            entries[w].1 += entries[r].1;
+        } else {
+            w += 1;
+            entries[w] = entries[r];
+        }
+    }
+    entries.truncate(w + 1);
+}
+
+/// Removes entries with mass below `eps`; returns the total mass removed.
+pub fn prune(entries: &mut Vec<Entry>, eps: f64) -> f64 {
+    let mut truncated = 0.0;
+    entries.retain(|&(_, m)| {
+        if m < eps {
+            truncated += m;
+            false
+        } else {
+            true
+        }
+    });
+    truncated
+}
+
+/// Total probability mass.
+pub fn total_mass(pmf: &[Entry]) -> f64 {
+    pmf.iter().map(|&(_, m)| m).sum()
+}
+
+/// The sub-slice of `pmf` with support in `[lo, hi]` (both inclusive).
+pub fn slice_range(pmf: &[Entry], lo: u64, hi: u64) -> &[Entry] {
+    if lo > hi {
+        return &[];
+    }
+    let start = pmf.partition_point(|&(d, _)| d < lo);
+    let end = pmf.partition_point(|&(d, _)| d <= hi);
+    &pmf[start..end]
+}
+
+/// Windowed convolution with shift: returns the PMF
+/// `h(d) = Σ_t f(t) · g(d − t − shift)` restricted to `d ∈ [lo, hi]`.
+///
+/// This is the per-edge kernel of the Baum–Welch E-step: with `f` the arrival
+/// distribution at an edge's source, `g` the remaining-duration distribution
+/// at its target, and `shift` the source block + edge cycle cost, `h(d)` is
+/// the joint probability that the procedure runs `d` cycles total *and*
+/// crosses the edge (up to the edge probability factor, applied by the
+/// caller).
+///
+/// Strategy: when the window is narrow relative to the number of term pairs,
+/// accumulate into a dense window buffer (O(pairs + width)); otherwise
+/// collect the in-window terms and coalesce (O(pairs · log pairs)).
+pub fn convolve_window(f: &[Entry], g: &[Entry], shift: u64, lo: u64, hi: u64) -> Vec<Entry> {
+    if lo > hi || f.is_empty() || g.is_empty() {
+        return Vec::new();
+    }
+    let width = (hi - lo + 1) as usize;
+    let pairs = f.len().saturating_mul(g.len());
+    if width <= pairs.saturating_mul(4).max(1024) && width <= (1 << 22) {
+        convolve_dense(f, g, shift, lo, hi, width)
+    } else {
+        convolve_sparse(f, g, shift, lo, hi)
+    }
+}
+
+fn convolve_dense(
+    f: &[Entry],
+    g: &[Entry],
+    shift: u64,
+    lo: u64,
+    hi: u64,
+    width: usize,
+) -> Vec<Entry> {
+    let mut buf = vec![0.0f64; width];
+    for &(t, fm) in f {
+        let base = t + shift;
+        if base > hi {
+            continue;
+        }
+        let s_lo = lo.saturating_sub(base);
+        let s_hi = hi - base;
+        for &(s, gm) in slice_range(g, s_lo, s_hi) {
+            buf[(base + s - lo) as usize] += fm * gm;
+        }
+    }
+    buf.iter()
+        .enumerate()
+        .filter(|&(_, &m)| m > 0.0)
+        .map(|(i, &m)| (lo + i as u64, m))
+        .collect()
+}
+
+fn convolve_sparse(f: &[Entry], g: &[Entry], shift: u64, lo: u64, hi: u64) -> Vec<Entry> {
+    let mut terms: Vec<Entry> = Vec::new();
+    for &(t, fm) in f {
+        let base = t + shift;
+        if base > hi {
+            continue;
+        }
+        let s_lo = lo.saturating_sub(base);
+        let s_hi = hi - base;
+        for &(s, gm) in slice_range(g, s_lo, s_hi) {
+            terms.push((base + s, fm * gm));
+        }
+    }
+    coalesce(&mut terms);
+    terms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalesce_sums_duplicates_in_order() {
+        let mut v = vec![(5, 0.25), (3, 0.5), (5, 0.125), (3, 0.1), (7, 0.025)];
+        coalesce(&mut v);
+        assert_eq!(v, vec![(3, 0.6), (5, 0.375), (7, 0.025)]);
+    }
+
+    #[test]
+    fn prune_accounts_truncated_mass() {
+        let mut v = vec![(1, 0.5), (2, 1e-12), (3, 0.5), (4, 2e-12)];
+        let t = prune(&mut v, 1e-9);
+        assert_eq!(v, vec![(1, 0.5), (3, 0.5)]);
+        assert!((t - 3e-12).abs() < 1e-24);
+    }
+
+    #[test]
+    fn slice_range_is_inclusive() {
+        let v = vec![(1, 0.1), (3, 0.2), (5, 0.3), (9, 0.4)];
+        assert_eq!(slice_range(&v, 3, 5), &[(3, 0.2), (5, 0.3)]);
+        assert_eq!(slice_range(&v, 0, 100), &v[..]);
+        assert_eq!(slice_range(&v, 6, 8), &[]);
+        assert_eq!(slice_range(&v, 7, 2), &[]);
+    }
+
+    #[test]
+    fn convolution_matches_naive() {
+        let f = vec![(0, 0.5), (2, 0.3), (10, 0.2)];
+        let g = vec![(1, 0.6), (4, 0.4)];
+        let shift = 3;
+        // Naive full convolution.
+        let mut naive = std::collections::BTreeMap::new();
+        for &(t, fm) in &f {
+            for &(s, gm) in &g {
+                *naive.entry(t + s + shift).or_insert(0.0) += fm * gm;
+            }
+        }
+        for (lo, hi) in [(0u64, 100u64), (4, 9), (8, 8), (0, 0)] {
+            let h = convolve_window(&f, &g, shift, lo, hi);
+            let want: Vec<Entry> = naive
+                .iter()
+                .filter(|&(&d, _)| d >= lo && d <= hi)
+                .map(|(&d, &m)| (d, m))
+                .collect();
+            assert_eq!(h.len(), want.len(), "window [{lo},{hi}]");
+            for (got, exp) in h.iter().zip(&want) {
+                assert_eq!(got.0, exp.0);
+                assert!((got.1 - exp.1).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn dense_and_sparse_paths_agree() {
+        let f: Vec<Entry> = (0..40).map(|i| (i * 7, 1.0 / 40.0)).collect();
+        let g: Vec<Entry> = (0..40).map(|i| (i * 11, 1.0 / 40.0)).collect();
+        let (lo, hi) = (50, 500);
+        let dense = convolve_dense(&f, &g, 5, lo, hi, (hi - lo + 1) as usize);
+        let sparse = convolve_sparse(&f, &g, 5, lo, hi);
+        assert_eq!(dense.len(), sparse.len());
+        for (a, b) in dense.iter().zip(&sparse) {
+            assert_eq!(a.0, b.0);
+            assert!((a.1 - b.1).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty() {
+        assert!(convolve_window(&[], &[(1, 1.0)], 0, 0, 10).is_empty());
+        assert!(convolve_window(&[(1, 1.0)], &[], 0, 0, 10).is_empty());
+        assert!(convolve_window(&[(1, 1.0)], &[(1, 1.0)], 0, 5, 4).is_empty());
+    }
+}

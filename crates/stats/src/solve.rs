@@ -40,7 +40,10 @@ impl fmt::Display for SolveError {
                 write!(f, "matrix is singular at elimination step {step}")
             }
             SolveError::RankDeficient { rank, cols } => {
-                write!(f, "least-squares system is rank deficient ({rank} < {cols})")
+                write!(
+                    f,
+                    "least-squares system is rank deficient ({rank} < {cols})"
+                )
             }
             SolveError::DimensionMismatch { expected, got } => {
                 write!(f, "dimension mismatch: expected {expected}, got {got}")
@@ -90,7 +93,10 @@ impl Lu {
     /// the matrix is not square.
     pub fn factor(a: &Matrix) -> Result<Lu, SolveError> {
         if a.rows() != a.cols() {
-            return Err(SolveError::DimensionMismatch { expected: a.rows(), got: a.cols() });
+            return Err(SolveError::DimensionMismatch {
+                expected: a.rows(),
+                got: a.cols(),
+            });
         }
         let n = a.rows();
         let mut lu = a.clone();
@@ -143,7 +149,10 @@ impl Lu {
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, SolveError> {
         let n = self.lu.rows();
         if b.len() != n {
-            return Err(SolveError::DimensionMismatch { expected: n, got: b.len() });
+            return Err(SolveError::DimensionMismatch {
+                expected: n,
+                got: b.len(),
+            });
         }
         // Forward substitution with permuted b (unit lower-triangular L).
         let mut y = vec![0.0; n];
@@ -175,7 +184,10 @@ impl Lu {
     pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix, SolveError> {
         let n = self.lu.rows();
         if b.rows() != n {
-            return Err(SolveError::DimensionMismatch { expected: n, got: b.rows() });
+            return Err(SolveError::DimensionMismatch {
+                expected: n,
+                got: b.rows(),
+            });
         }
         let mut out = Matrix::zeros(n, b.cols());
         let mut col = vec![0.0; n];
@@ -238,10 +250,16 @@ pub fn lstsq(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, SolveError> {
     let m = a.rows();
     let n = a.cols();
     if b.len() != m {
-        return Err(SolveError::DimensionMismatch { expected: m, got: b.len() });
+        return Err(SolveError::DimensionMismatch {
+            expected: m,
+            got: b.len(),
+        });
     }
     if m < n {
-        return Err(SolveError::DimensionMismatch { expected: n, got: m });
+        return Err(SolveError::DimensionMismatch {
+            expected: n,
+            got: m,
+        });
     }
     let mut r = a.clone();
     let mut qtb = b.to_vec();
@@ -364,14 +382,20 @@ mod tests {
     #[test]
     fn lu_rejects_non_square() {
         let a = Matrix::zeros(2, 3);
-        assert!(matches!(Lu::factor(&a), Err(SolveError::DimensionMismatch { .. })));
+        assert!(matches!(
+            Lu::factor(&a),
+            Err(SolveError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]
     fn lu_rejects_wrong_rhs_length() {
         let a = Matrix::identity(2);
         let lu = Lu::factor(&a).unwrap();
-        assert!(matches!(lu.solve(&[1.0]), Err(SolveError::DimensionMismatch { .. })));
+        assert!(matches!(
+            lu.solve(&[1.0]),
+            Err(SolveError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]
@@ -394,13 +418,19 @@ mod tests {
     #[test]
     fn lstsq_detects_rank_deficiency() {
         let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0], &[1.0, 1.0]]);
-        assert!(matches!(lstsq(&a, &[1.0, 1.0, 1.0]), Err(SolveError::RankDeficient { .. })));
+        assert!(matches!(
+            lstsq(&a, &[1.0, 1.0, 1.0]),
+            Err(SolveError::RankDeficient { .. })
+        ));
     }
 
     #[test]
     fn lstsq_rejects_underdetermined() {
         let a = Matrix::zeros(1, 2);
-        assert!(matches!(lstsq(&a, &[1.0]), Err(SolveError::DimensionMismatch { .. })));
+        assert!(matches!(
+            lstsq(&a, &[1.0]),
+            Err(SolveError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]

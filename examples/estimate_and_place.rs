@@ -31,11 +31,17 @@ fn main() {
     let mut truth = GroundTruthProfiler::new(&program);
     let mut timing = TimingProfiler::new(&program, timer, 0);
     for _ in 0..n {
-        let mut pair = PairProfiler { a: &mut truth, b: &mut timing };
+        let mut pair = PairProfiler {
+            a: &mut truth,
+            b: &mut timing,
+        };
         mote.call(pid, &[], &mut pair).expect("runs clean");
     }
     let cfg = program.procs[pid.index()].cfg.clone();
-    println!("phase 1: profiled {} activations of `{}` by timing alone", n, app.target_proc);
+    println!(
+        "phase 1: profiled {} activations of `{}` by timing alone",
+        n, app.target_proc
+    );
 
     // --- Phase 2: estimate the execution profile from the timings. ------
     let samples = TimingSamples::new(timing.samples(pid).to_vec(), timer.cycles_per_tick());
@@ -47,7 +53,11 @@ fn main() {
         EstimateOptions::default(),
     )
     .expect("estimation succeeds");
-    println!("phase 2: estimated {} branch probabilities ({})", est.probs.len(), est.method);
+    println!(
+        "phase 2: estimated {} branch probabilities ({})",
+        est.probs.len(),
+        est.method
+    );
     let true_probs = truth.branch_probs(pid, &cfg);
     for (i, bb) in est.probs.blocks().iter().enumerate() {
         println!(
@@ -58,8 +68,8 @@ fn main() {
     }
 
     // --- Phase 3: feed the estimate to the code placement pass. ---------
-    let freq = markov::visits::expected_edge_traversals(&cfg, &est.probs)
-        .expect("frequency derivation");
+    let freq =
+        markov::visits::expected_edge_traversals(&cfg, &est.probs).expect("frequency derivation");
     let pen = AvrCost.penalties();
     // Pettis–Hansen chains hot edges into fall-throughs — the
     // misprediction-oriented strategy the paper's claim is about.

@@ -42,7 +42,8 @@ fn main() {
     "#;
 
     let program = code_tomography::ir::compile_source(source).expect("tour compiles");
-    println!("== module `{}`: {} globals, {} procs, {} bytes RAM ==\n",
+    println!(
+        "== module `{}`: {} globals, {} procs, {} bytes RAM ==\n",
         program.name,
         program.globals.len(),
         program.procs.len(),

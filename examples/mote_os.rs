@@ -33,7 +33,10 @@ fn main() {
         proc: on_receive,
         args: vec![],
     });
-    sched.set_rx(RxProcess { mean_interval_cycles: 20_000, payload: (0, 1023) });
+    sched.set_rx(RxProcess {
+        mean_interval_cycles: 20_000,
+        payload: (0, 1023),
+    });
 
     let run = profile_events(&mut mote, &mut sched, 200, VirtualTimer::khz32_at_8mhz(), 0)
         .expect("no traps");
@@ -43,13 +46,19 @@ fn main() {
     let forwarded = mote.globals.load(program.global_id("forwarded").unwrap());
     let dropped = mote.globals.load(program.global_id("dropped").unwrap());
 
-    println!("mote OS demo: 200 timer events on node {}", mote.devices.node_id);
+    println!(
+        "mote OS demo: 200 timer events on node {}",
+        mote.devices.node_id
+    );
     println!("  events run:        {}", sched.events_run);
     println!("  missed deadlines:  {}", sched.missed_deadlines);
     println!("  packets consumed:  {consumed}");
     println!("  packets forwarded: {forwarded}");
     println!("  packets dropped:   {dropped}");
-    println!("  timing samples:    {}", run.samples[on_receive.index()].len());
+    println!(
+        "  timing samples:    {}",
+        run.samples[on_receive.index()].len()
+    );
     println!("  cycles consumed:   {}", run.cycles_used);
 
     assert_eq!(sched.events_run, 200);

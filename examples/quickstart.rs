@@ -48,7 +48,10 @@ fn main() {
     let mut truth = GroundTruthProfiler::new(&program);
     let mut timing = TimingProfiler::new(&program, timer, 0);
     for _ in 0..2000 {
-        let mut pair = PairProfiler { a: &mut truth, b: &mut timing };
+        let mut pair = PairProfiler {
+            a: &mut truth,
+            b: &mut timing,
+        };
         mote.call(pid, &[], &mut pair).expect("runs clean");
     }
 
@@ -68,7 +71,11 @@ fn main() {
     let true_probs = truth.branch_probs(pid, cfg);
     println!("Code Tomography quickstart");
     println!("--------------------------");
-    println!("samples:            {} activations at {} cycles/tick", samples.len(), timer.cycles_per_tick());
+    println!(
+        "samples:            {} activations at {} cycles/tick",
+        samples.len(),
+        timer.cycles_per_tick()
+    );
     println!("method:             {}", est.method);
     for (i, bb) in est.probs.blocks().iter().enumerate() {
         println!(

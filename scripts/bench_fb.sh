@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Benchmarks the inference engine and writes BENCH_fb.json at the repo root.
+#
+# Runs the estimator and mote-simulator Criterion suites (microbench
+# throughput of the forward-backward kernels and the interpreter) plus a
+# wall-clock timing of the full e1_accuracy sweep — the end-to-end number the
+# 0.2.0 engine rework is judged by. CT_THREADS is recorded so single-core vs
+# parallel runs are distinguishable.
+#
+# Usage: scripts/bench_fb.sh            # defaults
+#        CT_THREADS=1 scripts/bench_fb.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=BENCH_fb.json
+THREADS="${CT_THREADS:-$(nproc 2>/dev/null || echo 1)}"
+
+# Keep the microbench budgets modest; override via env for longer runs.
+export CT_BENCH_WARMUP_MS="${CT_BENCH_WARMUP_MS:-200}"
+export CT_BENCH_MEASURE_MS="${CT_BENCH_MEASURE_MS:-500}"
+
+echo "== building (release) =="
+cargo build --release -p ct-bench >/dev/null
+
+bench_lines=""
+for suite in estimators mote_sim; do
+    echo "== cargo bench: $suite =="
+    # The vendored criterion shim prints: "bench: <label> ... <mean_ns> ns/iter (<N> iters)"
+    out=$(cargo bench -p ct-bench --bench "$suite" 2>&1 | grep '^bench:' || true)
+    echo "$out"
+    bench_lines+="$out"$'\n'
+done
+
+echo "== timing e1_accuracy (full sweep) =="
+start_ns=$(date +%s%N)
+cargo run --release -q -p ct-bench --bin e1_accuracy >/dev/null
+end_ns=$(date +%s%N)
+e1_ms=$(( (end_ns - start_ns) / 1000000 ))
+echo "e1_accuracy: ${e1_ms} ms (CT_THREADS=${THREADS})"
+
+{
+    echo '{'
+    echo '  "threads": '"$THREADS"','
+    echo '  "e1_accuracy_wall_ms": '"$e1_ms"','
+    echo '  "kernels": ['
+    # "bench: <label> ... <mean_ns> ns/iter (<N> iters)" -> JSON objects
+    first=1
+    while IFS= read -r line; do
+        [ -z "$line" ] && continue
+        label=$(echo "$line" | sed -E 's/^bench: (.*) \.\.\. .*/\1/')
+        ns=$(echo "$line" | sed -E 's|.* ([0-9]+(\.[0-9]+)?) ns/iter.*|\1|')
+        [ "$first" -eq 0 ] && echo ','
+        first=0
+        printf '    {"kernel": "%s", "mean_ns_per_iter": %s}' "$label" "$ns"
+    done <<< "$bench_lines"
+    echo ''
+    echo '  ]'
+    echo '}'
+} > "$OUT"
+
+echo "== wrote $OUT =="
+cat "$OUT"

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Lint gate: formatting and clippy across the whole workspace, warnings as
+# errors. Run before pushing; CI runs the same two commands.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== OK =="

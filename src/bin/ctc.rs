@@ -18,7 +18,9 @@ use code_tomography::mote::cost::AvrCost;
 use code_tomography::mote::devices::UniformAdc;
 use code_tomography::mote::interp::Mote;
 use code_tomography::mote::timer::VirtualTimer;
-use code_tomography::mote::trace::{GroundTruthProfiler, NullProfiler, PairProfiler, TimingProfiler};
+use code_tomography::mote::trace::{
+    GroundTruthProfiler, NullProfiler, PairProfiler, TimingProfiler,
+};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -150,7 +152,10 @@ fn cmd_estimate(args: &[String]) -> CmdResult {
     let mut truth = GroundTruthProfiler::new(&program);
     let mut timing = TimingProfiler::new(&program, timer, 0);
     for _ in 0..n {
-        let mut pair = PairProfiler { a: &mut truth, b: &mut timing };
+        let mut pair = PairProfiler {
+            a: &mut truth,
+            b: &mut timing,
+        };
         mote.call(pid, &[], &mut pair)?;
     }
 
@@ -163,8 +168,14 @@ fn cmd_estimate(args: &[String]) -> CmdResult {
         let e = estimate(&proc.cfg, bc, ec, &samples, EstimateOptions::default())?;
         (e.probs, e.method.to_string())
     } else {
-        match estimate_unrolled(&proc.cfg, &proc.counted_loops, bc, ec, &samples, Default::default())
-        {
+        match estimate_unrolled(
+            &proc.cfg,
+            &proc.counted_loops,
+            bc,
+            ec,
+            &samples,
+            Default::default(),
+        ) {
             Ok(u) => (u.probs, "em+unroll".to_string()),
             Err(_) => {
                 let e = estimate(&proc.cfg, bc, ec, &samples, EstimateOptions::default())?;
@@ -173,7 +184,10 @@ fn cmd_estimate(args: &[String]) -> CmdResult {
         }
     };
 
-    println!("estimated `{}` from {n} samples at {cpt} cycles/tick ({method}):\n", proc.name);
+    println!(
+        "estimated `{}` from {n} samples at {cpt} cycles/tick ({method}):\n",
+        proc.name
+    );
     let true_probs = truth.branch_probs(pid, &proc.cfg);
     print!(
         "{}",

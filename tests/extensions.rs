@@ -5,7 +5,6 @@ use code_tomography::core::samples::TimingSamples;
 use code_tomography::core::unrolled::estimate_unrolled;
 use code_tomography::mote::cost::AvrCost;
 use code_tomography::mote::energy::EnergyModel;
-use code_tomography::mote::interp::Mote;
 use code_tomography::mote::timer::VirtualTimer;
 use code_tomography::mote::trace::{GroundTruthProfiler, PairProfiler, TimingProfiler};
 
@@ -46,7 +45,10 @@ fn unrolled_estimation_recovers_crc_bit_branch_end_to_end() {
     let mut gt = GroundTruthProfiler::new(&program);
     let mut tp = TimingProfiler::new(&program, VirtualTimer::cycle_accurate(), 0);
     for _ in 0..400 {
-        let mut pair = PairProfiler { a: &mut gt, b: &mut tp };
+        let mut pair = PairProfiler {
+            a: &mut gt,
+            b: &mut tp,
+        };
         mote.call(pid, &[], &mut pair).unwrap();
     }
     let proc = &program.procs[pid.index()];
@@ -74,10 +76,14 @@ fn energy_accounting_tracks_activity() {
     mote.reseed(5);
     let pid = app.target_id(mote.program());
     for _ in 0..64 {
-        mote.call(pid, &[], &mut code_tomography::mote::trace::NullProfiler).unwrap();
+        mote.call(pid, &[], &mut code_tomography::mote::trace::NullProfiler)
+            .unwrap();
     }
     assert_eq!(mote.devices.adc_samples, 64);
-    assert!(!mote.devices.radio.sent.is_empty(), "four flushes should transmit");
+    assert!(
+        !mote.devices.radio.sent.is_empty(),
+        "four flushes should transmit"
+    );
 
     let micaz = EnergyModel::micaz().charge_of(mote.cycles, &mote.devices);
     let telosb = EnergyModel::telosb().charge_of(mote.cycles, &mote.devices);

@@ -1,0 +1,192 @@
+//! Golden-equivalence tests: the flat single-pass forward–backward engine
+//! (`ct_core::fb`) must reproduce the reference `BTreeMap` engine
+//! (`ct_core::fb_reference`) on every app in the registry, to 1e-9.
+//!
+//! The reference runs one independent time-expanded DP per block and rescans
+//! the `f ⊗ g` product per `(sample, edge)` pair; the current engine runs one
+//! reversed-graph propagation for all blocks and one windowed convolution per
+//! edge. Pruning decisions are made against different intermediate merges, so
+//! the suites run at `mass_eps = 1e-12` — any pruning disagreement is then
+//! orders of magnitude below the 1e-9 comparison tolerance.
+
+use ct_cfg::profile::BranchProbs;
+use ct_core::fb::{compute_tables, e_step, FbParams};
+use ct_core::fb_reference;
+use ct_core::samples::TimingSamples;
+use ct_mote::cost::AvrCost;
+
+const TOL: f64 = 1e-9;
+
+fn params() -> FbParams {
+    FbParams {
+        mass_eps: 1e-12,
+        ..FbParams::default()
+    }
+}
+
+/// Deterministic non-uniform branch probabilities, distinct per branch.
+fn probs_for(cfg: &ct_cfg::graph::Cfg) -> BranchProbs {
+    let n = cfg.branch_blocks().len();
+    let values: Vec<f64> = (0..n)
+        .map(|i| 0.15 + 0.7 * (((i * 37) % 100) as f64 / 100.0))
+        .collect();
+    BranchProbs::from_vec(cfg, values)
+}
+
+/// Each registry app's target procedure with its real static costs.
+fn registry_problems() -> Vec<(String, ct_cfg::graph::Cfg, Vec<u64>, Vec<u64>)> {
+    ct_apps::all_apps()
+        .iter()
+        .map(|app| {
+            let mote = app.boot(Box::new(AvrCost));
+            let pid = app.target_id(mote.program());
+            let cfg = mote.program().procs[pid.index()].cfg.clone();
+            let bc = mote.static_block_costs(pid).to_vec();
+            let ec = mote.static_edge_costs(pid).to_vec();
+            (app.name.to_string(), cfg, bc, ec)
+        })
+        .collect()
+}
+
+/// The engines prune against different intermediate merges, so at the tail a
+/// support point can survive in one and not the other; such points must carry
+/// mass below tolerance, and shared points must agree to tolerance.
+fn assert_pmf_close(name: &str, what: &str, new: &[(u64, f64)], old: &[(u64, f64)]) {
+    let to_map = |p: &[(u64, f64)]| {
+        p.iter()
+            .copied()
+            .collect::<std::collections::BTreeMap<_, _>>()
+    };
+    let (mn, mo) = (to_map(new), to_map(old));
+    for (&d, &m) in &mn {
+        let other = mo.get(&d).copied().unwrap_or(0.0);
+        assert!(
+            (m - other).abs() < TOL,
+            "{name}: {what} mass at {d}: {m} vs {other}"
+        );
+    }
+    for (&d, &m) in &mo {
+        if !mn.contains_key(&d) {
+            assert!(
+                m.abs() < TOL,
+                "{name}: {what} point {d} (mass {m}) missing in new engine"
+            );
+        }
+    }
+}
+
+/// Ticks covering the duration distribution at a given timer resolution:
+/// every distinct quantization of the support, with varying multiplicities.
+fn ticks_covering(duration: &[(u64, f64)], cpt: u64) -> TimingSamples {
+    let mut ticks = Vec::new();
+    for (i, &(d, _)) in duration.iter().enumerate().take(40) {
+        let t = d / cpt;
+        for _ in 0..(1 + (i % 4) as u64) {
+            ticks.push(t);
+        }
+        // Exercise the upper quantization cell too.
+        if d % cpt != 0 {
+            ticks.push(t + 1);
+        }
+    }
+    // One impossible observation: both engines must agree on `unexplained`.
+    ticks.push(duration.last().map_or(1, |&(d, _)| d / cpt + 1000));
+    TimingSamples::new(ticks, cpt)
+}
+
+#[test]
+fn tables_match_reference_on_app_registry() {
+    for (name, cfg, bc, ec) in registry_problems() {
+        let probs = probs_for(&cfg);
+        let new = compute_tables(&cfg, &bc, &ec, &probs, params())
+            .unwrap_or_else(|e| panic!("{name}: new engine failed: {e}"));
+        let old = fb_reference::compute_tables(&cfg, &bc, &ec, &probs, params())
+            .unwrap_or_else(|e| panic!("{name}: reference engine failed: {e}"));
+        for b in 0..cfg.len() {
+            assert_pmf_close(
+                &name,
+                &format!("forward[{b}]"),
+                &new.forward[b],
+                &old.forward[b],
+            );
+            assert_pmf_close(
+                &name,
+                &format!("backward[{b}]"),
+                &new.backward[b],
+                &old.backward[b],
+            );
+        }
+        // `truncated` counts mass pruned at engine-specific merge points, so
+        // it is not comparable entry-for-entry — but both must stay tiny.
+        // (The reference runs one DP per block, so it accrues more of it.)
+        assert!(
+            new.truncated < 1e-6,
+            "{name}: new truncated {}",
+            new.truncated
+        );
+        assert!(
+            old.truncated < 1e-5,
+            "{name}: old truncated {}",
+            old.truncated
+        );
+    }
+}
+
+#[test]
+fn e_step_matches_reference_on_app_registry() {
+    for (name, cfg, bc, ec) in registry_problems() {
+        let probs = probs_for(&cfg);
+        let tables = fb_reference::compute_tables(&cfg, &bc, &ec, &probs, params())
+            .unwrap_or_else(|e| panic!("{name}: reference tables failed: {e}"));
+        let duration = tables.duration_pmf(&cfg).clone();
+        assert!(!duration.is_empty(), "{name}: empty duration distribution");
+
+        // Cycle-accurate and two coarse timers.
+        for cpt in [1u64, 8, 64] {
+            let samples = ticks_covering(&duration, cpt);
+            let (new, _) = e_step(&cfg, &bc, &ec, &probs, &samples, params())
+                .unwrap_or_else(|e| panic!("{name}: new e_step failed: {e}"));
+            let (old, _) = fb_reference::e_step(&cfg, &bc, &ec, &probs, &samples, params())
+                .unwrap_or_else(|e| panic!("{name}: reference e_step failed: {e}"));
+
+            let scale = 1.0 + old.loglik.abs();
+            assert!(
+                (new.loglik - old.loglik).abs() < TOL * scale,
+                "{name} cpt={cpt}: loglik {} vs {}",
+                new.loglik,
+                old.loglik
+            );
+            assert_eq!(
+                new.unexplained, old.unexplained,
+                "{name} cpt={cpt}: unexplained"
+            );
+            assert_eq!(new.counts.len(), old.counts.len());
+            for (i, (cn, co)) in new.counts.iter().zip(&old.counts).enumerate() {
+                let scale = 1.0 + co.abs();
+                assert!(
+                    (cn - co).abs() < TOL * scale,
+                    "{name} cpt={cpt}: counts[{i}] {cn} vs {co}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn tables_match_reference_at_default_pruning() {
+    // At the production mass_eps = 1e-9 the engines may prune different
+    // intermediate merges; the total duration distributions must still agree
+    // to well within the pruned mass budget.
+    for (name, cfg, bc, ec) in registry_problems() {
+        let probs = probs_for(&cfg);
+        let p = FbParams::default();
+        let new = compute_tables(&cfg, &bc, &ec, &probs, p).unwrap();
+        let old = fb_reference::compute_tables(&cfg, &bc, &ec, &probs, p).unwrap();
+        let mass_new: f64 = new.duration_pmf(&cfg).iter().map(|&(_, m)| m).sum();
+        let mass_old: f64 = old.duration_pmf(&cfg).iter().map(|&(_, m)| m).sum();
+        assert!(
+            (mass_new - mass_old).abs() < 1e-6,
+            "{name}: duration mass {mass_new} vs {mass_old}"
+        );
+    }
+}

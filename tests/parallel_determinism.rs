@@ -1,0 +1,74 @@
+//! Parallel estimation must be bit-identical to single-threaded estimation.
+//!
+//! `par_map` assigns results to input-order slots, so thread count must never
+//! change what an estimator returns — only how fast. This test mutates the
+//! process-global `CT_THREADS` variable, so it is the ONLY test in this
+//! binary (integration tests in one file share a process).
+
+use ct_core::estimator::{estimate, EstimateOptions};
+use ct_core::samples::TimingSamples;
+use proptest::prelude::*;
+
+fn estimate_with_threads(
+    threads: &str,
+    cfg: &ct_cfg::graph::Cfg,
+    bc: &[u64],
+    ec: &[u64],
+    samples: &TimingSamples,
+) -> (Vec<f64>, Option<u64>, String) {
+    std::env::set_var("CT_THREADS", threads);
+    let est =
+        estimate(cfg, bc, ec, samples, EstimateOptions::default()).expect("estimation succeeds");
+    (
+        est.probs.as_slice().to_vec(),
+        est.loglik.map(f64::to_bits),
+        est.method.to_string(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8 })]
+    #[test]
+    fn thread_count_does_not_change_results(
+        p in 0.1f64..0.9,
+        q in 0.1f64..0.9,
+        n in 60usize..200,
+        seed in 0u64..1_000,
+    ) {
+        // Two-decision diamond chain with exact synthetic samples.
+        let (cfg, bc, ec, _) = ct_apps::synthetic::diamond_chain_problem(2, seed);
+        let truth = ct_cfg::profile::BranchProbs::from_vec(&cfg, vec![p, q]);
+        let chain = ct_markov::chain_from_cfg(&cfg, &truth).expect("valid chain");
+        let edges = cfg.edges();
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let ticks: Vec<u64> = (0..n)
+            .map(|_| {
+                let run = ct_markov::sample_run(&chain, cfg.entry().index(), &mut rng, 10_000)
+                    .expect("absorbing chain");
+                let mut d: u64 = run.iter().map(|&b| bc[b]).sum();
+                for w in run.windows(2) {
+                    let e = edges
+                        .iter()
+                        .find(|e| e.from.index() == w[0] && e.to.index() == w[1])
+                        .expect("edge exists");
+                    d += ec[e.index];
+                }
+                d
+            })
+            .collect();
+        let samples = TimingSamples::new(ticks, 1);
+
+        let serial = estimate_with_threads("1", &cfg, &bc, &ec, &samples);
+        let parallel = estimate_with_threads("4", &cfg, &bc, &ec, &samples);
+        std::env::remove_var("CT_THREADS");
+
+        // Bitwise identity, not approximate equality: the reduction order is
+        // fixed by input-order slots regardless of scheduling.
+        prop_assert_eq!(serial.2, parallel.2, "method changed with thread count");
+        prop_assert_eq!(serial.1, parallel.1, "loglik changed with thread count");
+        prop_assert_eq!(serial.0.len(), parallel.0.len());
+        for (a, b) in serial.0.iter().zip(&parallel.0) {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "branch prob changed");
+        }
+    }
+}

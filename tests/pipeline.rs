@@ -20,7 +20,12 @@ fn profile_app(
     n: usize,
     cpt: u64,
     seed: u64,
-) -> (code_tomography::apps::App, Mote, GroundTruthProfiler, TimingSamples) {
+) -> (
+    code_tomography::apps::App,
+    Mote,
+    GroundTruthProfiler,
+    TimingSamples,
+) {
     let app = code_tomography::apps::app_by_name(name).expect("app exists");
     let mut mote = app.boot(Box::new(AvrCost));
     mote.reseed(seed);
@@ -33,7 +38,10 @@ fn profile_app(
         if let Some(hook) = app.per_call {
             hook(&mut mote, i);
         }
-        let mut pair = PairProfiler { a: &mut gt, b: &mut tp };
+        let mut pair = PairProfiler {
+            a: &mut gt,
+            b: &mut tp,
+        };
         mote.call(pid, &[], &mut pair).expect("app runs");
     }
     let samples = TimingSamples::new(tp.samples(pid).to_vec(), cpt);
@@ -117,7 +125,10 @@ fn estimated_placement_recovers_most_of_true_placement_gain() {
     let from_est = replay(place_procedure(&cfg, &freq_est, &pen, Strategy::Best));
 
     assert!(from_true <= natural, "true-profile placement must not hurt");
-    assert!(from_est <= natural, "estimated-profile placement must not hurt");
+    assert!(
+        from_est <= natural,
+        "estimated-profile placement must not hurt"
+    );
     // The estimated profile captures ≥ 90% of the achievable saving.
     let saving_true = natural - from_true;
     let saving_est = natural - from_est;
@@ -143,7 +154,10 @@ fn ball_larus_equals_ground_truth_on_every_app() {
             if let Some(hook) = app.per_call {
                 hook(&mut mote, i);
             }
-            let mut pair = PairProfiler { a: &mut gt, b: &mut bl };
+            let mut pair = PairProfiler {
+                a: &mut gt,
+                b: &mut bl,
+            };
             mote.call(pid, &[], &mut pair).expect("runs");
         }
         let cfg = &program.procs[pid.index()].cfg;
@@ -187,7 +201,10 @@ fn msp430_model_pipeline_works_too() {
     let mut gt = GroundTruthProfiler::new(&program);
     let mut tp = TimingProfiler::new(&program, VirtualTimer::cycle_accurate(), 0);
     for _ in 0..2000 {
-        let mut pair = PairProfiler { a: &mut gt, b: &mut tp };
+        let mut pair = PairProfiler {
+            a: &mut gt,
+            b: &mut tp,
+        };
         mote.call(pid, &[], &mut pair).unwrap();
     }
     let cfg = &program.procs[pid.index()].cfg;
