@@ -44,6 +44,8 @@ fn estimate_with_model_error(run: &ct_bench::AppRun, delta: f64) -> Option<(Esti
             probs: u.probs,
             method: Method::EmUnrolled,
             iterations: u.iterations,
+            converged: true,
+            final_delta: 0.0,
             loglik: Some(u.loglik),
             unexplained: u.unexplained,
         }

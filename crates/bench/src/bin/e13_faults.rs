@@ -1,0 +1,233 @@
+//! E13 — Robust estimation under measurement-channel faults (Table; extension
+//! experiment).
+//!
+//! The paper's pipeline assumes timing records survive the trip from mote to
+//! base station intact. Real record channels drift, drop, duplicate, reorder,
+//! truncate, and occasionally deliver garbage (all-ones bus reads, wrapped
+//! wrong-order subtractions). This experiment corrupts each app's tick stream
+//! with every `ct-faults` model at increasing rates and compares:
+//!
+//! * **naive** — the repo front door [`ct_core::estimate`]; a hard error
+//!   (e.g. overflowing ticks) falls back to the uniform prior, mirroring a
+//!   deployment with no recovery story; it always feeds placement.
+//! * **ladder** — [`ct_core::estimate_robust`], the graceful-degradation
+//!   ladder (full EM → trimmed EM → moments → prior) with confidence-gated
+//!   placement ([`ct_placement::place_with_confidence`]).
+//!
+//! The 1 MHz timer (8 cycles/tick) is the paper's standard mote resolution:
+//! coarse enough that a tick is a real quantization unit, fine enough that
+//! EM is well identified. Garbled records (bitwise complements, wrapped
+//! subtractions) still land astronomically off-scale, where the validation
+//! gate (naive) or the trimming pre-filter (ladder) must deal with them.
+//!
+//! `E13_SMOKE=1` runs a tiny grid without writing `results/` (for check.sh).
+
+use ct_bench::{f4, par_sweep, penalties, run_app, write_result, Mcu, Table};
+use ct_cfg::graph::Cfg;
+use ct_cfg::layout::{Layout, PenaltyModel};
+use ct_cfg::profile::BranchProbs;
+use ct_core::accuracy::compare;
+use ct_core::estimator::{estimate, estimate_robust, EstimateOptions, RobustOptions};
+use ct_faults::{FaultKind, FaultPlan};
+use ct_mote::timer::VirtualTimer;
+use ct_placement::{place_with_confidence, Strategy, MIN_PLACEMENT_CONFIDENCE};
+
+/// Lays out `cfg` from an estimate, degrading to the natural layout when the
+/// estimate cannot even produce edge frequencies (exit unreachable under a
+/// degenerate probability vector) — placement must never crash the pipeline.
+fn layout_from(cfg: &Cfg, probs: &BranchProbs, confidence: f64, pen: &PenaltyModel) -> Layout {
+    match ct_markov::visits::expected_edge_traversals(cfg, probs) {
+        Ok(freq) => place_with_confidence(
+            cfg,
+            &freq,
+            confidence,
+            MIN_PLACEMENT_CONFIDENCE,
+            pen,
+            Strategy::Best,
+        ),
+        Err(_) => Layout::natural(cfg),
+    }
+}
+
+struct CellResult {
+    row: Vec<String>,
+    kind: FaultKind,
+    rate: f64,
+    naive_wmae: f64,
+    ladder_wmae: f64,
+}
+
+fn main() {
+    let smoke = std::env::var("E13_SMOKE").is_ok();
+    let n = if smoke { 400 } else { 3_000 };
+    let apps: &[&str] = if smoke {
+        &["sense"]
+    } else {
+        &["sense", "event_detect", "oscilloscope"]
+    };
+    let rates: &[f64] = if smoke {
+        &[0.0, 0.5]
+    } else {
+        &[0.0, 0.1, 0.3, 0.5, 1.0]
+    };
+
+    let mut grid = Vec::new();
+    for (ai, &app) in apps.iter().enumerate() {
+        for (ki, kind) in FaultKind::ALL.into_iter().enumerate() {
+            for (ri, &rate) in rates.iter().enumerate() {
+                // Stable per-cell identity: the workload seed is per-app (so
+                // every fault sees the same clean stream and comparisons are
+                // paired) and the plan seed is a pure function of the cell —
+                // independent of sweep order and `CT_THREADS`.
+                let run_seed = 13_000 + ai as u64;
+                let plan_seed = 0x13_0000 + (ai * 1_000 + ki * 10 + ri) as u64;
+                grid.push((app, kind, rate, run_seed, plan_seed));
+            }
+        }
+    }
+
+    let cells = par_sweep(grid, |(name, kind, rate, run_seed, plan_seed)| {
+        let app = ct_apps::app_by_name(name).expect("app exists");
+        let run = run_app(&app, Mcu::Avr, n, VirtualTimer::mhz1_at_8mhz(), 0, run_seed);
+        let faulty = FaultPlan::single(kind, rate, plan_seed)
+            .build()
+            .apply(&run.samples);
+        let cfg = run.cfg();
+
+        // Naive: front door, hard error → uniform prior, always places.
+        let naive = estimate(
+            cfg,
+            &run.block_costs,
+            &run.edge_costs,
+            &faulty,
+            EstimateOptions::default(),
+        )
+        .map(|e| e.probs)
+        .unwrap_or_else(|_| BranchProbs::uniform(cfg, 0.5));
+
+        // Ladder: never fails; carries rung + confidence.
+        let robust = estimate_robust(
+            cfg,
+            &run.block_costs,
+            &run.edge_costs,
+            &faulty,
+            RobustOptions::default(),
+        );
+
+        let naive_acc = compare(cfg, &naive, &run.truth, &run.truth_profile, run.invocations);
+        let ladder_acc = compare(
+            cfg,
+            &robust.estimate.probs,
+            &run.truth,
+            &run.truth_profile,
+            run.invocations,
+        );
+
+        let pen = penalties(Mcu::Avr);
+        let naive_mr = layout_from(cfg, &naive, 1.0, &pen)
+            .evaluate(cfg, &run.truth_profile, &pen)
+            .misprediction_rate();
+        let ladder_mr = layout_from(cfg, &robust.estimate.probs, robust.confidence, &pen)
+            .evaluate(cfg, &run.truth_profile, &pen)
+            .misprediction_rate();
+
+        if std::env::var("E13_DEBUG").is_ok() {
+            for a in &robust.attempts {
+                eprintln!(
+                    "e13-debug: {name} {kind} rate={rate} rung={} accepted={} {}",
+                    a.rung, a.accepted, a.detail
+                );
+            }
+        }
+        eprintln!("e13: {name} {kind} rate={rate} done");
+        CellResult {
+            row: vec![
+                name.to_string(),
+                kind.to_string(),
+                format!("{rate:.1}"),
+                f4(naive_acc.weighted_mae),
+                f4(ladder_acc.weighted_mae),
+                robust.rung.to_string(),
+                format!("{:.2}", robust.confidence),
+                f4(naive_mr),
+                f4(ladder_mr),
+            ],
+            kind,
+            rate,
+            naive_wmae: naive_acc.weighted_mae,
+            ladder_wmae: ladder_acc.weighted_mae,
+        }
+    });
+
+    let mut table = Table::new(vec![
+        "app",
+        "fault",
+        "rate",
+        "naive wmae",
+        "ladder wmae",
+        "rung",
+        "confidence",
+        "naive mispred",
+        "ladder mispred",
+    ]);
+    for c in &cells {
+        table.row(c.row.clone());
+    }
+
+    // Verdict: per fault kind, aggregated over apps and rates ≥ 0.3, the
+    // ladder must beat the naive pipeline strictly.
+    let mut verdict = Table::new(vec![
+        "fault",
+        "naive wmae (rate ≥ 0.3)",
+        "ladder wmae (rate ≥ 0.3)",
+        "ladder wins",
+    ]);
+    let mut failures = Vec::new();
+    for kind in FaultKind::ALL {
+        let hit: Vec<&CellResult> = cells
+            .iter()
+            .filter(|c| c.kind == kind && c.rate >= 0.3)
+            .collect();
+        if hit.is_empty() {
+            continue;
+        }
+        let naive_avg = hit.iter().map(|c| c.naive_wmae).sum::<f64>() / hit.len() as f64;
+        let ladder_avg = hit.iter().map(|c| c.ladder_wmae).sum::<f64>() / hit.len() as f64;
+        let wins = ladder_avg < naive_avg;
+        if !wins {
+            failures.push(format!(
+                "{kind}: ladder {ladder_avg:.4} !< naive {naive_avg:.4}"
+            ));
+        }
+        verdict.row(vec![
+            kind.to_string(),
+            f4(naive_avg),
+            f4(ladder_avg),
+            if wins { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+
+    let out = format!(
+        "# E13 — Naive EM vs degradation ladder under measurement-channel faults\n\n\
+         {n} samples per cell; 1 MHz timer (8 cycles/tick); AVR cost model.\n\
+         Each cell corrupts the clean tick stream with one seeded fault model at\n\
+         the given rate. naive = `estimate()` with hard errors replaced by the\n\
+         uniform prior, placement ungated; ladder = `estimate_robust()` with\n\
+         confidence-gated placement. `mispred` = taken-branch fraction of the\n\
+         resulting layout replayed against ground truth.\n\n{}\n\
+         ## Verdict — mean weighted MAE at fault rates ≥ 0.3\n\n{}",
+        table.to_markdown(),
+        verdict.to_markdown()
+    );
+    println!("{out}");
+    if !smoke {
+        write_result("e13_faults.md", &out);
+        if !failures.is_empty() {
+            eprintln!("e13: ACCEPTANCE FAILED:");
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

@@ -23,6 +23,9 @@ fn main() {
         "rate=5%",
         "rate=10%",
         "unexplained@10%",
+        "em iters@10%",
+        "converged@10%",
+        "final delta@10%",
     ]);
 
     for name in apps {
@@ -30,6 +33,9 @@ fn main() {
         for &isr in &burst_cycles {
             let mut cells = vec![name.to_string(), isr.to_string()];
             let mut last_unexplained = 0;
+            let mut last_iters = 0;
+            let mut last_converged = false;
+            let mut last_delta = 0.0;
             for (i, &rate) in rates.iter().enumerate() {
                 let mut mote = app.boot(Mcu::Avr.cost_model());
                 mote.reseed(6_000 + i as u64);
@@ -38,9 +44,15 @@ fn main() {
                 let run = run_on_mote(&app, &mut mote, n, VirtualTimer::cycle_accurate(), 0);
                 let (est, acc) = estimate_run(&run, EstimateOptions::default());
                 last_unexplained = est.unexplained;
+                last_iters = est.iterations;
+                last_converged = est.converged;
+                last_delta = est.final_delta;
                 cells.push(f4(acc.weighted_mae));
             }
             cells.push(last_unexplained.to_string());
+            cells.push(last_iters.to_string());
+            cells.push(if last_converged { "yes" } else { "no" }.to_string());
+            cells.push(format!("{last_delta:.1e}"));
             table.row(cells);
             eprintln!("e6: {name} isr={isr} done");
         }

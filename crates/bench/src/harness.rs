@@ -126,7 +126,10 @@ pub fn run_on_mote(
         counted_loops: program.procs[pid.index()].counted_loops.clone(),
         block_costs: mote.static_block_costs(pid).to_vec(),
         edge_costs: mote.static_edge_costs(pid).to_vec(),
-        samples: TimingSamples::new(tp.samples(pid).to_vec(), timer.cycles_per_tick()),
+        // `timer` was constructed through `VirtualTimer`, whose invariant is
+        // cycles_per_tick ≥ 1, so the fallible constructor cannot fail here.
+        samples: TimingSamples::try_new(tp.samples(pid).to_vec(), timer.cycles_per_tick())
+            .expect("VirtualTimer guarantees a positive resolution"),
         truth_profile: gt.profile(pid).clone(),
         truth: gt.branch_probs(pid, cfg),
         invocations: gt.invocations(pid),
@@ -184,6 +187,9 @@ pub fn estimate_run(run: &AppRun, opts: EstimateOptions) -> (Estimate, AccuracyR
                 probs: u.probs,
                 method: Method::EmUnrolled,
                 iterations: u.iterations,
+                // The unrolled path only returns Ok on a finished EM run.
+                converged: true,
+                final_delta: 0.0,
                 loglik: Some(u.loglik),
                 unexplained: u.unexplained,
             };

@@ -20,6 +20,7 @@
 //! | `e10_unroll_ablation` | counted-loop unrolling ablation (Table, extension) |
 //! | `e11_model_error` | robustness to block-cost model error (Table, extension) |
 //! | `e12_cross_mcu` | cross-MCU pipeline + energy (Table, extension) |
+//! | `e13_faults` | naive EM vs degradation ladder under channel faults (Table, extension) |
 //!
 //! Each binary prints a markdown table and mirrors it into `results/`.
 //!

@@ -59,11 +59,18 @@ pub struct EmResult {
     pub loglik: f64,
     /// Whether the parameter change fell below tolerance.
     pub converged: bool,
+    /// The last max parameter change observed (the convergence criterion;
+    /// `0.0` when no iteration ran).
+    pub final_delta: f64,
     /// Samples the model could not explain at the final parameters.
     pub unexplained: usize,
     /// Posterior expected traversal counts per edge at the final E-step
     /// (summed over samples; used to fold unrolled-CFG estimates back).
     pub edge_counts: Vec<f64>,
+    /// Whether the likelihood watchdog rewound to an earlier iterate after
+    /// detecting a material likelihood decrease (numerical trouble; the
+    /// returned parameters are the last good iterate).
+    pub rewound: bool,
 }
 
 /// Estimates branch probabilities by EM, starting from the uninformative
@@ -105,29 +112,26 @@ pub fn estimate_em_from(
 ) -> Result<EmResult, FbError> {
     let edges = cfg.edges();
     let branch_blocks = cfg.branch_blocks();
-    // Per branch block: (true edge index, false edge index).
-    let branch_edges: Vec<(usize, usize)> = branch_blocks
-        .iter()
-        .map(|&bb| {
-            let t = edges
+    // Per branch block: (true edge index, false edge index). A branch block
+    // missing either arm is a malformed CFG — a data error, not a bug here.
+    let mut branch_edges: Vec<(usize, usize)> = Vec::with_capacity(branch_blocks.len());
+    for &bb in &branch_blocks {
+        let arm = |kind: EdgeKind| {
+            edges
                 .iter()
-                .find(|e| e.from == bb && e.kind == EdgeKind::BranchTrue)
-                .expect("branch has true edge")
-                .index;
-            let f = edges
-                .iter()
-                .find(|e| e.from == bb && e.kind == EdgeKind::BranchFalse)
-                .expect("branch has false edge")
-                .index;
-            (t, f)
-        })
-        .collect();
+                .find(|e| e.from == bb && e.kind == kind)
+                .map(|e| e.index)
+                .ok_or_else(|| FbError::Shape(format!("branch block {bb} lacks a {kind:?} edge")))
+        };
+        branch_edges.push((arm(EdgeKind::BranchTrue)?, arm(EdgeKind::BranchFalse)?));
+    }
 
     let mut probs = init;
     let mut loglik = f64::NEG_INFINITY;
     let mut unexplained = 0;
     let mut converged = false;
     let mut iterations = 0;
+    let mut final_delta = 0.0;
 
     if branch_blocks.is_empty() || samples.is_empty() {
         // Nothing to estimate; still report the likelihood once.
@@ -137,18 +141,70 @@ pub fn estimate_em_from(
             iterations: 0,
             loglik: exp.loglik,
             converged: true,
+            final_delta: 0.0,
             unexplained: exp.unexplained,
             edge_counts: exp.counts,
+            rewound: false,
         });
     }
 
     let mut edge_counts = vec![0.0; edges.len()];
+    // Watchdog state: the last iterate whose likelihood was finite and
+    // respected EM's ascent guarantee.
+    let mut last_good: Option<(BranchProbs, f64, Vec<f64>, usize)> = None;
     for iter in 0..opts.max_iter {
         iterations = iter + 1;
         let (exp, _) = e_step(cfg, block_costs, edge_costs, &probs, samples, opts.fb)?;
+
+        // NaN/underflow guard: a non-finite likelihood or posterior count
+        // means the DP degenerated; refuse to iterate on garbage.
+        if exp.loglik.is_nan() || exp.counts.iter().any(|c| !c.is_finite()) {
+            match last_good.take() {
+                Some((p, ll, counts, unex)) => {
+                    // Rewind to the last good iterate and stop.
+                    return Ok(EmResult {
+                        probs: p,
+                        iterations,
+                        loglik: ll,
+                        converged: false,
+                        final_delta,
+                        unexplained: unex,
+                        edge_counts: counts,
+                        rewound: true,
+                    });
+                }
+                None => {
+                    return Err(FbError::NonFinite {
+                        iteration: iterations,
+                    })
+                }
+            }
+        }
+
+        // Likelihood-monotonicity watchdog: EM guarantees ascent on the
+        // explained set; a material decrease signals numerical breakdown
+        // (e.g. pruning interacting with near-zero mass). Rewind rather
+        // than diverge. Only comparable while the explained set is stable.
+        let ascent_floor = loglik - 1e-6 * loglik.abs().max(1.0);
+        if iter > 0 && exp.unexplained == unexplained && exp.loglik < ascent_floor {
+            if let Some((p, ll, counts, unex)) = last_good.take() {
+                return Ok(EmResult {
+                    probs: p,
+                    iterations,
+                    loglik: ll,
+                    converged: false,
+                    final_delta,
+                    unexplained: unex,
+                    edge_counts: counts,
+                    rewound: true,
+                });
+            }
+        }
+
         loglik = exp.loglik;
         unexplained = exp.unexplained;
         edge_counts = exp.counts.clone();
+        last_good = Some((probs.clone(), loglik, edge_counts.clone(), unexplained));
 
         let mut max_delta: f64 = 0.0;
         let mut next = probs.clone();
@@ -164,11 +220,13 @@ pub fn estimate_em_from(
                 continue; // branch unreachable under current data
             }
             let theta = (nt / total).clamp(opts.min_prob, 1.0 - opts.min_prob);
-            let old = probs.prob_true(bb).expect("branch block");
+            // `bb` came from `branch_blocks`, so `prob_true` is always Some.
+            let old = probs.prob_true(bb).unwrap_or(0.5);
             max_delta = max_delta.max((theta - old).abs());
             next.set_prob_true(bb, theta);
         }
         probs = next;
+        final_delta = max_delta;
         if max_delta < opts.tol {
             converged = true;
             break;
@@ -180,8 +238,11 @@ pub fn estimate_em_from(
         iterations,
         loglik,
         converged,
+        final_delta,
         unexplained,
         edge_counts,
+        // The watchdog's rewind paths return early above.
+        rewound: false,
     })
 }
 

@@ -1,10 +1,12 @@
-//! The estimator front door: method selection and a uniform result type.
+//! The estimator front door: method selection, a uniform result type, and
+//! the graceful-degradation ladder for samples that crossed a faulty
+//! measurement channel.
 
 use crate::em::EmOptions;
 use crate::fb::FbError;
 use crate::flow_nnls::{estimate_flow, FlowError};
 use crate::moments::{estimate_moments, MomentsError, MomentsOptions};
-use crate::samples::TimingSamples;
+use crate::samples::{SampleIssue, TimingSamples, TrimPolicy};
 use ct_cfg::graph::Cfg;
 use ct_cfg::profile::BranchProbs;
 use std::error::Error;
@@ -72,6 +74,13 @@ pub struct Estimate {
     pub method: Method,
     /// Iterations/sweeps the method used.
     pub iterations: usize,
+    /// Whether the method's own convergence criterion was met (EM: the max
+    /// parameter change fell below tolerance; moments: a sweep stopped
+    /// improving before the cap; flow: always, it is a direct solve).
+    pub converged: bool,
+    /// The final convergence-criterion value (EM: max parameter change of
+    /// the last iteration; other methods report `0.0`).
+    pub final_delta: f64,
     /// Log-likelihood (EM only).
     pub loglik: Option<f64>,
     /// Samples the model could not explain (EM only).
@@ -81,7 +90,11 @@ pub struct Estimate {
 /// Estimation failure.
 #[derive(Debug, Clone, PartialEq)]
 pub enum EstimateError {
-    /// EM failed.
+    /// The input sample set was unusable (zero resolution, empty, or
+    /// overflowing tick values).
+    InvalidSamples(SampleIssue),
+    /// EM failed (support explosion, shape mismatch, or the non-finite
+    /// likelihood watchdog with no good iterate to rewind to).
     Em(FbError),
     /// Moments failed.
     Moments(MomentsError),
@@ -92,6 +105,7 @@ pub enum EstimateError {
 impl fmt::Display for EstimateError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            EstimateError::InvalidSamples(i) => write!(f, "invalid samples: {i}"),
             EstimateError::Em(e) => write!(f, "em estimator: {e}"),
             EstimateError::Moments(e) => write!(f, "moments estimator: {e}"),
             EstimateError::Flow(e) => write!(f, "flow estimator: {e}"),
@@ -100,6 +114,12 @@ impl fmt::Display for EstimateError {
 }
 
 impl Error for EstimateError {}
+
+impl From<SampleIssue> for EstimateError {
+    fn from(issue: SampleIssue) -> EstimateError {
+        EstimateError::InvalidSamples(issue)
+    }
+}
 
 /// Estimates a procedure's branch probabilities from end-to-end timing
 /// samples — the Code Tomography entry point.
@@ -136,6 +156,12 @@ pub fn estimate(
     samples: &TimingSamples,
     opts: EstimateOptions,
 ) -> Result<Estimate, EstimateError> {
+    // Overflowing ticks would poison every downstream sum; reject up front.
+    // Empty samples keep their method-specific semantics (EM reports the
+    // prior, moments/flow error out).
+    if let Err(issue @ SampleIssue::TickOverflow { .. }) = samples.validate() {
+        return Err(issue.into());
+    }
     match opts.method {
         Some(Method::Em) | Some(Method::EmUnrolled) => {
             run_em(cfg, block_costs, edge_costs, samples, opts).map_err(EstimateError::Em)
@@ -150,6 +176,8 @@ pub fn estimate(
                 probs: r.probs,
                 method: Method::FlowMean,
                 iterations: 1,
+                converged: true,
+                final_delta: 0.0,
                 loglik: None,
                 unexplained: 0,
             })
@@ -235,12 +263,18 @@ fn run_em(
     }
     let r = match best {
         Some(r) => r,
-        None => return Err(last_err.expect("at least one attempt ran")),
+        // `inits` is non-empty (the warm start is always pushed), so when no
+        // attempt succeeded at least one error was recorded.
+        None => {
+            return Err(last_err.unwrap_or(FbError::Shape("no EM attempt ran".into())));
+        }
     };
     Ok(Estimate {
         probs: r.probs,
         method: Method::Em,
         iterations: r.iterations,
+        converged: r.converged,
+        final_delta: r.final_delta,
         loglik: Some(r.loglik),
         unexplained: r.unexplained,
     })
@@ -258,9 +292,339 @@ fn run_moments(
         probs: r.probs,
         method: Method::Moments,
         iterations: r.sweeps,
+        // The coordinate descent stops early only when a full sweep made no
+        // progress; hitting the cap means it was still moving.
+        converged: r.sweeps < opts.moments.sweeps,
+        final_delta: 0.0,
         loglik: None,
         unexplained: 0,
     })
+}
+
+/// One rung of the graceful-degradation ladder, strongest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rung {
+    /// Exact EM on the full (validated) sample set.
+    FullEm,
+    /// EM after robust outlier trimming.
+    TrimmedEm,
+    /// Method-of-moments on the trimmed samples.
+    Moments,
+    /// The static uniform prior — always answers, carries no information.
+    Prior,
+}
+
+impl fmt::Display for Rung {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Rung::FullEm => "full-em",
+            Rung::TrimmedEm => "trimmed-em",
+            Rung::Moments => "moments",
+            Rung::Prior => "prior",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Why one rung of the ladder was rejected (or how it answered).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RungAttempt {
+    /// The rung tried.
+    pub rung: Rung,
+    /// Whether its answer was accepted.
+    pub accepted: bool,
+    /// Human-readable outcome: the acceptance diagnostics or the rejection
+    /// reason.
+    pub detail: String,
+}
+
+/// Policy knobs for [`estimate_robust`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RobustOptions {
+    /// Base estimation configuration for the EM/moments rungs.
+    pub base: EstimateOptions,
+    /// Largest tolerated fraction of samples the EM likelihood rejects as
+    /// impossible before the rung's answer is considered untrustworthy.
+    pub max_unexplained: f64,
+    /// Slack on EM's own convergence flag: a run that stopped at the
+    /// iteration cap still counts as settled when its last parameter change
+    /// is below this. Coarse timers produce likelihood plateaus where EM
+    /// keeps polishing long after the answer has stabilized; rejecting those
+    /// runs would discard a good estimate for an optimizer technicality.
+    pub max_final_delta: f64,
+    /// Outlier-trimming policy of the `TrimmedEm`/`Moments` rungs.
+    pub trim: TrimPolicy,
+    /// Largest tolerated fraction of samples removed by trimming before the
+    /// trimmed rungs are considered to be estimating a different workload.
+    pub max_trimmed: f64,
+}
+
+impl Default for RobustOptions {
+    fn default() -> Self {
+        RobustOptions {
+            base: EstimateOptions::default(),
+            max_unexplained: 0.10,
+            max_final_delta: 1e-3,
+            trim: TrimPolicy::default(),
+            max_trimmed: 0.60,
+        }
+    }
+}
+
+/// A ladder estimate: the answer plus which rung produced it and why the
+/// stronger rungs did not.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustEstimate {
+    /// The accepted estimate.
+    pub estimate: Estimate,
+    /// The rung that answered.
+    pub rung: Rung,
+    /// Placement-facing confidence in `[0, 1]`: scaled down each rung and by
+    /// the unexplained-sample fraction. `0.0` means "the prior — do not act
+    /// on this".
+    pub confidence: f64,
+    /// Samples removed by trimming before the accepted rung ran (0 for
+    /// `FullEm`/`Prior`).
+    pub trimmed: usize,
+    /// Every rung tried, in order, with its outcome.
+    pub attempts: Vec<RungAttempt>,
+}
+
+/// Estimates branch probabilities through a degraded measurement channel by
+/// walking the ladder **full EM → trimmed EM → moments → static prior**,
+/// accepting the first rung whose answer passes its health checks.
+///
+/// Unlike [`estimate`], this never fails and never panics on hostile sample
+/// sets (stuck-at ticks, merged windows, truncated batches …): every defect
+/// either trims away or degrades the answer — the final rung is the uniform
+/// prior with zero confidence, which downstream placement treats as "keep
+/// the natural layout".
+pub fn estimate_robust(
+    cfg: &Cfg,
+    block_costs: &[u64],
+    edge_costs: &[u64],
+    samples: &TimingSamples,
+    opts: RobustOptions,
+) -> RobustEstimate {
+    let mut attempts = Vec::new();
+    let n = samples.len();
+
+    // Rung 1: full EM on validated samples.
+    if let Ok(r) = try_em_rung(
+        Rung::FullEm,
+        cfg,
+        block_costs,
+        edge_costs,
+        samples,
+        0,
+        &opts,
+        &mut attempts,
+    ) {
+        return r;
+    }
+
+    // Rung 2: EM on robustly trimmed samples. When this rung fails because
+    // the *trimmed* data still cannot be reconciled with the timing model
+    // (unexplained fraction over budget, or trimming would have to discard
+    // most of the batch), the moments rung is poisoned too: means and
+    // variances of data the model cannot explain measure the corruption, not
+    // the program, and a confident wrong answer is worse than the prior.
+    let (trimmed, dropped) = samples.trimmed(opts.trim);
+    let trim_frac = if n == 0 {
+        0.0
+    } else {
+        dropped as f64 / n as f64
+    };
+    let moments_poisoned;
+    if trim_frac > opts.max_trimmed {
+        attempts.push(RungAttempt {
+            rung: Rung::TrimmedEm,
+            accepted: false,
+            detail: format!(
+                "trimming removed {:.0}% of samples (> {:.0}% budget)",
+                100.0 * trim_frac,
+                100.0 * opts.max_trimmed
+            ),
+        });
+        moments_poisoned = true;
+    } else {
+        match try_em_rung(
+            Rung::TrimmedEm,
+            cfg,
+            block_costs,
+            edge_costs,
+            &trimmed,
+            dropped,
+            &opts,
+            &mut attempts,
+        ) {
+            Ok(r) => return r,
+            Err(rejection) => moments_poisoned = matches!(rejection, EmRejection::Inconsistent),
+        }
+    }
+
+    // Rung 3: moments on the trimmed samples (mean/variance only — outlier
+    // clipping is essential before trusting second moments). Routed through
+    // the front door so the overflow gate still applies.
+    if moments_poisoned {
+        attempts.push(RungAttempt {
+            rung: Rung::Moments,
+            accepted: false,
+            detail: "skipped: trimmed samples are inconsistent with the timing model, \
+                     so their moments are untrustworthy"
+                .into(),
+        });
+    } else {
+        let forced_moments = EstimateOptions {
+            method: Some(Method::Moments),
+            ..opts.base
+        };
+        match estimate(cfg, block_costs, edge_costs, &trimmed, forced_moments) {
+            Ok(est) => {
+                attempts.push(RungAttempt {
+                    rung: Rung::Moments,
+                    accepted: true,
+                    detail: format!("sweeps={}", est.iterations),
+                });
+                let confidence = 0.4 * (1.0 - trim_frac);
+                return RobustEstimate {
+                    estimate: est,
+                    rung: Rung::Moments,
+                    confidence,
+                    trimmed: dropped,
+                    attempts,
+                };
+            }
+            Err(e) => attempts.push(RungAttempt {
+                rung: Rung::Moments,
+                accepted: false,
+                detail: e.to_string(),
+            }),
+        }
+    }
+
+    // Rung 4: the static prior always answers.
+    attempts.push(RungAttempt {
+        rung: Rung::Prior,
+        accepted: true,
+        detail: "uniform branch probabilities".into(),
+    });
+    RobustEstimate {
+        estimate: Estimate {
+            probs: BranchProbs::uniform(cfg, 0.5),
+            method: Method::Moments,
+            iterations: 0,
+            converged: true,
+            final_delta: 0.0,
+            loglik: None,
+            unexplained: 0,
+        },
+        rung: Rung::Prior,
+        confidence: 0.0,
+        trimmed: dropped,
+        attempts,
+    }
+}
+
+/// Why an EM rung declined to answer.
+enum EmRejection {
+    /// The samples are irreconcilable with the timing model (unexplained
+    /// fraction over budget): summary statistics of the same data are
+    /// untrustworthy too.
+    Inconsistent,
+    /// A mechanical failure (no convergence, support explosion, bad input):
+    /// weaker summaries may still extract something.
+    Other,
+}
+
+/// Runs one EM rung and applies its health checks; `Ok` when accepted.
+#[allow(clippy::too_many_arguments)]
+fn try_em_rung(
+    rung: Rung,
+    cfg: &Cfg,
+    block_costs: &[u64],
+    edge_costs: &[u64],
+    samples: &TimingSamples,
+    dropped: usize,
+    opts: &RobustOptions,
+    attempts: &mut Vec<RungAttempt>,
+) -> Result<RobustEstimate, EmRejection> {
+    let reject = |attempts: &mut Vec<RungAttempt>, detail: String| {
+        attempts.push(RungAttempt {
+            rung,
+            accepted: false,
+            detail,
+        });
+    };
+    if let Err(issue) = samples.validate() {
+        reject(attempts, issue.to_string());
+        return Err(EmRejection::Other);
+    }
+    let forced = EstimateOptions {
+        method: Some(Method::Em),
+        ..opts.base
+    };
+    match estimate(cfg, block_costs, edge_costs, samples, forced) {
+        Ok(est) => {
+            let unex_frac = est.unexplained as f64 / samples.len().max(1) as f64;
+            if !est.converged && est.final_delta > opts.max_final_delta {
+                reject(
+                    attempts,
+                    format!(
+                        "EM still moving at the iteration cap (delta {:.2e} > {:.0e})",
+                        est.final_delta, opts.max_final_delta
+                    ),
+                );
+                Err(EmRejection::Other)
+            } else if est.loglik.map(|l| !l.is_finite()).unwrap_or(false)
+                && est.unexplained < samples.len()
+            {
+                reject(attempts, "non-finite likelihood".into());
+                Err(EmRejection::Other)
+            } else if unex_frac > opts.max_unexplained {
+                reject(
+                    attempts,
+                    format!(
+                        "{:.0}% of samples unexplained (> {:.0}% budget)",
+                        100.0 * unex_frac,
+                        100.0 * opts.max_unexplained
+                    ),
+                );
+                Err(EmRejection::Inconsistent)
+            } else {
+                attempts.push(RungAttempt {
+                    rung,
+                    accepted: true,
+                    detail: format!(
+                        "converged in {} iterations, {:.0}% unexplained",
+                        est.iterations,
+                        100.0 * unex_frac
+                    ),
+                });
+                let base = match rung {
+                    Rung::FullEm => 1.0,
+                    _ => 0.7,
+                };
+                let total = samples.len() + dropped;
+                let kept_frac = if total == 0 {
+                    1.0
+                } else {
+                    samples.len() as f64 / total as f64
+                };
+                Ok(RobustEstimate {
+                    confidence: base * (1.0 - unex_frac) * kept_frac,
+                    estimate: est,
+                    rung,
+                    trimmed: dropped,
+                    attempts: std::mem::take(attempts),
+                })
+            }
+        }
+        Err(e) => {
+            reject(attempts, e.to_string());
+            Err(EmRejection::Other)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -340,6 +704,85 @@ mod tests {
     fn method_display() {
         assert_eq!(Method::Em.to_string(), "em");
         assert_eq!(Method::FlowMean.to_string(), "flow-mean");
+    }
+
+    #[test]
+    fn ladder_clean_samples_answer_at_full_em() {
+        let (cfg, bc, ec, samples) = diamond_samples(0.7, 200);
+        let r = estimate_robust(&cfg, &bc, &ec, &samples, RobustOptions::default());
+        assert_eq!(r.rung, Rung::FullEm);
+        assert!(r.confidence > 0.9, "confidence {}", r.confidence);
+        assert_eq!(r.trimmed, 0);
+        assert!((r.estimate.probs.as_slice()[0] - 0.7).abs() < 0.05);
+        assert_eq!(r.attempts.len(), 1);
+        assert!(r.attempts[0].accepted);
+    }
+
+    #[test]
+    fn ladder_trims_stuck_at_counters() {
+        // 9% stuck-at garbage: full EM rejects the sample set (overflow
+        // validation), trimming recovers the clean bulk.
+        let (cfg, bc, ec, samples) = diamond_samples(0.7, 200);
+        let mut ticks = samples.ticks().to_vec();
+        for _ in 0..20 {
+            ticks.push(u64::MAX);
+        }
+        let dirty = TimingSamples::new(ticks, 1);
+        let r = estimate_robust(&cfg, &bc, &ec, &dirty, RobustOptions::default());
+        assert_eq!(r.rung, Rung::TrimmedEm);
+        assert_eq!(r.trimmed, 20);
+        assert!((r.estimate.probs.as_slice()[0] - 0.7).abs() < 0.05);
+        assert!(r.confidence > 0.4 && r.confidence < 1.0);
+        // The full-EM rejection is on the record.
+        assert!(!r.attempts[0].accepted);
+        assert_eq!(r.attempts[0].rung, Rung::FullEm);
+    }
+
+    #[test]
+    fn ladder_empty_samples_reach_the_prior() {
+        let cfg = diamond();
+        let bc = vec![10u64, 100, 200, 5];
+        let ec = vec![0u64; 4];
+        let empty = TimingSamples::new(vec![], 1);
+        let r = estimate_robust(&cfg, &bc, &ec, &empty, RobustOptions::default());
+        assert_eq!(r.rung, Rung::Prior);
+        assert_eq!(r.confidence, 0.0);
+        assert_eq!(r.estimate.probs.as_slice(), &[0.5]);
+        // All four rungs tried, only the last accepted.
+        assert_eq!(r.attempts.len(), 4);
+        assert!(r.attempts[..3].iter().all(|a| !a.accepted));
+        assert!(r.attempts[3].accepted);
+    }
+
+    #[test]
+    fn ladder_skips_moments_when_bulk_is_off_model() {
+        // 20% of samples sit 3 cycles off every possible path duration —
+        // inside the trimming fences (they are not outliers, the channel
+        // shifted them), so trimmed EM still can't explain them. Moments of
+        // such a stream measure the corruption, not the program: the ladder
+        // must fall through to the prior rather than answer confidently.
+        let (cfg, bc, ec, samples) = diamond_samples(1.0, 80);
+        let mut ticks = samples.ticks().to_vec();
+        ticks.extend(vec![118u64; 20]);
+        let shifted = TimingSamples::new(ticks, 1);
+        let r = estimate_robust(&cfg, &bc, &ec, &shifted, RobustOptions::default());
+        assert_eq!(r.rung, Rung::Prior, "attempts: {:?}", r.attempts);
+        assert_eq!(r.confidence, 0.0);
+        let moments = r
+            .attempts
+            .iter()
+            .find(|a| a.rung == Rung::Moments)
+            .expect("moments rung recorded");
+        assert!(!moments.accepted);
+        assert!(moments.detail.contains("skipped"), "{}", moments.detail);
+    }
+
+    #[test]
+    fn rung_display_and_order() {
+        assert_eq!(Rung::FullEm.to_string(), "full-em");
+        assert_eq!(Rung::Prior.to_string(), "prior");
+        assert!(Rung::FullEm < Rung::TrimmedEm);
+        assert!(Rung::Moments < Rung::Prior);
     }
 
     #[test]

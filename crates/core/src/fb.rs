@@ -71,6 +71,12 @@ pub enum FbError {
     /// The CFG/probability inputs were inconsistent (e.g. cost vector length
     /// mismatch).
     Shape(String),
+    /// A likelihood or posterior count went non-finite (NaN/∞) — numerical
+    /// breakdown the EM watchdog refuses to iterate past.
+    NonFinite {
+        /// The EM iteration (1-based) at which the breakdown was detected.
+        iteration: usize,
+    },
 }
 
 impl fmt::Display for FbError {
@@ -80,6 +86,9 @@ impl fmt::Display for FbError {
                 write!(f, "time-expanded DP exceeded {max_entries} entries")
             }
             FbError::Shape(msg) => write!(f, "shape error: {msg}"),
+            FbError::NonFinite { iteration } => {
+                write!(f, "non-finite likelihood at EM iteration {iteration}")
+            }
         }
     }
 }

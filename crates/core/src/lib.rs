@@ -65,9 +65,12 @@ pub mod unrolled;
 
 pub use accuracy::{compare, compare_unweighted, AccuracyReport};
 pub use em::{estimate_em, EmOptions, EmResult};
-pub use estimator::{estimate, Estimate, EstimateError, EstimateOptions, Method};
+pub use estimator::{
+    estimate, estimate_robust, Estimate, EstimateError, EstimateOptions, Method, RobustEstimate,
+    RobustOptions, Rung, RungAttempt,
+};
 pub use fb::{compute_tables, e_step, FbError, FbParams, FbTables};
 pub use flow_nnls::{estimate_flow, estimate_flow_many, FlowResult};
 pub use moments::{estimate_moments, model_moments, MomentsOptions, MomentsResult};
-pub use samples::TimingSamples;
+pub use samples::{SampleIssue, TimingSamples, TrimPolicy};
 pub use unrolled::{estimate_unrolled, UnrolledError, UnrolledEstimate};

@@ -20,7 +20,7 @@ pub fn tick_likelihood(ticks: u64, d: u64, cpt: u64) -> f64 {
     let frac = (d % cpt) as f64 / cpt as f64;
     if ticks == base {
         1.0 - frac
-    } else if ticks == base + 1 {
+    } else if Some(ticks) == base.checked_add(1) {
         frac
     } else {
         0.0
@@ -30,10 +30,20 @@ pub fn tick_likelihood(ticks: u64, d: u64, cpt: u64) -> f64 {
 /// The inclusive range of cycle durations that could produce `ticks` with
 /// nonzero probability: `[(ticks−1)·cpt + 1, (ticks+1)·cpt − 1]`, clipped at
 /// zero.
+///
+/// Saturates at `u64::MAX` for tick values near the top of the counter
+/// (corrupted records), where no real duration PMF has support anyway — the
+/// sample then scores zero instead of tripping an arithmetic overflow.
 pub fn duration_window(ticks: u64, cpt: u64) -> (u64, u64) {
     assert!(cpt > 0, "cycles per tick must be positive");
-    let lo = (ticks.saturating_sub(1)) * cpt + u64::from(ticks > 0);
-    let hi = (ticks + 1) * cpt - 1;
+    let lo = ticks
+        .saturating_sub(1)
+        .saturating_mul(cpt)
+        .saturating_add(u64::from(ticks > 0));
+    let hi = ticks
+        .saturating_add(1)
+        .saturating_mul(cpt)
+        .saturating_sub(1);
     (lo, hi)
 }
 
@@ -119,6 +129,20 @@ mod tests {
     fn zero_duration_is_zero_ticks() {
         assert_eq!(tick_likelihood(0, 0, 244), 1.0);
         assert_eq!(duration_window(0, 244), (0, 243));
+    }
+
+    #[test]
+    fn extreme_ticks_saturate_instead_of_overflowing() {
+        // A stuck-at counter reports ticks near u64::MAX; the window must
+        // saturate and the score must be zero, not a panic.
+        // Both bounds saturate; the window degenerates to empty (lo > hi),
+        // which `slice_range` treats as zero support.
+        let (lo, hi) = duration_window(u64::MAX, 244);
+        assert_eq!(lo, u64::MAX);
+        assert_eq!(hi, u64::MAX - 1);
+        assert_eq!(tick_likelihood(u64::MAX, u64::MAX, 1), 1.0);
+        let pmf = vec![(116u64, 1.0)];
+        assert_eq!(pmf_tick_score(&pmf, u64::MAX, 244), 0.0);
     }
 
     #[test]

@@ -1,7 +1,84 @@
 //! Timing sample containers: what the mote's instrumentation hands the
-//! estimator.
+//! estimator — plus the input hygiene (validation, robust trimming) the
+//! estimator applies before trusting samples that crossed a lossy channel.
 
-use ct_stats::descriptive::Summary;
+use ct_stats::descriptive::{quantile, Summary};
+use std::error::Error;
+use std::fmt;
+
+/// A defect in a timing-sample set that makes it unusable (or only partially
+/// usable) as estimator input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleIssue {
+    /// The timer resolution was reported as zero cycles per tick.
+    ZeroResolution,
+    /// No samples were collected.
+    Empty,
+    /// A tick value is so large that converting it to cycles overflows
+    /// `u64` — a stuck-at counter or a corrupted record, never a real
+    /// duration.
+    TickOverflow {
+        /// The offending tick value.
+        tick: u64,
+        /// The resolution it was reported at.
+        cycles_per_tick: u64,
+    },
+}
+
+impl fmt::Display for SampleIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SampleIssue::ZeroResolution => write!(f, "timer resolution is zero cycles per tick"),
+            SampleIssue::Empty => write!(f, "no timing samples provided"),
+            SampleIssue::TickOverflow {
+                tick,
+                cycles_per_tick,
+            } => write!(
+                f,
+                "tick value {tick} at {cycles_per_tick} cycles/tick overflows the cycle counter"
+            ),
+        }
+    }
+}
+
+impl Error for SampleIssue {}
+
+/// Robust-trimming configuration: quantile fences with a spread multiplier.
+///
+/// The fences are `[q_lo − k·spread, q_hi + k·spread]` where
+/// `spread = max(q_hi − q_lo, scaled MAD, 1)`. Quantile spread (rather than
+/// a bare MAD fence) keeps legitimately multi-modal duration samples — a
+/// branchy procedure's fast/slow paths — inside the fences while cutting
+/// channel garbage: merged windows, interrupt-latency spikes, stuck-at
+/// counters.
+///
+/// The default quantile base is deliberately far out (2%/98%): a real
+/// program's rare-path mode — a buffer flush every 16th activation, say —
+/// is a legitimate duration cluster that an aggressive fence would guillotine,
+/// and a mis-trimmed mode biases every downstream estimate. Diffuse
+/// contamination that slips inside the wide fences is the estimator's
+/// problem, not the trimmer's: the EM likelihood ignores off-support
+/// samples, and the ladder's unexplained-fraction budget bounds how much of
+/// it an accepted answer may carry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrimPolicy {
+    /// Lower fence quantile.
+    pub lo_q: f64,
+    /// Upper fence quantile.
+    pub hi_q: f64,
+    /// Spread multiplier beyond the fence quantiles.
+    pub k: f64,
+}
+
+impl Default for TrimPolicy {
+    fn default() -> Self {
+        TrimPolicy {
+            lo_q: 0.02,
+            hi_q: 0.98,
+            k: 2.0,
+        }
+    }
+}
 
 /// End-to-end timing samples of one procedure: exclusive durations in ticks
 //  of a known timer resolution.
@@ -16,13 +93,131 @@ impl TimingSamples {
     ///
     /// # Panics
     ///
-    /// Panics if `cycles_per_tick == 0`.
+    /// Panics if `cycles_per_tick == 0`. Library code receiving resolutions
+    /// from outside should use [`TimingSamples::try_new`]; this constructor
+    /// stays for tests and benches with literal resolutions.
     pub fn new(ticks: Vec<u64>, cycles_per_tick: u64) -> TimingSamples {
-        assert!(cycles_per_tick > 0, "timer resolution must be positive");
-        TimingSamples {
+        match TimingSamples::try_new(ticks, cycles_per_tick) {
+            Ok(s) => s,
+            Err(_) => panic!("timer resolution must be positive"),
+        }
+    }
+
+    /// Fallible constructor: wraps tick samples measured at
+    /// `cycles_per_tick` resolution.
+    ///
+    /// # Errors
+    ///
+    /// [`SampleIssue::ZeroResolution`] if `cycles_per_tick == 0`.
+    pub fn try_new(ticks: Vec<u64>, cycles_per_tick: u64) -> Result<TimingSamples, SampleIssue> {
+        if cycles_per_tick == 0 {
+            return Err(SampleIssue::ZeroResolution);
+        }
+        Ok(TimingSamples {
             ticks,
             cycles_per_tick,
+        })
+    }
+
+    /// Checks the sample set is usable as estimator input: non-empty, and
+    /// every tick convertible to cycles without overflowing `u64` (the
+    /// quantization kernel needs `(tick + 1) · cycles_per_tick`).
+    ///
+    /// # Errors
+    ///
+    /// The first [`SampleIssue`] found.
+    pub fn validate(&self) -> Result<(), SampleIssue> {
+        if self.ticks.is_empty() {
+            return Err(SampleIssue::Empty);
         }
+        for &t in &self.ticks {
+            if t.checked_add(1)
+                .and_then(|t1| t1.checked_mul(self.cycles_per_tick))
+                .is_none()
+            {
+                return Err(SampleIssue::TickOverflow {
+                    tick: t,
+                    cycles_per_tick: self.cycles_per_tick,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Robust outlier trimming: returns the samples inside the
+    /// quantile-fence window of `policy` plus the number dropped.
+    ///
+    /// Overflowing ticks (see [`TimingSamples::validate`]) are dropped
+    /// unconditionally *before* the fences are estimated: they can never be
+    /// real durations, and at contamination rates beyond the fence quantile
+    /// they would otherwise poison the quantiles themselves (a stuck-at
+    /// counter at 30% would drag the upper fence to `u64::MAX`). Callers
+    /// that need a hard validity guarantee still re-validate afterwards
+    /// (the degradation ladder does).
+    pub fn trimmed(&self, policy: TrimPolicy) -> (TimingSamples, usize) {
+        let overflow = |t: u64| {
+            t.checked_add(1)
+                .and_then(|t1| t1.checked_mul(self.cycles_per_tick))
+                .is_none()
+        };
+        let sane: Vec<u64> = self
+            .ticks
+            .iter()
+            .copied()
+            .filter(|&t| !overflow(t))
+            .collect();
+        let pre_dropped = self.ticks.len() - sane.len();
+        if sane.is_empty() {
+            return (
+                TimingSamples {
+                    ticks: sane,
+                    cycles_per_tick: self.cycles_per_tick,
+                },
+                pre_dropped,
+            );
+        }
+        let this = TimingSamples {
+            ticks: sane,
+            cycles_per_tick: self.cycles_per_tick,
+        };
+        let (kept, fence_dropped) = this.fence_trimmed(policy);
+        (kept, pre_dropped + fence_dropped)
+    }
+
+    /// Quantile-fence trimming on an overflow-free sample set.
+    fn fence_trimmed(&self, policy: TrimPolicy) -> (TimingSamples, usize) {
+        if self.ticks.is_empty() {
+            return (self.clone(), 0);
+        }
+        let xs = self.as_f64();
+        let q_lo = quantile(&xs, policy.lo_q);
+        let q_hi = quantile(&xs, policy.hi_q);
+        // Scaled median absolute deviation: consistent with σ under
+        // normality; zero for majority-constant samples, hence the max
+        // with the quantile spread and 1 tick.
+        let med = quantile(&xs, 0.5);
+        let dev: Vec<f64> = xs.iter().map(|x| (x - med).abs()).collect();
+        let mad = 1.4826 * quantile(&dev, 0.5);
+        let spread = (q_hi - q_lo).max(mad).max(1.0);
+        let lo = q_lo - policy.k * spread;
+        let hi = q_hi + policy.k * spread;
+        let kept: Vec<u64> = self
+            .ticks
+            .iter()
+            .copied()
+            .filter(|&t| {
+                let x = t as f64;
+                x >= lo && x <= hi
+            })
+            .collect();
+        let dropped = self.ticks.len() - kept.len();
+        (
+            TimingSamples {
+                ticks: kept,
+                cycles_per_tick: self.cycles_per_tick,
+            },
+            dropped,
+        )
     }
 
     /// The raw tick values.
@@ -115,5 +310,80 @@ mod tests {
     #[should_panic(expected = "resolution must be positive")]
     fn zero_resolution_rejected() {
         TimingSamples::new(vec![1], 0);
+    }
+
+    #[test]
+    fn try_new_rejects_zero_resolution() {
+        assert_eq!(
+            TimingSamples::try_new(vec![1], 0),
+            Err(SampleIssue::ZeroResolution)
+        );
+        assert!(TimingSamples::try_new(vec![1], 8).is_ok());
+    }
+
+    #[test]
+    fn validate_flags_empty_and_overflow() {
+        assert_eq!(
+            TimingSamples::new(vec![], 1).validate(),
+            Err(SampleIssue::Empty)
+        );
+        let s = TimingSamples::new(vec![u64::MAX / 2], 8);
+        assert!(matches!(
+            s.validate(),
+            Err(SampleIssue::TickOverflow { .. })
+        ));
+        assert_eq!(TimingSamples::new(vec![5, 6], 244).validate(), Ok(()));
+    }
+
+    #[test]
+    fn trimming_keeps_bimodal_bulk_and_drops_spikes() {
+        // Legit two-path durations 115/215 plus channel garbage.
+        let mut ticks = vec![115u64; 70];
+        ticks.extend(vec![215u64; 30]);
+        ticks.push(90_000); // interrupt-latency spike
+        ticks.push(u64::MAX); // stuck-at counter
+        let s = TimingSamples::new(ticks, 1);
+        let (t, dropped) = s.trimmed(TrimPolicy::default());
+        assert_eq!(dropped, 2);
+        assert_eq!(t.len(), 100);
+        assert!(t.ticks().contains(&215), "slow path survives trimming");
+        assert_eq!(t.validate(), Ok(()));
+    }
+
+    #[test]
+    fn trimming_survives_heavy_stuck_at_contamination() {
+        // 30% all-ones readings — beyond the fence quantile. The overflow
+        // pre-filter must remove them before quantile estimation, or the
+        // upper fence would blow up and keep everything.
+        let mut ticks = vec![115u64; 49];
+        ticks.extend(vec![215u64; 21]);
+        ticks.extend(vec![u64::MAX; 30]);
+        let s = TimingSamples::new(ticks, 244);
+        let (t, dropped) = s.trimmed(TrimPolicy::default());
+        assert_eq!(dropped, 30);
+        assert_eq!(t.len(), 70);
+        assert_eq!(t.validate(), Ok(()));
+    }
+
+    #[test]
+    fn trimming_clean_samples_is_identity() {
+        let mut ticks = vec![115u64; 70];
+        ticks.extend(vec![215u64; 30]);
+        let s = TimingSamples::new(ticks, 1);
+        let (t, dropped) = s.trimmed(TrimPolicy::default());
+        assert_eq!(dropped, 0);
+        assert_eq!(t, s);
+        let empty = TimingSamples::new(vec![], 1);
+        assert_eq!(empty.trimmed(TrimPolicy::default()).1, 0);
+    }
+
+    #[test]
+    fn issue_display() {
+        assert!(SampleIssue::ZeroResolution.to_string().contains("zero"));
+        let o = SampleIssue::TickOverflow {
+            tick: u64::MAX,
+            cycles_per_tick: 8,
+        };
+        assert!(o.to_string().contains("overflows"));
     }
 }

@@ -1,0 +1,149 @@
+#![warn(missing_docs)]
+
+//! # ct-faults
+//!
+//! Composable, seeded fault models for the measurement channel between a
+//! mote's timestamp instrumentation and the Code Tomography estimator.
+//!
+//! The estimator consumes [`ct_core::TimingSamples`] — per-activation tick
+//! counts recovered by pairing entry/exit timestamp records that crossed a
+//! low-power radio link or a flash log. Real deployments corrupt that channel
+//! in characteristic ways: oscillators drift, records are lost or
+//! retransmitted, batches truncate mid-record, counters stick at all-ones,
+//! firmware misreports the timer prescaler. Each of those is modeled here as
+//! a [`FaultModel`] that rewrites a tick stream, with two regimes per model:
+//!
+//! - **plausible damage** — corrupted values that still look like durations
+//!   (a merged window, a skewed tick), which *mislead* an estimator; and
+//! - **catastrophic records** — what naive timestamp pairing yields when a
+//!   record is half-written or subtracted in the wrong order: all-ones bus
+//!   reads and wrapped differences, which *break* a pipeline that does not
+//!   validate its inputs.
+//!
+//! Every model is driven by an explicit seed through [`FaultPlan`] /
+//! [`FaultChain`], so a corrupted stream is a pure function of
+//! `(plan, input)` — bitwise reproducible across runs, machines, and thread
+//! counts.
+//!
+//! ## Example
+//!
+//! ```
+//! use ct_core::TimingSamples;
+//! use ct_faults::{FaultKind, FaultPlan};
+//!
+//! let clean = TimingSamples::new(vec![115; 70], 1);
+//! let plan = FaultPlan::single(FaultKind::RecordLoss, 0.3, 42);
+//! let dirty = plan.build().apply(&clean);
+//! assert_ne!(clean, dirty);
+//! // Same plan, same input: bitwise identical.
+//! assert_eq!(dirty, plan.build().apply(&clean));
+//! // Zero rate: identity.
+//! let zero = FaultPlan::single(FaultKind::RecordLoss, 0.0, 42);
+//! assert_eq!(clean, zero.build().apply(&clean));
+//! ```
+
+pub mod model;
+pub mod plan;
+
+pub use model::{
+    ClockDrift, Duplication, FaultModel, MisreportedResolution, RecordLoss, Reordering, StuckAt,
+    TruncatedBatch,
+};
+pub use plan::{FaultChain, FaultPlan};
+
+use std::fmt;
+
+/// The fault taxonomy: every channel defect the robustness experiments
+/// sweep, with a canonical rate-parameterized model per kind (see
+/// [`FaultKind::model`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FaultKind {
+    /// Oscillator skew plus per-sample jitter: durations systematically
+    /// overcounted, occasionally wrapped by a timer-register glitch.
+    ClockDrift,
+    /// Lost exit timestamps: adjacent activation windows merge (with idle
+    /// gap); a loss at the batch tail leaves a half-paired garbage record.
+    RecordLoss,
+    /// Link-layer retransmission: records duplicated, biased toward long
+    /// activations (radio contention), occasionally half-written.
+    Duplication,
+    /// Out-of-order delivery: swapped records, and entry/exit pairs
+    /// subtracted in the wrong order (wrapping to huge values).
+    Reordering,
+    /// A batch cut off mid-transfer: the tail is gone and the boundary
+    /// record is half-written.
+    TruncatedBatch,
+    /// Stuck-at counters and interrupt-latency spikes: all-ones registers
+    /// and large finite outliers.
+    StuckAt,
+    /// Firmware reports the wrong timer prescaler: every tick is mis-scaled
+    /// on conversion to cycles.
+    MisreportedResolution,
+}
+
+impl FaultKind {
+    /// Every fault kind, in taxonomy order.
+    pub const ALL: [FaultKind; 7] = [
+        FaultKind::ClockDrift,
+        FaultKind::RecordLoss,
+        FaultKind::Duplication,
+        FaultKind::Reordering,
+        FaultKind::TruncatedBatch,
+        FaultKind::StuckAt,
+        FaultKind::MisreportedResolution,
+    ];
+
+    /// The canonical model for this kind at fault rate `rate` (clamped into
+    /// `[0, 1]`). This is the mapping the robustness experiments sweep; rate
+    /// `0` is always the identity.
+    pub fn model(self, rate: f64) -> Box<dyn FaultModel> {
+        match self {
+            FaultKind::ClockDrift => Box::new(ClockDrift::new(rate)),
+            FaultKind::RecordLoss => Box::new(RecordLoss::new(rate)),
+            FaultKind::Duplication => Box::new(Duplication::new(rate)),
+            FaultKind::Reordering => Box::new(Reordering::new(rate)),
+            FaultKind::TruncatedBatch => Box::new(TruncatedBatch::new(rate)),
+            FaultKind::StuckAt => Box::new(StuckAt::new(rate)),
+            FaultKind::MisreportedResolution => Box::new(MisreportedResolution::new(rate)),
+        }
+    }
+
+    /// Stable machine-readable name (used in experiment CSV columns).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::ClockDrift => "clock-drift",
+            FaultKind::RecordLoss => "record-loss",
+            FaultKind::Duplication => "duplication",
+            FaultKind::Reordering => "reordering",
+            FaultKind::TruncatedBatch => "truncated-batch",
+            FaultKind::StuckAt => "stuck-at",
+            FaultKind::MisreportedResolution => "misreported-resolution",
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kinds_have_distinct_names() {
+        let mut names: Vec<&str> = FaultKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), FaultKind::ALL.len());
+    }
+
+    #[test]
+    fn display_matches_name() {
+        for k in FaultKind::ALL {
+            assert_eq!(k.to_string(), k.name());
+        }
+    }
+}

@@ -1,0 +1,543 @@
+//! The fault models: seeded rewrites of a tick stream, one per
+//! [`crate::FaultKind`].
+//!
+//! Every model follows the same contract:
+//!
+//! - rate `0.0` is the exact identity (bitwise, no RNG draws), so a
+//!   zero-rate [`crate::FaultChain`] is a no-op;
+//! - the output is a pure function of `(model, input, rng state)` — no
+//!   ambient entropy, no thread-dependence;
+//! - corrupted values never panic downstream: catastrophic records are what
+//!   naive timestamp pairing would really produce (all-ones bus reads via
+//!   bitwise complement, wrapped wrong-order subtractions), which the
+//!   hardened estimator detects and the naive one must survive.
+
+use ct_core::TimingSamples;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A composable corruption of a timing-sample stream.
+///
+/// Implementations draw all randomness from the supplied generator so that a
+/// [`crate::FaultChain`] replays bit-identically from its plan's seed.
+pub trait FaultModel {
+    /// Stable machine-readable name (matches [`crate::FaultKind::name`]).
+    fn name(&self) -> &'static str;
+
+    /// Applies the fault to `samples`, drawing randomness from `rng`.
+    fn apply(&self, samples: &TimingSamples, rng: &mut StdRng) -> TimingSamples;
+}
+
+/// A half-written or bus-glitched record read back as mostly-ones: the
+/// canonical catastrophic value naive pairing produces.
+fn garble(t: u64) -> u64 {
+    !t
+}
+
+/// Wraps `ticks` at the input's resolution. The resolution is propagated or
+/// explicitly clamped to ≥ 1 by every caller, so this cannot panic.
+fn rewrap(samples: &TimingSamples, ticks: Vec<u64>) -> TimingSamples {
+    TimingSamples::new(ticks, samples.cycles_per_tick())
+}
+
+/// Oscillator skew plus per-sample jitter.
+///
+/// At rate `r`: every duration is overcounted by a multiplicative skew
+/// `1 + 0.001·r` (an aging crystal up to 1000 ppm off — sub-tick for
+/// realistic activation lengths, exactly the error class quantization
+/// absorbs); with probability `0.08·r` a sample lands a full tick early or
+/// late (a tick-boundary race); and with probability `0.08·r` a
+/// timer-register glitch wraps the reading entirely.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockDrift {
+    rate: f64,
+}
+
+impl ClockDrift {
+    /// Canonical drift model at `rate` (clamped into `[0, 1]`).
+    pub fn new(rate: f64) -> ClockDrift {
+        ClockDrift {
+            rate: rate.clamp(0.0, 1.0),
+        }
+    }
+}
+
+impl FaultModel for ClockDrift {
+    fn name(&self) -> &'static str {
+        "clock-drift"
+    }
+
+    fn apply(&self, samples: &TimingSamples, rng: &mut StdRng) -> TimingSamples {
+        if self.rate == 0.0 {
+            return samples.clone();
+        }
+        let skew = 1.0 + 0.001 * self.rate;
+        let ticks = samples
+            .ticks()
+            .iter()
+            .map(|&t| {
+                if rng.gen_bool(0.08 * self.rate) {
+                    return garble(t);
+                }
+                // Float→int casts saturate, so stuck-at inputs upstream in a
+                // chain survive the scaling.
+                let skewed = (t as f64 * skew).round() as u64;
+                if rng.gen_bool(0.08 * self.rate) {
+                    // Tick-boundary race: one tick early or late, symmetric.
+                    if rng.gen_bool(0.5) {
+                        skewed.saturating_add(1)
+                    } else {
+                        skewed.saturating_sub(1)
+                    }
+                } else {
+                    skewed
+                }
+            })
+            .collect();
+        rewrap(samples, ticks)
+    }
+}
+
+/// Lost exit timestamps.
+///
+/// Record `i`'s exit timestamp is lost with probability `r`. Most of the
+/// time the pairing layer's sequence-number check catches the gap and drops
+/// the half-pair (82%); sometimes the check is fooled by a sequence wrap and
+/// the record merges with its successor into one plausible-but-wrong
+/// duration separated by an idle gap (8%); and sometimes the torn half-pair
+/// is emitted as-is and reads back as garbage (10%). A loss at the batch
+/// tail has no next record to steal from and always yields the garbage
+/// half-pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecordLoss {
+    rate: f64,
+}
+
+impl RecordLoss {
+    /// Canonical loss model at `rate` (clamped into `[0, 1]`).
+    pub fn new(rate: f64) -> RecordLoss {
+        RecordLoss {
+            rate: rate.clamp(0.0, 1.0),
+        }
+    }
+}
+
+impl FaultModel for RecordLoss {
+    fn name(&self) -> &'static str {
+        "record-loss"
+    }
+
+    fn apply(&self, samples: &TimingSamples, rng: &mut StdRng) -> TimingSamples {
+        if self.rate == 0.0 {
+            return samples.clone();
+        }
+        let ticks = samples.ticks();
+        let mut out = Vec::with_capacity(ticks.len());
+        let mut i = 0;
+        while i < ticks.len() {
+            let t = ticks[i];
+            if !rng.gen_bool(self.rate) {
+                out.push(t);
+                i += 1;
+                continue;
+            }
+            // Exit timestamp lost: drop, merge, or emit the torn half-pair.
+            match ticks.get(i + 1) {
+                None => {
+                    out.push(garble(t));
+                    i += 1;
+                }
+                Some(&next) => {
+                    let roll = rng.gen_range(0.0..1.0);
+                    if roll < 0.10 {
+                        out.push(garble(t));
+                        i += 1;
+                    } else if roll < 0.18 {
+                        let gap = rng.gen_range(0..=2u64);
+                        out.push(t.saturating_add(gap).saturating_add(next));
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        rewrap(samples, out)
+    }
+}
+
+/// Link-layer retransmission.
+///
+/// Records are duplicated with probability `r`, biased toward long
+/// activations (long windows collide with more radio traffic and get
+/// retransmitted; short ones at `r/3`). A duplicate is occasionally
+/// half-written.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Duplication {
+    rate: f64,
+}
+
+impl Duplication {
+    /// Canonical duplication model at `rate` (clamped into `[0, 1]`).
+    pub fn new(rate: f64) -> Duplication {
+        Duplication {
+            rate: rate.clamp(0.0, 1.0),
+        }
+    }
+}
+
+impl FaultModel for Duplication {
+    fn name(&self) -> &'static str {
+        "duplication"
+    }
+
+    fn apply(&self, samples: &TimingSamples, rng: &mut StdRng) -> TimingSamples {
+        if self.rate == 0.0 || samples.is_empty() {
+            return samples.clone();
+        }
+        let mut sorted = samples.ticks().to_vec();
+        sorted.sort_unstable();
+        let med = sorted[sorted.len() / 2];
+        let mut out = Vec::with_capacity(samples.len() * 2);
+        for &t in samples.ticks() {
+            out.push(t);
+            let p = if t >= med { self.rate } else { self.rate / 3.0 };
+            if rng.gen_bool(p) {
+                out.push(if rng.gen_bool(0.10 * self.rate) {
+                    garble(t)
+                } else {
+                    t
+                });
+            }
+        }
+        rewrap(samples, out)
+    }
+}
+
+/// Out-of-order delivery.
+///
+/// Adjacent records swap position with probability `r` (a pure permutation —
+/// invisible to a batch estimator but real on the wire), and with
+/// probability `0.15·r` a record's entry/exit timestamps arrive transposed:
+/// the unsigned subtraction wraps to a huge value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Reordering {
+    rate: f64,
+}
+
+impl Reordering {
+    /// Canonical reordering model at `rate` (clamped into `[0, 1]`).
+    pub fn new(rate: f64) -> Reordering {
+        Reordering {
+            rate: rate.clamp(0.0, 1.0),
+        }
+    }
+}
+
+impl FaultModel for Reordering {
+    fn name(&self) -> &'static str {
+        "reordering"
+    }
+
+    fn apply(&self, samples: &TimingSamples, rng: &mut StdRng) -> TimingSamples {
+        if self.rate == 0.0 {
+            return samples.clone();
+        }
+        let mut out = samples.ticks().to_vec();
+        for t in out.iter_mut() {
+            if rng.gen_bool(0.15 * self.rate) {
+                *t = t.wrapping_neg();
+            }
+        }
+        for i in 0..out.len().saturating_sub(1) {
+            if rng.gen_bool(self.rate) {
+                out.swap(i, i + 1);
+            }
+        }
+        rewrap(samples, out)
+    }
+}
+
+/// A batch cut off mid-transfer.
+///
+/// The trailing `r` fraction of records never arrives, and the record at the
+/// truncation boundary — the one the cut landed inside — is half-written and
+/// reads back as garbage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TruncatedBatch {
+    rate: f64,
+}
+
+impl TruncatedBatch {
+    /// Canonical truncation model at `rate` (clamped into `[0, 1]`).
+    pub fn new(rate: f64) -> TruncatedBatch {
+        TruncatedBatch {
+            rate: rate.clamp(0.0, 1.0),
+        }
+    }
+}
+
+impl FaultModel for TruncatedBatch {
+    fn name(&self) -> &'static str {
+        "truncated-batch"
+    }
+
+    fn apply(&self, samples: &TimingSamples, _rng: &mut StdRng) -> TimingSamples {
+        if self.rate == 0.0 {
+            return samples.clone();
+        }
+        let n = samples.len();
+        let keep = ((n as f64) * (1.0 - self.rate)).ceil() as usize;
+        let mut out = samples.ticks()[..keep.min(n)].to_vec();
+        if keep > 0 && keep < n {
+            let last = out.len() - 1;
+            out[last] = garble(out[last]);
+        }
+        rewrap(samples, out)
+    }
+}
+
+/// Stuck-at counters and interrupt-latency spikes.
+///
+/// With probability `r` a reading is replaced: usually (90%) by an all-ones
+/// stuck register, occasionally (10%) by a large finite outlier — an
+/// interrupt that fired mid-window and stole 50–500 ticks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StuckAt {
+    rate: f64,
+}
+
+impl StuckAt {
+    /// Canonical stuck-at model at `rate` (clamped into `[0, 1]`).
+    pub fn new(rate: f64) -> StuckAt {
+        StuckAt {
+            rate: rate.clamp(0.0, 1.0),
+        }
+    }
+}
+
+impl FaultModel for StuckAt {
+    fn name(&self) -> &'static str {
+        "stuck-at"
+    }
+
+    fn apply(&self, samples: &TimingSamples, rng: &mut StdRng) -> TimingSamples {
+        if self.rate == 0.0 {
+            return samples.clone();
+        }
+        let ticks = samples
+            .ticks()
+            .iter()
+            .map(|&t| {
+                if !rng.gen_bool(self.rate) {
+                    t
+                } else if rng.gen_bool(0.9) {
+                    u64::MAX
+                } else {
+                    t.saturating_add(rng.gen_range(50..=500u64))
+                }
+            })
+            .collect();
+        rewrap(samples, ticks)
+    }
+}
+
+/// Corrupted per-record prescaler fields.
+///
+/// Each record carries the timer prescaler it was measured at; with
+/// probability `r` that field is off by one power-of-two step, so the base
+/// station re-normalizes the reading through the wrong scale. An
+/// over-reported prescaler (×2 then ÷2) round-trips exactly; an
+/// under-reported one (÷2 then ×2) permanently loses the low bit, leaving
+/// odd readings one tick short. With probability `0.05·r` the field is
+/// unparseable and the whole record reads back as garbage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MisreportedResolution {
+    rate: f64,
+}
+
+impl MisreportedResolution {
+    /// Canonical misreporting model at `rate` (clamped into `[0, 1]`).
+    pub fn new(rate: f64) -> MisreportedResolution {
+        MisreportedResolution {
+            rate: rate.clamp(0.0, 1.0),
+        }
+    }
+}
+
+impl FaultModel for MisreportedResolution {
+    fn name(&self) -> &'static str {
+        "misreported-resolution"
+    }
+
+    fn apply(&self, samples: &TimingSamples, rng: &mut StdRng) -> TimingSamples {
+        if self.rate == 0.0 {
+            return samples.clone();
+        }
+        let ticks = samples
+            .ticks()
+            .iter()
+            .map(|&t| {
+                if rng.gen_bool(0.05 * self.rate) {
+                    return garble(t);
+                }
+                if rng.gen_bool(self.rate) {
+                    if rng.gen_bool(0.5) {
+                        // Over-reported prescaler: ×2 on the mote, ÷2 at the
+                        // base station — the round trip is exact.
+                        t
+                    } else {
+                        // Under-reported: ÷2 truncates, ×2 cannot restore
+                        // the lost bit.
+                        (t / 2).saturating_mul(2)
+                    }
+                } else {
+                    t
+                }
+            })
+            .collect();
+        rewrap(samples, ticks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{RngCore, SeedableRng};
+
+    fn clean() -> TimingSamples {
+        let mut ticks = vec![115u64; 70];
+        ticks.extend(vec![215u64; 30]);
+        TimingSamples::new(ticks, 244)
+    }
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn zero_rate_is_identity_without_rng_draws() {
+        let s = clean();
+        for kind in crate::FaultKind::ALL {
+            let model = kind.model(0.0);
+            let mut a = rng(1);
+            let out = model.apply(&s, &mut a);
+            assert_eq!(out, s, "{kind}");
+            // No draws consumed: the generator still matches a fresh one.
+            let mut b = rng(1);
+            assert_eq!(a.next_u64(), b.next_u64(), "{kind} consumed rng");
+        }
+    }
+
+    #[test]
+    fn drift_nudges_ticks_within_one_and_garbles_some() {
+        let s = clean();
+        let out = ClockDrift::new(1.0).apply(&s, &mut rng(7));
+        assert_eq!(out.len(), s.len());
+        // Sub-tick skew + tick-boundary races: sane outputs stay within one
+        // tick of their inputs; register glitches wrap to huge values.
+        let mut garbled = 0;
+        for (&t_in, &t_out) in s.ticks().iter().zip(out.ticks()) {
+            if t_out > 1_000 {
+                garbled += 1;
+            } else {
+                assert!(t_out.abs_diff(t_in) <= 1, "{t_in} -> {t_out}");
+            }
+        }
+        assert!(garbled > 0);
+        assert!(garbled < s.len() / 2);
+    }
+
+    #[test]
+    fn loss_drops_merges_and_tears_windows() {
+        let s = clean();
+        let out = RecordLoss::new(1.0).apply(&s, &mut rng(8));
+        // Every exit timestamp is lost: most half-pairs are dropped, a few
+        // merge into over-long windows, a few are emitted as garbage.
+        assert!(out.len() < s.len() / 2, "{}", out.len());
+        assert!(out.ticks().iter().any(|&t| (230..1_000).contains(&t)));
+        assert!(out.ticks().iter().any(|&t| t > u64::MAX / 2));
+    }
+
+    #[test]
+    fn loss_at_low_rate_keeps_most_of_the_batch() {
+        let s = clean();
+        let out = RecordLoss::new(0.2).apply(&s, &mut rng(9));
+        assert!(out.len() < s.len());
+        assert!(out.len() > s.len() / 2);
+        // The surviving bulk is untouched.
+        assert!(
+            out.ticks()
+                .iter()
+                .filter(|&&t| t == 115 || t == 215)
+                .count()
+                > s.len() / 2
+        );
+    }
+
+    #[test]
+    fn duplication_only_adds() {
+        let s = clean();
+        let out = Duplication::new(0.5).apply(&s, &mut rng(10));
+        assert!(out.len() > s.len());
+        assert!(out.len() <= 2 * s.len());
+    }
+
+    #[test]
+    fn reordering_preserves_length() {
+        let s = clean();
+        let out = Reordering::new(0.8).apply(&s, &mut rng(11));
+        assert_eq!(out.len(), s.len());
+        // Wrong-order subtractions wrapped to huge values.
+        assert!(out.ticks().iter().any(|&t| t > u64::MAX / 2));
+    }
+
+    #[test]
+    fn truncation_drops_the_tail() {
+        let s = clean();
+        let out = TruncatedBatch::new(0.3).apply(&s, &mut rng(12));
+        assert_eq!(out.len(), 70);
+        let all = TruncatedBatch::new(1.0).apply(&s, &mut rng(13));
+        assert!(all.is_empty());
+    }
+
+    #[test]
+    fn stuck_at_injects_all_ones() {
+        let s = clean();
+        let out = StuckAt::new(0.6).apply(&s, &mut rng(14));
+        assert!(out.ticks().contains(&u64::MAX));
+        assert_eq!(out.len(), s.len());
+    }
+
+    #[test]
+    fn misreport_loses_low_bits_not_resolution() {
+        let s = clean();
+        let out = MisreportedResolution::new(0.8).apply(&s, &mut rng(15));
+        // The stream's resolution metadata is intact — the damage is in the
+        // re-normalized values.
+        assert_eq!(out.cycles_per_tick(), s.cycles_per_tick());
+        assert_eq!(out.len(), s.len());
+        // Inputs are odd (115/215): under-reported prescalers leave them one
+        // tick short; over-reported ones round-trip exactly.
+        let short = out
+            .ticks()
+            .iter()
+            .filter(|&&t| t == 114 || t == 214)
+            .count();
+        assert!(short > 0);
+        for (&t_in, &t_out) in s.ticks().iter().zip(out.ticks()) {
+            if t_out < 1_000 {
+                assert!(t_out == t_in || t_out == t_in - 1, "{t_in} -> {t_out}");
+            }
+        }
+    }
+
+    #[test]
+    fn models_handle_empty_input() {
+        let empty = TimingSamples::new(vec![], 244);
+        for kind in crate::FaultKind::ALL {
+            let out = kind.model(1.0).apply(&empty, &mut rng(16));
+            assert!(out.len() <= 1, "{kind}"); // loss may emit nothing
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Property tests pinning the fault-injection contract: exact replay from a
+//! plan, zero-rate identity, and structural sanity of every model at any
+//! rate.
+
+use ct_core::TimingSamples;
+use ct_faults::{FaultKind, FaultPlan};
+use proptest::prelude::*;
+
+/// A synthetic bimodal tick stream like a two-path procedure produces.
+fn stream(n_fast: usize, n_slow: usize, cpt: u64) -> TimingSamples {
+    let mut ticks = vec![115u64; n_fast];
+    ticks.extend(vec![215u64; n_slow]);
+    TimingSamples::new(ticks, cpt)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Same plan + same input ⇒ bitwise-identical corrupted stream, for
+    /// every fault kind, rate and seed.
+    #[test]
+    fn replay_is_bitwise_identical(
+        kind_idx in 0usize..7,
+        rate in 0.0f64..=1.0,
+        seed in 0u64..1000,
+        cpt in 1u64..500,
+    ) {
+        let kind = FaultKind::ALL[kind_idx];
+        let s = stream(70, 30, cpt);
+        let plan = FaultPlan::single(kind, rate, seed);
+        let a = plan.build().apply(&s);
+        let b = plan.build().apply(&s);
+        prop_assert_eq!(a, b);
+    }
+
+    /// A chain of every kind at rate zero is the identity on any input.
+    #[test]
+    fn zero_rate_chain_is_identity(
+        seed in 0u64..1000,
+        n_fast in 0usize..80,
+        n_slow in 0usize..40,
+        cpt in 1u64..500,
+    ) {
+        let s = stream(n_fast, n_slow, cpt);
+        let mut plan = FaultPlan::new(seed);
+        for kind in FaultKind::ALL {
+            plan = plan.with(kind, 0.0);
+        }
+        prop_assert_eq!(plan.build().apply(&s), s);
+    }
+
+    /// Chains replay exactly too: composition keeps determinism.
+    #[test]
+    fn chain_replay_is_bitwise_identical(
+        seed in 0u64..1000,
+        r1 in 0.0f64..=1.0,
+        r2 in 0.0f64..=1.0,
+        r3 in 0.0f64..=1.0,
+    ) {
+        let s = stream(70, 30, 244);
+        let plan = FaultPlan::new(seed)
+            .with(FaultKind::ClockDrift, r1)
+            .with(FaultKind::RecordLoss, r2)
+            .with(FaultKind::StuckAt, r3);
+        prop_assert_eq!(plan.build().apply(&s), plan.build().apply(&s));
+    }
+
+    /// No model panics or produces an unusable container at any rate — the
+    /// output is always a well-formed `TimingSamples` (resolution ≥ 1).
+    #[test]
+    fn models_always_produce_wellformed_streams(
+        kind_idx in 0usize..7,
+        rate in 0.0f64..=1.0,
+        seed in 0u64..1000,
+        n in 0usize..120,
+    ) {
+        let kind = FaultKind::ALL[kind_idx];
+        let s = stream(n, n / 3, 244);
+        let out = FaultPlan::single(kind, rate, seed).build().apply(&s);
+        prop_assert!(out.cycles_per_tick() >= 1);
+        // Duplication at most doubles; everything else never grows.
+        prop_assert!(out.len() <= 2 * s.len().max(1));
+    }
+}

@@ -50,6 +50,13 @@ pub enum TrapKind {
     StepLimitExceeded,
     /// Operand stack underflow (malformed hand-built code).
     StackUnderflow,
+    /// A call supplied the wrong number of arguments for the callee.
+    ArgumentCountMismatch {
+        /// Parameters the procedure declares.
+        expected: usize,
+        /// Arguments actually supplied.
+        got: usize,
+    },
 }
 
 impl fmt::Display for TrapError {
@@ -60,6 +67,9 @@ impl fmt::Display for TrapError {
             TrapKind::CallDepthExceeded => "call depth exceeded".to_string(),
             TrapKind::StepLimitExceeded => "step limit exceeded".to_string(),
             TrapKind::StackUnderflow => "operand stack underflow".to_string(),
+            TrapKind::ArgumentCountMismatch { expected, got } => {
+                format!("argument count mismatch: expected {expected}, got {got}")
+            }
         };
         write!(f, "trap in p{} at {}: {what}", self.proc.0, self.block)
     }
@@ -246,12 +256,9 @@ impl Mote {
     ///
     /// # Errors
     ///
-    /// Returns a [`TrapError`] on runtime faults; the mote's memory may be
+    /// Returns a [`TrapError`] on runtime faults (including an argument
+    /// count that does not match the callee); the mote's memory may be
     /// partially updated but remains usable.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `args.len()` differs from the procedure's parameter count.
     pub fn call(
         &mut self,
         proc: ProcId,
@@ -281,7 +288,16 @@ impl Mote {
             let p = &self.program.procs[proc.index()];
             (p.params.len(), p.n_locals as usize, p.ret.is_some())
         };
-        assert_eq!(args.len(), n_params, "argument count mismatch");
+        if args.len() != n_params {
+            return Err(TrapError {
+                kind: TrapKind::ArgumentCountMismatch {
+                    expected: n_params,
+                    got: args.len(),
+                },
+                proc,
+                block: entry,
+            });
+        }
 
         let overhead = profiler.on_proc_enter(proc, self.cycles);
         self.cycles += overhead;
@@ -449,6 +465,9 @@ impl Mote {
     }
 
     fn take_edge(&mut self, proc: ProcId, from: BlockId, to: BlockId, profiler: &mut dyn Profiler) {
+        // Indexing cannot fail: `edge_index` is built from the CFG's own
+        // edge list at boot, and `(from, to)` always comes from a terminator
+        // of that same CFG (validated at compile time).
         let ei = self.edge_index[proc.index()][&(from.0, to.0)];
         self.cycles += self.edge_costs[proc.index()][ei];
         let overhead = profiler.on_edge(proc, ei);
@@ -514,6 +533,23 @@ mod tests {
     #[test]
     fn arithmetic_and_return() {
         let mut mote = boot("module M { proc add(a: u16, b: u16) -> u16 { return a + b; } }");
+        let r = mote.call(ProcId(0), &[3, 4], &mut NullProfiler).unwrap();
+        assert_eq!(r, Some(7));
+    }
+
+    #[test]
+    fn wrong_arity_traps_instead_of_panicking() {
+        let mut mote = boot("module M { proc add(a: u16, b: u16) -> u16 { return a + b; } }");
+        let e = mote.call(ProcId(0), &[3], &mut NullProfiler).unwrap_err();
+        assert_eq!(
+            e.kind,
+            TrapKind::ArgumentCountMismatch {
+                expected: 2,
+                got: 1
+            }
+        );
+        assert!(e.to_string().contains("argument count mismatch"));
+        // The mote stays usable after the trap.
         let r = mote.call(ProcId(0), &[3, 4], &mut NullProfiler).unwrap();
         assert_eq!(r, Some(7));
     }

@@ -5,6 +5,28 @@
 //! the CPU clock. The estimator must recover branch probabilities *through*
 //! this quantization; experiment E2 sweeps [`VirtualTimer::cycles_per_tick`].
 
+use std::error::Error;
+use std::fmt;
+
+/// A timer configuration the hardware cannot realize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidResolution {
+    /// The rejected cycles-per-tick value.
+    pub cycles_per_tick: u64,
+}
+
+impl fmt::Display for InvalidResolution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid timer resolution: {} cycles per tick (must be ≥ 1)",
+            self.cycles_per_tick
+        )
+    }
+}
+
+impl Error for InvalidResolution {}
+
 /// A deterministic quantizing timer: `ticks = floor(cycles / cycles_per_tick)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct VirtualTimer {
@@ -16,13 +38,27 @@ impl VirtualTimer {
     ///
     /// # Panics
     ///
-    /// Panics if `cycles_per_tick == 0`.
+    /// Panics if `cycles_per_tick == 0`. Code receiving resolutions from
+    /// configuration or a measurement channel should use
+    /// [`VirtualTimer::try_new`]; this constructor stays for tests and
+    /// benches with literal resolutions.
     pub fn new(cycles_per_tick: u64) -> VirtualTimer {
-        assert!(
-            cycles_per_tick > 0,
-            "timer resolution must be at least one cycle"
-        );
-        VirtualTimer { cycles_per_tick }
+        match VirtualTimer::try_new(cycles_per_tick) {
+            Ok(t) => t,
+            Err(_) => panic!("timer resolution must be at least one cycle"),
+        }
+    }
+
+    /// Fallible constructor: creates a timer with the given resolution.
+    ///
+    /// # Errors
+    ///
+    /// [`InvalidResolution`] if `cycles_per_tick == 0`.
+    pub fn try_new(cycles_per_tick: u64) -> Result<VirtualTimer, InvalidResolution> {
+        if cycles_per_tick == 0 {
+            return Err(InvalidResolution { cycles_per_tick });
+        }
+        Ok(VirtualTimer { cycles_per_tick })
     }
 
     /// A cycle-accurate timer (every cycle is a tick).
@@ -100,5 +136,16 @@ mod tests {
     #[should_panic(expected = "at least one cycle")]
     fn zero_resolution_panics() {
         VirtualTimer::new(0);
+    }
+
+    #[test]
+    fn try_new_rejects_zero_resolution() {
+        let err = VirtualTimer::try_new(0).unwrap_err();
+        assert_eq!(err.cycles_per_tick, 0);
+        assert!(err.to_string().contains("invalid timer resolution"));
+        assert_eq!(
+            VirtualTimer::try_new(244),
+            Ok(VirtualTimer::khz32_at_8mhz())
+        );
     }
 }

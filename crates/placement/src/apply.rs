@@ -49,6 +49,36 @@ pub fn place_procedure(
     }
 }
 
+/// Confidence threshold below which [`place_with_confidence`] refuses to
+/// reorder code: a uniform-prior estimate (confidence 0) carries no signal,
+/// and reordering on noise can only cost cycles versus the natural layout.
+pub const MIN_PLACEMENT_CONFIDENCE: f64 = 0.25;
+
+/// Confidence-gated placement for estimates that crossed a degraded
+/// measurement channel (see `ct_core::estimator::estimate_robust`).
+///
+/// When `confidence < min_confidence`, the natural layout is returned
+/// unchanged — the safe default the paper's flash-rewrite cost argument
+/// demands: rewriting code pages on estimates that may be noise wears the
+/// flash *and* risks pessimizing the hot path.
+///
+/// # Panics
+///
+/// Panics if `edge_freq.len()` differs from the edge count.
+pub fn place_with_confidence(
+    cfg: &Cfg,
+    edge_freq: &[f64],
+    confidence: f64,
+    min_confidence: f64,
+    penalties: &PenaltyModel,
+    strategy: Strategy,
+) -> Layout {
+    if confidence < min_confidence {
+        return Layout::natural(cfg);
+    }
+    place_procedure(cfg, edge_freq, penalties, strategy)
+}
+
 /// Computes optimized layouts for every procedure of a program, given
 /// per-procedure edge frequencies (indexed by procedure id).
 ///
@@ -111,6 +141,34 @@ mod tests {
             assert_eq!(l.order().len(), cfg.len());
             assert_eq!(l.order()[0], cfg.entry());
         }
+    }
+
+    #[test]
+    fn low_confidence_keeps_natural_layout() {
+        let cfg = diamond();
+        let pen = PenaltyModel::avr();
+        // A strongly biased (but untrusted) frequency vector.
+        let freq = [5.0, 95.0, 5.0, 95.0];
+        let gated = place_with_confidence(
+            &cfg,
+            &freq,
+            0.0,
+            MIN_PLACEMENT_CONFIDENCE,
+            &pen,
+            Strategy::Best,
+        );
+        assert_eq!(gated, Layout::natural(&cfg));
+        let trusted = place_with_confidence(
+            &cfg,
+            &freq,
+            0.9,
+            MIN_PLACEMENT_CONFIDENCE,
+            &pen,
+            Strategy::Best,
+        );
+        let c_trusted = expected_cost(&cfg, &trusted, &freq, &pen);
+        let c_nat = expected_cost(&cfg, &Layout::natural(&cfg), &freq, &pen);
+        assert!(c_trusted.extra_cycles <= c_nat.extra_cycles + 1e-9);
     }
 
     #[test]

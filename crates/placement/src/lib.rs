@@ -39,7 +39,9 @@ pub mod pettis_hansen;
 pub mod polarity;
 pub mod traces;
 
-pub use apply::{place_procedure, place_program, Strategy};
+pub use apply::{
+    place_procedure, place_program, place_with_confidence, Strategy, MIN_PLACEMENT_CONFIDENCE,
+};
 pub use cost_model::{best_layout, expected_cost, ExpectedLayoutCost};
 pub use pettis_hansen::{pettis_hansen, pettis_hansen_raw};
 pub use polarity::{alignment_rate, branch_alignments, BranchAlignment};

@@ -10,4 +10,14 @@ cargo fmt --all -- --check
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo clippy (unwrap audit: ct-core, ct-faults) =="
+# Estimation and fault-injection paths must not panic on data: surface any
+# unwrap()/expect() as warnings so reviewers see every remaining site.
+cargo clippy -p ct-core -p ct-faults --all-targets -- \
+    -W clippy::unwrap_used -W clippy::expect_used
+
+echo "== e13 smoke sweep (fault-injection pipeline end to end) =="
+cargo build --release -p ct-bench --bin e13_faults
+E13_SMOKE=1 ./target/release/e13_faults > /dev/null
+
 echo "== OK =="

@@ -13,6 +13,7 @@ ORDER = [
     "e1_accuracy", "e2_resolution", "e3_overhead", "e4_placement",
     "e5_speedup", "e6_noise", "e7_estimators", "e8_scalability",
     "e9_pipeline", "e10_unroll_ablation", "e11_model_error", "e12_cross_mcu",
+    "e13_faults",
 ]
 
 

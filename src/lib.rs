@@ -20,6 +20,7 @@
 //! | [`markov`] | `ct-markov` | absorbing-chain analysis and duration distributions |
 //! | [`profilers`] | `ct-profilers` | baselines: edge counters, Ball–Larus, sampling |
 //! | [`placement`] | `ct-placement` | Pettis–Hansen chaining and trace growing |
+//! | [`faults`] | `ct-faults` | seeded measurement-channel fault models for robustness sweeps |
 //! | [`apps`] | `ct-apps` | the benchmark sensor applications |
 //! | [`stats`] | `ct-stats` | linear algebra and statistics substrate |
 //!
@@ -75,6 +76,7 @@
 pub use ct_apps as apps;
 pub use ct_cfg as cfg;
 pub use ct_core as core;
+pub use ct_faults as faults;
 pub use ct_ir as ir;
 pub use ct_markov as markov;
 pub use ct_mote as mote;

@@ -1,0 +1,166 @@
+//! Robustness contract for the whole pipeline: no measurement-channel fault,
+//! at any rate, may panic the estimator or placement — the degradation
+//! ladder must always return *something*, and fault injection must be a pure
+//! function of its plan (independent of thread count and call order).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use code_tomography::cfg::profile::BranchProbs;
+use code_tomography::core::estimator::{estimate, estimate_robust, EstimateOptions, RobustOptions};
+use code_tomography::core::samples::TimingSamples;
+use code_tomography::faults::{FaultKind, FaultPlan};
+use code_tomography::markov;
+use code_tomography::mote::cost::{AvrCost, CostModel};
+use code_tomography::mote::interp::Mote;
+use code_tomography::mote::timer::VirtualTimer;
+use code_tomography::mote::trace::TimingProfiler;
+use code_tomography::placement::{place_with_confidence, Strategy, MIN_PLACEMENT_CONFIDENCE};
+
+/// Profiles `sense` for `n` activations on the 1 MHz timer and returns the
+/// mote plus its clean timing samples.
+fn profile_sense(n: usize, seed: u64) -> (Mote, ct_ir::instr::ProcId, TimingSamples) {
+    let app = code_tomography::apps::app_by_name("sense").expect("app exists");
+    let mut mote = app.boot(Box::new(AvrCost));
+    mote.reseed(seed);
+    let program = mote.program().clone();
+    let pid = app.target_id(&program);
+    let timer = VirtualTimer::mhz1_at_8mhz();
+    let cpt = timer.cycles_per_tick();
+    let mut tp = TimingProfiler::new(&program, timer, 0);
+    for i in 0..n {
+        if let Some(hook) = app.per_call {
+            hook(&mut mote, i);
+        }
+        mote.call(pid, &[], &mut tp).expect("app runs");
+    }
+    let samples = TimingSamples::new(tp.samples(pid).to_vec(), cpt);
+    (mote, pid, samples)
+}
+
+#[test]
+fn every_fault_kind_at_full_rate_never_panics_the_pipeline() {
+    let (mote, pid, clean) = profile_sense(400, 77);
+    let cfg = mote.program().procs[pid.index()].cfg.clone();
+    let block_costs = mote.static_block_costs(pid);
+    let edge_costs = mote.static_edge_costs(pid);
+    let pen = AvrCost.penalties();
+
+    for (i, kind) in FaultKind::ALL.into_iter().enumerate() {
+        let faulty = FaultPlan::single(kind, 1.0, 9_000 + i as u64)
+            .build()
+            .apply(&clean);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            // The front door may refuse (typed error) but must not panic.
+            let naive = estimate(
+                &cfg,
+                block_costs,
+                edge_costs,
+                &faulty,
+                EstimateOptions::default(),
+            )
+            .map(|e| e.probs)
+            .unwrap_or_else(|_| BranchProbs::uniform(&cfg, 0.5));
+            // The ladder must always return an estimate, down to the prior.
+            let robust = estimate_robust(
+                &cfg,
+                block_costs,
+                edge_costs,
+                &faulty,
+                RobustOptions::default(),
+            );
+            // And placement must accept whatever came out of either path.
+            for (probs, conf) in [(&naive, 1.0), (&robust.estimate.probs, robust.confidence)] {
+                if let Ok(freq) = markov::visits::expected_edge_traversals(&cfg, probs) {
+                    let _ = place_with_confidence(
+                        &cfg,
+                        &freq,
+                        conf,
+                        MIN_PLACEMENT_CONFIDENCE,
+                        &pen,
+                        Strategy::Best,
+                    );
+                }
+            }
+            robust.confidence
+        }));
+        let conf = outcome.unwrap_or_else(|_| panic!("{kind} at rate 1.0 panicked the pipeline"));
+        assert!(
+            (0.0..=1.0).contains(&conf),
+            "{kind}: confidence {conf} out of range"
+        );
+    }
+}
+
+#[test]
+fn zero_rate_faults_leave_the_estimate_bitwise_unchanged() {
+    let (mote, pid, clean) = profile_sense(600, 78);
+    let cfg = mote.program().procs[pid.index()].cfg.clone();
+
+    // A chain of every fault model at rate zero is the identity — on the
+    // samples, and therefore on everything downstream.
+    let mut plan = FaultPlan::new(4242);
+    for kind in FaultKind::ALL {
+        plan = plan.with(kind, 0.0);
+    }
+    let faulted = plan.build().apply(&clean);
+    assert_eq!(clean, faulted, "zero-rate chain must be the identity");
+
+    let run = |s: &TimingSamples| {
+        estimate_robust(
+            &cfg,
+            mote.static_block_costs(pid),
+            mote.static_edge_costs(pid),
+            s,
+            RobustOptions::default(),
+        )
+    };
+    let a = run(&clean);
+    let b = run(&faulted);
+    assert_eq!(a.estimate.probs.as_slice(), b.estimate.probs.as_slice());
+    assert_eq!(a.rung, b.rung);
+    assert_eq!(a.confidence, b.confidence);
+}
+
+#[test]
+fn fault_injection_is_identical_across_thread_counts() {
+    let (_mote, _pid, clean) = profile_sense(500, 79);
+
+    // The e13 sweep shards cells across `CT_THREADS` workers; each cell's
+    // corruption must depend only on its plan, never on which worker ran it
+    // or in what order. Re-apply the same plans concurrently from several
+    // threads and demand bitwise-identical streams.
+    let plans: Vec<FaultPlan> = FaultKind::ALL
+        .into_iter()
+        .enumerate()
+        .map(|(i, kind)| FaultPlan::single(kind, 0.4, 31_337 + i as u64))
+        .collect();
+    let reference: Vec<TimingSamples> = plans.iter().map(|p| p.build().apply(&clean)).collect();
+
+    for workers in [1usize, 4] {
+        let replayed: Vec<TimingSamples> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let plans = &plans;
+                    let clean = &clean;
+                    scope.spawn(move || {
+                        plans
+                            .iter()
+                            .map(|p| p.build().apply(clean))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            let mut first = None;
+            for h in handles {
+                let got = h.join().expect("worker panicked");
+                if let Some(prev) = &first {
+                    assert_eq!(prev, &got, "workers disagreed at {workers} threads");
+                } else {
+                    first = Some(got);
+                }
+            }
+            first.expect("at least one worker")
+        });
+        assert_eq!(reference, replayed, "thread count {workers} changed faults");
+    }
+}
