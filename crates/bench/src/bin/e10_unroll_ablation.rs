@@ -5,14 +5,17 @@
 //! loop-heavy kernels estimable; the plain Markov model's geometric loop
 //! approximation lets EM trade loop iterations against data branches.
 
-use ct_bench::{f4, run_app, write_result, Mcu, Table};
+use ct_bench::{f4, write_result, Table};
 use ct_core::accuracy::compare;
-use ct_core::estimator::{estimate, EstimateOptions, Method};
+use ct_core::estimator::{EstimateOptions, Method};
 use ct_core::unrolled::estimate_unrolled;
-use ct_mote::timer::VirtualTimer;
+use ct_pipeline::{EnvConfig, EstimatorChoice, RunConfig, Session};
 
 fn main() {
-    let n = 4_000;
+    let env = EnvConfig::load();
+    eprintln!("e10: {}", env.banner());
+    let n = env.pick(4_000, 400);
+    let seed = env.seed_or(10_000);
     let mut table = Table::new(vec![
         "app",
         "counted loops",
@@ -23,33 +26,27 @@ fn main() {
     ]);
 
     for app in ct_apps::all_apps() {
-        let run = run_app(&app, Mcu::Avr, n, VirtualTimer::cycle_accurate(), 0, 10_000);
+        let session = Session::new(RunConfig::for_app(app.clone()).invocations(n).seeded(seed));
+        let run = session.collect().expect("bundled apps must not trap");
         if run.counted_loops.is_empty() {
             continue;
         }
         let cfg = run.cfg();
 
-        let plain = estimate(
-            cfg,
-            &run.block_costs,
-            &run.edge_costs,
-            &run.samples,
-            EstimateOptions {
-                method: Some(Method::Em),
+        let forced = |method: Method| {
+            EstimatorChoice::Naive(EstimateOptions {
+                method: Some(method),
                 ..Default::default()
-            },
-        )
-        .map(|e| {
-            compare(
-                cfg,
-                &e.probs,
-                &run.truth,
-                &run.truth_profile,
-                run.invocations,
-            )
-            .weighted_mae
-        });
+            })
+        };
+        let plain = session
+            .estimate_as(&run, &forced(Method::Em))
+            .map(|e| e.accuracy.weighted_mae);
+        let moments = session
+            .estimate_as(&run, &forced(Method::Moments))
+            .map(|e| e.accuracy.weighted_mae);
 
+        // The pure unrolled model, no fallback — this is the ablation arm.
         let unrolled = estimate_unrolled(
             cfg,
             &run.counted_loops,
@@ -69,41 +66,20 @@ fn main() {
             .weighted_mae
         });
 
-        let moments = estimate(
-            cfg,
-            &run.block_costs,
-            &run.edge_costs,
-            &run.samples,
-            EstimateOptions {
-                method: Some(Method::Moments),
-                ..Default::default()
-            },
-        )
-        .map(|e| {
-            compare(
-                cfg,
-                &e.probs,
-                &run.truth,
-                &run.truth_profile,
-                run.invocations,
-            )
-            .weighted_mae
-        });
-
         let unrolled_blocks = ct_cfg::unroll::unroll(cfg, &run.counted_loops)
             .map(|u| u.cfg.len().to_string())
             .unwrap_or_else(|_| "-".into());
 
-        let fmt = |r: Result<f64, _>| match r {
+        let fmt = |r: Result<f64, ()>| match r {
             Ok(v) => f4(v),
-            Err(_) => "failed".to_string(),
+            Err(()) => "failed".to_string(),
         };
         table.row(vec![
             app.name.to_string(),
             run.counted_loops.len().to_string(),
-            fmt(plain.map_err(|_: ct_core::estimator::EstimateError| ())),
-            fmt(unrolled.map_err(|_: ct_core::unrolled::UnrolledError| ())),
-            fmt(moments.map_err(|_: ct_core::estimator::EstimateError| ())),
+            fmt(plain.map_err(|_| ())),
+            fmt(unrolled.map_err(|_| ())),
+            fmt(moments.map_err(|_| ())),
             unrolled_blocks,
         ]);
         eprintln!("e10: {} done", app.name);
@@ -113,9 +89,13 @@ fn main() {
         "# E10 — Counted-loop unrolling ablation (weighted MAE)\n\n\
          {n} samples, cycle-accurate timer, apps with compiler-proved trip counts only.\n\
          Plain EM runs on the geometric loop model; EM+unroll runs on the\n\
-         deterministic unrolled model with copy parameters tied.\n\n{}",
+         deterministic unrolled model with copy parameters tied.\n\
+         {}\n\n{}",
+        env.banner(),
         table.to_markdown()
     );
     println!("{out}");
-    write_result("e10_unroll_ablation.md", &out);
+    if !env.smoke {
+        write_result("e10_unroll_ablation.md", &out);
+    }
 }

@@ -8,14 +8,14 @@
 //! observed durations off the model's support, while a coarser tick's
 //! quantization kernel absorbs them — quantization buys robustness.
 
-use ct_bench::{estimate_run, f4, run_app, write_result, Mcu, Table};
+use ct_bench::{f4, write_result, AppRun, Table};
 use ct_core::accuracy::compare;
 use ct_core::estimator::{Estimate, EstimateOptions, Method};
 use ct_core::unrolled::estimate_unrolled;
-use ct_mote::timer::VirtualTimer;
+use ct_pipeline::{EnvConfig, RunConfig, Session};
 
 /// Re-estimates a run with perturbed block costs.
-fn estimate_with_model_error(run: &ct_bench::AppRun, delta: f64) -> Option<(Estimate, f64)> {
+fn estimate_with_model_error(run: &AppRun, delta: f64) -> Option<(Estimate, f64)> {
     let bc: Vec<u64> = run
         .block_costs
         .iter()
@@ -61,22 +61,38 @@ fn estimate_with_model_error(run: &ct_bench::AppRun, delta: f64) -> Option<(Esti
 }
 
 fn main() {
-    let n = 3_000;
+    let env = EnvConfig::load();
+    eprintln!("e11: {}", env.banner());
+    let n = env.pick(3_000, 300);
+    let seed = env.seed_or(11_000);
     let deltas = [-0.10, -0.05, -0.01, 0.0, 0.01, 0.05, 0.10];
-    let apps = ["sense", "oscilloscope", "crc"];
+    let apps: &[&str] = env.pick(&["sense", "oscilloscope", "crc"], &["sense"]);
+    let resolutions: &[u64] = env.pick(&[1u64, 8, 64], &[1, 8]);
     let mut table = Table::new(vec![
         "app", "cpt", "δ=-10%", "δ=-5%", "δ=-1%", "δ=0", "δ=+1%", "δ=+5%", "δ=+10%",
     ]);
 
+    let collect = |name: &str, cpt: u64| {
+        let session = Session::new(
+            RunConfig::new(name)
+                .invocations(n)
+                .resolution(cpt)
+                .seeded(seed),
+        );
+        let run = session.collect().expect("bundled apps must not trap");
+        (session, run)
+    };
+
     for name in apps {
-        let app = ct_apps::app_by_name(name).expect("app exists");
-        for cpt in [1u64, 8, 64] {
-            let run = run_app(&app, Mcu::Avr, n, VirtualTimer::new(cpt), 0, 11_000);
+        for &cpt in resolutions {
+            let (session, run) = collect(name, cpt);
             let mut cells = vec![name.to_string(), cpt.to_string()];
             for &d in &deltas {
                 let wmae = if d == 0.0 {
-                    estimate_run(&run, EstimateOptions::default())
-                        .1
+                    session
+                        .estimate(&run)
+                        .expect("estimation succeeds")
+                        .accuracy
                         .weighted_mae
                 } else {
                     match estimate_with_model_error(&run, d) {
@@ -95,9 +111,8 @@ fn main() {
     // mechanism (appendix table).
     let mut rej = Table::new(vec!["app", "cpt", "unexplained @ δ=+5%"]);
     for name in apps {
-        let app = ct_apps::app_by_name(name).expect("app exists");
-        for cpt in [1u64, 8, 64] {
-            let run = run_app(&app, Mcu::Avr, n, VirtualTimer::new(cpt), 0, 11_000);
+        for &cpt in resolutions {
+            let (_session, run) = collect(name, cpt);
             let cell = match estimate_with_model_error(&run, 0.05) {
                 Some((e, _)) => format!("{}/{}", e.unexplained, run.samples.len()),
                 None => "-".into(),
@@ -110,11 +125,15 @@ fn main() {
         "# E11 — Estimation accuracy (weighted MAE) under block-cost model error\n\n\
          {n} samples; the estimator's block costs are scaled by (1+δ) while the mote\n\
          runs true costs. Coarser ticks absorb small model errors inside the\n\
-         quantization kernel; cycle-accurate estimation rejects off-support samples.\n\n{}\n\
+         quantization kernel; cycle-accurate estimation rejects off-support samples.\n\
+         {}\n\n{}\n\
          ## Rejected samples at δ=+5%\n\n{}",
+        env.banner(),
         table.to_markdown(),
         rej.to_markdown()
     );
     println!("{out}");
-    write_result("e11_model_error.md", &out);
+    if !env.smoke {
+        write_result("e11_model_error.md", &out);
+    }
 }

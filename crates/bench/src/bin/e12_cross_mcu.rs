@@ -7,19 +7,18 @@
 //! converts the placement savings into charge (µC), the quantity that
 //! actually sizes a mote's battery life.
 
-use ct_bench::{
-    edge_frequencies, estimate_run, f2, f4, penalties, replay_with_layout, run_app, write_result,
-    Mcu, Table,
-};
+use ct_bench::{f2, f4, write_result, Table};
 use ct_cfg::layout::Layout;
-use ct_core::estimator::EstimateOptions;
 use ct_mote::energy::EnergyModel;
 use ct_mote::timer::VirtualTimer;
-use ct_placement::{place_procedure, Strategy};
+use ct_pipeline::{EnvConfig, Mcu, RunConfig, Session};
+use ct_placement::Strategy;
 
 fn main() {
-    let n = 3_000;
-    let seed = 12_000;
+    let env = EnvConfig::load();
+    eprintln!("e12: {}", env.banner());
+    let n = env.pick(3_000, 400);
+    let seed = env.seed_or(12_000);
     let mut table = Table::new(vec![
         "app",
         "mcu",
@@ -30,25 +29,37 @@ fn main() {
         "charge saved µC",
     ]);
 
-    for app in ct_apps::all_apps() {
+    let apps = ct_apps::all_apps();
+    let apps = &apps[..env.pick(apps.len(), 2)];
+    for app in apps {
         for (mcu, energy) in [
             (Mcu::Avr, EnergyModel::micaz()),
             (Mcu::Msp430, EnergyModel::telosb()),
         ] {
-            let run = run_app(&app, mcu, n, VirtualTimer::mhz1_at_8mhz(), 0, seed);
-            let (est, acc) = estimate_run(&run, EstimateOptions::default());
+            let session = Session::new(
+                RunConfig::for_app(app.clone())
+                    .on(mcu)
+                    .invocations(n)
+                    .resolution(VirtualTimer::mhz1_at_8mhz().cycles_per_tick())
+                    .seeded(seed),
+            );
+            let run = session.collect().expect("bundled apps must not trap");
+            let est = session.estimate(&run).expect("estimation succeeds");
             let cfg = run.cfg().clone();
-            let pen = penalties(mcu);
-            let freq = edge_frequencies(&cfg, &est.probs);
-            let optimized = place_procedure(&cfg, &freq, &pen, Strategy::Best);
+            let optimized = session
+                .place(&run, &est.estimate.probs, Strategy::Best)
+                .expect("estimated profile places");
 
-            let (before, cyc_before) =
-                replay_with_layout(&app, mcu, Layout::natural(&cfg), n, seed);
-            let (after, cyc_after) = replay_with_layout(&app, mcu, optimized, n, seed);
-            let saved_pct = (cyc_before as f64 - cyc_after as f64) / cyc_before as f64 * 100.0;
+            let before = session
+                .evaluate(&Layout::natural(&cfg))
+                .expect("replay must not trap");
+            let after = session.evaluate(&optimized).expect("replay must not trap");
+            let saved_pct =
+                (before.cycles as f64 - after.cycles as f64) / before.cycles as f64 * 100.0;
             // Placement changes CPU cycles only; device activity is identical
             // on replayed inputs, so the charge delta is pure CPU.
-            let charge_saved = energy.charge_uc(cyc_before - cyc_after.min(cyc_before), 0, 0);
+            let charge_saved =
+                energy.charge_uc(before.cycles - after.cycles.min(before.cycles), 0, 0);
 
             table.row(vec![
                 app.name.to_string(),
@@ -56,9 +67,9 @@ fn main() {
                     Mcu::Avr => "avr/micaz".to_string(),
                     Mcu::Msp430 => "msp430/telosb".to_string(),
                 },
-                f4(acc.weighted_mae),
-                f4(before.misprediction_rate()),
-                f4(after.misprediction_rate()),
+                f4(est.accuracy.weighted_mae),
+                f4(before.cost.misprediction_rate()),
+                f4(after.cost.misprediction_rate()),
                 f2(saved_pct),
                 f2(charge_saved),
             ]);
@@ -70,9 +81,13 @@ fn main() {
         "# E12 — Cross-MCU pipeline: estimation, placement and energy\n\n\
          {n} invocations; 1 MHz measurement timer; placement from the estimated\n\
          profile; identical replayed inputs per layout (seed {seed}). Charge model:\n\
-         MicaZ ≈ 1000 µC/Mcycle, TelosB ≈ 250 µC/Mcycle (CPU active).\n\n{}",
+         MicaZ ≈ 1000 µC/Mcycle, TelosB ≈ 250 µC/Mcycle (CPU active).\n\
+         {}\n\n{}",
+        env.banner(),
         table.to_markdown()
     );
     println!("{out}");
-    write_result("e12_cross_mcu.md", &out);
+    if !env.smoke {
+        write_result("e12_cross_mcu.md", &out);
+    }
 }

@@ -5,7 +5,8 @@
 //! base station intact. Real record channels drift, drop, duplicate, reorder,
 //! truncate, and occasionally deliver garbage (all-ones bus reads, wrapped
 //! wrong-order subtractions). This experiment corrupts each app's tick stream
-//! with every `ct-faults` model at increasing rates and compares:
+//! with every `ct-faults` model at increasing rates (the pipeline's `Corrupt`
+//! stage, driven by the config's [`ct_faults::FaultPlan`]) and compares:
 //!
 //! * **naive** — the repo front door [`ct_core::estimate`]; a hard error
 //!   (e.g. overflowing ticks) falls back to the uniform prior, mirroring a
@@ -20,34 +21,16 @@
 //! subtractions) still land astronomically off-scale, where the validation
 //! gate (naive) or the trimming pre-filter (ladder) must deal with them.
 //!
-//! `E13_SMOKE=1` runs a tiny grid without writing `results/` (for check.sh).
+//! `E13_SMOKE=1` (or `CT_SMOKE=1`) runs a tiny grid without writing
+//! `results/` (for check.sh).
 
-use ct_bench::{f4, par_sweep, penalties, run_app, write_result, Mcu, Table};
-use ct_cfg::graph::Cfg;
-use ct_cfg::layout::{Layout, PenaltyModel};
+use ct_bench::{f4, par_sweep, write_result, Table};
 use ct_cfg::profile::BranchProbs;
-use ct_core::accuracy::compare;
-use ct_core::estimator::{estimate, estimate_robust, EstimateOptions, RobustOptions};
+use ct_core::estimator::{EstimateOptions, RobustOptions};
 use ct_faults::{FaultKind, FaultPlan};
 use ct_mote::timer::VirtualTimer;
-use ct_placement::{place_with_confidence, Strategy, MIN_PLACEMENT_CONFIDENCE};
-
-/// Lays out `cfg` from an estimate, degrading to the natural layout when the
-/// estimate cannot even produce edge frequencies (exit unreachable under a
-/// degenerate probability vector) — placement must never crash the pipeline.
-fn layout_from(cfg: &Cfg, probs: &BranchProbs, confidence: f64, pen: &PenaltyModel) -> Layout {
-    match ct_markov::visits::expected_edge_traversals(cfg, probs) {
-        Ok(freq) => place_with_confidence(
-            cfg,
-            &freq,
-            confidence,
-            MIN_PLACEMENT_CONFIDENCE,
-            pen,
-            Strategy::Best,
-        ),
-        Err(_) => Layout::natural(cfg),
-    }
-}
+use ct_pipeline::{EnvConfig, EstimatorChoice, RunConfig, Session};
+use ct_placement::Strategy;
 
 struct CellResult {
     row: Vec<String>,
@@ -58,18 +41,12 @@ struct CellResult {
 }
 
 fn main() {
-    let smoke = std::env::var("E13_SMOKE").is_ok();
-    let n = if smoke { 400 } else { 3_000 };
-    let apps: &[&str] = if smoke {
-        &["sense"]
-    } else {
-        &["sense", "event_detect", "oscilloscope"]
-    };
-    let rates: &[f64] = if smoke {
-        &[0.0, 0.5]
-    } else {
-        &[0.0, 0.1, 0.3, 0.5, 1.0]
-    };
+    let env = EnvConfig::load_with_smoke_alias(Some("E13_SMOKE"));
+    eprintln!("e13: {}", env.banner());
+    let n = env.pick(3_000, 400);
+    let seed_base = env.seed_or(13_000);
+    let apps: &[&str] = env.pick(&["sense", "event_detect", "oscilloscope"], &["sense"]);
+    let rates: &[f64] = env.pick(&[0.0, 0.1, 0.3, 0.5, 1.0], &[0.0, 0.5]);
 
     let mut grid = Vec::new();
     for (ai, &app) in apps.iter().enumerate() {
@@ -79,7 +56,7 @@ fn main() {
                 // every fault sees the same clean stream and comparisons are
                 // paired) and the plan seed is a pure function of the cell —
                 // independent of sweep order and `CT_THREADS`.
-                let run_seed = 13_000 + ai as u64;
+                let run_seed = seed_base + ai as u64;
                 let plan_seed = 0x13_0000 + (ai * 1_000 + ki * 10 + ri) as u64;
                 grid.push((app, kind, rate, run_seed, plan_seed));
             }
@@ -87,47 +64,57 @@ fn main() {
     }
 
     let cells = par_sweep(grid, |(name, kind, rate, run_seed, plan_seed)| {
-        let app = ct_apps::app_by_name(name).expect("app exists");
-        let run = run_app(&app, Mcu::Avr, n, VirtualTimer::mhz1_at_8mhz(), 0, run_seed);
-        let faulty = FaultPlan::single(kind, rate, plan_seed)
-            .build()
-            .apply(&run.samples);
+        // `no_unroll` keeps the naive arm on the plain `estimate()` front
+        // door, matching a deployment with no compiler assist.
+        let session = Session::new(
+            RunConfig::new(name)
+                .invocations(n)
+                .resolution(VirtualTimer::mhz1_at_8mhz().cycles_per_tick())
+                .seeded(run_seed)
+                .faulted(FaultPlan::single(kind, rate, plan_seed))
+                .no_unroll(),
+        );
+        let run = session.collect().expect("bundled apps must not trap");
         let cfg = run.cfg();
 
         // Naive: front door, hard error → uniform prior, always places.
-        let naive = estimate(
-            cfg,
-            &run.block_costs,
-            &run.edge_costs,
-            &faulty,
-            EstimateOptions::default(),
-        )
-        .map(|e| e.probs)
-        .unwrap_or_else(|_| BranchProbs::uniform(cfg, 0.5));
+        let naive = session.estimate_as(&run, &EstimatorChoice::Naive(EstimateOptions::default()));
+        let (naive_probs, naive_wmae) = match &naive {
+            Ok(e) => (e.estimate.probs.clone(), e.accuracy.weighted_mae),
+            Err(_) => {
+                let probs = BranchProbs::uniform(cfg, 0.5);
+                let acc = ct_core::accuracy::compare(
+                    cfg,
+                    &probs,
+                    &run.truth,
+                    &run.truth_profile,
+                    run.invocations,
+                );
+                (probs, acc.weighted_mae)
+            }
+        };
 
         // Ladder: never fails; carries rung + confidence.
-        let robust = estimate_robust(
-            cfg,
-            &run.block_costs,
-            &run.edge_costs,
-            &faulty,
-            RobustOptions::default(),
-        );
+        let ladder = session
+            .estimate_as(&run, &EstimatorChoice::Robust(RobustOptions::default()))
+            .expect("the ladder never fails");
+        let robust = ladder
+            .robust
+            .as_ref()
+            .expect("robust choice carries the ladder");
 
-        let naive_acc = compare(cfg, &naive, &run.truth, &run.truth_profile, run.invocations);
-        let ladder_acc = compare(
-            cfg,
-            &robust.estimate.probs,
-            &run.truth,
-            &run.truth_profile,
-            run.invocations,
-        );
-
-        let pen = penalties(Mcu::Avr);
-        let naive_mr = layout_from(cfg, &naive, 1.0, &pen)
+        let pen = session.config().penalties();
+        let naive_mr = session
+            .place_gated(&run, &naive_probs, 1.0, Strategy::Best)
             .evaluate(cfg, &run.truth_profile, &pen)
             .misprediction_rate();
-        let ladder_mr = layout_from(cfg, &robust.estimate.probs, robust.confidence, &pen)
+        let ladder_mr = session
+            .place_gated(
+                &run,
+                &ladder.estimate.probs,
+                ladder.confidence,
+                Strategy::Best,
+            )
             .evaluate(cfg, &run.truth_profile, &pen)
             .misprediction_rate();
 
@@ -145,17 +132,17 @@ fn main() {
                 name.to_string(),
                 kind.to_string(),
                 format!("{rate:.1}"),
-                f4(naive_acc.weighted_mae),
-                f4(ladder_acc.weighted_mae),
+                f4(naive_wmae),
+                f4(ladder.accuracy.weighted_mae),
                 robust.rung.to_string(),
-                format!("{:.2}", robust.confidence),
+                format!("{:.2}", ladder.confidence),
                 f4(naive_mr),
                 f4(ladder_mr),
             ],
             kind,
             rate,
-            naive_wmae: naive_acc.weighted_mae,
-            ladder_wmae: ladder_acc.weighted_mae,
+            naive_wmae,
+            ladder_wmae: ladder.accuracy.weighted_mae,
         }
     });
 
@@ -214,13 +201,15 @@ fn main() {
          the given rate. naive = `estimate()` with hard errors replaced by the\n\
          uniform prior, placement ungated; ladder = `estimate_robust()` with\n\
          confidence-gated placement. `mispred` = taken-branch fraction of the\n\
-         resulting layout replayed against ground truth.\n\n{}\n\
+         resulting layout replayed against ground truth.\n\
+         {}\n\n{}\n\
          ## Verdict — mean weighted MAE at fault rates ≥ 0.3\n\n{}",
+        env.banner(),
         table.to_markdown(),
         verdict.to_markdown()
     );
     println!("{out}");
-    if !smoke {
+    if !env.smoke {
         write_result("e13_faults.md", &out);
         if !failures.is_empty() {
             eprintln!("e13: ACCEPTANCE FAILED:");

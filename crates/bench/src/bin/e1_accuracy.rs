@@ -4,18 +4,23 @@
 //! improving with more samples. Cycle-accurate timer isolates the
 //! statistical (not quantization) error.
 
-use ct_bench::{estimate_run, f4, par_sweep, run_app, write_result, Mcu, Table};
-use ct_core::estimator::EstimateOptions;
-use ct_mote::timer::VirtualTimer;
+use ct_bench::{f4, par_sweep, write_result, Table};
+use ct_pipeline::{EnvConfig, RunConfig, Session};
 
 fn main() {
-    let sample_counts = [100usize, 500, 1_000, 5_000, 20_000];
-    let mut table = Table::new(vec![
-        "app", "branches", "n=100", "n=500", "n=1000", "n=5000", "n=20000", "method",
-    ]);
+    let env = EnvConfig::load();
+    eprintln!("e1: {}", env.banner());
+    let sample_counts: &[usize] = env.pick(&[100, 500, 1_000, 5_000, 20_000], &[100, 500]);
+    let seed_base = env.seed_or(1_000);
+
+    let mut headers = vec!["app".to_string(), "branches".to_string()];
+    headers.extend(sample_counts.iter().map(|n| format!("n={n}")));
+    headers.push("method".to_string());
+    let mut table = Table::new(headers);
 
     // One job per (app, sample count) cell; results come back in grid order.
     let apps = ct_apps::all_apps();
+    let apps = &apps[..env.pick(apps.len(), 2)];
     let grid: Vec<(usize, usize, usize)> = (0..apps.len())
         .flat_map(|a| {
             sample_counts
@@ -25,17 +30,18 @@ fn main() {
         })
         .collect();
     let measured = par_sweep(grid, |(a, i, n)| {
-        let app = &apps[a];
-        let run = run_app(
-            app,
-            Mcu::Avr,
-            n,
-            VirtualTimer::cycle_accurate(),
-            0,
-            1000 + i as u64,
+        let session = Session::new(
+            RunConfig::for_app(apps[a].clone())
+                .invocations(n)
+                .seeded(seed_base + i as u64),
         );
-        let (est, acc) = estimate_run(&run, EstimateOptions::default());
-        (acc.n_branches, acc.weighted_mae, est.method.to_string())
+        let run = session.collect().expect("bundled apps must not trap");
+        let est = session.estimate(&run).expect("estimation succeeds");
+        (
+            est.accuracy.n_branches,
+            est.accuracy.weighted_mae,
+            est.estimate.method.to_string(),
+        )
     });
 
     for (a, app) in apps.iter().enumerate() {
@@ -49,9 +55,13 @@ fn main() {
 
     let out = format!(
         "# E1 — Estimation accuracy (weighted MAE of branch probabilities) vs sample count\n\n\
-         Cycle-accurate timer; AVR cost model; seed family 1000+.\n\n{}",
+         Cycle-accurate timer; AVR cost model; seed family {seed_base}+.\n\
+         {}\n\n{}",
+        env.banner(),
         table.to_markdown()
     );
     println!("{out}");
-    write_result("e1_accuracy.md", &out);
+    if !env.smoke {
+        write_result("e1_accuracy.md", &out);
+    }
 }

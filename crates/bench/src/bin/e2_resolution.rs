@@ -4,21 +4,24 @@
 //! motes actually have. The quantization-aware likelihood should degrade
 //! gracefully as ticks get coarser than path-duration differences.
 
-use ct_bench::{estimate_run, f4, par_sweep, run_app, write_result, Mcu, Table};
-use ct_core::estimator::EstimateOptions;
-use ct_mote::timer::VirtualTimer;
+use ct_bench::{f4, par_sweep, write_result, Table};
+use ct_pipeline::{EnvConfig, RunConfig, Session};
 
 fn main() {
+    let env = EnvConfig::load();
+    eprintln!("e2: {}", env.banner());
     // cycles per tick: cycle-accurate, 1 MHz @8 MHz, 125 kHz, 32.768 kHz
     // crystal, and a pathologically slow tick.
     let resolutions = [1u64, 8, 64, 244, 1024];
-    let n = 5_000;
+    let n = env.pick(5_000, 400);
+    let seed_base = env.seed_or(2_000);
     let mut table = Table::new(vec![
         "app", "cpt=1", "cpt=8", "cpt=64", "cpt=244", "cpt=1024",
     ]);
 
     // One job per (app, resolution) cell; results come back in grid order.
     let apps = ct_apps::all_apps();
+    let apps = &apps[..env.pick(apps.len(), 2)];
     let grid: Vec<(usize, usize, u64)> = (0..apps.len())
         .flat_map(|a| {
             resolutions
@@ -28,16 +31,15 @@ fn main() {
         })
         .collect();
     let measured = par_sweep(grid, |(a, i, cpt)| {
-        let run = run_app(
-            &apps[a],
-            Mcu::Avr,
-            n,
-            VirtualTimer::new(cpt),
-            0,
-            2000 + i as u64,
+        let session = Session::new(
+            RunConfig::for_app(apps[a].clone())
+                .invocations(n)
+                .resolution(cpt)
+                .seeded(seed_base + i as u64),
         );
-        let (_est, acc) = estimate_run(&run, EstimateOptions::default());
-        acc.weighted_mae
+        let run = session.collect().expect("bundled apps must not trap");
+        let est = session.estimate(&run).expect("estimation succeeds");
+        est.accuracy.weighted_mae
     });
 
     for (a, app) in apps.iter().enumerate() {
@@ -51,9 +53,13 @@ fn main() {
     let out = format!(
         "# E2 — Estimation accuracy (weighted MAE) vs timer resolution\n\n\
          n = {n} samples per point; AVR cost model. cpt = cycles per tick\n\
-         (244 ≈ a 32.768 kHz crystal viewed from an 8 MHz core).\n\n{}",
+         (244 ≈ a 32.768 kHz crystal viewed from an 8 MHz core).\n\
+         {}\n\n{}",
+        env.banner(),
         table.to_markdown()
     );
     println!("{out}");
-    write_result("e2_resolution.md", &out);
+    if !env.smoke {
+        write_result("e2_resolution.md", &out);
+    }
 }

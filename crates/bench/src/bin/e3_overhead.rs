@@ -3,17 +3,20 @@
 //! Claim evaluated: entry/exit timestamps cost far less than conventional
 //! instrumentation on all three mote-relevant axes: cycles, RAM, flash.
 
-use ct_bench::{f2, run_with_profiler, write_result, Mcu, Table};
+use ct_bench::{f2, write_result, Table};
 use ct_mote::timer::VirtualTimer;
 use ct_mote::trace::{NullProfiler, TimingProfiler};
+use ct_pipeline::{run_with_profiler, EnvConfig, RunConfig};
 use ct_profilers::ball_larus::BallLarusProfiler;
 use ct_profilers::edge_counter::EdgeCounterProfiler;
 use ct_profilers::overhead::tomography;
 use ct_profilers::sampling::SamplingProfiler;
 
 fn main() {
-    let n = 2_000;
-    let seed = 3_000;
+    let env = EnvConfig::load();
+    eprintln!("e3: {}", env.banner());
+    let n = env.pick(2_000, 300);
+    let seed = env.seed_or(3_000);
     let mut table = Table::new(vec![
         "app",
         "approach",
@@ -23,9 +26,15 @@ fn main() {
         "exact?",
     ]);
 
-    for app in ct_apps::all_apps() {
+    let apps = ct_apps::all_apps();
+    let apps = &apps[..env.pick(apps.len(), 2)];
+    for app in apps {
         let program = app.compile();
-        let base = run_with_profiler(&app, Mcu::Avr, n, seed, &mut NullProfiler);
+        let config = RunConfig::for_app(app.clone()).invocations(n).seeded(seed);
+        let replay = |profiler: &mut dyn ct_mote::trace::Profiler| {
+            run_with_profiler(&config, profiler).expect("bundled apps must not trap")
+        };
+        let base = replay(&mut NullProfiler);
 
         // Code Tomography: a timestamp at every proc entry/exit.
         let mut tp = TimingProfiler::new(
@@ -33,16 +42,16 @@ fn main() {
             VirtualTimer::khz32_at_8mhz(),
             tomography::TIMESTAMP_CYCLES,
         );
-        let tomo = run_with_profiler(&app, Mcu::Avr, n, seed, &mut tp);
+        let tomo = replay(&mut tp);
 
         let mut ec = EdgeCounterProfiler::new(&program);
-        let edges = run_with_profiler(&app, Mcu::Avr, n, seed, &mut ec);
+        let edges = replay(&mut ec);
 
         let mut bl = BallLarusProfiler::new(&program);
-        let ball = run_with_profiler(&app, Mcu::Avr, n, seed, &mut bl);
+        let ball = replay(&mut bl);
 
         let mut sp = SamplingProfiler::new(&program, 1009);
-        let sampling = run_with_profiler(&app, Mcu::Avr, n, seed, &mut sp);
+        let sampling = replay(&mut sp);
 
         let pct = |cycles: u64| f2((cycles as f64 - base as f64) / base as f64 * 100.0);
         let rows: Vec<(&str, String, u32, u32, &str)> = vec![
@@ -91,10 +100,14 @@ fn main() {
     let out = format!(
         "# E3 — Profiling overhead: runtime cycles, RAM, flash\n\n\
          {n} target invocations per app; AVR cost model; sampling period 1009 cycles;\n\
-         tomography timestamps cost {} cycles each.\n\n{}",
+         tomography timestamps cost {} cycles each.\n\
+         {}\n\n{}",
         tomography::TIMESTAMP_CYCLES,
+        env.banner(),
         table.to_markdown()
     );
     println!("{out}");
-    write_result("e3_overhead.md", &out);
+    if !env.smoke {
+        write_result("e3_overhead.md", &out);
+    }
 }

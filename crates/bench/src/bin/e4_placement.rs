@@ -4,19 +4,18 @@
 //! profile reduces the taken-branch (misprediction) rate close to what the
 //! exact profile achieves. Layouts compared on identical replayed inputs.
 
-use ct_bench::{
-    edge_frequencies, estimate_run, f4, penalties, random_layout, replay_with_layout, run_app,
-    write_result, Mcu, Table,
-};
+use ct_bench::{f4, write_result, Table};
 use ct_cfg::layout::Layout;
-use ct_core::estimator::EstimateOptions;
 use ct_mote::timer::VirtualTimer;
-use ct_placement::{place_procedure, Strategy};
+use ct_pipeline::{random_layout, EnvConfig, Mcu, RunConfig, Session};
+use ct_placement::Strategy;
 
 fn main() {
-    let n = 3_000;
+    let env = EnvConfig::load();
+    eprintln!("e4: {}", env.banner());
+    let n = env.pick(3_000, 400);
+    let seed = env.seed_or(4_000);
     let mcu = Mcu::Avr;
-    let pen = penalties(mcu);
     let mut table = Table::new(vec![
         "app",
         "natural",
@@ -26,32 +25,42 @@ fn main() {
         "est-vs-true gap",
     ]);
 
-    for app in ct_apps::all_apps() {
+    let apps = ct_apps::all_apps();
+    let apps = &apps[..env.pick(apps.len(), 2)];
+    for app in apps {
         // Profile once on the natural layout with the realistic coarse timer.
-        let run = run_app(&app, mcu, n, VirtualTimer::mhz1_at_8mhz(), 0, 4_000);
-        let (est, _acc) = estimate_run(&run, EstimateOptions::default());
+        let session = Session::new(
+            RunConfig::for_app(app.clone())
+                .on(mcu)
+                .invocations(n)
+                .resolution(VirtualTimer::mhz1_at_8mhz().cycles_per_tick())
+                .seeded(seed),
+        );
+        let run = session.collect().expect("bundled apps must not trap");
+        let est = session.estimate(&run).expect("estimation succeeds");
         let cfg = run.cfg().clone();
-
-        let freq_true = edge_frequencies(&cfg, &run.truth);
-        let freq_est = edge_frequencies(&cfg, &est.probs);
 
         let layouts: Vec<(&str, Layout)> = vec![
             ("natural", Layout::natural(&cfg)),
             ("random", random_layout(&cfg, 99)),
             (
                 "PH(true)",
-                place_procedure(&cfg, &freq_true, &pen, Strategy::PettisHansen),
+                session
+                    .place(&run, &run.truth, Strategy::PettisHansen)
+                    .expect("true profile places"),
             ),
             (
                 "PH(estimated)",
-                place_procedure(&cfg, &freq_est, &pen, Strategy::PettisHansen),
+                session
+                    .place(&run, &est.estimate.probs, Strategy::PettisHansen)
+                    .expect("estimated profile places"),
             ),
         ];
 
         let mut rates = Vec::new();
         for (_, layout) in &layouts {
-            let (cost, _cycles) = replay_with_layout(&app, mcu, layout.clone(), n, 4_000);
-            rates.push(cost.misprediction_rate());
+            let evaluated = session.evaluate(layout).expect("replay must not trap");
+            rates.push(evaluated.cost.misprediction_rate());
         }
         let gap = rates[3] - rates[2];
         table.row(vec![
@@ -67,11 +76,15 @@ fn main() {
 
     let out = format!(
         "# E4 — Misprediction (taken-branch) rate by layout\n\n\
-         {n} invocations, identical inputs per layout (seed 4000); profile taken on the\n\
+         {n} invocations, identical inputs per layout (seed {seed}); profile taken on the\n\
          natural layout with a 1 MHz timer (see E2 for the resolution sweep); placement = Pettis–Hansen.\n\
-         Static predict-not-taken: every taken conditional branch mispredicts.\n\n{}",
+         Static predict-not-taken: every taken conditional branch mispredicts.\n\
+         {}\n\n{}",
+        env.banner(),
         table.to_markdown()
     );
     println!("{out}");
-    write_result("e4_placement.md", &out);
+    if !env.smoke {
+        write_result("e4_placement.md", &out);
+    }
 }

@@ -4,19 +4,18 @@
 //! measurable whole-workload cycle saving, and the estimated profile
 //! captures most of the saving available to the exact profile.
 
-use ct_bench::{
-    edge_frequencies, estimate_run, f4, penalties, random_layout, replay_with_layout, run_app,
-    write_result, Mcu, Table,
-};
+use ct_bench::{f4, write_result, Table};
 use ct_cfg::layout::Layout;
-use ct_core::estimator::EstimateOptions;
 use ct_mote::timer::VirtualTimer;
-use ct_placement::{place_procedure, Strategy};
+use ct_pipeline::{random_layout, EnvConfig, Mcu, RunConfig, Session};
+use ct_placement::Strategy;
 
 fn main() {
-    let n = 3_000;
+    let env = EnvConfig::load();
+    eprintln!("e5: {}", env.banner());
+    let n = env.pick(3_000, 400);
+    let seed = env.seed_or(5_000);
     let mcu = Mcu::Avr;
-    let pen = penalties(mcu);
     let mut table = Table::new(vec![
         "app",
         "natural cycles",
@@ -26,22 +25,33 @@ fn main() {
         "captured",
     ]);
 
-    for app in ct_apps::all_apps() {
-        let run = run_app(&app, mcu, n, VirtualTimer::mhz1_at_8mhz(), 0, 5_000);
-        let (est, _) = estimate_run(&run, EstimateOptions::default());
+    let apps = ct_apps::all_apps();
+    let apps = &apps[..env.pick(apps.len(), 2)];
+    for app in apps {
+        let session = Session::new(
+            RunConfig::for_app(app.clone())
+                .on(mcu)
+                .invocations(n)
+                .resolution(VirtualTimer::mhz1_at_8mhz().cycles_per_tick())
+                .seeded(seed),
+        );
+        let run = session.collect().expect("bundled apps must not trap");
+        let est = session.estimate(&run).expect("estimation succeeds");
         let cfg = run.cfg().clone();
-        let freq_true = edge_frequencies(&cfg, &run.truth);
-        let freq_est = edge_frequencies(&cfg, &est.probs);
 
         let layouts: Vec<Layout> = vec![
             Layout::natural(&cfg),
             random_layout(&cfg, 77),
-            place_procedure(&cfg, &freq_true, &pen, Strategy::Best),
-            place_procedure(&cfg, &freq_est, &pen, Strategy::Best),
+            session
+                .place(&run, &run.truth, Strategy::Best)
+                .expect("true profile places"),
+            session
+                .place(&run, &est.estimate.probs, Strategy::Best)
+                .expect("estimated profile places"),
         ];
         let cycles: Vec<u64> = layouts
             .iter()
-            .map(|l| replay_with_layout(&app, mcu, l.clone(), n, 5_000).1)
+            .map(|l| session.evaluate(l).expect("replay must not trap").cycles)
             .collect();
 
         let base = cycles[0] as f64;
@@ -65,11 +75,15 @@ fn main() {
 
     let out = format!(
         "# E5 — Whole-workload cycles by layout (normalized to the natural layout)\n\n\
-         {n} invocations, identical inputs per layout (seed 5000); placement = best of\n\
+         {n} invocations, identical inputs per layout (seed {seed}); placement = best of\n\
          Pettis–Hansen / greedy traces. `captured` = estimated-profile saving as a\n\
-         fraction of the exact-profile saving (1.0 = estimation loses nothing).\n\n{}",
+         fraction of the exact-profile saving (1.0 = estimation loses nothing).\n\
+         {}\n\n{}",
+        env.banner(),
         table.to_markdown()
     );
     println!("{out}");
-    write_result("e5_speedup.md", &out);
+    if !env.smoke {
+        write_result("e5_speedup.md", &out);
+    }
 }

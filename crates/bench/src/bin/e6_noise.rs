@@ -4,32 +4,28 @@
 //! contamination — interrupts stealing cycles inside measured windows. The
 //! EM estimator's `unexplained` counter shows its built-in outlier rejection.
 
-use ct_bench::{estimate_run, f4, run_on_mote, write_result, Mcu, Table};
-use ct_core::estimator::EstimateOptions;
-use ct_mote::timer::VirtualTimer;
+use ct_bench::{f4, write_result, Table};
+use ct_pipeline::{EnvConfig, RunConfig, Session};
 
 fn main() {
-    let n = 4_000;
-    let rates = [0.0, 0.01, 0.02, 0.05, 0.10];
+    let env = EnvConfig::load();
+    eprintln!("e6: {}", env.banner());
+    let n = env.pick(4_000, 400);
+    let seed_base = env.seed_or(6_000);
+    let rates: &[f64] = env.pick(&[0.0, 0.01, 0.02, 0.05, 0.10], &[0.0, 0.10]);
     let burst_cycles = [100u64, 500];
-    let apps = ["sense", "event_detect", "crc"];
+    let apps: &[&str] = env.pick(&["sense", "event_detect", "crc"], &["sense"]);
 
-    let mut table = Table::new(vec![
-        "app",
-        "isr cycles",
-        "rate=0",
-        "rate=1%",
-        "rate=2%",
-        "rate=5%",
-        "rate=10%",
-        "unexplained@10%",
-        "em iters@10%",
-        "converged@10%",
-        "final delta@10%",
-    ]);
+    let mut headers = vec!["app".to_string(), "isr cycles".to_string()];
+    headers.extend(rates.iter().map(|r| format!("rate={:.0}%", r * 100.0)));
+    headers.extend(
+        ["unexplained", "em iters", "converged", "final delta"]
+            .iter()
+            .map(|s| format!("{s}@{:.0}%", rates.last().expect("nonempty") * 100.0)),
+    );
+    let mut table = Table::new(headers);
 
     for name in apps {
-        let app = ct_apps::app_by_name(name).expect("app exists");
         for &isr in &burst_cycles {
             let mut cells = vec![name.to_string(), isr.to_string()];
             let mut last_unexplained = 0;
@@ -37,17 +33,19 @@ fn main() {
             let mut last_converged = false;
             let mut last_delta = 0.0;
             for (i, &rate) in rates.iter().enumerate() {
-                let mut mote = app.boot(Mcu::Avr.cost_model());
-                mote.reseed(6_000 + i as u64);
-                mote.config.contamination_prob = rate;
-                mote.config.contamination_cycles = isr;
-                let run = run_on_mote(&app, &mut mote, n, VirtualTimer::cycle_accurate(), 0);
-                let (est, acc) = estimate_run(&run, EstimateOptions::default());
-                last_unexplained = est.unexplained;
-                last_iters = est.iterations;
-                last_converged = est.converged;
-                last_delta = est.final_delta;
-                cells.push(f4(acc.weighted_mae));
+                let session = Session::new(
+                    RunConfig::new(name)
+                        .invocations(n)
+                        .seeded(seed_base + i as u64)
+                        .contaminated(rate, isr),
+                );
+                let run = session.collect().expect("bundled apps must not trap");
+                let est = session.estimate(&run).expect("estimation succeeds");
+                last_unexplained = est.estimate.unexplained;
+                last_iters = est.estimate.iterations;
+                last_converged = est.estimate.converged;
+                last_delta = est.estimate.final_delta;
+                cells.push(f4(est.accuracy.weighted_mae));
             }
             cells.push(last_unexplained.to_string());
             cells.push(last_iters.to_string());
@@ -62,9 +60,13 @@ fn main() {
         "# E6 — Estimation accuracy (weighted MAE) under interrupt contamination\n\n\
          {n} samples; cycle-accurate timer; a contaminated activation has `isr cycles`\n\
          stolen inside its measured window with probability `rate`. `unexplained` =\n\
-         samples the EM likelihood rejected as impossible at the final parameters.\n\n{}",
+         samples the EM likelihood rejected as impossible at the final parameters.\n\
+         {}\n\n{}",
+        env.banner(),
         table.to_markdown()
     );
     println!("{out}");
-    write_result("e6_noise.md", &out);
+    if !env.smoke {
+        write_result("e6_noise.md", &out);
+    }
 }

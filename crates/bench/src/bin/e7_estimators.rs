@@ -6,55 +6,28 @@
 //! parameters exact.
 
 use ct_apps::synthetic::{diamond_chain_problem, loop_problem};
-use ct_bench::{f4, write_result, Table};
+use ct_bench::{f4, par_sweep, write_result, Table};
 use ct_cfg::graph::Cfg;
 use ct_cfg::profile::BranchProbs;
 use ct_core::accuracy::compare_unweighted;
 use ct_core::estimator::{estimate, EstimateOptions, Method};
-use ct_core::samples::TimingSamples;
-use ct_markov::chain_from_cfg;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ct_pipeline::synth::synth_samples;
+use ct_pipeline::EnvConfig;
 use std::time::Instant;
 
-/// Draws `n` exact-duration samples from the true model.
-fn synth_samples(
-    cfg: &Cfg,
-    bc: &[u64],
-    ec: &[u64],
-    truth: &BranchProbs,
-    n: usize,
-    seed: u64,
-) -> TimingSamples {
-    let chain = chain_from_cfg(cfg, truth).expect("valid chain");
-    let edges = cfg.edges();
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut ticks = Vec::with_capacity(n);
-    for _ in 0..n {
-        let run = ct_markov::sample_run(&chain, cfg.entry().index(), &mut rng, 1_000_000)
-            .expect("absorbing chain");
-        let mut d: u64 = run.iter().map(|&b| bc[b]).sum();
-        for w in run.windows(2) {
-            let e = edges
-                .iter()
-                .find(|e| e.from.index() == w[0] && e.to.index() == w[1])
-                .expect("edge exists");
-            d += ec[e.index];
-        }
-        ticks.push(d);
-    }
-    TimingSamples::new(ticks, 1)
-}
-
 fn main() {
-    let n = 3_000;
+    let env = EnvConfig::load();
+    eprintln!("e7: {}", env.banner());
+    let n = env.pick(3_000, 300);
+    let seed = env.seed_or(7_000);
     let mut table = Table::new(vec![
         "problem", "branches", "method", "mae", "max err", "iters", "time ms",
     ]);
 
     type Problem = (String, Cfg, Vec<u64>, Vec<u64>, BranchProbs);
     let mut problems: Vec<Problem> = Vec::new();
-    for k in [1usize, 2, 3, 4] {
+    for k in env.pick(&[1usize, 2, 3, 4][..], &[1, 2][..]) {
+        let k = *k;
         let (cfg, bc, ec, truth) = diamond_chain_problem(k, 70 + k as u64);
         problems.push((format!("diamond_chain_{k}"), cfg, bc, ec, truth));
     }
@@ -63,32 +36,31 @@ fn main() {
 
     // One job per problem (methods stay serial inside a job so their
     // relative per-method timings remain comparable); problems fan out.
-    let rows_per_problem =
-        ct_bench::par_sweep(problems.iter().collect(), |(name, cfg, bc, ec, truth)| {
-            let samples = synth_samples(cfg, bc, ec, truth, n, 7_000);
-            let mut rows = Vec::new();
-            for method in [Method::Em, Method::Moments, Method::FlowMean] {
-                let opts = EstimateOptions {
-                    method: Some(method),
-                    ..Default::default()
-                };
-                let start = Instant::now();
-                let est = estimate(cfg, bc, ec, &samples, opts).expect("estimation succeeds");
-                let elapsed = start.elapsed().as_secs_f64() * 1e3;
-                let acc = compare_unweighted(&est.probs, truth);
-                rows.push(vec![
-                    name.clone(),
-                    truth.len().to_string(),
-                    method.to_string(),
-                    f4(acc.mae),
-                    f4(acc.max_err),
-                    est.iterations.to_string(),
-                    format!("{elapsed:.2}"),
-                ]);
-            }
-            eprintln!("e7: {name} done");
-            rows
-        });
+    let rows_per_problem = par_sweep(problems.iter().collect(), |(name, cfg, bc, ec, truth)| {
+        let samples = synth_samples(cfg, bc, ec, truth, n, seed);
+        let mut rows = Vec::new();
+        for method in [Method::Em, Method::Moments, Method::FlowMean] {
+            let opts = EstimateOptions {
+                method: Some(method),
+                ..Default::default()
+            };
+            let start = Instant::now();
+            let est = estimate(cfg, bc, ec, &samples, opts).expect("estimation succeeds");
+            let elapsed = start.elapsed().as_secs_f64() * 1e3;
+            let acc = compare_unweighted(&est.probs, truth);
+            rows.push(vec![
+                name.clone(),
+                truth.len().to_string(),
+                method.to_string(),
+                f4(acc.mae),
+                f4(acc.max_err),
+                est.iterations.to_string(),
+                format!("{elapsed:.2}"),
+            ]);
+        }
+        eprintln!("e7: {name} done");
+        rows
+    });
     for rows in rows_per_problem {
         for row in rows {
             table.row(row);
@@ -99,9 +71,13 @@ fn main() {
         "# E7 — Estimator ablation on synthetic problems\n\n\
          {n} exact-duration samples per problem (cycle-accurate); true parameters\n\
          known by construction. flow-mean uses only the sample mean; moments uses\n\
-         mean+variance; EM uses the full duration distribution.\n\n{}",
+         mean+variance; EM uses the full duration distribution.\n\
+         {}\n\n{}",
+        env.banner(),
         table.to_markdown()
     );
     println!("{out}");
-    write_result("e7_estimators.md", &out);
+    if !env.smoke {
+        write_result("e7_estimators.md", &out);
+    }
 }

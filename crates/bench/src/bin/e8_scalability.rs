@@ -5,16 +5,27 @@
 //! explodes (deep diamond chains widen the duration support exponentially).
 
 use ct_apps::synthetic::{diamond_chain_problem, random_program, GenConfig};
-use ct_bench::{f4, write_result, Mcu, Table};
-use ct_core::accuracy::compare;
+use ct_bench::{f4, par_sweep, write_result, Table};
 use ct_core::estimator::{estimate, EstimateOptions};
-use ct_core::samples::TimingSamples;
-use ct_mote::timer::VirtualTimer;
-use ct_mote::trace::{GroundTruthProfiler, PairProfiler, TimingProfiler};
+use ct_mote::interp::Mote;
+use ct_pipeline::synth::synth_samples;
+use ct_pipeline::{EnvConfig, RunConfig, Session};
 use std::time::Instant;
 
+/// Generated programs read the field through a uniform ADC so every
+/// decision sees the full input range.
+fn uniform_adc(mote: &mut Mote) {
+    mote.devices.adc = Box::new(ct_mote::devices::UniformAdc { lo: 0, hi: 1023 });
+}
+
 fn main() {
-    let n = 2_000;
+    let env = EnvConfig::load();
+    eprintln!("e8: {}", env.banner());
+    let n = env.pick(2_000, 300);
+    let seed = env.seed_or(42);
+    let sizes: Vec<usize> = env
+        .pick(&[2usize, 4, 6, 8, 10, 12][..], &[2, 4][..])
+        .to_vec();
     let mut table = Table::new(vec![
         "problem",
         "blocks",
@@ -28,7 +39,7 @@ fn main() {
     // Part 1: generated structured programs of growing decision count,
     // executed on the mote (real ground truth, real timing samples).
     // Each cell is self-contained (own program, mote, seed) — fan them out.
-    let part1 = ct_bench::par_sweep(vec![2usize, 4, 6, 8, 10, 12], |decisions| {
+    let part1 = par_sweep(sizes.clone(), |decisions| {
         let program = random_program(
             8_000 + decisions as u64,
             GenConfig {
@@ -37,31 +48,17 @@ fn main() {
                 loop_share: 0.25,
             },
         );
-        let mut mote = ct_mote::interp::Mote::new(program.clone(), Mcu::Avr.cost_model());
-        mote.devices.adc = Box::new(ct_mote::devices::UniformAdc { lo: 0, hi: 1023 });
-        mote.reseed(42);
-        let pid = ct_ir::instr::ProcId(0);
-        let mut gt = GroundTruthProfiler::new(&program);
-        let mut tp = TimingProfiler::new(&program, VirtualTimer::cycle_accurate(), 0);
-        for _ in 0..n {
-            let mut pair = PairProfiler {
-                a: &mut gt,
-                b: &mut tp,
-            };
-            mote.call(pid, &[], &mut pair)
-                .expect("generated programs run");
-        }
-        let cfg = &program.procs[0].cfg;
-        let samples = TimingSamples::new(tp.samples(pid).to_vec(), 1);
-        let bc = mote.static_block_costs(pid).to_vec();
-        let ec = mote.static_edge_costs(pid).to_vec();
-
+        let session = Session::new(
+            RunConfig::for_program(program, 0, uniform_adc)
+                .invocations(n)
+                .seeded(seed)
+                .no_unroll(),
+        );
+        let run = session.collect().expect("generated programs run");
         let start = Instant::now();
-        let est = estimate(cfg, &bc, &ec, &samples, EstimateOptions::default())
-            .expect("estimation succeeds");
+        let est = session.estimate(&run).expect("estimation succeeds");
         let elapsed = start.elapsed().as_secs_f64() * 1e3;
-        let truth = gt.branch_probs(pid, cfg);
-        let acc = compare(cfg, &est.probs, &truth, gt.profile(pid), n as u64);
+        let cfg = run.cfg();
         let paths = if cfg.is_acyclic() {
             ct_cfg::paths::count_paths(cfg).to_string()
         } else {
@@ -71,10 +68,10 @@ fn main() {
         vec![
             format!("generated_d{decisions}"),
             cfg.len().to_string(),
-            truth.len().to_string(),
+            run.truth.len().to_string(),
             paths,
-            est.method.to_string(),
-            f4(acc.weighted_mae),
+            est.estimate.method.to_string(),
+            f4(est.accuracy.weighted_mae),
             format!("{elapsed:.2}"),
         ]
     });
@@ -84,27 +81,9 @@ fn main() {
 
     // Part 2: diamond chains of growing width with synthetic exact samples —
     // shows the EM→moments fallback point.
-    let part2 = ct_bench::par_sweep(vec![2usize, 4, 6, 8, 10, 12], |k| {
+    let part2 = par_sweep(sizes, |k| {
         let (cfg, bc, ec, truth) = diamond_chain_problem(k, 900 + k as u64);
-        let chain = ct_markov::chain_from_cfg(&cfg, &truth).expect("valid chain");
-        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(9_000);
-        let edges = cfg.edges();
-        let ticks: Vec<u64> = (0..n)
-            .map(|_| {
-                let run =
-                    ct_markov::sample_run(&chain, cfg.entry().index(), &mut rng, 100_000).unwrap();
-                let mut d: u64 = run.iter().map(|&b| bc[b]).sum();
-                for w in run.windows(2) {
-                    let e = edges
-                        .iter()
-                        .find(|e| e.from.index() == w[0] && e.to.index() == w[1])
-                        .unwrap();
-                    d += ec[e.index];
-                }
-                d
-            })
-            .collect();
-        let samples = TimingSamples::new(ticks, 1);
+        let samples = synth_samples(&cfg, &bc, &ec, &truth, n, 9_000);
 
         let start = Instant::now();
         let est = estimate(&cfg, &bc, &ec, &samples, EstimateOptions::default())
@@ -130,9 +109,13 @@ fn main() {
         "# E8 — Estimation cost and accuracy vs program size\n\n\
          {n} samples per problem; cycle-accurate timer. Generated programs run on the\n\
          mote; diamond chains use exact synthetic samples. `method` shows where the\n\
-         automatic EM→moments fallback engages.\n\n{}",
+         automatic EM→moments fallback engages.\n\
+         {}\n\n{}",
+        env.banner(),
         table.to_markdown()
     );
     println!("{out}");
-    write_result("e8_scalability.md", &out);
+    if !env.smoke {
+        write_result("e8_scalability.md", &out);
+    }
 }

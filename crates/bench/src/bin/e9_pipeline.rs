@@ -4,23 +4,21 @@
 //! overhead vs edge counters, misprediction rate before/after
 //! estimated-profile placement, and the end-to-end cycle saving.
 
-use ct_bench::{
-    edge_frequencies, estimate_run, f2, f4, penalties, replay_with_layout, run_app,
-    run_with_profiler, write_result, Mcu, Table,
-};
+use ct_bench::{f2, f4, write_result, Table};
 use ct_cfg::layout::Layout;
-use ct_core::estimator::EstimateOptions;
 use ct_mote::timer::VirtualTimer;
 use ct_mote::trace::{NullProfiler, TimingProfiler};
-use ct_placement::{place_procedure, Strategy};
+use ct_pipeline::{run_with_profiler, EnvConfig, Mcu, RunConfig, Session};
+use ct_placement::Strategy;
 use ct_profilers::edge_counter::EdgeCounterProfiler;
 use ct_profilers::overhead::tomography;
 
 fn main() {
-    let n = 3_000;
+    let env = EnvConfig::load();
+    eprintln!("e9: {}", env.banner());
+    let n = env.pick(3_000, 400);
     let mcu = Mcu::Avr;
-    let pen = penalties(mcu);
-    let seed = 9_900;
+    let seed = env.seed_or(9_900);
     let mut table = Table::new(vec![
         "app",
         "wmae",
@@ -31,40 +29,58 @@ fn main() {
         "cycles saved %",
     ]);
 
-    for app in ct_apps::all_apps() {
+    let apps = ct_apps::all_apps();
+    let apps = &apps[..env.pick(apps.len(), 2)];
+    for app in apps {
         // Estimation on the realistic coarse timer.
-        let run = run_app(&app, mcu, n, VirtualTimer::mhz1_at_8mhz(), 0, seed);
-        let (est, acc) = estimate_run(&run, EstimateOptions::default());
+        let session = Session::new(
+            RunConfig::for_app(app.clone())
+                .on(mcu)
+                .invocations(n)
+                .resolution(VirtualTimer::mhz1_at_8mhz().cycles_per_tick())
+                .seeded(seed),
+        );
+        let run = session.collect().expect("bundled apps must not trap");
+        let est = session.estimate(&run).expect("estimation succeeds");
         let cfg = run.cfg().clone();
 
         // Overheads.
         let program = app.compile();
-        let base = run_with_profiler(&app, mcu, n, seed, &mut NullProfiler);
+        let overhead_config = RunConfig::for_app(app.clone())
+            .on(mcu)
+            .invocations(n)
+            .seeded(seed);
+        let replay = |profiler: &mut dyn ct_mote::trace::Profiler| {
+            run_with_profiler(&overhead_config, profiler).expect("bundled apps must not trap")
+        };
+        let base = replay(&mut NullProfiler);
         let mut tp = TimingProfiler::new(
             &program,
             VirtualTimer::khz32_at_8mhz(),
             tomography::TIMESTAMP_CYCLES,
         );
-        let tomo = run_with_profiler(&app, mcu, n, seed, &mut tp);
+        let tomo = replay(&mut tp);
         let mut ec = EdgeCounterProfiler::new(&program);
-        let counters = run_with_profiler(&app, mcu, n, seed, &mut ec);
+        let counters = replay(&mut ec);
         let pct = |c: u64| (c as f64 - base as f64) / base as f64 * 100.0;
 
         // Placement from the estimate; replay on identical inputs.
-        let freq_est = edge_frequencies(&cfg, &est.probs);
-        let optimized = place_procedure(&cfg, &freq_est, &pen, Strategy::Best);
-        let (cost_before, cycles_before) =
-            replay_with_layout(&app, mcu, Layout::natural(&cfg), n, seed);
-        let (cost_after, cycles_after) = replay_with_layout(&app, mcu, optimized, n, seed);
-        let saved = (cycles_before as f64 - cycles_after as f64) / cycles_before as f64 * 100.0;
+        let optimized = session
+            .place(&run, &est.estimate.probs, Strategy::Best)
+            .expect("estimated profile places");
+        let before = session
+            .evaluate(&Layout::natural(&cfg))
+            .expect("replay must not trap");
+        let after = session.evaluate(&optimized).expect("replay must not trap");
+        let saved = (before.cycles as f64 - after.cycles as f64) / before.cycles as f64 * 100.0;
 
         table.row(vec![
             app.name.to_string(),
-            f4(acc.weighted_mae),
+            f4(est.accuracy.weighted_mae),
             f2(pct(tomo)),
             f2(pct(counters)),
-            f4(cost_before.misprediction_rate()),
-            f4(cost_after.misprediction_rate()),
+            f4(before.cost.misprediction_rate()),
+            f4(after.cost.misprediction_rate()),
             f2(saved),
         ]);
         eprintln!("e9: {} done", app.name);
@@ -74,9 +90,13 @@ fn main() {
         "# E9 — Full pipeline per app: estimate → place → measure\n\n\
          {n} invocations; 1 MHz measurement timer (tomography overhead measured at 32 kHz); AVR cost model; placement =\n\
          best-of strategies driven by the *estimated* profile; before/after measured\n\
-         on identical replayed inputs (seed {seed}).\n\n{}",
+         on identical replayed inputs (seed {seed}).\n\
+         {}\n\n{}",
+        env.banner(),
         table.to_markdown()
     );
     println!("{out}");
-    write_result("e9_pipeline.md", &out);
+    if !env.smoke {
+        write_result("e9_pipeline.md", &out);
+    }
 }

@@ -22,26 +22,28 @@
 //! | `e12_cross_mcu` | cross-MCU pipeline + energy (Table, extension) |
 //! | `e13_faults` | naive EM vs degradation ladder under channel faults (Table, extension) |
 //!
-//! Each binary prints a markdown table and mirrors it into `results/`.
+//! Each binary drives the typed `ct-pipeline` flow (one seeded
+//! [`ct_pipeline::Session`] per measurement cell), prints a markdown table
+//! and mirrors it into `results/`. Every binary honors `CT_THREADS`
+//! (sweep worker count), `CT_SEED` (workload seed override) and `CT_SMOKE`
+//! (tiny grids, no `results/` writes) via
+//! [`ct_pipeline::EnvConfig`].
 //!
 //! ## Example
 //!
 //! ```
-//! use ct_bench::harness::{run_app, estimate_run, Mcu};
-//! use ct_core::estimator::EstimateOptions;
-//! use ct_mote::timer::VirtualTimer;
+//! use ct_pipeline::{RunConfig, Session};
 //!
-//! let app = ct_apps::app_by_name("sense").unwrap();
-//! let run = run_app(&app, Mcu::Avr, 500, VirtualTimer::mhz1_at_8mhz(), 0, 1);
-//! let (_est, acc) = estimate_run(&run, EstimateOptions::default());
-//! assert!(acc.mae < 0.05);
+//! let session = Session::new(
+//!     RunConfig::new("sense").invocations(500).resolution(8).seeded(1));
+//! let run = session.collect().unwrap();
+//! let est = session.estimate(&run).unwrap();
+//! assert!(est.accuracy.mae < 0.05);
 //! ```
 
-pub mod harness;
 pub mod table;
 
-pub use harness::{
-    edge_frequencies, estimate_run, par_sweep, penalties, random_layout, replay_with_layout,
-    run_app, run_on_mote, run_with_profiler, AppRun, Mcu,
+pub use ct_pipeline::{
+    par_sweep, random_layout, run_with_profiler, AppRun, EnvConfig, Mcu, RunConfig, Session,
 };
 pub use table::{f2, f4, write_result, Table};

@@ -14,7 +14,7 @@
 //! costs, observed through the timer's quantization kernel.
 
 use crate::fb::{e_step, FbError, FbParams};
-use crate::samples::TimingSamples;
+use crate::samples::DurationSamples;
 use ct_cfg::graph::{Cfg, EdgeKind};
 use ct_cfg::profile::BranchProbs;
 
@@ -79,11 +79,11 @@ pub struct EmResult {
 /// # Errors
 ///
 /// Propagates [`FbError`] from the dynamic programs.
-pub fn estimate_em(
+pub fn estimate_em<S: DurationSamples + ?Sized>(
     cfg: &Cfg,
     block_costs: &[u64],
     edge_costs: &[u64],
-    samples: &TimingSamples,
+    samples: &S,
     opts: EmOptions,
 ) -> Result<EmResult, FbError> {
     estimate_em_from(
@@ -102,11 +102,11 @@ pub fn estimate_em(
 /// # Errors
 ///
 /// Propagates [`FbError`] from the dynamic programs.
-pub fn estimate_em_from(
+pub fn estimate_em_from<S: DurationSamples + ?Sized>(
     cfg: &Cfg,
     block_costs: &[u64],
     edge_costs: &[u64],
-    samples: &TimingSamples,
+    samples: &S,
     init: BranchProbs,
     opts: EmOptions,
 ) -> Result<EmResult, FbError> {
@@ -249,6 +249,7 @@ pub fn estimate_em_from(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::samples::TimingSamples;
     use ct_cfg::builder::{diamond, diamond_chain, while_loop};
     use ct_cfg::graph::BlockId;
     use ct_markov::chain_from_cfg;

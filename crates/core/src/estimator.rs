@@ -6,7 +6,7 @@ use crate::em::EmOptions;
 use crate::fb::FbError;
 use crate::flow_nnls::{estimate_flow, FlowError};
 use crate::moments::{estimate_moments, MomentsError, MomentsOptions};
-use crate::samples::{SampleIssue, TimingSamples, TrimPolicy};
+use crate::samples::{DurationSamples, SampleIssue, TimingSamples, TrimPolicy};
 use ct_cfg::graph::Cfg;
 use ct_cfg::profile::BranchProbs;
 use std::error::Error;
@@ -149,11 +149,11 @@ impl From<SampleIssue> for EstimateError {
 ///                    EstimateOptions::default()).unwrap();
 /// assert!((est.probs.as_slice()[0] - 0.8).abs() < 0.01);
 /// ```
-pub fn estimate(
+pub fn estimate<S: DurationSamples + Sync + ?Sized>(
     cfg: &Cfg,
     block_costs: &[u64],
     edge_costs: &[u64],
-    samples: &TimingSamples,
+    samples: &S,
     opts: EstimateOptions,
 ) -> Result<Estimate, EstimateError> {
     // Overflowing ticks would poison every downstream sum; reject up front.
@@ -193,11 +193,11 @@ pub fn estimate(
     }
 }
 
-fn run_em(
+fn run_em<S: DurationSamples + Sync + ?Sized>(
     cfg: &Cfg,
     block_costs: &[u64],
     edge_costs: &[u64],
-    samples: &TimingSamples,
+    samples: &S,
     opts: EstimateOptions,
 ) -> Result<Estimate, FbError> {
     // Warm-start from a cheap moments fit: long loops at the uniform prior
@@ -280,11 +280,11 @@ fn run_em(
     })
 }
 
-fn run_moments(
+fn run_moments<S: DurationSamples + ?Sized>(
     cfg: &Cfg,
     block_costs: &[u64],
     edge_costs: &[u64],
-    samples: &TimingSamples,
+    samples: &S,
     opts: EstimateOptions,
 ) -> Result<Estimate, MomentsError> {
     let r = estimate_moments(cfg, block_costs, edge_costs, samples, opts.moments)?;

@@ -32,7 +32,7 @@
 //!   for every `(sample, edge)` pair.
 
 use crate::quantize::{duration_window, pmf_tick_score};
-use crate::samples::TimingSamples;
+use crate::samples::DurationSamples;
 use ct_cfg::graph::{Cfg, Terminator};
 use ct_cfg::profile::BranchProbs;
 use ct_stats::pmf;
@@ -367,12 +367,12 @@ pub struct EdgeExpectations {
 /// `h_e(d) = Σ_t f(u,t) · g(v, d − t − c_u − c_e)`, then scores every
 /// distinct tick against `h_e` — instead of rescanning the product per
 /// `(sample, edge)` pair.
-pub fn e_step(
+pub fn e_step<S: DurationSamples + ?Sized>(
     cfg: &Cfg,
     block_costs: &[u64],
     edge_costs: &[u64],
     probs: &BranchProbs,
-    samples: &TimingSamples,
+    samples: &S,
     params: FbParams,
 ) -> Result<(EdgeExpectations, FbTables), FbError> {
     let tables = compute_tables(cfg, block_costs, edge_costs, probs, params)?;
@@ -435,6 +435,7 @@ pub fn e_step(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::samples::TimingSamples;
     use ct_cfg::builder::{diamond, while_loop};
 
     fn diamond_setup(p: f64) -> (ct_cfg::graph::Cfg, Vec<u64>, Vec<u64>, BranchProbs) {

@@ -16,7 +16,7 @@
 //! experiment E7 shows exactly where it breaks; it earns its keep on
 //! single-decision procedures and as a sanity cross-check.
 
-use crate::samples::TimingSamples;
+use crate::samples::{DurationSamples, TimingSamples};
 use ct_cfg::graph::{Cfg, EdgeKind, Terminator};
 use ct_cfg::profile::BranchProbs;
 use ct_stats::matrix::Matrix;
@@ -66,11 +66,11 @@ const FLOW_WEIGHT: f64 = 100.0;
 ///
 /// [`FlowError::NoSamples`] on empty input; [`FlowError::Numeric`] if NNLS
 /// fails.
-pub fn estimate_flow(
+pub fn estimate_flow<S: DurationSamples + ?Sized>(
     cfg: &Cfg,
     block_costs: &[u64],
     edge_costs: &[u64],
-    samples: &TimingSamples,
+    samples: &S,
 ) -> Result<FlowResult, FlowError> {
     if samples.is_empty() {
         return Err(FlowError::NoSamples);

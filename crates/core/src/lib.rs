@@ -61,6 +61,7 @@ pub mod moments;
 pub mod quantize;
 pub mod report;
 pub mod samples;
+pub mod stream;
 pub mod unrolled;
 
 pub use accuracy::{compare, compare_unweighted, AccuracyReport};
@@ -72,5 +73,6 @@ pub use estimator::{
 pub use fb::{compute_tables, e_step, FbError, FbParams, FbTables};
 pub use flow_nnls::{estimate_flow, estimate_flow_many, FlowResult};
 pub use moments::{estimate_moments, model_moments, MomentsOptions, MomentsResult};
-pub use samples::{SampleIssue, TimingSamples, TrimPolicy};
+pub use samples::{DurationSamples, SampleIssue, TimingSamples, TrimPolicy};
+pub use stream::{ResolutionMismatch, SampleBatch, SuffStats};
 pub use unrolled::{estimate_unrolled, UnrolledError, UnrolledEstimate};

@@ -6,7 +6,7 @@
 //! uses only two statistics of the sample, so it is cheaper but weaker than
 //! EM — experiment E7 quantifies exactly how much weaker.
 
-use crate::samples::TimingSamples;
+use crate::samples::DurationSamples;
 use ct_cfg::graph::{Cfg, Terminator};
 use ct_cfg::profile::BranchProbs;
 use ct_stats::matrix::Matrix;
@@ -165,11 +165,11 @@ pub struct MomentsResult {
 /// # Errors
 ///
 /// [`MomentsError::NoSamples`] for empty input; propagates model errors.
-pub fn estimate_moments(
+pub fn estimate_moments<S: DurationSamples + ?Sized>(
     cfg: &Cfg,
     block_costs: &[u64],
     edge_costs: &[u64],
-    samples: &TimingSamples,
+    samples: &S,
     opts: MomentsOptions,
 ) -> Result<MomentsResult, MomentsError> {
     if samples.is_empty() {
@@ -252,6 +252,7 @@ pub fn estimate_moments(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::samples::TimingSamples;
     use ct_cfg::builder::{diamond, while_loop};
     use ct_cfg::graph::BlockId;
 

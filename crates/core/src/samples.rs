@@ -80,6 +80,71 @@ impl Default for TrimPolicy {
     }
 }
 
+/// The estimator-facing view of a duration sample set: everything the EM,
+/// moments, and flow estimators actually consume — the timer resolution, the
+/// distinct-tick histogram, and the first two moments.
+///
+/// Two implementations exist: the materialized [`TimingSamples`] vector (one
+/// mote's batch, in arrival order) and the mergeable
+/// [`crate::stream::SuffStats`] accumulator (many motes' batches, reduced to
+/// sufficient statistics). Every estimator entry point is generic over this
+/// trait, so a fleet of motes can stream tick batches to a base station and
+/// feed EM/moments without ever re-materializing the full sample vector.
+pub trait DurationSamples {
+    /// Timer resolution in cycles per tick.
+    fn cycles_per_tick(&self) -> u64;
+
+    /// Number of samples observed.
+    fn len(&self) -> usize;
+
+    /// True when no samples were observed.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Distinct tick values with their multiplicities, ascending.
+    fn counted(&self) -> Vec<(u64, usize)>;
+
+    /// Sample mean converted to cycles.
+    fn mean_cycles(&self) -> f64;
+
+    /// Sample variance in cycles² (unbiased, `n − 1` denominator).
+    fn variance_cycles(&self) -> f64;
+
+    /// Checks the sample set is usable as estimator input.
+    ///
+    /// # Errors
+    ///
+    /// The first [`SampleIssue`] found.
+    fn validate(&self) -> Result<(), SampleIssue>;
+}
+
+impl DurationSamples for TimingSamples {
+    fn cycles_per_tick(&self) -> u64 {
+        TimingSamples::cycles_per_tick(self)
+    }
+
+    fn len(&self) -> usize {
+        TimingSamples::len(self)
+    }
+
+    fn counted(&self) -> Vec<(u64, usize)> {
+        TimingSamples::counted(self)
+    }
+
+    fn mean_cycles(&self) -> f64 {
+        TimingSamples::mean_cycles(self)
+    }
+
+    fn variance_cycles(&self) -> f64 {
+        TimingSamples::variance_cycles(self)
+    }
+
+    fn validate(&self) -> Result<(), SampleIssue> {
+        TimingSamples::validate(self)
+    }
+}
+
 /// End-to-end timing samples of one procedure: exclusive durations in ticks
 //  of a known timer resolution.
 #[derive(Debug, Clone, PartialEq)]

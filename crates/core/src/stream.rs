@@ -1,0 +1,454 @@
+//! Streaming sample ingestion: append-only tick batches and mergeable
+//! sufficient statistics.
+//!
+//! The paper's deployment story ships end-to-end timestamps off-mote; at
+//! fleet scale those records arrive as *batches from many motes*, not one
+//! monolithic vector. This module splits the monolithic
+//! [`crate::samples::TimingSamples`] container into:
+//!
+//! - [`SampleBatch`] — an append-only buffer one source (one mote, one
+//!   radio batch) fills in arrival order; and
+//! - [`SuffStats`] — the sufficient statistics of any number of batches:
+//!   sample count, the distinct-tick histogram, exact integer moment
+//!   accumulators, and validation state. [`SuffStats::merge`] is
+//!   associative and commutative, so a base station can reduce per-mote
+//!   statistics in any order (tree reduction, arrival order, thread-racing
+//!   workers) and always obtain the statistics of the monolithic stream —
+//!   bitwise.
+//!
+//! The estimators consume samples only through the
+//! [`crate::samples::DurationSamples`] view (distinct-tick
+//! histogram + first two moments), which `SuffStats` implements directly:
+//! EM and moments run off merged statistics without re-materializing the
+//! full sample vector.
+//!
+//! Exactness is what makes the merge order-insensitive: the accumulators
+//! are integers (`u128` sums, saturating for the square sum — saturating
+//! addition of non-negative values is still associative and commutative),
+//! never floats, so no summation-order effects exist.
+
+use crate::samples::{DurationSamples, SampleIssue, TimingSamples};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// An append-only buffer of tick samples from one source, in arrival order.
+///
+/// A batch is the unit of ingestion: one mote's radio payload, one flash-log
+/// segment. Batches reduce to [`SuffStats`] via [`SampleBatch::stats`] and
+/// materialize to [`TimingSamples`] (preserving arrival order) via
+/// [`SampleBatch::into_samples`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SampleBatch {
+    ticks: Vec<u64>,
+    cycles_per_tick: u64,
+}
+
+impl SampleBatch {
+    /// An empty batch at `cycles_per_tick` resolution.
+    ///
+    /// # Errors
+    ///
+    /// [`SampleIssue::ZeroResolution`] if `cycles_per_tick == 0`.
+    pub fn new(cycles_per_tick: u64) -> Result<SampleBatch, SampleIssue> {
+        if cycles_per_tick == 0 {
+            return Err(SampleIssue::ZeroResolution);
+        }
+        Ok(SampleBatch {
+            ticks: Vec::new(),
+            cycles_per_tick,
+        })
+    }
+
+    /// Appends one tick sample.
+    pub fn push(&mut self, tick: u64) {
+        self.ticks.push(tick);
+    }
+
+    /// Appends many tick samples in order.
+    pub fn extend(&mut self, ticks: impl IntoIterator<Item = u64>) {
+        self.ticks.extend(ticks);
+    }
+
+    /// Wraps an existing monolithic sample set as a batch (same order).
+    pub fn from_samples(samples: &TimingSamples) -> SampleBatch {
+        SampleBatch {
+            ticks: samples.ticks().to_vec(),
+            cycles_per_tick: samples.cycles_per_tick(),
+        }
+    }
+
+    /// Materializes the batch as a monolithic sample set, preserving
+    /// arrival order.
+    pub fn into_samples(self) -> TimingSamples {
+        // The constructor's only failure is zero resolution, excluded by
+        // `SampleBatch::new`.
+        TimingSamples::new(self.ticks, self.cycles_per_tick)
+    }
+
+    /// Reduces the batch to its sufficient statistics.
+    pub fn stats(&self) -> SuffStats {
+        let mut s = SuffStats::new(self.cycles_per_tick);
+        for &t in &self.ticks {
+            s.push(t);
+        }
+        s
+    }
+
+    /// The buffered ticks, in arrival order.
+    pub fn ticks(&self) -> &[u64] {
+        &self.ticks
+    }
+
+    /// Timer resolution in cycles per tick.
+    pub fn cycles_per_tick(&self) -> u64 {
+        self.cycles_per_tick
+    }
+
+    /// Number of buffered samples.
+    pub fn len(&self) -> usize {
+        self.ticks.len()
+    }
+
+    /// True when the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ticks.is_empty()
+    }
+}
+
+/// Two statistics at different timer resolutions cannot be merged: their
+/// ticks are not commensurable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResolutionMismatch {
+    /// The receiver's resolution.
+    pub ours: u64,
+    /// The other operand's resolution.
+    pub theirs: u64,
+}
+
+impl fmt::Display for ResolutionMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot merge sample statistics at {} cycles/tick with {} cycles/tick",
+            self.ours, self.theirs
+        )
+    }
+}
+
+impl Error for ResolutionMismatch {}
+
+/// Mergeable sufficient statistics of a tick-sample stream.
+///
+/// Holds everything the estimators need — count, distinct-tick histogram,
+/// exact integer moment accumulators, and validation state (how many ticks
+/// would overflow the cycle counter) — and nothing order-dependent, so
+/// [`SuffStats::merge`] is associative and commutative and any merge tree
+/// over any batch partition of a stream yields the statistics of the
+/// monolithic stream, bitwise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuffStats {
+    cycles_per_tick: u64,
+    /// Distinct tick → multiplicity.
+    hist: BTreeMap<u64, u64>,
+    /// Total sample count (Σ multiplicities; cached).
+    n: u64,
+    /// Exact Σ tick.
+    sum: u128,
+    /// Σ tick² (saturating — still associative/commutative for
+    /// non-negative addends).
+    sum_sq: u128,
+    /// Ticks whose cycle conversion `(t + 1) · cycles_per_tick` overflows
+    /// `u64` — never real durations; tracked as validation state.
+    overflowing: u64,
+}
+
+impl SuffStats {
+    /// Empty statistics at `cycles_per_tick` resolution.
+    ///
+    /// Zero resolutions are representable (so stats for a misreported
+    /// prescaler can still accumulate); [`SuffStats::validate`] reports
+    /// them, mirroring [`TimingSamples`].
+    pub fn new(cycles_per_tick: u64) -> SuffStats {
+        SuffStats {
+            cycles_per_tick,
+            hist: BTreeMap::new(),
+            n: 0,
+            sum: 0,
+            sum_sq: 0,
+            overflowing: 0,
+        }
+    }
+
+    /// The statistics of a monolithic sample set.
+    pub fn from_samples(samples: &TimingSamples) -> SuffStats {
+        let mut s = SuffStats::new(samples.cycles_per_tick());
+        for &t in samples.ticks() {
+            s.push(t);
+        }
+        s
+    }
+
+    /// Folds one tick sample in.
+    pub fn push(&mut self, tick: u64) {
+        *self.hist.entry(tick).or_insert(0) += 1;
+        self.n += 1;
+        self.sum += tick as u128;
+        self.sum_sq = self
+            .sum_sq
+            .saturating_add((tick as u128).saturating_mul(tick as u128));
+        if tick
+            .checked_add(1)
+            .and_then(|t1| t1.checked_mul(self.cycles_per_tick))
+            .is_none()
+        {
+            self.overflowing += 1;
+        }
+    }
+
+    /// Merges another stream's statistics into this one.
+    ///
+    /// Associative and commutative: for any split of a sample stream into
+    /// batches, merging the per-batch statistics in **any** order equals
+    /// the statistics of the whole stream.
+    ///
+    /// # Errors
+    ///
+    /// [`ResolutionMismatch`] when the resolutions differ.
+    pub fn merge(&mut self, other: &SuffStats) -> Result<(), ResolutionMismatch> {
+        if self.cycles_per_tick != other.cycles_per_tick {
+            return Err(ResolutionMismatch {
+                ours: self.cycles_per_tick,
+                theirs: other.cycles_per_tick,
+            });
+        }
+        for (&t, &c) in &other.hist {
+            *self.hist.entry(t).or_insert(0) += c;
+        }
+        self.n += other.n;
+        self.sum += other.sum;
+        self.sum_sq = self.sum_sq.saturating_add(other.sum_sq);
+        self.overflowing += other.overflowing;
+        Ok(())
+    }
+
+    /// The merge of two statistics (consuming form of [`SuffStats::merge`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ResolutionMismatch`] when the resolutions differ.
+    pub fn merged(mut a: SuffStats, b: &SuffStats) -> Result<SuffStats, ResolutionMismatch> {
+        a.merge(b)?;
+        Ok(a)
+    }
+
+    /// The distinct-tick histogram, ascending.
+    pub fn histogram(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.hist.iter().map(|(&t, &c)| (t, c))
+    }
+
+    /// Number of distinct tick values observed.
+    pub fn distinct(&self) -> usize {
+        self.hist.len()
+    }
+
+    /// Ticks whose cycle conversion overflows `u64` (validation state).
+    pub fn overflowing(&self) -> u64 {
+        self.overflowing
+    }
+
+    /// Materializes a monolithic sample set (ticks ascending) — for
+    /// interfaces that still require a concrete vector, e.g. the robust
+    /// trimming ladder. The arrival order is gone; only use where order
+    /// does not matter.
+    pub fn to_samples(&self) -> Result<TimingSamples, SampleIssue> {
+        let mut ticks = Vec::with_capacity(self.n.min(usize::MAX as u64) as usize);
+        for (&t, &c) in &self.hist {
+            for _ in 0..c {
+                ticks.push(t);
+            }
+        }
+        TimingSamples::try_new(ticks, self.cycles_per_tick)
+    }
+}
+
+impl DurationSamples for SuffStats {
+    fn cycles_per_tick(&self) -> u64 {
+        self.cycles_per_tick
+    }
+
+    fn len(&self) -> usize {
+        self.n.min(usize::MAX as u64) as usize
+    }
+
+    fn counted(&self) -> Vec<(u64, usize)> {
+        self.hist
+            .iter()
+            .map(|(&t, &c)| (t, c.min(usize::MAX as u64) as usize))
+            .collect()
+    }
+
+    fn mean_cycles(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        (self.sum as f64 / self.n as f64) * self.cycles_per_tick as f64
+    }
+
+    fn variance_cycles(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        // Unbiased sample variance from exact integer sums:
+        // (Σt² − (Σt)²/n) / (n − 1), scaled to cycles².
+        let n = self.n as f64;
+        let sum = self.sum as f64;
+        let sum_sq = self.sum_sq as f64;
+        let var_ticks = ((sum_sq - sum * sum / n) / (n - 1.0)).max(0.0);
+        var_ticks * (self.cycles_per_tick as f64).powi(2)
+    }
+
+    fn validate(&self) -> Result<(), SampleIssue> {
+        if self.cycles_per_tick == 0 {
+            return Err(SampleIssue::ZeroResolution);
+        }
+        if self.n == 0 {
+            return Err(SampleIssue::Empty);
+        }
+        if self.overflowing > 0 {
+            // The largest tick is the offender (overflow is monotone in t).
+            let &tick = self.hist.keys().next_back().expect("n > 0");
+            return Err(SampleIssue::TickOverflow {
+                tick,
+                cycles_per_tick: self.cycles_per_tick,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_roundtrips_to_samples_preserving_order() {
+        let mut b = SampleBatch::new(8).unwrap();
+        b.extend([5, 3, 5, 9]);
+        b.push(1);
+        assert_eq!(b.len(), 5);
+        let s = b.clone().into_samples();
+        assert_eq!(s.ticks(), &[5, 3, 5, 9, 1]);
+        assert_eq!(SampleBatch::from_samples(&s), b);
+    }
+
+    #[test]
+    fn batch_rejects_zero_resolution() {
+        assert_eq!(SampleBatch::new(0), Err(SampleIssue::ZeroResolution));
+    }
+
+    #[test]
+    fn stats_match_monolithic_view() {
+        let samples = TimingSamples::new(vec![115, 215, 115, 115, 215], 8);
+        let stats = SuffStats::from_samples(&samples);
+        assert_eq!(stats.len(), 5);
+        assert_eq!(
+            DurationSamples::counted(&stats),
+            TimingSamples::counted(&samples)
+        );
+        assert!(
+            (DurationSamples::mean_cycles(&stats) - TimingSamples::mean_cycles(&samples)).abs()
+                < 1e-9
+        );
+        assert!(
+            (DurationSamples::variance_cycles(&stats) - TimingSamples::variance_cycles(&samples))
+                .abs()
+                < 1e-6
+        );
+        assert_eq!(DurationSamples::validate(&stats), Ok(()));
+    }
+
+    #[test]
+    fn merge_equals_monolithic() {
+        let all = TimingSamples::new(vec![1, 2, 2, 3, 5, 8, 8, 8], 4);
+        let whole = SuffStats::from_samples(&all);
+        let mut a = SuffStats::new(4);
+        let mut b = SuffStats::new(4);
+        for (i, &t) in all.ticks().iter().enumerate() {
+            if i % 2 == 0 {
+                a.push(t);
+            } else {
+                b.push(t);
+            }
+        }
+        let ab = SuffStats::merged(a.clone(), &b).unwrap();
+        let ba = SuffStats::merged(b, &a).unwrap();
+        assert_eq!(ab, whole);
+        assert_eq!(ba, whole);
+    }
+
+    #[test]
+    fn merge_rejects_resolution_mismatch() {
+        let mut a = SuffStats::new(1);
+        let b = SuffStats::new(8);
+        let err = a.merge(&b).unwrap_err();
+        assert_eq!(err, ResolutionMismatch { ours: 1, theirs: 8 });
+        assert!(err.to_string().contains("cycles/tick"));
+    }
+
+    #[test]
+    fn validation_state_tracks_overflow() {
+        let mut s = SuffStats::new(8);
+        s.push(5);
+        assert_eq!(s.overflowing(), 0);
+        assert_eq!(DurationSamples::validate(&s), Ok(()));
+        s.push(u64::MAX);
+        assert_eq!(s.overflowing(), 1);
+        assert!(matches!(
+            DurationSamples::validate(&s),
+            Err(SampleIssue::TickOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_and_zero_resolution_validation() {
+        assert_eq!(
+            DurationSamples::validate(&SuffStats::new(0)),
+            Err(SampleIssue::ZeroResolution)
+        );
+        assert_eq!(
+            DurationSamples::validate(&SuffStats::new(1)),
+            Err(SampleIssue::Empty)
+        );
+    }
+
+    #[test]
+    fn to_samples_materializes_ascending() {
+        let mut s = SuffStats::new(2);
+        for t in [9, 1, 9, 4] {
+            s.push(t);
+        }
+        let m = s.to_samples().unwrap();
+        assert_eq!(m.ticks(), &[1, 4, 9, 9]);
+        assert_eq!(m.cycles_per_tick(), 2);
+    }
+
+    #[test]
+    fn saturating_square_sum_is_merge_stable() {
+        // Ticks big enough to saturate Σt²: merge order still agrees.
+        let big = u64::MAX - 1;
+        let mut a = SuffStats::new(1);
+        let mut b = SuffStats::new(1);
+        a.push(big);
+        a.push(big);
+        b.push(big);
+        let ab = SuffStats::merged(a.clone(), &b).unwrap();
+        let ba = SuffStats::merged(b.clone(), &a).unwrap();
+        assert_eq!(ab, ba);
+        let mut mono = SuffStats::new(1);
+        for _ in 0..3 {
+            mono.push(big);
+        }
+        assert_eq!(ab, mono);
+    }
+}

@@ -11,7 +11,7 @@
 
 use crate::em::EmOptions;
 use crate::fb::{e_step, FbError};
-use crate::samples::TimingSamples;
+use crate::samples::DurationSamples;
 use ct_cfg::graph::{BlockId, Cfg, EdgeKind};
 use ct_cfg::profile::BranchProbs;
 use ct_cfg::unroll::{unroll, UnrollError};
@@ -64,12 +64,12 @@ pub struct UnrolledEstimate {
 ///
 /// Propagates unroll and EM failures; callers typically fall back to plain
 /// [`crate::estimator::estimate`].
-pub fn estimate_unrolled(
+pub fn estimate_unrolled<S: DurationSamples + ?Sized>(
     cfg: &Cfg,
     counted: &[(BlockId, u64)],
     block_costs: &[u64],
     edge_costs: &[u64],
-    samples: &TimingSamples,
+    samples: &S,
     opts: EmOptions,
 ) -> Result<UnrolledEstimate, UnrolledError> {
     let u = unroll(cfg, counted).map_err(UnrolledError::Unroll)?;
@@ -174,6 +174,7 @@ pub fn estimate_unrolled(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::samples::TimingSamples;
     use ct_cfg::builder::while_loop;
     use ct_cfg::graph::Terminator;
 

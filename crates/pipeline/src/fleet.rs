@@ -1,0 +1,265 @@
+//! The fleet driver: N simulated motes running the same configuration on
+//! strided seeds, fanned out over scoped threads, their tick streams
+//! reduced to mergeable sufficient statistics.
+//!
+//! This is the paper's deployment story at scale: every mote ships
+//! end-to-end timestamps to a base station, which needs *one* profile of
+//! the shared binary. Per-mote streams reduce to
+//! [`ct_core::SuffStats`] (associative, commutative merge — any
+//! reduction order, any thread count, bitwise the same result) and the
+//! estimators run directly off the merged statistics without ever
+//! re-materializing the combined sample vector. Ground-truth edge profiles
+//! merge additively for scoring.
+
+use crate::config::{EstimatorChoice, RunConfig};
+use crate::error::PipelineError;
+use crate::session::Session;
+use crate::stage::{estimate_probs, Estimated};
+use ct_cfg::graph::{BlockId, Cfg};
+use ct_cfg::profile::{BranchProbs, EdgeProfile};
+use ct_core::accuracy::compare;
+use ct_core::estimator::estimate_robust;
+use ct_core::stream::SuffStats;
+use ct_ir::instr::ProcId;
+use ct_ir::program::Program;
+
+/// One mote's reduced contribution to the fleet profile: everything the
+/// base station keeps after ingesting the mote's record stream.
+#[derive(Debug, Clone)]
+struct MoteContribution {
+    stats: SuffStats,
+    truth_profile: EdgeProfile,
+    invocations: u64,
+    cycles_used: u64,
+}
+
+/// The merged artifact of a fleet run: static program facts plus the
+/// order-insensitively merged measurement and ground-truth state.
+#[derive(Debug)]
+pub struct FleetRun {
+    /// The shared compiled program.
+    pub program: Program,
+    /// The profiled procedure.
+    pub pid: ProcId,
+    /// Static block costs of the target (natural layout).
+    pub block_costs: Vec<u64>,
+    /// Static edge costs of the target (natural layout).
+    pub edge_costs: Vec<u64>,
+    /// Statically counted loops of the target.
+    pub counted_loops: Vec<(BlockId, u64)>,
+    /// Merged sufficient statistics of every mote's tick stream.
+    pub stats: SuffStats,
+    /// Merged ground-truth edge profile (scoring only).
+    pub truth_profile: EdgeProfile,
+    /// Ground-truth branch probabilities of the merged profile.
+    pub truth: BranchProbs,
+    /// Total target invocations across the fleet.
+    pub invocations: u64,
+    /// Total cycles consumed across the fleet.
+    pub cycles_used: u64,
+    /// How many motes contributed.
+    pub motes: usize,
+}
+
+impl FleetRun {
+    /// The target procedure's CFG.
+    pub fn cfg(&self) -> &Cfg {
+        &self.program.procs[self.pid.index()].cfg
+    }
+}
+
+/// N motes running one configuration on deterministically strided seeds.
+#[derive(Debug, Clone)]
+pub struct Fleet {
+    config: RunConfig,
+    motes: usize,
+}
+
+impl Fleet {
+    /// A fleet of `motes` motes under `config`. Mote 0 uses the config's
+    /// seed verbatim, so `Fleet::new(config, 1)` reproduces the single-mote
+    /// [`Session`] path exactly.
+    pub fn new(config: RunConfig, motes: usize) -> Fleet {
+        Fleet { config, motes }
+    }
+
+    /// The fleet's base configuration.
+    pub fn config(&self) -> &RunConfig {
+        &self.config
+    }
+
+    /// The per-mote configuration: strided workload seed, and a strided
+    /// fault-plan seed when a fault plan is configured (each mote's record
+    /// channel fails independently — but mote 0 keeps the plan verbatim).
+    pub fn mote_config(&self, index: usize) -> RunConfig {
+        let offset = self.config.mote_seed(index).wrapping_sub(self.config.seed);
+        let mut c = self.config.clone().seeded(self.config.mote_seed(index));
+        if let Some(plan) = &mut c.fault {
+            plan.seed = plan.seed.wrapping_add(offset);
+        }
+        c
+    }
+
+    /// Runs every mote (fanned out over scoped threads, `CT_THREADS` to
+    /// override the worker count) and merges their contributions. The
+    /// merge is a left fold in mote order, but [`SuffStats::merge`] is
+    /// associative and commutative, so any other reduction shape would
+    /// produce the identical result.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::EmptyFleet`] for a zero-mote fleet;
+    /// [`PipelineError::Trap`] if any mote's workload traps.
+    pub fn run(&self) -> Result<FleetRun, PipelineError> {
+        if self.motes == 0 {
+            return Err(PipelineError::EmptyFleet);
+        }
+        // Static program facts once, from a deploy that never runs.
+        let statics = Session::new(self.config.clone().invocations(0)).collect()?;
+
+        let contributions: Vec<Result<MoteContribution, PipelineError>> =
+            ct_stats::parallel::par_map((0..self.motes).collect(), |i| {
+                let run = Session::new(self.mote_config(i)).collect()?;
+                Ok(MoteContribution {
+                    stats: SuffStats::from_samples(&run.samples),
+                    truth_profile: run.truth_profile,
+                    invocations: run.invocations,
+                    cycles_used: run.cycles_used,
+                })
+            });
+
+        let mut stats = SuffStats::new(self.config.cycles_per_tick);
+        let mut truth_profile = EdgeProfile::zeroed(statics.cfg());
+        let mut invocations = 0u64;
+        let mut cycles_used = 0u64;
+        for contribution in contributions {
+            let c = contribution?;
+            stats.merge(&c.stats)?;
+            truth_profile.merge(&c.truth_profile);
+            invocations += c.invocations;
+            cycles_used += c.cycles_used;
+        }
+        let truth = truth_profile.branch_probs(statics.cfg());
+        Ok(FleetRun {
+            truth,
+            stats,
+            truth_profile,
+            invocations,
+            cycles_used,
+            motes: self.motes,
+            program: statics.program,
+            pid: statics.pid,
+            block_costs: statics.block_costs,
+            edge_costs: statics.edge_costs,
+            counted_loops: statics.counted_loops,
+        })
+    }
+
+    /// Estimates the fleet's branch profile **from the merged statistics**
+    /// — the naive estimators (EM, moments, flow) consume the histogram
+    /// and moments directly; only the robust ladder, whose trimming needs
+    /// concrete values, materializes a sorted sample vector.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Estimate`] when the naive estimator fails hard;
+    /// [`PipelineError::InvalidSamples`] when the robust ladder cannot
+    /// materialize the merged statistics.
+    pub fn estimate(&self, fleet_run: &FleetRun) -> Result<Estimated, PipelineError> {
+        let cfg = fleet_run.cfg();
+        let (estimate, confidence, robust) = match &self.config.estimator {
+            EstimatorChoice::Naive(opts) => {
+                let est = estimate_probs(
+                    cfg,
+                    &fleet_run.counted_loops,
+                    &fleet_run.block_costs,
+                    &fleet_run.edge_costs,
+                    &fleet_run.stats,
+                    *opts,
+                    self.config.unroll_counted,
+                )?;
+                (est, 1.0, None)
+            }
+            EstimatorChoice::Robust(opts) => {
+                let samples = fleet_run.stats.to_samples()?;
+                let r = estimate_robust(
+                    cfg,
+                    &fleet_run.block_costs,
+                    &fleet_run.edge_costs,
+                    &samples,
+                    *opts,
+                );
+                (r.estimate.clone(), r.confidence, Some(r))
+            }
+        };
+        let accuracy = compare(
+            cfg,
+            &estimate.probs,
+            &fleet_run.truth,
+            &fleet_run.truth_profile,
+            fleet_run.invocations,
+        );
+        Ok(Estimated {
+            estimate,
+            accuracy,
+            confidence,
+            robust,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_core::samples::DurationSamples;
+
+    #[test]
+    fn zero_motes_is_an_error() {
+        let fleet = Fleet::new(RunConfig::new("sense").invocations(10), 0);
+        assert_eq!(fleet.run().unwrap_err(), PipelineError::EmptyFleet);
+    }
+
+    #[test]
+    fn one_mote_fleet_equals_the_single_mote_path() {
+        let config = RunConfig::new("sense").invocations(300).seeded(42);
+        let single = Session::new(config.clone()).collect().unwrap();
+        let fleet_run = Fleet::new(config, 1).run().unwrap();
+        assert_eq!(fleet_run.stats, SuffStats::from_samples(&single.samples));
+        assert_eq!(fleet_run.truth_profile, single.truth_profile);
+        assert_eq!(fleet_run.invocations, single.invocations);
+        assert_eq!(fleet_run.cycles_used, single.cycles_used);
+    }
+
+    #[test]
+    fn fleet_motes_observe_distinct_workloads() {
+        let config = RunConfig::new("sense").invocations(200).seeded(7);
+        let fr = Fleet::new(config.clone(), 3).run().unwrap();
+        assert_eq!(fr.motes, 3);
+        assert_eq!(fr.invocations, 600);
+        assert_eq!(fr.stats.len(), 600);
+        // Three motes on strided seeds are not three copies of one mote.
+        let single = Session::new(config).collect().unwrap();
+        let mut tripled = SuffStats::from_samples(&single.samples);
+        tripled
+            .merge(&SuffStats::from_samples(&single.samples))
+            .unwrap();
+        tripled
+            .merge(&SuffStats::from_samples(&single.samples))
+            .unwrap();
+        assert_ne!(fr.stats, tripled);
+    }
+
+    #[test]
+    fn fleet_estimate_runs_off_merged_stats() {
+        let config = RunConfig::new("sense").invocations(700).seeded(9);
+        let fleet = Fleet::new(config, 3);
+        let fr = fleet.run().unwrap();
+        let est = fleet.estimate(&fr).unwrap();
+        assert!(
+            est.accuracy.mae < 0.03,
+            "mae {} from {} merged samples",
+            est.accuracy.mae,
+            fr.stats.len()
+        );
+    }
+}

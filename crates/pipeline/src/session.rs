@@ -1,0 +1,278 @@
+//! The session: one [`RunConfig`], the full stage chain behind methods
+//! that stop at any artifact an experiment needs.
+
+use crate::config::{EstimatorChoice, RunConfig};
+use crate::error::PipelineError;
+use crate::measure;
+use crate::stage::{
+    self, AppRun, Collect, Compile, Corrupt, Deploy, EstimateStage, Estimated, Evaluate, Place,
+    Run, Stage,
+};
+use ct_cfg::layout::{Layout, LayoutCost};
+use ct_cfg::profile::BranchProbs;
+use ct_placement::{place_with_confidence, Strategy, MIN_PLACEMENT_CONFIDENCE};
+
+/// A replayed layout measurement: what the layout cost on identical inputs.
+#[derive(Debug, Clone)]
+pub struct Evaluated {
+    /// Branch-taken/misprediction accounting under the replayed profile.
+    pub cost: LayoutCost,
+    /// Total cycles the replayed workload consumed.
+    pub cycles: u64,
+}
+
+/// The full pipeline's final artifact: measure → estimate → place →
+/// re-measure, all under one config.
+#[derive(Debug)]
+pub struct PipelineReport {
+    /// The measured run.
+    pub run: AppRun,
+    /// The scored estimate.
+    pub estimated: Estimated,
+    /// The optimized layout.
+    pub layout: Layout,
+    /// The natural layout replayed on identical inputs.
+    pub before: Evaluated,
+    /// The optimized layout replayed on identical inputs.
+    pub after: Evaluated,
+}
+
+/// One pipeline run under one seeded configuration.
+///
+/// The stage methods mirror the typed [`crate::stage::Stage`] chain
+/// but stop wherever an experiment needs an artifact: [`Session::collect`]
+/// for the measured run, [`Session::estimate`] for a scored estimate,
+/// [`Session::place`]/[`Session::evaluate`] for layouts, and
+/// [`Session::run`] for the whole flow in one call.
+#[derive(Debug, Clone)]
+pub struct Session {
+    config: RunConfig,
+}
+
+impl Session {
+    /// A session over `config`.
+    pub fn new(config: RunConfig) -> Session {
+        Session { config }
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> &RunConfig {
+        &self.config
+    }
+
+    /// Measures one workload run:
+    /// `Compile → Deploy → Run → Collect → Corrupt`.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Trap`] if the workload traps.
+    pub fn collect(&self) -> Result<AppRun, PipelineError> {
+        let compiled = Compile.run(&self.config, ())?;
+        let deployed = Deploy::default().run(&self.config, compiled)?;
+        let executed = Run.run(&self.config, deployed)?;
+        let run = Collect.run(&self.config, executed)?;
+        Corrupt.run(&self.config, run)
+    }
+
+    /// Estimates the run's branch probabilities with the configured
+    /// estimator and scores them against the run's ground truth.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Estimate`] when the naive estimator fails hard
+    /// (the robust ladder never fails).
+    pub fn estimate(&self, run: &AppRun) -> Result<Estimated, PipelineError> {
+        self.estimate_as(run, &self.config.estimator)
+    }
+
+    /// Like [`Session::estimate`] but with an explicit estimator choice —
+    /// for experiments comparing estimators on the *same* collected run.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Estimate`] when the naive estimator fails hard.
+    pub fn estimate_as(
+        &self,
+        run: &AppRun,
+        choice: &EstimatorChoice,
+    ) -> Result<Estimated, PipelineError> {
+        stage::estimate_collected(&self.config, run, choice)
+    }
+
+    /// Computes an optimized layout from a probability vector (estimated
+    /// or ground-truth), trusting it fully.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Frequency`] when no edge frequencies exist under
+    /// `probs` (exit unreachable).
+    pub fn place(
+        &self,
+        run: &AppRun,
+        probs: &BranchProbs,
+        strategy: Strategy,
+    ) -> Result<Layout, PipelineError> {
+        let cfg = run.cfg();
+        let freq = measure::edge_frequencies(cfg, probs).map_err(PipelineError::Frequency)?;
+        Ok(place_with_confidence(
+            cfg,
+            &freq,
+            1.0,
+            MIN_PLACEMENT_CONFIDENCE,
+            &self.config.penalties(),
+            strategy,
+        ))
+    }
+
+    /// Confidence-gated placement that never fails: a degenerate
+    /// probability vector (no derivable frequencies) or a low-confidence
+    /// estimate degrades to the natural layout — placement must never
+    /// crash the pipeline.
+    pub fn place_gated(
+        &self,
+        run: &AppRun,
+        probs: &BranchProbs,
+        confidence: f64,
+        strategy: Strategy,
+    ) -> Layout {
+        let cfg = run.cfg();
+        match measure::edge_frequencies(cfg, probs) {
+            Ok(freq) => place_with_confidence(
+                cfg,
+                &freq,
+                confidence,
+                MIN_PLACEMENT_CONFIDENCE,
+                &self.config.penalties(),
+                strategy,
+            ),
+            Err(_) => Layout::natural(cfg),
+        }
+    }
+
+    /// Replays the identical workload (same seed, cycle-accurate timer,
+    /// zero overhead) on `layout`, measuring its cost.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Trap`] if the replayed workload traps.
+    pub fn evaluate(&self, layout: &Layout) -> Result<Evaluated, PipelineError> {
+        stage::replay(&self.config, layout.clone())
+    }
+
+    /// The whole flow in one call, composed from the typed stages:
+    /// measure, estimate, place with `strategy`, and replay both the
+    /// natural and the optimized layout on identical inputs.
+    ///
+    /// # Errors
+    ///
+    /// Any stage's error; see [`PipelineError`].
+    pub fn run(&self, strategy: Strategy) -> Result<PipelineReport, PipelineError> {
+        let compiled = Compile.run(&self.config, ())?;
+        let deployed = Deploy::default().run(&self.config, compiled)?;
+        let executed = Run.run(&self.config, deployed)?;
+        let collected = Collect.run(&self.config, executed)?;
+        let collected = Corrupt.run(&self.config, collected)?;
+        let estimated = EstimateStage.run(&self.config, collected)?;
+        let placed = Place { strategy }.run(&self.config, estimated)?;
+        Evaluate.run(&self.config, placed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Mcu;
+    use ct_core::estimator::EstimateOptions;
+
+    fn sense(n: usize, seed: u64) -> Session {
+        Session::new(RunConfig::new("sense").invocations(n).seeded(seed))
+    }
+
+    #[test]
+    fn collect_produces_consistent_artifacts() {
+        let run = sense(300, 42).collect().unwrap();
+        assert_eq!(run.samples.len(), 300);
+        assert_eq!(run.invocations, 300);
+        assert!(run.truth_profile.is_flow_consistent(run.cfg(), 300));
+        assert!(run.cycles_used > 0);
+    }
+
+    #[test]
+    fn runs_are_reproducible_per_seed() {
+        let a = sense(100, 7).collect().unwrap();
+        let b = sense(100, 7).collect().unwrap();
+        assert_eq!(a.samples.ticks(), b.samples.ticks());
+        assert_eq!(a.truth_profile, b.truth_profile);
+        let c = sense(100, 8).collect().unwrap();
+        assert_ne!(a.samples.ticks(), c.samples.ticks());
+    }
+
+    #[test]
+    fn estimate_recovers_sense_branch() {
+        let session = sense(2000, 1);
+        let run = session.collect().unwrap();
+        let est = session.estimate(&run).unwrap();
+        assert!(
+            est.accuracy.mae < 0.02,
+            "mae {} (est {:?} truth {:?})",
+            est.accuracy.mae,
+            est.estimate.probs,
+            run.truth
+        );
+        assert_eq!(est.confidence, 1.0);
+        assert!(est.robust.is_none());
+    }
+
+    #[test]
+    fn robust_choice_carries_ladder_outcome() {
+        let session = Session::new(RunConfig::new("sense").invocations(500).seeded(3).robust());
+        let run = session.collect().unwrap();
+        let est = session.estimate(&run).unwrap();
+        let r = est.robust.expect("robust ladder ran");
+        assert!(est.confidence > 0.0);
+        assert_eq!(r.estimate.probs.as_slice(), est.estimate.probs.as_slice());
+    }
+
+    #[test]
+    fn estimate_as_overrides_the_configured_choice() {
+        let session = sense(500, 5);
+        let run = session.collect().unwrap();
+        let naive = session
+            .estimate_as(&run, &EstimatorChoice::Naive(EstimateOptions::default()))
+            .unwrap();
+        assert!(naive.robust.is_none());
+    }
+
+    #[test]
+    fn full_run_improves_or_preserves_mispredictions() {
+        let report = sense(800, 11).run(Strategy::Best).unwrap();
+        assert!(report.before.cycles > 0);
+        assert!(
+            report.after.cost.misprediction_rate()
+                <= report.before.cost.misprediction_rate() + 1e-9
+        );
+    }
+
+    #[test]
+    fn evaluate_measures_cost_on_natural_layout() {
+        let session = sense(200, 3);
+        let run = session.collect().unwrap();
+        let e = session.evaluate(&Layout::natural(run.cfg())).unwrap();
+        assert!(e.cycles > 0);
+        assert_eq!(e.cost.branches_taken + e.cost.branches_not_taken, 200);
+    }
+
+    #[test]
+    fn msp430_config_runs_end_to_end() {
+        let session = Session::new(
+            RunConfig::new("blink")
+                .invocations(200)
+                .seeded(1)
+                .on(Mcu::Msp430)
+                .resolution(8),
+        );
+        let run = session.collect().unwrap();
+        assert_eq!(run.samples.cycles_per_tick(), 8);
+        session.estimate(&run).unwrap();
+    }
+}

@@ -1,0 +1,562 @@
+//! The typed pipeline stages. Each stage consumes the previous stage's
+//! artifact and a shared [`RunConfig`]; the chain is
+//!
+//! ```text
+//! Compile → Deploy → Run → Collect → Corrupt → Estimate → Place → Evaluate
+//!   ()      Compiled Deployed Executed  AppRun    AppRun  EstimatedRun PlacedRun
+//! ```
+//!
+//! [`Session`](crate::Session) composes them; the types make it impossible
+//! to, say, estimate before collecting or place before estimating.
+
+use crate::config::{EstimatorChoice, RunConfig, Target};
+use crate::error::PipelineError;
+use crate::measure;
+use crate::session::{Evaluated, PipelineReport};
+use ct_cfg::graph::{BlockId, Cfg};
+use ct_cfg::layout::Layout;
+use ct_cfg::profile::{BranchProbs, EdgeProfile};
+use ct_core::accuracy::{compare, AccuracyReport};
+use ct_core::estimator::{estimate, estimate_robust, Estimate as CoreEstimate, Method};
+use ct_core::estimator::{EstimateOptions, RobustEstimate};
+use ct_core::samples::{DurationSamples, TimingSamples};
+use ct_core::stream::SampleBatch;
+use ct_core::unrolled::estimate_unrolled;
+use ct_ir::instr::ProcId;
+use ct_ir::program::Program;
+use ct_mote::interp::Mote;
+use ct_mote::timer::VirtualTimer;
+use ct_mote::trace::{GroundTruthProfiler, PairProfiler, TimingProfiler};
+use ct_placement::{place_with_confidence, Strategy, MIN_PLACEMENT_CONFIDENCE};
+
+/// One typed pipeline step: turns the previous stage's artifact into the
+/// next under a shared configuration.
+pub trait Stage {
+    /// The artifact this stage consumes.
+    type Input;
+    /// The artifact this stage produces.
+    type Output;
+
+    /// The stage's name (for diagnostics).
+    fn name(&self) -> &'static str;
+
+    /// Runs the stage.
+    ///
+    /// # Errors
+    ///
+    /// Stage-specific: traps, estimation failures, frequency-derivation
+    /// failures — see [`PipelineError`].
+    fn run(&self, config: &RunConfig, input: Self::Input) -> Result<Self::Output, PipelineError>;
+}
+
+// ---------------------------------------------------------------- Compile
+
+/// The compiled target: program, profiled procedure, and workload hooks.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// Target display name.
+    pub name: String,
+    /// The compiled program.
+    pub program: Program,
+    /// The profiled procedure.
+    pub pid: ProcId,
+    pub(crate) configure: fn(&mut Mote),
+    pub(crate) per_call: Option<fn(&mut Mote, usize)>,
+}
+
+/// Compiles the configured target.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Compile;
+
+impl Stage for Compile {
+    type Input = ();
+    type Output = Compiled;
+
+    fn name(&self) -> &'static str {
+        "compile"
+    }
+
+    fn run(&self, config: &RunConfig, _input: ()) -> Result<Compiled, PipelineError> {
+        Ok(match &config.target {
+            Target::App(app) => {
+                let program = app.compile();
+                let pid = app.target_id(&program);
+                Compiled {
+                    name: app.name.to_string(),
+                    program,
+                    pid,
+                    configure: app.configure,
+                    per_call: app.per_call,
+                }
+            }
+            Target::Program {
+                program,
+                proc_index,
+                configure,
+            } => Compiled {
+                name: program.name.clone(),
+                program: program.clone(),
+                pid: ProcId(*proc_index as u32),
+                configure: *configure,
+                per_call: None,
+            },
+        })
+    }
+}
+
+// ----------------------------------------------------------------- Deploy
+
+/// A booted, configured, seeded mote ready to drive the workload.
+#[derive(Debug)]
+pub struct Deployed {
+    /// The booted mote.
+    pub mote: Mote,
+    /// The compile artifact the mote runs.
+    pub compiled: Compiled,
+}
+
+/// Boots a mote with the compiled program: applies the target's device
+/// configuration, the configured seed and contamination, and (optionally)
+/// a code layout override for replay runs.
+#[derive(Debug, Clone, Default)]
+pub struct Deploy {
+    /// Layout to install on the profiled procedure before running
+    /// (`None` keeps the program's natural layout).
+    pub layout: Option<Layout>,
+}
+
+impl Stage for Deploy {
+    type Input = Compiled;
+    type Output = Deployed;
+
+    fn name(&self) -> &'static str {
+        "deploy"
+    }
+
+    fn run(&self, config: &RunConfig, compiled: Compiled) -> Result<Deployed, PipelineError> {
+        let mut mote = Mote::new(compiled.program.clone(), config.mcu.cost_model());
+        (compiled.configure)(&mut mote);
+        mote.reseed(config.seed);
+        if let Some(layout) = &self.layout {
+            mote.set_layout(compiled.pid, layout.clone());
+        }
+        if let Some(c) = config.contamination {
+            mote.config.contamination_prob = c.prob;
+            mote.config.contamination_cycles = c.cycles;
+        }
+        Ok(Deployed { mote, compiled })
+    }
+}
+
+// -------------------------------------------------------------------- Run
+
+/// A driven workload with its instrumentation state still attached.
+#[derive(Debug)]
+pub struct Executed {
+    /// The mote after the workload (owns cycle counters and static costs).
+    pub mote: Mote,
+    /// The compile artifact.
+    pub compiled: Compiled,
+    /// Ground-truth edge instrumentation (scoring only — the estimator
+    /// never sees it).
+    pub truth: GroundTruthProfiler,
+    /// The entry/exit timestamp instrumentation (all the estimator gets).
+    pub timing: TimingProfiler,
+    /// Cycles the workload consumed.
+    pub cycles_used: u64,
+}
+
+/// Drives the configured number of target invocations under paired
+/// ground-truth and timing instrumentation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Run;
+
+impl Stage for Run {
+    type Input = Deployed;
+    type Output = Executed;
+
+    fn name(&self) -> &'static str {
+        "run"
+    }
+
+    fn run(&self, config: &RunConfig, deployed: Deployed) -> Result<Executed, PipelineError> {
+        let Deployed { mut mote, compiled } = deployed;
+        let program = mote.program().clone();
+        let mut truth = GroundTruthProfiler::new(&program);
+        let mut timing = TimingProfiler::new(&program, config.timer(), config.ts_overhead);
+        let start_cycles = mote.cycles;
+        for i in 0..config.invocations {
+            if let Some(hook) = compiled.per_call {
+                hook(&mut mote, i);
+            }
+            let mut pair = PairProfiler {
+                a: &mut truth,
+                b: &mut timing,
+            };
+            mote.call(compiled.pid, &[], &mut pair)
+                .map_err(|e| PipelineError::Trap(format!("{}: {e}", compiled.name)))?;
+        }
+        let cycles_used = mote.cycles - start_cycles;
+        Ok(Executed {
+            mote,
+            compiled,
+            truth,
+            timing,
+            cycles_used,
+        })
+    }
+}
+
+// ---------------------------------------------------------------- Collect
+
+/// Everything one measured workload run produces (the `Collect` artifact).
+#[derive(Debug)]
+pub struct AppRun {
+    /// The compiled program.
+    pub program: Program,
+    /// The profiled procedure.
+    pub pid: ProcId,
+    /// Static block costs of the target under the run's layout.
+    pub block_costs: Vec<u64>,
+    /// Static edge costs of the target under the run's layout.
+    pub edge_costs: Vec<u64>,
+    /// Exclusive-duration samples of the target.
+    pub samples: TimingSamples,
+    /// Ground-truth edge profile of the target.
+    pub truth_profile: EdgeProfile,
+    /// Ground-truth branch probabilities.
+    pub truth: BranchProbs,
+    /// Statically counted loops of the target (from the compiler's
+    /// trip-count analysis).
+    pub counted_loops: Vec<(BlockId, u64)>,
+    /// Target invocations.
+    pub invocations: u64,
+    /// Total cycles consumed by the run.
+    pub cycles_used: u64,
+}
+
+impl AppRun {
+    /// The target procedure's CFG.
+    pub fn cfg(&self) -> &Cfg {
+        &self.program.procs[self.pid.index()].cfg
+    }
+
+    /// The run's tick stream as an append-only ingestion batch
+    /// (arrival order preserved).
+    pub fn batch(&self) -> SampleBatch {
+        SampleBatch::from_samples(&self.samples)
+    }
+}
+
+/// Extracts the run artifacts: samples, ground truth, static costs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Collect;
+
+impl Stage for Collect {
+    type Input = Executed;
+    type Output = AppRun;
+
+    fn name(&self) -> &'static str {
+        "collect"
+    }
+
+    fn run(&self, config: &RunConfig, executed: Executed) -> Result<AppRun, PipelineError> {
+        let Executed {
+            mote,
+            compiled,
+            truth,
+            timing,
+            cycles_used,
+        } = executed;
+        let pid = compiled.pid;
+        let program = compiled.program;
+        let cfg = &program.procs[pid.index()].cfg;
+        Ok(AppRun {
+            counted_loops: program.procs[pid.index()].counted_loops.clone(),
+            block_costs: mote.static_block_costs(pid).to_vec(),
+            edge_costs: mote.static_edge_costs(pid).to_vec(),
+            // The timer came from `RunConfig::timer` (a `VirtualTimer`,
+            // whose invariant is cycles_per_tick ≥ 1), so the fallible
+            // constructor cannot fail here.
+            samples: TimingSamples::try_new(
+                timing.samples(pid).to_vec(),
+                config.timer().cycles_per_tick(),
+            )
+            .expect("VirtualTimer guarantees a positive resolution"),
+            truth_profile: truth.profile(pid).clone(),
+            truth: truth.branch_probs(pid, cfg),
+            invocations: truth.invocations(pid),
+            cycles_used,
+            program,
+            pid,
+        })
+    }
+}
+
+// ---------------------------------------------------------------- Corrupt
+
+/// Applies the configured measurement-channel fault plan to the run's tick
+/// stream (a no-op without a plan). Ground truth is untouched: faults model
+/// the record channel, not the execution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Corrupt;
+
+impl Stage for Corrupt {
+    type Input = AppRun;
+    type Output = AppRun;
+
+    fn name(&self) -> &'static str {
+        "corrupt"
+    }
+
+    fn run(&self, config: &RunConfig, mut run: AppRun) -> Result<AppRun, PipelineError> {
+        if let Some(plan) = &config.fault {
+            run.samples = plan.build().apply(&run.samples);
+        }
+        Ok(run)
+    }
+}
+
+// --------------------------------------------------------------- Estimate
+
+/// An estimate scored against the run's ground truth.
+#[derive(Debug, Clone)]
+pub struct Estimated {
+    /// The estimated parameters and method diagnostics.
+    pub estimate: CoreEstimate,
+    /// Accuracy versus the ground truth the estimator never saw.
+    pub accuracy: AccuracyReport,
+    /// Placement-facing confidence: the robust ladder's confidence, or
+    /// `1.0` for the naive estimator (which always trusts itself).
+    pub confidence: f64,
+    /// The full ladder outcome when the robust estimator ran.
+    pub robust: Option<RobustEstimate>,
+}
+
+/// The `Estimate` stage's pass-through artifact: the run plus its estimate.
+#[derive(Debug)]
+pub struct EstimatedRun {
+    /// The measured run.
+    pub run: AppRun,
+    /// Its scored estimate.
+    pub estimated: Estimated,
+}
+
+/// Estimates branch probabilities from the run's tick samples alone and
+/// scores them against ground truth.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EstimateStage;
+
+impl Stage for EstimateStage {
+    type Input = AppRun;
+    type Output = EstimatedRun;
+
+    fn name(&self) -> &'static str {
+        "estimate"
+    }
+
+    fn run(&self, config: &RunConfig, run: AppRun) -> Result<EstimatedRun, PipelineError> {
+        let estimated = estimate_collected(config, &run, &config.estimator)?;
+        Ok(EstimatedRun { run, estimated })
+    }
+}
+
+/// Estimates branch probabilities from any duration-sample view (a
+/// monolithic [`TimingSamples`], merged fleet
+/// [`SuffStats`](ct_core::SuffStats), …) with the naive front door,
+/// trying the counted-loop unrolled model first when `unroll` is set, trip
+/// counts are proved, and no explicit method is forced — exactly what a
+/// profile-guided compiler with the program's IR in hand would do —
+/// falling back to the plain estimator on any unrolled failure.
+///
+/// # Errors
+///
+/// [`PipelineError::Estimate`] when the plain estimator fails hard.
+pub fn estimate_probs<S: DurationSamples + Sync + ?Sized>(
+    cfg: &Cfg,
+    counted_loops: &[(BlockId, u64)],
+    block_costs: &[u64],
+    edge_costs: &[u64],
+    samples: &S,
+    opts: EstimateOptions,
+    unroll: bool,
+) -> Result<CoreEstimate, PipelineError> {
+    if unroll && opts.method.is_none() && !counted_loops.is_empty() {
+        if let Ok(u) = estimate_unrolled(
+            cfg,
+            counted_loops,
+            block_costs,
+            edge_costs,
+            samples,
+            opts.em,
+        ) {
+            return Ok(CoreEstimate {
+                probs: u.probs,
+                method: Method::EmUnrolled,
+                iterations: u.iterations,
+                // The unrolled path only returns Ok on a finished EM run.
+                converged: true,
+                final_delta: 0.0,
+                loglik: Some(u.loglik),
+                unexplained: u.unexplained,
+            });
+        }
+    }
+    Ok(estimate(cfg, block_costs, edge_costs, samples, opts)?)
+}
+
+/// Shared estimation logic over a collected run: naive front door or the
+/// robust degradation ladder, per `choice`.
+pub(crate) fn estimate_collected(
+    config: &RunConfig,
+    run: &AppRun,
+    choice: &EstimatorChoice,
+) -> Result<Estimated, PipelineError> {
+    let cfg = run.cfg();
+    let (estimate, confidence, robust) = match choice {
+        EstimatorChoice::Naive(opts) => {
+            let est = estimate_probs(
+                cfg,
+                &run.counted_loops,
+                &run.block_costs,
+                &run.edge_costs,
+                &run.samples,
+                *opts,
+                config.unroll_counted,
+            )?;
+            (est, 1.0, None)
+        }
+        EstimatorChoice::Robust(opts) => {
+            let r = estimate_robust(cfg, &run.block_costs, &run.edge_costs, &run.samples, *opts);
+            (r.estimate.clone(), r.confidence, Some(r))
+        }
+    };
+    let accuracy = compare(
+        cfg,
+        &estimate.probs,
+        &run.truth,
+        &run.truth_profile,
+        run.invocations,
+    );
+    Ok(Estimated {
+        estimate,
+        accuracy,
+        confidence,
+        robust,
+    })
+}
+
+// ------------------------------------------------------------------ Place
+
+/// The `Place` stage's pass-through artifact.
+#[derive(Debug)]
+pub struct PlacedRun {
+    /// The measured run.
+    pub run: AppRun,
+    /// Its scored estimate.
+    pub estimated: Estimated,
+    /// The optimized layout the estimate produced.
+    pub layout: Layout,
+}
+
+/// Derives edge frequencies from the estimate and computes an optimized
+/// layout, gated on the estimate's confidence (a low-confidence estimate
+/// keeps the natural layout — reordering on noise only wears the flash).
+#[derive(Debug, Clone, Copy)]
+pub struct Place {
+    /// Placement strategy.
+    pub strategy: Strategy,
+}
+
+impl Default for Place {
+    fn default() -> Place {
+        Place {
+            strategy: Strategy::Best,
+        }
+    }
+}
+
+impl Stage for Place {
+    type Input = EstimatedRun;
+    type Output = PlacedRun;
+
+    fn name(&self) -> &'static str {
+        "place"
+    }
+
+    fn run(&self, config: &RunConfig, input: EstimatedRun) -> Result<PlacedRun, PipelineError> {
+        let EstimatedRun { run, estimated } = input;
+        let cfg = run.cfg();
+        let freq = measure::edge_frequencies(cfg, &estimated.estimate.probs)
+            .map_err(PipelineError::Frequency)?;
+        let layout = place_with_confidence(
+            cfg,
+            &freq,
+            estimated.confidence,
+            MIN_PLACEMENT_CONFIDENCE,
+            &config.penalties(),
+            self.strategy,
+        );
+        Ok(PlacedRun {
+            run,
+            estimated,
+            layout,
+        })
+    }
+}
+
+// --------------------------------------------------------------- Evaluate
+
+/// Replays the identical workload (same seed) on the natural and the
+/// optimized layout with a cycle-accurate timer and no instrumentation
+/// overhead, measuring what placement actually bought.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Evaluate;
+
+impl Stage for Evaluate {
+    type Input = PlacedRun;
+    type Output = PipelineReport;
+
+    fn name(&self) -> &'static str {
+        "evaluate"
+    }
+
+    fn run(&self, config: &RunConfig, input: PlacedRun) -> Result<PipelineReport, PipelineError> {
+        let PlacedRun {
+            run,
+            estimated,
+            layout,
+        } = input;
+        let before = replay(config, Layout::natural(run.cfg()))?;
+        let after = replay(config, layout.clone())?;
+        Ok(PipelineReport {
+            run,
+            estimated,
+            layout,
+            before,
+            after,
+        })
+    }
+}
+
+/// Replays the configured workload on `layout` (cycle-accurate timer, zero
+/// instrumentation overhead, same seed and inputs), returning the measured
+/// layout cost and cycle total.
+pub(crate) fn replay(config: &RunConfig, layout: Layout) -> Result<Evaluated, PipelineError> {
+    let mut replay_config = config.clone();
+    replay_config.cycles_per_tick = VirtualTimer::cycle_accurate().cycles_per_tick();
+    replay_config.ts_overhead = 0;
+    replay_config.fault = None;
+    let compiled = Compile.run(&replay_config, ())?;
+    let deployed = Deploy {
+        layout: Some(layout.clone()),
+    }
+    .run(&replay_config, compiled)?;
+    let executed = Run.run(&replay_config, deployed)?;
+    let run = Collect.run(&replay_config, executed)?;
+    let cost = layout.evaluate(run.cfg(), &run.truth_profile, &config.penalties());
+    Ok(Evaluated {
+        cost,
+        cycles: run.cycles_used,
+    })
+}

@@ -1,0 +1,147 @@
+//! Golden pipeline-equivalence tests: the typed `Session` flow must produce
+//! **bitwise** the artifacts of the hand-wired legacy flow (boot a mote,
+//! drive paired profilers, estimate from a monolithic sample vector) it
+//! replaced, and the streaming `SuffStats` representation must feed the
+//! estimators the exact same input as the sample vector.
+
+use ct_core::estimator::{estimate, EstimateOptions, Method};
+use ct_core::samples::TimingSamples;
+use ct_core::stream::SuffStats;
+use ct_core::unrolled::estimate_unrolled;
+use ct_mote::timer::VirtualTimer;
+use ct_mote::trace::{GroundTruthProfiler, PairProfiler, TimingProfiler};
+use ct_pipeline::{Fleet, Mcu, RunConfig, Session};
+
+const N: usize = 600;
+const SEED: u64 = 123;
+
+/// The pre-pipeline harness flow, inlined: boot, configure, reseed, drive
+/// the workload under paired profilers, and return the raw tick stream plus
+/// everything an estimator needs.
+fn legacy_run(app_name: &str, cpt: u64) -> (TimingSamples, Vec<u64>, Vec<u64>, ct_cfg::graph::Cfg) {
+    let app = ct_apps::app_by_name(app_name).expect("app exists");
+    let mut mote = app.boot(Mcu::Avr.cost_model());
+    mote.reseed(SEED);
+    let program = mote.program().clone();
+    let pid = app.target_id(&program);
+    let mut truth = GroundTruthProfiler::new(&program);
+    let mut timing = TimingProfiler::new(&program, VirtualTimer::new(cpt), 0);
+    for i in 0..N {
+        if let Some(hook) = app.per_call {
+            hook(&mut mote, i);
+        }
+        let mut pair = PairProfiler {
+            a: &mut truth,
+            b: &mut timing,
+        };
+        mote.call(pid, &[], &mut pair).expect("runs clean");
+    }
+    let samples = TimingSamples::new(timing.samples(pid).to_vec(), cpt);
+    (
+        samples,
+        mote.static_block_costs(pid).to_vec(),
+        mote.static_edge_costs(pid).to_vec(),
+        program.procs[pid.index()].cfg.clone(),
+    )
+}
+
+fn bits(probs: &ct_cfg::profile::BranchProbs) -> Vec<u64> {
+    probs.as_slice().iter().map(|p| p.to_bits()).collect()
+}
+
+#[test]
+fn session_collect_is_bitwise_identical_to_the_legacy_flow() {
+    for (app, cpt) in [("sense", 1), ("event_detect", 8), ("oscilloscope", 8)] {
+        let (legacy, bc, ec, _) = legacy_run(app, cpt);
+        let session = Session::new(
+            RunConfig::new(app)
+                .invocations(N)
+                .resolution(cpt)
+                .seeded(SEED),
+        );
+        let run = session.collect().expect("runs clean");
+        assert_eq!(run.samples.ticks(), legacy.ticks(), "{app} tick stream");
+        assert_eq!(run.samples.cycles_per_tick(), cpt);
+        assert_eq!(run.block_costs, bc, "{app} block costs");
+        assert_eq!(run.edge_costs, ec, "{app} edge costs");
+    }
+}
+
+#[test]
+fn session_estimate_is_bitwise_identical_to_the_legacy_flow() {
+    for (app, cpt) in [("sense", 1), ("event_detect", 8), ("crc", 1)] {
+        let (samples, bc, ec, cfg) = legacy_run(app, cpt);
+        // Legacy estimate_run semantics: the counted-loop unrolled model
+        // first when trip counts are proved, plain front door otherwise.
+        let counted = {
+            let a = ct_apps::app_by_name(app).unwrap();
+            let p = a.compile();
+            let pid = a.target_id(&p);
+            p.procs[pid.index()].counted_loops.clone()
+        };
+        let opts = EstimateOptions::default();
+        let legacy = if !counted.is_empty() {
+            match estimate_unrolled(&cfg, &counted, &bc, &ec, &samples, opts.em) {
+                Ok(u) => (u.probs, Method::EmUnrolled),
+                Err(_) => {
+                    let e = estimate(&cfg, &bc, &ec, &samples, opts).expect("estimates");
+                    (e.probs, e.method)
+                }
+            }
+        } else {
+            let e = estimate(&cfg, &bc, &ec, &samples, opts).expect("estimates");
+            (e.probs, e.method)
+        };
+
+        let session = Session::new(
+            RunConfig::new(app)
+                .invocations(N)
+                .resolution(cpt)
+                .seeded(SEED),
+        );
+        let run = session.collect().expect("runs clean");
+        let est = session.estimate(&run).expect("estimates");
+        assert_eq!(est.estimate.method, legacy.1, "{app} method");
+        assert_eq!(bits(&est.estimate.probs), bits(&legacy.0), "{app} probs");
+    }
+}
+
+#[test]
+fn suffstats_feed_the_estimator_the_same_input_as_the_sample_vector() {
+    let (samples, bc, ec, cfg) = legacy_run("sense", 8);
+    let stats = SuffStats::from_samples(&samples);
+    let from_vec =
+        estimate(&cfg, &bc, &ec, &samples, EstimateOptions::default()).expect("estimates");
+    let from_stats =
+        estimate(&cfg, &bc, &ec, &stats, EstimateOptions::default()).expect("estimates");
+    assert_eq!(from_vec.method, from_stats.method);
+    assert_eq!(from_vec.iterations, from_stats.iterations);
+    assert_eq!(bits(&from_vec.probs), bits(&from_stats.probs));
+}
+
+#[test]
+fn fleet_estimate_from_merged_stats_is_bitwise_the_monolithic_estimate() {
+    // Three motes' merged statistics must estimate bitwise-identically to
+    // the concatenated (sorted-equivalent) monolithic sample vector.
+    let fleet = Fleet::new(RunConfig::new("sense").invocations(200).seeded(SEED), 3);
+    let fr = fleet.run().expect("fleet runs clean");
+    let mut ticks = Vec::new();
+    for i in 0..3 {
+        let run = Session::new(fleet.mote_config(i))
+            .collect()
+            .expect("runs clean");
+        ticks.extend_from_slice(run.samples.ticks());
+    }
+    let mono = TimingSamples::new(ticks, 1);
+    assert_eq!(SuffStats::from_samples(&mono), fr.stats);
+    let from_mono = estimate(
+        fr.cfg(),
+        &fr.block_costs,
+        &fr.edge_costs,
+        &mono,
+        EstimateOptions::default(),
+    )
+    .expect("estimates");
+    let from_fleet = fleet.estimate(&fr).expect("estimates");
+    assert_eq!(bits(&from_mono.probs), bits(&from_fleet.estimate.probs));
+}

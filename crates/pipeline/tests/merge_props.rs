@@ -1,0 +1,123 @@
+//! Property tests of the streaming ingestion layer: `SuffStats::merge` is
+//! associative, commutative, and — for any partition of a sample stream
+//! into batches and any worker count — equal to the statistics of the
+//! monolithic stream.
+
+use ct_core::samples::TimingSamples;
+use ct_core::stream::{SampleBatch, SuffStats};
+use ct_stats::parallel::par_map_with;
+use proptest::prelude::*;
+
+/// Splits `ticks` into non-empty chunks at the (sorted, deduped) cut points.
+fn chunks(ticks: &[u64], cuts: &[usize]) -> Vec<Vec<u64>> {
+    let mut bounds: Vec<usize> = cuts.iter().map(|&c| c % (ticks.len() + 1)).collect();
+    bounds.push(0);
+    bounds.push(ticks.len());
+    bounds.sort_unstable();
+    bounds.dedup();
+    bounds
+        .windows(2)
+        .map(|w| ticks[w[0]..w[1]].to_vec())
+        .collect()
+}
+
+fn stats_of(ticks: &[u64], cpt: u64) -> SuffStats {
+    let mut b = SampleBatch::new(cpt).expect("positive resolution");
+    b.extend(ticks.iter().copied());
+    b.stats()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any split of a stream, merged left-to-right or right-to-left,
+    /// equals the monolithic statistics exactly.
+    #[test]
+    fn merge_of_any_split_equals_monolithic(
+        ticks in prop::collection::vec(0u64..50_000, 1..200),
+        cuts in prop::collection::vec(0usize..200, 0..6),
+        cpt in 1u64..300,
+    ) {
+        let whole = stats_of(&ticks, cpt);
+        let parts: Vec<SuffStats> =
+            chunks(&ticks, &cuts).iter().map(|c| stats_of(c, cpt)).collect();
+
+        let mut forward = SuffStats::new(cpt);
+        for p in &parts {
+            forward.merge(p).expect("same resolution");
+        }
+        let mut backward = SuffStats::new(cpt);
+        for p in parts.iter().rev() {
+            backward.merge(p).expect("same resolution");
+        }
+        prop_assert_eq!(&forward, &whole);
+        prop_assert_eq!(&backward, &whole);
+    }
+
+    /// Associativity: (a ⊕ b) ⊕ c = a ⊕ (b ⊕ c); commutativity: a ⊕ b = b ⊕ a.
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in prop::collection::vec(0u64..10_000, 0..80),
+        b in prop::collection::vec(0u64..10_000, 0..80),
+        c in prop::collection::vec(0u64..10_000, 0..80),
+        cpt in 1u64..100,
+    ) {
+        let (sa, sb, sc) = (stats_of(&a, cpt), stats_of(&b, cpt), stats_of(&c, cpt));
+        let ab_c = SuffStats::merged(
+            SuffStats::merged(sa.clone(), &sb).expect("same resolution"),
+            &sc,
+        )
+        .expect("same resolution");
+        let a_bc = SuffStats::merged(
+            sa.clone(),
+            &SuffStats::merged(sb.clone(), &sc).expect("same resolution"),
+        )
+        .expect("same resolution");
+        prop_assert_eq!(&ab_c, &a_bc);
+
+        let ab = SuffStats::merged(sa.clone(), &sb).expect("same resolution");
+        let ba = SuffStats::merged(sb, &sa).expect("same resolution");
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Reducing per-batch statistics computed by a deterministic parallel
+    /// map equals the monolithic statistics for every worker count.
+    #[test]
+    fn parallel_reduction_matches_for_any_thread_count(
+        ticks in prop::collection::vec(0u64..50_000, 1..200),
+        cuts in prop::collection::vec(0usize..200, 0..5),
+        threads in 1usize..5,
+    ) {
+        let cpt = 8;
+        let whole = stats_of(&ticks, cpt);
+        let per_batch = par_map_with(
+            threads,
+            chunks(&ticks, &cuts),
+            |c| stats_of(&c, cpt),
+        );
+        let mut merged = SuffStats::new(cpt);
+        for s in &per_batch {
+            merged.merge(s).expect("same resolution");
+        }
+        prop_assert_eq!(merged, whole);
+    }
+
+    /// The streaming view and the monolithic vector agree on everything the
+    /// estimators consume: count, histogram, and both moments.
+    #[test]
+    fn stats_agree_with_monolithic_vector_view(
+        ticks in prop::collection::vec(0u64..50_000, 1..200),
+        cpt in 1u64..300,
+    ) {
+        use ct_core::samples::DurationSamples;
+        let samples = TimingSamples::new(ticks.clone(), cpt);
+        let stats = SuffStats::from_samples(&samples);
+        prop_assert_eq!(DurationSamples::len(&stats), samples.len());
+        prop_assert_eq!(DurationSamples::counted(&stats), TimingSamples::counted(&samples));
+        let dm = DurationSamples::mean_cycles(&stats) - TimingSamples::mean_cycles(&samples);
+        prop_assert!(dm.abs() < 1e-6);
+        let dv =
+            DurationSamples::variance_cycles(&stats) - TimingSamples::variance_cycles(&samples);
+        prop_assert!(dv.abs() < 1e-3 * TimingSamples::variance_cycles(&samples).max(1.0));
+    }
+}

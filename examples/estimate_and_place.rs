@@ -1,113 +1,79 @@
 //! The full paper pipeline on a benchmark app: profile by timing → estimate
 //! the Markov parameters → feed them to code placement → measure the
-//! misprediction reduction on replayed inputs.
+//! misprediction reduction on replayed inputs. Each phase is one
+//! `ct-pipeline` session call.
 //!
 //! Run with: `cargo run --example estimate_and_place`
 
-use code_tomography::apps;
 use code_tomography::cfg::layout::Layout;
-use code_tomography::core::estimator::{estimate, EstimateOptions};
-use code_tomography::core::samples::TimingSamples;
-use code_tomography::markov;
-use code_tomography::mote::cost::{AvrCost, CostModel};
-use code_tomography::mote::timer::VirtualTimer;
-use code_tomography::mote::trace::{GroundTruthProfiler, PairProfiler, TimingProfiler};
-use code_tomography::placement::{place_procedure, Strategy};
+use code_tomography::pipeline::{RunConfig, Session};
+use code_tomography::placement::Strategy;
 
 fn main() {
-    let app = apps::app_by_name("oscilloscope").expect("app exists");
     let n = 2000;
-    let seed = 4242;
+    // A 1 MHz timer (8 cycles/tick at 8 MHz): coarse enough to be
+    // mote-realistic, fine enough to resolve this app's arm-cost
+    // differences (see experiment E2 for the full resolution sweep).
+    let session = Session::new(
+        RunConfig::new("oscilloscope")
+            .invocations(n)
+            .resolution(8)
+            .seeded(4242),
+    );
 
     // --- Phase 1: measure on the original (natural) layout. -------------
-    let mut mote = app.boot(Box::new(AvrCost));
-    mote.reseed(seed);
-    let program = mote.program().clone();
-    let pid = app.target_id(&program);
-    // A 1 MHz timer: coarse enough to be mote-realistic, fine enough to
-    // resolve this app's arm-cost differences (see experiment E2 for the
-    // full resolution sweep).
-    let timer = VirtualTimer::mhz1_at_8mhz();
-    let mut truth = GroundTruthProfiler::new(&program);
-    let mut timing = TimingProfiler::new(&program, timer, 0);
-    for _ in 0..n {
-        let mut pair = PairProfiler {
-            a: &mut truth,
-            b: &mut timing,
-        };
-        mote.call(pid, &[], &mut pair).expect("runs clean");
-    }
-    let cfg = program.procs[pid.index()].cfg.clone();
+    let run = session.collect().expect("runs clean");
     println!(
         "phase 1: profiled {} activations of `{}` by timing alone",
-        n, app.target_proc
+        n,
+        session.config().target.name()
     );
 
     // --- Phase 2: estimate the execution profile from the timings. ------
-    let samples = TimingSamples::new(timing.samples(pid).to_vec(), timer.cycles_per_tick());
-    let est = estimate(
-        &cfg,
-        mote.static_block_costs(pid),
-        mote.static_edge_costs(pid),
-        &samples,
-        EstimateOptions::default(),
-    )
-    .expect("estimation succeeds");
+    let est = session.estimate(&run).expect("estimation succeeds");
     println!(
         "phase 2: estimated {} branch probabilities ({})",
-        est.probs.len(),
-        est.method
+        est.estimate.probs.len(),
+        est.estimate.method
     );
-    let true_probs = truth.branch_probs(pid, &cfg);
-    for (i, bb) in est.probs.blocks().iter().enumerate() {
+    for (i, bb) in est.estimate.probs.blocks().iter().enumerate() {
         println!(
             "    {bb}: est {:.3} / true {:.3}",
-            est.probs.as_slice()[i],
-            true_probs.as_slice()[i]
+            est.estimate.probs.as_slice()[i],
+            run.truth.as_slice()[i]
         );
     }
 
     // --- Phase 3: feed the estimate to the code placement pass. ---------
-    let freq =
-        markov::visits::expected_edge_traversals(&cfg, &est.probs).expect("frequency derivation");
-    let pen = AvrCost.penalties();
     // Pettis–Hansen chains hot edges into fall-throughs — the
     // misprediction-oriented strategy the paper's claim is about.
     // (Strategy::Best instead minimizes expected *cycles*, which on AVR
     // penalties sometimes trades extra 1-cycle taken branches for fewer
     // 2-cycle jumps; see experiment E4/E5 for both objectives.)
-    let optimized = place_procedure(&cfg, &freq, &pen, Strategy::PettisHansen);
+    let optimized = session
+        .place(&run, &est.estimate.probs, Strategy::PettisHansen)
+        .expect("frequency derivation");
     println!("phase 3: computed optimized layout {:?}", optimized.order());
 
     // --- Phase 4: replay identical inputs on both layouts. --------------
-    let measure = |layout: Layout| {
-        let mut mote = app.boot(Box::new(AvrCost));
-        mote.reseed(seed);
-        mote.set_layout(pid, layout.clone());
-        let mut gt = GroundTruthProfiler::new(&program);
-        let start = mote.cycles;
-        for _ in 0..n {
-            mote.call(pid, &[], &mut gt).expect("runs clean");
-        }
-        let cost = layout.evaluate(&cfg, gt.profile(pid), &pen);
-        (cost, mote.cycles - start)
-    };
-    let (before, cycles_before) = measure(Layout::natural(&cfg));
-    let (after, cycles_after) = measure(optimized);
+    let before = session
+        .evaluate(&Layout::natural(run.cfg()))
+        .expect("runs clean");
+    let after = session.evaluate(&optimized).expect("runs clean");
 
     println!("phase 4: replayed {} identical activations per layout", n);
     println!(
         "    misprediction rate: {:.4} -> {:.4}",
-        before.misprediction_rate(),
-        after.misprediction_rate()
+        before.cost.misprediction_rate(),
+        after.cost.misprediction_rate()
     );
     println!(
         "    total cycles:       {} -> {} ({:+.2}%)",
-        cycles_before,
-        cycles_after,
-        (cycles_after as f64 - cycles_before as f64) / cycles_before as f64 * 100.0
+        before.cycles,
+        after.cycles,
+        (after.cycles as f64 - before.cycles as f64) / before.cycles as f64 * 100.0
     );
-    assert!(after.misprediction_rate() <= before.misprediction_rate() + 1e-9);
-    assert!(cycles_after <= cycles_before);
+    assert!(after.cost.misprediction_rate() <= before.cost.misprediction_rate() + 1e-9);
+    assert!(after.cycles <= before.cycles);
     println!("ok: estimated-profile placement reduced taken branches");
 }

@@ -1,17 +1,20 @@
 //! Quickstart: compile a sensor program, run it on the simulated mote with
 //! end-to-end timing instrumentation only, and recover its branch
-//! probabilities with Code Tomography.
+//! probabilities with Code Tomography — all through the `ct-pipeline`
+//! session API.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use code_tomography::core::estimator::{estimate, EstimateOptions};
-use code_tomography::core::samples::TimingSamples;
 use code_tomography::ir;
-use code_tomography::mote::cost::AvrCost;
 use code_tomography::mote::devices::UniformAdc;
 use code_tomography::mote::interp::Mote;
-use code_tomography::mote::timer::VirtualTimer;
-use code_tomography::mote::trace::{GroundTruthProfiler, PairProfiler, TimingProfiler};
+use code_tomography::pipeline::{RunConfig, Session};
+
+/// Device setup for the demo mote: a uniform sensor field, so the
+/// threshold crossing has a known true probability.
+fn uniform_field(mote: &mut Mote) {
+    mote.devices.adc = Box::new(UniformAdc { lo: 0, hi: 1023 });
+}
 
 fn main() {
     // 1. A sensor program: sample the ADC, branch on a threshold.
@@ -35,56 +38,41 @@ fn main() {
     let program = ir::compile_source(source).expect("demo source compiles");
     let pid = program.proc_id("check").expect("check exists");
 
-    // 2. Boot a simulated AVR-class mote with a uniform sensor field.
-    //    With threshold 768 over 0..=1023, the true alarm probability is
-    //    255/1024 ≈ 0.249.
-    let mut mote = Mote::new(program.clone(), Box::new(AvrCost));
-    mote.devices.adc = Box::new(UniformAdc { lo: 0, hi: 1023 });
+    // 2. One pipeline session: an AVR-class mote with a uniform sensor
+    //    field, 2000 activations, measuring ONLY entry/exit timestamps on a
+    //    32.768 kHz timer (what a real mote can afford; 244 cycles/tick at
+    //    8 MHz). With threshold 768 over 0..=1023, the true alarm
+    //    probability is 255/1024 ≈ 0.249.
+    let session = Session::new(
+        RunConfig::for_program(program, pid.index(), uniform_field)
+            .invocations(2000)
+            .resolution(244),
+    );
 
-    // 3. Run 2000 activations, measuring ONLY entry/exit timestamps on a
-    //    32.768 kHz timer (what a real mote can afford). Ground truth rides
-    //    along for scoring only — the estimator never sees it.
-    let timer = VirtualTimer::khz32_at_8mhz();
-    let mut truth = GroundTruthProfiler::new(&program);
-    let mut timing = TimingProfiler::new(&program, timer, 0);
-    for _ in 0..2000 {
-        let mut pair = PairProfiler {
-            a: &mut truth,
-            b: &mut timing,
-        };
-        mote.call(pid, &[], &mut pair).expect("runs clean");
-    }
+    // 3. Measure. Ground truth rides along for scoring only — the
+    //    estimator never sees it.
+    let run = session.collect().expect("runs clean");
 
-    // 4. Estimate branch probabilities from the timing samples alone.
-    let cfg = &program.procs[pid.index()].cfg;
-    let samples = TimingSamples::new(timing.samples(pid).to_vec(), timer.cycles_per_tick());
-    let est = estimate(
-        cfg,
-        mote.static_block_costs(pid),
-        mote.static_edge_costs(pid),
-        &samples,
-        EstimateOptions::default(),
-    )
-    .expect("estimation succeeds");
+    // 4. Estimate branch probabilities from the timing samples alone, and
+    //    score them against the ground truth the estimator never saw.
+    let est = session.estimate(&run).expect("estimation succeeds");
 
-    // 5. Compare against the ground truth the estimator never saw.
-    let true_probs = truth.branch_probs(pid, cfg);
     println!("Code Tomography quickstart");
     println!("--------------------------");
     println!(
         "samples:            {} activations at {} cycles/tick",
-        samples.len(),
-        timer.cycles_per_tick()
+        run.samples.len(),
+        run.samples.cycles_per_tick()
     );
-    println!("method:             {}", est.method);
-    for (i, bb) in est.probs.blocks().iter().enumerate() {
+    println!("method:             {}", est.estimate.method);
+    for (i, bb) in est.estimate.probs.blocks().iter().enumerate() {
         println!(
             "branch {bb}:         estimated {:.4}   true {:.4}",
-            est.probs.as_slice()[i],
-            true_probs.as_slice()[i],
+            est.estimate.probs.as_slice()[i],
+            run.truth.as_slice()[i],
         );
     }
-    let err = (est.probs.as_slice()[0] - true_probs.as_slice()[0]).abs();
+    let err = (est.estimate.probs.as_slice()[0] - run.truth.as_slice()[0]).abs();
     println!("absolute error:     {err:.4}");
     assert!(err < 0.05, "estimation should be accurate");
     println!("ok: recovered the branch profile from end-to-end timing alone");

@@ -16,6 +16,16 @@ echo "== cargo clippy (unwrap audit: ct-core, ct-faults) =="
 cargo clippy -p ct-core -p ct-faults --all-targets -- \
     -W clippy::unwrap_used -W clippy::expect_used
 
+echo "== cargo doc (deny warnings) =="
+# ct-pipeline carries #![deny(missing_docs)]; keep the whole workspace's
+# rustdoc clean (broken intra-doc links, missing docs) as well. The vendored
+# dependency shims (rand, proptest, criterion) are not ours to document.
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet \
+    --exclude rand --exclude proptest --exclude criterion
+
+echo "== merge property tests (streaming ingestion fast path) =="
+cargo test --release -p ct-pipeline --test merge_props --quiet
+
 echo "== e13 smoke sweep (fault-injection pipeline end to end) =="
 cargo build --release -p ct-bench --bin e13_faults
 E13_SMOKE=1 ./target/release/e13_faults > /dev/null

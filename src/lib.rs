@@ -15,13 +15,14 @@
 //! |---|---|---|
 //! | [`core`] | `ct-core` | the estimators (quantization-aware EM, moments, flow-NNLS, loop-unrolled EM) |
 //! | [`ir`] | `ct-ir` | the NLC language front end + trip-count analysis |
-//! | [`cfg`] | `ct-cfg` | CFGs, dominators, loops, structure, layouts, unrolling |
+//! | [`cfg`](mod@cfg) | `ct-cfg` | CFGs, dominators, loops, structure, layouts, unrolling |
 //! | [`mote`] | `ct-mote` | the simulated sensor mote (CPU, timers, devices, OS, energy) |
 //! | [`markov`] | `ct-markov` | absorbing-chain analysis and duration distributions |
 //! | [`profilers`] | `ct-profilers` | baselines: edge counters, Ball–Larus, sampling |
 //! | [`placement`] | `ct-placement` | Pettis–Hansen chaining and trace growing |
 //! | [`faults`] | `ct-faults` | seeded measurement-channel fault models for robustness sweeps |
 //! | [`apps`] | `ct-apps` | the benchmark sensor applications |
+//! | [`pipeline`] | `ct-pipeline` | the end-to-end flow: typed stages, seeded sessions, mote fleets, streaming ingestion |
 //! | [`stats`] | `ct-stats` | linear algebra and statistics substrate |
 //!
 //! See the repository README for the full tour, `DESIGN.md` for the system
@@ -80,6 +81,7 @@ pub use ct_faults as faults;
 pub use ct_ir as ir;
 pub use ct_markov as markov;
 pub use ct_mote as mote;
+pub use ct_pipeline as pipeline;
 pub use ct_placement as placement;
 pub use ct_profilers as profilers;
 pub use ct_stats as stats;
