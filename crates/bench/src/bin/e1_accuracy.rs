@@ -53,6 +53,24 @@ fn main() {
         eprintln!("e1: {} done", app.name);
     }
 
+    // Traced full-pipeline epilogue: one Session::run so a traced e1 run
+    // covers every stage, compile through evaluate (the accuracy grid above
+    // stops at estimation). Reported on stderr only — stdout is the table
+    // and must stay byte-identical whether tracing is on or off.
+    let epilogue = Session::new(
+        RunConfig::for_app(apps[0].clone())
+            .invocations(sample_counts[0])
+            .seeded(seed_base),
+    )
+    .run(ct_placement::Strategy::Best);
+    match epilogue {
+        Ok(report) => eprintln!(
+            "e1: pipeline epilogue ok ({} cycles natural, {} cycles placed)",
+            report.before.cycles, report.after.cycles
+        ),
+        Err(e) => eprintln!("e1: pipeline epilogue failed: {e}"),
+    }
+
     let out = format!(
         "# E1 — Estimation accuracy (weighted MAE of branch probabilities) vs sample count\n\n\
          Cycle-accurate timer; AVR cost model; seed family {seed_base}+.\n\
@@ -64,4 +82,5 @@ fn main() {
     if !env.smoke {
         write_result("e1_accuracy.md", &out);
     }
+    ct_obs::flush_env_sinks();
 }

@@ -81,6 +81,11 @@ impl Table {
 
 /// Writes `content` under `results/<name>` (creating the directory), best
 /// effort: failures are reported to stderr but do not abort the experiment.
+///
+/// A run manifest (`results/<stem>.manifest.json` — seeds, env knobs, git
+/// rev, per-stage timings, estimator audit trail) rides along with every
+/// result, and any `CT_TRACE`/`CT_TRACE_JSON` sinks are flushed, so each
+/// experiment binary gets observability output for free.
 pub fn write_result(name: &str, content: &str) {
     let dir = Path::new("results");
     if let Err(e) = fs::create_dir_all(dir) {
@@ -90,6 +95,12 @@ pub fn write_result(name: &str, content: &str) {
     if let Err(e) = fs::write(dir.join(name), content) {
         eprintln!("warning: cannot write results/{name}: {e}");
     }
+    let stem = name.rsplit_once('.').map_or(name, |(s, _)| s);
+    let manifest = format!("{stem}.manifest.json");
+    if let Err(e) = ct_obs::write_manifest(&dir.join(&manifest), stem, &[]) {
+        eprintln!("warning: cannot write results/{manifest}: {e}");
+    }
+    ct_obs::flush_env_sinks();
 }
 
 /// Formats a float with 4 decimal places (the report convention).

@@ -237,8 +237,43 @@ fn run_em<S: DurationSamples + Sync + ?Sized>(
     // All starting points are independent; fan them out. Results come back
     // in input order, so the best-of reduction below is identical to the
     // serial loop it replaces for any `CT_THREADS`.
-    let attempts = ct_stats::parallel::par_map(inits, |init| {
-        crate::em::estimate_em_from(cfg, block_costs, edge_costs, samples, init, opts.em)
+    let indexed: Vec<(usize, ct_cfg::profile::BranchProbs)> =
+        inits.into_iter().enumerate().collect();
+    let attempts = ct_stats::parallel::par_map(indexed, |(restart, init)| {
+        let res = crate::em::estimate_em_from(cfg, block_costs, edge_costs, samples, init, opts.em);
+        match &res {
+            Ok(r) => {
+                // Restart 0 is the moments warm start, the rest are seeded
+                // probes. All fields are deterministic engine outputs, so
+                // the event content is thread-count-insensitive.
+                let reason = if r.converged {
+                    "tol"
+                } else if r.rewound {
+                    "rewound"
+                } else {
+                    "max_iter"
+                };
+                ct_obs::emit(
+                    "em.restart",
+                    vec![
+                        ("restart", restart.into()),
+                        ("iterations", r.iterations.into()),
+                        ("converged", r.converged.into()),
+                        ("reason", reason.into()),
+                        ("final_delta", r.final_delta.into()),
+                        ("loglik", r.loglik.into()),
+                        ("unexplained", r.unexplained.into()),
+                        ("rewound", r.rewound.into()),
+                    ],
+                );
+            }
+            Err(e) => ct_obs::emit(
+                "em.restart_failed",
+                vec![("restart", restart.into()), ("error", e.to_string().into())],
+            ),
+        }
+        ct_obs::Counter::new("em.restarts").incr();
+        res
     });
 
     let mut best: Option<crate::em::EmResult> = None;
@@ -400,6 +435,39 @@ pub struct RobustEstimate {
 /// prior with zero confidence, which downstream placement treats as "keep
 /// the natural layout".
 pub fn estimate_robust(
+    cfg: &Cfg,
+    block_costs: &[u64],
+    edge_costs: &[u64],
+    samples: &TimingSamples,
+    opts: RobustOptions,
+) -> RobustEstimate {
+    let result = run_ladder(cfg, block_costs, edge_costs, samples, opts);
+    // The audit trail doubles as the observability record: one event per
+    // rung attempted, one for the accepted answer. Content mirrors the
+    // returned `attempts`, so it is deterministic at any `CT_THREADS`.
+    for a in &result.attempts {
+        ct_obs::emit(
+            "ladder.rung",
+            vec![
+                ("rung", a.rung.to_string().into()),
+                ("accepted", a.accepted.into()),
+                ("detail", a.detail.as_str().into()),
+            ],
+        );
+    }
+    ct_obs::emit(
+        "ladder.result",
+        vec![
+            ("rung", result.rung.to_string().into()),
+            ("confidence", result.confidence.into()),
+            ("trimmed", result.trimmed.into()),
+        ],
+    );
+    ct_obs::Gauge::new("ladder.confidence").set(result.confidence);
+    result
+}
+
+fn run_ladder(
     cfg: &Cfg,
     block_costs: &[u64],
     edge_costs: &[u64],

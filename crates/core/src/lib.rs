@@ -72,7 +72,8 @@ pub use estimator::{
 };
 pub use fb::{compute_tables, e_step, FbError, FbParams, FbTables};
 pub use flow_nnls::{estimate_flow, estimate_flow_many, FlowResult};
-pub use moments::{estimate_moments, model_moments, MomentsOptions, MomentsResult};
+pub use moments::{estimate_moments, model_moments, MomentsError, MomentsOptions, MomentsResult};
+pub use quantize::{duration_window, tick_likelihood, try_duration_window, WindowError};
 pub use samples::{DurationSamples, SampleIssue, TimingSamples, TrimPolicy};
 pub use stream::{ResolutionMismatch, SampleBatch, SuffStats};
 pub use unrolled::{estimate_unrolled, UnrolledError, UnrolledEstimate};

@@ -23,6 +23,10 @@ pub enum MomentsError {
     Shape(String),
     /// No samples were provided.
     NoSamples,
+    /// The sample statistics report a saturated second-moment accumulator:
+    /// the variance is a lower bound, so matching model moments against it
+    /// would bias the fit. Degrade instead.
+    SaturatedMoments,
 }
 
 impl fmt::Display for MomentsError {
@@ -31,6 +35,10 @@ impl fmt::Display for MomentsError {
             MomentsError::Divergent => write!(f, "model diverges (exit unreachable)"),
             MomentsError::Shape(m) => write!(f, "shape error: {m}"),
             MomentsError::NoSamples => write!(f, "no timing samples provided"),
+            MomentsError::SaturatedMoments => write!(
+                f,
+                "sample square-sum saturated; variance untrustworthy for moment matching"
+            ),
         }
     }
 }
@@ -164,7 +172,9 @@ pub struct MomentsResult {
 ///
 /// # Errors
 ///
-/// [`MomentsError::NoSamples`] for empty input; propagates model errors.
+/// [`MomentsError::NoSamples`] for empty input,
+/// [`MomentsError::SaturatedMoments`] when the sample statistics lost
+/// second-moment information; propagates model errors.
 pub fn estimate_moments<S: DurationSamples + ?Sized>(
     cfg: &Cfg,
     block_costs: &[u64],
@@ -174,6 +184,9 @@ pub fn estimate_moments<S: DurationSamples + ?Sized>(
 ) -> Result<MomentsResult, MomentsError> {
     if samples.is_empty() {
         return Err(MomentsError::NoSamples);
+    }
+    if samples.moments_saturated() {
+        return Err(MomentsError::SaturatedMoments);
     }
     let cpt = samples.cycles_per_tick() as f64;
     let sample_mean = samples.mean_cycles();
@@ -337,6 +350,23 @@ mod tests {
         assert_eq!(
             estimate_moments(&cfg, &bc, &ec, &samples, MomentsOptions::default()),
             Err(MomentsError::NoSamples)
+        );
+    }
+
+    #[test]
+    fn saturated_stats_are_refused() {
+        // A square-sum that clamped at u128::MAX floors the variance; the
+        // moments estimator must degrade rather than fit against it.
+        let cfg = diamond();
+        let bc = vec![10u64, 100, 200, 5];
+        let ec = vec![0u64; 4];
+        let mut stats = crate::stream::SuffStats::new(1);
+        stats.push(u64::MAX - 1);
+        stats.push(u64::MAX - 1);
+        assert!(stats.saturated());
+        assert_eq!(
+            estimate_moments(&cfg, &bc, &ec, &stats, MomentsOptions::default()),
+            Err(MomentsError::SaturatedMoments)
         );
     }
 

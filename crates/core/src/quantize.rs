@@ -27,15 +27,44 @@ pub fn tick_likelihood(ticks: u64, d: u64, cpt: u64) -> f64 {
     }
 }
 
-/// The inclusive range of cycle durations that could produce `ticks` with
-/// nonzero probability: `[(ticks−1)·cpt + 1, (ticks+1)·cpt − 1]`, clipped at
-/// zero.
-///
-/// Saturates at `u64::MAX` for tick values near the top of the counter
-/// (corrupted records), where no real duration PMF has support anyway — the
-/// sample then scores zero instead of tripping an arithmetic overflow.
-pub fn duration_window(ticks: u64, cpt: u64) -> (u64, u64) {
-    assert!(cpt > 0, "cycles per tick must be positive");
+/// Why a duration window could not be formed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowError {
+    /// The timer resolution is zero cycles per tick: every window formula
+    /// collapses (the saturating chain would yield the inverted pair
+    /// `(1, 0)`), and no tick count maps to any duration.
+    ZeroResolution,
+    /// The saturating arithmetic inverted the fence (`lo > hi`): `ticks` is
+    /// so close to the top of the counter that `(ticks+1)·cpt − 1` clamps
+    /// below `(ticks−1)·cpt + 1`. Such a tick is a corrupted record, never
+    /// a real duration — no PMF has support there.
+    DegenerateWindow {
+        /// The offending tick count.
+        ticks: u64,
+        /// The resolution it was evaluated at.
+        cpt: u64,
+    },
+}
+
+impl std::fmt::Display for WindowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WindowError::ZeroResolution => {
+                write!(f, "cycles per tick is zero; no duration window exists")
+            }
+            WindowError::DegenerateWindow { ticks, cpt } => write!(
+                f,
+                "duration window for {ticks} ticks at {cpt} cycles/tick is degenerate \
+                 (saturated arithmetic inverted the fence)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WindowError {}
+
+/// The saturating fence chain shared by both window entry points.
+fn raw_window(ticks: u64, cpt: u64) -> (u64, u64) {
     let lo = ticks
         .saturating_sub(1)
         .saturating_mul(cpt)
@@ -45,6 +74,42 @@ pub fn duration_window(ticks: u64, cpt: u64) -> (u64, u64) {
         .saturating_mul(cpt)
         .saturating_sub(1);
     (lo, hi)
+}
+
+/// The inclusive range of cycle durations that could produce `ticks` with
+/// nonzero probability: `[(ticks−1)·cpt + 1, (ticks+1)·cpt − 1]`, clipped at
+/// zero — or a typed error when no such range exists.
+///
+/// # Errors
+///
+/// [`WindowError::ZeroResolution`] when `cpt == 0`;
+/// [`WindowError::DegenerateWindow`] when saturation inverts the fence
+/// (tick values near the top of the counter — corrupted records).
+pub fn try_duration_window(ticks: u64, cpt: u64) -> Result<(u64, u64), WindowError> {
+    if cpt == 0 {
+        return Err(WindowError::ZeroResolution);
+    }
+    let (lo, hi) = raw_window(ticks, cpt);
+    if lo > hi {
+        return Err(WindowError::DegenerateWindow { ticks, cpt });
+    }
+    Ok((lo, hi))
+}
+
+/// Infallible form of [`try_duration_window`] for callers that have already
+/// validated their ticks (the estimators validate samples up front).
+///
+/// Saturates at `u64::MAX` for tick values near the top of the counter
+/// (corrupted records), where no real duration PMF has support anyway — the
+/// degenerate inverted pair makes the sample score zero instead of tripping
+/// an arithmetic overflow.
+///
+/// # Panics
+///
+/// Panics if `cpt == 0`.
+pub fn duration_window(ticks: u64, cpt: u64) -> (u64, u64) {
+    assert!(cpt > 0, "cycles per tick must be positive");
+    raw_window(ticks, cpt)
 }
 
 /// Expected observed ticks for duration `d`: `d / cpt` exactly (the kernel is
@@ -60,11 +125,15 @@ pub fn expected_ticks(d: u64, cpt: u64) -> f64 {
 /// Only the support inside [`duration_window`] is visited, so scoring is
 /// O(log |pmf| + window) regardless of the PMF's full support size.
 pub fn pmf_tick_score(pmf: &[(u64, f64)], ticks: u64, cpt: u64) -> f64 {
-    let (lo, hi) = duration_window(ticks, cpt);
-    ct_stats::pmf::slice_range(pmf, lo, hi)
-        .iter()
-        .map(|&(d, m)| m * tick_likelihood(ticks, d, cpt))
-        .sum()
+    match try_duration_window(ticks, cpt) {
+        Ok((lo, hi)) => ct_stats::pmf::slice_range(pmf, lo, hi)
+            .iter()
+            .map(|&(d, m)| m * tick_likelihood(ticks, d, cpt))
+            .sum(),
+        // Corrupted tick: no duration produces it, the sample scores zero.
+        Err(WindowError::DegenerateWindow { .. }) => 0.0,
+        Err(WindowError::ZeroResolution) => panic!("cycles per tick must be positive"),
+    }
 }
 
 #[cfg(test)]
@@ -143,6 +212,57 @@ mod tests {
         assert_eq!(tick_likelihood(u64::MAX, u64::MAX, 1), 1.0);
         let pmf = vec![(116u64, 1.0)];
         assert_eq!(pmf_tick_score(&pmf, u64::MAX, 244), 0.0);
+    }
+
+    #[test]
+    fn try_window_boundaries() {
+        // Zero ticks is a real observation: durations shorter than one tick.
+        assert_eq!(try_duration_window(0, 244), Ok((0, 243)));
+        // Cycle-accurate timer: width-1 windows everywhere reasonable.
+        assert_eq!(try_duration_window(7, 1), Ok((7, 7)));
+        // Zero resolution is a typed error, not a degenerate interval.
+        assert_eq!(try_duration_window(0, 0), Err(WindowError::ZeroResolution));
+        assert_eq!(
+            try_duration_window(u64::MAX, 0),
+            Err(WindowError::ZeroResolution)
+        );
+        // Ticks at the top of the counter invert the saturated fence.
+        assert_eq!(
+            try_duration_window(u64::MAX, 244),
+            Err(WindowError::DegenerateWindow {
+                ticks: u64::MAX,
+                cpt: 244
+            })
+        );
+        assert_eq!(
+            try_duration_window(u64::MAX, 1),
+            Err(WindowError::DegenerateWindow {
+                ticks: u64::MAX,
+                cpt: 1
+            })
+        );
+        // The largest non-degenerate tick at cpt = 1 sits one below the top.
+        assert_eq!(
+            try_duration_window(u64::MAX - 1, 1),
+            Ok((u64::MAX - 1, u64::MAX - 1))
+        );
+        // Every Ok window agrees with the infallible form.
+        for (ticks, cpt) in [(0u64, 244u64), (7, 1), (5, 100), (u64::MAX - 1, 1)] {
+            assert_eq!(
+                try_duration_window(ticks, cpt),
+                Ok(duration_window(ticks, cpt))
+            );
+        }
+    }
+
+    #[test]
+    fn window_error_display() {
+        assert!(WindowError::ZeroResolution.to_string().contains("zero"));
+        let e = WindowError::DegenerateWindow {
+            ticks: u64::MAX,
+            cpt: 8,
+        };
+        assert!(e.to_string().contains("degenerate"));
     }
 
     #[test]

@@ -111,6 +111,16 @@ pub trait DurationSamples {
     /// Sample variance in cycles² (unbiased, `n − 1` denominator).
     fn variance_cycles(&self) -> f64;
 
+    /// True when the second-moment accumulator behind
+    /// [`DurationSamples::variance_cycles`] has lost information (e.g. a
+    /// saturated square-sum in [`crate::stream::SuffStats`]) and the
+    /// variance is only a lower bound. Moment-based estimation must refuse
+    /// such input. Materialized vectors compute moments exactly, so the
+    /// default is `false`.
+    fn moments_saturated(&self) -> bool {
+        false
+    }
+
     /// Checks the sample set is usable as estimator input.
     ///
     /// # Errors

@@ -158,6 +158,13 @@ pub struct SuffStats {
     /// Σ tick² (saturating — still associative/commutative for
     /// non-negative addends).
     sum_sq: u128,
+    /// Sticky: true once `sum_sq` has ever clamped at `u128::MAX`. A
+    /// saturated square-sum silently floors the variance, so moment-based
+    /// estimation must refuse (degrade) rather than trust it. Carried
+    /// through [`SuffStats::merge`] by OR, which keeps the flag
+    /// order-insensitive: the total either exceeds `u128::MAX` (every
+    /// merge order saturates somewhere) or it does not (no order does).
+    saturated: bool,
     /// Ticks whose cycle conversion `(t + 1) · cycles_per_tick` overflows
     /// `u64` — never real durations; tracked as validation state.
     overflowing: u64,
@@ -176,6 +183,7 @@ impl SuffStats {
             n: 0,
             sum: 0,
             sum_sq: 0,
+            saturated: false,
             overflowing: 0,
         }
     }
@@ -194,9 +202,15 @@ impl SuffStats {
         *self.hist.entry(tick).or_insert(0) += 1;
         self.n += 1;
         self.sum += tick as u128;
-        self.sum_sq = self
-            .sum_sq
-            .saturating_add((tick as u128).saturating_mul(tick as u128));
+        // tick² ≤ (2⁶⁴−1)² < u128::MAX, so only the accumulation can clamp.
+        let sq = (tick as u128) * (tick as u128);
+        self.sum_sq = match self.sum_sq.checked_add(sq) {
+            Some(v) => v,
+            None => {
+                self.mark_saturated();
+                u128::MAX
+            }
+        };
         if tick
             .checked_add(1)
             .and_then(|t1| t1.checked_mul(self.cycles_per_tick))
@@ -227,9 +241,38 @@ impl SuffStats {
         }
         self.n += other.n;
         self.sum += other.sum;
-        self.sum_sq = self.sum_sq.saturating_add(other.sum_sq);
+        self.sum_sq = match self.sum_sq.checked_add(other.sum_sq) {
+            Some(v) => v,
+            None => {
+                self.mark_saturated();
+                u128::MAX
+            }
+        };
+        if other.saturated {
+            self.mark_saturated();
+        }
         self.overflowing += other.overflowing;
         Ok(())
+    }
+
+    /// Sets the sticky saturation flag, announcing the transition once.
+    fn mark_saturated(&mut self) {
+        if !self.saturated {
+            self.saturated = true;
+            // Only order-insensitive facts in the event fields: the sample
+            // count at the moment of saturation depends on merge order.
+            ct_obs::emit(
+                "warn.suffstats_saturated",
+                vec![("cycles_per_tick", self.cycles_per_tick.into())],
+            );
+        }
+    }
+
+    /// True once the square-sum accumulator has ever clamped: the variance
+    /// is a lower bound, not a statistic, and moment-based estimation
+    /// refuses to run off it.
+    pub fn saturated(&self) -> bool {
+        self.saturated
     }
 
     /// The merge of two statistics (consuming form of [`SuffStats::merge`]).
@@ -306,6 +349,10 @@ impl DurationSamples for SuffStats {
         let sum_sq = self.sum_sq as f64;
         let var_ticks = ((sum_sq - sum * sum / n) / (n - 1.0)).max(0.0);
         var_ticks * (self.cycles_per_tick as f64).powi(2)
+    }
+
+    fn moments_saturated(&self) -> bool {
+        self.saturated
     }
 
     fn validate(&self) -> Result<(), SampleIssue> {
@@ -450,5 +497,42 @@ mod tests {
             mono.push(big);
         }
         assert_eq!(ab, mono);
+    }
+
+    #[test]
+    fn saturation_flag_is_sticky_and_merge_order_insensitive() {
+        let big = u64::MAX - 1;
+        // Two pushes of big² overflow u128; one does not.
+        let mut a = SuffStats::new(1);
+        a.push(big);
+        assert!(!a.saturated());
+        a.push(big);
+        assert!(a.saturated(), "second big² must clamp the accumulator");
+        assert!(a.moments_saturated());
+
+        // Saturation caused by the *merge* itself, in either order.
+        let mut x = SuffStats::new(1);
+        let mut y = SuffStats::new(1);
+        x.push(big);
+        y.push(big);
+        assert!(!x.saturated() && !y.saturated());
+        let xy = SuffStats::merged(x.clone(), &y).unwrap();
+        let yx = SuffStats::merged(y.clone(), &x).unwrap();
+        assert!(xy.saturated() && yx.saturated());
+        assert_eq!(xy, yx, "flag participates in Eq; orders must agree");
+
+        // Sticky through merges with clean stats, on both sides.
+        let mut clean = SuffStats::new(1);
+        clean.push(3);
+        let sat_then_clean = SuffStats::merged(xy.clone(), &clean).unwrap();
+        let clean_then_sat = SuffStats::merged(clean.clone(), &xy).unwrap();
+        assert!(sat_then_clean.saturated());
+        assert!(clean_then_sat.saturated());
+        assert_eq!(sat_then_clean, clean_then_sat);
+
+        // Clean merges never raise the flag.
+        let mut c2 = SuffStats::new(1);
+        c2.push(7);
+        assert!(!SuffStats::merged(clean, &c2).unwrap().saturated());
     }
 }

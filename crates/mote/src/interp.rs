@@ -403,8 +403,21 @@ impl Mote {
                         BinOp::BitAnd => l & r,
                         BinOp::BitOr => l | r,
                         BinOp::BitXor => l ^ r,
-                        BinOp::Shl => l.wrapping_shl((r & 63) as u32),
-                        BinOp::Shr => l.wrapping_shr((r & 63) as u32),
+                        // MCU shifters are loop-shifts: each count moves one
+                        // bit, so counts at or beyond the accumulator width
+                        // shift everything out (Shr sign-fills) instead of
+                        // aliasing mod 64 — `x << 65` on a 16-bit operand
+                        // must not behave like `x << 1`. Negative counts,
+                        // reinterpreted as huge unsigned values, shift out
+                        // too.
+                        BinOp::Shl => match u32::try_from(r) {
+                            Ok(n) if n < 64 => l.wrapping_shl(n),
+                            _ => 0,
+                        },
+                        BinOp::Shr => match u32::try_from(r) {
+                            Ok(n) if n < 64 => l.wrapping_shr(n),
+                            _ => -i64::from(l < 0),
+                        },
                         BinOp::Lt => (l < r) as i64,
                         BinOp::Le => (l <= r) as i64,
                         BinOp::Gt => (l > r) as i64,
@@ -559,6 +572,37 @@ mod tests {
         let mut mote = boot("module M { proc f(a: u8) -> u8 { var x: u8 = a + 200; return x; } }");
         let r = mote.call(ProcId(0), &[100], &mut NullProfiler).unwrap();
         assert_eq!(r, Some(44)); // 300 wrapped to u8
+    }
+
+    #[test]
+    fn shifts_beyond_width_shift_out_on_both_mcus() {
+        use crate::cost::{CostModel, Msp430Cost};
+        let src = "module M {
+            proc shl(x: u16, n: u16) -> u16 { return x << n; }
+            proc shr(x: u16, n: u16) -> u16 { return x >> n; }
+        }";
+        let models: [Box<dyn CostModel>; 2] = [Box::new(AvrCost), Box::new(Msp430Cost)];
+        for model in models {
+            let mut mote = Mote::new(ct_ir::compile_source(src).unwrap(), model);
+            let shl = |mote: &mut Mote, x: i64, n: i64| {
+                mote.call(ProcId(0), &[x, n], &mut NullProfiler).unwrap()
+            };
+            let shr = |mote: &mut Mote, x: i64, n: i64| {
+                mote.call(ProcId(1), &[x, n], &mut NullProfiler).unwrap()
+            };
+            // In-width shifts behave normally.
+            assert_eq!(shl(&mut mote, 1, 3), Some(8));
+            assert_eq!(shr(&mut mote, 0x8000, 15), Some(1));
+            // A 16-bit operand shifted by 17 loses every bit: the count
+            // exceeds the width, and the wrap-on-store finishes the job.
+            assert_eq!(shl(&mut mote, 1, 17), Some(0));
+            assert_eq!(shr(&mut mote, 0x8000, 17), Some(0));
+            // Shift-by-65 is the regression case: the old `& 63` mask
+            // aliased it to shift-by-1 (2 and 0x4000 here) instead of
+            // shifting out.
+            assert_eq!(shl(&mut mote, 1, 65), Some(0));
+            assert_eq!(shr(&mut mote, 0x8000, 65), Some(0));
+        }
     }
 
     #[test]

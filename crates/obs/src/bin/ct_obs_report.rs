@@ -1,0 +1,45 @@
+//! `ct-obs-report` — fold a JSONL trace stream into a stage/phase time
+//! breakdown.
+//!
+//! Usage: `ct-obs-report [TRACE.jsonl]` (reads stdin when no path is
+//! given). Exits non-zero if the stream contains malformed lines, so it
+//! doubles as a schema validator in CI.
+
+use std::io::Read as _;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let input = match args.next() {
+        Some(flag) if flag == "-h" || flag == "--help" => {
+            eprintln!("usage: ct-obs-report [TRACE.jsonl]   (stdin when omitted)");
+            return ExitCode::SUCCESS;
+        }
+        Some(path) => match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("ct-obs-report: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            let mut buf = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+                eprintln!("ct-obs-report: cannot read stdin: {e}");
+                return ExitCode::FAILURE;
+            }
+            buf
+        }
+    };
+    let report = ct_obs::Report::from_jsonl(&input);
+    print!("{}", report.render());
+    if report.malformed.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "ct-obs-report: {} malformed line(s) in stream",
+            report.malformed.len()
+        );
+        ExitCode::FAILURE
+    }
+}

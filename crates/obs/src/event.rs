@@ -1,0 +1,211 @@
+//! Event and value types for the trace stream.
+//!
+//! An [`Event`] is a named record with a flat list of typed fields. Events
+//! render to one JSON object per line (JSONL) with `"event"` as the first
+//! key followed by the fields in recorded order — the schema contract the
+//! golden tests pin.
+
+use crate::json;
+
+/// Field names whose values are timing-dependent and therefore excluded
+/// from the deterministic content contract (and from [`Event::stable_key`]).
+pub const VOLATILE_FIELDS: &[&str] = &["wall_ns", "cpu_ticks", "cpu_ns", "elapsed_ns"];
+
+/// A typed field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer, rendered exactly.
+    U64(u64),
+    /// Signed integer, rendered exactly.
+    I64(i64),
+    /// Float; non-finite values render as `null`.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String, escaped on render.
+    Str(String),
+}
+
+impl Value {
+    /// Appends the JSON rendering of this value to `out`.
+    pub fn render(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        match self {
+            Value::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::F64(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Bool(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::Str(s) => json::write_escaped(out, s),
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// One trace event: a name plus typed fields in emission order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Event name, dotted by convention (`stage.compile`, `em.restart`).
+    pub name: String,
+    /// Fields in the order they were emitted.
+    pub fields: Vec<(String, Value)>,
+}
+
+impl Event {
+    /// Builds an event from a name and borrowed field pairs.
+    pub fn new(name: &str, fields: Vec<(&str, Value)>) -> Self {
+        Event {
+            name: name.to_string(),
+            fields: fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        }
+    }
+
+    /// Renders the event as one JSONL line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(64);
+        out.push_str("{\"event\":");
+        json::write_escaped(&mut out, &self.name);
+        for (k, v) in &self.fields {
+            out.push(',');
+            json::write_escaped(&mut out, k);
+            out.push(':');
+            v.render(&mut out);
+        }
+        out.push('}');
+        out
+    }
+
+    /// Deterministic sort key: the event rendered without its
+    /// [`VOLATILE_FIELDS`]. Two runs of the same workload produce the same
+    /// multiset of stable keys regardless of `CT_THREADS`.
+    pub fn stable_key(&self) -> String {
+        let mut out = String::with_capacity(64);
+        json::write_escaped(&mut out, &self.name);
+        for (k, v) in &self.fields {
+            if VOLATILE_FIELDS.contains(&k.as_str()) {
+                continue;
+            }
+            out.push(',');
+            json::write_escaped(&mut out, k);
+            out.push(':');
+            v.render(&mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_rendering_is_parseable_and_ordered() {
+        let e = Event::new(
+            "em.restart",
+            vec![
+                ("restart", 3u64.into()),
+                ("loglik", (-12.5f64).into()),
+                ("converged", true.into()),
+                ("reason", "tol".into()),
+            ],
+        );
+        let line = e.to_jsonl();
+        assert!(line.starts_with("{\"event\":\"em.restart\",\"restart\":3,"));
+        let parsed = json::parse(&line).unwrap();
+        assert_eq!(
+            parsed.get("event").and_then(json::Json::as_str),
+            Some("em.restart")
+        );
+        assert_eq!(
+            parsed.get("loglik").and_then(json::Json::as_num),
+            Some(-12.5)
+        );
+        assert_eq!(parsed.get("converged"), Some(&json::Json::Bool(true)));
+    }
+
+    #[test]
+    fn non_finite_floats_render_null() {
+        let e = Event::new("x", vec![("v", f64::NAN.into())]);
+        assert!(e.to_jsonl().contains("\"v\":null"));
+        assert!(json::parse(&e.to_jsonl()).is_ok());
+    }
+
+    #[test]
+    fn stable_key_ignores_volatile_fields() {
+        let a = Event::new(
+            "stage.run",
+            vec![("ok", true.into()), ("wall_ns", 10u64.into())],
+        );
+        let b = Event::new(
+            "stage.run",
+            vec![("ok", true.into()), ("wall_ns", 99u64.into())],
+        );
+        assert_eq!(a.stable_key(), b.stable_key());
+        let c = Event::new(
+            "stage.run",
+            vec![("ok", false.into()), ("wall_ns", 10u64.into())],
+        );
+        assert_ne!(a.stable_key(), c.stable_key());
+    }
+}

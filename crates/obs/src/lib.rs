@@ -1,0 +1,49 @@
+//! Observability for Code Tomography: spans, counters, a trace event
+//! stream, and per-run manifests.
+//!
+//! The crate is dependency-free and built around one discipline: every
+//! aggregate merges commutatively and associatively (the `SuffStats`
+//! rule), so the *content* a run records is identical at any `CT_THREADS`
+//! — only wall/CPU timing values differ. See [`recorder`] for the full
+//! determinism contract.
+//!
+//! Quick tour:
+//!
+//! ```
+//! use ct_obs::{Counter, Span};
+//!
+//! {
+//!     let _stage = Span::enter("stage.estimate");
+//!     Counter::new("em.restarts").incr();
+//!     ct_obs::emit("em.restart", vec![("restart", 0u64.into())]);
+//! } // span recorded on drop
+//! let snap = ct_obs::snapshot();
+//! assert!(snap.spans.iter().any(|(name, _)| name == "stage.estimate"));
+//! ```
+//!
+//! Sinks: [`flush_env_sinks`] honours `CT_TRACE` (human table on stderr)
+//! and `CT_TRACE_JSON=path` (JSONL stream); [`write_manifest`] emits the
+//! reproducibility manifest written next to results artifacts;
+//! the `ct-obs-report` binary folds a JSONL stream into a stage/phase
+//! breakdown via [`Report`].
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod event;
+pub mod json;
+pub mod manifest;
+pub mod recorder;
+pub mod report;
+
+/// Version of the JSONL/manifest schema emitted by this crate. Bump when
+/// the shape of existing lines changes (adding new event kinds is fine).
+pub const SCHEMA_VERSION: u64 = 1;
+
+pub use event::{Event, Value, VOLATILE_FIELDS};
+pub use manifest::{git_rev, write_manifest};
+pub use recorder::{
+    drain_thread, emit, flush_env_sinks, render_jsonl, render_table, reset, set_stream_enabled,
+    snapshot, stream_enabled, write_jsonl, Counter, Gauge, Snapshot, Span, SpanAgg,
+};
+pub use report::Report;

@@ -1,0 +1,195 @@
+//! Folds a JSONL trace stream into a human-readable stage/phase time
+//! breakdown — the logic behind the `ct-obs-report` binary.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::json::{self, Json};
+
+/// Aggregates folded out of a trace stream.
+#[derive(Debug, Default, Clone)]
+pub struct Report {
+    /// Span name -> (count, wall_ns, cpu_ticks).
+    pub spans: BTreeMap<String, (u64, u64, u64)>,
+    /// Counter name -> value.
+    pub counters: BTreeMap<String, u64>,
+    /// Event name -> occurrences (excluding summary lines).
+    pub event_counts: BTreeMap<String, u64>,
+    /// Per-restart EM iteration counts, in stream order.
+    pub em_iterations: Vec<u64>,
+    /// EM restarts that converged.
+    pub em_converged: u64,
+    /// `warn.*` events, rendered back as JSONL.
+    pub warnings: Vec<String>,
+    /// Lines that failed to parse (reported, not fatal).
+    pub malformed: Vec<String>,
+}
+
+fn num(doc: &Json, key: &str) -> u64 {
+    doc.get(key).and_then(Json::as_num).map_or(0, |n| n as u64)
+}
+
+impl Report {
+    /// Folds a JSONL stream (one JSON object per non-empty line).
+    pub fn from_jsonl(input: &str) -> Report {
+        let mut r = Report::default();
+        for line in input.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let doc = match json::parse(line) {
+                Ok(doc) => doc,
+                Err(e) => {
+                    r.malformed.push(format!("{e}: {line}"));
+                    continue;
+                }
+            };
+            let Some(event) = doc.get("event").and_then(Json::as_str) else {
+                r.malformed.push(format!("missing event key: {line}"));
+                continue;
+            };
+            match event {
+                "span" => {
+                    if let Some(name) = doc.get("name").and_then(Json::as_str) {
+                        let slot = r.spans.entry(name.to_string()).or_default();
+                        slot.0 += num(&doc, "count");
+                        slot.1 += num(&doc, "wall_ns");
+                        slot.2 += num(&doc, "cpu_ticks");
+                    }
+                }
+                "counter" => {
+                    if let Some(name) = doc.get("name").and_then(Json::as_str) {
+                        *r.counters.entry(name.to_string()).or_default() += num(&doc, "value");
+                    }
+                }
+                "gauge" | "trace.meta" => {}
+                name => {
+                    *r.event_counts.entry(name.to_string()).or_default() += 1;
+                    if name == "em.restart" {
+                        r.em_iterations.push(num(&doc, "iterations"));
+                        if doc.get("converged") == Some(&Json::Bool(true)) {
+                            r.em_converged += 1;
+                        }
+                    }
+                    if name.starts_with("warn.") {
+                        r.warnings.push(line.to_string());
+                    }
+                }
+            }
+        }
+        r
+    }
+
+    /// Renders the stage-time breakdown table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let total_wall: u64 = self.spans.values().map(|(_, w, _)| *w).sum();
+        let _ = writeln!(out, "== stage/phase breakdown ==");
+        let _ = writeln!(
+            out,
+            "{:<28} {:>8} {:>12} {:>7} {:>10}",
+            "span", "count", "wall_ms", "%", "cpu_ticks"
+        );
+        let mut by_wall: Vec<_> = self.spans.iter().collect();
+        by_wall.sort_by(|a, b| b.1 .1.cmp(&a.1 .1).then_with(|| a.0.cmp(b.0)));
+        for (name, (count, wall_ns, cpu)) in by_wall {
+            let pct = if total_wall > 0 {
+                100.0 * *wall_ns as f64 / total_wall as f64
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "{:<28} {:>8} {:>12.3} {:>6.1}% {:>10}",
+                name,
+                count,
+                *wall_ns as f64 / 1e6,
+                pct,
+                cpu
+            );
+        }
+        if !self.em_iterations.is_empty() {
+            let total: u64 = self.em_iterations.iter().sum();
+            let _ = writeln!(out, "== EM restarts ==");
+            let _ = writeln!(
+                out,
+                "restarts={} converged={} iterations(total)={} iterations(per restart)={:?}",
+                self.em_iterations.len(),
+                self.em_converged,
+                total,
+                self.em_iterations
+            );
+        }
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "== counters ==");
+            for (name, n) in &self.counters {
+                let _ = writeln!(out, "{name:<28} {n:>10}");
+            }
+        }
+        if !self.event_counts.is_empty() {
+            let _ = writeln!(out, "== events ==");
+            for (name, n) in &self.event_counts {
+                let _ = writeln!(out, "{name:<28} {n:>10}");
+            }
+        }
+        if !self.warnings.is_empty() {
+            let _ = writeln!(out, "== warnings ==");
+            for w in &self.warnings {
+                let _ = writeln!(out, "{w}");
+            }
+        }
+        if !self.malformed.is_empty() {
+            let _ = writeln!(out, "== malformed lines ==");
+            for m in &self.malformed {
+                let _ = writeln!(out, "{m}");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const STREAM: &str = r#"
+{"event":"trace.meta","schema":1,"events":3}
+{"event":"stage.estimate","ok":true}
+{"event":"em.restart","restart":0,"iterations":12,"converged":true}
+{"event":"em.restart","restart":1,"iterations":40,"converged":false}
+{"event":"warn.suffstats_saturated","proc":"main"}
+{"event":"span","name":"stage.estimate","count":1,"wall_ns":2000000,"cpu_ticks":3}
+{"event":"span","name":"stage.run","count":1,"wall_ns":6000000,"cpu_ticks":9}
+{"event":"counter","name":"fleet.motes","value":4}
+"#;
+
+    #[test]
+    fn folds_spans_events_and_counters() {
+        let r = Report::from_jsonl(STREAM);
+        assert!(r.malformed.is_empty(), "{:?}", r.malformed);
+        assert_eq!(r.spans["stage.run"], (1, 6_000_000, 9));
+        assert_eq!(r.counters["fleet.motes"], 4);
+        assert_eq!(r.em_iterations, vec![12, 40]);
+        assert_eq!(r.em_converged, 1);
+        assert_eq!(r.event_counts["stage.estimate"], 1);
+        assert_eq!(r.warnings.len(), 1);
+    }
+
+    #[test]
+    fn render_orders_spans_by_wall_time() {
+        let r = Report::from_jsonl(STREAM);
+        let table = r.render();
+        let run = table.find("stage.run").unwrap_or(usize::MAX);
+        let est = table.find("stage.estimate").unwrap_or(0);
+        assert!(run < est, "expected stage.run (slower) first:\n{table}");
+        assert!(table.contains("restarts=2 converged=1 iterations(total)=52"));
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_not_fatal() {
+        let r = Report::from_jsonl("not json\n{\"event\":\"x\"}\n{\"no_event\":1}\n");
+        assert_eq!(r.malformed.len(), 2);
+        assert_eq!(r.event_counts["x"], 1);
+    }
+}

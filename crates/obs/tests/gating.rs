@@ -1,0 +1,37 @@
+//! Event-stream gating: owns its process so toggling the global flag
+//! cannot race the unit tests.
+
+#[test]
+fn stream_gate_controls_event_recording() {
+    // No CT_TRACE/CT_TRACE_JSON in the test environment -> defaults off.
+    ct_obs::emit("gated.before", vec![]);
+
+    ct_obs::set_stream_enabled(true);
+    ct_obs::emit("gated.on", vec![("k", 1u64.into())]);
+
+    ct_obs::set_stream_enabled(false);
+    ct_obs::emit("gated.after", vec![]);
+
+    let snap = ct_obs::snapshot();
+    let names: Vec<&str> = snap.events.iter().map(|e| e.name.as_str()).collect();
+    assert!(!names.contains(&"gated.before"), "default-off violated");
+    assert!(names.contains(&"gated.on"));
+    assert!(!names.contains(&"gated.after"));
+
+    // Spans and counters are always on, independent of the gate.
+    {
+        let _s = ct_obs::Span::enter("gated.span");
+    }
+    ct_obs::Counter::new("gated.counter").incr();
+    let snap = ct_obs::snapshot();
+    assert!(snap.spans.iter().any(|(n, _)| n == "gated.span"));
+    assert!(snap
+        .counters
+        .iter()
+        .any(|(n, v)| n == "gated.counter" && *v == 1));
+
+    // reset() clears everything (test support API).
+    ct_obs::reset();
+    let snap = ct_obs::snapshot();
+    assert!(snap.events.is_empty() && snap.spans.is_empty() && snap.counters.is_empty());
+}

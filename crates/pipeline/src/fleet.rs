@@ -114,12 +114,28 @@ impl Fleet {
         if self.motes == 0 {
             return Err(PipelineError::EmptyFleet);
         }
+        let _span = ct_obs::Span::enter("fleet.run");
         // Static program facts once, from a deploy that never runs.
         let statics = Session::new(self.config.clone().invocations(0)).collect()?;
 
         let contributions: Vec<Result<MoteContribution, PipelineError>> =
             ct_stats::parallel::par_map((0..self.motes).collect(), |i| {
-                let run = Session::new(self.mote_config(i)).collect()?;
+                let mote_config = self.mote_config(i);
+                let seed = mote_config.seed;
+                let run = Session::new(mote_config).collect()?;
+                // Only order-insensitive facts: snapshots sort events by
+                // content, so the stream is identical at any CT_THREADS.
+                ct_obs::emit(
+                    "fleet.mote",
+                    vec![
+                        ("mote", i.into()),
+                        ("seed", seed.into()),
+                        ("samples", run.samples.len().into()),
+                        ("invocations", run.invocations.into()),
+                        ("cycles_used", run.cycles_used.into()),
+                    ],
+                );
+                ct_obs::Counter::new("fleet.motes").incr();
                 Ok(MoteContribution {
                     stats: SuffStats::from_samples(&run.samples),
                     truth_profile: run.truth_profile,

@@ -46,4 +46,6 @@ pub use error::PipelineError;
 pub use fleet::{Fleet, FleetRun};
 pub use measure::{edge_frequencies, par_sweep, penalties, random_layout, run_with_profiler};
 pub use session::{Evaluated, PipelineReport, Session};
-pub use stage::{AppRun, Compiled, Deployed, Estimated, EstimatedRun, Executed, PlacedRun, Stage};
+pub use stage::{
+    traced, AppRun, Compiled, Deployed, Estimated, EstimatedRun, Executed, PlacedRun, Stage,
+};

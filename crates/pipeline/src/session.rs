@@ -5,8 +5,7 @@ use crate::config::{EstimatorChoice, RunConfig};
 use crate::error::PipelineError;
 use crate::measure;
 use crate::stage::{
-    self, AppRun, Collect, Compile, Corrupt, Deploy, EstimateStage, Estimated, Evaluate, Place,
-    Run, Stage,
+    self, AppRun, Collect, Compile, Corrupt, Deploy, EstimateStage, Estimated, Evaluate, Place, Run,
 };
 use ct_cfg::layout::{Layout, LayoutCost};
 use ct_cfg::profile::BranchProbs;
@@ -67,11 +66,11 @@ impl Session {
     ///
     /// [`PipelineError::Trap`] if the workload traps.
     pub fn collect(&self) -> Result<AppRun, PipelineError> {
-        let compiled = Compile.run(&self.config, ())?;
-        let deployed = Deploy::default().run(&self.config, compiled)?;
-        let executed = Run.run(&self.config, deployed)?;
-        let run = Collect.run(&self.config, executed)?;
-        Corrupt.run(&self.config, run)
+        let compiled = stage::traced(&Compile, &self.config, ())?;
+        let deployed = stage::traced(&Deploy::default(), &self.config, compiled)?;
+        let executed = stage::traced(&Run, &self.config, deployed)?;
+        let run = stage::traced(&Collect, &self.config, executed)?;
+        stage::traced(&Corrupt, &self.config, run)
     }
 
     /// Estimates the run's branch probabilities with the configured
@@ -167,14 +166,14 @@ impl Session {
     ///
     /// Any stage's error; see [`PipelineError`].
     pub fn run(&self, strategy: Strategy) -> Result<PipelineReport, PipelineError> {
-        let compiled = Compile.run(&self.config, ())?;
-        let deployed = Deploy::default().run(&self.config, compiled)?;
-        let executed = Run.run(&self.config, deployed)?;
-        let collected = Collect.run(&self.config, executed)?;
-        let collected = Corrupt.run(&self.config, collected)?;
-        let estimated = EstimateStage.run(&self.config, collected)?;
-        let placed = Place { strategy }.run(&self.config, estimated)?;
-        Evaluate.run(&self.config, placed)
+        let compiled = stage::traced(&Compile, &self.config, ())?;
+        let deployed = stage::traced(&Deploy::default(), &self.config, compiled)?;
+        let executed = stage::traced(&Run, &self.config, deployed)?;
+        let collected = stage::traced(&Collect, &self.config, executed)?;
+        let collected = stage::traced(&Corrupt, &self.config, collected)?;
+        let estimated = stage::traced(&EstimateStage, &self.config, collected)?;
+        let placed = stage::traced(&Place { strategy }, &self.config, estimated)?;
+        stage::traced(&Evaluate, &self.config, placed)
     }
 }
 

@@ -49,6 +49,33 @@ pub trait Stage {
     fn run(&self, config: &RunConfig, input: Self::Input) -> Result<Self::Output, PipelineError>;
 }
 
+/// Runs `stage` under a `stage.<name>` observability span and emits a
+/// `stage.<name>` completion event (with the error text on failure).
+///
+/// Instrumentation only: the stage's inputs, outputs, and errors pass
+/// through untouched, so tracing cannot perturb the pipeline's results.
+///
+/// # Errors
+///
+/// Exactly the wrapped stage's errors.
+pub fn traced<S: Stage>(
+    stage: &S,
+    config: &RunConfig,
+    input: S::Input,
+) -> Result<S::Output, PipelineError> {
+    let label = format!("stage.{}", stage.name());
+    let _span = ct_obs::Span::enter(label.as_str());
+    let result = stage.run(config, input);
+    match &result {
+        Ok(_) => ct_obs::emit(&label, vec![("ok", true.into())]),
+        Err(e) => ct_obs::emit(
+            &label,
+            vec![("ok", false.into()), ("error", e.to_string().into())],
+        ),
+    }
+    result
+}
+
 // ---------------------------------------------------------------- Compile
 
 /// The compiled target: program, profiled procedure, and workload hooks.
@@ -543,6 +570,7 @@ impl Stage for Evaluate {
 /// instrumentation overhead, same seed and inputs), returning the measured
 /// layout cost and cycle total.
 pub(crate) fn replay(config: &RunConfig, layout: Layout) -> Result<Evaluated, PipelineError> {
+    let _span = ct_obs::Span::enter("stage.evaluate.replay");
     let mut replay_config = config.clone();
     replay_config.cycles_per_tick = VirtualTimer::cycle_accurate().cycles_per_tick();
     replay_config.ts_overhead = 0;

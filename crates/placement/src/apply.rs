@@ -74,9 +74,27 @@ pub fn place_with_confidence(
     strategy: Strategy,
 ) -> Layout {
     if confidence < min_confidence {
+        ct_obs::emit(
+            "place.decision",
+            vec![
+                ("accepted", false.into()),
+                ("confidence", confidence.into()),
+                ("min_confidence", min_confidence.into()),
+            ],
+        );
         return Layout::natural(cfg);
     }
-    place_procedure(cfg, edge_freq, penalties, strategy)
+    let layout = place_procedure(cfg, edge_freq, penalties, strategy);
+    ct_obs::emit(
+        "place.decision",
+        vec![
+            ("accepted", true.into()),
+            ("confidence", confidence.into()),
+            ("min_confidence", min_confidence.into()),
+            ("natural", (layout == Layout::natural(cfg)).into()),
+        ],
+    );
+    layout
 }
 
 /// Computes optimized layouts for every procedure of a program, given

@@ -10,10 +10,11 @@ cargo fmt --all -- --check
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== cargo clippy (unwrap audit: ct-core, ct-faults) =="
-# Estimation and fault-injection paths must not panic on data: surface any
-# unwrap()/expect() as warnings so reviewers see every remaining site.
-cargo clippy -p ct-core -p ct-faults --all-targets -- \
+echo "== cargo clippy (unwrap audit: ct-core, ct-faults, ct-obs) =="
+# Estimation, fault-injection, and observability paths must not panic on
+# data: surface any unwrap()/expect() as warnings so reviewers see every
+# remaining site.
+cargo clippy -p ct-core -p ct-faults -p ct-obs --all-targets -- \
     -W clippy::unwrap_used -W clippy::expect_used
 
 echo "== cargo doc (deny warnings) =="
@@ -29,5 +30,18 @@ cargo test --release -p ct-pipeline --test merge_props --quiet
 echo "== e13 smoke sweep (fault-injection pipeline end to end) =="
 cargo build --release -p ct-bench --bin e13_faults
 E13_SMOKE=1 ./target/release/e13_faults > /dev/null
+
+echo "== trace smoke (observability on == observability off) =="
+# A traced e1 run must produce valid JSONL (ct-obs-report parses it) and
+# byte-identical stdout versus the untraced run — observer effect zero.
+cargo build --release -p ct-bench --bin e1_accuracy
+cargo build --release -p ct-obs --bin ct-obs-report
+trace_dir=$(mktemp -d)
+trap 'rm -rf "$trace_dir"' EXIT
+CT_SMOKE=1 ./target/release/e1_accuracy > "$trace_dir/plain.out" 2> /dev/null
+CT_SMOKE=1 CT_TRACE_JSON="$trace_dir/trace.jsonl" \
+    ./target/release/e1_accuracy > "$trace_dir/traced.out" 2> /dev/null
+diff "$trace_dir/plain.out" "$trace_dir/traced.out"
+./target/release/ct-obs-report "$trace_dir/trace.jsonl" > /dev/null
 
 echo "== OK =="
