@@ -2,11 +2,18 @@
 //!
 //! Claim evaluated: entry/exit timestamps cost far less than conventional
 //! instrumentation on all three mote-relevant axes: cycles, RAM, flash.
+//!
+//! Overhead is reported two ways: the wall "cycles +%" delta against an
+//! uninstrumented run, and the virtual PMU's per-procedure cycle
+//! attribution (whose activation windows *include* instrumentation
+//! charges), so the same number is observable from the run manifest's
+//! `pmu.e3.*` counters.
 
-use ct_bench::{f2, write_result, Table};
+use ct_bench::{f2, write_manifest_env, write_result, Table};
+use ct_mote::pmu::PmuSnapshot;
 use ct_mote::timer::VirtualTimer;
 use ct_mote::trace::{NullProfiler, TimingProfiler};
-use ct_pipeline::{run_with_profiler, EnvConfig, RunConfig};
+use ct_pipeline::{run_with_profiler_pmu, EnvConfig, RunConfig};
 use ct_profilers::ball_larus::BallLarusProfiler;
 use ct_profilers::edge_counter::EdgeCounterProfiler;
 use ct_profilers::overhead::tomography;
@@ -21,6 +28,7 @@ fn main() {
         "app",
         "approach",
         "cycles +%",
+        "pmu dCycles",
         "ram B",
         "flash B",
         "exact?",
@@ -32,9 +40,9 @@ fn main() {
         let program = app.compile();
         let config = RunConfig::for_app(app.clone()).invocations(n).seeded(seed);
         let replay = |profiler: &mut dyn ct_mote::trace::Profiler| {
-            run_with_profiler(&config, profiler).expect("bundled apps must not trap")
+            run_with_profiler_pmu(&config, profiler).expect("bundled apps must not trap")
         };
-        let base = replay(&mut NullProfiler);
+        let (base, base_pmu) = replay(&mut NullProfiler);
 
         // Code Tomography: a timestamp at every proc entry/exit.
         let mut tp = TimingProfiler::new(
@@ -42,65 +50,84 @@ fn main() {
             VirtualTimer::khz32_at_8mhz(),
             tomography::TIMESTAMP_CYCLES,
         );
-        let tomo = replay(&mut tp);
+        let (tomo, tomo_pmu) = replay(&mut tp);
 
         let mut ec = EdgeCounterProfiler::new(&program);
-        let edges = replay(&mut ec);
+        let (edges, edges_pmu) = replay(&mut ec);
 
         let mut bl = BallLarusProfiler::new(&program);
-        let ball = replay(&mut bl);
+        let (ball, ball_pmu) = replay(&mut bl);
 
         let mut sp = SamplingProfiler::new(&program, 1009);
-        let sampling = replay(&mut sp);
+        let (sampling, sampling_pmu) = replay(&mut sp);
 
         let pct = |cycles: u64| f2((cycles as f64 - base as f64) / base as f64 * 100.0);
-        let rows: Vec<(&str, String, u32, u32, &str)> = vec![
+        // Instrumentation overhead in measured mote cycles: the PMU's
+        // activation windows include profiler charges, so the counter
+        // delta against the uninstrumented run IS the overhead.
+        let dc = |pmu: &PmuSnapshot| pmu.total.cycles.saturating_sub(base_pmu.total.cycles);
+        #[allow(clippy::type_complexity)]
+        let rows: Vec<(&str, String, u64, u32, u32, &str, &'static str)> = vec![
             (
                 "tomography",
                 pct(tomo),
+                dc(&tomo_pmu),
                 tomography::ram_bytes(&program),
                 tomography::flash_bytes(&program),
                 "estimated",
+                "pmu.e3.tomography_overhead_cycles",
             ),
             (
                 "edge-counters",
                 pct(edges),
+                dc(&edges_pmu),
                 EdgeCounterProfiler::ram_bytes(&program),
                 EdgeCounterProfiler::flash_bytes(&program),
                 "exact",
+                "pmu.e3.edge_counters_overhead_cycles",
             ),
             (
                 "ball-larus",
                 pct(ball),
+                dc(&ball_pmu),
                 bl.ram_bytes(&program),
                 bl.flash_bytes(&program),
                 "exact",
+                "pmu.e3.ball_larus_overhead_cycles",
             ),
             (
                 "sampling",
                 pct(sampling),
+                dc(&sampling_pmu),
                 SamplingProfiler::ram_bytes(&program),
                 SamplingProfiler::flash_bytes(&program),
                 "approx",
+                "pmu.e3.sampling_overhead_cycles",
             ),
         ];
-        for (name, pct, ram, flash, exact) in rows {
+        for (name, pct, dcycles, ram, flash, exact, counter) in rows {
+            // Manifest-observable: the overhead lands in the `pmu` section.
+            ct_obs::Counter::new(counter).add(dcycles);
             table.row(vec![
                 app.name.to_string(),
                 name.to_string(),
                 pct,
+                dcycles.to_string(),
                 ram.to_string(),
                 flash.to_string(),
                 exact.to_string(),
             ]);
         }
+        ct_obs::Counter::new("pmu.e3.base_cycles").add(base_pmu.total.cycles);
         eprintln!("e3: {} done", app.name);
     }
 
     let out = format!(
         "# E3 — Profiling overhead: runtime cycles, RAM, flash\n\n\
          {n} target invocations per app; AVR cost model; sampling period 1009 cycles;\n\
-         tomography timestamps cost {} cycles each.\n\
+         tomography timestamps cost {} cycles each. `pmu dCycles` is the same overhead\n\
+         measured by the mote's virtual PMU (cycle attribution including instrumentation),\n\
+         summed over apps in the manifest's `pmu.e3.*` counters.\n\
          {}\n\n{}",
         tomography::TIMESTAMP_CYCLES,
         env.banner(),
@@ -110,4 +137,5 @@ fn main() {
     if !env.smoke {
         write_result("e3_overhead.md", &out);
     }
+    write_manifest_env("e3_overhead");
 }

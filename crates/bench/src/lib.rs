@@ -44,6 +44,7 @@
 pub mod table;
 
 pub use ct_pipeline::{
-    par_sweep, random_layout, run_with_profiler, AppRun, EnvConfig, Mcu, RunConfig, Session,
+    par_sweep, random_layout, run_with_profiler, run_with_profiler_pmu, AppRun, EnvConfig, Mcu,
+    RunConfig, Session,
 };
-pub use table::{f2, f4, write_result, Table};
+pub use table::{f2, f4, write_manifest_env, write_result, Table};

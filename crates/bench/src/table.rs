@@ -103,6 +103,23 @@ pub fn write_result(name: &str, content: &str) {
     ct_obs::flush_env_sinks();
 }
 
+/// Writes the run manifest to the path named by the `CT_MANIFEST` env
+/// knob, when set — even in smoke mode (unlike [`write_result`], which
+/// smoke runs skip). This is how check.sh's PMU drift gate captures two
+/// runs' counters for `ct-obs-diff` without touching `results/`.
+pub fn write_manifest_env(stem: &str) {
+    let Ok(path) = std::env::var("CT_MANIFEST") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    if let Err(e) = ct_obs::write_manifest(Path::new(&path), stem, &[]) {
+        eprintln!("warning: cannot write manifest {path}: {e}");
+    }
+    ct_obs::flush_env_sinks();
+}
+
 /// Formats a float with 4 decimal places (the report convention).
 pub fn f4(x: f64) -> String {
     format!("{x:.4}")

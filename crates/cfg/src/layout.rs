@@ -8,7 +8,7 @@
 //! from a profile) and dynamically by `ct-mote` (to charge cycles during
 //! simulation), so the optimizer and the machine always agree.
 
-use crate::graph::{BlockId, Cfg, EdgeKind, Terminator};
+use crate::graph::{BlockId, Cfg, Terminator};
 use crate::profile::EdgeProfile;
 
 /// Extra-cycle parameters for control transfers under a concrete layout.
@@ -45,6 +45,59 @@ impl PenaltyModel {
 impl Default for PenaltyModel {
     fn default() -> Self {
         PenaltyModel::avr()
+    }
+}
+
+/// A static branch-prediction model: how the front end guesses a
+/// conditional branch's direction before the condition resolves.
+///
+/// Mote-class MCUs have no dynamic predictor; what they do have is a fixed
+/// rule baked into the pipeline. The two rules that occur in practice:
+///
+/// - [`BranchPredictor::AlwaysNotTaken`] — every conditional is predicted
+///   to fall through, so every *taken* branch pays the refill penalty.
+///   This is the rule both [`PenaltyModel`] presets charge for, and the
+///   implicit model behind `branches_taken == mispredictions`.
+/// - [`BranchPredictor::Btfnt`] — backward-taken/forward-not-taken: a
+///   branch whose taken-target lies at or before it in flash is predicted
+///   taken (loop back-edges usually are), a forward branch predicted not
+///   taken.
+///
+/// The prediction keys off the *taken-target* of the machine branch, which
+/// depends on the layout's polarity for the block — see
+/// [`Layout::edge_transfers`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BranchPredictor {
+    /// Predict every conditional branch not taken (fall through).
+    #[default]
+    AlwaysNotTaken,
+    /// Predict taken iff the branch's taken-target is backward in layout.
+    Btfnt,
+}
+
+impl BranchPredictor {
+    /// Whether this model predicts a branch taken, given whether the
+    /// branch's taken-target lies backward (at or before the branch) in
+    /// the layout.
+    pub fn predicts_taken(self, backward_target: bool) -> bool {
+        match self {
+            BranchPredictor::AlwaysNotTaken => false,
+            BranchPredictor::Btfnt => backward_target,
+        }
+    }
+
+    /// Whether an execution that resolved to `taken` mispredicts under
+    /// this model.
+    pub fn mispredicts(self, taken: bool, backward_target: bool) -> bool {
+        taken != self.predicts_taken(backward_target)
+    }
+
+    /// Human-readable model name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BranchPredictor::AlwaysNotTaken => "always-not-taken",
+            BranchPredictor::Btfnt => "btfnt",
+        }
     }
 }
 
@@ -178,46 +231,124 @@ impl Layout {
         }
     }
 
+    /// Classifies every CFG edge's machine-level transfer under this layout,
+    /// indexed by [`Cfg::edges`] order — the per-edge facts both the virtual
+    /// PMU and the predictor-aware cost evaluators consume.
+    ///
+    /// For a conditional branch the *taken-target* depends on the polarity
+    /// the layout forces (see [`Layout::transfer_kind`]): the successor that
+    /// is **not** the fall-through is the target the machine branch jumps to.
+    /// When neither successor is adjacent (`brcond t; jmp f`), the machine
+    /// conditional targets `t` and the false edge rides the jump with the
+    /// conditional *not* taken.
+    pub fn edge_transfers(&self, cfg: &Cfg) -> Vec<EdgeTransfer> {
+        cfg.edges()
+            .iter()
+            .map(|e| {
+                let kind = self.transfer_kind(cfg, e.from, e.to);
+                match cfg.block(e.from).term {
+                    Terminator::Branch { on_true, on_false } => {
+                        let next = self.next_in_layout(e.from);
+                        let taken_target = if next == Some(on_false) {
+                            on_true
+                        } else if next == Some(on_true) {
+                            // Inverted polarity: the machine branch jumps to
+                            // the false successor.
+                            on_false
+                        } else {
+                            // brcond t; jmp f.
+                            on_true
+                        };
+                        EdgeTransfer {
+                            kind,
+                            conditional: true,
+                            taken: e.to == taken_target && kind != TransferKind::Jump,
+                            backward_target: self.position(taken_target) <= self.position(e.from),
+                        }
+                    }
+                    _ => EdgeTransfer {
+                        kind,
+                        conditional: false,
+                        taken: false,
+                        backward_target: false,
+                    },
+                }
+            })
+            .collect()
+    }
+
     /// Evaluates this layout against an edge profile: total extra cycles and
-    /// the conditional-branch misprediction statistics.
+    /// the conditional-branch misprediction statistics, under the
+    /// [`BranchPredictor::AlwaysNotTaken`] model (both MCU presets' penalty
+    /// semantics). See [`Layout::evaluate_under`] for other predictors.
     pub fn evaluate(
         &self,
         cfg: &Cfg,
         profile: &EdgeProfile,
         penalties: &PenaltyModel,
     ) -> LayoutCost {
+        self.evaluate_under(cfg, profile, penalties, BranchPredictor::AlwaysNotTaken)
+    }
+
+    /// Evaluates this layout against an edge profile with an explicit
+    /// predictor model deciding which conditional executions mispredict.
+    ///
+    /// The penalty arithmetic (`extra_cycles`) always charges the
+    /// taken-branch penalty — that is what the layout costs on the machine;
+    /// the predictor only attributes `mispredicted`.
+    pub fn evaluate_under(
+        &self,
+        cfg: &Cfg,
+        profile: &EdgeProfile,
+        penalties: &PenaltyModel,
+        predictor: BranchPredictor,
+    ) -> LayoutCost {
         let mut cost = LayoutCost::default();
-        for e in cfg.edges() {
+        for (e, t) in cfg.edges().iter().zip(self.edge_transfers(cfg)) {
             let n = profile.count(e.index);
             if n == 0 {
                 continue;
             }
-            let kind = self.transfer_kind(cfg, e.from, e.to);
-            let is_conditional = matches!(e.kind, EdgeKind::BranchTrue | EdgeKind::BranchFalse);
-            match kind {
-                TransferKind::FallThrough => {
-                    if is_conditional {
-                        cost.branches_not_taken += n;
-                    }
-                }
+            match t.kind {
+                TransferKind::FallThrough => {}
                 TransferKind::TakenBranch | TransferKind::TakenBranchOverJump => {
-                    cost.branches_taken += n;
                     cost.extra_cycles += n * penalties.taken_branch_extra;
                 }
                 TransferKind::Jump => {
                     cost.jumps_executed += n;
                     cost.extra_cycles += n * penalties.jump_cycles;
-                    if is_conditional {
-                        // The false edge of a both-ways-displaced branch: the
-                        // conditional itself fell through (predicted right)
-                        // before the jump, so it does not count as taken.
-                        cost.branches_not_taken += n;
-                    }
+                }
+            }
+            if t.conditional {
+                if t.taken {
+                    cost.branches_taken += n;
+                } else {
+                    cost.branches_not_taken += n;
+                }
+                if predictor.mispredicts(t.taken, t.backward_target) {
+                    cost.mispredicted += n;
                 }
             }
         }
         cost
     }
+}
+
+/// The machine-level facts of one CFG edge under a concrete layout: what
+/// instruction realizes it and how a static predictor sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeTransfer {
+    /// The transfer realizing the edge.
+    pub kind: TransferKind,
+    /// The source block ends in a conditional branch.
+    pub conditional: bool,
+    /// Control following this edge takes the machine conditional branch
+    /// (always `false` for unconditional sources and for the false edge of
+    /// a both-ways-displaced branch, which falls through into the jump).
+    pub taken: bool,
+    /// The machine branch's taken-target lies at or before the branch in
+    /// layout order (what [`BranchPredictor::Btfnt`] keys off).
+    pub backward_target: bool,
 }
 
 /// Machine-level realization of a CFG edge under a layout.
@@ -238,8 +369,7 @@ pub enum TransferKind {
 /// Aggregate cost of running a profile under a layout.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct LayoutCost {
-    /// Conditional branch executions that were taken (= mispredictions under
-    /// static not-taken prediction).
+    /// Conditional branch executions that were taken.
     pub branches_taken: u64,
     /// Conditional branch executions that fell through.
     pub branches_not_taken: u64,
@@ -247,17 +377,21 @@ pub struct LayoutCost {
     pub jumps_executed: u64,
     /// Total extra cycles versus an ideal all-fall-through layout.
     pub extra_cycles: u64,
+    /// Conditional executions the evaluating [`BranchPredictor`] got wrong.
+    /// Equal to `branches_taken` under
+    /// [`BranchPredictor::AlwaysNotTaken`] (the default evaluator).
+    pub mispredicted: u64,
 }
 
 impl LayoutCost {
-    /// Fraction of conditional branch executions that were taken; `0.0` when
-    /// no conditional branches executed.
+    /// Fraction of conditional branch executions the predictor got wrong;
+    /// `0.0` when no conditional branches executed.
     pub fn misprediction_rate(&self) -> f64 {
         let total = self.branches_taken + self.branches_not_taken;
         if total == 0 {
             0.0
         } else {
-            self.branches_taken as f64 / total as f64
+            self.mispredicted as f64 / total as f64
         }
     }
 }
@@ -395,5 +529,109 @@ mod tests {
     fn penalty_model_presets_differ() {
         assert_ne!(PenaltyModel::avr(), PenaltyModel::msp430());
         assert_eq!(PenaltyModel::default(), PenaltyModel::avr());
+    }
+
+    #[test]
+    fn edge_transfers_track_polarity_and_direction() {
+        let cfg = diamond();
+        // Natural order [cond, then, else, join]: then (= on_true) is next,
+        // so the machine branch targets else — a *forward* taken-target.
+        let l = Layout::natural(&cfg);
+        let t = l.edge_transfers(&cfg);
+        // Edge 0: cond→then (true edge) falls through, branch not taken.
+        assert!(t[0].conditional && !t[0].taken && !t[0].backward_target);
+        // Edge 1: cond→else (false edge) takes the inverted branch forward.
+        assert!(t[1].conditional && t[1].taken && !t[1].backward_target);
+        // Edge 2: then→join is a materialized unconditional jump.
+        assert!(!t[2].conditional && !t[2].taken);
+        assert_eq!(t[2].kind, TransferKind::Jump);
+
+        // Order [cond, join, then, else]: both successors displaced, so the
+        // machine emits brcond then; jmp else — the taken-target (then) is
+        // forward, and the false edge rides the jump with the branch NOT
+        // taken.
+        let d =
+            Layout::from_order(&cfg, vec![BlockId(0), BlockId(3), BlockId(1), BlockId(2)]).unwrap();
+        let t = d.edge_transfers(&cfg);
+        assert!(t[0].conditional && t[0].taken && !t[0].backward_target);
+        assert_eq!(t[0].kind, TransferKind::TakenBranchOverJump);
+        assert!(t[1].conditional && !t[1].taken);
+        assert_eq!(t[1].kind, TransferKind::Jump);
+    }
+
+    #[test]
+    fn predictor_models_disagree_only_on_backward_targets() {
+        let ant = BranchPredictor::AlwaysNotTaken;
+        let btfnt = BranchPredictor::Btfnt;
+        // Forward taken-target: both predict not-taken.
+        assert!(ant.mispredicts(true, false));
+        assert!(btfnt.mispredicts(true, false));
+        assert!(!ant.mispredicts(false, false));
+        assert!(!btfnt.mispredicts(false, false));
+        // Backward taken-target: BTFNT predicts taken, ANT still not-taken.
+        assert!(ant.mispredicts(true, true));
+        assert!(!btfnt.mispredicts(true, true));
+        assert!(!ant.mispredicts(false, true));
+        assert!(btfnt.mispredicts(false, true));
+        assert_eq!(BranchPredictor::default(), ant);
+        assert_ne!(ant.name(), btfnt.name());
+    }
+
+    #[test]
+    fn evaluate_under_ant_matches_evaluate_bitwise() {
+        let cfg = diamond();
+        let prof = EdgeProfile::from_counts(&cfg, vec![30, 10, 30, 10]);
+        for order in [
+            vec![BlockId(0), BlockId(1), BlockId(2), BlockId(3)],
+            vec![BlockId(0), BlockId(2), BlockId(1), BlockId(3)],
+            vec![BlockId(0), BlockId(3), BlockId(1), BlockId(2)],
+        ] {
+            let l = Layout::from_order(&cfg, order).unwrap();
+            let pen = PenaltyModel::avr();
+            let plain = l.evaluate(&cfg, &prof, &pen);
+            let under = l.evaluate_under(&cfg, &prof, &pen, BranchPredictor::AlwaysNotTaken);
+            assert_eq!(plain, under);
+            assert_eq!(plain.mispredicted, plain.branches_taken);
+        }
+    }
+
+    #[test]
+    fn btfnt_flips_mispredictions_on_a_backward_branch() {
+        // Layout [cond, else, then, join]: else (= on_false) is next, so
+        // the machine branch targets then, which sits *after* cond —
+        // forward. Reverse polarity instead: [cond, then, else, join] puts
+        // the taken-target (else) forward too. To get a backward target we
+        // need the taken-target at or before the branch — impossible in a
+        // diamond whose entry is the branch, so the branch block's own
+        // position bounds it: position(target) <= position(cond) only for
+        // cond itself. Build a loop shape instead: a 2-block CFG where the
+        // branch jumps back to itself.
+        use crate::graph::{Cfg, Terminator};
+        let mut cfg = Cfg::new("self_loop");
+        let head = cfg.add_block(
+            "head",
+            Terminator::Branch {
+                on_true: BlockId(0),
+                on_false: BlockId(1),
+            },
+        );
+        cfg.add_block("exit", Terminator::Return);
+        assert_eq!(head, BlockId(0));
+        cfg.validate().expect("valid loop cfg");
+        let l = Layout::natural(&cfg);
+        let t = l.edge_transfers(&cfg);
+        // True edge loops back: taken branch with a backward target.
+        assert!(t[0].taken && t[0].backward_target);
+        // 7 back-edge traversals, 1 exit.
+        let prof = EdgeProfile::from_counts(&cfg, vec![7, 1]);
+        let pen = PenaltyModel::avr();
+        let ant = l.evaluate_under(&cfg, &prof, &pen, BranchPredictor::AlwaysNotTaken);
+        let btfnt = l.evaluate_under(&cfg, &prof, &pen, BranchPredictor::Btfnt);
+        // ANT mispredicts every taken back-edge; BTFNT predicts them and
+        // only misses the final fall-through exit.
+        assert_eq!(ant.mispredicted, 7);
+        assert_eq!(btfnt.mispredicted, 1);
+        // The machine cost is identical — prediction models only relabel.
+        assert_eq!(ant.extra_cycles, btfnt.extra_cycles);
     }
 }

@@ -47,7 +47,7 @@ pub mod structure;
 pub mod unroll;
 
 pub use graph::{Block, BlockId, Cfg, CfgError, Edge, EdgeKind, Terminator};
-pub use layout::{Layout, LayoutCost, PenaltyModel, TransferKind};
+pub use layout::{BranchPredictor, EdgeTransfer, Layout, LayoutCost, PenaltyModel, TransferKind};
 pub use profile::{BranchProbs, EdgeProfile};
 pub use structure::{decompose, Region, StructureError};
 pub use unroll::{unroll, UnrollError, Unrolled};

@@ -15,7 +15,7 @@
 //! fixed and known (see DESIGN.md, substitution table).
 
 use ct_cfg::graph::Terminator;
-use ct_cfg::layout::{Layout, PenaltyModel, TransferKind};
+use ct_cfg::layout::{BranchPredictor, Layout, PenaltyModel, TransferKind};
 use ct_ir::ast::BinOp;
 use ct_ir::instr::{Instr, Intrinsic};
 use ct_ir::program::Procedure;
@@ -35,6 +35,14 @@ pub trait CostModel {
     fn return_cost(&self) -> u64;
     /// Layout-dependent control-transfer penalties.
     fn penalties(&self) -> PenaltyModel;
+    /// The static branch-prediction rule this MCU class implements. Both
+    /// presets are predict-not-taken cores — the taken-branch penalty in
+    /// [`Self::penalties`] *is* the misprediction penalty — so the default
+    /// is [`BranchPredictor::AlwaysNotTaken`]; the virtual PMU counts the
+    /// BTFNT what-if alongside regardless.
+    fn predictor(&self) -> BranchPredictor {
+        BranchPredictor::AlwaysNotTaken
+    }
     /// Human-readable model name.
     fn name(&self) -> &str;
 }

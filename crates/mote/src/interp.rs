@@ -11,9 +11,10 @@
 use crate::cost::{block_costs, edge_costs, CostModel};
 use crate::devices::Devices;
 use crate::memory::GlobalStore;
+use crate::pmu::Pmu;
 use crate::trace::Profiler;
 use ct_cfg::graph::{BlockId, Cfg, Terminator};
-use ct_cfg::layout::Layout;
+use ct_cfg::layout::{EdgeTransfer, Layout};
 use ct_ir::ast::{BinOp, UnOp};
 use ct_ir::instr::{Instr, Intrinsic, ProcId};
 use ct_ir::program::Program;
@@ -111,6 +112,10 @@ pub struct Mote {
     block_costs: Vec<Vec<u64>>,
     edge_costs: Vec<Vec<u64>>,
     edge_index: Vec<HashMap<(u32, u32), usize>>,
+    edge_transfers: Vec<Vec<EdgeTransfer>>,
+    /// The virtual performance-monitoring unit: zero-overhead hardware
+    /// counters sampled at every control transfer.
+    pub pmu: Pmu,
     /// Module-variable RAM.
     pub globals: GlobalStore,
     /// Peripherals.
@@ -183,6 +188,13 @@ impl Mote {
                     .collect::<HashMap<_, _>>()
             })
             .collect();
+        let edge_transfers: Vec<Vec<EdgeTransfer>> = program
+            .procs
+            .iter()
+            .zip(&layouts)
+            .map(|(p, l)| l.edge_transfers(&p.cfg))
+            .collect();
+        let pmu = Pmu::new(program.procs.len());
         let globals = GlobalStore::new(&program);
         Mote {
             program,
@@ -191,6 +203,8 @@ impl Mote {
             block_costs,
             edge_costs,
             edge_index,
+            edge_transfers,
+            pmu,
             globals,
             devices: Devices::default(),
             config: ExecConfig::default(),
@@ -229,6 +243,7 @@ impl Mote {
             "layout does not fit procedure"
         );
         self.edge_costs[proc.index()] = edge_costs(p, self.cost_model.as_ref(), &layout);
+        self.edge_transfers[proc.index()] = layout.edge_transfers(&p.cfg);
         self.layouts[proc.index()] = layout;
     }
 
@@ -299,6 +314,10 @@ impl Mote {
             });
         }
 
+        // The PMU activation window opens before instrumentation charges,
+        // so per-procedure cycle attribution includes the profiler's own
+        // overhead — that is what E3 measures in mote cycles.
+        self.pmu.enter(proc, self.cycles);
         let overhead = profiler.on_proc_enter(proc, self.cycles);
         self.cycles += overhead;
         // Interrupt contamination lands inside the measured window.
@@ -324,6 +343,9 @@ impl Mote {
 
         let overhead = profiler.on_proc_exit(proc, self.cycles);
         self.cycles += overhead;
+        // Close the window after exit instrumentation too — and on the trap
+        // path, so unwinding stays balanced like the profiler's.
+        self.pmu.exit(proc, self.cycles);
         result
     }
 
@@ -456,6 +478,7 @@ impl Mote {
         match term {
             Terminator::Return => {
                 self.cycles += self.cost_model.return_cost();
+                self.pmu.record_return(proc);
                 let v = if self.program.procs[proc.index()].ret.is_some() {
                     Some(stack.pop().ok_or_else(|| trap(TrapKind::StackUnderflow))?)
                 } else {
@@ -483,6 +506,8 @@ impl Mote {
         // of that same CFG (validated at compile time).
         let ei = self.edge_index[proc.index()][&(from.0, to.0)];
         self.cycles += self.edge_costs[proc.index()][ei];
+        let t = self.edge_transfers[proc.index()][ei];
+        self.pmu.record_transfer(proc, t);
         let overhead = profiler.on_edge(proc, ei);
         self.cycles += overhead;
     }

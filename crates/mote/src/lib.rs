@@ -18,6 +18,9 @@
 //!   path exactly.
 //! - [`trace`] — profiling hooks: omniscient ground truth and Code
 //!   Tomography's entry/exit timestamp layer (with overhead accounting).
+//! - [`pmu`] — the virtual performance-monitoring unit: zero-overhead
+//!   branch/jump/call counters and per-procedure cycle attribution, the
+//!   measured side of every predicted-vs-measured comparison.
 //! - [`sched`] — the TinyOS-style event-driven OS (timers, packet arrivals,
 //!   run-to-completion handlers).
 //! - [`harness`] — one-call measurement runs producing ground truth, timing
@@ -57,6 +60,7 @@ pub mod energy;
 pub mod harness;
 pub mod interp;
 pub mod memory;
+pub mod pmu;
 pub mod sched;
 pub mod timer;
 pub mod trace;
@@ -65,6 +69,7 @@ pub use cost::{block_costs, edge_costs, AvrCost, CostModel, Msp430Cost};
 pub use energy::EnergyModel;
 pub use harness::{profile_events, profile_invocations, ProfiledRun};
 pub use interp::{ExecConfig, Mote, TrapError, TrapKind};
+pub use pmu::{Pmu, PmuCounters, PmuSnapshot};
 pub use sched::{RxProcess, Scheduler, TimerBinding};
 pub use timer::VirtualTimer;
 pub use trace::{GroundTruthProfiler, NullProfiler, PairProfiler, Profiler, TimingProfiler};

@@ -1,0 +1,46 @@
+//! `ct-obs-diff` — compare two run manifests for deterministic-content
+//! agreement (counters, PMU banks, span census, audit trail).
+//!
+//! Usage: `ct-obs-diff A.manifest.json B.manifest.json`. Exits 0 when the
+//! manifests agree, 1 on any divergence (counter drift, differing audit
+//! trails), and 2 when an input cannot be read or parsed — so CI can
+//! distinguish "the run is nondeterministic" from "the gate is broken".
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "-h" || a == "--help") || args.len() != 2 {
+        eprintln!("usage: ct-obs-diff A.manifest.json B.manifest.json");
+        eprintln!("exit: 0 = deterministic content agrees, 1 = divergence, 2 = bad input");
+        return if args.len() == 2 {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(2)
+        };
+    }
+    let read = |path: &str| -> Result<String, String> {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+    };
+    let (a, b) = match (read(&args[0]), read(&args[1])) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("ct-obs-diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match ct_obs::diff_manifests(&a, &b) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("ct-obs-diff: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

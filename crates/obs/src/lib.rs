@@ -25,11 +25,14 @@
 //! and `CT_TRACE_JSON=path` (JSONL stream); [`write_manifest`] emits the
 //! reproducibility manifest written next to results artifacts;
 //! the `ct-obs-report` binary folds a JSONL stream into a stage/phase
-//! breakdown via [`Report`].
+//! breakdown via [`Report`]; the `ct-obs-diff` binary compares two
+//! manifests for deterministic-content agreement via [`diff_manifests`]
+//! (the PMU drift gate in check.sh).
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod diff;
 pub mod event;
 pub mod json;
 pub mod manifest;
@@ -40,6 +43,7 @@ pub mod report;
 /// the shape of existing lines changes (adding new event kinds is fine).
 pub const SCHEMA_VERSION: u64 = 1;
 
+pub use diff::{diff_manifests, DiffReport};
 pub use event::{Event, Value, VOLATILE_FIELDS};
 pub use manifest::{git_rev, write_manifest};
 pub use recorder::{

@@ -17,10 +17,16 @@ pub const ENV_KNOBS: &[&str] = &[
     "E13_SMOKE",
     "CT_TRACE",
     "CT_TRACE_JSON",
+    "CT_MANIFEST",
 ];
 
 /// Event-name prefixes that belong in the manifest's estimator audit trail.
-const AUDIT_PREFIXES: &[&str] = &["em.", "ladder.", "warn.", "place."];
+const AUDIT_PREFIXES: &[&str] = &["em.", "ladder.", "warn.", "place.", "pmu."];
+
+/// Counter-name prefix mirrored into the manifest's dedicated `pmu`
+/// section (prefix stripped), so counter drift between runs is one
+/// `ct-obs-diff` section away.
+const PMU_PREFIX: &str = "pmu.";
 
 /// Best-effort git revision: walks up from the current directory to a
 /// `.git`, then resolves `HEAD` through refs and `packed-refs`. Returns
@@ -137,6 +143,24 @@ pub fn render_manifest(run_name: &str, snap: &Snapshot, extra: &[(&str, Value)])
     }
     out.push_str("\n  }");
 
+    // Virtual-PMU bank: the `pmu.*` counters again, prefix stripped —
+    // the section experiment gates diff (additive to the schema).
+    out.push_str(",\n  \"pmu\": {");
+    let mut first = true;
+    for (name, n) in &snap.counters {
+        let Some(short) = name.strip_prefix(PMU_PREFIX) else {
+            continue;
+        };
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("\n    ");
+        write_escaped(&mut out, short);
+        let _ = write!(out, ": {n}");
+    }
+    out.push_str("\n  }");
+
     // Estimator audit trail: the deterministic-content events that explain
     // where the estimate came from.
     out.push_str(",\n  \"audit\": [");
@@ -194,6 +218,31 @@ mod tests {
             Some(42.0)
         );
         assert!(matches!(parsed.get("audit"), Some(json::Json::Arr(_))));
+    }
+
+    #[test]
+    fn pmu_counters_mirror_into_their_own_section() {
+        let mut snap = Snapshot::default();
+        snap.counters.push(("fleet.motes".to_string(), 4));
+        snap.counters.push(("pmu.cond_taken".to_string(), 7));
+        snap.counters.push(("pmu.jumps".to_string(), 3));
+        let doc = render_manifest("e4_placement", &snap, &[]);
+        let parsed = json::parse(&doc).unwrap_or_else(|e| panic!("{e}\n{doc}"));
+        let pmu = parsed.get("pmu").expect("pmu section");
+        assert_eq!(
+            pmu.get("cond_taken").and_then(json::Json::as_num),
+            Some(7.0)
+        );
+        assert_eq!(pmu.get("jumps").and_then(json::Json::as_num), Some(3.0));
+        assert!(pmu.get("fleet.motes").is_none(), "only pmu.* mirrored");
+        // The raw counter stays in `counters` too.
+        assert_eq!(
+            parsed
+                .get("counters")
+                .and_then(|c| c.get("pmu.cond_taken"))
+                .and_then(json::Json::as_num),
+            Some(7.0)
+        );
     }
 
     #[test]

@@ -11,10 +11,14 @@
 //! (`wall_ns`, `cpu_ticks`) vary run to run.
 //!
 //! Each thread accumulates into a thread-local buffer; the buffer drains
-//! into the global registry when the thread exits (TLS destructor) or when
-//! the thread calls [`snapshot`]/[`drain_thread`]. `ct-stats::par_map` uses
-//! scoped threads that are joined before it returns, so worker-thread
-//! buffers are always merged before the coordinating thread reads them.
+//! into the global registry when the thread calls
+//! [`snapshot`]/[`drain_thread`], with the TLS destructor as a last-resort
+//! drain at thread exit. Thread pools must drain **explicitly** at the end
+//! of each worker closure (`ct-stats::par_map` does): `thread::scope`
+//! unblocks when worker closures return, but TLS destructors run *after*
+//! that signal, so a coordinator relying on the destructor drain can
+//! snapshot before worker buffers merge and undercount by a
+//! thread-schedule-dependent amount.
 //!
 //! Span and counter aggregation is always on (it is cheap and feeds the
 //! run manifest); the *event stream* is gated by [`stream_enabled`], which

@@ -25,6 +25,10 @@ pub struct Report {
     pub malformed: Vec<String>,
 }
 
+/// Event-name prefixes whose integral fields fold into the counter table
+/// (`<event>.<field>`), alongside plain `counter` lines.
+const COUNTER_EVENT_PREFIXES: &[&str] = &["pmu.", "em.", "ladder."];
+
 fn num(doc: &Json, key: &str) -> u64 {
     doc.get(key).and_then(Json::as_num).map_or(0, |n| n as u64)
 }
@@ -74,6 +78,23 @@ impl Report {
                     }
                     if name.starts_with("warn.") {
                         r.warnings.push(line.to_string());
+                    }
+                    // Counter-shaped events (PMU banks, estimator stats):
+                    // fold their integral fields into the counter table so
+                    // one breakdown covers timings and counts alike.
+                    if COUNTER_EVENT_PREFIXES.iter().any(|p| name.starts_with(p)) {
+                        if let Json::Obj(fields) = &doc {
+                            for (k, v) in fields {
+                                if k == "event" || crate::VOLATILE_FIELDS.contains(&k.as_str()) {
+                                    continue;
+                                }
+                                let Some(n) = v.as_num() else { continue };
+                                if n.is_finite() && n >= 0.0 && n.fract() == 0.0 {
+                                    *r.counters.entry(format!("{name}.{k}")).or_default() +=
+                                        n as u64;
+                                }
+                            }
+                        }
                     }
                 }
             }
@@ -184,6 +205,23 @@ mod tests {
         let est = table.find("stage.estimate").unwrap_or(0);
         assert!(run < est, "expected stage.run (slower) first:\n{table}");
         assert!(table.contains("restarts=2 converged=1 iterations(total)=52"));
+    }
+
+    #[test]
+    fn counter_events_fold_into_the_counter_table() {
+        let r = Report::from_jsonl(concat!(
+            "{\"event\":\"pmu.totals\",\"cond_taken\":7,\"cond_not_taken\":3,\"wall_ns\":99}\n",
+            "{\"event\":\"pmu.totals\",\"cond_taken\":5,\"cond_not_taken\":5,\"rate\":0.5}\n",
+            "{\"event\":\"em.restart\",\"restart\":1,\"iterations\":12,\"converged\":true}\n",
+        ));
+        assert_eq!(r.counters["pmu.totals.cond_taken"], 12);
+        assert_eq!(r.counters["pmu.totals.cond_not_taken"], 8);
+        assert_eq!(r.counters["em.restart.iterations"], 12);
+        // Volatile and fractional fields stay out.
+        assert!(!r.counters.contains_key("pmu.totals.wall_ns"));
+        assert!(!r.counters.contains_key("pmu.totals.rate"));
+        // The special-cased EM summary still works.
+        assert_eq!(r.em_iterations, vec![12]);
     }
 
     #[test]

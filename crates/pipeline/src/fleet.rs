@@ -31,6 +31,7 @@ struct MoteContribution {
     truth_profile: EdgeProfile,
     invocations: u64,
     cycles_used: u64,
+    pmu: ct_mote::pmu::PmuSnapshot,
 }
 
 /// The merged artifact of a fleet run: static program facts plus the
@@ -57,6 +58,9 @@ pub struct FleetRun {
     pub invocations: u64,
     /// Total cycles consumed across the fleet.
     pub cycles_used: u64,
+    /// Merged virtual-PMU counters across the fleet (per procedure and
+    /// total) — same commutative merge discipline as [`SuffStats`].
+    pub pmu: ct_mote::pmu::PmuSnapshot,
     /// How many motes contributed.
     pub motes: usize,
 }
@@ -141,6 +145,7 @@ impl Fleet {
                     truth_profile: run.truth_profile,
                     invocations: run.invocations,
                     cycles_used: run.cycles_used,
+                    pmu: run.pmu,
                 })
             });
 
@@ -148,12 +153,16 @@ impl Fleet {
         let mut truth_profile = EdgeProfile::zeroed(statics.cfg());
         let mut invocations = 0u64;
         let mut cycles_used = 0u64;
+        // The zero-invocation statics run gives the right per-procedure
+        // shape with every counter at zero — the merge identity.
+        let mut pmu = statics.pmu.clone();
         for contribution in contributions {
             let c = contribution?;
             stats.merge(&c.stats)?;
             truth_profile.merge(&c.truth_profile);
             invocations += c.invocations;
             cycles_used += c.cycles_used;
+            pmu.merge(&c.pmu);
         }
         let truth = truth_profile.branch_probs(statics.cfg());
         Ok(FleetRun {
@@ -162,6 +171,7 @@ impl Fleet {
             truth_profile,
             invocations,
             cycles_used,
+            pmu,
             motes: self.motes,
             program: statics.program,
             pid: statics.pid,
@@ -244,6 +254,7 @@ mod tests {
         assert_eq!(fleet_run.truth_profile, single.truth_profile);
         assert_eq!(fleet_run.invocations, single.invocations);
         assert_eq!(fleet_run.cycles_used, single.cycles_used);
+        assert_eq!(fleet_run.pmu, single.pmu);
     }
 
     #[test]
@@ -253,6 +264,11 @@ mod tests {
         assert_eq!(fr.motes, 3);
         assert_eq!(fr.invocations, 600);
         assert_eq!(fr.stats.len(), 600);
+        assert_eq!(
+            fr.pmu.proc(fr.pid).calls,
+            600,
+            "merged PMU counts one activation per invocation"
+        );
         // Three motes on strided seeds are not three copies of one mote.
         let single = Session::new(config).collect().unwrap();
         let mut tripled = SuffStats::from_samples(&single.samples);

@@ -42,9 +42,12 @@ pub mod stage;
 pub mod synth;
 
 pub use config::{Contamination, EnvConfig, EstimatorChoice, Mcu, RunConfig, Target};
+pub use ct_mote::pmu::{PmuCounters, PmuSnapshot};
 pub use error::PipelineError;
 pub use fleet::{Fleet, FleetRun};
-pub use measure::{edge_frequencies, par_sweep, penalties, random_layout, run_with_profiler};
+pub use measure::{
+    edge_frequencies, par_sweep, penalties, random_layout, run_with_profiler, run_with_profiler_pmu,
+};
 pub use session::{Evaluated, PipelineReport, Session};
 pub use stage::{
     traced, AppRun, Compiled, Deployed, Estimated, EstimatedRun, Executed, PlacedRun, Stage,

@@ -25,6 +25,21 @@ pub fn run_with_profiler(
     config: &RunConfig,
     profiler: &mut dyn Profiler,
 ) -> Result<u64, PipelineError> {
+    run_with_profiler_pmu(config, profiler).map(|(cycles, _)| cycles)
+}
+
+/// Like [`run_with_profiler`], but also returns the mote's virtual-PMU
+/// snapshot — whose per-procedure cycle attribution *includes* the
+/// profiler's instrumentation overhead, making overhead observable in
+/// measured mote cycles rather than only as a wall-clock delta.
+///
+/// # Errors
+///
+/// [`PipelineError::Trap`] if the workload traps.
+pub fn run_with_profiler_pmu(
+    config: &RunConfig,
+    profiler: &mut dyn Profiler,
+) -> Result<(u64, ct_mote::pmu::PmuSnapshot), PipelineError> {
     let compiled = Compile.run(config, ())?;
     let deployed = Deploy::default().run(config, compiled)?;
     let mut mote = deployed.mote;
@@ -37,7 +52,7 @@ pub fn run_with_profiler(
         mote.call(compiled.pid, &[], profiler)
             .map_err(|e| PipelineError::Trap(format!("{}: {e}", compiled.name)))?;
     }
-    Ok(mote.cycles - start)
+    Ok((mote.cycles - start, mote.pmu.snapshot()))
 }
 
 /// Expected per-invocation edge traversal frequencies under a probability

@@ -14,10 +14,14 @@ use ct_placement::{place_with_confidence, Strategy, MIN_PLACEMENT_CONFIDENCE};
 /// A replayed layout measurement: what the layout cost on identical inputs.
 #[derive(Debug, Clone)]
 pub struct Evaluated {
-    /// Branch-taken/misprediction accounting under the replayed profile.
+    /// Branch-taken/misprediction accounting under the replayed profile
+    /// (analytical: truth profile × penalty arithmetic).
     pub cost: LayoutCost,
     /// Total cycles the replayed workload consumed.
     pub cycles: u64,
+    /// The replay mote's virtual-PMU counters: the *measured* side of the
+    /// same accounting, for predicted-vs-measured comparisons.
+    pub pmu: ct_mote::pmu::PmuSnapshot,
 }
 
 /// The full pipeline's final artifact: measure → estimate → place →
@@ -244,12 +248,21 @@ mod tests {
 
     #[test]
     fn full_run_improves_or_preserves_mispredictions() {
+        use ct_cfg::layout::BranchPredictor;
         let report = sense(800, 11).run(Strategy::Best).unwrap();
         assert!(report.before.cycles > 0);
         assert!(
             report.after.cost.misprediction_rate()
                 <= report.before.cost.misprediction_rate() + 1e-9
         );
+        // The measured (PMU) rates must tell the same story as the
+        // analytical ones.
+        let measured = |e: &Evaluated| {
+            e.pmu
+                .proc(report.run.pid)
+                .misprediction_rate(BranchPredictor::AlwaysNotTaken)
+        };
+        assert!(measured(&report.after) <= measured(&report.before) + 1e-9);
     }
 
     #[test]
@@ -259,6 +272,33 @@ mod tests {
         let e = session.evaluate(&Layout::natural(run.cfg())).unwrap();
         assert!(e.cycles > 0);
         assert_eq!(e.cost.branches_taken + e.cost.branches_not_taken, 200);
+    }
+
+    #[test]
+    fn pmu_measures_exactly_what_the_cost_model_charges() {
+        use ct_cfg::layout::BranchPredictor;
+        // The replay's analytical cost (truth profile × penalty model) and
+        // the virtual PMU count the same transfers of the same execution —
+        // they must agree *exactly*, not approximately.
+        let session = sense(250, 9);
+        let run = session.collect().unwrap();
+        for layout in [
+            Layout::natural(run.cfg()),
+            session.place(&run, &run.truth, Strategy::Best).unwrap(),
+        ] {
+            let e = session.evaluate(&layout).unwrap();
+            let c = e.pmu.proc(run.pid);
+            assert_eq!(c.cond_taken, e.cost.branches_taken);
+            assert_eq!(c.cond_not_taken, e.cost.branches_not_taken);
+            assert_eq!(c.jumps, e.cost.jumps_executed);
+            assert_eq!(
+                c.mispredictions(BranchPredictor::AlwaysNotTaken),
+                e.cost.mispredicted
+            );
+            // Exclusive PMU windows partition the cycles consumed inside
+            // activations; nothing outside them runs in this workload.
+            assert_eq!(e.pmu.total.cycles, e.cycles);
+        }
     }
 
     #[test]

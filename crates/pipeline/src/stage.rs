@@ -260,6 +260,9 @@ pub struct AppRun {
     pub invocations: u64,
     /// Total cycles consumed by the run.
     pub cycles_used: u64,
+    /// The mote's virtual-PMU counter bank at collection time: measured
+    /// branch/jump/call counts and per-procedure cycle attribution.
+    pub pmu: ct_mote::pmu::PmuSnapshot,
 }
 
 impl AppRun {
@@ -273,6 +276,38 @@ impl AppRun {
     pub fn batch(&self) -> SampleBatch {
         SampleBatch::from_samples(&self.samples)
     }
+}
+
+/// Records a run's PMU totals into the always-on counter registry (and,
+/// when streaming, as a `pmu.totals` event). Counters sum over every
+/// `Collect` in the process — the profiled run plus both evaluate replays
+/// — so the manifest's `pmu` section is the whole pipeline's transfer
+/// census, deterministic at any thread count.
+fn record_pmu(pmu: &ct_mote::pmu::PmuSnapshot) {
+    let t = &pmu.total;
+    ct_obs::Counter::new("pmu.cond_taken").add(t.cond_taken);
+    ct_obs::Counter::new("pmu.cond_not_taken").add(t.cond_not_taken);
+    ct_obs::Counter::new("pmu.jumps").add(t.jumps);
+    ct_obs::Counter::new("pmu.fall_throughs").add(t.fall_throughs);
+    ct_obs::Counter::new("pmu.calls").add(t.calls);
+    ct_obs::Counter::new("pmu.returns").add(t.returns);
+    ct_obs::Counter::new("pmu.mispred_ant").add(t.mispred_ant);
+    ct_obs::Counter::new("pmu.mispred_btfnt").add(t.mispred_btfnt);
+    ct_obs::Counter::new("pmu.cycles").add(t.cycles);
+    ct_obs::emit(
+        "pmu.totals",
+        vec![
+            ("cond_taken", t.cond_taken.into()),
+            ("cond_not_taken", t.cond_not_taken.into()),
+            ("jumps", t.jumps.into()),
+            ("fall_throughs", t.fall_throughs.into()),
+            ("calls", t.calls.into()),
+            ("returns", t.returns.into()),
+            ("mispred_ant", t.mispred_ant.into()),
+            ("mispred_btfnt", t.mispred_btfnt.into()),
+            ("cycles", t.cycles.into()),
+        ],
+    );
 }
 
 /// Extracts the run artifacts: samples, ground truth, static costs.
@@ -298,7 +333,10 @@ impl Stage for Collect {
         let pid = compiled.pid;
         let program = compiled.program;
         let cfg = &program.procs[pid.index()].cfg;
+        let pmu = mote.pmu.snapshot();
+        record_pmu(&pmu);
         Ok(AppRun {
+            pmu,
             counted_loops: program.procs[pid.index()].counted_loops.clone(),
             block_costs: mote.static_block_costs(pid).to_vec(),
             edge_costs: mote.static_edge_costs(pid).to_vec(),
@@ -586,5 +624,6 @@ pub(crate) fn replay(config: &RunConfig, layout: Layout) -> Result<Evaluated, Pi
     Ok(Evaluated {
         cost,
         cycles: run.cycles_used,
+        pmu: run.pmu,
     })
 }

@@ -1,0 +1,54 @@
+//! PMU determinism golden test: virtual-PMU counters are a pure function
+//! of the executed path, so they must be bitwise identical across thread
+//! counts, across fleet-vs-session composition, and across traced and
+//! untraced runs — the counter half of the zero-observer-effect contract
+//! (`trace_golden` pins the estimation half).
+//!
+//! One `#[test]` owns the process globals (ct-obs registry, `CT_THREADS`);
+//! splitting it would race the harness's parallel test threads.
+
+use ct_pipeline::{Fleet, PmuSnapshot, RunConfig, Session};
+
+fn fleet_pmu(threads: &str, motes: usize) -> PmuSnapshot {
+    std::env::set_var("CT_THREADS", threads);
+    ct_obs::reset();
+    let config = RunConfig::new("sense").invocations(150).seeded(21);
+    let fr = Fleet::new(config, motes).run().expect("fleet runs");
+    ct_obs::reset();
+    fr.pmu
+}
+
+#[test]
+fn pmu_counters_are_thread_and_observer_insensitive() {
+    // Fleet merge order is a left fold over par_map results; any thread
+    // count must produce the identical counter bank.
+    let t1 = fleet_pmu("1", 3);
+    let t4 = fleet_pmu("4", 3);
+    assert_eq!(t1, t4, "PMU counters depend on CT_THREADS");
+
+    // Fleet(1) is defined to reproduce the single-mote Session path.
+    let f1 = fleet_pmu("1", 1);
+    std::env::set_var("CT_THREADS", "1");
+    ct_obs::reset();
+    let single = Session::new(RunConfig::new("sense").invocations(150).seeded(21))
+        .collect()
+        .expect("session collects");
+    ct_obs::reset();
+    assert_eq!(f1, single.pmu, "Fleet(1) PMU differs from Session");
+
+    // Tracing must not perturb the counters (the PMU never sees the
+    // observability layer at all — pin it anyway).
+    ct_obs::reset();
+    ct_obs::set_stream_enabled(true);
+    let traced = Session::new(RunConfig::new("sense").invocations(150).seeded(21))
+        .collect()
+        .expect("traced session collects");
+    ct_obs::set_stream_enabled(false);
+    ct_obs::reset();
+    assert_eq!(single.pmu, traced.pmu, "tracing perturbed PMU counters");
+
+    // And the bank is not trivially empty: the workload branched.
+    assert!(t1.total.cond_taken + t1.total.cond_not_taken > 0);
+    assert!(t1.total.calls >= 450, "3 motes x 150 invocations");
+    assert!(t1.total.cycles > 0);
+}

@@ -19,6 +19,9 @@ struct Fingerprint {
     layout: Vec<u32>,
     before_cycles: u64,
     after_cycles: u64,
+    run_pmu: ct_pipeline::PmuSnapshot,
+    before_pmu: ct_pipeline::PmuSnapshot,
+    after_pmu: ct_pipeline::PmuSnapshot,
 }
 
 fn run_pipeline(traced: bool, threads: &str) -> (Fingerprint, Option<String>) {
@@ -42,6 +45,9 @@ fn run_pipeline(traced: bool, threads: &str) -> (Fingerprint, Option<String>) {
         layout: report.layout.order().iter().map(|b| b.0).collect(),
         before_cycles: report.before.cycles,
         after_cycles: report.after.cycles,
+        run_pmu: report.run.pmu.clone(),
+        before_pmu: report.before.pmu.clone(),
+        after_pmu: report.after.pmu.clone(),
     };
     let jsonl = traced.then(|| ct_obs::render_jsonl(&ct_obs::snapshot()));
     ct_obs::set_stream_enabled(false);
@@ -141,6 +147,15 @@ fn tracing_is_schema_stable_and_observer_effect_free() {
             .iter()
             .any(|l| l.starts_with("{\"event\":\"place.decision\"")),
         "no place.decision event in:\n{jsonl_1}"
+    );
+    // One pmu.totals per Collect: the profiled run plus both replays.
+    assert_eq!(
+        lines
+            .iter()
+            .filter(|l| l.starts_with("{\"event\":\"pmu.totals\""))
+            .count(),
+        3,
+        "expected pmu.totals from the run and both replays in:\n{jsonl_1}"
     );
 
     // Determinism contract: with the volatile timing fields stripped, the

@@ -6,8 +6,8 @@
 //! module provides the fractional scorer and a best-of selector, so the
 //! optimizer and the simulator use the same penalty arithmetic.
 
-use ct_cfg::graph::{Cfg, EdgeKind};
-use ct_cfg::layout::{Layout, PenaltyModel, TransferKind};
+use ct_cfg::graph::Cfg;
+use ct_cfg::layout::{BranchPredictor, Layout, PenaltyModel, TransferKind};
 
 /// Expected extra cycles and misprediction statistics of a layout under
 /// fractional edge frequencies.
@@ -21,21 +21,30 @@ pub struct ExpectedLayoutCost {
     pub jumps_executed: f64,
     /// Expected extra cycles per invocation.
     pub extra_cycles: f64,
+    /// Expected conditional executions the scoring [`BranchPredictor`]
+    /// gets wrong. Equal to `branches_taken` under
+    /// [`BranchPredictor::AlwaysNotTaken`] (the default scorer).
+    pub mispredicted: f64,
 }
 
 impl ExpectedLayoutCost {
-    /// Expected misprediction rate (taken / all conditional executions).
+    /// Expected misprediction rate (mispredicted / all conditional
+    /// executions) under the predictor this cost was scored with.
     pub fn misprediction_rate(&self) -> f64 {
         let total = self.branches_taken + self.branches_not_taken;
         if total <= 0.0 {
             0.0
         } else {
-            self.branches_taken / total
+            self.mispredicted / total
         }
     }
 }
 
-/// Scores `layout` against expected per-edge traversal frequencies.
+/// Scores `layout` against expected per-edge traversal frequencies under
+/// the [`BranchPredictor::AlwaysNotTaken`] model — the rule both MCU
+/// presets charge penalties for, and the model the virtual PMU's
+/// `mispred_ant` counter measures, so prediction and measurement agree by
+/// construction.
 ///
 /// # Panics
 ///
@@ -46,6 +55,30 @@ pub fn expected_cost(
     edge_freq: &[f64],
     penalties: &PenaltyModel,
 ) -> ExpectedLayoutCost {
+    expected_cost_under(
+        cfg,
+        layout,
+        edge_freq,
+        penalties,
+        BranchPredictor::AlwaysNotTaken,
+    )
+}
+
+/// Scores `layout` with an explicit predictor model deciding which
+/// expected conditional executions mispredict. The penalty arithmetic
+/// (`extra_cycles`) is predictor-independent — it is what the layout costs
+/// on the machine.
+///
+/// # Panics
+///
+/// Panics if `edge_freq.len()` differs from the edge count.
+pub fn expected_cost_under(
+    cfg: &Cfg,
+    layout: &Layout,
+    edge_freq: &[f64],
+    penalties: &PenaltyModel,
+    predictor: BranchPredictor,
+) -> ExpectedLayoutCost {
     let edges = cfg.edges();
     assert_eq!(
         edge_freq.len(),
@@ -53,28 +86,29 @@ pub fn expected_cost(
         "one frequency per edge required"
     );
     let mut cost = ExpectedLayoutCost::default();
-    for e in &edges {
+    for (e, t) in edges.iter().zip(layout.edge_transfers(cfg)) {
         let f = edge_freq[e.index];
         if f <= 0.0 {
             continue;
         }
-        let conditional = matches!(e.kind, EdgeKind::BranchTrue | EdgeKind::BranchFalse);
-        match layout.transfer_kind(cfg, e.from, e.to) {
-            TransferKind::FallThrough => {
-                if conditional {
-                    cost.branches_not_taken += f;
-                }
-            }
+        match t.kind {
+            TransferKind::FallThrough => {}
             TransferKind::TakenBranch | TransferKind::TakenBranchOverJump => {
-                cost.branches_taken += f;
                 cost.extra_cycles += f * penalties.taken_branch_extra as f64;
             }
             TransferKind::Jump => {
                 cost.jumps_executed += f;
                 cost.extra_cycles += f * penalties.jump_cycles as f64;
-                if conditional {
-                    cost.branches_not_taken += f;
-                }
+            }
+        }
+        if t.conditional {
+            if t.taken {
+                cost.branches_taken += f;
+            } else {
+                cost.branches_not_taken += f;
+            }
+            if predictor.mispredicts(t.taken, t.backward_target) {
+                cost.mispredicted += f;
             }
         }
     }
@@ -137,6 +171,80 @@ mod tests {
             Layout::from_order(&cfg, vec![BlockId(0), BlockId(1), BlockId(3), BlockId(2)]).unwrap();
         let best = best_layout(&cfg, vec![natural.clone(), hot.clone()], &freq, &pen);
         assert_eq!(best, hot);
+    }
+
+    #[test]
+    fn ant_scoring_pins_mispredicted_to_branches_taken() {
+        // Regression pin for the predictor-model unification: the default
+        // (always-not-taken) scorer must reproduce the pre-PMU numbers
+        // bitwise — mispredicted IS branches_taken, and the rate is the
+        // taken fraction, exactly as before.
+        let cfg = diamond();
+        let pen = PenaltyModel::avr();
+        for freq in [
+            [30.0, 10.0, 30.0, 10.0],
+            [0.25, 0.75, 0.25, 0.75],
+            [1e6, 1.0, 1e6, 1.0],
+        ] {
+            for layout in [
+                Layout::natural(&cfg),
+                Layout::from_order(&cfg, vec![BlockId(0), BlockId(1), BlockId(3), BlockId(2)])
+                    .unwrap(),
+                Layout::from_order(&cfg, vec![BlockId(0), BlockId(3), BlockId(1), BlockId(2)])
+                    .unwrap(),
+            ] {
+                let c = expected_cost(&cfg, &layout, &freq, &pen);
+                assert_eq!(c.mispredicted.to_bits(), c.branches_taken.to_bits());
+                let total = c.branches_taken + c.branches_not_taken;
+                if total > 0.0 {
+                    assert_eq!(
+                        c.misprediction_rate().to_bits(),
+                        (c.branches_taken / total).to_bits()
+                    );
+                }
+                let under = crate::cost_model::expected_cost_under(
+                    &cfg,
+                    &layout,
+                    &freq,
+                    &pen,
+                    ct_cfg::layout::BranchPredictor::AlwaysNotTaken,
+                );
+                assert_eq!(c, under);
+            }
+        }
+    }
+
+    #[test]
+    fn btfnt_scoring_relabels_but_never_recharges() {
+        use ct_cfg::graph::Terminator;
+        use ct_cfg::layout::BranchPredictor;
+        // A self-loop: the back-edge's taken-target is backward, where the
+        // two predictor models disagree.
+        let mut cfg = ct_cfg::graph::Cfg::new("self_loop");
+        cfg.add_block(
+            "head",
+            Terminator::Branch {
+                on_true: BlockId(0),
+                on_false: BlockId(1),
+            },
+        );
+        cfg.add_block("exit", Terminator::Return);
+        cfg.validate().unwrap();
+        let l = Layout::natural(&cfg);
+        let pen = PenaltyModel::avr();
+        let freq = [9.0, 1.0];
+        let ant = crate::cost_model::expected_cost_under(
+            &cfg,
+            &l,
+            &freq,
+            &pen,
+            BranchPredictor::AlwaysNotTaken,
+        );
+        let btfnt =
+            crate::cost_model::expected_cost_under(&cfg, &l, &freq, &pen, BranchPredictor::Btfnt);
+        assert!((ant.mispredicted - 9.0).abs() < 1e-12);
+        assert!((btfnt.mispredicted - 1.0).abs() < 1e-12);
+        assert_eq!(ant.extra_cycles.to_bits(), btfnt.extra_cycles.to_bits());
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub mod traces;
 pub use apply::{
     place_procedure, place_program, place_with_confidence, Strategy, MIN_PLACEMENT_CONFIDENCE,
 };
-pub use cost_model::{best_layout, expected_cost, ExpectedLayoutCost};
+pub use cost_model::{best_layout, expected_cost, expected_cost_under, ExpectedLayoutCost};
 pub use pettis_hansen::{pettis_hansen, pettis_hansen_raw};
 pub use polarity::{alignment_rate, branch_alignments, BranchAlignment};
 pub use traces::greedy_traces;

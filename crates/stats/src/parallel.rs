@@ -63,14 +63,23 @@ where
     let outputs: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            scope.spawn(|| {
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = inputs[i].lock().unwrap().take().expect("item taken once");
+                    let result = f(item);
+                    *outputs[i].lock().unwrap() = Some(result);
                 }
-                let item = inputs[i].lock().unwrap().take().expect("item taken once");
-                let result = f(item);
-                *outputs[i].lock().unwrap() = Some(result);
+                // Merge this worker's observability buffer before the scope
+                // unblocks. `thread::scope` returns once worker *closures*
+                // finish; TLS destructors (the recorder's fallback drain)
+                // run after that signal, so a coordinator snapshotting right
+                // after par_map could otherwise miss worker-recorded
+                // counters — a thread-count-dependent undercount.
+                ct_obs::drain_thread();
             });
         }
     });
@@ -124,6 +133,34 @@ mod tests {
         let empty: Vec<u32> = par_map_with(4, Vec::<u32>::new(), |x| x);
         assert!(empty.is_empty());
         assert_eq!(par_map_with(4, vec![9u32], |x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn worker_counters_visible_when_par_map_returns() {
+        // Regression: workers record counters into thread-local buffers
+        // that TLS destructors drain *after* thread::scope unblocks, so
+        // without the explicit end-of-closure drain a snapshot taken right
+        // after par_map raced the workers and undercounted. Many rounds to
+        // give a reintroduced race a chance to lose.
+        for round in 0..50u64 {
+            let before = counter_value("t.parmap.drain");
+            let out = par_map_with(4, (0u64..8).collect(), |x| {
+                ct_obs::Counter::new("t.parmap.drain").incr();
+                x
+            });
+            assert_eq!(out.len(), 8);
+            let after = counter_value("t.parmap.drain");
+            assert_eq!(after - before, 8, "round {round} lost counter increments");
+        }
+    }
+
+    fn counter_value(name: &str) -> u64 {
+        ct_obs::snapshot()
+            .counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
     }
 
     #[test]

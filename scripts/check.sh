@@ -10,11 +10,11 @@ cargo fmt --all -- --check
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== cargo clippy (unwrap audit: ct-core, ct-faults, ct-obs) =="
-# Estimation, fault-injection, and observability paths must not panic on
-# data: surface any unwrap()/expect() as warnings so reviewers see every
-# remaining site.
-cargo clippy -p ct-core -p ct-faults -p ct-obs --all-targets -- \
+echo "== cargo clippy (unwrap audit: ct-core, ct-faults, ct-obs, ct-mote) =="
+# Estimation, fault-injection, observability, and mote-interpreter paths
+# must not panic on data: surface any unwrap()/expect() as warnings so
+# reviewers see every remaining site.
+cargo clippy -p ct-core -p ct-faults -p ct-obs -p ct-mote --all-targets -- \
     -W clippy::unwrap_used -W clippy::expect_used
 
 echo "== cargo doc (deny warnings) =="
@@ -43,5 +43,26 @@ CT_SMOKE=1 CT_TRACE_JSON="$trace_dir/trace.jsonl" \
     ./target/release/e1_accuracy > "$trace_dir/traced.out" 2> /dev/null
 diff "$trace_dir/plain.out" "$trace_dir/traced.out"
 ./target/release/ct-obs-report "$trace_dir/trace.jsonl" > /dev/null
+
+echo "== PMU golden smoke (counters thread-insensitive, e4 gate holds) =="
+# e4 enforces measured-after <= measured-before itself (exit 1 on any
+# regression); running it twice at different thread counts and diffing the
+# manifests pins the virtual PMU's determinism contract end to end.
+cargo build --release -p ct-bench --bin e4_placement
+cargo build --release -p ct-obs --bin ct-obs-diff
+CT_SMOKE=1 CT_THREADS=1 CT_MANIFEST="$trace_dir/e4_t1.json" \
+    ./target/release/e4_placement > /dev/null 2> /dev/null
+CT_SMOKE=1 CT_THREADS=4 CT_MANIFEST="$trace_dir/e4_t4.json" \
+    ./target/release/e4_placement > /dev/null 2> /dev/null
+./target/release/ct-obs-diff "$trace_dir/e4_t1.json" "$trace_dir/e4_t4.json"
+
+echo "== ct-obs-diff self-test (must flag a known-divergent pair) =="
+sed 's/"pmu.cycles": \([0-9]*\)/"pmu.cycles": 1/' "$trace_dir/e4_t1.json" \
+    > "$trace_dir/e4_bad.json"
+if ./target/release/ct-obs-diff "$trace_dir/e4_t1.json" "$trace_dir/e4_bad.json" \
+    > /dev/null; then
+    echo "ct-obs-diff failed to flag a divergent manifest" >&2
+    exit 1
+fi
 
 echo "== OK =="
