@@ -3,8 +3,11 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ct_apps::synthetic::diamond_chain_problem;
+use ct_core::em::EmOptions;
 use ct_core::estimator::{estimate, EstimateOptions, Method};
 use ct_core::samples::TimingSamples;
+use ct_core::stream::SuffStats;
+use ct_core::IncrementalEm;
 use ct_markov::chain_from_cfg;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -45,6 +48,30 @@ fn bench_estimators(c: &mut Criterion) {
             },
         );
     }
+    // Streaming path: the same 1000 samples arriving as 10 batches of 100,
+    // re-estimated after each. One iteration = one full 10-batch replay, so
+    // amortized µs/batch is mean_ns / 10 / 1000.
+    let deltas: Vec<SuffStats> = samples
+        .ticks()
+        .chunks(100)
+        .map(|c| {
+            let mut s = SuffStats::new(1);
+            for &t in c {
+                s.push(t);
+            }
+            s
+        })
+        .collect();
+    group.bench_function("em-incremental-10x100", |b| {
+        b.iter(|| {
+            let mut inc = IncrementalEm::new(1, EmOptions::default());
+            for d in black_box(&deltas) {
+                inc.ingest(d).unwrap();
+                inc.reestimate(black_box(&cfg), &bc, &ec).unwrap();
+            }
+            inc.last().unwrap().probs.clone()
+        });
+    });
     group.finish();
 }
 

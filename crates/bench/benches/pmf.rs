@@ -1,0 +1,49 @@
+//! Criterion microbenchmarks: windowed-convolution kernels — the tuple
+//! (`Vec<(u64, f64)>`) reference layout vs the structure-of-arrays [`Pmf`]
+//! layout the E-step runs on, on dense (contiguous-support) and sparse
+//! (strided-support) operands.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ct_stats::pmf::{self, Pmf};
+use std::hint::black_box;
+
+/// A normalized PMF with `len` support points starting at `base`, strided by
+/// `stride`, with deterministically varied masses.
+fn synth(base: u64, stride: u64, len: usize) -> Vec<(u64, f64)> {
+    let raw: Vec<(u64, f64)> = (0..len)
+        .map(|i| (base + i as u64 * stride, 1.0 + ((i * 37) % 11) as f64))
+        .collect();
+    let total: f64 = raw.iter().map(|&(_, m)| m).sum();
+    raw.into_iter().map(|(k, m)| (k, m / total)).collect()
+}
+
+fn bench_convolution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pmf");
+    let cases = [
+        ("dense", synth(40, 1, 512), synth(100, 1, 512)),
+        ("sparse", synth(40, 97, 512), synth(100, 89, 512)),
+    ];
+    for (name, f, g) in &cases {
+        let shift = 25u64;
+        // A window clipping the middle of the product support, like the
+        // E-step's per-observation duration windows.
+        let lo = f[len_q(f, 1)].0 + g[len_q(g, 1)].0 + shift;
+        let hi = f[len_q(f, 3)].0 + g[len_q(g, 3)].0 + shift;
+        let (fp, gp) = (Pmf::from_sorted(f.clone()), Pmf::from_sorted(g.clone()));
+        group.bench_function(format!("convolve-tuple/{name}"), |b| {
+            b.iter(|| pmf::convolve_window(black_box(f), black_box(g), shift, lo, hi));
+        });
+        group.bench_function(format!("convolve-soa/{name}"), |b| {
+            b.iter(|| pmf::convolve_window_pmf(black_box(&fp), black_box(&gp), shift, lo, hi));
+        });
+    }
+    group.finish();
+}
+
+/// Index of the q-th quartile point of a support list.
+fn len_q(p: &[(u64, f64)], q: usize) -> usize {
+    (p.len() * q / 4).min(p.len() - 1)
+}
+
+criterion_group!(benches, bench_convolution);
+criterion_main!(benches);

@@ -1,0 +1,252 @@
+//! `bench_guard` — maintains and gates the BENCH_fb.json benchmark
+//! trajectory.
+//!
+//! BENCH_fb.json is an append-only history of benchmark runs (schema
+//! `bench_fb/2`), not a single snapshot: each `scripts/bench_fb.sh` run
+//! appends one timestamped entry, and check.sh fails when the newest
+//! `estimators/em` mean regresses more than the allowed percentage against
+//! the best (lowest) previously recorded run.
+//!
+//! Subcommands:
+//!
+//! - `append <file> <threads> <e1_ms>` — reads criterion-shim `bench:` lines
+//!   on stdin, appends one run to the trajectory (migrating a legacy
+//!   single-snapshot file into the first run, timestamped 0).
+//! - `check <file> [max_regress_pct]` — regression gate (default 15%).
+//! - `validate <file>` — strict schema validation of the trajectory.
+
+use ct_obs::json::{parse, write_escaped, Json};
+use std::io::Read;
+use std::process::ExitCode;
+
+const SCHEMA: &str = "bench_fb/2";
+const GUARD_KERNEL: &str = "estimators/em";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("append") if args.len() == 4 => append(&args[1], &args[2], &args[3]),
+        Some("check") if args.len() == 2 || args.len() == 3 => {
+            check(&args[1], args.get(2).map(String::as_str))
+        }
+        Some("validate") if args.len() == 2 => validate_file(&args[1]),
+        _ => Err(concat!(
+            "usage: bench_guard append <file> <threads> <e1_ms>  (bench: lines on stdin)\n",
+            "       bench_guard check <file> [max_regress_pct]\n",
+            "       bench_guard validate <file>"
+        )
+        .to_string()),
+    };
+    match result {
+        Ok(msg) => {
+            println!("{msg}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("bench_guard: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// One benchmark run in the trajectory.
+struct Run {
+    timestamp: u64,
+    threads: f64,
+    e1_ms: f64,
+    kernels: Vec<(String, f64)>,
+}
+
+/// Loads a trajectory, migrating the legacy single-snapshot schema (a bare
+/// object with top-level `kernels`) into a one-run history stamped 0.
+fn load_runs(path: &str) -> Result<Vec<Run>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(_) => return Ok(Vec::new()), // no history yet
+    };
+    let doc = parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let runs_json: Vec<&Json> = match (doc.get("schema").and_then(Json::as_str), doc.get("runs")) {
+        (Some(SCHEMA), Some(Json::Arr(runs))) => runs.iter().collect(),
+        (Some(other), _) => return Err(format!("{path}: unknown schema {other:?}")),
+        // Legacy snapshot: treat the whole document as the only run.
+        _ => vec![&doc],
+    };
+    let mut runs = Vec::with_capacity(runs_json.len());
+    for (i, r) in runs_json.iter().enumerate() {
+        runs.push(parse_run(r).map_err(|e| format!("{path}: run {i}: {e}"))?);
+    }
+    Ok(runs)
+}
+
+fn parse_run(r: &Json) -> Result<Run, String> {
+    let num = |key: &str| -> Result<f64, String> {
+        r.get(key)
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("missing numeric field {key:?}"))
+    };
+    let kernels_json = match r.get("kernels") {
+        Some(Json::Arr(k)) => k,
+        _ => return Err("missing kernels array".to_string()),
+    };
+    let mut kernels = Vec::with_capacity(kernels_json.len());
+    for k in kernels_json {
+        let name = k
+            .get("kernel")
+            .and_then(Json::as_str)
+            .ok_or("kernel entry missing name")?;
+        let ns = k
+            .get("mean_ns_per_iter")
+            .and_then(Json::as_num)
+            .ok_or("kernel entry missing mean_ns_per_iter")?;
+        if !(ns.is_finite() && ns >= 0.0) {
+            return Err(format!("kernel {name:?}: invalid mean {ns}"));
+        }
+        kernels.push((name.to_string(), ns));
+    }
+    Ok(Run {
+        timestamp: r.get("timestamp").and_then(Json::as_num).unwrap_or(0.0) as u64,
+        threads: num("threads")?,
+        e1_ms: num("e1_accuracy_wall_ms")?,
+        kernels,
+    })
+}
+
+/// Renders a number the way the shell writer did: integers exactly, floats
+/// with their shortest round-trip form.
+fn write_num(out: &mut String, n: f64) {
+    if n.fract() == 0.0 && n.abs() < 9e15 {
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        out.push_str(&format!("{n}"));
+    }
+}
+
+fn render(runs: &[Run]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": ");
+    write_escaped(&mut out, SCHEMA);
+    out.push_str(",\n  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        out.push_str("    {\"timestamp\": ");
+        write_num(&mut out, r.timestamp as f64);
+        out.push_str(", \"threads\": ");
+        write_num(&mut out, r.threads);
+        out.push_str(", \"e1_accuracy_wall_ms\": ");
+        write_num(&mut out, r.e1_ms);
+        out.push_str(", \"kernels\": [\n");
+        for (j, (name, ns)) in r.kernels.iter().enumerate() {
+            out.push_str("      {\"kernel\": ");
+            write_escaped(&mut out, name);
+            out.push_str(", \"mean_ns_per_iter\": ");
+            write_num(&mut out, *ns);
+            out.push('}');
+            out.push_str(if j + 1 < r.kernels.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("    ]}");
+        out.push_str(if i + 1 < runs.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn append(path: &str, threads: &str, e1_ms: &str) -> Result<String, String> {
+    let threads: f64 = threads
+        .parse()
+        .map_err(|_| format!("bad thread count {threads:?}"))?;
+    let e1_ms: f64 = e1_ms
+        .parse()
+        .map_err(|_| format!("bad e1 wall-ms {e1_ms:?}"))?;
+    let mut stdin = String::new();
+    std::io::stdin()
+        .read_to_string(&mut stdin)
+        .map_err(|e| format!("reading stdin: {e}"))?;
+    // "bench: <label> ... <mean_ns> ns/iter (<N> iters)"
+    let mut kernels = Vec::new();
+    for line in stdin.lines() {
+        let Some(rest) = line.strip_prefix("bench: ") else {
+            continue;
+        };
+        let Some((label, tail)) = rest.split_once(" ... ") else {
+            continue;
+        };
+        let Some(ns_text) = tail.split(" ns/iter").next() else {
+            continue;
+        };
+        let ns: f64 = ns_text
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad bench line {line:?}"))?;
+        kernels.push((label.to_string(), ns));
+    }
+    if kernels.is_empty() {
+        return Err("no bench: lines on stdin".to_string());
+    }
+    let timestamp = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut runs = load_runs(path)?;
+    runs.push(Run {
+        timestamp,
+        threads,
+        e1_ms,
+        kernels,
+    });
+    std::fs::write(path, render(&runs)).map_err(|e| format!("writing {path}: {e}"))?;
+    Ok(format!("appended run {} to {path}", runs.len()))
+}
+
+fn check(path: &str, max_pct: Option<&str>) -> Result<String, String> {
+    let max_pct: f64 = match max_pct {
+        Some(p) => p
+            .parse()
+            .map_err(|_| format!("bad regression percentage {p:?}"))?,
+        None => 15.0,
+    };
+    let runs = load_runs(path)?;
+    let latest = runs.last().ok_or("no recorded runs")?;
+    let em_of = |r: &Run| {
+        r.kernels
+            .iter()
+            .find(|(k, _)| k == GUARD_KERNEL)
+            .map(|&(_, ns)| ns)
+    };
+    let current = em_of(latest).ok_or_else(|| format!("latest run lacks {GUARD_KERNEL}"))?;
+    let best = runs[..runs.len() - 1]
+        .iter()
+        .filter_map(em_of)
+        .fold(f64::INFINITY, f64::min);
+    if !best.is_finite() {
+        return Ok(format!(
+            "{GUARD_KERNEL}: {current:.0} ns/iter (first recorded run; nothing to gate against)"
+        ));
+    }
+    let limit = best * (1.0 + max_pct / 100.0);
+    if current > limit {
+        return Err(format!(
+            "{GUARD_KERNEL} regressed: {current:.0} ns/iter vs best {best:.0} \
+             (limit {limit:.0}, +{max_pct}%)"
+        ));
+    }
+    Ok(format!(
+        "{GUARD_KERNEL}: {current:.0} ns/iter vs best {best:.0} (within +{max_pct}%)"
+    ))
+}
+
+fn validate_file(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(SCHEMA) => {}
+        Some(other) => return Err(format!("{path}: schema {other:?}, want {SCHEMA:?}")),
+        None => return Err(format!("{path}: missing schema marker (legacy snapshot?)")),
+    }
+    let runs = load_runs(path)?;
+    if runs.is_empty() {
+        return Err(format!("{path}: empty run history"));
+    }
+    Ok(format!(
+        "{path}: valid {SCHEMA} trajectory with {} run(s)",
+        runs.len()
+    ))
+}

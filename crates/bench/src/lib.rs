@@ -21,6 +21,7 @@
 //! | `e11_model_error` | robustness to block-cost model error (Table, extension) |
 //! | `e12_cross_mcu` | cross-MCU pipeline + energy (Table, extension) |
 //! | `e13_faults` | naive EM vs degradation ladder under channel faults (Table, extension) |
+//! | `e14_incremental` | incremental warm-started EM over SuffStats batches vs cold re-estimation (Table, extension) |
 //!
 //! Each binary drives the typed `ct-pipeline` flow (one seeded
 //! [`ct_pipeline::Session`] per measurement cell), prints a markdown table

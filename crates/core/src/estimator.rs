@@ -48,7 +48,7 @@ pub struct EstimateOptions {
     pub em: EmOptions,
     /// Moments controls.
     pub moments: MomentsOptions,
-    /// Extra random EM restarts beyond the moments-warm start (the best
+    /// Extra random EM restarts beyond the flow-warm start (the best
     /// final likelihood wins). Coarse timers create mirror local optima when
     /// arm-cost differences are sub-tick; restarts are the standard cure.
     pub restarts: usize,
@@ -200,13 +200,17 @@ fn run_em<S: DurationSamples + Sync + ?Sized>(
     samples: &S,
     opts: EstimateOptions,
 ) -> Result<Estimate, FbError> {
-    // Warm-start from a cheap moments fit: long loops at the uniform prior
-    // make long observed durations exponentially unlikely (they fall below
-    // the DP's pruning threshold and EM cannot move); starting near the
-    // right mean fixes that. Clamp away from 1 so loop supports stay finite.
-    let moments_init = match estimate_moments(cfg, block_costs, edge_costs, samples, opts.moments) {
-        Ok(m) => {
-            let clamped: Vec<f64> = m
+    // Warm-start from a cheap mean-matching flow fit: long loops at the
+    // uniform prior make long observed durations exponentially unlikely (they
+    // fall below the DP's pruning threshold and EM cannot move); starting
+    // near the right mean fixes that. The flow NNLS solves one small linear
+    // system (microseconds) where the former moments warm start ran a full
+    // coordinate-descent sweep (milliseconds) — for warm-starting, matching
+    // the mean is all that matters, and EM's fixed point is unchanged. Clamp
+    // away from 0 and 1 so loop supports stay finite.
+    let warm_init = match estimate_flow(cfg, block_costs, edge_costs, samples) {
+        Ok(f) => {
+            let clamped: Vec<f64> = f
                 .probs
                 .as_slice()
                 .iter()
@@ -217,9 +221,9 @@ fn run_em<S: DurationSamples + Sync + ?Sized>(
         Err(_) => ct_cfg::profile::BranchProbs::uniform(cfg, 0.5),
     };
 
-    // Candidate starting points: the moments fit plus seeded random probes.
-    let n_branches = moments_init.len();
-    let mut inits = vec![moments_init];
+    // Candidate starting points: the flow fit plus seeded random probes.
+    let n_branches = warm_init.len();
+    let mut inits = vec![warm_init];
     let mut state = 0x0C0D_E70Au64;
     for _ in 0..opts.restarts {
         let probe: Vec<f64> = (0..n_branches)
@@ -243,7 +247,7 @@ fn run_em<S: DurationSamples + Sync + ?Sized>(
         let res = crate::em::estimate_em_from(cfg, block_costs, edge_costs, samples, init, opts.em);
         match &res {
             Ok(r) => {
-                // Restart 0 is the moments warm start, the rest are seeded
+                // Restart 0 is the flow warm start, the rest are seeded
                 // probes. All fields are deterministic engine outputs, so
                 // the event content is thread-count-insensitive.
                 let reason = if r.converged {
@@ -761,6 +765,7 @@ mod tests {
         opts.em.fb = FbParams {
             mass_eps: 1e-12,
             max_entries: 3,
+            ..FbParams::default()
         };
         let e = estimate(&cfg, &bc, &ec, &samples, opts).unwrap();
         assert_eq!(e.method, Method::Moments);

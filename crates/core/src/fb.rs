@@ -31,11 +31,12 @@
 //!   observed ticks against it, instead of rescanning the `f ⊗ g` product
 //!   for every `(sample, edge)` pair.
 
-use crate::quantize::{duration_window, pmf_tick_score};
+use crate::quantize::{duration_window, pmf_tick_score_soa};
 use crate::samples::DurationSamples;
 use ct_cfg::graph::{Cfg, Terminator};
 use ct_cfg::profile::BranchProbs;
-use ct_stats::pmf;
+use ct_stats::cache::{ConvCache, ConvKey};
+use ct_stats::pmf::{self, Pmf};
 use std::error::Error;
 use std::fmt;
 
@@ -48,6 +49,20 @@ pub struct FbParams {
     /// Cap on total `(block, time)` expansions per dynamic program
     /// (runaway-loop guard).
     pub max_entries: usize,
+    /// Largest time key the DPs keep (inclusive); entries beyond it are
+    /// dropped **silently** (not counted as truncated — they are not lost
+    /// to approximation, they are provably unreachable by the caller).
+    ///
+    /// [`e_step`] sets this to the upper edge of the largest observed
+    /// tick's [`duration_window`]: a forward arrival `t`, a backward
+    /// remainder `s`, or a duration key `d` beyond that bound can never
+    /// enter any tick score (`t ≤ d ≤ hi`, `s ≤ d ≤ hi`), so the capped
+    /// E-step is **bit-identical** to the uncapped one while the DPs skip
+    /// every table entry past the observation horizon — on long unrolled
+    /// chains that is the majority of the support. `u64::MAX` (the
+    /// default) keeps the full support, e.g. for duration-distribution
+    /// queries.
+    pub time_cap: u64,
 }
 
 impl Default for FbParams {
@@ -55,6 +70,7 @@ impl Default for FbParams {
         FbParams {
             mass_eps: 1e-9,
             max_entries: 4_000_000,
+            time_cap: u64::MAX,
         }
     }
 }
@@ -96,22 +112,28 @@ impl fmt::Display for FbError {
 impl Error for FbError {}
 
 /// Sparse probability table per block: sorted `(cycles, probability)` pairs.
+/// This is the raw (array-of-structs) layout the propagation frontiers use;
+/// finished tables are stored structure-of-arrays as [`Pmf`].
 pub type SparsePmf = Vec<(u64, f64)>;
 
 /// Forward and backward tables for one parameter vector.
+///
+/// Tables are stored structure-of-arrays ([`Pmf`]): the E-step's convolution
+/// and scoring inner loops run over contiguous mass slices, and
+/// contiguous-support blocks skip binary-search windowing.
 #[derive(Debug, Clone)]
 pub struct FbTables {
     /// `forward[b]`: arrival distribution at block `b`.
-    pub forward: Vec<SparsePmf>,
+    pub forward: Vec<Pmf>,
     /// `backward[b]`: remaining-duration distribution from block `b`.
-    pub backward: Vec<SparsePmf>,
+    pub backward: Vec<Pmf>,
     /// Probability mass lost to `mass_eps` pruning (upper bound across DPs).
     pub truncated: f64,
 }
 
 impl FbTables {
     /// The procedure's end-to-end duration distribution (`g(entry, ·)`).
-    pub fn duration_pmf(&self, cfg: &Cfg) -> &SparsePmf {
+    pub fn duration_pmf(&self, cfg: &Cfg) -> &Pmf {
         &self.backward[cfg.entry().index()]
     }
 }
@@ -199,7 +221,7 @@ fn forward_table(
     is_return: &[bool],
     params: FbParams,
     truncated: &mut f64,
-) -> Result<Vec<SparsePmf>, FbError> {
+) -> Result<Vec<Pmf>, FbError> {
     let n = cfg.len();
     // Raw (uncoalesced) arrival contributions per block, coalesced at the end.
     let mut acc: Vec<Vec<(u64, f64)>> = vec![Vec::new(); n];
@@ -243,6 +265,9 @@ fn forward_table(
                         continue;
                     }
                     let t2 = t + c_b + edge_costs[ei];
+                    if t2 > params.time_cap {
+                        continue; // past the observation horizon: unreachable by any score
+                    }
                     next[v].push((t2, m));
                     acc[v].push((t2, m));
                 }
@@ -260,7 +285,7 @@ fn forward_table(
         .into_iter()
         .map(|mut v| {
             pmf::coalesce(&mut v);
-            v
+            Pmf::from_sorted(v)
         })
         .collect())
 }
@@ -284,7 +309,7 @@ fn backward_tables(
     is_return: &[bool],
     params: FbParams,
     truncated: &mut f64,
-) -> Result<Vec<SparsePmf>, FbError> {
+) -> Result<Vec<Pmf>, FbError> {
     let n = block_costs.len();
     let mut result: Vec<Vec<(u64, f64)>> = vec![Vec::new(); n];
     let mut cur: Vec<SparsePmf> = vec![Vec::new(); n];
@@ -292,6 +317,9 @@ fn backward_tables(
     for b in 0..n {
         if is_return[b] {
             let c = block_costs[b];
+            if c > params.time_cap {
+                continue; // past the observation horizon: unreachable by any score
+            }
             cur[b].push((c, 1.0));
             result[b].push((c, 1.0));
         }
@@ -325,6 +353,9 @@ fn backward_tables(
                         continue;
                     }
                     let t2 = t + edge_costs[ei] + block_costs[u];
+                    if t2 > params.time_cap {
+                        continue; // past the observation horizon: unreachable by any score
+                    }
                     next[u].push((t2, m));
                     result[u].push((t2, m));
                 }
@@ -342,7 +373,7 @@ fn backward_tables(
         .into_iter()
         .map(|mut v| {
             pmf::coalesce(&mut v);
-            v
+            Pmf::from_sorted(v)
         })
         .collect())
 }
@@ -357,6 +388,93 @@ pub struct EdgeExpectations {
     /// Samples whose observed ticks have (numerically) zero probability
     /// under the model — contamination or truncation casualties.
     pub unexplained: usize,
+}
+
+/// Iteration-to-iteration E-step state: version stamps for every block's
+/// forward/backward PMF plus the per-edge convolution cache they key.
+///
+/// After each table build the cache compares every block's PMF against the
+/// previous iteration **bitwise** ([`Pmf::bits_eq`]) and bumps the block's
+/// version stamp only on change. An edge whose source-arrival version,
+/// target-remaining version, shift, and scoring window all match the cached
+/// entry reuses the previous windowed convolution — bit-identical to
+/// recomputation, so cached and uncached runs are indistinguishable.
+///
+/// The cache is intentionally long-lived: held across EM iterations it
+/// skips convolutions for blocks untouched by a parameter move; held across
+/// batches (incremental estimation) it skips the *entire* first E-step's
+/// convolutions whenever the warm start reproduces the previous optimum's
+/// tables and the observed-tick window is unchanged.
+#[derive(Debug, Clone)]
+pub struct EStepCache {
+    conv: ConvCache,
+    f_version: Vec<u64>,
+    g_version: Vec<u64>,
+    prev_forward: Vec<Pmf>,
+    prev_backward: Vec<Pmf>,
+}
+
+impl Default for EStepCache {
+    fn default() -> Self {
+        EStepCache::new()
+    }
+}
+
+impl EStepCache {
+    /// An empty cache honoring the `CT_CONV_CACHE` environment knob.
+    pub fn new() -> EStepCache {
+        EStepCache::with_cache_enabled(ct_stats::cache::cache_enabled_from_env())
+    }
+
+    /// An empty cache with the enable switch forced (for A/B tests).
+    pub fn with_cache_enabled(enabled: bool) -> EStepCache {
+        EStepCache {
+            conv: ConvCache::with_enabled(0, enabled),
+            f_version: Vec::new(),
+            g_version: Vec::new(),
+            prev_forward: Vec::new(),
+            prev_backward: Vec::new(),
+        }
+    }
+
+    /// Version-stamps freshly built tables: bumps a block's stamp iff its
+    /// PMF changed bitwise since the previous call.
+    fn observe(&mut self, tables: &FbTables) {
+        let n = tables.forward.len();
+        if self.prev_forward.len() != n {
+            // First build (or a different CFG shape): stamp everything.
+            self.prev_forward = tables.forward.clone();
+            self.prev_backward = tables.backward.clone();
+            self.f_version = vec![1; n];
+            self.g_version = vec![1; n];
+            return;
+        }
+        for b in 0..n {
+            if !tables.forward[b].bits_eq(&self.prev_forward[b]) {
+                self.f_version[b] += 1;
+                self.prev_forward[b] = tables.forward[b].clone();
+            }
+            if !tables.backward[b].bits_eq(&self.prev_backward[b]) {
+                self.g_version[b] += 1;
+                self.prev_backward[b] = tables.backward[b].clone();
+            }
+        }
+    }
+
+    /// Convolutions answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.conv.hits()
+    }
+
+    /// Convolutions recomputed.
+    pub fn misses(&self) -> u64 {
+        self.conv.misses()
+    }
+
+    /// Whether cached results may be returned.
+    pub fn cache_enabled(&self) -> bool {
+        self.conv.enabled()
+    }
 }
 
 /// Runs one E-step: builds tables for `probs` and computes posterior expected
@@ -375,8 +493,57 @@ pub fn e_step<S: DurationSamples + ?Sized>(
     samples: &S,
     params: FbParams,
 ) -> Result<(EdgeExpectations, FbTables), FbError> {
-    let tables = compute_tables(cfg, block_costs, edge_costs, probs, params)?;
+    e_step_inner(cfg, block_costs, edge_costs, probs, samples, params, None)
+}
+
+/// [`e_step`] with a live [`EStepCache`]: edges whose factor PMFs and
+/// scoring window are unchanged since the previous call reuse their windowed
+/// convolution. Results are bit-identical to the uncached path.
+pub fn e_step_cached<S: DurationSamples + ?Sized>(
+    cfg: &Cfg,
+    block_costs: &[u64],
+    edge_costs: &[u64],
+    probs: &BranchProbs,
+    samples: &S,
+    params: FbParams,
+    cache: &mut EStepCache,
+) -> Result<(EdgeExpectations, FbTables), FbError> {
+    e_step_inner(
+        cfg,
+        block_costs,
+        edge_costs,
+        probs,
+        samples,
+        params,
+        Some(cache),
+    )
+}
+
+fn e_step_inner<S: DurationSamples + ?Sized>(
+    cfg: &Cfg,
+    block_costs: &[u64],
+    edge_costs: &[u64],
+    probs: &BranchProbs,
+    samples: &S,
+    params: FbParams,
+    mut cache: Option<&mut EStepCache>,
+) -> Result<(EdgeExpectations, FbTables), FbError> {
     let cpt = samples.cycles_per_tick();
+    let counted = samples.counted();
+    // Cap the DPs at the largest observed tick's window: no table entry
+    // beyond it can enter any score (see [`FbParams::time_cap`]), so this
+    // changes no output bit — it only stops the DPs from expanding support
+    // past the observation horizon.
+    let mut params = params;
+    if let Some(&(t_max, _)) = counted.last() {
+        if let Ok((_, hi)) = crate::quantize::try_duration_window(t_max, cpt) {
+            params.time_cap = params.time_cap.min(hi);
+        }
+    }
+    let tables = compute_tables(cfg, block_costs, edge_costs, probs, params)?;
+    if let Some(c) = cache.as_deref_mut() {
+        c.observe(&tables);
+    }
     let edges = cfg.edges();
     let edge_probs = probs.edge_probs(cfg);
     let duration = tables.duration_pmf(cfg);
@@ -388,8 +555,8 @@ pub fn e_step<S: DurationSamples + ?Sized>(
     // ticks — the support the per-edge convolutions are restricted to.
     let mut explained: Vec<(u64, usize, f64)> = Vec::new();
     let (mut win_lo, mut win_hi) = (u64::MAX, 0u64);
-    for (t_obs, n) in samples.counted() {
-        let z = pmf_tick_score(duration, t_obs, cpt);
+    for (t_obs, n) in counted {
+        let z = pmf_tick_score_soa(duration, t_obs, cpt);
         if z <= 1e-300 {
             unexplained += n;
             continue;
@@ -408,16 +575,53 @@ pub fn e_step<S: DurationSamples + ?Sized>(
                 continue;
             }
             let delta = block_costs[e.from.index()] + edge_costs[e.index];
-            let h = pmf::convolve_window(
-                &tables.forward[e.from.index()],
-                &tables.backward[e.to.index()],
-                delta,
-                win_lo,
-                win_hi,
+            let f_u = &tables.forward[e.from.index()];
+            let g_v = &tables.backward[e.to.index()];
+            if f_u.is_empty() || g_v.is_empty() {
+                continue;
+            }
+            // Tighten the union window to this edge's achievable support:
+            // no term of `f ⊗ g` shifted by `delta` lands outside
+            // [f.min + g.min + δ, f.max + g.max + δ], so clipping changes
+            // no output bit — it only shrinks the dense path's buffer from
+            // the full observed-duration range to the edge's own span.
+            let win_lo = win_lo.max(
+                f_u.keys()[0]
+                    .saturating_add(g_v.keys()[0])
+                    .saturating_add(delta),
             );
-            for &(t_obs, n, z) in &explained {
-                let acc = pmf_tick_score(&h, t_obs, cpt);
-                counts[e.index] += n as f64 * p_e * acc / z;
+            let win_hi = win_hi.min(
+                f_u.keys()[f_u.len() - 1]
+                    .saturating_add(g_v.keys()[g_v.len() - 1])
+                    .saturating_add(delta),
+            );
+            if win_lo > win_hi {
+                continue;
+            }
+            let score = |h: &Pmf, counts: &mut [f64]| {
+                for &(t_obs, n, z) in &explained {
+                    let acc = pmf_tick_score_soa(h, t_obs, cpt);
+                    counts[e.index] += n as f64 * p_e * acc / z;
+                }
+            };
+            match cache.as_deref_mut() {
+                Some(c) => {
+                    let key = ConvKey {
+                        f_version: c.f_version[e.from.index()],
+                        g_version: c.g_version[e.to.index()],
+                        shift: delta,
+                        lo: win_lo,
+                        hi: win_hi,
+                    };
+                    let h = c.conv.get_or_compute(e.index, key, || {
+                        pmf::convolve_window_pmf(f_u, g_v, delta, win_lo, win_hi)
+                    });
+                    score(h, &mut counts);
+                }
+                None => {
+                    let h = pmf::convolve_window_pmf(f_u, g_v, delta, win_lo, win_hi);
+                    score(&h, &mut counts);
+                }
             }
         }
     }
@@ -450,7 +654,7 @@ mod tests {
     fn duration_pmf_of_diamond_is_two_point() {
         let (cfg, bc, ec, probs) = diamond_setup(0.7);
         let t = compute_tables(&cfg, &bc, &ec, &probs, FbParams::default()).unwrap();
-        let d = t.duration_pmf(&cfg);
+        let d = t.duration_pmf(&cfg).entries();
         // true path: 10+1+100+0+5 = 116; false: 10+2+200+0+5 = 217.
         assert_eq!(d.len(), 2);
         assert_eq!(d[0].0, 116);
@@ -464,10 +668,10 @@ mod tests {
         let (cfg, bc, ec, probs) = diamond_setup(0.7);
         let t = compute_tables(&cfg, &bc, &ec, &probs, FbParams::default()).unwrap();
         // Arrive at then (b1) at t = 10+1 = 11 with mass 0.7.
-        assert_eq!(t.forward[1], vec![(11, 0.7)]);
+        assert_eq!(t.forward[1].entries(), vec![(11, 0.7)]);
         // Arrive at join (b3) from both arms.
         assert_eq!(t.forward[3].len(), 2);
-        let total: f64 = t.forward[3].iter().map(|&(_, m)| m).sum();
+        let total: f64 = t.forward[3].masses().iter().sum();
         assert!((total - 1.0).abs() < 1e-12);
     }
 
@@ -476,9 +680,9 @@ mod tests {
         let (cfg, bc, ec, probs) = diamond_setup(0.7);
         let t = compute_tables(&cfg, &bc, &ec, &probs, FbParams::default()).unwrap();
         // g(then) = {100+0+5}, g(else) = {200+0+5}, g(join) = {5}.
-        assert_eq!(t.backward[1], vec![(105, 1.0)]);
-        assert_eq!(t.backward[2], vec![(205, 1.0)]);
-        assert_eq!(t.backward[3], vec![(5, 1.0)]);
+        assert_eq!(t.backward[1].entries(), vec![(105, 1.0)]);
+        assert_eq!(t.backward[2].entries(), vec![(205, 1.0)]);
+        assert_eq!(t.backward[3].entries(), vec![(5, 1.0)]);
     }
 
     #[test]
@@ -529,7 +733,7 @@ mod tests {
         let mut probs = BranchProbs::uniform(&cfg, 0.5);
         probs.set_prob_true(ct_cfg::graph::BlockId(1), 0.5);
         let t = compute_tables(&cfg, &bc, &ec, &probs, FbParams::default()).unwrap();
-        let d = t.duration_pmf(&cfg);
+        let d = t.duration_pmf(&cfg).entries();
         // k iterations: 2 + 3(k+1) + 10k + 1 = 6 + 13k, each w.p. 0.5^{k+1}.
         assert_eq!(d[0], (6, 0.5));
         assert_eq!(d[1].0, 19);
@@ -577,6 +781,7 @@ mod tests {
         let params = FbParams {
             mass_eps: 1e-300,
             max_entries: 4,
+            ..FbParams::default()
         };
         assert!(matches!(
             compute_tables(&cfg, &bc, &ec, &probs, params),
@@ -608,7 +813,7 @@ mod tests {
         let old = crate::fb_reference::compute_tables(&cfg, &bc, &ec, &probs, params).unwrap();
         for b in 0..cfg.len() {
             assert_eq!(new.forward[b].len(), old.forward[b].len(), "forward[{b}]");
-            for (x, y) in new.forward[b].iter().zip(&old.forward[b]) {
+            for (x, y) in new.forward[b].iter().zip(old.forward[b].iter()) {
                 assert_eq!(x.0, y.0);
                 assert!((x.1 - y.1).abs() < 1e-12);
             }
@@ -617,7 +822,7 @@ mod tests {
                 old.backward[b].len(),
                 "backward[{b}]"
             );
-            for (x, y) in new.backward[b].iter().zip(&old.backward[b]) {
+            for (x, y) in new.backward[b].iter().zip(old.backward[b].iter()) {
                 assert_eq!(x.0, y.0);
                 assert!((x.1 - y.1).abs() < 1e-12);
             }

@@ -18,6 +18,7 @@ use crate::quantize::{duration_window, tick_likelihood};
 use crate::samples::TimingSamples;
 use ct_cfg::graph::{BlockId, Cfg, Terminator};
 use ct_cfg::profile::BranchProbs;
+use ct_stats::pmf::Pmf;
 use std::collections::BTreeMap;
 
 /// Computes forward and backward tables with the reference per-block DPs.
@@ -72,9 +73,11 @@ pub fn compute_tables(
             &mut truncated,
         )?);
     }
+    // The reference DPs build tuple-layout PMFs; the shared `FbTables`
+    // container stores them structure-of-arrays like the current engine.
     Ok(FbTables {
-        forward,
-        backward,
+        forward: forward.into_iter().map(Pmf::from_sorted).collect(),
+        backward: backward.into_iter().map(Pmf::from_sorted).collect(),
         truncated,
     })
 }
@@ -205,7 +208,11 @@ pub fn e_step(
     let cpt = samples.cycles_per_tick();
     let edges = cfg.edges();
     let edge_probs = probs.edge_probs(cfg);
-    let duration = tables.duration_pmf(cfg);
+    // Materialize the tuple layout once: the reference E-step predates the
+    // SoA tables and is kept verbatim below.
+    let fwd: Vec<SparsePmf> = tables.forward.iter().map(|p| p.entries()).collect();
+    let bwd: Vec<SparsePmf> = tables.backward.iter().map(|p| p.entries()).collect();
+    let duration = &bwd[cfg.entry().index()];
     let mut counts = vec![0.0; edges.len()];
     let mut loglik = 0.0;
     let mut unexplained = 0;
@@ -228,8 +235,8 @@ pub fn e_step(
                 continue;
             }
             let delta = block_costs[e.from.index()] + edge_costs[e.index];
-            let f_u = &tables.forward[e.from.index()];
-            let g_v = &tables.backward[e.to.index()];
+            let f_u = &fwd[e.from.index()];
+            let g_v = &bwd[e.to.index()];
             let mut acc = 0.0;
             for &(t, fm) in f_u {
                 let base = t + delta;

@@ -1,0 +1,279 @@
+//! Incremental EM over streaming sufficient statistics.
+//!
+//! The fleet path delivers samples as [`SuffStats`] deltas — one per radio
+//! batch per mote — not as a monolithic vector. Re-running cold EM after
+//! every batch would pay the full restart fan-out each time; this module
+//! keeps an [`IncrementalEm`] accumulator per estimation target that:
+//!
+//! - folds each delta into the running [`SuffStats`] (exact, order-insensitive
+//!   merge — see [`crate::stream`]);
+//! - **warm-starts** each re-estimation from the previous optimum, so EM
+//!   converges in a handful of sweeps per batch instead of a full run; and
+//! - carries one [`EStepCache`] across batches: the warm start rebuilds the
+//!   previous forward/backward tables bitwise, so the edges whose observation
+//!   windows did not change turn their windowed convolutions into cache hits.
+//!
+//! ## Convergence contract
+//!
+//! Each [`IncrementalEm::reestimate`] call runs full EM (same `EmOptions`,
+//! same tolerance) on the statistics of **all** samples ingested so far — the
+//! warm start changes the starting point, never the objective, so every
+//! per-batch estimate is a genuine EM fixed point (up to `tol`) for its
+//! cumulative sample set. The sequence of estimates is deterministic given
+//! the batch sequence, independent of `CT_THREADS`, and identical with the
+//! convolution cache on or off.
+
+use crate::em::{estimate_em_cached, EmOptions, EmResult};
+use crate::fb::{EStepCache, FbError};
+use crate::stream::SuffStats;
+use ct_cfg::graph::Cfg;
+use ct_cfg::profile::BranchProbs;
+
+/// Streaming EM state for one estimation target (one procedure's CFG).
+///
+/// Feed batches with [`IncrementalEm::ingest`]; re-estimate at any cadence
+/// with [`IncrementalEm::reestimate`].
+#[derive(Debug, Clone)]
+pub struct IncrementalEm {
+    stats: SuffStats,
+    last: Option<EmResult>,
+    cache: EStepCache,
+    opts: EmOptions,
+    batches: u64,
+}
+
+impl IncrementalEm {
+    /// Empty state at `cycles_per_tick` timer resolution.
+    pub fn new(cycles_per_tick: u64, opts: EmOptions) -> IncrementalEm {
+        IncrementalEm {
+            stats: SuffStats::new(cycles_per_tick),
+            last: None,
+            cache: EStepCache::new(),
+            opts,
+            batches: 0,
+        }
+    }
+
+    /// Folds one batch's statistics into the cumulative stream.
+    ///
+    /// # Errors
+    ///
+    /// [`FbError::Shape`] when the delta's timer resolution differs from the
+    /// accumulator's (incommensurable ticks).
+    pub fn ingest(&mut self, delta: &SuffStats) -> Result<(), FbError> {
+        self.stats
+            .merge(delta)
+            .map_err(|e| FbError::Shape(e.to_string()))?;
+        self.batches += 1;
+        Ok(())
+    }
+
+    /// Re-estimates over everything ingested so far, warm-starting from the
+    /// previous optimum (uniform ½ on the first call).
+    ///
+    /// Emits one `em.incremental` event per call and bumps the
+    /// `em.incremental.batches` counter; cache effectiveness is reported by
+    /// the underlying [`estimate_em_cached`] run (`em.cache.*`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FbError`] from the dynamic programs.
+    pub fn reestimate(
+        &mut self,
+        cfg: &Cfg,
+        block_costs: &[u64],
+        edge_costs: &[u64],
+    ) -> Result<&EmResult, FbError> {
+        let warm = self.last.is_some();
+        let init = match &self.last {
+            Some(r) => r.probs.clone(),
+            None => BranchProbs::uniform(cfg, 0.5),
+        };
+        let r = estimate_em_cached(
+            cfg,
+            block_costs,
+            edge_costs,
+            &self.stats,
+            init,
+            self.opts,
+            &mut self.cache,
+        )?;
+        ct_obs::Counter::new("em.incremental.batches").incr();
+        ct_obs::emit(
+            "em.incremental",
+            vec![
+                ("batches", self.batches.into()),
+                (
+                    "samples",
+                    (crate::samples::DurationSamples::len(&self.stats)).into(),
+                ),
+                ("iterations", r.iterations.into()),
+                ("converged", r.converged.into()),
+                ("loglik", r.loglik.into()),
+                ("warm", warm.into()),
+            ],
+        );
+        self.last = Some(r);
+        // Just assigned above.
+        Ok(self.last.as_ref().expect("estimate stored"))
+    }
+
+    /// The cumulative statistics of every ingested batch.
+    pub fn stats(&self) -> &SuffStats {
+        &self.stats
+    }
+
+    /// The most recent estimate, if [`IncrementalEm::reestimate`] has run.
+    pub fn last(&self) -> Option<&EmResult> {
+        self.last.as_ref()
+    }
+
+    /// Number of batches ingested.
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// Convolution-cache hits accumulated across all re-estimations.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache.hits()
+    }
+
+    /// Convolution-cache misses accumulated across all re-estimations.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache.misses()
+    }
+}
+
+/// Folds a sequence of [`SuffStats`] batches through an [`IncrementalEm`],
+/// re-estimating after every batch, and returns the final estimate.
+///
+/// This is the batch-granularity streaming path the fleet service uses: the
+/// amortized per-batch cost is a few warm EM sweeps plus the cache-missed
+/// convolutions, not a cold restart fan-out.
+///
+/// # Errors
+///
+/// [`FbError::Shape`] for an empty batch list or mismatched resolutions;
+/// otherwise propagates [`FbError`] from the dynamic programs.
+pub fn estimate_em_incremental(
+    cfg: &Cfg,
+    block_costs: &[u64],
+    edge_costs: &[u64],
+    batches: &[SuffStats],
+    opts: EmOptions,
+) -> Result<EmResult, FbError> {
+    let first = batches
+        .first()
+        .ok_or_else(|| FbError::Shape("no batches to estimate from".into()))?;
+    let mut inc = IncrementalEm::new(
+        crate::samples::DurationSamples::cycles_per_tick(first),
+        opts,
+    );
+    for b in batches {
+        inc.ingest(b)?;
+        inc.reestimate(cfg, block_costs, edge_costs)?;
+    }
+    // The loop ran at least once (batches is non-empty), so `last` is set.
+    Ok(inc.last.expect("at least one re-estimation ran"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::em::estimate_em;
+    use crate::samples::TimingSamples;
+    use ct_cfg::builder::diamond;
+
+    fn mixture_ticks(n_fast: usize, n_slow: usize) -> Vec<u64> {
+        let mut t = vec![115u64; n_fast];
+        t.extend(vec![215u64; n_slow]);
+        t
+    }
+
+    fn batch_of(ticks: &[u64]) -> SuffStats {
+        let mut s = SuffStats::new(1);
+        for &t in ticks {
+            s.push(t);
+        }
+        s
+    }
+
+    #[test]
+    fn incremental_matches_monolithic_estimate() {
+        let cfg = diamond();
+        let bc = [10u64, 100, 200, 5];
+        let ec = [0u64; 4];
+        let ticks = mixture_ticks(700, 300);
+        let batches: Vec<SuffStats> = ticks.chunks(100).map(batch_of).collect();
+        let inc = estimate_em_incremental(&cfg, &bc, &ec, &batches, EmOptions::default()).unwrap();
+        let mono = estimate_em(
+            &cfg,
+            &bc,
+            &ec,
+            &TimingSamples::new(ticks, 1),
+            EmOptions::default(),
+        )
+        .unwrap();
+        // Warm starts move the path EM takes, not the optimum it finds.
+        assert!(
+            (inc.probs.as_slice()[0] - mono.probs.as_slice()[0]).abs() < 1e-3,
+            "incremental {} vs monolithic {}",
+            inc.probs.as_slice()[0],
+            mono.probs.as_slice()[0]
+        );
+    }
+
+    #[test]
+    fn incremental_runs_are_bitwise_reproducible() {
+        let cfg = diamond();
+        let bc = [10u64, 100, 200, 5];
+        let ec = [0u64; 4];
+        let ticks = mixture_ticks(90, 60);
+        let batches: Vec<SuffStats> = ticks.chunks(30).map(batch_of).collect();
+        let a = estimate_em_incremental(&cfg, &bc, &ec, &batches, EmOptions::default()).unwrap();
+        let b = estimate_em_incremental(&cfg, &bc, &ec, &batches, EmOptions::default()).unwrap();
+        assert_eq!(
+            a.probs.as_slice()[0].to_bits(),
+            b.probs.as_slice()[0].to_bits()
+        );
+        assert_eq!(a.loglik.to_bits(), b.loglik.to_bits());
+        assert_eq!(a.iterations, b.iterations);
+    }
+
+    #[test]
+    fn warm_reestimation_converges_faster_and_hits_the_cache() {
+        let cfg = diamond();
+        let bc = [10u64, 100, 200, 5];
+        let ec = [0u64; 4];
+        let mut inc = IncrementalEm::new(1, EmOptions::default());
+        inc.ingest(&batch_of(&mixture_ticks(400, 150))).unwrap();
+        let cold_iters = inc.reestimate(&cfg, &bc, &ec).unwrap().iterations;
+        // A small delta barely moves the optimum: the warm start lands near
+        // the fixed point and the rebuilt tables replay cached convolutions.
+        inc.ingest(&batch_of(&mixture_ticks(8, 3))).unwrap();
+        let h0 = inc.cache_hits();
+        let warm_iters = inc.reestimate(&cfg, &bc, &ec).unwrap().iterations;
+        assert!(
+            warm_iters <= cold_iters,
+            "warm {warm_iters} vs cold {cold_iters}"
+        );
+        assert!(inc.cache_hits() > h0, "warm re-estimation missed the cache");
+        assert_eq!(inc.batches(), 2);
+    }
+
+    #[test]
+    fn rejects_mismatched_resolution_and_empty_batch_list() {
+        let cfg = diamond();
+        let bc = [10u64, 100, 200, 5];
+        let ec = [0u64; 4];
+        let mut inc = IncrementalEm::new(1, EmOptions::default());
+        assert!(matches!(
+            inc.ingest(&SuffStats::new(8)),
+            Err(FbError::Shape(_))
+        ));
+        assert!(matches!(
+            estimate_em_incremental(&cfg, &bc, &ec, &[], EmOptions::default()),
+            Err(FbError::Shape(_))
+        ));
+    }
+}

@@ -57,6 +57,7 @@ pub mod fb;
 #[doc(hidden)]
 pub mod fb_reference;
 pub mod flow_nnls;
+pub mod incremental;
 pub mod moments;
 pub mod quantize;
 pub mod report;
@@ -65,15 +66,18 @@ pub mod stream;
 pub mod unrolled;
 
 pub use accuracy::{compare, compare_unweighted, AccuracyReport};
-pub use em::{estimate_em, EmOptions, EmResult};
+pub use em::{estimate_em, estimate_em_cached, estimate_em_from, EmOptions, EmResult};
 pub use estimator::{
     estimate, estimate_robust, Estimate, EstimateError, EstimateOptions, Method, RobustEstimate,
     RobustOptions, Rung, RungAttempt,
 };
-pub use fb::{compute_tables, e_step, FbError, FbParams, FbTables};
+pub use fb::{compute_tables, e_step, e_step_cached, EStepCache, FbError, FbParams, FbTables};
 pub use flow_nnls::{estimate_flow, estimate_flow_many, FlowResult};
+pub use incremental::{estimate_em_incremental, IncrementalEm};
 pub use moments::{estimate_moments, model_moments, MomentsError, MomentsOptions, MomentsResult};
-pub use quantize::{duration_window, tick_likelihood, try_duration_window, WindowError};
+pub use quantize::{
+    duration_window, pmf_tick_score_soa, tick_likelihood, try_duration_window, WindowError,
+};
 pub use samples::{DurationSamples, SampleIssue, TimingSamples, TrimPolicy};
 pub use stream::{ResolutionMismatch, SampleBatch, SuffStats};
 pub use unrolled::{estimate_unrolled, UnrolledError, UnrolledEstimate};

@@ -136,6 +136,26 @@ pub fn pmf_tick_score(pmf: &[(u64, f64)], ticks: u64, cpt: u64) -> f64 {
     }
 }
 
+/// [`pmf_tick_score`] over the structure-of-arrays [`ct_stats::pmf::Pmf`]:
+/// same windowing, same left-to-right summation order (bit-identical), but
+/// the window is resolved with run detection (contiguous-support PMFs skip
+/// the binary searches) and the masses stream from a contiguous slice.
+pub fn pmf_tick_score_soa(pmf: &ct_stats::pmf::Pmf, ticks: u64, cpt: u64) -> f64 {
+    match try_duration_window(ticks, cpt) {
+        Ok((lo, hi)) => {
+            let (a, b) = pmf.window(lo, hi);
+            pmf.keys()[a..b]
+                .iter()
+                .zip(&pmf.masses()[a..b])
+                .map(|(&d, &m)| m * tick_likelihood(ticks, d, cpt))
+                .sum()
+        }
+        // Corrupted tick: no duration produces it, the sample scores zero.
+        Err(WindowError::DegenerateWindow { .. }) => 0.0,
+        Err(WindowError::ZeroResolution) => panic!("cycles per tick must be positive"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -263,6 +283,18 @@ mod tests {
             cpt: 8,
         };
         assert!(e.to_string().contains("degenerate"));
+    }
+
+    #[test]
+    fn soa_score_matches_slice_score_bitwise() {
+        let entries = vec![(250u64, 0.5), (310u64, 0.5), (311u64, 0.125)];
+        let pmf = ct_stats::pmf::Pmf::from_sorted(entries.clone());
+        for ticks in 0..10 {
+            let slice = pmf_tick_score(&entries, ticks, 100);
+            let soa = pmf_tick_score_soa(&pmf, ticks, 100);
+            assert_eq!(slice.to_bits(), soa.to_bits(), "ticks={ticks}");
+        }
+        assert_eq!(pmf_tick_score_soa(&pmf, u64::MAX, 244), 0.0);
     }
 
     #[test]

@@ -23,9 +23,9 @@ proptest! {
         let probs = BranchProbs::from_vec(&cfg, vec![p]);
         let t = compute_tables(&cfg, &bc, &ec, &probs, FbParams::default()).unwrap();
         let d = t.duration_pmf(&cfg);
-        let total: f64 = d.iter().map(|&(_, m)| m).sum();
+        let total: f64 = d.total_mass();
         prop_assert!((total - 1.0).abs() < 1e-6);
-        let mean: f64 = d.iter().map(|&(t, m)| t as f64 * m).sum();
+        let mean: f64 = d.iter().map(|(t, m)| t as f64 * m).sum();
         // Expected: 11 + p(1+70) + (1-p)(2+140) + (exit edge 0/1 depends on
         // arm) + 6 — compute via the model directly instead:
         let (model_mean, _) = ct_core::model_moments(&cfg, &bc, &ec, &probs).unwrap();
@@ -40,7 +40,7 @@ proptest! {
         let ec = [0u64; 4];
         let probs = BranchProbs::from_vec(&cfg, vec![q]);
         let t = compute_tables(&cfg, &bc, &ec, &probs, FbParams::default()).unwrap();
-        let exit_mass: f64 = t.forward[3].iter().map(|&(_, m)| m).sum();
+        let exit_mass: f64 = t.forward[3].total_mass();
         prop_assert!((exit_mass - 1.0).abs() < 1e-6, "{exit_mass}");
     }
 

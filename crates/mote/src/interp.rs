@@ -23,6 +23,7 @@ use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 /// A runtime trap.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -103,6 +104,39 @@ impl Default for ExecConfig {
     }
 }
 
+/// Pre-resolved edge indices for one block's terminator, so the interpreter
+/// never hashes `(from, to)` on the hot path. Both fields resolve through
+/// the same `(from, to)` map the old per-transfer lookup used, so a branch
+/// whose arms share a target keeps its historical single-edge accounting.
+#[derive(Clone, Copy, Default)]
+struct TermEdgeIds {
+    /// Edge taken by a `Jump`, or by a `Branch` when the condition is true.
+    on_true: usize,
+    /// Edge taken by a `Branch` when the condition is false.
+    on_false: usize,
+}
+
+/// Boot-time-resolved executable image of one procedure.
+///
+/// Everything the dispatch loop reads per instruction or per block lives
+/// here, flat and behind one `Arc`: `call_inner` clones the handle once per
+/// invocation and hands the loop an owned view, so the hot path never
+/// re-borrows `self` — the block's instructions become a plain slice
+/// iteration (no per-instruction triple indexing, no bounds checks the
+/// optimizer can't drop) while `&mut self` stays free for RAM, the cycle
+/// counter and the PMU.
+struct ProcCode {
+    /// All blocks' instructions, paired with their (boot-time constant)
+    /// cycle costs, concatenated in block order.
+    code: Vec<(Instr, u64)>,
+    /// Per block: half-open `[start, end)` range into `code`.
+    span: Vec<(u32, u32)>,
+    /// Per block: the terminator, copied out of the CFG.
+    term: Vec<Terminator>,
+    /// Per block: pre-resolved terminator edge indices.
+    term_edges: Vec<TermEdgeIds>,
+}
+
 /// A simulated mote: program image, CPU cost model, flash layout, RAM,
 /// peripherals and a cycle counter.
 pub struct Mote {
@@ -111,8 +145,10 @@ pub struct Mote {
     layouts: Vec<Layout>,
     block_costs: Vec<Vec<u64>>,
     edge_costs: Vec<Vec<u64>>,
-    edge_index: Vec<HashMap<(u32, u32), usize>>,
     edge_transfers: Vec<Vec<EdgeTransfer>>,
+    /// Per proc: the boot-time-resolved executable image the dispatch loop
+    /// runs from (see [`ProcCode`]).
+    code: Vec<Arc<ProcCode>>,
     /// The virtual performance-monitoring unit: zero-overhead hardware
     /// counters sampled at every control transfer.
     pub pmu: Pmu,
@@ -177,15 +213,47 @@ impl Mote {
             .zip(&layouts)
             .map(|(p, l)| edge_costs(p, cost_model.as_ref(), l))
             .collect();
-        let edge_index = program
+        let code: Vec<Arc<ProcCode>> = program
             .procs
             .iter()
             .map(|p| {
-                p.cfg
+                let mut flat = Vec::new();
+                let mut span = Vec::with_capacity(p.code.len());
+                for block in &p.code {
+                    let s = flat.len() as u32;
+                    flat.extend(block.iter().map(|i| (*i, cost_model.instr_cost(i))));
+                    span.push((s, flat.len() as u32));
+                }
+                let by_pair: HashMap<(u32, u32), usize> = p
+                    .cfg
                     .edges()
                     .iter()
                     .map(|e| ((e.from.0, e.to.0), e.index))
-                    .collect::<HashMap<_, _>>()
+                    .collect();
+                let mut term = Vec::with_capacity(p.code.len());
+                let mut term_edges = Vec::with_capacity(p.code.len());
+                for b in 0..p.code.len() {
+                    let from = BlockId(b as u32);
+                    let t = p.cfg.block(from).term;
+                    term.push(t);
+                    term_edges.push(match t {
+                        Terminator::Return => TermEdgeIds::default(),
+                        Terminator::Jump(t) => TermEdgeIds {
+                            on_true: by_pair[&(from.0, t.0)],
+                            on_false: 0,
+                        },
+                        Terminator::Branch { on_true, on_false } => TermEdgeIds {
+                            on_true: by_pair[&(from.0, on_true.0)],
+                            on_false: by_pair[&(from.0, on_false.0)],
+                        },
+                    });
+                }
+                Arc::new(ProcCode {
+                    code: flat,
+                    span,
+                    term,
+                    term_edges,
+                })
             })
             .collect();
         let edge_transfers: Vec<Vec<EdgeTransfer>> = program
@@ -202,8 +270,8 @@ impl Mote {
             layouts,
             block_costs,
             edge_costs,
-            edge_index,
             edge_transfers,
+            code,
             pmu,
             globals,
             devices: Devices::default(),
@@ -330,11 +398,14 @@ impl Mote {
         locals[..n_params].copy_from_slice(args);
         let mut stack: Vec<i64> = Vec::with_capacity(8);
         let mut cur = entry;
+        // One refcount bump per invocation buys the dispatch loop an owned
+        // view of the procedure image (see [`ProcCode`]).
+        let pc = Arc::clone(&self.code[proc.index()]);
 
         let result = loop {
             let overhead = profiler.on_block(proc, cur, self.cycles);
             self.cycles += overhead;
-            match self.exec_block(proc, cur, &mut locals, &mut stack, profiler, depth) {
+            match self.exec_block(proc, cur, &pc, &mut locals, &mut stack, profiler, depth) {
                 Ok(ControlFlow::Continue(next)) => cur = next,
                 Ok(ControlFlow::Return(v)) => break Ok(if has_ret { v } else { None }),
                 Err(e) => break Err(e),
@@ -349,25 +420,26 @@ impl Mote {
         result
     }
 
+    #[allow(clippy::too_many_arguments)] // hot path: flat args beat a context struct rebuilt per block
     fn exec_block(
         &mut self,
         proc: ProcId,
         block: BlockId,
+        pc: &ProcCode,
         locals: &mut [i64],
         stack: &mut Vec<i64>,
         profiler: &mut dyn Profiler,
         depth: usize,
     ) -> Result<ControlFlow, TrapError> {
         let trap = |kind: TrapKind| TrapError { kind, proc, block };
-        let n_instrs = self.program.procs[proc.index()].code[block.index()].len();
+        let (s, e) = pc.span[block.index()];
 
-        for i in 0..n_instrs {
+        for &(instr, cost) in &pc.code[s as usize..e as usize] {
             if self.steps_left == 0 {
                 return Err(trap(TrapKind::StepLimitExceeded));
             }
             self.steps_left -= 1;
-            let instr = self.program.procs[proc.index()].code[block.index()][i];
-            self.cycles += self.cost_model.instr_cost(&instr);
+            self.cycles += cost;
             match instr {
                 Instr::PushConst(v) => stack.push(v),
                 Instr::LoadLocal(n) => stack.push(locals[n as usize]),
@@ -474,8 +546,7 @@ impl Mote {
         }
 
         // Terminator.
-        let term = self.program.procs[proc.index()].cfg.block(block).term;
-        match term {
+        match pc.term[block.index()] {
             Terminator::Return => {
                 self.cycles += self.cost_model.return_cost();
                 self.pmu.record_return(proc);
@@ -487,24 +558,26 @@ impl Mote {
                 Ok(ControlFlow::Return(v))
             }
             Terminator::Jump(t) => {
-                self.take_edge(proc, block, t, profiler);
+                let ei = pc.term_edges[block.index()].on_true;
+                self.take_edge(proc, ei, profiler);
                 Ok(ControlFlow::Continue(t))
             }
             Terminator::Branch { on_true, on_false } => {
                 self.cycles += self.cost_model.branch_base();
                 let cond = stack.pop().ok_or_else(|| trap(TrapKind::StackUnderflow))?;
-                let next = if cond != 0 { on_true } else { on_false };
-                self.take_edge(proc, block, next, profiler);
+                let ids = pc.term_edges[block.index()];
+                let (next, ei) = if cond != 0 {
+                    (on_true, ids.on_true)
+                } else {
+                    (on_false, ids.on_false)
+                };
+                self.take_edge(proc, ei, profiler);
                 Ok(ControlFlow::Continue(next))
             }
         }
     }
 
-    fn take_edge(&mut self, proc: ProcId, from: BlockId, to: BlockId, profiler: &mut dyn Profiler) {
-        // Indexing cannot fail: `edge_index` is built from the CFG's own
-        // edge list at boot, and `(from, to)` always comes from a terminator
-        // of that same CFG (validated at compile time).
-        let ei = self.edge_index[proc.index()][&(from.0, to.0)];
+    fn take_edge(&mut self, proc: ProcId, ei: usize, profiler: &mut dyn Profiler) {
         self.cycles += self.edge_costs[proc.index()][ei];
         let t = self.edge_transfers[proc.index()][ei];
         self.pmu.record_transfer(proc, t);

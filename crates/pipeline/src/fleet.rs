@@ -18,7 +18,9 @@ use crate::stage::{estimate_probs, Estimated};
 use ct_cfg::graph::{BlockId, Cfg};
 use ct_cfg::profile::{BranchProbs, EdgeProfile};
 use ct_core::accuracy::compare;
-use ct_core::estimator::estimate_robust;
+use ct_core::em::EmOptions;
+use ct_core::estimator::{estimate_robust, Estimate as CoreEstimate, EstimateError, Method};
+use ct_core::incremental::IncrementalEm;
 use ct_core::stream::SuffStats;
 use ct_ir::instr::ProcId;
 use ct_ir::program::Program;
@@ -50,6 +52,10 @@ pub struct FleetRun {
     pub counted_loops: Vec<(BlockId, u64)>,
     /// Merged sufficient statistics of every mote's tick stream.
     pub stats: SuffStats,
+    /// Per-mote statistics in mote order — the batch sequence the streaming
+    /// estimator ([`Fleet::estimate_streaming`]) re-estimates over. Merging
+    /// these left-to-right reproduces [`FleetRun::stats`] bitwise.
+    pub mote_stats: Vec<SuffStats>,
     /// Merged ground-truth edge profile (scoring only).
     pub truth_profile: EdgeProfile,
     /// Ground-truth branch probabilities of the merged profile.
@@ -150,6 +156,7 @@ impl Fleet {
             });
 
         let mut stats = SuffStats::new(self.config.cycles_per_tick);
+        let mut mote_stats = Vec::with_capacity(self.motes);
         let mut truth_profile = EdgeProfile::zeroed(statics.cfg());
         let mut invocations = 0u64;
         let mut cycles_used = 0u64;
@@ -159,6 +166,7 @@ impl Fleet {
         for contribution in contributions {
             let c = contribution?;
             stats.merge(&c.stats)?;
+            mote_stats.push(c.stats);
             truth_profile.merge(&c.truth_profile);
             invocations += c.invocations;
             cycles_used += c.cycles_used;
@@ -168,6 +176,7 @@ impl Fleet {
         Ok(FleetRun {
             truth,
             stats,
+            mote_stats,
             truth_profile,
             invocations,
             cycles_used,
@@ -232,6 +241,115 @@ impl Fleet {
             robust,
         })
     }
+
+    /// EM controls for the streaming path, from the configured estimator.
+    fn em_options(&self) -> EmOptions {
+        match &self.config.estimator {
+            EstimatorChoice::Naive(o) => o.em,
+            EstimatorChoice::Robust(o) => o.base.em,
+        }
+    }
+
+    /// Streaming fleet estimation: feeds each mote's [`SuffStats`] delta
+    /// (mote order) into an [`IncrementalEm`] and re-estimates after every
+    /// batch, warm-starting from the previous optimum with a shared
+    /// convolution cache — the fleet-service path, where re-estimation per
+    /// arriving batch must cost a few warm sweeps, not a cold restart
+    /// fan-out. The final estimate is a full EM fixed point for the merged
+    /// statistics (the warm start moves the path, not the objective), and
+    /// the whole batch trajectory is deterministic: same batches, same
+    /// `CT_THREADS`-independent result, cache on or off.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::EmptyFleet`] when the run has no batches;
+    /// [`PipelineError::Estimate`] when EM fails hard.
+    pub fn estimate_streaming(
+        &self,
+        fleet_run: &FleetRun,
+    ) -> Result<FleetStreamReport, PipelineError> {
+        let _span = ct_obs::Span::enter("fleet.stream");
+        let cfg = fleet_run.cfg();
+        let mut inc = IncrementalEm::new(self.config.cycles_per_tick, self.em_options());
+        let mut batch_iterations = Vec::with_capacity(fleet_run.mote_stats.len());
+        for delta in &fleet_run.mote_stats {
+            inc.ingest(delta)
+                .map_err(|e| PipelineError::from(EstimateError::Em(e)))?;
+            let r = inc
+                .reestimate(cfg, &fleet_run.block_costs, &fleet_run.edge_costs)
+                .map_err(|e| PipelineError::from(EstimateError::Em(e)))?;
+            batch_iterations.push(r.iterations);
+        }
+        let r = inc.last().cloned().ok_or(PipelineError::EmptyFleet)?;
+        let estimate = CoreEstimate {
+            probs: r.probs,
+            method: Method::Em,
+            iterations: batch_iterations.iter().sum(),
+            converged: r.converged,
+            final_delta: r.final_delta,
+            loglik: Some(r.loglik),
+            unexplained: r.unexplained,
+        };
+        let accuracy = compare(
+            cfg,
+            &estimate.probs,
+            &fleet_run.truth,
+            &fleet_run.truth_profile,
+            fleet_run.invocations,
+        );
+        ct_obs::emit(
+            "fleet.stream",
+            vec![
+                ("batches", batch_iterations.len().into()),
+                ("iterations", batch_iterations.iter().sum::<usize>().into()),
+                ("cache_hits", inc.cache_hits().into()),
+                ("cache_misses", inc.cache_misses().into()),
+            ],
+        );
+        Ok(FleetStreamReport {
+            batches: batch_iterations.len(),
+            batch_iterations,
+            cache_hits: inc.cache_hits(),
+            cache_misses: inc.cache_misses(),
+            estimated: Estimated {
+                estimate,
+                accuracy,
+                confidence: 1.0,
+                robust: None,
+            },
+        })
+    }
+
+    /// Runs the fleet and estimates via the streaming per-batch path — the
+    /// default entry point for the fleet-scale service loop (use
+    /// [`Fleet::run`] + [`Fleet::estimate`] for the one-shot merged-stats
+    /// estimate, which is pinned bitwise to the monolithic front door).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Fleet::run`] and [`Fleet::estimate_streaming`] errors.
+    pub fn run_streaming(&self) -> Result<(FleetRun, FleetStreamReport), PipelineError> {
+        let fleet_run = self.run()?;
+        let report = self.estimate_streaming(&fleet_run)?;
+        Ok((fleet_run, report))
+    }
+}
+
+/// The outcome of streaming per-batch re-estimation over a fleet run.
+#[derive(Debug)]
+pub struct FleetStreamReport {
+    /// The final scored estimate (after the last batch).
+    pub estimated: Estimated,
+    /// Batches ingested (one per mote, in mote order).
+    pub batches: usize,
+    /// EM iterations each per-batch re-estimation took — the amortization
+    /// story: after the first batch these should be a handful, not a full
+    /// cold run.
+    pub batch_iterations: Vec<usize>,
+    /// Convolution-cache hits across all re-estimations.
+    pub cache_hits: u64,
+    /// Convolution-cache misses across all re-estimations.
+    pub cache_misses: u64,
 }
 
 #[cfg(test)]
@@ -279,6 +397,40 @@ mod tests {
             .merge(&SuffStats::from_samples(&single.samples))
             .unwrap();
         assert_ne!(fr.stats, tripled);
+    }
+
+    #[test]
+    fn streaming_estimation_is_deterministic_and_hits_the_cache() {
+        let config = RunConfig::new("sense").invocations(400).seeded(13);
+        let fleet = Fleet::new(config, 4);
+        let (fr, a) = fleet.run_streaming().unwrap();
+        let b = fleet.estimate_streaming(&fr).unwrap();
+        assert_eq!(a.batches, 4);
+        assert_eq!(a.batch_iterations, b.batch_iterations);
+        for (x, y) in a
+            .estimated
+            .estimate
+            .probs
+            .as_slice()
+            .iter()
+            .zip(b.estimated.estimate.probs.as_slice())
+        {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        // Later batches warm-start near the optimum and replay cached
+        // convolutions; a streaming run that never hits is a wiring bug.
+        assert!(a.cache_hits > 0, "no convolution-cache hits across batches");
+        assert!(
+            a.estimated.accuracy.mae < 0.05,
+            "mae {}",
+            a.estimated.accuracy.mae
+        );
+        // The per-mote batch sequence folds back to the merged statistics.
+        let mut refold = SuffStats::new(fleet.config().cycles_per_tick);
+        for s in &fr.mote_stats {
+            refold.merge(s).unwrap();
+        }
+        assert_eq!(refold, fr.stats);
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub mod synth;
 pub use config::{Contamination, EnvConfig, EstimatorChoice, Mcu, RunConfig, Target};
 pub use ct_mote::pmu::{PmuCounters, PmuSnapshot};
 pub use error::PipelineError;
-pub use fleet::{Fleet, FleetRun};
+pub use fleet::{Fleet, FleetRun, FleetStreamReport};
 pub use measure::{
     edge_frequencies, par_sweep, penalties, random_layout, run_with_profiler, run_with_profiler_pmu,
 };

@@ -19,6 +19,7 @@ use ct_cfg::profile::{BranchProbs, EdgeProfile};
 use ct_core::accuracy::{compare, AccuracyReport};
 use ct_core::estimator::{estimate, estimate_robust, Estimate as CoreEstimate, Method};
 use ct_core::estimator::{EstimateOptions, RobustEstimate};
+use ct_core::incremental::IncrementalEm;
 use ct_core::samples::{DurationSamples, TimingSamples};
 use ct_core::stream::SampleBatch;
 use ct_core::unrolled::estimate_unrolled;
@@ -508,6 +509,44 @@ pub(crate) fn estimate_collected(
         accuracy,
         confidence,
         robust,
+    })
+}
+
+/// Streaming estimation over a collected run: fold the run's sufficient
+/// statistics into the caller's [`IncrementalEm`] accumulator and
+/// re-estimate warm-started from the previous optimum.
+pub(crate) fn estimate_incremental_collected(
+    run: &AppRun,
+    inc: &mut IncrementalEm,
+) -> Result<Estimated, PipelineError> {
+    use ct_core::estimator::EstimateError;
+    let cfg = run.cfg();
+    inc.ingest(&ct_core::stream::SuffStats::from_samples(&run.samples))
+        .map_err(|e| PipelineError::from(EstimateError::Em(e)))?;
+    let r = inc
+        .reestimate(cfg, &run.block_costs, &run.edge_costs)
+        .map_err(|e| PipelineError::from(EstimateError::Em(e)))?;
+    let estimate = CoreEstimate {
+        probs: r.probs.clone(),
+        method: Method::Em,
+        iterations: r.iterations,
+        converged: r.converged,
+        final_delta: r.final_delta,
+        loglik: Some(r.loglik),
+        unexplained: r.unexplained,
+    };
+    let accuracy = compare(
+        cfg,
+        &estimate.probs,
+        &run.truth,
+        &run.truth_profile,
+        run.invocations,
+    );
+    Ok(Estimated {
+        estimate,
+        accuracy,
+        confidence: 1.0,
+        robust: None,
     })
 }
 

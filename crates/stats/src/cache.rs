@@ -1,0 +1,202 @@
+//! Per-edge convolution cache for the Baum–Welch E-step.
+//!
+//! The E-step computes one windowed convolution `h_e = f(u) ⊛ g(v)` per CFG
+//! edge per EM iteration. Across iterations (and, in incremental estimation,
+//! across batches) most factor PMFs stabilize: a block far from the branch
+//! whose parameter moved keeps a bitwise-identical arrival or
+//! remaining-duration distribution, and once EM warm-starts a new batch from
+//! the previous optimum the *entire* table is unchanged. This cache lets
+//! those edges reuse the previous convolution instead of recomputing it.
+//!
+//! Keying is by **version**, not by content: the caller version-stamps each
+//! block's forward/backward PMF (bumping the stamp whenever the PMF changes
+//! bitwise — see `EStepCache` in `ct-core`) and the cache compares
+//! `(f_version, g_version, shift, window)`. A hit therefore returns a PMF
+//! that is bit-identical to what recomputation would produce, so cached and
+//! uncached runs are indistinguishable — the determinism contracts
+//! (thread-count, traced==untraced, cache on==off) hold by construction.
+//!
+//! The `CT_CONV_CACHE` environment knob (`0` disables) exists for A/B
+//! benchmarking and debugging; disabled, every lookup recomputes and counts
+//! as a miss.
+
+use crate::pmf::Pmf;
+
+/// Cache key: version stamps of the two factor PMFs plus the convolution
+/// geometry. Equal keys guarantee a bitwise-equal convolution result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvKey {
+    /// Version stamp of the source block's arrival PMF `f(u)`.
+    pub f_version: u64,
+    /// Version stamp of the target block's remaining-duration PMF `g(v)`.
+    pub g_version: u64,
+    /// The convolution shift (source block cost + edge cost).
+    pub shift: u64,
+    /// Window lower bound (inclusive).
+    pub lo: u64,
+    /// Window upper bound (inclusive).
+    pub hi: u64,
+}
+
+/// One cached convolution per edge slot, plus hit/miss accounting.
+#[derive(Debug, Clone, Default)]
+pub struct ConvCache {
+    enabled: bool,
+    slots: Vec<Option<(ConvKey, Pmf)>>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Whether `CT_CONV_CACHE` leaves the cache enabled (anything but `"0"`).
+pub fn cache_enabled_from_env() -> bool {
+    std::env::var("CT_CONV_CACHE").map_or(true, |v| v != "0")
+}
+
+impl ConvCache {
+    /// A cache with `edges` empty slots, honoring `CT_CONV_CACHE`.
+    pub fn new(edges: usize) -> ConvCache {
+        ConvCache::with_enabled(edges, cache_enabled_from_env())
+    }
+
+    /// A cache with the enable switch forced (for A/B tests).
+    pub fn with_enabled(edges: usize, enabled: bool) -> ConvCache {
+        ConvCache {
+            enabled,
+            slots: vec![None; edges],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// True when lookups may return cached results.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Grows the slot table to at least `edges` entries.
+    pub fn ensure_edges(&mut self, edges: usize) {
+        if self.slots.len() < edges {
+            self.slots.resize(edges, None);
+        }
+    }
+
+    /// Returns the convolution for `edge` under `key`, computing (and
+    /// storing) it via `compute` on a miss. Disabled caches always compute.
+    pub fn get_or_compute(
+        &mut self,
+        edge: usize,
+        key: ConvKey,
+        compute: impl FnOnce() -> Pmf,
+    ) -> &Pmf {
+        self.ensure_edges(edge + 1);
+        let slot = &mut self.slots[edge];
+        let hit = self.enabled && matches!(slot, Some((k, _)) if *k == key);
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+            *slot = Some((key, compute()));
+        }
+        match slot {
+            Some((_, h)) => h,
+            // `slot` was filled on the miss path just above.
+            None => unreachable!("cache slot filled on miss"),
+        }
+    }
+
+    /// Lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that recomputed (including every lookup when disabled).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pmf::convolve_window_pmf;
+
+    fn key(f_version: u64, g_version: u64) -> ConvKey {
+        ConvKey {
+            f_version,
+            g_version,
+            shift: 3,
+            lo: 0,
+            hi: 100,
+        }
+    }
+
+    fn conv() -> Pmf {
+        let f = Pmf::from_sorted(vec![(0, 0.5), (2, 0.5)]);
+        let g = Pmf::from_sorted(vec![(1, 0.6), (4, 0.4)]);
+        convolve_window_pmf(&f, &g, 3, 0, 100)
+    }
+
+    #[test]
+    fn hit_returns_identical_pmf_without_recompute() {
+        let mut c = ConvCache::with_enabled(2, true);
+        let mut computes = 0;
+        let first = c
+            .get_or_compute(0, key(1, 1), || {
+                computes += 1;
+                conv()
+            })
+            .clone();
+        let second = c
+            .get_or_compute(0, key(1, 1), || {
+                computes += 1;
+                conv()
+            })
+            .clone();
+        assert_eq!(computes, 1);
+        assert!(first.bits_eq(&second));
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+    }
+
+    #[test]
+    fn version_bump_invalidates() {
+        let mut c = ConvCache::with_enabled(1, true);
+        c.get_or_compute(0, key(1, 1), conv);
+        c.get_or_compute(0, key(2, 1), conv);
+        c.get_or_compute(0, key(2, 2), conv);
+        assert_eq!((c.hits(), c.misses()), (0, 3));
+    }
+
+    #[test]
+    fn window_change_invalidates() {
+        let mut c = ConvCache::with_enabled(1, true);
+        c.get_or_compute(0, key(1, 1), conv);
+        let wider = ConvKey {
+            hi: 200,
+            ..key(1, 1)
+        };
+        c.get_or_compute(0, wider, conv);
+        assert_eq!((c.hits(), c.misses()), (0, 2));
+    }
+
+    #[test]
+    fn disabled_cache_always_recomputes() {
+        let mut c = ConvCache::with_enabled(1, false);
+        let mut computes = 0;
+        for _ in 0..3 {
+            c.get_or_compute(0, key(1, 1), || {
+                computes += 1;
+                conv()
+            });
+        }
+        assert_eq!(computes, 3);
+        assert_eq!((c.hits(), c.misses()), (0, 3));
+    }
+
+    #[test]
+    fn slots_grow_on_demand() {
+        let mut c = ConvCache::with_enabled(0, true);
+        c.get_or_compute(5, key(1, 1), conv);
+        c.get_or_compute(5, key(1, 1), conv);
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+    }
+}

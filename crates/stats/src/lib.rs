@@ -28,6 +28,7 @@
 //! # }
 //! ```
 
+pub mod cache;
 pub mod descriptive;
 pub mod dist;
 pub mod hist;
@@ -38,6 +39,7 @@ pub mod parallel;
 pub mod pmf;
 pub mod solve;
 
+pub use cache::{ConvCache, ConvKey};
 pub use descriptive::Summary;
 pub use hist::Histogram;
 pub use matrix::Matrix;

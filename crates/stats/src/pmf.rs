@@ -1,15 +1,23 @@
 //! Flat sparse PMF kernels over integer (cycle-count) support.
 //!
-//! A PMF is a `Vec<(u64, f64)>` sorted by support point with strictly
-//! increasing keys — the representation the time-expanded dynamic programs in
-//! `ct-core` use for per-block duration distributions. The kernels here are
-//! the hot primitives of the inference engine: coalescing raw contribution
-//! lists, pruning sub-epsilon mass, windowed slicing, and windowed
-//! convolution of two PMFs.
+//! A PMF is kept in one of two layouts:
 //!
-//! All kernels are allocation-light and branch-predictable: sorted flat
-//! vectors replace the `BTreeMap` frontiers the first implementation used,
-//! which were dominated by pointer-chasing and per-node allocation.
+//! - the array-of-structs `Vec<(u64, f64)>` sorted by support point with
+//!   strictly increasing keys — the representation raw contribution lists use
+//!   while the time-expanded dynamic programs in `ct-core` are still merging
+//!   frontiers; and
+//! - the structure-of-arrays [`Pmf`] (keys `Vec<u64>` + masses `Vec<f64>`) —
+//!   the hot-path representation: the convolution inner loop runs over a
+//!   contiguous `f64` slice (FMA-able, no interleaved keys polluting the
+//!   cache lines), and contiguous-support PMFs skip binary-search slicing
+//!   entirely (run detection is O(1) on strictly increasing keys:
+//!   `last − first + 1 == len`).
+//!
+//! The kernels here are the hot primitives of the inference engine:
+//! coalescing raw contribution lists, pruning sub-epsilon mass, windowed
+//! slicing, and windowed convolution of two PMFs. The SoA kernels reproduce
+//! the tuple-based kernels bit-for-bit: same enumeration order, same
+//! summation order — only the memory layout differs.
 
 /// One support point: `(value, probability_mass)`.
 pub type Entry = (u64, f64);
@@ -37,10 +45,19 @@ pub fn coalesce(entries: &mut Vec<Entry>) {
     entries.truncate(w + 1);
 }
 
-/// Removes entries with mass below `eps`; returns the total mass removed.
+/// Removes entries with mass below `eps`; returns the total (finite) mass
+/// removed.
+///
+/// NaN mass is treated as prunable: `m < eps` is false for NaN, so a
+/// poisoned entry would otherwise silently survive every pruning pass and
+/// propagate through each subsequent convolution. NaN entries are dropped
+/// but excluded from the returned truncation total, which stays finite.
 pub fn prune(entries: &mut Vec<Entry>, eps: f64) -> f64 {
     let mut truncated = 0.0;
     entries.retain(|&(_, m)| {
+        if m.is_nan() {
+            return false;
+        }
         if m < eps {
             truncated += m;
             false
@@ -64,6 +81,136 @@ pub fn slice_range(pmf: &[Entry], lo: u64, hi: u64) -> &[Entry] {
     let start = pmf.partition_point(|&(d, _)| d < lo);
     let end = pmf.partition_point(|&(d, _)| d <= hi);
     &pmf[start..end]
+}
+
+/// Structure-of-arrays PMF: parallel `keys`/`mass` vectors, keys strictly
+/// increasing.
+///
+/// This is the hot-path layout of the inference engine: the convolution and
+/// scoring inner loops traverse the `f64` masses contiguously, and windowing
+/// detects contiguous runs of support (`last − first + 1 == len`) to replace
+/// binary searches with index arithmetic.
+#[derive(Debug, Clone, Default)]
+pub struct Pmf {
+    keys: Vec<u64>,
+    mass: Vec<f64>,
+}
+
+impl PartialEq for Pmf {
+    fn eq(&self, other: &Self) -> bool {
+        self.keys == other.keys && self.mass == other.mass
+    }
+}
+
+impl Pmf {
+    /// The empty PMF.
+    pub fn new() -> Pmf {
+        Pmf::default()
+    }
+
+    /// Builds from entries already sorted with strictly increasing keys
+    /// (the invariant `coalesce` establishes).
+    pub fn from_sorted(entries: Vec<Entry>) -> Pmf {
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+        let mut keys = Vec::with_capacity(entries.len());
+        let mut mass = Vec::with_capacity(entries.len());
+        for (d, m) in entries {
+            keys.push(d);
+            mass.push(m);
+        }
+        Pmf { keys, mass }
+    }
+
+    /// Builds from an arbitrary contribution list, coalescing duplicates
+    /// with the same stable summation order as [`coalesce`].
+    pub fn from_unsorted(mut entries: Vec<Entry>) -> Pmf {
+        coalesce(&mut entries);
+        Pmf::from_sorted(entries)
+    }
+
+    /// Number of support points.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when the PMF has no support.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The support points, ascending.
+    pub fn keys(&self) -> &[u64] {
+        &self.keys
+    }
+
+    /// The masses, parallel to [`Pmf::keys`].
+    pub fn masses(&self) -> &[f64] {
+        &self.mass
+    }
+
+    /// Iterates `(key, mass)` pairs in ascending key order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.keys.iter().copied().zip(self.mass.iter().copied())
+    }
+
+    /// Materializes the tuple representation (for interop and tests).
+    pub fn entries(&self) -> Vec<Entry> {
+        self.iter().collect()
+    }
+
+    /// Total probability mass.
+    pub fn total_mass(&self) -> f64 {
+        self.mass.iter().sum()
+    }
+
+    /// True when the support is one contiguous integer run. O(1) on the
+    /// strictly-increasing key invariant.
+    pub fn is_contiguous(&self) -> bool {
+        match (self.keys.first(), self.keys.last()) {
+            (Some(&first), Some(&last)) => last - first + 1 == self.keys.len() as u64,
+            _ => true,
+        }
+    }
+
+    /// The index range `[start, end)` of support inside `[lo, hi]` (both
+    /// inclusive). Contiguous-support PMFs resolve the range with pure
+    /// index arithmetic; only gapped supports pay for binary searches.
+    pub fn window(&self, lo: u64, hi: u64) -> (usize, usize) {
+        let n = self.keys.len();
+        if lo > hi || n == 0 {
+            return (0, 0);
+        }
+        let first = self.keys[0];
+        let last = self.keys[n - 1];
+        if lo <= first && hi >= last {
+            return (0, n);
+        }
+        if last - first + 1 == n as u64 {
+            let start = lo.saturating_sub(first).min(n as u64) as usize;
+            let end = if hi < first {
+                0
+            } else {
+                (hi - first + 1).min(n as u64) as usize
+            };
+            return (start, end.max(start));
+        }
+        let start = self.keys.partition_point(|&d| d < lo);
+        let end = self.keys.partition_point(|&d| d <= hi);
+        (start, end)
+    }
+
+    /// Bitwise equality: same keys, same mass bit patterns. This is the
+    /// invalidation predicate of the per-edge convolution cache — reused
+    /// factors must be indistinguishable from recomputed ones.
+    pub fn bits_eq(&self, other: &Pmf) -> bool {
+        self.keys == other.keys
+            && self.mass.len() == other.mass.len()
+            && self
+                .mass
+                .iter()
+                .zip(&other.mass)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    }
 }
 
 /// Windowed convolution with shift: returns the PMF
@@ -92,7 +239,11 @@ pub fn convolve_window(f: &[Entry], g: &[Entry], shift: u64, lo: u64, hi: u64) -
     }
 }
 
-fn convolve_dense(
+/// Dense-path windowed convolution: accumulates into a window-sized buffer.
+/// `width` must equal `hi - lo + 1`. Exposed so property tests can pit both
+/// paths against each other on either side of the selection heuristic in
+/// [`convolve_window`].
+pub fn convolve_dense(
     f: &[Entry],
     g: &[Entry],
     shift: u64,
@@ -119,7 +270,10 @@ fn convolve_dense(
         .collect()
 }
 
-fn convolve_sparse(f: &[Entry], g: &[Entry], shift: u64, lo: u64, hi: u64) -> Vec<Entry> {
+/// Sparse-path windowed convolution: collects in-window terms and coalesces.
+/// Exposed so property tests can pit both paths against each other on either
+/// side of the selection heuristic in [`convolve_window`].
+pub fn convolve_sparse(f: &[Entry], g: &[Entry], shift: u64, lo: u64, hi: u64) -> Vec<Entry> {
     let mut terms: Vec<Entry> = Vec::new();
     for &(t, fm) in f {
         let base = t + shift;
@@ -134,6 +288,85 @@ fn convolve_sparse(f: &[Entry], g: &[Entry], shift: u64, lo: u64, hi: u64) -> Ve
     }
     coalesce(&mut terms);
     terms
+}
+
+/// SoA windowed convolution: [`convolve_window`] over [`Pmf`] operands,
+/// bit-identical results (same path selection, same enumeration and
+/// summation order), with two layout advantages on the dense path:
+///
+/// - the inner accumulation reads the mass array contiguously; and
+/// - when the in-window slice of `g` is one contiguous run, the destination
+///   offsets advance by 1 per term, so the loop is a pure
+///   `buf[off + j] += fm * gm[j]` sweep with no per-term index computation.
+pub fn convolve_window_pmf(f: &Pmf, g: &Pmf, shift: u64, lo: u64, hi: u64) -> Pmf {
+    if lo > hi || f.is_empty() || g.is_empty() {
+        return Pmf::new();
+    }
+    let width = (hi - lo + 1) as usize;
+    let pairs = f.len().saturating_mul(g.len());
+    if width <= pairs.saturating_mul(4).max(1024) && width <= (1 << 22) {
+        convolve_dense_pmf(f, g, shift, lo, hi, width)
+    } else {
+        convolve_sparse_pmf(f, g, shift, lo, hi)
+    }
+}
+
+fn convolve_dense_pmf(f: &Pmf, g: &Pmf, shift: u64, lo: u64, hi: u64, width: usize) -> Pmf {
+    let mut buf = vec![0.0f64; width];
+    for (i, &t) in f.keys.iter().enumerate() {
+        let base = t + shift;
+        if base > hi {
+            continue;
+        }
+        let fm = f.mass[i];
+        let s_lo = lo.saturating_sub(base);
+        let s_hi = hi - base;
+        let (a, b) = g.window(s_lo, s_hi);
+        if a == b {
+            continue;
+        }
+        let gk = &g.keys[a..b];
+        let gm = &g.mass[a..b];
+        if gk[gk.len() - 1] - gk[0] + 1 == gk.len() as u64 {
+            // Contiguous run: destination indices advance by one per term.
+            let off = (base + gk[0] - lo) as usize;
+            for (j, &m) in gm.iter().enumerate() {
+                buf[off + j] += fm * m;
+            }
+        } else {
+            for (j, &m) in gm.iter().enumerate() {
+                buf[(base + gk[j] - lo) as usize] += fm * m;
+            }
+        }
+    }
+    let mut keys = Vec::new();
+    let mut mass = Vec::new();
+    for (i, &m) in buf.iter().enumerate() {
+        if m > 0.0 {
+            keys.push(lo + i as u64);
+            mass.push(m);
+        }
+    }
+    Pmf { keys, mass }
+}
+
+fn convolve_sparse_pmf(f: &Pmf, g: &Pmf, shift: u64, lo: u64, hi: u64) -> Pmf {
+    let mut terms: Vec<Entry> = Vec::new();
+    for (i, &t) in f.keys.iter().enumerate() {
+        let base = t + shift;
+        if base > hi {
+            continue;
+        }
+        let fm = f.mass[i];
+        let s_lo = lo.saturating_sub(base);
+        let s_hi = hi - base;
+        let (a, b) = g.window(s_lo, s_hi);
+        for j in a..b {
+            terms.push((base + g.keys[j], fm * g.mass[j]));
+        }
+    }
+    coalesce(&mut terms);
+    Pmf::from_sorted(terms)
 }
 
 #[cfg(test)]
@@ -153,6 +386,18 @@ mod tests {
         let t = prune(&mut v, 1e-9);
         assert_eq!(v, vec![(1, 0.5), (3, 0.5)]);
         assert!((t - 3e-12).abs() < 1e-24);
+    }
+
+    #[test]
+    fn prune_drops_nan_mass() {
+        // `NaN < eps` is false, so NaN used to survive pruning and poison
+        // every downstream convolution. It must be dropped, and the
+        // truncation total must stay finite (NaN mass is not a mass).
+        let mut v = vec![(1, 0.5), (2, f64::NAN), (3, 0.25), (4, 1e-12)];
+        let t = prune(&mut v, 1e-9);
+        assert_eq!(v, vec![(1, 0.5), (3, 0.25)]);
+        assert!(t.is_finite());
+        assert!((t - 1e-12).abs() < 1e-24);
     }
 
     #[test]
@@ -210,5 +455,67 @@ mod tests {
         assert!(convolve_window(&[], &[(1, 1.0)], 0, 0, 10).is_empty());
         assert!(convolve_window(&[(1, 1.0)], &[], 0, 0, 10).is_empty());
         assert!(convolve_window(&[(1, 1.0)], &[(1, 1.0)], 0, 5, 4).is_empty());
+        assert!(convolve_window_pmf(&Pmf::new(), &Pmf::new(), 0, 0, 10).is_empty());
+    }
+
+    #[test]
+    fn pmf_window_matches_slice_range() {
+        // One gapped and one contiguous support; the SoA window must agree
+        // with the tuple slice on both (the contiguous one exercises the
+        // run-detection fast path).
+        let gapped = vec![(1u64, 0.1), (3, 0.2), (5, 0.3), (9, 0.4)];
+        let run: Vec<Entry> = (10u64..30).map(|d| (d, 1.0 / 20.0)).collect();
+        for v in [gapped, run] {
+            let p = Pmf::from_sorted(v.clone());
+            for lo in 0u64..32 {
+                for hi in 0u64..32 {
+                    let s = slice_range(&v, lo, hi);
+                    let (a, b) = p.window(lo, hi);
+                    assert_eq!(&p.entries()[a..b], s, "window [{lo},{hi}]");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pmf_contiguity_detection() {
+        assert!(Pmf::new().is_contiguous());
+        assert!(Pmf::from_sorted(vec![(7, 1.0)]).is_contiguous());
+        assert!(Pmf::from_sorted(vec![(7, 0.5), (8, 0.25), (9, 0.25)]).is_contiguous());
+        assert!(!Pmf::from_sorted(vec![(7, 0.5), (9, 0.5)]).is_contiguous());
+    }
+
+    #[test]
+    fn soa_convolution_matches_tuple_kernel_bitwise() {
+        let f: Vec<Entry> = (0..40).map(|i| (i * 7, (i as f64 + 1.0).recip())).collect();
+        let g: Vec<Entry> = (0..40)
+            .map(|i| (i * 11, (2.0 * i as f64 + 1.0).recip()))
+            .collect();
+        let fp = Pmf::from_sorted(f.clone());
+        let gp = Pmf::from_sorted(g.clone());
+        for (lo, hi) in [(0u64, 800u64), (50, 500), (120, 121), (700, 100_000)] {
+            let tuple = convolve_window(&f, &g, 5, lo, hi);
+            let soa = convolve_window_pmf(&fp, &gp, 5, lo, hi);
+            assert_eq!(soa.len(), tuple.len(), "window [{lo},{hi}]");
+            for ((dk, dm), (tk, tm)) in soa.iter().zip(tuple) {
+                assert_eq!(dk, tk);
+                assert_eq!(dm.to_bits(), tm.to_bits(), "window [{lo},{hi}] at {dk}");
+            }
+        }
+    }
+
+    #[test]
+    fn pmf_roundtrip_and_bits_eq() {
+        let raw = vec![(5, 0.25), (3, 0.5), (5, 0.125), (3, 0.1), (7, 0.025)];
+        let mut coalesced = raw.clone();
+        coalesce(&mut coalesced);
+        let p = Pmf::from_unsorted(raw);
+        assert_eq!(p.entries(), coalesced);
+        assert_eq!(p.len(), 3);
+        assert!((p.total_mass() - 1.0).abs() < 1e-12);
+        let q = Pmf::from_sorted(p.entries());
+        assert!(p.bits_eq(&q));
+        let r = Pmf::from_sorted(vec![(3, 0.6), (5, 0.375), (7, 0.026)]);
+        assert!(!p.bits_eq(&r));
     }
 }

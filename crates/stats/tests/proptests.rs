@@ -5,11 +5,31 @@ use ct_stats::dist::{project_to_simplex, Categorical};
 use ct_stats::matrix::Matrix;
 use ct_stats::metrics::{kl_divergence, total_variation};
 use ct_stats::nnls::{nnls, NnlsOptions};
+use ct_stats::pmf::{self, Pmf};
 use ct_stats::solve::{lstsq, Lu};
 use proptest::prelude::*;
 
 fn small_vec(n: usize) -> impl Strategy<Value = Vec<f64>> {
     proptest::collection::vec(-100.0f64..100.0, n)
+}
+
+/// A random normalized PMF: up to 24 support points on a random stride, so
+/// the product-support width of a convolution pair lands on both sides of
+/// `convolve_window`'s dense/sparse cutoff (`width <= max(4·pairs, 1024)`).
+fn rand_pmf() -> impl Strategy<Value = Vec<(u64, f64)>> {
+    (
+        0u64..200,
+        prop_oneof![1u64..4, 30u64..500],
+        proptest::collection::vec(0.01f64..1.0, 1..24),
+    )
+        .prop_map(|(base, stride, masses)| {
+            let total: f64 = masses.iter().sum();
+            masses
+                .iter()
+                .enumerate()
+                .map(|(i, &m)| (base + i as u64 * stride, m / total))
+                .collect()
+        })
 }
 
 proptest! {
@@ -104,6 +124,63 @@ proptest! {
         let pp = project_to_simplex(&p);
         for (a, b) in p.iter().zip(&pp) {
             prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    /// The dense and sparse windowed-convolution kernels agree to 1e-12 on
+    /// randomized PMFs whose window widths straddle the selection cutoff in
+    /// `convolve_window` — both are exact enumerations of the same terms,
+    /// only the accumulation order differs.
+    #[test]
+    fn convolution_kernels_agree(
+        f in rand_pmf(),
+        g in rand_pmf(),
+        shift in 0u64..64,
+        clip in 0u64..32,
+    ) {
+        let lo_full = f[0].0 + g[0].0 + shift;
+        let hi_full = f[f.len() - 1].0 + g[g.len() - 1].0 + shift;
+        let (lo, hi) = (lo_full + clip, hi_full.saturating_sub(clip));
+        prop_assume!(lo <= hi);
+        let width = (hi - lo + 1) as usize;
+        let dense = pmf::convolve_dense(&f, &g, shift, lo, hi, width);
+        let sparse = pmf::convolve_sparse(&f, &g, shift, lo, hi);
+        prop_assert_eq!(dense.len(), sparse.len());
+        for (&(kd, md), &(ks, ms)) in dense.iter().zip(&sparse) {
+            prop_assert_eq!(kd, ks);
+            prop_assert!((md - ms).abs() < 1e-12, "key {kd}: dense {md} vs sparse {ms}");
+        }
+        // Whichever path the cutoff picks, the front door returns one of them.
+        let picked = pmf::convolve_window(&f, &g, shift, lo, hi);
+        prop_assert!(picked == dense || picked == sparse);
+    }
+
+    /// The SoA convolution (`convolve_window_pmf`) is bit-identical to the
+    /// tuple-based reference (`convolve_window`) — same path selection, same
+    /// enumeration and summation order.
+    #[test]
+    fn soa_convolution_matches_tuple_bitwise(
+        f in rand_pmf(),
+        g in rand_pmf(),
+        shift in 0u64..64,
+        clip in 0u64..32,
+    ) {
+        let lo_full = f[0].0 + g[0].0 + shift;
+        let hi_full = f[f.len() - 1].0 + g[g.len() - 1].0 + shift;
+        let (lo, hi) = (lo_full + clip, hi_full.saturating_sub(clip));
+        prop_assume!(lo <= hi);
+        let tuple = pmf::convolve_window(&f, &g, shift, lo, hi);
+        let soa = pmf::convolve_window_pmf(
+            &Pmf::from_sorted(f),
+            &Pmf::from_sorted(g),
+            shift,
+            lo,
+            hi,
+        );
+        prop_assert_eq!(tuple.len(), soa.len());
+        for ((kt, mt), (ks, ms)) in tuple.iter().zip(soa.iter()) {
+            prop_assert_eq!(*kt, ks);
+            prop_assert_eq!(mt.to_bits(), ms.to_bits(), "key {}: {} vs {}", kt, mt, ms);
         }
     }
 

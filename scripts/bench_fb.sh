@@ -1,11 +1,17 @@
 #!/usr/bin/env bash
-# Benchmarks the inference engine and writes BENCH_fb.json at the repo root.
+# Benchmarks the inference engine and appends one timestamped run to the
+# BENCH_fb.json trajectory at the repo root.
 #
-# Runs the estimator and mote-simulator Criterion suites (microbench
-# throughput of the forward-backward kernels and the interpreter) plus a
-# wall-clock timing of the full e1_accuracy sweep — the end-to-end number the
-# 0.2.0 engine rework is judged by. CT_THREADS is recorded so single-core vs
-# parallel runs are distinguishable.
+# BENCH_fb.json is an append-only history (schema bench_fb/2, maintained by
+# the ct-bench `bench_guard` tool): every run of this script adds an entry,
+# and scripts/check.sh fails when the newest `estimators/em` mean regresses
+# >15% against the best recorded run. Legacy single-snapshot files are
+# migrated into the first history entry automatically.
+#
+# Runs the estimator, convolution-kernel, and mote-simulator Criterion
+# suites plus a wall-clock timing of the full e1_accuracy sweep — the
+# end-to-end number the estimation hot path is judged by. CT_THREADS is
+# recorded so single-core vs parallel runs are distinguishable.
 #
 # Usage: scripts/bench_fb.sh            # defaults
 #        CT_THREADS=1 scripts/bench_fb.sh
@@ -23,7 +29,7 @@ echo "== building (release) =="
 cargo build --release -p ct-bench >/dev/null
 
 bench_lines=""
-for suite in estimators mote_sim; do
+for suite in estimators pmf mote_sim; do
     echo "== cargo bench: $suite =="
     # The vendored criterion shim prints: "bench: <label> ... <mean_ns> ns/iter (<N> iters)"
     out=$(cargo bench -p ct-bench --bench "$suite" 2>&1 | grep '^bench:' || true)
@@ -38,25 +44,8 @@ end_ns=$(date +%s%N)
 e1_ms=$(( (end_ns - start_ns) / 1000000 ))
 echo "e1_accuracy: ${e1_ms} ms (CT_THREADS=${THREADS})"
 
-{
-    echo '{'
-    echo '  "threads": '"$THREADS"','
-    echo '  "e1_accuracy_wall_ms": '"$e1_ms"','
-    echo '  "kernels": ['
-    # "bench: <label> ... <mean_ns> ns/iter (<N> iters)" -> JSON objects
-    first=1
-    while IFS= read -r line; do
-        [ -z "$line" ] && continue
-        label=$(echo "$line" | sed -E 's/^bench: (.*) \.\.\. .*/\1/')
-        ns=$(echo "$line" | sed -E 's|.* ([0-9]+(\.[0-9]+)?) ns/iter.*|\1|')
-        [ "$first" -eq 0 ] && echo ','
-        first=0
-        printf '    {"kernel": "%s", "mean_ns_per_iter": %s}' "$label" "$ns"
-    done <<< "$bench_lines"
-    echo ''
-    echo '  ]'
-    echo '}'
-} > "$OUT"
-
-echo "== wrote $OUT =="
-cat "$OUT"
+echo "== appending to $OUT trajectory =="
+printf '%s' "$bench_lines" | \
+    ./target/release/bench_guard append "$OUT" "$THREADS" "$e1_ms"
+./target/release/bench_guard validate "$OUT"
+./target/release/bench_guard check "$OUT"

@@ -10,11 +10,11 @@ cargo fmt --all -- --check
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== cargo clippy (unwrap audit: ct-core, ct-faults, ct-obs, ct-mote) =="
-# Estimation, fault-injection, observability, and mote-interpreter paths
-# must not panic on data: surface any unwrap()/expect() as warnings so
-# reviewers see every remaining site.
-cargo clippy -p ct-core -p ct-faults -p ct-obs -p ct-mote --all-targets -- \
+echo "== cargo clippy (unwrap audit: ct-core, ct-faults, ct-obs, ct-mote, ct-stats) =="
+# Estimation, fault-injection, observability, mote-interpreter, and numeric
+# substrate (convolution cache) paths must not panic on data: surface any
+# unwrap()/expect() as warnings so reviewers see every remaining site.
+cargo clippy -p ct-core -p ct-faults -p ct-obs -p ct-mote -p ct-stats --all-targets -- \
     -W clippy::unwrap_used -W clippy::expect_used
 
 echo "== cargo doc (deny warnings) =="
@@ -30,6 +30,19 @@ cargo test --release -p ct-pipeline --test merge_props --quiet
 echo "== e13 smoke sweep (fault-injection pipeline end to end) =="
 cargo build --release -p ct-bench --bin e13_faults
 E13_SMOKE=1 ./target/release/e13_faults > /dev/null
+
+echo "== bench smoke (fast-mode kernels + BENCH_fb.json trajectory gate) =="
+# The convolution kernels must run clean at tiny budgets, the trajectory
+# must parse with the bench_fb/2 schema, and the newest recorded
+# estimators/em mean must stay within 15% of the best recorded run.
+cargo build --release -p ct-bench --bin bench_guard
+# Capture before grepping: `grep -q` exits at first match and the resulting
+# SIGPIPE aborts the still-printing bench under pipefail.
+pmf_out=$(CT_BENCH_WARMUP_MS=20 CT_BENCH_MEASURE_MS=50 \
+    cargo bench -p ct-bench --bench pmf 2>&1)
+grep -q '^bench: pmf/convolve-soa' <<< "$pmf_out"
+./target/release/bench_guard validate BENCH_fb.json
+./target/release/bench_guard check BENCH_fb.json
 
 echo "== trace smoke (observability on == observability off) =="
 # A traced e1 run must produce valid JSONL (ct-obs-report parses it) and

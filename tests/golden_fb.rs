@@ -106,14 +106,14 @@ fn tables_match_reference_on_app_registry() {
             assert_pmf_close(
                 &name,
                 &format!("forward[{b}]"),
-                &new.forward[b],
-                &old.forward[b],
+                &new.forward[b].entries(),
+                &old.forward[b].entries(),
             );
             assert_pmf_close(
                 &name,
                 &format!("backward[{b}]"),
-                &new.backward[b],
-                &old.backward[b],
+                &new.backward[b].entries(),
+                &old.backward[b].entries(),
             );
         }
         // `truncated` counts mass pruned at engine-specific merge points, so
@@ -138,7 +138,7 @@ fn e_step_matches_reference_on_app_registry() {
         let probs = probs_for(&cfg);
         let tables = fb_reference::compute_tables(&cfg, &bc, &ec, &probs, params())
             .unwrap_or_else(|e| panic!("{name}: reference tables failed: {e}"));
-        let duration = tables.duration_pmf(&cfg).clone();
+        let duration = tables.duration_pmf(&cfg).entries();
         assert!(!duration.is_empty(), "{name}: empty duration distribution");
 
         // Cycle-accurate and two coarse timers.
@@ -182,8 +182,8 @@ fn tables_match_reference_at_default_pruning() {
         let p = FbParams::default();
         let new = compute_tables(&cfg, &bc, &ec, &probs, p).unwrap();
         let old = fb_reference::compute_tables(&cfg, &bc, &ec, &probs, p).unwrap();
-        let mass_new: f64 = new.duration_pmf(&cfg).iter().map(|&(_, m)| m).sum();
-        let mass_old: f64 = old.duration_pmf(&cfg).iter().map(|&(_, m)| m).sum();
+        let mass_new: f64 = new.duration_pmf(&cfg).total_mass();
+        let mass_old: f64 = old.duration_pmf(&cfg).total_mass();
         assert!(
             (mass_new - mass_old).abs() < 1e-6,
             "{name}: duration mass {mass_new} vs {mass_old}"
