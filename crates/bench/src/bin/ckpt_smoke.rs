@@ -1,0 +1,67 @@
+//! Checkpoint round-trip smoke: snapshot a streaming fleet run, restore it
+//! exactly, then corrupt one payload byte and assert the typed rejection —
+//! all enforced by exit status (for `scripts/check.sh`).
+//!
+//! This is the deployment-shaped sanity pass over the unit tests: a real
+//! snapshot produced by the real ingestion loop, through the real files.
+
+use ct_pipeline::{Checkpoint, CheckpointError, CheckpointPolicy, Fleet, RunConfig};
+
+fn main() {
+    let path = std::env::temp_dir().join(format!("ct_ckpt_smoke_{}.ckpt", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    let fleet = Fleet::new(RunConfig::new("sense").invocations(120).seeded(5), 3);
+    let fr = fleet.run().expect("fleet runs");
+    let reference = fleet.estimate_streaming(&fr).expect("reference estimates");
+
+    // Snapshot at the second batch boundary, then resume from it.
+    let halted = fleet
+        .estimate_streaming_with(&fr, &CheckpointPolicy::to(&path).halt_after(2))
+        .expect("halted run estimates");
+    assert!(halted.halted && path.exists(), "no snapshot written");
+    let snapshot = Checkpoint::load(&path).expect("snapshot decodes");
+    assert_eq!(snapshot.batches, 2);
+    let resumed = fleet
+        .estimate_streaming_with(&fr, &CheckpointPolicy::to(&path))
+        .expect("resumed run estimates");
+    assert!(resumed.restored, "snapshot was not restored");
+    assert_eq!(resumed.batch_iterations, reference.batch_iterations);
+    for (a, b) in resumed
+        .estimated
+        .estimate
+        .probs
+        .as_slice()
+        .iter()
+        .zip(reference.estimated.estimate.probs.as_slice())
+    {
+        assert_eq!(a.to_bits(), b.to_bits(), "restore is not bitwise exact");
+    }
+
+    // Corrupt one payload byte: decoding must fail with a *typed* error
+    // (checksum), and the ingestion loop must degrade to a clean start that
+    // still reaches the reference answer — never panic.
+    let mut bytes = std::fs::read(&path).expect("snapshot readable");
+    let mid = 16 + (bytes.len() - 24) / 2; // middle of the payload
+    bytes[mid] ^= 0xA5;
+    std::fs::write(&path, &bytes).expect("corruption written");
+    match Checkpoint::load(&path) {
+        Err(CheckpointError::ChecksumMismatch { .. }) => {}
+        other => panic!("corrupt snapshot decoded as {other:?}"),
+    }
+    let fallback = fleet
+        .estimate_streaming_with(&fr, &CheckpointPolicy::to(&path))
+        .expect("corrupt snapshot must degrade, not fail");
+    assert!(!fallback.restored, "corrupt snapshot restored");
+    assert_eq!(fallback.batch_iterations, reference.batch_iterations);
+
+    // And a truncated file is typed too.
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).expect("truncation written");
+    assert!(
+        Checkpoint::load(&path).is_err(),
+        "truncated snapshot accepted"
+    );
+
+    let _ = std::fs::remove_file(&path);
+    println!("ckpt_smoke: snapshot/restore bitwise, corruption typed-rejected");
+}

@@ -1,0 +1,203 @@
+//! E15 — Chaos harness for fault-tolerant fleet ingestion (Table, extension).
+//!
+//! Claims evaluated, each enforced by exit status:
+//!
+//! 1. **Recovery is exact**: at fault rate zero, a streaming run forced
+//!    through checkpoint/halt/restore cycling at every batch boundary is
+//!    bitwise identical to the uninterrupted run.
+//! 2. **Duplicates never change results**: cells that only duplicate
+//!    deliveries merge to the clean cell's statistics and estimate bits.
+//! 3. **Graceful degradation**: cells that kept ≥ 80% fleet coverage
+//!    estimate within tolerance of the full-coverage run, and every
+//!    estimate's confidence equals its coverage discount.
+//!
+//! The grid sweeps crash rate × duplication rate × straggler rate; each
+//! cell runs a fleet under a seeded [`MoteFaultPlan`] with bounded retries
+//! and a straggler timeout, then reports its recovery counters
+//! (`retries` / `dedup` / `stragglers` / `failed`) alongside coverage and
+//! accuracy. The aggregated `fleet.*` / `ckpt.*` counters land in the run
+//! manifest.
+
+use ct_bench::{f2, f4, write_manifest_env, write_result, Table};
+use ct_faults::{MoteFaultKind, MoteFaultPlan};
+use ct_pipeline::{quiet_injected_crashes, CheckpointPolicy, EnvConfig, Fleet, RunConfig};
+
+/// Seed of a grid cell's fault plan: a pure function of the cell indices,
+/// so the grid replays bitwise at any sweep order.
+fn cell_seed(base: u64, ci: usize, di: usize, si: usize) -> u64 {
+    base.wrapping_add((ci as u64) << 16)
+        .wrapping_add((di as u64) << 8)
+        .wrapping_add(si as u64)
+}
+
+fn main() {
+    quiet_injected_crashes();
+    let env = EnvConfig::load();
+    eprintln!("e15: {}", env.banner());
+    let n = env.pick(200, 80);
+    let motes = env.pick(10, 5);
+    let seed = env.seed_or(47);
+    let rates: &[f64] = if env.smoke {
+        &[0.0, 0.5]
+    } else {
+        &[0.0, 0.3, 0.6]
+    };
+    let attempts = 8;
+    // Straggler delays draw uniformly in 1..=1000 virtual ms; timing out at
+    // 500 excludes a triggered straggler about half the time.
+    let timeout = 500;
+
+    let config = RunConfig::new("sense").invocations(n).seeded(seed);
+
+    // Claim 1: checkpoint/halt/restore cycling at every batch boundary,
+    // zero faults. The resumed chain of one-batch runs must finish bitwise
+    // equal to the uninterrupted reference.
+    let clean_fleet = Fleet::new(config.clone(), motes);
+    let clean_run = clean_fleet.run().expect("clean fleet runs");
+    let reference = clean_fleet
+        .estimate_streaming(&clean_run)
+        .expect("reference estimates");
+    let ckpt_path = std::env::temp_dir().join(format!("ct_e15_cycle_{}.ckpt", std::process::id()));
+    let _ = std::fs::remove_file(&ckpt_path);
+    let mut cycles = 0usize;
+    let recovered = loop {
+        let report = clean_fleet
+            .estimate_streaming_with(&clean_run, &CheckpointPolicy::to(&ckpt_path).halt_after(1))
+            .expect("cycled run estimates");
+        cycles += 1;
+        assert!(cycles <= motes + 1, "checkpoint cycling failed to converge");
+        if !report.halted {
+            break report;
+        }
+    };
+    let _ = std::fs::remove_file(&ckpt_path);
+    // One lifetime per batch, plus the final lifetime that restores a
+    // complete ledger, ingests nothing, and reports the finished estimate.
+    assert_eq!(
+        cycles,
+        motes + 1,
+        "expected one process lifetime per batch plus the completing one"
+    );
+    assert_eq!(recovered.batches, reference.batches);
+    assert_eq!(
+        recovered.batch_iterations, reference.batch_iterations,
+        "recovery changed the iteration trail"
+    );
+    for (a, b) in recovered
+        .estimated
+        .estimate
+        .probs
+        .as_slice()
+        .iter()
+        .zip(reference.estimated.estimate.probs.as_slice())
+    {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "recovery is not bitwise identical to the uninterrupted run"
+        );
+    }
+    let full_mae = reference.estimated.accuracy.mae;
+
+    let mut table = Table::new(vec![
+        "crash",
+        "dup",
+        "straggle",
+        "delivered",
+        "coverage",
+        "retries",
+        "dedup",
+        "stragglers",
+        "failed",
+        "confidence",
+        "mae",
+    ]);
+
+    for (ci, &crash) in rates.iter().enumerate() {
+        for (di, &dup) in rates.iter().enumerate() {
+            for (si, &straggle) in rates.iter().enumerate() {
+                let plan = MoteFaultPlan::new(cell_seed(seed, ci, di, si))
+                    .with(MoteFaultKind::CrashMidRun, crash)
+                    .with(MoteFaultKind::CrashBeforeReport, crash / 2.0)
+                    .with(MoteFaultKind::DuplicateDelivery, dup)
+                    .with(MoteFaultKind::LostDelivery, dup / 2.0)
+                    .with(MoteFaultKind::StragglerDelay, straggle);
+                let fleet = Fleet::new(config.clone(), motes)
+                    .with_mote_faults(plan)
+                    .attempts(attempts)
+                    .straggler_timeout(timeout);
+                let fr = fleet.run().expect("chaos cell runs");
+                let est = fleet.estimate(&fr).expect("chaos cell estimates");
+
+                // Claim 3a: confidence always carries the coverage discount.
+                assert!(
+                    (est.confidence - fr.coverage()).abs() < 1e-12,
+                    "confidence {} != coverage {}",
+                    est.confidence,
+                    fr.coverage()
+                );
+                // Claim 2: duplication-only cells change nothing.
+                if crash == 0.0 && straggle == 0.0 {
+                    assert_eq!(
+                        fr.stats, clean_run.stats,
+                        "duplicates changed the merged statistics"
+                    );
+                    for (a, b) in est
+                        .estimate
+                        .probs
+                        .as_slice()
+                        .iter()
+                        .zip(reference.estimated.estimate.probs.as_slice())
+                    {
+                        assert!(
+                            (a - b).abs() < 1e-9,
+                            "duplicates moved the estimate: {a} vs {b}"
+                        );
+                    }
+                }
+                // Claim 3b: well-covered cells stay near full accuracy.
+                if fr.coverage() >= 0.8 {
+                    assert!(
+                        est.accuracy.mae <= full_mae + 0.04,
+                        "coverage {:.2} cell mae {} strayed from full-coverage mae {}",
+                        fr.coverage(),
+                        est.accuracy.mae,
+                        full_mae
+                    );
+                }
+
+                table.row(vec![
+                    f2(crash),
+                    f2(dup),
+                    f2(straggle),
+                    format!("{}/{}", fr.delivered, fr.motes),
+                    f2(fr.coverage()),
+                    fr.retries.to_string(),
+                    fr.dedup_dropped.to_string(),
+                    fr.stragglers.to_string(),
+                    fr.failed.to_string(),
+                    f2(est.confidence),
+                    f4(est.accuracy.mae),
+                ]);
+            }
+        }
+    }
+
+    let out = format!(
+        "# E15 — Chaos harness: fleet ingestion under injected faults\n\n\
+         `sense`, {motes} motes x {n} invocations, seed {seed}, {attempts} attempts,\n\
+         straggler timeout {timeout} virtual ms. Exit-status-enforced claims: recovery\n\
+         from checkpoint cycling is bitwise exact ({cycles} process lifetimes), duplicate\n\
+         deliveries never change results, and cells keeping >= 80% coverage estimate\n\
+         within 0.04 MAE of the full-coverage run (full-coverage mae {}).\n\
+         {}\n\n{}",
+        f4(full_mae),
+        env.banner(),
+        table.to_markdown()
+    );
+    println!("{out}");
+    write_manifest_env("e15_chaos");
+    if !env.smoke {
+        write_result("e15_chaos.md", &out);
+    }
+}

@@ -79,5 +79,5 @@ pub use quantize::{
     duration_window, pmf_tick_score_soa, tick_likelihood, try_duration_window, WindowError,
 };
 pub use samples::{DurationSamples, SampleIssue, TimingSamples, TrimPolicy};
-pub use stream::{ResolutionMismatch, SampleBatch, SuffStats};
+pub use stream::{BatchTag, ResolutionMismatch, SampleBatch, SuffStats};
 pub use unrolled::{estimate_unrolled, UnrolledError, UnrolledEstimate};

@@ -32,16 +32,38 @@ use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
+/// The delivery identity of one batch: which mote produced it and its
+/// per-mote sequence number.
+///
+/// The fleet transport is **at-least-once**: a batch may arrive twice (link
+/// retransmission after a lost acknowledgement), late, or out of order — but
+/// a redelivery carries the *same* tag as the original. [`SuffStats::merge`]
+/// is commutative, so late and reordered arrival are already harmless;
+/// duplicates are the only hazard, and an ingest path that drops every tag
+/// it has already folded in makes ingestion idempotent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BatchTag {
+    /// The producing mote's fleet index.
+    pub mote: u64,
+    /// The batch's sequence number within that mote's stream.
+    pub seq: u64,
+}
+
 /// An append-only buffer of tick samples from one source, in arrival order.
 ///
 /// A batch is the unit of ingestion: one mote's radio payload, one flash-log
 /// segment. Batches reduce to [`SuffStats`] via [`SampleBatch::stats`] and
 /// materialize to [`TimingSamples`] (preserving arrival order) via
 /// [`SampleBatch::into_samples`].
+///
+/// A batch may carry a [`BatchTag`] naming its producer and sequence number;
+/// tagged batches are the unit of the fleet's at-least-once delivery
+/// contract (redeliveries repeat the tag, so ingest can deduplicate).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SampleBatch {
     ticks: Vec<u64>,
     cycles_per_tick: u64,
+    tag: Option<BatchTag>,
 }
 
 impl SampleBatch {
@@ -57,7 +79,19 @@ impl SampleBatch {
         Ok(SampleBatch {
             ticks: Vec::new(),
             cycles_per_tick,
+            tag: None,
         })
+    }
+
+    /// Stamps the batch with its delivery identity (builder style).
+    pub fn tagged(mut self, tag: BatchTag) -> SampleBatch {
+        self.tag = Some(tag);
+        self
+    }
+
+    /// The batch's delivery identity, if stamped.
+    pub fn tag(&self) -> Option<BatchTag> {
+        self.tag
     }
 
     /// Appends one tick sample.
@@ -75,6 +109,7 @@ impl SampleBatch {
         SampleBatch {
             ticks: samples.ticks().to_vec(),
             cycles_per_tick: samples.cycles_per_tick(),
+            tag: None,
         }
     }
 
@@ -194,6 +229,55 @@ impl SuffStats {
         for &t in samples.ticks() {
             s.push(t);
         }
+        s
+    }
+
+    /// Rebuilds statistics from a serialized distinct-tick histogram — the
+    /// checkpoint/restore entry point.
+    ///
+    /// Every derived accumulator (`n`, `sum`, `sum_sq`, `overflowing`) is a
+    /// pure function of `(hist, cycles_per_tick)`, so a snapshot only needs
+    /// the histogram and the sticky saturation flag: the rebuild is bitwise
+    /// identical to pushing every sample again. (The flag is also
+    /// recomputable — saturation happens exactly when the true Σt² exceeds
+    /// `u128::MAX`, which every accumulation order detects — but it is OR'd
+    /// with `saturated` so a snapshot can never *lower* validation state.)
+    /// Zero-count entries are skipped; all arithmetic saturates, so a
+    /// corrupt histogram can degrade the statistics but never panic.
+    pub fn from_histogram(
+        cycles_per_tick: u64,
+        hist: impl IntoIterator<Item = (u64, u64)>,
+        saturated: bool,
+    ) -> SuffStats {
+        let mut s = SuffStats::new(cycles_per_tick);
+        let mut clamped = false;
+        for (t, c) in hist {
+            if c == 0 {
+                continue;
+            }
+            *s.hist.entry(t).or_insert(0) += c;
+            s.n = s.n.saturating_add(c);
+            s.sum = s.sum.saturating_add((t as u128).saturating_mul(c as u128));
+            let sq_total = (t as u128)
+                .checked_mul(t as u128)
+                .and_then(|sq| sq.checked_mul(c as u128));
+            s.sum_sq = match sq_total.and_then(|v| s.sum_sq.checked_add(v)) {
+                Some(v) => v,
+                None => {
+                    clamped = true;
+                    u128::MAX
+                }
+            };
+            if t.checked_add(1)
+                .and_then(|t1| t1.checked_mul(cycles_per_tick))
+                .is_none()
+            {
+                s.overflowing += c;
+            }
+        }
+        // Restores must not replay the saturation warning the original
+        // accumulation already announced; set the flag without the event.
+        s.saturated = saturated || clamped;
         s
     }
 
@@ -497,6 +581,52 @@ mod tests {
             mono.push(big);
         }
         assert_eq!(ab, mono);
+    }
+
+    #[test]
+    fn batch_tag_is_optional_and_preserved() {
+        let tag = BatchTag { mote: 3, seq: 7 };
+        let mut b = SampleBatch::new(8).unwrap().tagged(tag);
+        b.extend([5, 3]);
+        assert_eq!(b.tag(), Some(tag));
+        assert_eq!(SampleBatch::new(8).unwrap().tag(), None);
+        // The tag is delivery metadata: the statistics ignore it.
+        let mut untagged = SampleBatch::new(8).unwrap();
+        untagged.extend([5, 3]);
+        assert_eq!(b.stats(), untagged.stats());
+    }
+
+    #[test]
+    fn from_histogram_rebuilds_bitwise() {
+        let mut s = SuffStats::new(8);
+        for t in [5, 3, 5, 9, 0, u64::MAX] {
+            s.push(t);
+        }
+        let pairs: Vec<(u64, u64)> = s.histogram().collect();
+        let rebuilt = SuffStats::from_histogram(8, pairs, s.saturated());
+        assert_eq!(rebuilt, s);
+        assert_eq!(rebuilt.overflowing(), s.overflowing());
+    }
+
+    #[test]
+    fn from_histogram_rebuilds_saturated_stats_and_skips_zero_counts() {
+        let big = u64::MAX - 1;
+        let mut s = SuffStats::new(1);
+        s.push(big);
+        s.push(big);
+        assert!(s.saturated());
+        let pairs: Vec<(u64, u64)> = s.histogram().collect();
+        let rebuilt = SuffStats::from_histogram(1, pairs.clone(), s.saturated());
+        assert_eq!(rebuilt, s);
+        // The flag is recomputed even if the snapshot under-reports it.
+        assert!(SuffStats::from_histogram(1, pairs, false).saturated());
+        // Zero-count entries never exist in pushed stats; skip them.
+        let padded = SuffStats::from_histogram(4, vec![(2, 3), (5, 0)], false);
+        let mut direct = SuffStats::new(4);
+        for _ in 0..3 {
+            direct.push(2);
+        }
+        assert_eq!(padded, direct);
     }
 
     #[test]

@@ -43,12 +43,14 @@
 //! ```
 
 pub mod model;
+pub mod mote;
 pub mod plan;
 
 pub use model::{
     ClockDrift, Duplication, FaultModel, MisreportedResolution, RecordLoss, Reordering, StuckAt,
     TruncatedBatch,
 };
+pub use mote::{MoteFaultKind, MoteFaultOutcome, MoteFaultPlan, MAX_STRAGGLER_DELAY};
 pub use plan::{FaultChain, FaultPlan};
 
 use std::fmt;

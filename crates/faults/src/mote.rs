@@ -1,0 +1,244 @@
+//! Mote-level (system) fault plans: crash, straggle, lose, duplicate.
+//!
+//! The measurement-channel models in [`crate::model`] corrupt the *content*
+//! of a tick stream; this module models the *system* failures around it —
+//! the mote or its report never arriving at all. A [`MoteFaultPlan`] mirrors
+//! [`crate::FaultPlan`]: a seed plus `(kind, rate)` pairs, cheap to store in
+//! experiment configs. Instead of rewriting samples it answers one question
+//! per delivery attempt — [`MoteFaultPlan::outcome`] — as a **pure function
+//! of `(seed, mote, attempt)`**: no shared generator threads through the
+//! fleet, so the fan-out can evaluate outcomes from any worker thread in any
+//! order and every run replays bitwise.
+//!
+//! The taxonomy covers the fleet driver's recovery paths:
+//!
+//! - **crash-mid-run** — the mote panics while driving the workload; the
+//!   fleet catches the unwind at the fan-out boundary and retries;
+//! - **crash-before-report** — the run completes but the mote dies before
+//!   reporting; the work is lost and the attempt retries;
+//! - **lost delivery** — the report is sent but never acknowledged; under
+//!   at-least-once delivery the mote retransmits (a retry);
+//! - **duplicate delivery** — the acknowledgement is lost instead, so the
+//!   same report (same [`ct_core::BatchTag`]) arrives twice; ingest-side
+//!   deduplication must make this invisible;
+//! - **straggler delay** — the mote is alive but slow; past the fleet's
+//!   straggler timeout the collection round proceeds without it.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// The mote-level fault taxonomy the chaos experiments sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MoteFaultKind {
+    /// Panic while driving the workload (caught at the fan-out boundary).
+    CrashMidRun,
+    /// The run completes but the mote dies before its report leaves.
+    CrashBeforeReport,
+    /// The report is lost in flight; the sender retransmits.
+    LostDelivery,
+    /// The acknowledgement is lost; the same report arrives twice.
+    DuplicateDelivery,
+    /// The mote responds, but late (delay drawn in `1..=MAX_STRAGGLER_DELAY`
+    /// virtual milliseconds when triggered).
+    StragglerDelay,
+}
+
+/// Largest straggler delay [`MoteFaultPlan::outcome`] can draw, in virtual
+/// milliseconds. A triggered straggler draws uniformly in `1..=MAX`.
+pub const MAX_STRAGGLER_DELAY: u64 = 1_000;
+
+impl MoteFaultKind {
+    /// Every mote fault kind, in taxonomy order.
+    pub const ALL: [MoteFaultKind; 5] = [
+        MoteFaultKind::CrashMidRun,
+        MoteFaultKind::CrashBeforeReport,
+        MoteFaultKind::LostDelivery,
+        MoteFaultKind::DuplicateDelivery,
+        MoteFaultKind::StragglerDelay,
+    ];
+
+    /// Stable machine-readable name (used in experiment CSV columns).
+    pub fn name(self) -> &'static str {
+        match self {
+            MoteFaultKind::CrashMidRun => "crash-mid-run",
+            MoteFaultKind::CrashBeforeReport => "crash-before-report",
+            MoteFaultKind::LostDelivery => "lost-delivery",
+            MoteFaultKind::DuplicateDelivery => "duplicate-delivery",
+            MoteFaultKind::StragglerDelay => "straggler-delay",
+        }
+    }
+}
+
+impl fmt::Display for MoteFaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What one delivery attempt suffers: every triggered fault, resolved
+/// together so composed plans behave like composed failure modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MoteFaultOutcome {
+    /// The workload panics mid-run.
+    pub crash_mid_run: bool,
+    /// The mote dies after the run, before reporting.
+    pub crash_before_report: bool,
+    /// The report is lost in flight.
+    pub lost_delivery: bool,
+    /// The report arrives twice under one tag.
+    pub duplicate_delivery: bool,
+    /// Response delay in virtual milliseconds (0 = on time).
+    pub straggler_delay: u64,
+}
+
+impl MoteFaultOutcome {
+    /// The no-fault outcome (what a plan-less fleet sees).
+    pub fn clean() -> MoteFaultOutcome {
+        MoteFaultOutcome::default()
+    }
+}
+
+/// A reproducible description of mote-level fault injection: seed plus
+/// ordered `(kind, rate)` pairs, mirroring [`crate::FaultPlan`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MoteFaultPlan {
+    /// Seed of the injection's random stream.
+    pub seed: u64,
+    /// The faults to inject, each with its per-attempt rate in `[0, 1]`.
+    pub faults: Vec<(MoteFaultKind, f64)>,
+}
+
+impl MoteFaultPlan {
+    /// An empty plan (injects nothing) with the given seed.
+    pub fn new(seed: u64) -> MoteFaultPlan {
+        MoteFaultPlan {
+            seed,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Appends a fault to the plan (builder style).
+    pub fn with(mut self, kind: MoteFaultKind, rate: f64) -> MoteFaultPlan {
+        self.faults.push((kind, rate));
+        self
+    }
+
+    /// A single-fault plan.
+    pub fn single(kind: MoteFaultKind, rate: f64, seed: u64) -> MoteFaultPlan {
+        MoteFaultPlan::new(seed).with(kind, rate)
+    }
+
+    /// Resolves what delivery attempt `attempt` of mote `mote` suffers.
+    ///
+    /// Pure function of `(self, mote, attempt)`: a per-attempt generator is
+    /// seeded from a SplitMix-style mix of the three, then the plan's faults
+    /// draw from it in plan order. Repeated kinds OR their triggers (the
+    /// maximum delay wins for stragglers). Rates are clamped into `[0, 1]`.
+    pub fn outcome(&self, mote: u64, attempt: u32) -> MoteFaultOutcome {
+        let mut mixed = self
+            .seed
+            .wrapping_add(mote.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add((attempt as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        mixed = (mixed ^ (mixed >> 30)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        let mut rng = StdRng::seed_from_u64(mixed ^ (mixed >> 31));
+        let mut out = MoteFaultOutcome::clean();
+        for &(kind, rate) in &self.faults {
+            let hit = rng.gen_bool(rate.clamp(0.0, 1.0));
+            match kind {
+                MoteFaultKind::CrashMidRun => out.crash_mid_run |= hit,
+                MoteFaultKind::CrashBeforeReport => out.crash_before_report |= hit,
+                MoteFaultKind::LostDelivery => out.lost_delivery |= hit,
+                MoteFaultKind::DuplicateDelivery => out.duplicate_delivery |= hit,
+                MoteFaultKind::StragglerDelay => {
+                    // Always consume the delay draw so the stream stays
+                    // aligned whether or not the fault triggers.
+                    let delay = rng.gen_range(1..=MAX_STRAGGLER_DELAY);
+                    if hit {
+                        out.straggler_delay = out.straggler_delay.max(delay);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_plan(seed: u64, rate: f64) -> MoteFaultPlan {
+        let mut p = MoteFaultPlan::new(seed);
+        for kind in MoteFaultKind::ALL {
+            p = p.with(kind, rate);
+        }
+        p
+    }
+
+    #[test]
+    fn all_kinds_have_distinct_names() {
+        let mut names: Vec<&str> = MoteFaultKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), MoteFaultKind::ALL.len());
+        for k in MoteFaultKind::ALL {
+            assert_eq!(k.to_string(), k.name());
+        }
+    }
+
+    #[test]
+    fn outcome_is_a_pure_function_of_seed_mote_attempt() {
+        let plan = full_plan(42, 0.5);
+        for mote in 0..8u64 {
+            for attempt in 0..4u32 {
+                assert_eq!(plan.outcome(mote, attempt), plan.outcome(mote, attempt));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rate_is_clean_and_rate_one_triggers_everything() {
+        let zero = full_plan(7, 0.0);
+        assert_eq!(zero.outcome(3, 0), MoteFaultOutcome::clean());
+        assert_eq!(
+            MoteFaultPlan::new(7).outcome(3, 0),
+            MoteFaultOutcome::clean()
+        );
+        let one = full_plan(7, 1.0);
+        let o = one.outcome(3, 0);
+        assert!(o.crash_mid_run && o.crash_before_report);
+        assert!(o.lost_delivery && o.duplicate_delivery);
+        assert!((1..=MAX_STRAGGLER_DELAY).contains(&o.straggler_delay));
+    }
+
+    #[test]
+    fn outcomes_vary_across_motes_attempts_and_seeds() {
+        let plan = full_plan(11, 0.5);
+        let motes: Vec<MoteFaultOutcome> = (0..32).map(|m| plan.outcome(m, 0)).collect();
+        assert!(
+            motes.windows(2).any(|w| w[0] != w[1]),
+            "motes all identical"
+        );
+        let attempts: Vec<MoteFaultOutcome> = (0..32).map(|a| plan.outcome(0, a)).collect();
+        assert!(
+            attempts.windows(2).any(|w| w[0] != w[1]),
+            "attempts all identical"
+        );
+        let reseeded = full_plan(12, 0.5);
+        assert!(
+            (0..32).any(|m| plan.outcome(m, 0) != reseeded.outcome(m, 0)),
+            "seeds indistinguishable"
+        );
+    }
+
+    #[test]
+    fn rates_are_clamped() {
+        let wild = MoteFaultPlan::new(5)
+            .with(MoteFaultKind::LostDelivery, 7.0)
+            .with(MoteFaultKind::CrashMidRun, -3.0);
+        let o = wild.outcome(0, 0);
+        assert!(o.lost_delivery);
+        assert!(!o.crash_mid_run);
+    }
+}

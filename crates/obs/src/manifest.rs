@@ -18,10 +18,14 @@ pub const ENV_KNOBS: &[&str] = &[
     "CT_TRACE",
     "CT_TRACE_JSON",
     "CT_MANIFEST",
+    "CT_CHECKPOINT_PATH",
+    "CT_CHECKPOINT_EVERY",
 ];
 
 /// Event-name prefixes that belong in the manifest's estimator audit trail.
-const AUDIT_PREFIXES: &[&str] = &["em.", "ladder.", "warn.", "place.", "pmu."];
+const AUDIT_PREFIXES: &[&str] = &[
+    "em.", "ladder.", "warn.", "place.", "pmu.", "fleet.", "ckpt.",
+];
 
 /// Counter-name prefix mirrored into the manifest's dedicated `pmu`
 /// section (prefix stripped), so counter drift between runs is one

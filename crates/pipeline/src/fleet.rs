@@ -10,20 +10,64 @@
 //! estimators run directly off the merged statistics without ever
 //! re-materializing the combined sample vector. Ground-truth edge profiles
 //! merge additively for scoring.
+//!
+//! ## Fault tolerance
+//!
+//! Real collection is lossy and restartable, so the driver treats every
+//! mote report as an **at-least-once delivery** of a tagged batch
+//! ([`ct_core::BatchTag`]): reports can crash away mid-run
+//! (caught at the fan-out boundary and retried, bounded by
+//! [`Fleet::attempts`]), be lost in flight (retransmitted), arrive twice
+//! under the same tag (deduplicated at every ingest point), or arrive past
+//! the straggler timeout (the round proceeds without that mote). Fault
+//! injection comes from a seeded [`MoteFaultPlan`]; recovery is graceful —
+//! estimation runs on the partial fleet and the estimate's confidence is
+//! discounted by coverage, so `place_with_confidence` refuses installation
+//! after a badly-degraded round. The streaming path additionally
+//! checkpoints its state ([`CheckpointPolicy`]) so a process crash at any
+//! batch boundary resumes bitwise-identically.
 
+use crate::checkpoint::{Checkpoint, CheckpointError, CheckpointEstimate, CheckpointPolicy};
 use crate::config::{EstimatorChoice, RunConfig};
 use crate::error::PipelineError;
 use crate::session::Session;
-use crate::stage::{estimate_probs, Estimated};
+use crate::stage::{estimate_probs, AppRun, Estimated};
 use ct_cfg::graph::{BlockId, Cfg};
 use ct_cfg::profile::{BranchProbs, EdgeProfile};
 use ct_core::accuracy::compare;
 use ct_core::em::EmOptions;
 use ct_core::estimator::{estimate_robust, Estimate as CoreEstimate, EstimateError, Method};
 use ct_core::incremental::IncrementalEm;
-use ct_core::stream::SuffStats;
+use ct_core::samples::DurationSamples;
+use ct_core::stream::{BatchTag, SuffStats};
+use ct_faults::{MoteFaultOutcome, MoteFaultPlan};
 use ct_ir::instr::ProcId;
 use ct_ir::program::Program;
+use std::collections::BTreeSet;
+
+/// Marker payload of a fault-injected worker panic (the
+/// [`MoteFaultKind::CrashMidRun`](ct_faults::MoteFaultKind::CrashMidRun)
+/// model). The fan-out boundary catches exactly this payload and retries;
+/// any other panic is a genuine bug and resumes unwinding.
+#[derive(Debug, Clone, Copy)]
+pub struct InjectedCrash;
+
+/// Installs a process-wide panic hook that silences [`InjectedCrash`]
+/// panics (they are expected, caught, and retried) while forwarding every
+/// other panic to the previously installed hook. Idempotent; call once
+/// from chaos experiments and tests that inject crashes.
+pub fn quiet_injected_crashes() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().is::<InjectedCrash>() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
 
 /// One mote's reduced contribution to the fleet profile: everything the
 /// base station keeps after ingesting the mote's record stream.
@@ -34,6 +78,19 @@ struct MoteContribution {
     invocations: u64,
     cycles_used: u64,
     pmu: ct_mote::pmu::PmuSnapshot,
+}
+
+/// What one mote's collection round produced, before the coordinator's
+/// order-insensitive fold.
+struct MoteReport {
+    /// Every delivery that arrived (duplicates repeat the tag).
+    deliveries: Vec<(BatchTag, MoteContribution)>,
+    /// Attempts that crashed or whose delivery was lost.
+    retries: u64,
+    /// The response delay that excluded the mote, if it straggled.
+    straggler: Option<u64>,
+    /// True when the retry budget ran out with nothing delivered.
+    failed: bool,
 }
 
 /// The merged artifact of a fleet run: static program facts plus the
@@ -50,31 +107,57 @@ pub struct FleetRun {
     pub edge_costs: Vec<u64>,
     /// Statically counted loops of the target.
     pub counted_loops: Vec<(BlockId, u64)>,
-    /// Merged sufficient statistics of every mote's tick stream.
+    /// Merged sufficient statistics of every distinct delivered batch.
     pub stats: SuffStats,
-    /// Per-mote statistics in mote order — the batch sequence the streaming
-    /// estimator ([`Fleet::estimate_streaming`]) re-estimates over. Merging
-    /// these left-to-right reproduces [`FleetRun::stats`] bitwise.
+    /// Per-mote statistics of the distinct deliveries, in mote order — the
+    /// batch sequence the streaming estimator
+    /// ([`Fleet::estimate_streaming`]) re-estimates over. Merging these
+    /// left-to-right reproduces [`FleetRun::stats`] bitwise.
     pub mote_stats: Vec<SuffStats>,
+    /// The raw at-least-once delivery stream, in mote order, duplicates
+    /// included: what actually crossed the transport. Folding it through a
+    /// tag-deduplicating ingest reproduces [`FleetRun::stats`] — the
+    /// idempotence the streaming path relies on.
+    pub deliveries: Vec<(BatchTag, SuffStats)>,
     /// Merged ground-truth edge profile (scoring only).
     pub truth_profile: EdgeProfile,
     /// Ground-truth branch probabilities of the merged profile.
     pub truth: BranchProbs,
-    /// Total target invocations across the fleet.
+    /// Total target invocations across the delivered fleet.
     pub invocations: u64,
-    /// Total cycles consumed across the fleet.
+    /// Total cycles consumed across the delivered fleet.
     pub cycles_used: u64,
-    /// Merged virtual-PMU counters across the fleet (per procedure and
-    /// total) — same commutative merge discipline as [`SuffStats`].
+    /// Merged virtual-PMU counters across the delivered fleet (per
+    /// procedure and total) — same commutative merge discipline as
+    /// [`SuffStats`].
     pub pmu: ct_mote::pmu::PmuSnapshot,
-    /// How many motes contributed.
+    /// Fleet size (motes asked to report).
     pub motes: usize,
+    /// Motes whose report arrived (distinct contributors).
+    pub delivered: usize,
+    /// Motes excluded by the straggler timeout.
+    pub stragglers: usize,
+    /// Motes whose retry budget ran out with nothing delivered.
+    pub failed: usize,
+    /// Total crashed or lost attempts that were retried.
+    pub retries: u64,
+    /// Duplicate deliveries dropped by the coordinator's dedup.
+    pub dedup_dropped: u64,
 }
 
 impl FleetRun {
     /// The target procedure's CFG.
     pub fn cfg(&self) -> &Cfg {
         &self.program.procs[self.pid.index()].cfg
+    }
+
+    /// Fraction of the fleet whose report arrived, in `[0, 1]` — the
+    /// coverage that discounts estimate confidence on degraded rounds.
+    pub fn coverage(&self) -> f64 {
+        if self.motes == 0 {
+            return 0.0;
+        }
+        self.delivered as f64 / self.motes as f64
     }
 }
 
@@ -83,14 +166,51 @@ impl FleetRun {
 pub struct Fleet {
     config: RunConfig,
     motes: usize,
+    mote_faults: Option<MoteFaultPlan>,
+    max_attempts: u32,
+    straggler_timeout: u64,
 }
+
+/// Default per-mote delivery attempts before a mote is declared failed.
+pub const DEFAULT_MAX_ATTEMPTS: u32 = 3;
+
+/// Default straggler timeout, in the virtual milliseconds of
+/// [`MoteFaultOutcome::straggler_delay`]: delays above it exclude the mote
+/// from the collection round.
+pub const DEFAULT_STRAGGLER_TIMEOUT: u64 = 250;
 
 impl Fleet {
     /// A fleet of `motes` motes under `config`. Mote 0 uses the config's
     /// seed verbatim, so `Fleet::new(config, 1)` reproduces the single-mote
-    /// [`Session`] path exactly.
+    /// [`Session`] path exactly. No mote-level faults are injected unless
+    /// [`Fleet::with_mote_faults`] adds a plan.
     pub fn new(config: RunConfig, motes: usize) -> Fleet {
-        Fleet { config, motes }
+        Fleet {
+            config,
+            motes,
+            mote_faults: None,
+            max_attempts: DEFAULT_MAX_ATTEMPTS,
+            straggler_timeout: DEFAULT_STRAGGLER_TIMEOUT,
+        }
+    }
+
+    /// Injects mote-level faults from a seeded plan (builder style).
+    pub fn with_mote_faults(mut self, plan: MoteFaultPlan) -> Fleet {
+        self.mote_faults = Some(plan);
+        self
+    }
+
+    /// Sets the per-mote delivery attempt budget (builder style; clamped to
+    /// at least one attempt).
+    pub fn attempts(mut self, max_attempts: u32) -> Fleet {
+        self.max_attempts = max_attempts.max(1);
+        self
+    }
+
+    /// Sets the straggler timeout in virtual milliseconds (builder style).
+    pub fn straggler_timeout(mut self, timeout: u64) -> Fleet {
+        self.straggler_timeout = timeout;
+        self
     }
 
     /// The fleet's base configuration.
@@ -110,11 +230,158 @@ impl Fleet {
         c
     }
 
+    /// Fingerprint of everything that determines a run's delivered stream:
+    /// a checkpoint taken under one configuration must never restore into
+    /// another. (This is also why snapshots carry no RNG cursors — every
+    /// random draw is a pure function of the fingerprinted seeds.)
+    fn fingerprint(&self) -> u64 {
+        let c = &self.config;
+        let desc = format!(
+            "{}|{}|{}|{}|{}|{}|{}|{:?}|{:?}|{:?}|{}|{}",
+            c.target.name(),
+            c.mcu.name(),
+            c.invocations,
+            c.cycles_per_tick,
+            c.ts_overhead,
+            c.seed,
+            self.motes,
+            c.contamination,
+            c.fault,
+            self.mote_faults,
+            self.max_attempts,
+            self.straggler_timeout,
+        );
+        crate::checkpoint::fnv1a64(desc.as_bytes())
+    }
+
+    /// One mote's collection round: bounded retry over fault-injected
+    /// attempts. Re-running an attempt replays the identical workload (the
+    /// mote's seed does not change across attempts), so a recovered mote
+    /// contributes exactly what an unfaulted one would have — faults decide
+    /// *whether* a report arrives, never what it says.
+    fn collect_mote(&self, index: usize) -> Result<MoteReport, PipelineError> {
+        let mut retries = 0u64;
+        for attempt in 0..self.max_attempts.max(1) {
+            let outcome = match &self.mote_faults {
+                Some(plan) => plan.outcome(index as u64, attempt),
+                None => MoteFaultOutcome::clean(),
+            };
+            if outcome.straggler_delay > self.straggler_timeout {
+                ct_obs::Counter::new("fleet.straggler").incr();
+                ct_obs::emit(
+                    "fleet.straggler",
+                    vec![
+                        ("mote", index.into()),
+                        ("delay", outcome.straggler_delay.into()),
+                        ("timeout", self.straggler_timeout.into()),
+                    ],
+                );
+                return Ok(MoteReport {
+                    deliveries: Vec::new(),
+                    retries,
+                    straggler: Some(outcome.straggler_delay),
+                    failed: false,
+                });
+            }
+
+            let mote_config = self.mote_config(index);
+            let seed = mote_config.seed;
+            let crash_mid_run = outcome.crash_mid_run;
+            // `RunConfig` is plain owned data (values, fn pointers), so the
+            // moved closure is `UnwindSafe` without assertions; a caught
+            // unwind drops everything the attempt built and the retry
+            // starts from the config alone.
+            let attempt_run = std::panic::catch_unwind(move || -> Result<AppRun, PipelineError> {
+                let run = Session::new(mote_config).collect()?;
+                if crash_mid_run {
+                    // Crash *after* the run recorded its observability
+                    // events: the unwind path must drain thread-local
+                    // buffers exactly like a clean exit.
+                    std::panic::panic_any(InjectedCrash);
+                }
+                Ok(run)
+            });
+            let run = match attempt_run {
+                Ok(Ok(run)) => run,
+                // Genuine pipeline failures (workload traps) are
+                // deterministic: retrying cannot help, so propagate.
+                Ok(Err(e)) => return Err(e),
+                Err(payload) => {
+                    if payload.is::<InjectedCrash>() {
+                        ct_obs::Counter::new("fleet.retry").incr();
+                        retries += 1;
+                        continue;
+                    }
+                    std::panic::resume_unwind(payload);
+                }
+            };
+            if outcome.crash_before_report || outcome.lost_delivery {
+                ct_obs::Counter::new("fleet.retry").incr();
+                retries += 1;
+                continue;
+            }
+
+            // Delivered. Only order-insensitive facts in the event fields:
+            // snapshots sort events by content, so the stream is identical
+            // at any CT_THREADS.
+            ct_obs::emit(
+                "fleet.mote",
+                vec![
+                    ("mote", index.into()),
+                    ("seed", seed.into()),
+                    ("samples", run.samples.len().into()),
+                    ("invocations", run.invocations.into()),
+                    ("cycles_used", run.cycles_used.into()),
+                ],
+            );
+            ct_obs::Counter::new("fleet.motes").incr();
+            let contribution = MoteContribution {
+                stats: SuffStats::from_samples(&run.samples),
+                truth_profile: run.truth_profile,
+                invocations: run.invocations,
+                cycles_used: run.cycles_used,
+                pmu: run.pmu,
+            };
+            let tag = BatchTag {
+                mote: index as u64,
+                seq: 0,
+            };
+            let mut deliveries = vec![(tag, contribution)];
+            if outcome.duplicate_delivery {
+                // A lost acknowledgement: the same report, same tag, twice.
+                deliveries.push(deliveries[0].clone());
+            }
+            return Ok(MoteReport {
+                deliveries,
+                retries,
+                straggler: None,
+                failed: false,
+            });
+        }
+        ct_obs::Counter::new("fleet.failed").incr();
+        ct_obs::emit(
+            "fleet.mote_failed",
+            vec![
+                ("mote", index.into()),
+                ("attempts", self.max_attempts.into()),
+            ],
+        );
+        Ok(MoteReport {
+            deliveries: Vec::new(),
+            retries,
+            straggler: None,
+            failed: true,
+        })
+    }
+
     /// Runs every mote (fanned out over scoped threads, `CT_THREADS` to
     /// override the worker count) and merges their contributions. The
     /// merge is a left fold in mote order, but [`SuffStats::merge`] is
     /// associative and commutative, so any other reduction shape would
-    /// produce the identical result.
+    /// produce the identical result. Duplicate deliveries are dropped by
+    /// tag (`fleet.dedup`), crashed attempts retry (`fleet.retry`), and
+    /// stragglers and exhausted motes are excluded — a partial fleet is a
+    /// result, not an error.
     ///
     /// # Errors
     ///
@@ -128,60 +395,60 @@ impl Fleet {
         // Static program facts once, from a deploy that never runs.
         let statics = Session::new(self.config.clone().invocations(0)).collect()?;
 
-        let contributions: Vec<Result<MoteContribution, PipelineError>> =
-            ct_stats::parallel::par_map((0..self.motes).collect(), |i| {
-                let mote_config = self.mote_config(i);
-                let seed = mote_config.seed;
-                let run = Session::new(mote_config).collect()?;
-                // Only order-insensitive facts: snapshots sort events by
-                // content, so the stream is identical at any CT_THREADS.
-                ct_obs::emit(
-                    "fleet.mote",
-                    vec![
-                        ("mote", i.into()),
-                        ("seed", seed.into()),
-                        ("samples", run.samples.len().into()),
-                        ("invocations", run.invocations.into()),
-                        ("cycles_used", run.cycles_used.into()),
-                    ],
-                );
-                ct_obs::Counter::new("fleet.motes").incr();
-                Ok(MoteContribution {
-                    stats: SuffStats::from_samples(&run.samples),
-                    truth_profile: run.truth_profile,
-                    invocations: run.invocations,
-                    cycles_used: run.cycles_used,
-                    pmu: run.pmu,
-                })
-            });
+        let reports: Vec<Result<MoteReport, PipelineError>> =
+            ct_stats::parallel::par_map((0..self.motes).collect(), |i| self.collect_mote(i));
 
         let mut stats = SuffStats::new(self.config.cycles_per_tick);
         let mut mote_stats = Vec::with_capacity(self.motes);
+        let mut deliveries = Vec::with_capacity(self.motes);
         let mut truth_profile = EdgeProfile::zeroed(statics.cfg());
         let mut invocations = 0u64;
         let mut cycles_used = 0u64;
         // The zero-invocation statics run gives the right per-procedure
         // shape with every counter at zero — the merge identity.
         let mut pmu = statics.pmu.clone();
-        for contribution in contributions {
-            let c = contribution?;
-            stats.merge(&c.stats)?;
-            mote_stats.push(c.stats);
-            truth_profile.merge(&c.truth_profile);
-            invocations += c.invocations;
-            cycles_used += c.cycles_used;
-            pmu.merge(&c.pmu);
+        let mut seen: BTreeSet<BatchTag> = BTreeSet::new();
+        let (mut delivered, mut stragglers, mut failed) = (0usize, 0usize, 0usize);
+        let (mut retries, mut dedup_dropped) = (0u64, 0u64);
+        for report in reports {
+            let r = report?;
+            retries += r.retries;
+            stragglers += r.straggler.is_some() as usize;
+            failed += r.failed as usize;
+            let mut contributed = false;
+            for (tag, c) in r.deliveries {
+                deliveries.push((tag, c.stats.clone()));
+                if !seen.insert(tag) {
+                    ct_obs::Counter::new("fleet.dedup").incr();
+                    dedup_dropped += 1;
+                    continue;
+                }
+                stats.merge(&c.stats)?;
+                mote_stats.push(c.stats);
+                truth_profile.merge(&c.truth_profile);
+                invocations += c.invocations;
+                cycles_used += c.cycles_used;
+                pmu.merge(&c.pmu);
+                contributed = true;
+            }
+            delivered += contributed as usize;
         }
         let truth = truth_profile.branch_probs(statics.cfg());
         Ok(FleetRun {
             truth,
             stats,
             mote_stats,
+            deliveries,
             truth_profile,
             invocations,
             cycles_used,
             pmu,
             motes: self.motes,
+            delivered,
+            stragglers,
+            failed,
+            retries,
+            dedup_dropped,
             program: statics.program,
             pid: statics.pid,
             block_costs: statics.block_costs,
@@ -193,7 +460,11 @@ impl Fleet {
     /// Estimates the fleet's branch profile **from the merged statistics**
     /// — the naive estimators (EM, moments, flow) consume the histogram
     /// and moments directly; only the robust ladder, whose trimming needs
-    /// concrete values, materializes a sorted sample vector.
+    /// concrete values, materializes a sorted sample vector. The estimate's
+    /// confidence is discounted by [`FleetRun::coverage`]: a round that
+    /// lost motes to stragglers or exhausted retries reports proportionally
+    /// less confidence, and `place_with_confidence` refuses installation
+    /// when the discount crosses its threshold.
     ///
     /// # Errors
     ///
@@ -237,7 +508,7 @@ impl Fleet {
         Ok(Estimated {
             estimate,
             accuracy,
-            confidence,
+            confidence: confidence * fleet_run.coverage(),
             robust,
         })
     }
@@ -250,36 +521,173 @@ impl Fleet {
         }
     }
 
-    /// Streaming fleet estimation: feeds each mote's [`SuffStats`] delta
-    /// (mote order) into an [`IncrementalEm`] and re-estimates after every
-    /// batch, warm-starting from the previous optimum with a shared
-    /// convolution cache — the fleet-service path, where re-estimation per
-    /// arriving batch must cost a few warm sweeps, not a cold restart
-    /// fan-out. The final estimate is a full EM fixed point for the merged
-    /// statistics (the warm start moves the path, not the objective), and
-    /// the whole batch trajectory is deterministic: same batches, same
+    /// Records a checkpoint rejection: the typed reason goes to the trace
+    /// stream, the counter to the manifest, and the caller falls back to a
+    /// clean start — a bad snapshot degrades a restart, never a run.
+    fn reject_checkpoint(e: &CheckpointError) {
+        ct_obs::Counter::new("ckpt.rejected").incr();
+        ct_obs::emit("warn.ckpt_rejected", vec![("error", e.to_string().into())]);
+    }
+
+    /// Attempts to restore streaming state from the policy's snapshot.
+    /// Returns `None` — after recording `ckpt.rejected` / a
+    /// `warn.ckpt_rejected` event where applicable — when there is no
+    /// snapshot, it fails to decode, it was taken under a different
+    /// configuration, or its contents are internally inconsistent.
+    fn try_restore(
+        &self,
+        policy: &CheckpointPolicy,
+        cfg: &Cfg,
+        fingerprint: u64,
+    ) -> Option<(IncrementalEm, BTreeSet<BatchTag>, Vec<usize>)> {
+        let path = policy.path.as_ref()?;
+        if !path.exists() {
+            return None;
+        }
+        let ck = match Checkpoint::load(path) {
+            Ok(ck) => ck,
+            Err(e) => {
+                Fleet::reject_checkpoint(&e);
+                return None;
+            }
+        };
+        if ck.fingerprint != fingerprint {
+            Fleet::reject_checkpoint(&CheckpointError::ConfigMismatch {
+                expected: fingerprint,
+                got: ck.fingerprint,
+            });
+            return None;
+        }
+        let consistent = ck.batches == ck.ledger.len() as u64
+            && ck.batch_iterations.len() == ck.ledger.len()
+            && (ck.batches == 0) == ck.last.is_none()
+            && ck.stats.cycles_per_tick() == self.config.cycles_per_tick;
+        if !consistent {
+            Fleet::reject_checkpoint(&CheckpointError::Malformed(
+                "snapshot sections disagree on batch count or resolution".into(),
+            ));
+            return None;
+        }
+        let last = match &ck.last {
+            Some(e) => match e.to_em(cfg) {
+                Ok(r) => Some(r),
+                Err(e) => {
+                    Fleet::reject_checkpoint(&e);
+                    return None;
+                }
+            },
+            None => None,
+        };
+        ct_obs::Counter::new("ckpt.restored").incr();
+        ct_obs::emit("ckpt.restored", vec![("batches", ck.batches.into())]);
+        Some((
+            IncrementalEm::restore(ck.stats, last, ck.batches, self.em_options()),
+            ck.ledger.into_iter().collect(),
+            ck.batch_iterations,
+        ))
+    }
+
+    /// Writes a best-effort snapshot: a failed write warns and the run
+    /// continues (losing checkpoint durability must never fail ingestion).
+    fn write_checkpoint(
+        policy: &CheckpointPolicy,
+        fingerprint: u64,
+        inc: &IncrementalEm,
+        ledger: &BTreeSet<BatchTag>,
+        batch_iterations: &[usize],
+    ) {
+        let Some(path) = policy.path.as_ref() else {
+            return;
+        };
+        let ck = Checkpoint {
+            fingerprint,
+            stats: inc.stats().clone(),
+            // BTreeSet iterates ascending — the order the decoder requires.
+            ledger: ledger.iter().copied().collect(),
+            batch_iterations: batch_iterations.to_vec(),
+            batches: inc.batches(),
+            last: inc.last().map(CheckpointEstimate::from_em),
+        };
+        match ck.save(path) {
+            Ok(()) => ct_obs::Counter::new("ckpt.written").incr(),
+            Err(e) => {
+                ct_obs::Counter::new("ckpt.write_failed").incr();
+                ct_obs::emit(
+                    "warn.ckpt_write_failed",
+                    vec![("error", e.to_string().into())],
+                );
+            }
+        }
+    }
+
+    /// Streaming fleet estimation: feeds each delivered batch (mote order)
+    /// into an [`IncrementalEm`] and re-estimates after every batch,
+    /// warm-starting from the previous optimum with a shared convolution
+    /// cache — the fleet-service path, where re-estimation per arriving
+    /// batch must cost a few warm sweeps, not a cold restart fan-out. The
+    /// final estimate is a full EM fixed point for the merged statistics
+    /// (the warm start moves the path, not the objective), and the whole
+    /// batch trajectory is deterministic: same batches, same
     /// `CT_THREADS`-independent result, cache on or off.
+    ///
+    /// This consumes the raw [`FleetRun::deliveries`] stream — duplicates
+    /// and all — deduplicating by [`BatchTag`] against a ledger, which is
+    /// also what makes checkpoint/restore exact: under `policy`, state is
+    /// snapshotted every [`CheckpointPolicy::every`] batches and a
+    /// restarted run restores the ledger, skips everything already folded
+    /// in, and continues bitwise-identically to the uninterrupted run. A
+    /// missing snapshot starts clean; a corrupt, truncated, or
+    /// mismatched-configuration snapshot is rejected with a `ckpt.rejected`
+    /// counter and a `warn.ckpt_rejected` event and *also* starts clean.
     ///
     /// # Errors
     ///
-    /// [`PipelineError::EmptyFleet`] when the run has no batches;
+    /// [`PipelineError::EmptyFleet`] when no batch was ever ingested;
     /// [`PipelineError::Estimate`] when EM fails hard.
-    pub fn estimate_streaming(
+    pub fn estimate_streaming_with(
         &self,
         fleet_run: &FleetRun,
+        policy: &CheckpointPolicy,
     ) -> Result<FleetStreamReport, PipelineError> {
         let _span = ct_obs::Span::enter("fleet.stream");
         let cfg = fleet_run.cfg();
-        let mut inc = IncrementalEm::new(self.config.cycles_per_tick, self.em_options());
-        let mut batch_iterations = Vec::with_capacity(fleet_run.mote_stats.len());
-        for delta in &fleet_run.mote_stats {
+        let fingerprint = self.fingerprint();
+        let (mut inc, mut ledger, mut batch_iterations, restored) =
+            match self.try_restore(policy, cfg, fingerprint) {
+                Some((inc, ledger, iterations)) => (inc, ledger, iterations, true),
+                None => (
+                    IncrementalEm::new(self.config.cycles_per_tick, self.em_options()),
+                    BTreeSet::new(),
+                    Vec::with_capacity(fleet_run.deliveries.len()),
+                    false,
+                ),
+            };
+
+        let mut ingested_this_run = 0u64;
+        let mut halted = false;
+        for (tag, delta) in &fleet_run.deliveries {
+            if !ledger.insert(*tag) {
+                // Redelivery (a transport duplicate, or a batch the
+                // restored ledger already folded in): idempotence says drop.
+                ct_obs::Counter::new("fleet.dedup").incr();
+                continue;
+            }
             inc.ingest(delta)
                 .map_err(|e| PipelineError::from(EstimateError::Em(e)))?;
             let r = inc
                 .reestimate(cfg, &fleet_run.block_costs, &fleet_run.edge_costs)
                 .map_err(|e| PipelineError::from(EstimateError::Em(e)))?;
             batch_iterations.push(r.iterations);
+            ingested_this_run += 1;
+            if policy.enabled() && inc.batches() % policy.every == 0 {
+                Fleet::write_checkpoint(policy, fingerprint, &inc, &ledger, &batch_iterations);
+            }
+            if policy.halt_after == Some(ingested_this_run) {
+                halted = true;
+                break;
+            }
         }
+
         let r = inc.last().cloned().ok_or(PipelineError::EmptyFleet)?;
         let estimate = CoreEstimate {
             probs: r.probs,
@@ -311,51 +719,91 @@ impl Fleet {
             batch_iterations,
             cache_hits: inc.cache_hits(),
             cache_misses: inc.cache_misses(),
+            restored,
+            halted,
             estimated: Estimated {
                 estimate,
                 accuracy,
-                confidence: 1.0,
+                confidence: fleet_run.coverage(),
                 robust: None,
             },
         })
+    }
+
+    /// [`Fleet::estimate_streaming_with`] without checkpointing — the
+    /// one-shot streaming estimate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Fleet::estimate_streaming_with`] errors.
+    pub fn estimate_streaming(
+        &self,
+        fleet_run: &FleetRun,
+    ) -> Result<FleetStreamReport, PipelineError> {
+        self.estimate_streaming_with(fleet_run, &CheckpointPolicy::disabled())
+    }
+
+    /// Runs the fleet and estimates via the streaming per-batch path under
+    /// an explicit checkpoint policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Fleet::run`] and [`Fleet::estimate_streaming_with`]
+    /// errors.
+    pub fn run_streaming_with(
+        &self,
+        policy: &CheckpointPolicy,
+    ) -> Result<(FleetRun, FleetStreamReport), PipelineError> {
+        let fleet_run = self.run()?;
+        let report = self.estimate_streaming_with(&fleet_run, policy)?;
+        Ok((fleet_run, report))
     }
 
     /// Runs the fleet and estimates via the streaming per-batch path — the
     /// default entry point for the fleet-scale service loop (use
     /// [`Fleet::run`] + [`Fleet::estimate`] for the one-shot merged-stats
     /// estimate, which is pinned bitwise to the monolithic front door).
+    /// Checkpointing follows the process environment:
+    /// `CT_CHECKPOINT_PATH` / `CT_CHECKPOINT_EVERY`
+    /// (see [`CheckpointPolicy::from_env`]).
     ///
     /// # Errors
     ///
-    /// Propagates [`Fleet::run`] and [`Fleet::estimate_streaming`] errors.
+    /// Propagates [`Fleet::run`] and [`Fleet::estimate_streaming_with`]
+    /// errors.
     pub fn run_streaming(&self) -> Result<(FleetRun, FleetStreamReport), PipelineError> {
-        let fleet_run = self.run()?;
-        let report = self.estimate_streaming(&fleet_run)?;
-        Ok((fleet_run, report))
+        self.run_streaming_with(&CheckpointPolicy::from_env())
     }
 }
 
 /// The outcome of streaming per-batch re-estimation over a fleet run.
 #[derive(Debug)]
 pub struct FleetStreamReport {
-    /// The final scored estimate (after the last batch).
+    /// The final scored estimate (after the last batch), its confidence
+    /// discounted by fleet coverage.
     pub estimated: Estimated,
-    /// Batches ingested (one per mote, in mote order).
+    /// Distinct batches ingested across restored and live state.
     pub batches: usize,
     /// EM iterations each per-batch re-estimation took — the amortization
     /// story: after the first batch these should be a handful, not a full
     /// cold run.
     pub batch_iterations: Vec<usize>,
-    /// Convolution-cache hits across all re-estimations.
+    /// Convolution-cache hits across this process's re-estimations.
     pub cache_hits: u64,
-    /// Convolution-cache misses across all re-estimations.
+    /// Convolution-cache misses across this process's re-estimations.
     pub cache_misses: u64,
+    /// True when state was restored from a checkpoint.
+    pub restored: bool,
+    /// True when the run stopped at [`CheckpointPolicy::halt_after`]
+    /// (simulated crash) instead of draining every delivery.
+    pub halted: bool,
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use ct_core::samples::DurationSamples;
+    use ct_faults::MoteFaultKind;
 
     #[test]
     fn zero_motes_is_an_error() {
@@ -373,6 +821,10 @@ mod tests {
         assert_eq!(fleet_run.invocations, single.invocations);
         assert_eq!(fleet_run.cycles_used, single.cycles_used);
         assert_eq!(fleet_run.pmu, single.pmu);
+        assert_eq!(fleet_run.delivered, 1);
+        assert_eq!(fleet_run.coverage(), 1.0);
+        assert_eq!(fleet_run.retries, 0);
+        assert_eq!(fleet_run.dedup_dropped, 0);
     }
 
     #[test]
@@ -425,12 +877,22 @@ mod tests {
             "mae {}",
             a.estimated.accuracy.mae
         );
+        assert!(!a.restored && !a.halted);
         // The per-mote batch sequence folds back to the merged statistics.
         let mut refold = SuffStats::new(fleet.config().cycles_per_tick);
         for s in &fr.mote_stats {
             refold.merge(s).unwrap();
         }
         assert_eq!(refold, fr.stats);
+        // So does the raw delivery stream under tag dedup.
+        let mut seen = BTreeSet::new();
+        let mut dedup_fold = SuffStats::new(fleet.config().cycles_per_tick);
+        for (tag, s) in &fr.deliveries {
+            if seen.insert(*tag) {
+                dedup_fold.merge(s).unwrap();
+            }
+        }
+        assert_eq!(dedup_fold, fr.stats);
     }
 
     #[test]
@@ -444,6 +906,88 @@ mod tests {
             "mae {} from {} merged samples",
             est.accuracy.mae,
             fr.stats.len()
+        );
+        assert_eq!(est.confidence, 1.0, "full coverage leaves confidence at 1");
+    }
+
+    #[test]
+    fn crashed_motes_retry_to_the_identical_contribution() {
+        quiet_injected_crashes();
+        let config = RunConfig::new("sense").invocations(150).seeded(21);
+        let clean = Fleet::new(config.clone(), 4).run().unwrap();
+        // Moderate crash rates: every mote eventually delivers within the
+        // attempt budget (verified by `delivered` below), and a recovered
+        // delivery is bitwise what the unfaulted fleet produced.
+        let plan = MoteFaultPlan::new(77)
+            .with(MoteFaultKind::CrashMidRun, 0.4)
+            .with(MoteFaultKind::CrashBeforeReport, 0.2)
+            .with(MoteFaultKind::LostDelivery, 0.2);
+        let faulted = Fleet::new(config, 4)
+            .with_mote_faults(plan)
+            .attempts(10)
+            .run()
+            .unwrap();
+        assert_eq!(faulted.delivered, 4, "a mote never recovered");
+        assert!(faulted.retries > 0, "plan injected no faults at all");
+        assert_eq!(faulted.stats, clean.stats);
+        assert_eq!(faulted.truth_profile, clean.truth_profile);
+        assert_eq!(faulted.pmu, clean.pmu);
+    }
+
+    #[test]
+    fn duplicate_deliveries_never_change_results() {
+        let config = RunConfig::new("sense").invocations(150).seeded(33);
+        let clean = Fleet::new(config.clone(), 3).run().unwrap();
+        let dup_fleet = Fleet::new(config, 3).with_mote_faults(MoteFaultPlan::single(
+            MoteFaultKind::DuplicateDelivery,
+            1.0,
+            5,
+        ));
+        let dup = dup_fleet.run().unwrap();
+        assert_eq!(dup.dedup_dropped, 3, "every mote should have duplicated");
+        assert_eq!(dup.deliveries.len(), 6);
+        assert_eq!(dup.stats, clean.stats);
+        assert_eq!(dup.invocations, clean.invocations);
+        assert_eq!(dup.pmu, clean.pmu);
+        // The streaming path dedups the raw stream to the same estimate.
+        let clean_report = Fleet::new(clean_config_of(&dup_fleet), 3)
+            .estimate_streaming(&clean)
+            .unwrap();
+        let dup_report = dup_fleet.estimate_streaming(&dup).unwrap();
+        assert_eq!(dup_report.batches, 3);
+        for (x, y) in dup_report
+            .estimated
+            .estimate
+            .probs
+            .as_slice()
+            .iter()
+            .zip(clean_report.estimated.estimate.probs.as_slice())
+        {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    fn clean_config_of(fleet: &Fleet) -> RunConfig {
+        fleet.config().clone()
+    }
+
+    #[test]
+    fn exhausted_retry_budget_degrades_coverage_and_confidence() {
+        quiet_injected_crashes();
+        let config = RunConfig::new("sense").invocations(120).seeded(4);
+        // Crash every attempt: nothing ever delivers.
+        let dead = Fleet::new(config.clone(), 3)
+            .with_mote_faults(MoteFaultPlan::single(MoteFaultKind::CrashMidRun, 1.0, 9))
+            .attempts(2);
+        let fr = dead.run().unwrap();
+        assert_eq!(fr.delivered, 0);
+        assert_eq!(fr.failed, 3);
+        assert_eq!(fr.retries, 6, "two attempts per mote, all crashed");
+        assert_eq!(fr.coverage(), 0.0);
+        assert_eq!(fr.stats.len(), 0);
+        assert!(
+            dead.estimate_streaming(&fr).is_err(),
+            "no batches, no estimate"
         );
     }
 }

@@ -33,6 +33,7 @@
 //! assert!(est.accuracy.mae < 0.05);
 //! ```
 
+pub mod checkpoint;
 pub mod config;
 pub mod error;
 pub mod fleet;
@@ -41,10 +42,11 @@ pub mod session;
 pub mod stage;
 pub mod synth;
 
+pub use checkpoint::{Checkpoint, CheckpointError, CheckpointEstimate, CheckpointPolicy};
 pub use config::{Contamination, EnvConfig, EstimatorChoice, Mcu, RunConfig, Target};
 pub use ct_mote::pmu::{PmuCounters, PmuSnapshot};
 pub use error::PipelineError;
-pub use fleet::{Fleet, FleetRun, FleetStreamReport};
+pub use fleet::{quiet_injected_crashes, Fleet, FleetRun, FleetStreamReport, InjectedCrash};
 pub use measure::{
     edge_frequencies, par_sweep, penalties, random_layout, run_with_profiler, run_with_profiler_pmu,
 };

@@ -74,7 +74,10 @@ pub fn random_layout(cfg: &Cfg, seed: u64) -> Layout {
     rest.shuffle(&mut rng);
     let mut order = vec![cfg.entry()];
     order.extend(rest);
-    Layout::from_order(cfg, order).expect("shuffled permutation is valid")
+    match Layout::from_order(cfg, order) {
+        Some(layout) => layout,
+        None => panic!("shuffled permutation must stay a valid layout"),
+    }
 }
 
 /// The default penalty model for an MCU.

@@ -336,19 +336,20 @@ impl Stage for Collect {
         let cfg = &program.procs[pid.index()].cfg;
         let pmu = mote.pmu.snapshot();
         record_pmu(&pmu);
+        // The timer came from `RunConfig::timer` (a `VirtualTimer`, whose
+        // invariant is cycles_per_tick ≥ 1), so the fallible constructor
+        // cannot fail here — but this stage already returns Result, so a
+        // broken invariant surfaces as a typed error, not a panic.
+        let samples = TimingSamples::try_new(
+            timing.samples(pid).to_vec(),
+            config.timer().cycles_per_tick(),
+        )?;
         Ok(AppRun {
             pmu,
             counted_loops: program.procs[pid.index()].counted_loops.clone(),
             block_costs: mote.static_block_costs(pid).to_vec(),
             edge_costs: mote.static_edge_costs(pid).to_vec(),
-            // The timer came from `RunConfig::timer` (a `VirtualTimer`,
-            // whose invariant is cycles_per_tick ≥ 1), so the fallible
-            // constructor cannot fail here.
-            samples: TimingSamples::try_new(
-                timing.samples(pid).to_vec(),
-                config.timer().cycles_per_tick(),
-            )
-            .expect("VirtualTimer guarantees a positive resolution"),
+            samples,
             truth_profile: truth.profile(pid).clone(),
             truth: truth.branch_probs(pid, cfg),
             invocations: truth.invocations(pid),

@@ -24,20 +24,30 @@ pub fn synth_samples(
     n: usize,
     seed: u64,
 ) -> TimingSamples {
-    let chain = ct_markov::chain_from_cfg(cfg, truth).expect("valid chain");
-    let edges = cfg.edges();
+    let chain = match ct_markov::chain_from_cfg(cfg, truth) {
+        Ok(chain) => chain,
+        Err(e) => panic!("synthetic problem induces no valid chain: {e}"),
+    };
+    // Edge costs keyed by (from, to) once, instead of an O(E) scan per
+    // traversed edge of every sampled walk.
+    let edge_cost: std::collections::HashMap<(usize, usize), u64> = cfg
+        .edges()
+        .iter()
+        .map(|e| ((e.from.index(), e.to.index()), edge_costs[e.index]))
+        .collect();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut ticks = Vec::with_capacity(n);
     for _ in 0..n {
-        let run = ct_markov::sample_run(&chain, cfg.entry().index(), &mut rng, 1_000_000)
-            .expect("absorbing chain");
+        let run = match ct_markov::sample_run(&chain, cfg.entry().index(), &mut rng, 1_000_000) {
+            Some(run) => run,
+            None => panic!("synthetic chain did not absorb within the step bound"),
+        };
         let mut d: u64 = run.iter().map(|&b| block_costs[b]).sum();
         for w in run.windows(2) {
-            let e = edges
-                .iter()
-                .find(|e| e.from.index() == w[0] && e.to.index() == w[1])
-                .expect("edge exists");
-            d += edge_costs[e.index];
+            match edge_cost.get(&(w[0], w[1])) {
+                Some(c) => d += c,
+                None => panic!("sampled walk crossed a non-edge {} -> {}", w[0], w[1]),
+            }
         }
         ticks.push(d);
     }

@@ -1,0 +1,162 @@
+//! Crash-restart equivalence golden test: a streaming fleet-ingestion run
+//! that crashes at *any* batch boundary and restores from its checkpoint
+//! must finish bitwise identical to the uninterrupted run — same merged
+//! statistics, same estimate bits, same per-batch iteration trail — at any
+//! `CT_THREADS`. A corrupted snapshot must be rejected with a typed error
+//! (never a panic) and fall back to a clean start that still converges to
+//! the same answer.
+//!
+//! One `#[test]` owns the process globals (ct-obs registry, `CT_THREADS`,
+//! the snapshot file); splitting it would race the harness's parallel test
+//! threads.
+
+use ct_pipeline::{CheckpointPolicy, Fleet, FleetStreamReport, RunConfig};
+use std::path::PathBuf;
+
+const MOTES: usize = 4;
+
+fn fleet() -> Fleet {
+    Fleet::new(RunConfig::new("sense").invocations(200).seeded(17), MOTES)
+}
+
+fn snapshot_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("ct_ckpt_it_{}_{tag}.ckpt", std::process::id()))
+}
+
+/// Asserts two stream reports agree bitwise on everything estimation
+/// produced (counters and restore provenance legitimately differ).
+fn assert_bitwise_equal(a: &FleetStreamReport, b: &FleetStreamReport, what: &str) {
+    assert_eq!(a.batches, b.batches, "{what}: batch counts differ");
+    assert_eq!(
+        a.batch_iterations, b.batch_iterations,
+        "{what}: iteration trails differ"
+    );
+    let (ea, eb) = (&a.estimated.estimate, &b.estimated.estimate);
+    assert_eq!(ea.iterations, eb.iterations, "{what}");
+    assert_eq!(ea.converged, eb.converged, "{what}");
+    assert_eq!(
+        ea.final_delta.to_bits(),
+        eb.final_delta.to_bits(),
+        "{what}: final delta bits differ"
+    );
+    match (ea.loglik, eb.loglik) {
+        (Some(x), Some(y)) => assert_eq!(x.to_bits(), y.to_bits(), "{what}: loglik bits differ"),
+        (x, y) => assert_eq!(x, y, "{what}: loglik presence differs"),
+    }
+    for (i, (x, y)) in ea
+        .probs
+        .as_slice()
+        .iter()
+        .zip(eb.probs.as_slice())
+        .enumerate()
+    {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: probability {i} differs bitwise"
+        );
+    }
+    assert_eq!(
+        a.estimated.confidence.to_bits(),
+        b.estimated.confidence.to_bits(),
+        "{what}: confidence differs"
+    );
+}
+
+#[test]
+fn crash_at_any_batch_boundary_restores_bitwise() {
+    for threads in ["1", "4"] {
+        std::env::set_var("CT_THREADS", threads);
+
+        // The uninterrupted reference: no checkpointing at all.
+        ct_obs::reset();
+        let f = fleet();
+        let fr = f.run().expect("fleet runs");
+        let reference = f.estimate_streaming(&fr).expect("reference estimates");
+        ct_obs::reset();
+        assert_eq!(reference.batches, MOTES);
+        assert!(!reference.restored && !reference.halted);
+
+        // Crash after every possible number of ingested batches, restore,
+        // and finish: each resumed run must equal the reference bitwise.
+        for crash_after in 1..MOTES as u64 {
+            let path = snapshot_path(&format!("t{threads}_k{crash_after}"));
+            let _ = std::fs::remove_file(&path);
+
+            ct_obs::reset();
+            let halted = f
+                .estimate_streaming_with(&fr, &CheckpointPolicy::to(&path).halt_after(crash_after))
+                .expect("halted run estimates");
+            assert!(halted.halted, "crash_after={crash_after} did not halt");
+            assert!(!halted.restored);
+            assert_eq!(halted.batches as u64, crash_after);
+            assert!(path.exists(), "no snapshot at the crash boundary");
+
+            let resumed = f
+                .estimate_streaming_with(&fr, &CheckpointPolicy::to(&path))
+                .expect("resumed run estimates");
+            let snap = ct_obs::snapshot();
+            ct_obs::reset();
+            assert!(
+                resumed.restored,
+                "crash_after={crash_after} did not restore"
+            );
+            assert!(!resumed.halted);
+            assert!(
+                snap.counters
+                    .iter()
+                    .any(|(k, v)| k == "ckpt.restored" && *v == 1),
+                "restore left no ckpt.restored counter"
+            );
+            assert_bitwise_equal(
+                &resumed,
+                &reference,
+                &format!("threads={threads} crash_after={crash_after}"),
+            );
+            let _ = std::fs::remove_file(&path);
+        }
+
+        // Corrupt snapshot: flip one payload byte. The restore must be
+        // rejected with a typed error (surfaced as the ckpt.rejected
+        // counter + a warn event — never a panic) and the clean fallback
+        // must still reach the reference answer.
+        let path = snapshot_path(&format!("t{threads}_corrupt"));
+        let _ = std::fs::remove_file(&path);
+        ct_obs::reset();
+        let _ = f
+            .estimate_streaming_with(&fr, &CheckpointPolicy::to(&path).halt_after(2))
+            .expect("halted run estimates");
+        ct_obs::reset();
+        let mut bytes = std::fs::read(&path).expect("snapshot readable");
+        let mid = 16 + bytes.len() / 2;
+        let mid = mid.min(bytes.len() - 9); // inside the payload
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).expect("corruption written");
+
+        ct_obs::reset();
+        ct_obs::set_stream_enabled(true);
+        let fallback = f
+            .estimate_streaming_with(&fr, &CheckpointPolicy::to(&path))
+            .expect("corrupt snapshot must degrade, not fail");
+        let snap = ct_obs::snapshot();
+        ct_obs::set_stream_enabled(false);
+        ct_obs::reset();
+        assert!(!fallback.restored, "corrupt snapshot was restored");
+        assert!(
+            snap.counters
+                .iter()
+                .any(|(k, v)| k == "ckpt.rejected" && *v == 1),
+            "rejection left no ckpt.rejected counter"
+        );
+        assert!(
+            snap.events.iter().any(|e| e.name == "warn.ckpt_rejected"),
+            "rejection left no warn event"
+        );
+        assert_bitwise_equal(
+            &fallback,
+            &reference,
+            &format!("threads={threads} corrupt fallback"),
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}

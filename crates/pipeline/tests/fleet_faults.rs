@@ -1,0 +1,124 @@
+//! Straggler/timeout golden test: a fleet with delayed motes produces a
+//! deterministic partial estimate — same surviving motes, same merged
+//! statistics, same estimate bits — at any `CT_THREADS`, emits a
+//! `fleet.straggler` trace event per excluded mote, and discounts the
+//! estimate's confidence by coverage so a badly-degraded round refuses
+//! installation (`place_with_confidence` keeps the natural layout).
+//!
+//! One `#[test]` owns the process globals (ct-obs registry, `CT_THREADS`);
+//! splitting it would race the harness's parallel test threads.
+
+use ct_cfg::layout::Layout;
+use ct_faults::{MoteFaultKind, MoteFaultPlan};
+use ct_pipeline::{edge_frequencies, Fleet, RunConfig};
+use ct_placement::{place_with_confidence, Strategy, MIN_PLACEMENT_CONFIDENCE};
+
+const MOTES: usize = 5;
+
+#[test]
+fn stragglers_degrade_deterministically_and_gate_placement() {
+    let config = RunConfig::new("sense").invocations(150).seeded(31);
+    // Every mote draws a straggler delay; outcomes are pure functions of
+    // (seed, mote, attempt), so the test can read the delays up front and
+    // pick timeouts that exclude exactly the motes it wants.
+    let plan = MoteFaultPlan::single(MoteFaultKind::StragglerDelay, 1.0, 97);
+    let mut delays: Vec<u64> = (0..MOTES as u64)
+        .map(|m| plan.outcome(m, 0).straggler_delay)
+        .collect();
+    assert!(
+        delays.iter().all(|&d| d > 0),
+        "rate 1.0 must delay everyone"
+    );
+    delays.sort_unstable();
+    assert!(
+        delays.windows(2).all(|w| w[0] < w[1]),
+        "test seed drew tied delays; pick another seed"
+    );
+
+    // Timeout between the two largest delays: exactly one straggler.
+    let one_out = delays[MOTES - 2];
+    // Timeout below the second-smallest delay: only one mote delivers.
+    let four_out = delays[0];
+
+    let mut per_thread = Vec::new();
+    for threads in ["1", "4"] {
+        std::env::set_var("CT_THREADS", threads);
+        ct_obs::reset();
+        ct_obs::set_stream_enabled(true);
+        let fleet = Fleet::new(config.clone(), MOTES)
+            .with_mote_faults(plan.clone())
+            .straggler_timeout(one_out);
+        let fr = fleet.run().expect("partial fleet still runs");
+        let est = fleet.estimate(&fr).expect("partial fleet still estimates");
+        let snap = ct_obs::snapshot();
+        ct_obs::set_stream_enabled(false);
+        ct_obs::reset();
+
+        assert_eq!(fr.stragglers, 1, "threads={threads}");
+        assert_eq!(fr.delivered, MOTES - 1, "threads={threads}");
+        assert_eq!(fr.failed, 0, "stragglers are not failures");
+        let coverage = (MOTES - 1) as f64 / MOTES as f64;
+        assert_eq!(fr.coverage(), coverage);
+        assert_eq!(
+            est.confidence.to_bits(),
+            coverage.to_bits(),
+            "confidence must carry the coverage discount"
+        );
+        let events: Vec<_> = snap
+            .events
+            .iter()
+            .filter(|e| e.name == "fleet.straggler")
+            .collect();
+        assert_eq!(events.len(), 1, "threads={threads}: straggler event count");
+        assert!(
+            snap.counters
+                .iter()
+                .any(|(k, v)| k == "fleet.straggler" && *v == 1),
+            "threads={threads}: straggler counter"
+        );
+        per_thread.push((fr, est));
+    }
+    let (fr1, est1) = &per_thread[0];
+    let (fr4, est4) = &per_thread[1];
+    assert_eq!(fr1.stats, fr4.stats, "partial merge depends on CT_THREADS");
+    assert_eq!(fr1.pmu, fr4.pmu);
+    for (x, y) in est1
+        .estimate
+        .probs
+        .as_slice()
+        .iter()
+        .zip(est4.estimate.probs.as_slice())
+    {
+        assert_eq!(x.to_bits(), y.to_bits(), "partial estimate not bitwise");
+    }
+
+    // Degrade further: one delivering mote out of five is 20% coverage,
+    // under MIN_PLACEMENT_CONFIDENCE — placement must keep the natural
+    // layout rather than act on a mostly-missing fleet.
+    std::env::set_var("CT_THREADS", "4");
+    ct_obs::reset();
+    let degraded = Fleet::new(config.clone(), MOTES)
+        .with_mote_faults(plan)
+        .straggler_timeout(four_out);
+    let fr = degraded.run().expect("one-mote fleet still runs");
+    let est = degraded.estimate(&fr).expect("one-mote fleet estimates");
+    ct_obs::reset();
+    assert_eq!(fr.delivered, 1);
+    assert_eq!(fr.stragglers, MOTES - 1);
+    assert!(est.confidence < MIN_PLACEMENT_CONFIDENCE);
+    let cfg = fr.cfg();
+    let freq = edge_frequencies(cfg, &est.estimate.probs).expect("frequencies solve");
+    let layout = place_with_confidence(
+        cfg,
+        &freq,
+        est.confidence,
+        MIN_PLACEMENT_CONFIDENCE,
+        &config.penalties(),
+        Strategy::default(),
+    );
+    assert_eq!(
+        layout,
+        Layout::natural(cfg),
+        "degraded round must refuse installation"
+    );
+}

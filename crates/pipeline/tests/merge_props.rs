@@ -102,6 +102,69 @@ proptest! {
         prop_assert_eq!(merged, whole);
     }
 
+    /// At-least-once ingestion is idempotent under tag dedup and
+    /// permutation-invariant: any shuffle of a delivery stream with
+    /// duplicated batches interleaved folds — through a dedup ledger — to
+    /// exactly the statistics of the distinct batches.
+    #[test]
+    fn dedup_fold_is_idempotent_and_permutation_invariant(
+        ticks in prop::collection::vec(0u64..50_000, 1..200),
+        cuts in prop::collection::vec(0usize..200, 0..6),
+        dup_mask in prop::collection::vec(any::<bool>(), 8),
+        shuffle in prop::collection::vec(0usize..1000, 0..16),
+        cpt in 1u64..300,
+    ) {
+        use ct_core::stream::BatchTag;
+        use std::collections::BTreeSet;
+
+        let whole = stats_of(&ticks, cpt);
+        let parts: Vec<SuffStats> =
+            chunks(&ticks, &cuts).iter().map(|c| stats_of(c, cpt)).collect();
+
+        // Tag each batch, then redeliver the masked ones (same tag — the
+        // at-least-once contract: a redelivery repeats the payload *and*
+        // the tag).
+        let mut stream: Vec<(BatchTag, SuffStats)> = parts
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (BatchTag { mote: i as u64, seq: 0 }, s.clone()))
+            .collect();
+        for (i, dup) in dup_mask.iter().enumerate() {
+            if *dup && i < parts.len() {
+                stream.push(stream[i].clone());
+            }
+        }
+        // Deterministic shuffle from the generated swap list: duplicates
+        // may arrive before their originals and in any interleaving.
+        for (i, s) in shuffle.iter().enumerate() {
+            let n = stream.len();
+            stream.swap(i % n, s % n);
+        }
+
+        let mut ledger: BTreeSet<BatchTag> = BTreeSet::new();
+        let mut folded = SuffStats::new(cpt);
+        let mut dropped = 0usize;
+        for (tag, s) in &stream {
+            if ledger.insert(*tag) {
+                folded.merge(s).expect("same resolution");
+            } else {
+                dropped += 1;
+            }
+        }
+        prop_assert_eq!(&folded, &whole);
+        prop_assert_eq!(dropped, stream.len() - parts.len());
+
+        // Idempotence at the extreme: replay the entire stream again into
+        // the same ledger — nothing changes.
+        let before = folded.clone();
+        for (tag, s) in &stream {
+            if ledger.insert(*tag) {
+                folded.merge(s).expect("same resolution");
+            }
+        }
+        prop_assert_eq!(folded, before);
+    }
+
     /// The streaming view and the monolithic vector agree on everything the
     /// estimators consume: count, histogram, and both moments.
     #[test]

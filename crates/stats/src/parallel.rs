@@ -154,6 +154,49 @@ mod tests {
         }
     }
 
+    /// Marker payload for the caught-panic drain test, so a quiet hook can
+    /// filter exactly these panics without touching other tests' output.
+    struct ExpectedPanic;
+
+    #[test]
+    fn counters_recorded_before_a_caught_panic_survive_the_unwind() {
+        // Regression companion to `worker_counters_visible_when_par_map_returns`
+        // for the fault-injection path: a worker body that panics and is
+        // caught *inside* the closure (the fleet's crash-retry boundary)
+        // must still reach the end-of-closure drain, and increments recorded
+        // before the unwind must survive it.
+        static QUIET: std::sync::Once = std::sync::Once::new();
+        QUIET.call_once(|| {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                if info.payload().is::<ExpectedPanic>() {
+                    return;
+                }
+                prev(info);
+            }));
+        });
+        for round in 0..20u64 {
+            let before = counter_value("t.parmap.unwind");
+            let out = par_map_with(4, (0u64..8).collect(), |x| {
+                let caught = std::panic::catch_unwind(move || {
+                    ct_obs::Counter::new("t.parmap.unwind").incr();
+                    if x % 2 == 0 {
+                        std::panic::panic_any(ExpectedPanic);
+                    }
+                    x
+                });
+                caught.unwrap_or(u64::MAX)
+            });
+            assert_eq!(out.iter().filter(|&&x| x == u64::MAX).count(), 4);
+            let after = counter_value("t.parmap.unwind");
+            assert_eq!(
+                after - before,
+                8,
+                "round {round} lost increments across a caught unwind"
+            );
+        }
+    }
+
     fn counter_value(name: &str) -> u64 {
         ct_obs::snapshot()
             .counters

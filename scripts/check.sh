@@ -10,11 +10,13 @@ cargo fmt --all -- --check
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== cargo clippy (unwrap audit: ct-core, ct-faults, ct-obs, ct-mote, ct-stats) =="
-# Estimation, fault-injection, observability, mote-interpreter, and numeric
-# substrate (convolution cache) paths must not panic on data: surface any
-# unwrap()/expect() as warnings so reviewers see every remaining site.
-cargo clippy -p ct-core -p ct-faults -p ct-obs -p ct-mote -p ct-stats --all-targets -- \
+echo "== cargo clippy (unwrap audit: ct-core, ct-faults, ct-obs, ct-mote, ct-stats, ct-pipeline) =="
+# Estimation, fault-injection, observability, mote-interpreter, numeric
+# substrate (convolution cache), and pipeline (checkpoint decode, fleet
+# ingestion) paths must not panic on data: surface any unwrap()/expect()
+# as warnings so reviewers see every remaining site.
+cargo clippy -p ct-core -p ct-faults -p ct-obs -p ct-mote -p ct-stats -p ct-pipeline \
+    --all-targets -- \
     -W clippy::unwrap_used -W clippy::expect_used
 
 echo "== cargo doc (deny warnings) =="
@@ -30,6 +32,17 @@ cargo test --release -p ct-pipeline --test merge_props --quiet
 echo "== e13 smoke sweep (fault-injection pipeline end to end) =="
 cargo build --release -p ct-bench --bin e13_faults
 E13_SMOKE=1 ./target/release/e13_faults > /dev/null
+
+echo "== e15 smoke grid (chaos harness: crash/duplicate/straggler recovery) =="
+# e15 enforces its own claims by exit status: checkpoint-cycled recovery is
+# bitwise exact, duplicates never change results, >= 80% coverage stays
+# within tolerance of full coverage.
+cargo build --release -p ct-bench --bin e15_chaos
+CT_SMOKE=1 ./target/release/e15_chaos > /dev/null
+
+echo "== checkpoint round-trip smoke (snapshot -> corrupt -> typed rejection) =="
+cargo build --release -p ct-bench --bin ckpt_smoke
+./target/release/ckpt_smoke > /dev/null
 
 echo "== bench smoke (fast-mode kernels + BENCH_fb.json trajectory gate) =="
 # The convolution kernels must run clean at tiny budgets, the trajectory
