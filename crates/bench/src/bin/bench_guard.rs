@@ -1,17 +1,27 @@
-//! `bench_guard` — maintains and gates the BENCH_fb.json benchmark
-//! trajectory.
+//! `bench_guard` — maintains and gates the benchmark trajectories.
 //!
-//! BENCH_fb.json is an append-only history of benchmark runs (schema
-//! `bench_fb/2`), not a single snapshot: each `scripts/bench_fb.sh` run
-//! appends one timestamped entry, and check.sh fails when the newest
-//! `estimators/em` mean regresses more than the allowed percentage against
-//! the best (lowest) previously recorded run.
+//! Two append-only run histories live at the repo root, each a JSON
+//! document of timestamped entries (never a single snapshot):
+//!
+//! - `BENCH_fb.json` (schema `bench_fb/2`) — the estimation hot path.
+//!   `scripts/bench_fb.sh` appends one entry per run; check.sh fails when
+//!   the newest `estimators/em` mean regresses more than the allowed
+//!   percentage against the best (lowest) previously recorded run.
+//! - `BENCH_ingest.json` (schema `bench_ingest/1`) — the sharded service's
+//!   ingest path. `scripts/bench_ingest.sh` appends the `service/ingest`
+//!   mean printed by `e16_fleet_scale`, gated the same way.
+//!
+//! The schemas differ only in their guarded kernel and in `bench_fb/2`
+//! additionally recording the e1 sweep's wall time; `check` and `validate`
+//! dispatch on the schema marker the file itself declares.
 //!
 //! Subcommands:
 //!
 //! - `append <file> <threads> <e1_ms>` — reads criterion-shim `bench:` lines
-//!   on stdin, appends one run to the trajectory (migrating a legacy
+//!   on stdin, appends one `bench_fb/2` run (migrating a legacy
 //!   single-snapshot file into the first run, timestamped 0).
+//! - `append-ingest <file> <threads>` — same, for a `bench_ingest/1` file
+//!   (no e1 wall time).
 //! - `check <file> [max_regress_pct]` — regression gate (default 15%).
 //! - `validate <file>` — strict schema validation of the trajectory.
 
@@ -19,19 +29,35 @@ use ct_obs::json::{parse, write_escaped, Json};
 use std::io::Read;
 use std::process::ExitCode;
 
-const SCHEMA: &str = "bench_fb/2";
-const GUARD_KERNEL: &str = "estimators/em";
+const SCHEMA_FB: &str = "bench_fb/2";
+const SCHEMA_INGEST: &str = "bench_ingest/1";
+
+/// The kernel a schema's regression gate guards.
+fn guard_kernel(schema: &str) -> &'static str {
+    if schema == SCHEMA_INGEST {
+        "service/ingest"
+    } else {
+        "estimators/em"
+    }
+}
+
+/// True when the schema records the e1 sweep's wall time per run.
+fn records_e1(schema: &str) -> bool {
+    schema == SCHEMA_FB
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
-        Some("append") if args.len() == 4 => append(&args[1], &args[2], &args[3]),
+        Some("append") if args.len() == 4 => append(&args[1], &args[2], Some(&args[3]), SCHEMA_FB),
+        Some("append-ingest") if args.len() == 3 => append(&args[1], &args[2], None, SCHEMA_INGEST),
         Some("check") if args.len() == 2 || args.len() == 3 => {
             check(&args[1], args.get(2).map(String::as_str))
         }
         Some("validate") if args.len() == 2 => validate_file(&args[1]),
         _ => Err(concat!(
             "usage: bench_guard append <file> <threads> <e1_ms>  (bench: lines on stdin)\n",
+            "       bench_guard append-ingest <file> <threads>   (bench: lines on stdin)\n",
             "       bench_guard check <file> [max_regress_pct]\n",
             "       bench_guard validate <file>"
         )
@@ -49,36 +75,41 @@ fn main() -> ExitCode {
     }
 }
 
-/// One benchmark run in the trajectory.
+/// One benchmark run in a trajectory.
 struct Run {
     timestamp: u64,
     threads: f64,
-    e1_ms: f64,
+    /// Wall time of the full e1 sweep — recorded by `bench_fb/2` only.
+    e1_ms: Option<f64>,
     kernels: Vec<(String, f64)>,
 }
 
-/// Loads a trajectory, migrating the legacy single-snapshot schema (a bare
-/// object with top-level `kernels`) into a one-run history stamped 0.
-fn load_runs(path: &str) -> Result<Vec<Run>, String> {
+/// Loads a trajectory, returning the schema the file declares alongside its
+/// runs. A missing file is an empty `default_schema` trajectory; a legacy
+/// single-snapshot file (bare object with top-level `kernels`) migrates
+/// into a one-run `bench_fb/2` history stamped 0.
+fn load_runs(path: &str, default_schema: &'static str) -> Result<(&'static str, Vec<Run>), String> {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
-        Err(_) => return Ok(Vec::new()), // no history yet
+        Err(_) => return Ok((default_schema, Vec::new())), // no history yet
     };
     let doc = parse(&text).map_err(|e| format!("{path}: {e}"))?;
-    let runs_json: Vec<&Json> = match (doc.get("schema").and_then(Json::as_str), doc.get("runs")) {
-        (Some(SCHEMA), Some(Json::Arr(runs))) => runs.iter().collect(),
-        (Some(other), _) => return Err(format!("{path}: unknown schema {other:?}")),
-        // Legacy snapshot: treat the whole document as the only run.
-        _ => vec![&doc],
-    };
+    let (schema, runs_json): (&'static str, Vec<&Json>) =
+        match (doc.get("schema").and_then(Json::as_str), doc.get("runs")) {
+            (Some(SCHEMA_FB), Some(Json::Arr(runs))) => (SCHEMA_FB, runs.iter().collect()),
+            (Some(SCHEMA_INGEST), Some(Json::Arr(runs))) => (SCHEMA_INGEST, runs.iter().collect()),
+            (Some(other), _) => return Err(format!("{path}: unknown schema {other:?}")),
+            // Legacy snapshot: treat the whole document as the only run.
+            _ => (SCHEMA_FB, vec![&doc]),
+        };
     let mut runs = Vec::with_capacity(runs_json.len());
     for (i, r) in runs_json.iter().enumerate() {
-        runs.push(parse_run(r).map_err(|e| format!("{path}: run {i}: {e}"))?);
+        runs.push(parse_run(r, records_e1(schema)).map_err(|e| format!("{path}: run {i}: {e}"))?);
     }
-    Ok(runs)
+    Ok((schema, runs))
 }
 
-fn parse_run(r: &Json) -> Result<Run, String> {
+fn parse_run(r: &Json, requires_e1: bool) -> Result<Run, String> {
     let num = |key: &str| -> Result<f64, String> {
         r.get(key)
             .and_then(Json::as_num)
@@ -103,10 +134,15 @@ fn parse_run(r: &Json) -> Result<Run, String> {
         }
         kernels.push((name.to_string(), ns));
     }
+    let e1_ms = if requires_e1 {
+        Some(num("e1_accuracy_wall_ms")?)
+    } else {
+        None
+    };
     Ok(Run {
         timestamp: r.get("timestamp").and_then(Json::as_num).unwrap_or(0.0) as u64,
         threads: num("threads")?,
-        e1_ms: num("e1_accuracy_wall_ms")?,
+        e1_ms,
         kernels,
     })
 }
@@ -121,18 +157,20 @@ fn write_num(out: &mut String, n: f64) {
     }
 }
 
-fn render(runs: &[Run]) -> String {
+fn render(schema: &str, runs: &[Run]) -> String {
     let mut out = String::new();
     out.push_str("{\n  \"schema\": ");
-    write_escaped(&mut out, SCHEMA);
+    write_escaped(&mut out, schema);
     out.push_str(",\n  \"runs\": [\n");
     for (i, r) in runs.iter().enumerate() {
         out.push_str("    {\"timestamp\": ");
         write_num(&mut out, r.timestamp as f64);
         out.push_str(", \"threads\": ");
         write_num(&mut out, r.threads);
-        out.push_str(", \"e1_accuracy_wall_ms\": ");
-        write_num(&mut out, r.e1_ms);
+        if let Some(e1) = r.e1_ms {
+            out.push_str(", \"e1_accuracy_wall_ms\": ");
+            write_num(&mut out, e1);
+        }
         out.push_str(", \"kernels\": [\n");
         for (j, (name, ns)) in r.kernels.iter().enumerate() {
             out.push_str("      {\"kernel\": ");
@@ -149,13 +187,18 @@ fn render(runs: &[Run]) -> String {
     out
 }
 
-fn append(path: &str, threads: &str, e1_ms: &str) -> Result<String, String> {
+fn append(
+    path: &str,
+    threads: &str,
+    e1_ms: Option<&str>,
+    schema: &'static str,
+) -> Result<String, String> {
     let threads: f64 = threads
         .parse()
         .map_err(|_| format!("bad thread count {threads:?}"))?;
-    let e1_ms: f64 = e1_ms
-        .parse()
-        .map_err(|_| format!("bad e1 wall-ms {e1_ms:?}"))?;
+    let e1_ms: Option<f64> = e1_ms
+        .map(|v| v.parse().map_err(|_| format!("bad e1 wall-ms {v:?}")))
+        .transpose()?;
     let mut stdin = String::new();
     std::io::stdin()
         .read_to_string(&mut stdin)
@@ -185,14 +228,19 @@ fn append(path: &str, threads: &str, e1_ms: &str) -> Result<String, String> {
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
         .unwrap_or(0);
-    let mut runs = load_runs(path)?;
+    let (found, mut runs) = load_runs(path, schema)?;
+    if found != schema {
+        return Err(format!(
+            "{path}: cannot append a {schema:?} run to a {found:?} trajectory"
+        ));
+    }
     runs.push(Run {
         timestamp,
         threads,
         e1_ms,
         kernels,
     });
-    std::fs::write(path, render(&runs)).map_err(|e| format!("writing {path}: {e}"))?;
+    std::fs::write(path, render(schema, &runs)).map_err(|e| format!("writing {path}: {e}"))?;
     Ok(format!("appended run {} to {path}", runs.len()))
 }
 
@@ -203,50 +251,55 @@ fn check(path: &str, max_pct: Option<&str>) -> Result<String, String> {
             .map_err(|_| format!("bad regression percentage {p:?}"))?,
         None => 15.0,
     };
-    let runs = load_runs(path)?;
+    let (schema, runs) = load_runs(path, SCHEMA_FB)?;
+    let kernel = guard_kernel(schema);
     let latest = runs.last().ok_or("no recorded runs")?;
-    let em_of = |r: &Run| {
+    let guarded_of = |r: &Run| {
         r.kernels
             .iter()
-            .find(|(k, _)| k == GUARD_KERNEL)
+            .find(|(k, _)| k == kernel)
             .map(|&(_, ns)| ns)
     };
-    let current = em_of(latest).ok_or_else(|| format!("latest run lacks {GUARD_KERNEL}"))?;
+    let current = guarded_of(latest).ok_or_else(|| format!("latest run lacks {kernel}"))?;
     let best = runs[..runs.len() - 1]
         .iter()
-        .filter_map(em_of)
+        .filter_map(guarded_of)
         .fold(f64::INFINITY, f64::min);
     if !best.is_finite() {
         return Ok(format!(
-            "{GUARD_KERNEL}: {current:.0} ns/iter (first recorded run; nothing to gate against)"
+            "{kernel}: {current:.0} ns/iter (first recorded run; nothing to gate against)"
         ));
     }
     let limit = best * (1.0 + max_pct / 100.0);
     if current > limit {
         return Err(format!(
-            "{GUARD_KERNEL} regressed: {current:.0} ns/iter vs best {best:.0} \
+            "{kernel} regressed: {current:.0} ns/iter vs best {best:.0} \
              (limit {limit:.0}, +{max_pct}%)"
         ));
     }
     Ok(format!(
-        "{GUARD_KERNEL}: {current:.0} ns/iter vs best {best:.0} (within +{max_pct}%)"
+        "{kernel}: {current:.0} ns/iter vs best {best:.0} (within +{max_pct}%)"
     ))
 }
 
 fn validate_file(path: &str) -> Result<String, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let doc = parse(&text).map_err(|e| format!("{path}: {e}"))?;
-    match doc.get("schema").and_then(Json::as_str) {
-        Some(SCHEMA) => {}
-        Some(other) => return Err(format!("{path}: schema {other:?}, want {SCHEMA:?}")),
+    let schema = match doc.get("schema").and_then(Json::as_str) {
+        Some(s @ (SCHEMA_FB | SCHEMA_INGEST)) => s.to_string(),
+        Some(other) => {
+            return Err(format!(
+                "{path}: schema {other:?}, want {SCHEMA_FB:?} or {SCHEMA_INGEST:?}"
+            ))
+        }
         None => return Err(format!("{path}: missing schema marker (legacy snapshot?)")),
-    }
-    let runs = load_runs(path)?;
+    };
+    let (_, runs) = load_runs(path, SCHEMA_FB)?;
     if runs.is_empty() {
         return Err(format!("{path}: empty run history"));
     }
     Ok(format!(
-        "{path}: valid {SCHEMA} trajectory with {} run(s)",
+        "{path}: valid {schema} trajectory with {} run(s)",
         runs.len()
     ))
 }

@@ -22,6 +22,8 @@
 //! | `e12_cross_mcu` | cross-MCU pipeline + energy (Table, extension) |
 //! | `e13_faults` | naive EM vs degradation ladder under channel faults (Table, extension) |
 //! | `e14_incremental` | incremental warm-started EM over SuffStats batches vs cold re-estimation (Table, extension) |
+//! | `e15_chaos` | fleet ingestion under injected crash/duplicate/straggler faults (Table, extension) |
+//! | `e16_fleet_scale` | sharded estimation service: throughput, backpressure, bitwise determinism (Table, extension) |
 //!
 //! Each binary drives the typed `ct-pipeline` flow (one seeded
 //! [`ct_pipeline::Session`] per measurement cell), prints a markdown table

@@ -85,10 +85,27 @@ impl IncrementalEm {
     /// [`FbError::Shape`] when the delta's timer resolution differs from the
     /// accumulator's (incommensurable ticks).
     pub fn ingest(&mut self, delta: &SuffStats) -> Result<(), FbError> {
+        self.ingest_counted(delta, 1)
+    }
+
+    /// Folds a pre-reduced delta covering `batches` original batches into
+    /// the cumulative stream — the reduce-tier entry point. A generation's
+    /// tree-reduced shard deltas arrive as one [`SuffStats`], but the batch
+    /// count must advance by the number of distinct batches that generation
+    /// absorbed, so checkpoint cadence and the `em.incremental` audit trail
+    /// stay denominated in batches (deterministic) rather than reduce
+    /// rounds (a scheduling artifact). `ingest(delta)` is exactly
+    /// `ingest_counted(delta, 1)`.
+    ///
+    /// # Errors
+    ///
+    /// [`FbError::Shape`] when the delta's timer resolution differs from the
+    /// accumulator's (incommensurable ticks).
+    pub fn ingest_counted(&mut self, delta: &SuffStats, batches: u64) -> Result<(), FbError> {
         self.stats
             .merge(delta)
             .map_err(|e| FbError::Shape(e.to_string()))?;
-        self.batches += 1;
+        self.batches += batches;
         Ok(())
     }
 
@@ -325,6 +342,38 @@ mod tests {
         assert_eq!(resumed.stats(), full.stats());
         let (a, b) = (resumed.last().unwrap(), full.last().unwrap());
         assert_eq!(a.iterations, b.iterations);
+        assert_eq!(a.loglik.to_bits(), b.loglik.to_bits());
+        for (x, y) in a.probs.as_slice().iter().zip(b.probs.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn counted_ingest_of_a_reduced_delta_matches_per_batch_ingest() {
+        let cfg = diamond();
+        let bc = [10u64, 100, 200, 5];
+        let ec = [0u64; 4];
+        let parts: Vec<SuffStats> = [
+            mixture_ticks(80, 40),
+            mixture_ticks(50, 70),
+            mixture_ticks(90, 20),
+        ]
+        .iter()
+        .map(|t| batch_of(t))
+        .collect();
+
+        let mut per_batch = IncrementalEm::new(1, EmOptions::default());
+        for p in &parts {
+            per_batch.ingest(p).unwrap();
+        }
+        let reduced = SuffStats::tree_reduce(1, parts).unwrap();
+        let mut counted = IncrementalEm::new(1, EmOptions::default());
+        counted.ingest_counted(&reduced, 3).unwrap();
+
+        assert_eq!(counted.batches(), per_batch.batches());
+        assert_eq!(counted.stats(), per_batch.stats());
+        let a = counted.reestimate(&cfg, &bc, &ec).unwrap().clone();
+        let b = per_batch.reestimate(&cfg, &bc, &ec).unwrap().clone();
         assert_eq!(a.loglik.to_bits(), b.loglik.to_bits());
         for (x, y) in a.probs.as_slice().iter().zip(b.probs.as_slice()) {
             assert_eq!(x.to_bits(), y.to_bits());

@@ -369,6 +369,62 @@ impl SuffStats {
         Ok(a)
     }
 
+    /// Takes the accumulated statistics, leaving empty statistics at the
+    /// same resolution behind — the shard-snapshot entry point: an ingest
+    /// shard hands its delta to the reduce tier and keeps accumulating into
+    /// the emptied receiver, with no resolution drift and no window where
+    /// samples could be double-counted or lost.
+    pub fn take(&mut self) -> SuffStats {
+        let cycles_per_tick = self.cycles_per_tick;
+        std::mem::replace(self, SuffStats::new(cycles_per_tick))
+    }
+
+    /// Deterministic pairwise tree reduction of per-shard statistics:
+    /// adjacent pairs merge, rounds repeat until one survivor remains.
+    ///
+    /// Because [`SuffStats::merge`] is associative and commutative, the
+    /// survivor is bitwise the left fold of `parts` — and therefore bitwise
+    /// the statistics of the monolithic stream — for **any** shard count and
+    /// any partition of the stream across shards. The reduce tier leans on
+    /// this to serve one global statistic from any sharding. An empty
+    /// `parts` reduces to empty statistics at `cycles_per_tick`.
+    ///
+    /// # Errors
+    ///
+    /// [`ResolutionMismatch`] when any part disagrees with
+    /// `cycles_per_tick` (checked up front; nothing is consumed on error).
+    pub fn tree_reduce(
+        cycles_per_tick: u64,
+        parts: Vec<SuffStats>,
+    ) -> Result<SuffStats, ResolutionMismatch> {
+        if let Some(p) = parts.iter().find(|p| p.cycles_per_tick != cycles_per_tick) {
+            return Err(ResolutionMismatch {
+                ours: cycles_per_tick,
+                theirs: p.cycles_per_tick,
+            });
+        }
+        let mut level = parts;
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(2));
+            let mut it = level.into_iter();
+            while let Some(a) = it.next() {
+                match it.next() {
+                    // Resolutions were all checked above; merge cannot fail.
+                    Some(b) => {
+                        next.push(SuffStats::merged(a, &b).unwrap_or_else(|_| {
+                            unreachable!("resolutions verified before reduction")
+                        }))
+                    }
+                    None => next.push(a),
+                }
+            }
+            level = next;
+        }
+        Ok(level
+            .pop()
+            .unwrap_or_else(|| SuffStats::new(cycles_per_tick)))
+    }
+
     /// The distinct-tick histogram, ascending.
     pub fn histogram(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         self.hist.iter().map(|(&t, &c)| (t, c))
@@ -581,6 +637,63 @@ mod tests {
             mono.push(big);
         }
         assert_eq!(ab, mono);
+    }
+
+    #[test]
+    fn take_empties_in_place_and_preserves_resolution() {
+        let mut s = SuffStats::new(8);
+        s.push(5);
+        s.push(5);
+        let taken = s.take();
+        assert_eq!(taken.len(), 2);
+        assert_eq!(DurationSamples::cycles_per_tick(&taken), 8);
+        assert_eq!(s, SuffStats::new(8), "receiver left empty at same cpt");
+        // Accumulation continues seamlessly after the take.
+        s.push(9);
+        let whole = SuffStats::merged(taken, &s).unwrap();
+        let mut direct = SuffStats::new(8);
+        for t in [5, 5, 9] {
+            direct.push(t);
+        }
+        assert_eq!(whole, direct);
+    }
+
+    #[test]
+    fn tree_reduce_equals_left_fold_at_any_width() {
+        let ticks = [1u64, 2, 2, 3, 5, 8, 8, 8, 13, 21, 34];
+        let mut whole = SuffStats::new(4);
+        for &t in &ticks {
+            whole.push(t);
+        }
+        for width in 1..=ticks.len() {
+            let parts: Vec<SuffStats> = ticks
+                .chunks(width)
+                .map(|c| {
+                    let mut s = SuffStats::new(4);
+                    c.iter().for_each(|&t| s.push(t));
+                    s
+                })
+                .collect();
+            let reduced = SuffStats::tree_reduce(4, parts).unwrap();
+            assert_eq!(reduced, whole, "width {width} diverged");
+        }
+        // Degenerate widths: no parts, and parts that are all empty.
+        assert_eq!(
+            SuffStats::tree_reduce(4, vec![]).unwrap(),
+            SuffStats::new(4)
+        );
+        let empties = vec![SuffStats::new(4); 5];
+        assert_eq!(
+            SuffStats::tree_reduce(4, empties).unwrap(),
+            SuffStats::new(4)
+        );
+    }
+
+    #[test]
+    fn tree_reduce_rejects_mismatched_resolution_parts() {
+        let err =
+            SuffStats::tree_reduce(4, vec![SuffStats::new(4), SuffStats::new(8)]).unwrap_err();
+        assert_eq!(err, ResolutionMismatch { ours: 4, theirs: 8 });
     }
 
     #[test]

@@ -153,8 +153,10 @@ impl<'a> Lexer<'a> {
             if self.pos == hex_start {
                 return Err(self.err("expected hexadecimal digits after `0x`"));
             }
-            let text = std::str::from_utf8(&self.src[hex_start..self.pos]).expect("ascii");
-            let v = i64::from_str_radix(text, 16)
+            // The scanned span is all ASCII hex digits, so the lossy
+            // conversion is lossless; it just cannot panic.
+            let text = String::from_utf8_lossy(&self.src[hex_start..self.pos]);
+            let v = i64::from_str_radix(&text, 16)
                 .map_err(|_| self.err("hexadecimal literal out of range"))?;
             return Ok(Tok::Int(v));
         }
@@ -165,7 +167,7 @@ impl<'a> Lexer<'a> {
         if matches!(self.peek(), Some(c) if c.is_ascii_alphabetic() || c == b'_') {
             return Err(self.err("malformed numeric literal"));
         }
-        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]);
         let v: i64 = text
             .parse()
             .map_err(|_| self.err("decimal literal out of range"))?;
@@ -177,8 +179,8 @@ impl<'a> Lexer<'a> {
         while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == b'_') {
             self.bump();
         }
-        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
-        match text {
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]);
+        match text.as_ref() {
             "module" => Tok::Module,
             "var" => Tok::Var,
             "proc" => Tok::Proc,
@@ -193,7 +195,9 @@ impl<'a> Lexer<'a> {
     }
 
     fn punct(&mut self) -> Result<Tok, IrError> {
-        let c = self.bump().expect("peeked");
+        let Some(c) = self.bump() else {
+            return Err(self.err("unexpected end of input"));
+        };
         let two = |lexer: &mut Self, tok| {
             lexer.bump();
             tok

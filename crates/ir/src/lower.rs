@@ -145,7 +145,11 @@ impl<'a> Lowerer<'a> {
                     None => self.emit(Instr::PushConst(0)),
                 }
                 self.emit(Instr::Cast(*ty));
-                let (slot, _) = self.local(name).expect("sema resolved local");
+                let Some((slot, _)) = self.local(name) else {
+                    // Lowering only runs over sema-checked modules, and sema
+                    // allocates a slot for every declared local.
+                    unreachable!("sema resolved every declared local before lowering");
+                };
                 self.emit(Instr::StoreLocal(slot));
             }
             Stmt::Assign { target, value, .. } => match target {

@@ -11,6 +11,24 @@
 use crate::event::VOLATILE_FIELDS;
 use crate::json::{self, Json};
 
+/// Scheduling-dependent metrics: how often the service's coordinator
+/// polled, how full queues got, how long a reduce took. Two correct runs
+/// of the same workload legitimately disagree on these — on value and
+/// even on presence (a run that never saw backpressure never creates the
+/// counter) — so the differ reports them as notes, never divergences.
+/// Everything else under `svc.` (accepted/dedup counts, the serve audit
+/// trail) stays strict: it is part of the determinism contract.
+const VOLATILE_METRICS: &[&str] = &[
+    "svc.backpressure",
+    "svc.queue_depth",
+    "svc.reduce.generations",
+    "svc.reduce.latency_us",
+];
+
+fn is_volatile_metric(name: &str) -> bool {
+    VOLATILE_METRICS.contains(&name)
+}
+
 /// The outcome of comparing two manifests.
 #[derive(Debug, Default, Clone)]
 pub struct DiffReport {
@@ -98,33 +116,45 @@ fn obj_entries<'a>(doc: &'a Json, section: &str) -> Vec<(&'a str, &'a Json)> {
     }
 }
 
-/// Compares one scalar-valued section (counters, pmu) key by key in both
-/// directions.
+/// Compares one scalar-valued section (counters, pmu, gauges) key by key
+/// in both directions. [`VOLATILE_METRICS`] downgrade to notes — both on
+/// value drift and on one-sided presence.
 fn diff_scalar_section(section: &str, a: &Json, b: &Json, report: &mut DiffReport) {
     let ea = obj_entries(a, section);
     let eb = obj_entries(b, section);
     for (k, va) in &ea {
         match eb.iter().find(|(kb, _)| kb == k) {
-            None => report
-                .divergences
-                .push(format!("{section}.{k}: present only in A")),
+            None => {
+                let msg = format!("{section}.{k}: present only in A");
+                if is_volatile_metric(k) {
+                    report.notes.push(format!("{msg} (volatile, ignored)"));
+                } else {
+                    report.divergences.push(msg);
+                }
+            }
             Some((_, vb)) => {
                 let (mut ca, mut cb) = (String::new(), String::new());
                 canon(va, &mut ca);
                 canon(vb, &mut cb);
                 if ca != cb {
-                    report
-                        .divergences
-                        .push(format!("{section}.{k}: A={ca} B={cb}"));
+                    let msg = format!("{section}.{k}: A={ca} B={cb}");
+                    if is_volatile_metric(k) {
+                        report.notes.push(format!("{msg} (volatile, ignored)"));
+                    } else {
+                        report.divergences.push(msg);
+                    }
                 }
             }
         }
     }
     for (k, _) in &eb {
         if !ea.iter().any(|(ka, _)| ka == k) {
-            report
-                .divergences
-                .push(format!("{section}.{k}: present only in B"));
+            let msg = format!("{section}.{k}: present only in B");
+            if is_volatile_metric(k) {
+                report.notes.push(format!("{msg} (volatile, ignored)"));
+            } else {
+                report.divergences.push(msg);
+            }
         }
     }
 }
@@ -159,6 +189,7 @@ pub fn diff_manifests(a: &str, b: &str) -> Result<DiffReport, String> {
 
     diff_scalar_section("counters", &da, &db, &mut report);
     diff_scalar_section("pmu", &da, &db, &mut report);
+    diff_scalar_section("gauges", &da, &db, &mut report);
 
     // Spans: the census (which spans ran, how often) is deterministic;
     // their timings are not.
@@ -323,6 +354,55 @@ mod tests {
         let r = diff_manifests(&a, &b).unwrap();
         assert!(!r.is_clean());
         assert!(r.divergences.iter().any(|d| d.contains("audit")));
+    }
+
+    #[test]
+    fn volatile_service_metrics_note_instead_of_diverging() {
+        // Backpressure count and reduce-round count are scheduling
+        // artifacts: they may differ in value or exist on one side only.
+        let a = manifest(
+            r#""svc.backpressure": 12, "svc.ingest.accepted": 40"#,
+            "",
+            1,
+        );
+        let b = manifest(
+            r#""svc.reduce.generations": 9, "svc.ingest.accepted": 40"#,
+            "",
+            1,
+        );
+        let r = diff_manifests(&a, &b).unwrap();
+        assert!(r.is_clean(), "{:?}", r.divergences);
+        assert!(
+            r.notes.iter().any(|n| n.contains("svc.backpressure")),
+            "volatile asymmetry should be noted: {:?}",
+            r.notes
+        );
+        // The deterministic svc.* counters stay strict.
+        let c = manifest(r#""svc.ingest.accepted": 41"#, "", 1);
+        let r = diff_manifests(&a, &c).unwrap();
+        assert!(r
+            .divergences
+            .iter()
+            .any(|d| d.contains("svc.ingest.accepted")));
+    }
+
+    #[test]
+    fn gauge_sections_are_compared_with_volatility_rules() {
+        let with_gauges = |g: &str| {
+            manifest("", "", 1).replace(
+                "\"pmu\": {\"cond_taken\": 7}",
+                &format!("\"pmu\": {{\"cond_taken\": 7}},\n  \"gauges\": {{{g}}}"),
+            )
+        };
+        let a = with_gauges(r#""svc.queue_depth": 64, "fleet.coverage": 1.0"#);
+        let b = with_gauges(r#""svc.queue_depth": 3, "fleet.coverage": 1.0"#);
+        assert!(diff_manifests(&a, &b).unwrap().is_clean());
+        let c = with_gauges(r#""svc.queue_depth": 3, "fleet.coverage": 0.5"#);
+        let r = diff_manifests(&a, &c).unwrap();
+        assert!(r
+            .divergences
+            .iter()
+            .any(|d| d.contains("gauges.fleet.coverage")));
     }
 
     #[test]

@@ -20,11 +20,14 @@ pub const ENV_KNOBS: &[&str] = &[
     "CT_MANIFEST",
     "CT_CHECKPOINT_PATH",
     "CT_CHECKPOINT_EVERY",
+    "CT_SHARDS",
+    "CT_QUEUE_DEPTH",
+    "CT_REDUCE_EVERY",
 ];
 
 /// Event-name prefixes that belong in the manifest's estimator audit trail.
 const AUDIT_PREFIXES: &[&str] = &[
-    "em.", "ladder.", "warn.", "place.", "pmu.", "fleet.", "ckpt.",
+    "em.", "ladder.", "warn.", "place.", "pmu.", "fleet.", "ckpt.", "svc.",
 ];
 
 /// Counter-name prefix mirrored into the manifest's dedicated `pmu`
@@ -147,6 +150,23 @@ pub fn render_manifest(run_name: &str, snap: &Snapshot, extra: &[(&str, Value)])
     }
     out.push_str("\n  }");
 
+    // Gauges (max-merged across threads). Additive to the schema; the
+    // service's queue-depth and reduce-latency telemetry lands here.
+    out.push_str(",\n  \"gauges\": {");
+    for (i, (name, v)) in snap.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        write_escaped(&mut out, name);
+        if v.is_finite() {
+            let _ = write!(out, ": {v}");
+        } else {
+            out.push_str(": null");
+        }
+    }
+    out.push_str("\n  }");
+
     // Virtual-PMU bank: the `pmu.*` counters again, prefix stripped —
     // the section experiment gates diff (additive to the schema).
     out.push_str(",\n  \"pmu\": {");
@@ -246,6 +266,25 @@ mod tests {
                 .and_then(|c| c.get("pmu.cond_taken"))
                 .and_then(json::Json::as_num),
             Some(7.0)
+        );
+    }
+
+    #[test]
+    fn gauges_render_with_non_finite_values_nulled() {
+        let mut snap = Snapshot::default();
+        snap.gauges.push(("svc.queue_depth".to_string(), 17.0));
+        snap.gauges
+            .push(("svc.reduce.latency_us".to_string(), f64::NEG_INFINITY));
+        let doc = render_manifest("e16_fleet_scale", &snap, &[]);
+        let parsed = json::parse(&doc).unwrap_or_else(|e| panic!("{e}\n{doc}"));
+        let gauges = parsed.get("gauges").expect("gauges section");
+        assert_eq!(
+            gauges.get("svc.queue_depth").and_then(json::Json::as_num),
+            Some(17.0)
+        );
+        assert!(
+            matches!(gauges.get("svc.reduce.latency_us"), Some(json::Json::Null)),
+            "non-finite gauge must render as null, not break the JSON"
         );
     }
 

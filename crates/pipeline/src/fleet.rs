@@ -26,8 +26,17 @@
 //! after a badly-degraded round. The streaming path additionally
 //! checkpoints its state ([`CheckpointPolicy`]) so a process crash at any
 //! batch boundary resumes bitwise-identically.
+//!
+//! ## Service substrate
+//!
+//! The streaming path is a thin client of the sharded estimation service:
+//! it drives a [`ServiceCore`] pinned to one shard reduced after every
+//! batch ([`ServiceConfig::pinned`]), under which the service's
+//! ingest → reduce → estimate cycle is bitwise the pre-service
+//! per-batch loop. Larger deployments run the identical logic threaded
+//! (`ct_service::EstimationService`) with K shards and bounded queues.
 
-use crate::checkpoint::{Checkpoint, CheckpointError, CheckpointEstimate, CheckpointPolicy};
+use crate::checkpoint::{Checkpoint, CheckpointError, CheckpointPolicy};
 use crate::config::{EstimatorChoice, RunConfig};
 use crate::error::PipelineError;
 use crate::session::Session;
@@ -37,12 +46,12 @@ use ct_cfg::profile::{BranchProbs, EdgeProfile};
 use ct_core::accuracy::compare;
 use ct_core::em::EmOptions;
 use ct_core::estimator::{estimate_robust, Estimate as CoreEstimate, EstimateError, Method};
-use ct_core::incremental::IncrementalEm;
 use ct_core::samples::DurationSamples;
 use ct_core::stream::{BatchTag, SuffStats};
 use ct_faults::{MoteFaultOutcome, MoteFaultPlan};
 use ct_ir::instr::ProcId;
 use ct_ir::program::Program;
+use ct_service::{ServiceConfig, ServiceCore};
 use std::collections::BTreeSet;
 
 /// Marker payload of a fault-injected worker panic (the
@@ -529,17 +538,21 @@ impl Fleet {
         ct_obs::emit("warn.ckpt_rejected", vec![("error", e.to_string().into())]);
     }
 
-    /// Attempts to restore streaming state from the policy's snapshot.
-    /// Returns `None` — after recording `ckpt.rejected` / a
-    /// `warn.ckpt_rejected` event where applicable — when there is no
-    /// snapshot, it fails to decode, it was taken under a different
-    /// configuration, or its contents are internally inconsistent.
+    /// Attempts to restore streaming state from the policy's snapshot into
+    /// a pinned [`ServiceCore`]. Returns `None` — after recording
+    /// `ckpt.rejected` / a `warn.ckpt_rejected` event where applicable —
+    /// when there is no snapshot, it fails to decode, it was taken under a
+    /// different configuration, or its contents are internally
+    /// inconsistent. The fleet's consistency bar is stricter than the
+    /// service's: the per-batch path records one iteration-trail entry per
+    /// ledger tag and estimates after every batch, so a snapshot without
+    /// that shape cannot have come from this loop.
     fn try_restore(
         &self,
         policy: &CheckpointPolicy,
         cfg: &Cfg,
         fingerprint: u64,
-    ) -> Option<(IncrementalEm, BTreeSet<BatchTag>, Vec<usize>)> {
+    ) -> Option<(ServiceCore, Vec<usize>)> {
         let path = policy.path.as_ref()?;
         if !path.exists() {
             return None;
@@ -561,7 +574,8 @@ impl Fleet {
         let consistent = ck.batches == ck.ledger.len() as u64
             && ck.batch_iterations.len() == ck.ledger.len()
             && (ck.batches == 0) == ck.last.is_none()
-            && ck.stats.cycles_per_tick() == self.config.cycles_per_tick;
+            && ck.generations == ck.batches
+            && DurationSamples::cycles_per_tick(&ck.stats) == self.config.cycles_per_tick;
         if !consistent {
             Fleet::reject_checkpoint(&CheckpointError::Malformed(
                 "snapshot sections disagree on batch count or resolution".into(),
@@ -581,47 +595,39 @@ impl Fleet {
         ct_obs::Counter::new("ckpt.restored").incr();
         ct_obs::emit("ckpt.restored", vec![("batches", ck.batches.into())]);
         Some((
-            IncrementalEm::restore(ck.stats, last, ck.batches, self.em_options()),
-            ck.ledger.into_iter().collect(),
+            ServiceCore::restore(
+                &ServiceConfig::pinned(),
+                self.config.cycles_per_tick,
+                self.em_options(),
+                ck.stats,
+                last,
+                ck.batches,
+                ck.generations,
+                ck.ledger,
+            ),
             ck.batch_iterations,
         ))
     }
 
-    /// Writes a best-effort snapshot: a failed write warns and the run
-    /// continues (losing checkpoint durability must never fail ingestion).
+    /// Writes a best-effort snapshot: a failed write warns (the
+    /// `ckpt.write_failed` counter and a `warn.ckpt_write_failed` event) and
+    /// the run continues — losing checkpoint durability must never fail
+    /// ingestion.
     fn write_checkpoint(
         policy: &CheckpointPolicy,
         fingerprint: u64,
-        inc: &IncrementalEm,
-        ledger: &BTreeSet<BatchTag>,
+        core: &ServiceCore,
         batch_iterations: &[usize],
     ) {
         let Some(path) = policy.path.as_ref() else {
             return;
         };
-        let ck = Checkpoint {
-            fingerprint,
-            stats: inc.stats().clone(),
-            // BTreeSet iterates ascending — the order the decoder requires.
-            ledger: ledger.iter().copied().collect(),
-            batch_iterations: batch_iterations.to_vec(),
-            batches: inc.batches(),
-            last: inc.last().map(CheckpointEstimate::from_em),
-        };
-        match ck.save(path) {
-            Ok(()) => ct_obs::Counter::new("ckpt.written").incr(),
-            Err(e) => {
-                ct_obs::Counter::new("ckpt.write_failed").incr();
-                ct_obs::emit(
-                    "warn.ckpt_write_failed",
-                    vec![("error", e.to_string().into())],
-                );
-            }
-        }
+        core.checkpoint(fingerprint, batch_iterations)
+            .save_observed(path);
     }
 
     /// Streaming fleet estimation: feeds each delivered batch (mote order)
-    /// into an [`IncrementalEm`] and re-estimates after every batch,
+    /// into an [`ct_core::IncrementalEm`] and re-estimates after every batch,
     /// warm-starting from the previous optimum with a shared convolution
     /// cache — the fleet-service path, where re-estimation per arriving
     /// batch must cost a few warm sweeps, not a cold restart fan-out. The
@@ -652,12 +658,18 @@ impl Fleet {
         let _span = ct_obs::Span::enter("fleet.stream");
         let cfg = fleet_run.cfg();
         let fingerprint = self.fingerprint();
-        let (mut inc, mut ledger, mut batch_iterations, restored) =
+        // One shard, reduced after every batch: the pinned service shape
+        // under which ingest → reduce → estimate is bitwise the monolithic
+        // per-batch loop.
+        let (mut core, mut batch_iterations, restored) =
             match self.try_restore(policy, cfg, fingerprint) {
-                Some((inc, ledger, iterations)) => (inc, ledger, iterations, true),
+                Some((core, iterations)) => (core, iterations, true),
                 None => (
-                    IncrementalEm::new(self.config.cycles_per_tick, self.em_options()),
-                    BTreeSet::new(),
+                    ServiceCore::new(
+                        &ServiceConfig::pinned(),
+                        self.config.cycles_per_tick,
+                        self.em_options(),
+                    ),
                     Vec::with_capacity(fleet_run.deliveries.len()),
                     false,
                 ),
@@ -666,21 +678,24 @@ impl Fleet {
         let mut ingested_this_run = 0u64;
         let mut halted = false;
         for (tag, delta) in &fleet_run.deliveries {
-            if !ledger.insert(*tag) {
+            let fresh = core
+                .ingest(*tag, delta)
+                .map_err(|e| PipelineError::from(EstimateError::Em(e)))?;
+            if !fresh {
                 // Redelivery (a transport duplicate, or a batch the
                 // restored ledger already folded in): idempotence says drop.
                 ct_obs::Counter::new("fleet.dedup").incr();
                 continue;
             }
-            inc.ingest(delta)
+            core.reduce()
                 .map_err(|e| PipelineError::from(EstimateError::Em(e)))?;
-            let r = inc
-                .reestimate(cfg, &fleet_run.block_costs, &fleet_run.edge_costs)
+            let r = core
+                .estimate(cfg, &fleet_run.block_costs, &fleet_run.edge_costs)
                 .map_err(|e| PipelineError::from(EstimateError::Em(e)))?;
             batch_iterations.push(r.iterations);
             ingested_this_run += 1;
-            if policy.enabled() && inc.batches() % policy.every == 0 {
-                Fleet::write_checkpoint(policy, fingerprint, &inc, &ledger, &batch_iterations);
+            if policy.enabled() && core.batches() % policy.every == 0 {
+                Fleet::write_checkpoint(policy, fingerprint, &core, &batch_iterations);
             }
             if policy.halt_after == Some(ingested_this_run) {
                 halted = true;
@@ -688,7 +703,7 @@ impl Fleet {
             }
         }
 
-        let r = inc.last().cloned().ok_or(PipelineError::EmptyFleet)?;
+        let r = core.last().cloned().ok_or(PipelineError::EmptyFleet)?;
         let estimate = CoreEstimate {
             probs: r.probs,
             method: Method::Em,
@@ -710,15 +725,15 @@ impl Fleet {
             vec![
                 ("batches", batch_iterations.len().into()),
                 ("iterations", batch_iterations.iter().sum::<usize>().into()),
-                ("cache_hits", inc.cache_hits().into()),
-                ("cache_misses", inc.cache_misses().into()),
+                ("cache_hits", core.cache_hits().into()),
+                ("cache_misses", core.cache_misses().into()),
             ],
         );
         Ok(FleetStreamReport {
             batches: batch_iterations.len(),
             batch_iterations,
-            cache_hits: inc.cache_hits(),
-            cache_misses: inc.cache_misses(),
+            cache_hits: core.cache_hits(),
+            cache_misses: core.cache_misses(),
             restored,
             halted,
             estimated: Estimated {

@@ -21,6 +21,14 @@
 //! - [`synth`] — seeded synthetic-sample generation for the
 //!   estimator-ablation experiments.
 //!
+//! The streaming ingestion path ([`Fleet::estimate_streaming`]) and the
+//! checkpoint format ([`checkpoint`], re-exported from `ct-service`) run on
+//! the sharded estimation service: the fleet client drives a
+//! single-shard, reduce-per-batch `ct_service::ServiceCore`, which pins it
+//! bitwise to the pre-service per-batch loop while sharing all ingest,
+//! dedup, reduction, and snapshot logic with the threaded
+//! `ct_service::EstimationService`.
+//!
 //! ## Example
 //!
 //! ```
@@ -33,7 +41,8 @@
 //! assert!(est.accuracy.mae < 0.05);
 //! ```
 
-pub mod checkpoint;
+pub use ct_service::checkpoint;
+
 pub mod config;
 pub mod error;
 pub mod fleet;
@@ -42,9 +51,11 @@ pub mod session;
 pub mod stage;
 pub mod synth;
 
-pub use checkpoint::{Checkpoint, CheckpointError, CheckpointEstimate, CheckpointPolicy};
 pub use config::{Contamination, EnvConfig, EstimatorChoice, Mcu, RunConfig, Target};
 pub use ct_mote::pmu::{PmuCounters, PmuSnapshot};
+pub use ct_service::checkpoint::{
+    Checkpoint, CheckpointError, CheckpointEstimate, CheckpointPolicy,
+};
 pub use error::PipelineError;
 pub use fleet::{quiet_injected_crashes, Fleet, FleetRun, FleetStreamReport, InjectedCrash};
 pub use measure::{

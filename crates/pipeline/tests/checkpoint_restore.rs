@@ -159,4 +159,123 @@ fn crash_at_any_batch_boundary_restores_bitwise() {
         );
         let _ = std::fs::remove_file(&path);
     }
+
+    service_kill_and_restore_is_bitwise();
+}
+
+/// The threaded service variant of the same guarantee: an
+/// [`ct_service::EstimationService`] killed mid-stream after persisting a
+/// checkpoint, then restarted over the same at-least-once delivery stream,
+/// must serve bitwise the estimate of an uninterrupted service. Runs inside
+/// the one `#[test]` because it shares the ct-obs process globals.
+fn service_kill_and_restore_is_bitwise() {
+    use ct_core::em::EmOptions;
+    use ct_core::stream::{BatchTag, SuffStats};
+    use ct_service::{EstimateRequest, EstimationService, ServiceConfig};
+
+    let cfg = ct_cfg::builder::diamond();
+    let (bc, ec) = ([10u64, 100, 200, 5], [0u64; 4]);
+    let fingerprint = 0xC0DEu64;
+    let deliveries: Vec<(BatchTag, SuffStats)> = (0..12u64)
+        .map(|m| {
+            let mut s = SuffStats::new(1);
+            s.push(if m % 3 == 0 { 215 } else { 115 });
+            s.push(115 + m);
+            (BatchTag { mote: m, seq: 0 }, s)
+        })
+        .collect();
+    let config = ServiceConfig::new().shards(3).queue_depth(4);
+    let req = EstimateRequest::latest("diamond");
+
+    // Uninterrupted reference service.
+    ct_obs::reset();
+    let mut reference = EstimationService::start(&config, 1, EmOptions::default());
+    let handle = reference.handle();
+    for (tag, delta) in &deliveries {
+        handle.ingest(*tag, delta.clone()).expect("ingest");
+    }
+    reference.drain().expect("drain");
+    let want = reference.serve(&req, &cfg, &bc, &ec).expect("serve");
+    reference.shutdown().expect("shutdown");
+
+    // Interrupted service: checkpoint every reduced batch, ingest 7 of the
+    // 12 deliveries, then die without serving.
+    let path = snapshot_path("service_kill");
+    let _ = std::fs::remove_file(&path);
+    ct_obs::reset();
+    let policy = CheckpointPolicy::to(&path).every(1);
+    let mut first = EstimationService::start_with_checkpoints(
+        &config,
+        1,
+        EmOptions::default(),
+        &cfg,
+        policy.clone(),
+        fingerprint,
+    );
+    assert!(!first.restored(), "nothing to restore on a fresh path");
+    let handle = first.handle();
+    for (tag, delta) in &deliveries[..7] {
+        handle.ingest(*tag, delta.clone()).expect("ingest");
+    }
+    first.drain().expect("drain");
+    assert_eq!(first.batches(), 7);
+    first.shutdown().expect("shutdown");
+    let snap = ct_obs::snapshot();
+    assert!(
+        snap.counters
+            .iter()
+            .any(|(k, v)| k == "ckpt.written" && *v >= 1),
+        "interrupted service wrote no checkpoint"
+    );
+    assert!(path.exists(), "no snapshot survived the kill");
+
+    // Restored service: replay the *entire* stream (at-least-once — the
+    // restored ledger must drop the 7 already-folded batches), then serve.
+    ct_obs::reset();
+    let mut second = EstimationService::start_with_checkpoints(
+        &config,
+        1,
+        EmOptions::default(),
+        &cfg,
+        policy,
+        fingerprint,
+    );
+    assert!(second.restored(), "snapshot was not restored");
+    assert_eq!(second.batches(), 7);
+    let handle = second.handle();
+    for (tag, delta) in &deliveries {
+        handle.ingest(*tag, delta.clone()).expect("ingest");
+    }
+    second.drain().expect("drain");
+    let got = second.serve(&req, &cfg, &bc, &ec).expect("serve");
+    second.shutdown().expect("shutdown");
+    let snap = ct_obs::snapshot();
+    ct_obs::reset();
+    assert!(
+        snap.counters
+            .iter()
+            .any(|(k, v)| k == "ckpt.restored" && *v == 1),
+        "restore left no ckpt.restored counter"
+    );
+
+    assert_eq!(got.batches, want.batches, "service restore: batch counts");
+    assert_eq!(got.samples, want.samples, "service restore: sample counts");
+    assert_eq!(
+        got.iterations, want.iterations,
+        "service restore: EM iterations"
+    );
+    assert_eq!(got.converged, want.converged);
+    assert_eq!(
+        got.loglik.to_bits(),
+        want.loglik.to_bits(),
+        "service restore: loglik bits differ"
+    );
+    for (i, (x, y)) in got.probs.iter().zip(&want.probs).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "service restore: probability {i} differs bitwise"
+        );
+    }
+    let _ = std::fs::remove_file(&path);
 }

@@ -165,6 +165,87 @@ proptest! {
         prop_assert_eq!(folded, before);
     }
 
+    /// The sharded service core is shard-count invariant: for any delivery
+    /// stream — duplicated, shuffled, reduced on an arbitrary schedule —
+    /// every shard count in {1, 2, 7, 16} ends with the monolithic
+    /// statistics and serves bitwise the same estimate as a monolithic
+    /// incremental fold of the distinct batches.
+    #[test]
+    fn service_core_is_shard_count_invariant(
+        arms in prop::collection::vec(any::<bool>(), 8..120),
+        cuts in prop::collection::vec(0usize..200, 0..6),
+        dup_mask in prop::collection::vec(any::<bool>(), 8),
+        shuffle in prop::collection::vec(0usize..1000, 0..16),
+    ) {
+        use ct_core::em::EmOptions;
+        use ct_core::stream::BatchTag;
+        use ct_core::IncrementalEm;
+        use ct_service::{ServiceConfig, ServiceCore};
+
+        let cfg = ct_cfg::builder::diamond();
+        let (bc, ec) = ([10u64, 100, 200, 5], [0u64; 4]);
+        let cpt = 1;
+        // Two identifiable arm durations keep EM well-posed on the diamond.
+        let ticks: Vec<u64> = arms.iter().map(|&b| if b { 215 } else { 115 }).collect();
+        let whole = stats_of(&ticks, cpt);
+        let parts: Vec<SuffStats> =
+            chunks(&ticks, &cuts).iter().map(|c| stats_of(c, cpt)).collect();
+
+        // The monolithic reference: fold every distinct batch in order,
+        // re-estimate once from a cold start.
+        let mut mono = IncrementalEm::new(cpt, EmOptions::default());
+        for p in &parts {
+            mono.ingest(p).expect("same resolution");
+        }
+        let reference = mono.reestimate(&cfg, &bc, &ec).expect("reference EM").clone();
+
+        // At-least-once delivery: duplicate the masked batches (same tag),
+        // then shuffle deterministically.
+        let mut stream: Vec<(BatchTag, SuffStats)> = parts
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (BatchTag { mote: i as u64, seq: 0 }, s.clone()))
+            .collect();
+        for (i, dup) in dup_mask.iter().enumerate() {
+            if *dup && i < parts.len() {
+                stream.push(stream[i].clone());
+            }
+        }
+        for (i, s) in shuffle.iter().enumerate() {
+            let n = stream.len();
+            stream.swap(i % n, s % n);
+        }
+
+        for shards in [1usize, 2, 7, 16] {
+            let mut core = ServiceCore::new(
+                &ServiceConfig::new().shards(shards),
+                cpt,
+                EmOptions::default(),
+            );
+            for (i, (tag, s)) in stream.iter().enumerate() {
+                core.ingest(*tag, s).expect("same resolution");
+                // An arbitrary shard-count-dependent reduce schedule: the
+                // cadence must not be able to change anything.
+                if i % (shards + 2) == 0 {
+                    core.reduce().expect("mid-stream reduce");
+                }
+            }
+            core.reduce().expect("final reduce");
+            prop_assert_eq!(core.stats(), &whole, "shards={} stats diverged", shards);
+            prop_assert_eq!(core.batches(), parts.len() as u64);
+            prop_assert_eq!(
+                core.dedup_dropped() as usize,
+                stream.len() - parts.len()
+            );
+            let served = core.estimate(&cfg, &bc, &ec).expect("service EM").clone();
+            for (a, b) in served.probs.as_slice().iter().zip(reference.probs.as_slice()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "shards={} estimate diverged", shards);
+            }
+            prop_assert_eq!(served.loglik.to_bits(), reference.loglik.to_bits());
+            prop_assert_eq!(served.iterations, reference.iterations);
+        }
+    }
+
     /// The streaming view and the monolithic vector agree on everything the
     /// estimators consume: count, histogram, and both moments.
     #[test]

@@ -1,8 +1,9 @@
-//! Checkpoint/restore for the streaming fleet-ingestion loop.
+//! Checkpoint/restore for streaming ingestion — the fleet loop and the
+//! sharded estimation service share one snapshot format.
 //!
 //! A [`Checkpoint`] is a versioned, checksummed binary snapshot of
-//! everything [`Fleet::run_streaming`](crate::Fleet::run_streaming) needs to
-//! resume after a process restart as if it never stopped:
+//! everything a streaming ingestion loop needs to resume after a process
+//! restart as if it never stopped:
 //!
 //! - the accumulated [`SuffStats`] — stored as its distinct-tick histogram
 //!   plus the sticky saturation flag; every other accumulator is a pure
@@ -15,6 +16,8 @@
 //! - the last [`EmResult`](ct_core::em::EmResult) (the next warm start) and
 //!   the per-batch iteration trail, so a resumed run's report equals the
 //!   uninterrupted one;
+//! - the reduce-tier **generation** count, so a restored service resumes
+//!   stamping responses where the interrupted one stopped;
 //! - a caller-supplied configuration **fingerprint**, so a snapshot is never
 //!   restored into a run it does not describe.
 //!
@@ -25,9 +28,13 @@
 //!
 //! The wire format is fixed little-endian: magic `CTCK`, a format version,
 //! a length-prefixed payload, and an FNV-1a 64-bit checksum of the payload.
-//! Decoding validates all four before touching the payload, and every
-//! failure is a typed [`CheckpointError`] — a corrupt or truncated snapshot
-//! must *never* panic the service; callers fall back to a clean start.
+//! Version 2 appends the generation count after the batch count; version 1
+//! snapshots (pre-service) are rejected as unsupported rather than guessed
+//! at — a clean start is always a correct fallback. Decoding validates
+//! magic, version, length, and checksum before touching the payload, and
+//! every failure is a typed [`CheckpointError`] — a corrupt or truncated
+//! snapshot must *never* panic the service; callers fall back to a clean
+//! start.
 
 use ct_core::samples::DurationSamples;
 use ct_core::stream::{BatchTag, SuffStats};
@@ -39,7 +46,7 @@ use std::path::{Path, PathBuf};
 pub const MAGIC: [u8; 4] = *b"CTCK";
 
 /// The current checkpoint format version.
-pub const VERSION: u32 = 1;
+pub const VERSION: u32 = 2;
 
 /// Why a checkpoint could not be written, read, or restored.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -207,7 +214,7 @@ impl CheckpointEstimate {
     }
 }
 
-/// A restorable snapshot of the streaming ingestion loop.
+/// A restorable snapshot of a streaming ingestion loop.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Checkpoint {
     /// Fingerprint of the producing configuration (see
@@ -218,10 +225,14 @@ pub struct Checkpoint {
     /// Every batch tag already folded into `stats`, sorted — the
     /// at-least-once dedup ledger.
     pub ledger: Vec<BatchTag>,
-    /// EM iterations of each per-batch re-estimation so far.
+    /// EM iterations of each per-batch re-estimation so far (empty for
+    /// reduce-tier snapshots, which estimate on demand, not per batch).
     pub batch_iterations: Vec<usize>,
     /// Batches ingested (the accumulator's count).
     pub batches: u64,
+    /// Reduce-tier generations completed (the fleet's per-batch path
+    /// reduces once per batch, so there it equals `batches`).
+    pub generations: u64,
     /// The estimate after the last ingested batch (the next warm start).
     pub last: Option<CheckpointEstimate>,
 }
@@ -331,6 +342,7 @@ impl Checkpoint {
             put_u64(&mut p, it as u64);
         }
         put_u64(&mut p, self.batches);
+        put_u64(&mut p, self.generations);
         match &self.last {
             None => p.push(0),
             Some(e) => {
@@ -448,6 +460,7 @@ impl Checkpoint {
             batch_iterations.push(r.u64("batch iterations")? as usize);
         }
         let batches = r.u64("batch count")?;
+        let generations = r.u64("generation count")?;
 
         let last = if r.byte_flag("estimate flag")? {
             let probs_len = r.len_prefix(8, "probability length")?;
@@ -487,6 +500,7 @@ impl Checkpoint {
             ledger,
             batch_iterations,
             batches,
+            generations,
             last,
         })
     }
@@ -507,6 +521,23 @@ impl Checkpoint {
         std::fs::rename(&tmp, path).map_err(io)
     }
 
+    /// Best-effort save with observability: a success bumps `ckpt.written`,
+    /// a failure bumps `ckpt.write_failed` and emits a
+    /// `warn.ckpt_write_failed` event — losing checkpoint durability must
+    /// never fail ingestion, so no error is returned.
+    pub fn save_observed(&self, path: &Path) {
+        match self.save(path) {
+            Ok(()) => ct_obs::Counter::new("ckpt.written").incr(),
+            Err(e) => {
+                ct_obs::Counter::new("ckpt.write_failed").incr();
+                ct_obs::emit(
+                    "warn.ckpt_write_failed",
+                    vec![("error", e.to_string().into())],
+                );
+            }
+        }
+    }
+
     /// Reads and decodes a snapshot from `path`.
     ///
     /// # Errors
@@ -522,13 +553,15 @@ impl Checkpoint {
 
 // ---------------------------------------------------------------- policy
 
-/// When and where the streaming loop snapshots itself.
+/// When and where a streaming loop snapshots itself.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct CheckpointPolicy {
     /// Snapshot destination; `None` disables checkpointing entirely.
     pub path: Option<PathBuf>,
     /// Snapshot cadence: write after every `every` ingested batches
-    /// (`0` never writes).
+    /// (`0` never writes). The service's reduce tier applies the cadence
+    /// at reduce boundaries: a snapshot is cut whenever a reduction's
+    /// batch count crosses a multiple of `every`.
     pub every: u64,
     /// Test-only crash simulation: stop ingesting after this many batches
     /// *in this process* and return a halted report, as if the process
@@ -604,6 +637,7 @@ mod tests {
             ],
             batch_iterations: vec![41, 7, 3],
             batches: 3,
+            generations: 3,
             last: Some(CheckpointEstimate {
                 probs: vec![0.7, 0.25],
                 iterations: 12,
@@ -622,9 +656,12 @@ mod tests {
         let ck = sample_checkpoint();
         let decoded = Checkpoint::decode(&ck.encode()).unwrap();
         assert_eq!(decoded, ck);
-        // Estimate-less snapshots too.
+        // Estimate-less snapshots too (a reduce-tier snapshot taken before
+        // any estimate was requested).
         let bare = Checkpoint {
             last: None,
+            batch_iterations: Vec::new(),
+            generations: 1,
             ..sample_checkpoint()
         };
         assert_eq!(Checkpoint::decode(&bare.encode()).unwrap(), bare);
@@ -668,6 +705,13 @@ mod tests {
         assert_eq!(
             Checkpoint::decode(&future).unwrap_err(),
             CheckpointError::UnsupportedVersion(99)
+        );
+        // A pre-service version-1 snapshot is rejected, not guessed at.
+        let mut v1 = bytes.clone();
+        v1[4] = 1;
+        assert_eq!(
+            Checkpoint::decode(&v1).unwrap_err(),
+            CheckpointError::UnsupportedVersion(1)
         );
         assert!(matches!(
             Checkpoint::decode(&bytes[..bytes.len() - 3]).unwrap_err(),

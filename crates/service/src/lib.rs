@@ -1,0 +1,53 @@
+//! Long-running sharded estimation service: bounded-queue ingest, periodic
+//! deterministic tree reduction, and a request/response front door.
+//!
+//! This crate restructures "call [`IncrementalEm`](ct_core::IncrementalEm)
+//! in a loop" into a service with three tiers:
+//!
+//! 1. **Ingest** — K [`Shard`] accumulators, each owning a
+//!    [`SuffStats`](ct_core::stream::SuffStats) delta and a
+//!    [`BatchTag`](ct_core::stream::BatchTag) dedup ledger. In the
+//!    threaded [`EstimationService`], each shard lives behind a bounded
+//!    `sync_channel`; a full queue is **explicit backpressure** (blocking
+//!    send, or a typed [`IngestError::QueueFull`] in non-blocking mode) —
+//!    the service sheds latency, never batches.
+//! 2. **Reduce** — the [`ReduceTier`] periodically harvests shard deltas
+//!    and tree-reduces them into a generation-stamped global accumulator.
+//!    Because the tree reduction and the cumulative merge are exact
+//!    integer folds, the reduced statistics are **bitwise identical to
+//!    the monolithic fold at any shard count, thread count, queue depth,
+//!    or reduce cadence**.
+//! 3. **Front door** — [`EstimateRequest`] / [`EstimateResponse`]: serve
+//!    an estimate from the latest reduced generation (EM runs at most
+//!    once per generation, warm-started), stamped with confidence and
+//!    staleness. `Drain` and `Snapshot` control verbs reuse the
+//!    checkpoint format in [`checkpoint`].
+//!
+//! Two deployment shapes share all of this logic:
+//!
+//! * [`ServiceCore`] — single-threaded, caller-driven; with
+//!   [`ServiceConfig::pinned`] it reproduces the pre-service streaming
+//!   loop bitwise, which is how `ct-pipeline`'s `Fleet` stays pinned while
+//!   running on the service underneath.
+//! * [`EstimationService`] — the threaded deployment: shard workers behind
+//!   bounded queues, a polling coordinator, crash-tolerant checkpoints at
+//!   reduce boundaries.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod api;
+pub mod checkpoint;
+pub mod config;
+pub mod engine;
+pub mod reduce;
+pub mod service;
+pub mod shard;
+
+pub use api::{EstimateRequest, EstimateResponse, IngestError, ServiceError};
+pub use checkpoint::{Checkpoint, CheckpointError, CheckpointEstimate, CheckpointPolicy};
+pub use config::ServiceConfig;
+pub use engine::ServiceCore;
+pub use reduce::ReduceTier;
+pub use service::{EstimationService, IngestHandle};
+pub use shard::{route, Shard, ShardHarvest};

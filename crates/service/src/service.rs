@@ -1,0 +1,615 @@
+//! The threaded estimation service: N producers feed K shard workers
+//! through bounded queues; a coordinator thread harvests and reduces; the
+//! front door serves from the latest reduced generation.
+//!
+//! ## Topology
+//!
+//! Each shard worker owns one [`Shard`] (delta accumulator + dedup
+//! ledger) and drains one `std::sync::mpsc::sync_channel` of capacity
+//! [`ServiceConfig::queue_depth`]. Producers hold cloneable
+//! [`IngestHandle`]s and route batches by `tag.mote % K`; a full queue is
+//! **explicit backpressure** — [`IngestHandle::ingest`] blocks (counting
+//! `svc.backpressure`), [`IngestHandle::try_ingest`] returns a typed
+//! [`IngestError::QueueFull`]. Harvest requests ride the same queues, so
+//! FIFO ordering makes a harvest a consistent cut: it observes every batch
+//! enqueued before it, and the delta/fresh-tag pair is taken atomically.
+//!
+//! ## Determinism
+//!
+//! Thread scheduling decides *when* batches reach shards and how many
+//! reduce rounds happen — never what the accumulator converges to. After
+//! producers quiesce, one [`EstimationService::drain`] leaves the global
+//! statistics bitwise identical to the monolithic fold of the same
+//! distinct batches, at any shard count, queue depth, producer count, or
+//! polling cadence (see [`ReduceTier`]). Scheduling-dependent observability
+//! (`svc.queue_depth`, `svc.backpressure`, `svc.reduce.*`) is declared
+//! volatile to `ct-obs-diff`.
+//!
+//! ## Observability caveat
+//!
+//! Counters bumped on worker threads drain into the global registry when
+//! the worker exits (shutdown); producer threads must call
+//! [`ct_obs::drain_thread`] before exiting, like any other thread in this
+//! workspace.
+
+use crate::api::{EstimateRequest, EstimateResponse, IngestError, ServiceError};
+use crate::checkpoint::{Checkpoint, CheckpointError, CheckpointPolicy};
+use crate::config::ServiceConfig;
+use crate::reduce::ReduceTier;
+use crate::shard::{route, Shard, ShardHarvest};
+use ct_cfg::graph::Cfg;
+use ct_core::em::EmOptions;
+use ct_core::samples::DurationSamples;
+use ct_core::stream::{BatchTag, SuffStats};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// What flows down a shard worker's queue.
+enum ShardMsg {
+    /// One tagged batch delta to ingest.
+    Batch(BatchTag, SuffStats),
+    /// Harvest request: reply with the delta and fresh tags on `0`.
+    Harvest(mpsc::Sender<ShardReply>),
+    /// Exit after processing everything already queued.
+    Shutdown,
+}
+
+/// A worker's answer to a harvest request.
+struct ShardReply {
+    harvest: ShardHarvest,
+    /// A sticky ingest failure (resolution mismatch) observed since the
+    /// last harvest: rejected batches are dropped, counted under
+    /// `svc.ingest.rejected`, and surfaced here so the coordinator fails
+    /// loudly instead of silently under-counting.
+    err: Option<String>,
+}
+
+fn worker(
+    index: usize,
+    cycles_per_tick: u64,
+    seeded: Vec<BatchTag>,
+    rx: Receiver<ShardMsg>,
+    depth: Arc<AtomicU64>,
+    stall_us: u64,
+) {
+    let mut shard = Shard::new(index, cycles_per_tick);
+    shard.seed_ledger(seeded);
+    let mut sticky_err: Option<String> = None;
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ShardMsg::Batch(tag, delta) => {
+                depth.fetch_sub(1, Ordering::Relaxed);
+                if stall_us > 0 {
+                    std::thread::sleep(std::time::Duration::from_micros(stall_us));
+                }
+                if let Err(e) = shard.ingest(tag, &delta) {
+                    ct_obs::Counter::new("svc.ingest.rejected").incr();
+                    sticky_err = Some(e.to_string());
+                }
+            }
+            ShardMsg::Harvest(reply) => {
+                let r = ShardReply {
+                    harvest: shard.harvest(),
+                    err: sticky_err.take(),
+                };
+                // The coordinator may already have given up; nothing to do.
+                let _ = reply.send(r);
+            }
+            ShardMsg::Shutdown => break,
+        }
+    }
+    ct_obs::drain_thread();
+}
+
+/// A cloneable producer-side handle: routes tagged batches to their shard
+/// queues with explicit backpressure.
+#[derive(Clone)]
+pub struct IngestHandle {
+    senders: Vec<SyncSender<ShardMsg>>,
+    depths: Vec<Arc<AtomicU64>>,
+    queue_depth: usize,
+}
+
+impl IngestHandle {
+    /// Ingests one batch, blocking when the shard queue is full. The full
+    /// condition bumps `svc.backpressure` before blocking, so engaged
+    /// backpressure is visible even though no batch is ever lost.
+    ///
+    /// # Errors
+    ///
+    /// [`IngestError::Closed`] when the shard worker is gone.
+    pub fn ingest(&self, tag: BatchTag, delta: SuffStats) -> Result<(), IngestError> {
+        let s = route(tag, self.senders.len());
+        // Count the batch as queued *before* it can be received: the worker
+        // decrements on receipt, so incrementing afterwards would race the
+        // depth below zero.
+        self.note_enqueued(s);
+        let msg = match self.senders[s].try_send(ShardMsg::Batch(tag, delta)) {
+            Ok(()) => return Ok(()),
+            Err(TrySendError::Full(msg)) => {
+                ct_obs::Counter::new("svc.backpressure").incr();
+                msg
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.depths[s].fetch_sub(1, Ordering::Relaxed);
+                return Err(IngestError::Closed { shard: s });
+            }
+        };
+        self.senders[s].send(msg).map_err(|_| {
+            self.depths[s].fetch_sub(1, Ordering::Relaxed);
+            IngestError::Closed { shard: s }
+        })
+    }
+
+    /// Non-blocking ingest: a full shard queue returns the batch to the
+    /// caller as a typed [`IngestError::QueueFull`] instead of blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`IngestError::QueueFull`] under backpressure;
+    /// [`IngestError::Closed`] when the shard worker is gone.
+    pub fn try_ingest(&self, tag: BatchTag, delta: SuffStats) -> Result<(), IngestError> {
+        let s = route(tag, self.senders.len());
+        self.note_enqueued(s);
+        match self.senders[s].try_send(ShardMsg::Batch(tag, delta)) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(_)) => {
+                self.depths[s].fetch_sub(1, Ordering::Relaxed);
+                ct_obs::Counter::new("svc.backpressure").incr();
+                Err(IngestError::QueueFull {
+                    shard: s,
+                    depth: self.queue_depth,
+                })
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.depths[s].fetch_sub(1, Ordering::Relaxed);
+                Err(IngestError::Closed { shard: s })
+            }
+        }
+    }
+
+    /// Approximate batches currently queued across all shards (relaxed
+    /// atomics: a telemetry number, not a synchronization primitive).
+    pub fn queued(&self) -> u64 {
+        self.depths.iter().map(|d| d.load(Ordering::Relaxed)).sum()
+    }
+
+    fn note_enqueued(&self, shard: usize) {
+        let d = self.depths[shard].fetch_add(1, Ordering::Relaxed) + 1;
+        ct_obs::Gauge::new("svc.queue_depth").set(d as f64);
+    }
+}
+
+/// The long-running sharded estimation service: owns the shard workers,
+/// the reduce tier, and the checkpoint policy.
+pub struct EstimationService {
+    senders: Vec<SyncSender<ShardMsg>>,
+    depths: Vec<Arc<AtomicU64>>,
+    workers: Vec<JoinHandle<()>>,
+    tier: ReduceTier,
+    config: ServiceConfig,
+    policy: CheckpointPolicy,
+    fingerprint: u64,
+    /// Batch count at the last written snapshot (cadence bookkeeping).
+    last_ckpt: u64,
+    restored: bool,
+}
+
+impl EstimationService {
+    /// Starts the shard workers with no checkpointing.
+    pub fn start(
+        config: &ServiceConfig,
+        cycles_per_tick: u64,
+        opts: EmOptions,
+    ) -> EstimationService {
+        EstimationService::launch(
+            config,
+            cycles_per_tick,
+            ReduceTier::new(cycles_per_tick, opts),
+            Vec::new(),
+            CheckpointPolicy::disabled(),
+            0,
+            false,
+        )
+    }
+
+    /// Starts the shard workers under a checkpoint policy, restoring from
+    /// the policy's snapshot when one exists, decodes, matches
+    /// `fingerprint`, and is internally consistent. A missing snapshot
+    /// starts clean; a bad one is rejected (`ckpt.rejected` +
+    /// `warn.ckpt_rejected`) and *also* starts clean — a snapshot can
+    /// degrade a restart, never a run. `cfg` revalidates the snapshot's
+    /// warm-start estimate.
+    pub fn start_with_checkpoints(
+        config: &ServiceConfig,
+        cycles_per_tick: u64,
+        opts: EmOptions,
+        cfg: &Cfg,
+        policy: CheckpointPolicy,
+        fingerprint: u64,
+    ) -> EstimationService {
+        match EstimationService::try_restore(&policy, cycles_per_tick, opts, cfg, fingerprint) {
+            Some(tier) => {
+                let ledger: Vec<BatchTag> = tier.ledger().iter().copied().collect();
+                EstimationService::launch(
+                    config,
+                    cycles_per_tick,
+                    tier,
+                    ledger,
+                    policy,
+                    fingerprint,
+                    true,
+                )
+            }
+            None => EstimationService::launch(
+                config,
+                cycles_per_tick,
+                ReduceTier::new(cycles_per_tick, opts),
+                Vec::new(),
+                policy,
+                fingerprint,
+                false,
+            ),
+        }
+    }
+
+    fn reject(e: &CheckpointError) {
+        ct_obs::Counter::new("ckpt.rejected").incr();
+        ct_obs::emit("warn.ckpt_rejected", vec![("error", e.to_string().into())]);
+    }
+
+    fn try_restore(
+        policy: &CheckpointPolicy,
+        cycles_per_tick: u64,
+        opts: EmOptions,
+        cfg: &Cfg,
+        fingerprint: u64,
+    ) -> Option<ReduceTier> {
+        let path = policy.path.as_ref()?;
+        if !path.exists() {
+            return None;
+        }
+        let ck = match Checkpoint::load(path) {
+            Ok(ck) => ck,
+            Err(e) => {
+                EstimationService::reject(&e);
+                return None;
+            }
+        };
+        if ck.fingerprint != fingerprint {
+            EstimationService::reject(&CheckpointError::ConfigMismatch {
+                expected: fingerprint,
+                got: ck.fingerprint,
+            });
+            return None;
+        }
+        // Service snapshots estimate on demand, so (unlike the fleet's
+        // per-batch trail) an empty estimate with batches > 0 is legal.
+        let consistent = ck.batches == ck.ledger.len() as u64
+            && ck.generations <= ck.batches
+            && DurationSamples::cycles_per_tick(&ck.stats) == cycles_per_tick;
+        if !consistent {
+            EstimationService::reject(&CheckpointError::Malformed(
+                "snapshot sections disagree on batch count or resolution".into(),
+            ));
+            return None;
+        }
+        let last = match &ck.last {
+            Some(e) => match e.to_em(cfg) {
+                Ok(r) => Some(r),
+                Err(e) => {
+                    EstimationService::reject(&e);
+                    return None;
+                }
+            },
+            None => None,
+        };
+        ct_obs::Counter::new("ckpt.restored").incr();
+        ct_obs::emit("ckpt.restored", vec![("batches", ck.batches.into())]);
+        Some(ReduceTier::restore(
+            cycles_per_tick,
+            opts,
+            ck.stats,
+            last,
+            ck.batches,
+            ck.generations,
+            ck.ledger,
+        ))
+    }
+
+    fn launch(
+        config: &ServiceConfig,
+        cycles_per_tick: u64,
+        tier: ReduceTier,
+        ledger: Vec<BatchTag>,
+        policy: CheckpointPolicy,
+        fingerprint: u64,
+        restored: bool,
+    ) -> EstimationService {
+        let shards = config.shards.max(1);
+        let mut seeded: Vec<Vec<BatchTag>> = vec![Vec::new(); shards];
+        for tag in ledger {
+            seeded[route(tag, shards)].push(tag);
+        }
+        let mut senders = Vec::with_capacity(shards);
+        let mut depths = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for (i, tags) in seeded.into_iter().enumerate() {
+            let (tx, rx) = mpsc::sync_channel(config.queue_depth.max(1));
+            let depth = Arc::new(AtomicU64::new(0));
+            let d = Arc::clone(&depth);
+            let stall = config.ingest_stall_us;
+            workers.push(std::thread::spawn(move || {
+                worker(i, cycles_per_tick, tags, rx, d, stall);
+            }));
+            senders.push(tx);
+            depths.push(depth);
+        }
+        let last_ckpt = tier.batches();
+        EstimationService {
+            senders,
+            depths,
+            workers,
+            tier,
+            config: config.clone(),
+            policy,
+            fingerprint,
+            last_ckpt,
+            restored,
+        }
+    }
+
+    /// A producer-side handle (clone freely across producer threads).
+    pub fn handle(&self) -> IngestHandle {
+        IngestHandle {
+            senders: self.senders.clone(),
+            depths: self.depths.clone(),
+            queue_depth: self.config.queue_depth,
+        }
+    }
+
+    /// True when the service resumed from a checkpoint at startup.
+    pub fn restored(&self) -> bool {
+        self.restored
+    }
+
+    /// Harvests every shard and absorbs the round into the reduce tier —
+    /// the periodic reduce a coordinator polls. Returns the number of
+    /// fresh batches absorbed (0 for a quiet round). When the checkpoint
+    /// policy is enabled and the absorbed batch count crossed a multiple
+    /// of [`CheckpointPolicy::every`], a snapshot is cut at this reduce
+    /// boundary — off the ingest hot path by construction.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Shard`] when a worker is gone;
+    /// [`ServiceError::Estimation`] when a worker rejected a batch
+    /// (resolution mismatch) or the reduction itself fails.
+    pub fn reduce(&mut self) -> Result<u64, ServiceError> {
+        let (tx, rx) = mpsc::channel();
+        for (i, s) in self.senders.iter().enumerate() {
+            s.send(ShardMsg::Harvest(tx.clone()))
+                .map_err(|_| ServiceError::Shard(format!("shard {i} queue closed")))?;
+        }
+        drop(tx);
+        let mut harvests = Vec::with_capacity(self.senders.len());
+        let mut sticky: Option<String> = None;
+        for _ in 0..self.senders.len() {
+            let reply = rx
+                .recv()
+                .map_err(|_| ServiceError::Shard("harvest reply channel closed".into()))?;
+            if let Some(e) = reply.err {
+                sticky = Some(e);
+            }
+            harvests.push(reply.harvest);
+        }
+        if let Some(e) = sticky {
+            return Err(ServiceError::Estimation(ct_core::fb::FbError::Shape(e)));
+        }
+        let fresh = self.tier.absorb(harvests)?;
+        if fresh > 0
+            && self.policy.enabled()
+            && self.tier.batches() / self.policy.every > self.last_ckpt / self.policy.every
+        {
+            if let Some(path) = self.policy.path.as_ref() {
+                self.tier
+                    .checkpoint(self.fingerprint, &[])
+                    .save_observed(path);
+                self.last_ckpt = self.tier.batches();
+            }
+        }
+        Ok(fresh)
+    }
+
+    /// The `Drain` control verb: one final reduce after producers have
+    /// quiesced. Because harvests ride the shard queues FIFO, a drain
+    /// issued after every producer's last `ingest` returned observes every
+    /// accepted batch — the global accumulator is then bitwise the
+    /// monolithic fold of the distinct stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EstimationService::reduce`] errors.
+    pub fn drain(&mut self) -> Result<u64, ServiceError> {
+        self.reduce()
+    }
+
+    /// The `Snapshot` control verb: cut a reduce boundary and return the
+    /// checkpoint (also persisting it when the policy has a path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EstimationService::reduce`] errors.
+    pub fn snapshot(&mut self) -> Result<Checkpoint, ServiceError> {
+        self.reduce()?;
+        let ck = self.tier.checkpoint(self.fingerprint, &[]);
+        if let Some(path) = self.policy.path.as_ref() {
+            ck.save_observed(path);
+            self.last_ckpt = self.tier.batches();
+        }
+        Ok(ck)
+    }
+
+    /// Serves a front-door request from the latest reduced generation.
+    /// Staleness is the approximate count of batches still queued at the
+    /// ingest tier.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ReduceTier::serve`] errors.
+    pub fn serve(
+        &mut self,
+        req: &EstimateRequest,
+        cfg: &Cfg,
+        block_costs: &[u64],
+        edge_costs: &[u64],
+    ) -> Result<EstimateResponse, ServiceError> {
+        let staleness = self.depths.iter().map(|d| d.load(Ordering::Relaxed)).sum();
+        self.tier
+            .serve(req, cfg, block_costs, edge_costs, staleness)
+    }
+
+    /// Distinct batches absorbed into the accumulator so far.
+    pub fn batches(&self) -> u64 {
+        self.tier.batches()
+    }
+
+    /// Completed reduce generations.
+    pub fn generation(&self) -> u64 {
+        self.tier.generation()
+    }
+
+    /// The cumulative statistics at the last reduce boundary.
+    pub fn stats(&self) -> &SuffStats {
+        self.tier.stats()
+    }
+
+    /// Stops every shard worker (they finish their queues first) and joins
+    /// them, draining their thread-local observability buffers into the
+    /// global registry.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Shard`] when a worker panicked.
+    pub fn shutdown(self) -> Result<(), ServiceError> {
+        for (i, s) in self.senders.iter().enumerate() {
+            s.send(ShardMsg::Shutdown)
+                .map_err(|_| ServiceError::Shard(format!("shard {i} queue closed early")))?;
+        }
+        for (i, w) in self.workers.into_iter().enumerate() {
+            w.join()
+                .map_err(|_| ServiceError::Shard(format!("shard {i} worker panicked")))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ServiceCore;
+
+    fn delta_of(ticks: &[u64]) -> SuffStats {
+        let mut s = SuffStats::new(1);
+        ticks.iter().for_each(|&t| s.push(t));
+        s
+    }
+
+    fn tag(mote: u64, seq: u64) -> BatchTag {
+        BatchTag { mote, seq }
+    }
+
+    fn pool(n: u64) -> Vec<(BatchTag, SuffStats)> {
+        (0..n)
+            .map(|i| {
+                let t = if i % 4 == 0 { 215 } else { 115 };
+                (tag(i % 11, i / 11), delta_of(&[t, t + 1]))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn threaded_drain_matches_the_single_threaded_core_bitwise() {
+        let deliveries = pool(60);
+        let mut core = ServiceCore::new(&ServiceConfig::new().shards(3), 1, EmOptions::default());
+        for (t, d) in &deliveries {
+            core.ingest(*t, d).unwrap();
+        }
+        core.reduce().unwrap();
+
+        for producers in [1usize, 4] {
+            let mut svc = EstimationService::start(
+                &ServiceConfig::new().shards(3).queue_depth(4),
+                1,
+                EmOptions::default(),
+            );
+            std::thread::scope(|scope| {
+                for p in 0..producers {
+                    let handle = svc.handle();
+                    let slice: Vec<(BatchTag, SuffStats)> = deliveries
+                        .iter()
+                        .skip(p)
+                        .step_by(producers)
+                        .cloned()
+                        .collect();
+                    scope.spawn(move || {
+                        for (t, d) in slice {
+                            handle.ingest(t, d).unwrap();
+                        }
+                        ct_obs::drain_thread();
+                    });
+                }
+            });
+            svc.drain().unwrap();
+            assert_eq!(svc.stats(), core.stats(), "producers={producers}");
+            assert_eq!(svc.batches(), 60);
+            svc.shutdown().unwrap();
+        }
+    }
+
+    #[test]
+    fn try_ingest_reports_backpressure_and_loses_nothing() {
+        let mut svc = EstimationService::start(
+            &ServiceConfig::new()
+                .shards(1)
+                .queue_depth(1)
+                .ingest_stall_us(2_000),
+            1,
+            EmOptions::default(),
+        );
+        let handle = svc.handle();
+        // Slam one stalled shard until the bounded queue refuses.
+        let mut refused = 0u64;
+        for i in 0..12u64 {
+            let t = tag(0, i);
+            match handle.try_ingest(t, delta_of(&[115])) {
+                Ok(()) => {}
+                Err(IngestError::QueueFull { shard, depth }) => {
+                    assert_eq!((shard, depth), (0, 1));
+                    refused += 1;
+                    // Fall back to the blocking path: backpressure, not loss.
+                    handle.ingest(t, delta_of(&[115])).unwrap();
+                }
+                Err(e) => panic!("unexpected ingest error: {e}"),
+            }
+        }
+        assert!(refused > 0, "a depth-1 queue under stall never filled");
+        svc.drain().unwrap();
+        assert_eq!(svc.batches(), 12, "every batch arrived exactly once");
+        svc.shutdown().unwrap();
+    }
+
+    #[test]
+    fn worker_surfaces_resolution_mismatch_as_typed_error() {
+        let mut svc =
+            EstimationService::start(&ServiceConfig::new().shards(2), 1, EmOptions::default());
+        let handle = svc.handle();
+        handle.ingest(tag(0, 0), delta_of(&[115])).unwrap();
+        handle.ingest(tag(1, 0), SuffStats::new(8)).unwrap();
+        let err = svc.drain().unwrap_err();
+        assert!(matches!(err, ServiceError::Estimation(_)), "{err}");
+        svc.shutdown().unwrap();
+    }
+}

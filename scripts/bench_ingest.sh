@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Benchmarks the sharded estimation service's ingest path and appends one
+# timestamped run to the BENCH_ingest.json trajectory at the repo root.
+#
+# BENCH_ingest.json is an append-only history (schema bench_ingest/1,
+# maintained by the ct-bench `bench_guard` tool): every run of this script
+# adds an entry, and scripts/check.sh fails when the newest
+# `service/ingest` mean regresses >15% against the best recorded run.
+#
+# The number comes from the full e16_fleet_scale sweep — 120k motes' worth
+# of 4-tick batches with ~25% duplication, pushed through producer threads,
+# bounded shard queues, and tree reductions to a final drain — so it prices
+# the whole ingest path, not an isolated kernel. CT_THREADS is recorded so
+# single-producer vs parallel runs are distinguishable.
+#
+# Usage: scripts/bench_ingest.sh            # defaults
+#        CT_THREADS=1 scripts/bench_ingest.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=BENCH_ingest.json
+THREADS="${CT_THREADS:-$(nproc 2>/dev/null || echo 1)}"
+
+echo "== building (release) =="
+cargo build --release -p ct-bench >/dev/null
+
+echo "== running e16_fleet_scale (full sweep) =="
+# e16 prints: "bench: service/ingest ... <mean_ns> ns/iter (<N> iters)"
+out=$(CT_THREADS="$THREADS" ./target/release/e16_fleet_scale 2>/dev/null \
+    | grep '^bench:')
+echo "$out"
+
+echo "== appending to $OUT trajectory =="
+printf '%s\n' "$out" | \
+    ./target/release/bench_guard append-ingest "$OUT" "$THREADS"
+./target/release/bench_guard validate "$OUT"
+./target/release/bench_guard check "$OUT"

@@ -10,12 +10,14 @@ cargo fmt --all -- --check
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== cargo clippy (unwrap audit: ct-core, ct-faults, ct-obs, ct-mote, ct-stats, ct-pipeline) =="
+echo "== cargo clippy (unwrap audit: core/faults/obs/mote/stats/pipeline/apps/ir/service) =="
 # Estimation, fault-injection, observability, mote-interpreter, numeric
-# substrate (convolution cache), and pipeline (checkpoint decode, fleet
-# ingestion) paths must not panic on data: surface any unwrap()/expect()
-# as warnings so reviewers see every remaining site.
+# substrate (convolution cache), pipeline (checkpoint decode, fleet
+# ingestion), app corpus, NLC front end, and the sharded estimation
+# service must not panic on data: surface any unwrap()/expect() as
+# warnings so reviewers see every remaining site.
 cargo clippy -p ct-core -p ct-faults -p ct-obs -p ct-mote -p ct-stats -p ct-pipeline \
+    -p ct-apps -p ct-ir -p ct-service \
     --all-targets -- \
     -W clippy::unwrap_used -W clippy::expect_used
 
@@ -57,6 +59,13 @@ grep -q '^bench: pmf/convolve-soa' <<< "$pmf_out"
 ./target/release/bench_guard validate BENCH_fb.json
 ./target/release/bench_guard check BENCH_fb.json
 
+echo "== BENCH_ingest.json trajectory gate (service/ingest) =="
+# The service ingest trajectory (appended by scripts/bench_ingest.sh) must
+# parse with the bench_ingest/1 schema and its newest service/ingest mean
+# must stay within 15% of the best recorded run.
+./target/release/bench_guard validate BENCH_ingest.json
+./target/release/bench_guard check BENCH_ingest.json
+
 echo "== trace smoke (observability on == observability off) =="
 # A traced e1 run must produce valid JSONL (ct-obs-report parses it) and
 # byte-identical stdout versus the untraced run — observer effect zero.
@@ -81,6 +90,19 @@ CT_SMOKE=1 CT_THREADS=1 CT_MANIFEST="$trace_dir/e4_t1.json" \
 CT_SMOKE=1 CT_THREADS=4 CT_MANIFEST="$trace_dir/e4_t4.json" \
     ./target/release/e4_placement > /dev/null 2> /dev/null
 ./target/release/ct-obs-diff "$trace_dir/e4_t1.json" "$trace_dir/e4_t4.json"
+
+echo "== e16 smoke (sharded service: bitwise vs monolithic, backpressure) =="
+# e16 enforces its own claims by exit status: every shard count serves the
+# monolithic reference bitwise, dedup drops every duplicate, and the
+# forced-backpressure cell blocks without deadlock or loss. Running it at
+# two thread counts and diffing the manifests pins the service's
+# determinism contract (volatile svc.* load metrics diff as notes only).
+cargo build --release -p ct-bench --bin e16_fleet_scale
+CT_SMOKE=1 CT_THREADS=1 CT_MANIFEST="$trace_dir/e16_t1.json" \
+    ./target/release/e16_fleet_scale > /dev/null 2> /dev/null
+CT_SMOKE=1 CT_THREADS=4 CT_MANIFEST="$trace_dir/e16_t4.json" \
+    ./target/release/e16_fleet_scale > /dev/null 2> /dev/null
+./target/release/ct-obs-diff "$trace_dir/e16_t1.json" "$trace_dir/e16_t4.json"
 
 echo "== ct-obs-diff self-test (must flag a known-divergent pair) =="
 sed 's/"pmu.cycles": \([0-9]*\)/"pmu.cycles": 1/' "$trace_dir/e4_t1.json" \

@@ -23,6 +23,7 @@
 //! | [`faults`] | `ct-faults` | seeded measurement-channel fault models for robustness sweeps |
 //! | [`apps`] | `ct-apps` | the benchmark sensor applications |
 //! | [`pipeline`] | `ct-pipeline` | the end-to-end flow: typed stages, seeded sessions, mote fleets, streaming ingestion |
+//! | [`service`] | `ct-service` | the sharded estimation service: bounded-queue ingest, tree reduction, request/response front door |
 //! | [`stats`] | `ct-stats` | linear algebra and statistics substrate |
 //!
 //! See the repository README for the full tour, `DESIGN.md` for the system
@@ -84,4 +85,5 @@ pub use ct_mote as mote;
 pub use ct_pipeline as pipeline;
 pub use ct_placement as placement;
 pub use ct_profilers as profilers;
+pub use ct_service as service;
 pub use ct_stats as stats;
