@@ -1,0 +1,338 @@
+//! E17 — Per-rung estimator comparison under measurement-channel faults
+//! (Table; extension experiment).
+//!
+//! E13 shows the degradation ladder beating the naive pipeline; this
+//! experiment opens the ladder up and races every rung **standalone** over
+//! the same fault grid, so each backend's failure envelope is visible on
+//! its own:
+//!
+//! * **em** — exact EM on the raw faulted stream ([`ct_core::estimate`],
+//!   `Method::Em`).
+//! * **trimmed-em** — EM after the ladder's robust outlier trim.
+//! * **gnt** — generalized network tomography: characteristic-function
+//!   inversion on the trimmed stream (`Method::Gnt`). Every sample
+//!   contributes a modulus-1 phasor, so per-sample influence is bounded —
+//!   the shape-distorting faults that drag mean/variance matching off
+//!   target (long-biased duplicates, merged record-loss windows) should
+//!   hurt it less.
+//! * **moments** — mean/variance matching on the trimmed stream.
+//! * **prior** — the uniform 0.5 static prior (the ladder's floor).
+//!
+//! A rung that refuses (typed error) falls back to the prior, exactly as
+//! the ladder would keep descending; the `err` column counts refusals.
+//! Alongside the standalone race, the full ladder runs twice per cell —
+//! with the GNT rung enabled (default) and with `use_gnt = false` (the
+//! pre-0.10 four-rung descent) — to prove the new rung never costs
+//! accuracy.
+//!
+//! Acceptance (enforced via exit status on the full grid):
+//! 1. On the distribution-shape-sensitive fault kinds (`RecordLoss`,
+//!    `Duplication`) at rates ≥ 0.3, standalone GNT must beat standalone
+//!    moments on mean weighted MAE.
+//! 2. In **every** cell, ladder-with-GNT weighted MAE ≤
+//!    ladder-without-GNT weighted MAE (+1e-9 slack for print rounding).
+//!
+//! `E17_SMOKE=1` (or `CT_SMOKE=1`) runs a tiny grid without writing
+//! `results/` (for check.sh).
+
+use ct_bench::{f4, par_sweep, write_result, Table};
+use ct_cfg::graph::Cfg;
+use ct_cfg::profile::BranchProbs;
+use ct_core::estimator::{EstimateOptions, Method, RobustOptions};
+use ct_core::{estimate, estimate_robust, TimingSamples, TrimPolicy};
+use ct_faults::{FaultKind, FaultPlan};
+use ct_mote::timer::VirtualTimer;
+use ct_pipeline::{EnvConfig, RunConfig, Session};
+use std::time::Instant;
+
+/// Fault kinds whose surviving (in-scale) corruption distorts the *shape*
+/// of the duration distribution rather than just injecting off-scale
+/// garbage: record loss merges adjacent windows into heavy sums and
+/// duplication is biased toward re-sending long records. These are the
+/// kinds where CF matching should out-resolve mean/variance matching.
+const SHAPE_SENSITIVE: &[FaultKind] = &[FaultKind::RecordLoss, FaultKind::Duplication];
+
+/// One standalone rung measurement: weighted MAE against ground truth,
+/// wall time, and whether the backend refused (prior fallback).
+struct Arm {
+    wmae: f64,
+    ns: u64,
+    refused: bool,
+}
+
+struct CellResult {
+    row: Vec<String>,
+    kind: FaultKind,
+    rate: f64,
+    gnt: Arm,
+    moments: Arm,
+    em_ns: u64,
+    trimmed_ns: u64,
+    ladder_gnt_wmae: f64,
+    ladder_nognt_wmae: f64,
+}
+
+/// Runs one forced-method front-door estimate and scores it; a refusal
+/// falls back to the uniform prior, like the ladder descending past the
+/// rung.
+#[allow(clippy::too_many_arguments)]
+fn run_arm(
+    cfg: &Cfg,
+    bc: &[u64],
+    ec: &[u64],
+    samples: &TimingSamples,
+    method: Method,
+    truth: &BranchProbs,
+    truth_profile: &ct_cfg::profile::EdgeProfile,
+    invocations: u64,
+) -> Arm {
+    let opts = EstimateOptions {
+        method: Some(method),
+        ..EstimateOptions::default()
+    };
+    let start = Instant::now();
+    let est = estimate(cfg, bc, ec, samples, opts);
+    let ns = start.elapsed().as_nanos() as u64;
+    let (probs, refused) = match est {
+        Ok(e) => (e.probs, false),
+        Err(_) => (BranchProbs::uniform(cfg, 0.5), true),
+    };
+    let acc = ct_core::accuracy::compare(cfg, &probs, truth, truth_profile, invocations);
+    Arm {
+        wmae: acc.weighted_mae,
+        ns,
+        refused,
+    }
+}
+
+fn main() {
+    let env = EnvConfig::load_with_smoke_alias(Some("E17_SMOKE"));
+    eprintln!("e17: {}", env.banner());
+    let n = env.pick(3_000, 400);
+    let seed_base = env.seed_or(17_000);
+    let apps: &[&str] = env.pick(&["sense", "event_detect", "oscilloscope"], &["sense"]);
+    let rates: &[f64] = env.pick(&[0.0, 0.1, 0.3, 0.5, 1.0], &[0.0, 0.5]);
+
+    let mut grid = Vec::new();
+    for (ai, &app) in apps.iter().enumerate() {
+        for (ki, kind) in FaultKind::ALL.into_iter().enumerate() {
+            for (ri, &rate) in rates.iter().enumerate() {
+                // Same per-cell identity scheme as e13: workload seed per
+                // app (paired comparisons on one clean stream), plan seed a
+                // pure function of the cell — sweep-order independent.
+                let run_seed = seed_base + ai as u64;
+                let plan_seed = 0x17_0000 + (ai * 1_000 + ki * 10 + ri) as u64;
+                grid.push((app, kind, rate, run_seed, plan_seed));
+            }
+        }
+    }
+
+    let cells = par_sweep(grid, |(name, kind, rate, run_seed, plan_seed)| {
+        let session = Session::new(
+            RunConfig::new(name)
+                .invocations(n)
+                .resolution(VirtualTimer::mhz1_at_8mhz().cycles_per_tick())
+                .seeded(run_seed)
+                .faulted(FaultPlan::single(kind, rate, plan_seed))
+                .no_unroll(),
+        );
+        let run = session.collect().expect("bundled apps must not trap");
+        let cfg = run.cfg();
+        let (bc, ec) = (&run.block_costs, &run.edge_costs);
+        let score = |probs: &BranchProbs| {
+            ct_core::accuracy::compare(cfg, probs, &run.truth, &run.truth_profile, run.invocations)
+                .weighted_mae
+        };
+
+        // Standalone rungs. Full EM sees the raw faulted stream; the
+        // trimmed rungs see what the ladder would hand them.
+        let (trimmed, _dropped) = run.samples.trimmed(TrimPolicy::default());
+        let em = run_arm(
+            cfg,
+            bc,
+            ec,
+            &run.samples,
+            Method::Em,
+            &run.truth,
+            &run.truth_profile,
+            run.invocations,
+        );
+        let trimmed_em = run_arm(
+            cfg,
+            bc,
+            ec,
+            &trimmed,
+            Method::Em,
+            &run.truth,
+            &run.truth_profile,
+            run.invocations,
+        );
+        let gnt = run_arm(
+            cfg,
+            bc,
+            ec,
+            &trimmed,
+            Method::Gnt,
+            &run.truth,
+            &run.truth_profile,
+            run.invocations,
+        );
+        let moments = run_arm(
+            cfg,
+            bc,
+            ec,
+            &trimmed,
+            Method::Moments,
+            &run.truth,
+            &run.truth_profile,
+            run.invocations,
+        );
+        let prior_wmae = score(&BranchProbs::uniform(cfg, 0.5));
+
+        // Full ladder, with and without the GNT rung.
+        let with = estimate_robust(cfg, bc, ec, &run.samples, RobustOptions::default());
+        let without = estimate_robust(
+            cfg,
+            bc,
+            ec,
+            &run.samples,
+            RobustOptions {
+                use_gnt: false,
+                ..RobustOptions::default()
+            },
+        );
+        let (with_wmae, without_wmae) =
+            (score(&with.estimate.probs), score(&without.estimate.probs));
+
+        eprintln!("e17: {name} {kind} rate={rate} done");
+        CellResult {
+            row: vec![
+                name.to_string(),
+                kind.to_string(),
+                format!("{rate:.1}"),
+                f4(em.wmae),
+                f4(trimmed_em.wmae),
+                f4(gnt.wmae),
+                f4(moments.wmae),
+                f4(prior_wmae),
+                with.rung.to_string(),
+                f4(with_wmae),
+                f4(without_wmae),
+            ],
+            kind,
+            rate,
+            gnt,
+            moments,
+            em_ns: em.ns,
+            trimmed_ns: trimmed_em.ns,
+            ladder_gnt_wmae: with_wmae,
+            ladder_nognt_wmae: without_wmae,
+        }
+    });
+
+    let mut table = Table::new(vec![
+        "app",
+        "fault",
+        "rate",
+        "em",
+        "trimmed-em",
+        "gnt",
+        "moments",
+        "prior",
+        "ladder rung",
+        "ladder wmae",
+        "no-gnt wmae",
+    ]);
+    for c in &cells {
+        table.row(c.row.clone());
+    }
+
+    let mut failures = Vec::new();
+
+    // Gate 1: standalone GNT beats standalone moments on the
+    // shape-sensitive kinds at rates ≥ 0.3.
+    let mut verdict = Table::new(vec![
+        "fault",
+        "gnt wmae (rate ≥ 0.3)",
+        "moments wmae (rate ≥ 0.3)",
+        "gnt refusals",
+        "gnt wins",
+    ]);
+    for kind in FaultKind::ALL {
+        let hit: Vec<&CellResult> = cells
+            .iter()
+            .filter(|c| c.kind == kind && c.rate >= 0.3)
+            .collect();
+        if hit.is_empty() {
+            continue;
+        }
+        let gnt_avg = hit.iter().map(|c| c.gnt.wmae).sum::<f64>() / hit.len() as f64;
+        let mom_avg = hit.iter().map(|c| c.moments.wmae).sum::<f64>() / hit.len() as f64;
+        let refusals = hit.iter().filter(|c| c.gnt.refused).count();
+        let wins = gnt_avg < mom_avg;
+        if SHAPE_SENSITIVE.contains(&kind) && !wins {
+            failures.push(format!("{kind}: gnt {gnt_avg:.4} !< moments {mom_avg:.4}"));
+        }
+        verdict.row(vec![
+            kind.to_string(),
+            f4(gnt_avg),
+            f4(mom_avg),
+            refusals.to_string(),
+            if wins { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+
+    // Gate 2: adding the GNT rung never costs the ladder accuracy.
+    for c in &cells {
+        if c.ladder_gnt_wmae > c.ladder_nognt_wmae + 1e-9 {
+            failures.push(format!(
+                "{} rate={}: ladder-with-gnt {:.4} > ladder-without {:.4}",
+                c.kind, c.rate, c.ladder_gnt_wmae, c.ladder_nognt_wmae
+            ));
+        }
+    }
+
+    // Cost: mean wall time per standalone estimate over the whole grid.
+    let mean_ns = |f: &dyn Fn(&CellResult) -> u64| {
+        cells.iter().map(f).sum::<u64>() / cells.len().max(1) as u64
+    };
+    let mut speed = Table::new(vec!["rung", "mean ns/estimate"]);
+    speed.row(vec!["em (raw)".into(), mean_ns(&|c| c.em_ns).to_string()]);
+    speed.row(vec![
+        "trimmed-em".into(),
+        mean_ns(&|c| c.trimmed_ns).to_string(),
+    ]);
+    speed.row(vec!["gnt".into(), mean_ns(&|c| c.gnt.ns).to_string()]);
+    speed.row(vec![
+        "moments".into(),
+        mean_ns(&|c| c.moments.ns).to_string(),
+    ]);
+
+    let out = format!(
+        "# E17 — Ladder rungs standalone under measurement-channel faults\n\n\
+         {n} samples per cell; 1 MHz timer (8 cycles/tick); AVR cost model.\n\
+         Each cell corrupts the clean tick stream with one seeded fault model\n\
+         at the given rate, then races every ladder rung standalone (refusals\n\
+         fall back to the uniform prior) and runs the full ladder with and\n\
+         without the GNT rung. All numbers are weighted MAE vs ground truth.\n\
+         {}\n\n{}\n\
+         ## Verdict — standalone GNT vs moments at fault rates ≥ 0.3\n\n\
+         Shape-sensitive kinds (enforced): record-loss, duplication.\n\n{}\n\
+         ## Cost — mean wall time per standalone estimate\n\n{}",
+        env.banner(),
+        table.to_markdown(),
+        verdict.to_markdown(),
+        speed.to_markdown()
+    );
+    println!("{out}");
+    if !env.smoke {
+        write_result("e17_estimators.md", &out);
+        if !failures.is_empty() {
+            eprintln!("e17: ACCEPTANCE FAILED:");
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

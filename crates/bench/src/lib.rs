@@ -24,6 +24,7 @@
 //! | `e14_incremental` | incremental warm-started EM over SuffStats batches vs cold re-estimation (Table, extension) |
 //! | `e15_chaos` | fleet ingestion under injected crash/duplicate/straggler faults (Table, extension) |
 //! | `e16_fleet_scale` | sharded estimation service: throughput, backpressure, bitwise determinism (Table, extension) |
+//! | `e17_estimators` | per-rung estimator race (EM / trimmed EM / GNT / moments / prior) under channel faults (Table, extension) |
 //!
 //! Each binary drives the typed `ct-pipeline` flow (one seeded
 //! [`ct_pipeline::Session`] per measurement cell), prints a markdown table

@@ -5,6 +5,7 @@
 use crate::em::EmOptions;
 use crate::fb::FbError;
 use crate::flow_nnls::{estimate_flow, FlowError};
+use crate::gnt::{estimate_gnt, GntError, GntOptions};
 use crate::moments::{estimate_moments, MomentsError, MomentsOptions};
 use crate::samples::{DurationSamples, SampleIssue, TimingSamples, TrimPolicy};
 use ct_cfg::graph::Cfg;
@@ -22,6 +23,9 @@ pub enum Method {
     EmUnrolled,
     /// Mean/variance matching (cheap fallback for path-explosive CFGs).
     Moments,
+    /// Generalized network tomography: characteristic-function matching
+    /// (distribution-free; bounded per-sample influence).
+    Gnt,
     /// Flow-constrained NNLS on the mean (linear inverse baseline).
     FlowMean,
 }
@@ -32,6 +36,7 @@ impl fmt::Display for Method {
             Method::Em => "em",
             Method::EmUnrolled => "em+unroll",
             Method::Moments => "moments",
+            Method::Gnt => "gnt",
             Method::FlowMean => "flow-mean",
         };
         f.write_str(s)
@@ -48,6 +53,8 @@ pub struct EstimateOptions {
     pub em: EmOptions,
     /// Moments controls.
     pub moments: MomentsOptions,
+    /// GNT (characteristic-function) controls.
+    pub gnt: GntOptions,
     /// Extra random EM restarts beyond the flow-warm start (the best
     /// final likelihood wins). Coarse timers create mirror local optima when
     /// arm-cost differences are sub-tick; restarts are the standard cure.
@@ -60,6 +67,7 @@ impl Default for EstimateOptions {
             method: None,
             em: EmOptions::default(),
             moments: MomentsOptions::default(),
+            gnt: GntOptions::default(),
             restarts: 2,
         }
     }
@@ -98,6 +106,8 @@ pub enum EstimateError {
     Em(FbError),
     /// Moments failed.
     Moments(MomentsError),
+    /// GNT failed.
+    Gnt(GntError),
     /// Flow failed.
     Flow(FlowError),
 }
@@ -108,6 +118,7 @@ impl fmt::Display for EstimateError {
             EstimateError::InvalidSamples(i) => write!(f, "invalid samples: {i}"),
             EstimateError::Em(e) => write!(f, "em estimator: {e}"),
             EstimateError::Moments(e) => write!(f, "moments estimator: {e}"),
+            EstimateError::Gnt(e) => write!(f, "gnt estimator: {e}"),
             EstimateError::Flow(e) => write!(f, "flow estimator: {e}"),
         }
     }
@@ -168,6 +179,9 @@ pub fn estimate<S: DurationSamples + Sync + ?Sized>(
         }
         Some(Method::Moments) => {
             run_moments(cfg, block_costs, edge_costs, samples, opts).map_err(EstimateError::Moments)
+        }
+        Some(Method::Gnt) => {
+            run_gnt(cfg, block_costs, edge_costs, samples, opts).map_err(EstimateError::Gnt)
         }
         Some(Method::FlowMean) => {
             let r = estimate_flow(cfg, block_costs, edge_costs, samples)
@@ -340,6 +354,27 @@ fn run_moments<S: DurationSamples + ?Sized>(
     })
 }
 
+fn run_gnt<S: DurationSamples + ?Sized>(
+    cfg: &Cfg,
+    block_costs: &[u64],
+    edge_costs: &[u64],
+    samples: &S,
+    opts: EstimateOptions,
+) -> Result<Estimate, GntError> {
+    let r = estimate_gnt(cfg, block_costs, edge_costs, samples, opts.gnt)?;
+    Ok(Estimate {
+        probs: r.probs,
+        method: Method::Gnt,
+        iterations: r.sweeps,
+        // Same convention as moments: stopping before the sweep cap means a
+        // full sweep made no progress.
+        converged: r.sweeps < opts.gnt.sweeps,
+        final_delta: 0.0,
+        loglik: None,
+        unexplained: 0,
+    })
+}
+
 /// One rung of the graceful-degradation ladder, strongest first.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rung {
@@ -347,6 +382,10 @@ pub enum Rung {
     FullEm,
     /// EM after robust outlier trimming.
     TrimmedEm,
+    /// Characteristic-function inversion (GNT) on the trimmed samples:
+    /// distribution-free, bounded per-sample influence — stronger than raw
+    /// moment matching when the channel reshaped the distribution.
+    Gnt,
     /// Method-of-moments on the trimmed samples.
     Moments,
     /// The static uniform prior — always answers, carries no information.
@@ -358,6 +397,7 @@ impl fmt::Display for Rung {
         let s = match self {
             Rung::FullEm => "full-em",
             Rung::TrimmedEm => "trimmed-em",
+            Rung::Gnt => "gnt",
             Rung::Moments => "moments",
             Rung::Prior => "prior",
         };
@@ -391,11 +431,18 @@ pub struct RobustOptions {
     /// keeps polishing long after the answer has stabilized; rejecting those
     /// runs would discard a good estimate for an optimizer technicality.
     pub max_final_delta: f64,
-    /// Outlier-trimming policy of the `TrimmedEm`/`Moments` rungs.
+    /// Outlier-trimming policy of the `TrimmedEm`/`Gnt`/`Moments` rungs.
     pub trim: TrimPolicy,
     /// Largest tolerated fraction of samples removed by trimming before the
     /// trimmed rungs are considered to be estimating a different workload.
     pub max_trimmed: f64,
+    /// Whether the GNT rung participates in the descent. Disabling it
+    /// restores the pre-0.10 four-rung ladder exactly (the rung is recorded
+    /// as policy-skipped so the audit trail stays complete).
+    pub use_gnt: bool,
+    /// Smallest GNT inversion confidence (fit × conditioning, the backend's
+    /// own `[0, 1]` scale) the ladder accepts from that rung.
+    pub min_gnt_confidence: f64,
 }
 
 impl Default for RobustOptions {
@@ -406,6 +453,8 @@ impl Default for RobustOptions {
             max_final_delta: 1e-3,
             trim: TrimPolicy::default(),
             max_trimmed: 0.60,
+            use_gnt: true,
+            min_gnt_confidence: 0.25,
         }
     }
 }
@@ -430,8 +479,8 @@ pub struct RobustEstimate {
 }
 
 /// Estimates branch probabilities through a degraded measurement channel by
-/// walking the ladder **full EM → trimmed EM → moments → static prior**,
-/// accepting the first rung whose answer passes its health checks.
+/// walking the ladder **full EM → trimmed EM → GNT → moments → static
+/// prior**, accepting the first rung whose answer passes its health checks.
 ///
 /// Unlike [`estimate`], this never fails and never panics on hostile sample
 /// sets (stuck-at ticks, merged windows, truncated batches …): every defect
@@ -446,6 +495,13 @@ pub fn estimate_robust(
     opts: RobustOptions,
 ) -> RobustEstimate {
     let result = run_ladder(cfg, block_costs, edge_costs, samples, opts);
+    // Attempts must read top-down no matter which rungs ran, were
+    // policy-skipped, or short-circuited the descent.
+    debug_assert!(
+        result.attempts.windows(2).all(|w| w[0].rung < w[1].rung),
+        "rung attempts out of descent order: {:?}",
+        result.attempts
+    );
     // The audit trail doubles as the observability record: one event per
     // rung attempted, one for the accepted answer. Content mirrors the
     // returned `attempts`, so it is deterministic at any `CT_THREADS`.
@@ -535,7 +591,72 @@ fn run_ladder(
         }
     }
 
-    // Rung 3: moments on the trimmed samples (mean/variance only — outlier
+    // Rung 3: GNT (characteristic-function inversion) on the trimmed
+    // samples. The poisoned-moments rule applies to this rung too: GNT is
+    // distribution-free but it still fits the *measured* transform, and the
+    // transform of data the timing model cannot explain describes the
+    // corruption, not the program. Saturated statistics are refused inside
+    // the backend (`GntError::SaturatedMoments`), the same contract as the
+    // moments rung.
+    if !opts.use_gnt {
+        attempts.push(RungAttempt {
+            rung: Rung::Gnt,
+            accepted: false,
+            detail: "skipped: disabled by policy (use_gnt = false)".into(),
+        });
+    } else if moments_poisoned {
+        attempts.push(RungAttempt {
+            rung: Rung::Gnt,
+            accepted: false,
+            detail: "skipped: trimmed samples are inconsistent with the timing model, \
+                     so their transform is untrustworthy"
+                .into(),
+        });
+    } else {
+        match estimate_gnt(cfg, block_costs, edge_costs, &trimmed, opts.base.gnt) {
+            Ok(r) if r.confidence >= opts.min_gnt_confidence => {
+                attempts.push(RungAttempt {
+                    rung: Rung::Gnt,
+                    accepted: true,
+                    detail: format!(
+                        "sweeps={}, objective={:.2e}, inversion confidence {:.2}",
+                        r.sweeps, r.objective, r.confidence
+                    ),
+                });
+                let confidence = 0.55 * (1.0 - trim_frac) * r.confidence;
+                return RobustEstimate {
+                    estimate: Estimate {
+                        probs: r.probs,
+                        method: Method::Gnt,
+                        iterations: r.sweeps,
+                        converged: r.sweeps < opts.base.gnt.sweeps,
+                        final_delta: 0.0,
+                        loglik: None,
+                        unexplained: 0,
+                    },
+                    rung: Rung::Gnt,
+                    confidence,
+                    trimmed: dropped,
+                    attempts,
+                };
+            }
+            Ok(r) => attempts.push(RungAttempt {
+                rung: Rung::Gnt,
+                accepted: false,
+                detail: format!(
+                    "inversion confidence {:.2} below the {:.2} floor",
+                    r.confidence, opts.min_gnt_confidence
+                ),
+            }),
+            Err(e) => attempts.push(RungAttempt {
+                rung: Rung::Gnt,
+                accepted: false,
+                detail: e.to_string(),
+            }),
+        }
+    }
+
+    // Rung 4: moments on the trimmed samples (mean/variance only — outlier
     // clipping is essential before trusting second moments). Routed through
     // the front door so the overflow gate still applies.
     if moments_poisoned {
@@ -575,7 +696,7 @@ fn run_ladder(
         }
     }
 
-    // Rung 4: the static prior always answers.
+    // Rung 5: the static prior always answers.
     attempts.push(RungAttempt {
         rung: Rung::Prior,
         accepted: true,
@@ -821,10 +942,11 @@ mod tests {
         assert_eq!(r.rung, Rung::Prior);
         assert_eq!(r.confidence, 0.0);
         assert_eq!(r.estimate.probs.as_slice(), &[0.5]);
-        // All four rungs tried, only the last accepted.
-        assert_eq!(r.attempts.len(), 4);
-        assert!(r.attempts[..3].iter().all(|a| !a.accepted));
-        assert!(r.attempts[3].accepted);
+        // All five rungs tried, only the last accepted, in descent order.
+        assert_eq!(r.attempts.len(), 5);
+        assert!(r.attempts[..4].iter().all(|a| !a.accepted));
+        assert!(r.attempts[4].accepted);
+        assert!(r.attempts.windows(2).all(|w| w[0].rung < w[1].rung));
     }
 
     #[test]
@@ -848,13 +970,90 @@ mod tests {
             .expect("moments rung recorded");
         assert!(!moments.accepted);
         assert!(moments.detail.contains("skipped"), "{}", moments.detail);
+        // The poisoned-moments rule covers the GNT rung too: the transform
+        // of off-model data measures the corruption, not the program.
+        let gnt = r
+            .attempts
+            .iter()
+            .find(|a| a.rung == Rung::Gnt)
+            .expect("gnt rung recorded");
+        assert!(!gnt.accepted);
+        assert!(gnt.detail.contains("skipped"), "{}", gnt.detail);
+        assert!(r.attempts.windows(2).all(|w| w[0].rung < w[1].rung));
+    }
+
+    /// Loop samples under a strangled DP budget: both EM rungs fail with
+    /// support explosion (a mechanical rejection, not inconsistency), so the
+    /// descent reaches GNT, which needs no dynamic program and recovers the
+    /// loop parameter from the transform.
+    fn explosive_loop_case() -> (ct_cfg::graph::Cfg, Vec<u64>, Vec<u64>, TimingSamples) {
+        let cfg = while_loop();
+        let bc = vec![2u64, 3, 10, 1];
+        let ec = vec![0u64; cfg.edges().len()];
+        let mut ticks = Vec::new();
+        for k in 0..60u64 {
+            let copies = (2000.0 * 0.9f64.powi(k as i32) * 0.1) as usize;
+            ticks.extend(vec![6 + 13 * k; copies]);
+        }
+        (cfg, bc, ec, TimingSamples::new(ticks, 1))
+    }
+
+    fn strangled_options() -> RobustOptions {
+        let mut opts = RobustOptions::default();
+        opts.base.em.fb = FbParams {
+            mass_eps: 1e-12,
+            max_entries: 3,
+            ..FbParams::default()
+        };
+        opts
+    }
+
+    #[test]
+    fn ladder_reaches_gnt_when_em_explodes() {
+        let (cfg, bc, ec, samples) = explosive_loop_case();
+        let r = estimate_robust(&cfg, &bc, &ec, &samples, strangled_options());
+        assert_eq!(r.rung, Rung::Gnt, "attempts: {:?}", r.attempts);
+        assert_eq!(r.estimate.method, Method::Gnt);
+        let est = r
+            .estimate
+            .probs
+            .prob_true(ct_cfg::graph::BlockId(1))
+            .unwrap();
+        assert!((est - 0.9).abs() < 0.05, "estimated {est}");
+        // Between the trimmed-EM (0.7) and moments (0.4) confidence scales.
+        assert!(r.confidence > 0.0 && r.confidence < 0.7, "{}", r.confidence);
+        let rungs: Vec<Rung> = r.attempts.iter().map(|a| a.rung).collect();
+        assert_eq!(rungs, vec![Rung::FullEm, Rung::TrimmedEm, Rung::Gnt]);
+        assert!(r.attempts[2].accepted);
+    }
+
+    #[test]
+    fn disabling_gnt_restores_the_four_rung_descent() {
+        let (cfg, bc, ec, samples) = explosive_loop_case();
+        let mut opts = strangled_options();
+        opts.use_gnt = false;
+        let r = estimate_robust(&cfg, &bc, &ec, &samples, opts);
+        // Same scenario now answers at moments, and the policy skip is on
+        // the record in descent position.
+        assert_eq!(r.rung, Rung::Moments, "attempts: {:?}", r.attempts);
+        let gnt = r
+            .attempts
+            .iter()
+            .find(|a| a.rung == Rung::Gnt)
+            .expect("policy-skipped gnt rung recorded");
+        assert!(!gnt.accepted);
+        assert!(gnt.detail.contains("policy"), "{}", gnt.detail);
+        assert!(r.attempts.windows(2).all(|w| w[0].rung < w[1].rung));
     }
 
     #[test]
     fn rung_display_and_order() {
         assert_eq!(Rung::FullEm.to_string(), "full-em");
+        assert_eq!(Rung::Gnt.to_string(), "gnt");
         assert_eq!(Rung::Prior.to_string(), "prior");
         assert!(Rung::FullEm < Rung::TrimmedEm);
+        assert!(Rung::TrimmedEm < Rung::Gnt);
+        assert!(Rung::Gnt < Rung::Moments);
         assert!(Rung::Moments < Rung::Prior);
     }
 

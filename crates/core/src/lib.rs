@@ -23,6 +23,10 @@
 //!   quantization kernel of [`quantize`]; the most accurate.
 //! - [`moments`] — mean/variance matching by coordinate descent; the cheap
 //!   fallback for path-explosive procedures.
+//! - [`gnt`] — generalized network tomography: distribution-free
+//!   characteristic-function matching with bounded per-sample influence;
+//!   needs no dynamic program and degrades gracefully under channel faults
+//!   that reshape the duration distribution.
 //! - [`flow_nnls`] — flow-constrained NNLS on the mean; the linear-inverse
 //!   baseline.
 //!
@@ -57,6 +61,7 @@ pub mod fb;
 #[doc(hidden)]
 pub mod fb_reference;
 pub mod flow_nnls;
+pub mod gnt;
 pub mod incremental;
 pub mod moments;
 pub mod quantize;
@@ -73,6 +78,7 @@ pub use estimator::{
 };
 pub use fb::{compute_tables, e_step, e_step_cached, EStepCache, FbError, FbParams, FbTables};
 pub use flow_nnls::{estimate_flow, estimate_flow_many, FlowResult};
+pub use gnt::{estimate_gnt, model_cf, GntError, GntOptions, GntResult};
 pub use incremental::{estimate_em_incremental, IncrementalEm};
 pub use moments::{estimate_moments, model_moments, MomentsError, MomentsOptions, MomentsResult};
 pub use quantize::{

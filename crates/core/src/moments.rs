@@ -329,12 +329,17 @@ mod tests {
         let bc = vec![2u64, 3, 10, 1];
         let ec = vec![0u64; cfg.edges().len()];
         // q = 0.5: durations 6 + 13k w.p. 0.5^{k+1}. Build a sample matching
-        // the distribution closely.
+        // the distribution closely: 4096 >> (k+1) copies per bucket is exact
+        // (no truncating float cast), and the geometric tail beyond k = 11 —
+        // exactly one run's worth of mass — goes into an explicit k = 12
+        // record so the fixture holds precisely 4096 runs.
         let mut ticks = Vec::new();
         for k in 0..12u32 {
-            let copies = (4096.0 * 0.5f64.powi(k as i32 + 1)) as usize;
-            ticks.extend(vec![6 + 13 * k as u64; copies]);
+            let copies = 4096usize >> (k + 1);
+            ticks.extend(vec![6 + 13 * u64::from(k); copies]);
         }
+        ticks.push(6 + 13 * 12);
+        assert_eq!(ticks.len(), 4096, "fixture must carry the full mass");
         let samples = TimingSamples::new(ticks, 1);
         let r = estimate_moments(&cfg, &bc, &ec, &samples, MomentsOptions::default()).unwrap();
         let est = r.probs.prob_true(BlockId(1)).unwrap();

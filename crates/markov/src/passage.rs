@@ -97,10 +97,12 @@ pub fn duration_moments(
         .solve(&b2)
         .map_err(|e| ChainError::Numeric(e.to_string()))?;
 
+    // `start` was proven non-absorbing above, so it is in the transient
+    // set; surface a typed error rather than panic if that ever breaks.
     let si = transient
         .iter()
         .position(|&s| s == start)
-        .expect("start is transient");
+        .ok_or_else(|| ChainError::Numeric("start state left the transient set".into()))?;
     let mean = m1[si];
     let variance = (m2[si] - mean * mean).max(0.0);
     Ok(DurationMoments { mean, variance })

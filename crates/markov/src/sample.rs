@@ -37,9 +37,9 @@ pub fn sample_run<R: Rng + ?Sized>(
         if chain.is_absorbing_state(cur) {
             return Some(trajectory);
         }
-        let dist = dists[cur]
-            .as_ref()
-            .expect("transient state has outgoing mass");
+        // A transient state always carries outgoing mass in a validated
+        // chain; treat a degenerate row as a failed run, not a panic.
+        let dist = dists[cur].as_ref()?;
         cur = dist.sample(rng);
         trajectory.push(cur);
     }

@@ -27,7 +27,7 @@ pub const ENV_KNOBS: &[&str] = &[
 
 /// Event-name prefixes that belong in the manifest's estimator audit trail.
 const AUDIT_PREFIXES: &[&str] = &[
-    "em.", "ladder.", "warn.", "place.", "pmu.", "fleet.", "ckpt.", "svc.",
+    "em.", "ladder.", "gnt.", "warn.", "place.", "pmu.", "fleet.", "ckpt.", "svc.",
 ];
 
 /// Counter-name prefix mirrored into the manifest's dedicated `pmu`

@@ -604,6 +604,7 @@ impl Fleet {
                 ck.batches,
                 ck.generations,
                 ck.ledger,
+                ck.cached,
             ),
             ck.batch_iterations,
         ))

@@ -128,15 +128,17 @@ pub fn best_layout(
     penalties: &PenaltyModel,
 ) -> Layout {
     assert!(!candidates.is_empty(), "need at least one candidate layout");
+    // `total_cmp`: a NaN cost (upstream numeric mishap) must not panic the
+    // selection — it just ranks deterministically last.
     candidates
         .into_iter()
         .map(|l| {
             let c = expected_cost(cfg, &l, edge_freq, penalties);
             (l, c.extra_cycles)
         })
-        .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("costs are not NaN"))
+        .min_by(|(_, a), (_, b)| a.total_cmp(b))
         .map(|(l, _)| l)
-        .expect("nonempty")
+        .unwrap_or_else(|| Layout::natural(cfg))
 }
 
 #[cfg(test)]

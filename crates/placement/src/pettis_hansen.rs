@@ -63,12 +63,9 @@ fn ph_with_filter(cfg: &Cfg, edge_weights: &[f64], skip_edge: &[bool]) -> Layout
 
     // Hottest-first, deterministic tie-break on edge index.
     let mut order: Vec<usize> = (0..edges.len()).collect();
-    order.sort_by(|&a, &b| {
-        edge_weights[b]
-            .partial_cmp(&edge_weights[a])
-            .expect("weights are not NaN")
-            .then(a.cmp(&b))
-    });
+    // `total_cmp`: a NaN weight (upstream numeric mishap) must not panic a
+    // placement pass — it just sorts deterministically.
+    order.sort_by(|&a, &b| edge_weights[b].total_cmp(&edge_weights[a]).then(a.cmp(&b)));
 
     let mut chains = ChainSet::singletons(cfg.len());
     for ei in order {
@@ -112,16 +109,13 @@ fn ph_with_filter(cfg: &Cfg, edge_weights: &[f64], skip_edge: &[bool]) -> Layout
                 })
                 .sum()
         };
-        let (pos, &best) = remaining
+        let Some((pos, &best)) = remaining
             .iter()
             .enumerate()
-            .max_by(|(_, &a), (_, &b)| {
-                strength(a)
-                    .partial_cmp(&strength(b))
-                    .expect("not NaN")
-                    .then(b.cmp(&a))
-            })
-            .expect("remaining nonempty");
+            .max_by(|(_, &a), (_, &b)| strength(a).total_cmp(&strength(b)).then(b.cmp(&a)))
+        else {
+            break; // unreachable: the loop guard keeps `remaining` nonempty
+        };
         placed.push(best);
         remaining.remove(pos);
     }
@@ -130,7 +124,9 @@ fn ph_with_filter(cfg: &Cfg, edge_weights: &[f64], skip_edge: &[bool]) -> Layout
         .into_iter()
         .flat_map(|c| chains.chain(c).iter().copied())
         .collect();
-    Layout::from_order(cfg, order).expect("chain concatenation is a valid layout")
+    // Chain concatenation covers every block exactly once; degrade to the
+    // natural layout rather than panic if that invariant is ever broken.
+    Layout::from_order(cfg, order).unwrap_or_else(|| Layout::natural(cfg))
 }
 
 #[cfg(test)]

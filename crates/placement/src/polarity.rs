@@ -39,14 +39,12 @@ pub fn branch_alignments(cfg: &Cfg, layout: &Layout, edge_freq: &[f64]) -> Vec<B
         let Terminator::Branch { .. } = cfg.block(bb).term else {
             unreachable!()
         };
-        let te = edges
-            .iter()
-            .find(|e| e.from == bb && e.kind == EdgeKind::BranchTrue)
-            .expect("true edge");
-        let fe = edges
-            .iter()
-            .find(|e| e.from == bb && e.kind == EdgeKind::BranchFalse)
-            .expect("false edge");
+        // A branch block always carries both arms by CFG construction;
+        // skip (rather than panic on) a block that somehow lost one.
+        let arm = |kind: EdgeKind| edges.iter().find(|e| e.from == bb && e.kind == kind);
+        let (Some(te), Some(fe)) = (arm(EdgeKind::BranchTrue), arm(EdgeKind::BranchFalse)) else {
+            continue;
+        };
         let (hot, cold) = if edge_freq[te.index] >= edge_freq[fe.index] {
             (te, fe)
         } else {

@@ -43,12 +43,9 @@ pub fn greedy_traces(cfg: &Cfg, edge_weights: &[f64], threshold: f64) -> Layout 
 
     // Seed order: the entry first, then blocks hottest-first (stable by id).
     let mut seeds: Vec<usize> = (0..n).collect();
-    seeds.sort_by(|&a, &b| {
-        heat[b]
-            .partial_cmp(&heat[a])
-            .expect("weights are not NaN")
-            .then(a.cmp(&b))
-    });
+    // `total_cmp`: a NaN weight (upstream numeric mishap) must not panic a
+    // placement pass — it just sorts deterministically last.
+    seeds.sort_by(|&a, &b| heat[b].total_cmp(&heat[a]).then(a.cmp(&b)));
     seeds.retain(|&b| b != cfg.entry().index());
     seeds.insert(0, cfg.entry().index());
 
@@ -70,8 +67,7 @@ pub fn greedy_traces(cfg: &Cfg, edge_weights: &[f64], threshold: f64) -> Layout 
                 .filter(|e| !placed[e.to.index()])
                 .max_by(|a, b| {
                     edge_weights[a.index]
-                        .partial_cmp(&edge_weights[b.index])
-                        .expect("not NaN")
+                        .total_cmp(&edge_weights[b.index])
                         .then(b.index.cmp(&a.index))
                 })
                 .filter(|e| total <= 0.0 || edge_weights[e.index] / total >= threshold);
@@ -82,7 +78,10 @@ pub fn greedy_traces(cfg: &Cfg, edge_weights: &[f64], threshold: f64) -> Layout 
         }
     }
 
-    Layout::from_order(cfg, order).expect("trace concatenation is a valid layout")
+    // The growth loop visits every block exactly once, so the order is a
+    // permutation; degrade to the natural layout rather than panic if that
+    // invariant is ever broken.
+    Layout::from_order(cfg, order).unwrap_or_else(|| Layout::natural(cfg))
 }
 
 #[cfg(test)]

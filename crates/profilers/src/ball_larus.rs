@@ -384,7 +384,11 @@ impl Profiler for BallLarusProfiler {
     }
 
     fn on_proc_exit(&mut self, proc: ProcId, _cycles: u64) -> u64 {
-        let (p, r) = self.reg_stack.pop().expect("enter/exit balanced");
+        // An unbalanced event stream (exit without enter) records nothing
+        // rather than panicking the profiler.
+        let Some((p, r)) = self.reg_stack.pop() else {
+            return 0;
+        };
         debug_assert_eq!(p, proc);
         if self.numberings[proc.index()].is_some() {
             *self.path_counts[proc.index()].entry(r).or_insert(0) += 1;
@@ -398,10 +402,16 @@ impl Profiler for BallLarusProfiler {
         let Some(nb) = self.numberings[proc.index()].as_ref() else {
             return 0;
         };
-        let (p, r) = self.reg_stack.last_mut().expect("inside an activation");
+        // Edge events outside any activation (unbalanced stream) record
+        // nothing rather than panicking the profiler.
+        let Some((p, r)) = self.reg_stack.last_mut() else {
+            return 0;
+        };
         debug_assert_eq!(*p, proc);
         if nb.is_back[edge_index] {
-            let (term, init) = nb.back_vals[edge_index].expect("back edge vals");
+            let Some((term, init)) = nb.back_vals[edge_index] else {
+                return 0; // unreachable: numbering fills every back edge
+            };
             let id = *r + term;
             *self.path_counts[proc.index()].entry(id).or_insert(0) += 1;
             self.back_counts[proc.index()][edge_index] += 1;

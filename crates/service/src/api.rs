@@ -54,8 +54,11 @@ pub struct EstimateResponse {
     /// same way `place_with_confidence` gates on coverage).
     pub confidence: f64,
     /// Staleness: batches accepted by the ingest tier but not yet folded
-    /// into the served generation (0 = fresh). Approximate under the
-    /// threaded service — queued batches are counted by a relaxed atomic.
+    /// into the served generation (0 = fresh). Under the threaded service
+    /// the count is read from relaxed atomics, but it still brackets the
+    /// truth: a batch is counted from the moment `ingest` returns until a
+    /// reduce folds it in, so after a `Drain` with quiesced producers it
+    /// reads exactly 0 and never resurrects drained batches.
     pub staleness: u64,
 }
 

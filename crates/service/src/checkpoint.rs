@@ -28,9 +28,13 @@
 //!
 //! The wire format is fixed little-endian: magic `CTCK`, a format version,
 //! a length-prefixed payload, and an FNV-1a 64-bit checksum of the payload.
-//! Version 2 appends the generation count after the batch count; version 1
-//! snapshots (pre-service) are rejected as unsupported rather than guessed
-//! at — a clean start is always a correct fallback. Decoding validates
+//! Version 2 appended the generation count after the batch count; version 3
+//! appends the cache-currency flag after the warm-start estimate — whether
+//! that estimate was computed from the snapshot's own generation, so a
+//! restore knows to re-estimate instead of replaying a pre-snapshot
+//! response for data it never saw. Version 1 and 2 snapshots are rejected
+//! as unsupported rather than guessed at — a clean start is always a
+//! correct fallback. Decoding validates
 //! magic, version, length, and checksum before touching the payload, and
 //! every failure is a typed [`CheckpointError`] — a corrupt or truncated
 //! snapshot must *never* panic the service; callers fall back to a clean
@@ -46,7 +50,7 @@ use std::path::{Path, PathBuf};
 pub const MAGIC: [u8; 4] = *b"CTCK";
 
 /// The current checkpoint format version.
-pub const VERSION: u32 = 2;
+pub const VERSION: u32 = 3;
 
 /// Why a checkpoint could not be written, read, or restored.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -235,6 +239,12 @@ pub struct Checkpoint {
     pub generations: u64,
     /// The estimate after the last ingested batch (the next warm start).
     pub last: Option<CheckpointEstimate>,
+    /// Whether `last` was computed from this snapshot's own `generations`
+    /// (i.e. the serve cache was current when the snapshot was cut). A
+    /// snapshot taken after further generations absorbed carries `last`
+    /// only as a warm start — restoring it as a cached response would
+    /// replay a pre-snapshot answer for batches it never saw.
+    pub cached: bool,
 }
 
 // ---------------------------------------------------------------- encoding
@@ -363,6 +373,7 @@ impl Checkpoint {
                 p.push(e.rewound as u8);
             }
         }
+        p.push(self.cached as u8);
 
         let mut out = Vec::with_capacity(4 + 4 + 8 + p.len() + 8);
         out.extend_from_slice(&MAGIC);
@@ -492,6 +503,12 @@ impl Checkpoint {
         } else {
             None
         };
+        let cached = r.byte_flag("cached flag")?;
+        if cached && last.is_none() {
+            return Err(CheckpointError::Malformed(
+                "cache-currency flag set without a warm-start estimate".into(),
+            ));
+        }
         r.finished()?;
 
         Ok(Checkpoint {
@@ -502,6 +519,7 @@ impl Checkpoint {
             batches,
             generations,
             last,
+            cached,
         })
     }
 
@@ -648,6 +666,7 @@ mod tests {
                 edge_counts: vec![700.0, 300.0, 700.0, 300.0],
                 rewound: false,
             }),
+            cached: true,
         }
     }
 
@@ -660,11 +679,33 @@ mod tests {
         // any estimate was requested).
         let bare = Checkpoint {
             last: None,
+            cached: false,
             batch_iterations: Vec::new(),
             generations: 1,
             ..sample_checkpoint()
         };
         assert_eq!(Checkpoint::decode(&bare.encode()).unwrap(), bare);
+        // A warm start that was no longer current when the snapshot was cut.
+        let stale = Checkpoint {
+            cached: false,
+            generations: 5,
+            ..sample_checkpoint()
+        };
+        assert_eq!(Checkpoint::decode(&stale.encode()).unwrap(), stale);
+    }
+
+    #[test]
+    fn cached_flag_without_an_estimate_is_malformed() {
+        let ck = Checkpoint {
+            last: None,
+            cached: true,
+            batch_iterations: Vec::new(),
+            ..sample_checkpoint()
+        };
+        assert!(matches!(
+            Checkpoint::decode(&ck.encode()).unwrap_err(),
+            CheckpointError::Malformed(_)
+        ));
     }
 
     #[test]
@@ -706,13 +747,16 @@ mod tests {
             Checkpoint::decode(&future).unwrap_err(),
             CheckpointError::UnsupportedVersion(99)
         );
-        // A pre-service version-1 snapshot is rejected, not guessed at.
-        let mut v1 = bytes.clone();
-        v1[4] = 1;
-        assert_eq!(
-            Checkpoint::decode(&v1).unwrap_err(),
-            CheckpointError::UnsupportedVersion(1)
-        );
+        // Older versions are rejected, not guessed at: v1 (pre-service) and
+        // v2 (pre cache-currency flag) alike.
+        for old in [1u8, 2] {
+            let mut v = bytes.clone();
+            v[4] = old;
+            assert_eq!(
+                Checkpoint::decode(&v).unwrap_err(),
+                CheckpointError::UnsupportedVersion(old as u32)
+            );
+        }
         assert!(matches!(
             Checkpoint::decode(&bytes[..bytes.len() - 3]).unwrap_err(),
             CheckpointError::Truncated { .. }

@@ -48,7 +48,9 @@ impl ServiceCore {
     /// Rebuilds a service from checkpointed state: the reduce tier resumes
     /// the accumulator, warm start, batch count, and generation; every
     /// ledger tag is seeded into its routing shard so at-least-once replay
-    /// drops everything the snapshot already folded in.
+    /// drops everything the snapshot already folded in. `cached` marks the
+    /// warm start as a current serve-cache entry for the restored
+    /// generation (pass the snapshot's [`Checkpoint::cached`] flag).
     #[allow(clippy::too_many_arguments)]
     pub fn restore(
         config: &ServiceConfig,
@@ -59,6 +61,7 @@ impl ServiceCore {
         batches: u64,
         generation: u64,
         ledger: Vec<BatchTag>,
+        cached: bool,
     ) -> ServiceCore {
         let shard_count = config.shards.max(1);
         let mut shards: Vec<Shard> = (0..shard_count)
@@ -77,6 +80,7 @@ impl ServiceCore {
                 batches,
                 generation,
                 ledger,
+                cached,
             ),
         }
     }
@@ -282,6 +286,7 @@ mod tests {
             ck.batches,
             ck.generations,
             ck.ledger.clone(),
+            ck.cached,
         );
         // Replaying the whole stream dedups everything already folded in.
         for m in 0..4u64 {

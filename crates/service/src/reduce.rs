@@ -52,8 +52,13 @@ impl ReduceTier {
     }
 
     /// Rebuilds a tier from checkpointed state. The warm-start estimate
-    /// (`last`) is treated as cached for the restored generation, exactly
-    /// as it was in the interrupted process.
+    /// (`last`) seeds the incremental EM either way; it is treated as a
+    /// cached response for the restored generation only when `cached` says
+    /// it was current when the snapshot was cut — a stale warm start (the
+    /// snapshot absorbed generations after the last serve) must trigger a
+    /// re-estimate on the first serve, exactly as it would have in the
+    /// interrupted process.
+    #[allow(clippy::too_many_arguments)]
     pub fn restore(
         cycles_per_tick: u64,
         opts: EmOptions,
@@ -62,8 +67,9 @@ impl ReduceTier {
         batches: u64,
         generation: u64,
         ledger: impl IntoIterator<Item = BatchTag>,
+        cached: bool,
     ) -> ReduceTier {
-        let cached_generation = last.is_some().then_some(generation);
+        let cached_generation = (cached && last.is_some()).then_some(generation);
         ReduceTier {
             cycles_per_tick,
             inc: IncrementalEm::restore(stats, last, batches, opts),
@@ -204,6 +210,10 @@ impl ReduceTier {
             batches: self.inc.batches(),
             generations: self.generation,
             last: self.inc.last().map(CheckpointEstimate::from_em),
+            // The warm start is always worth carrying; whether it doubles
+            // as a cached response depends on it being current for this
+            // very generation.
+            cached: self.inc.last().is_some() && self.cached_generation == Some(self.generation),
         }
     }
 
@@ -336,6 +346,7 @@ mod tests {
 
         let ck = tier.checkpoint(7, &[]);
         assert_eq!(ck.generations, 1);
+        assert!(ck.cached, "serve cache was current at the snapshot");
         let mut back = ReduceTier::restore(
             1,
             EmOptions::default(),
@@ -344,6 +355,7 @@ mod tests {
             ck.batches,
             ck.generations,
             ck.ledger.iter().copied(),
+            ck.cached,
         );
         assert_eq!(back.generation(), 1);
         assert_eq!(back.batches(), 1);
@@ -355,5 +367,59 @@ mod tests {
             replay.iterations, served.iterations,
             "cache restored: no EM re-run"
         );
+    }
+
+    #[test]
+    fn snapshot_after_new_generations_does_not_replay_the_stale_cache() {
+        // serve @ gen 1, absorb a second batch (gen 2), snapshot, restore:
+        // the restored tier must re-estimate over both batches on its first
+        // serve — not replay the gen-1 response as if it covered gen 2.
+        let cfg = ct_cfg::builder::diamond();
+        let (bc, ec) = ([10u64, 100, 200, 5], [0u64; 4]);
+        let mut tier = ReduceTier::new(1, EmOptions::default());
+        let mut shard = Shard::new(0, 1);
+        shard
+            .ingest(tag(0, 0), &delta_of(&[115, 215, 115]))
+            .unwrap();
+        tier.absorb(vec![shard.harvest()]).unwrap();
+        let stale = tier
+            .serve(&EstimateRequest::latest("d"), &cfg, &bc, &ec, 0)
+            .unwrap();
+        shard
+            .ingest(tag(0, 1), &delta_of(&[215, 215, 215, 215]))
+            .unwrap();
+        tier.absorb(vec![shard.harvest()]).unwrap();
+
+        let ck = tier.checkpoint(7, &[]);
+        assert_eq!(ck.generations, 2);
+        assert!(
+            !ck.cached,
+            "warm start predates the snapshot generation; it must not be marked cached"
+        );
+        let mut back = ReduceTier::restore(
+            1,
+            EmOptions::default(),
+            ck.stats.clone(),
+            ck.last.as_ref().map(|e| e.to_em(&cfg).unwrap()),
+            ck.batches,
+            ck.generations,
+            ck.ledger.iter().copied(),
+            ck.cached,
+        );
+        let fresh = back
+            .serve(&EstimateRequest::latest("d"), &cfg, &bc, &ec, 0)
+            .unwrap();
+        assert_eq!(fresh.generation, 2);
+        assert_eq!(fresh.batches, 2);
+        assert_ne!(
+            fresh.probs[0].to_bits(),
+            stale.probs[0].to_bits(),
+            "restored serve replayed the pre-snapshot response"
+        );
+        // And it matches what the uninterrupted tier serves for gen 2.
+        let live = tier
+            .serve(&EstimateRequest::latest("d"), &cfg, &bc, &ec, 0)
+            .unwrap();
+        assert_eq!(fresh.probs[0].to_bits(), live.probs[0].to_bits());
     }
 }

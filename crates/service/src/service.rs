@@ -80,13 +80,28 @@ fn worker(
     while let Ok(msg) = rx.recv() {
         match msg {
             ShardMsg::Batch(tag, delta) => {
-                depth.fetch_sub(1, Ordering::Relaxed);
                 if stall_us > 0 {
                     std::thread::sleep(std::time::Duration::from_micros(stall_us));
                 }
-                if let Err(e) = shard.ingest(tag, &delta) {
-                    ct_obs::Counter::new("svc.ingest.rejected").incr();
-                    sticky_err = Some(e.to_string());
+                match shard.ingest(tag, &delta) {
+                    // A fresh batch stays counted in `depth` until a harvest
+                    // folds it into a generation: the counter is the
+                    // accepted-but-unreduced staleness the front door
+                    // reports, not merely the queue occupancy. Uncounting it
+                    // here (at receipt) made batches invisible to staleness
+                    // while they sat in shard accumulators awaiting a
+                    // reduce.
+                    Ok(true) => {}
+                    // A deduplicated redelivery never reaches a generation;
+                    // uncount it now.
+                    Ok(false) => {
+                        depth.fetch_sub(1, Ordering::Relaxed);
+                    }
+                    Err(e) => {
+                        depth.fetch_sub(1, Ordering::Relaxed);
+                        ct_obs::Counter::new("svc.ingest.rejected").incr();
+                        sticky_err = Some(e.to_string());
+                    }
                 }
             }
             ShardMsg::Harvest(reply) => {
@@ -94,6 +109,10 @@ fn worker(
                     harvest: shard.harvest(),
                     err: sticky_err.take(),
                 };
+                // The harvest atomically hands the fresh batches to the
+                // reduce tier; they stop being stale the moment they leave
+                // the shard.
+                depth.fetch_sub(r.harvest.fresh.len() as u64, Ordering::Relaxed);
                 // The coordinator may already have given up; nothing to do.
                 let _ = reply.send(r);
             }
@@ -122,9 +141,10 @@ impl IngestHandle {
     /// [`IngestError::Closed`] when the shard worker is gone.
     pub fn ingest(&self, tag: BatchTag, delta: SuffStats) -> Result<(), IngestError> {
         let s = route(tag, self.senders.len());
-        // Count the batch as queued *before* it can be received: the worker
-        // decrements on receipt, so incrementing afterwards would race the
-        // depth below zero.
+        // Count the batch *before* it can be received: the worker uncounts
+        // duplicates and rejects on receipt, so incrementing afterwards
+        // would race the depth below zero. Fresh batches stay counted until
+        // a harvest absorbs them.
         self.note_enqueued(s);
         let msg = match self.senders[s].try_send(ShardMsg::Batch(tag, delta)) {
             Ok(()) => return Ok(()),
@@ -170,7 +190,8 @@ impl IngestHandle {
         }
     }
 
-    /// Approximate batches currently queued across all shards (relaxed
+    /// Approximate batches accepted but not yet folded into a reduce
+    /// generation — queued plus sitting in shard accumulators (relaxed
     /// atomics: a telemetry number, not a synchronization primitive).
     pub fn queued(&self) -> u64 {
         self.depths.iter().map(|d| d.load(Ordering::Relaxed)).sum()
@@ -316,6 +337,7 @@ impl EstimationService {
             ck.batches,
             ck.generations,
             ck.ledger,
+            ck.cached,
         ))
     }
 
@@ -453,8 +475,10 @@ impl EstimationService {
     }
 
     /// Serves a front-door request from the latest reduced generation.
-    /// Staleness is the approximate count of batches still queued at the
-    /// ingest tier.
+    /// Staleness counts every accepted batch the estimate does not yet
+    /// reflect — still queued *or* harvested-pending in a shard accumulator
+    /// — matching the single-threaded core's `pending()` semantics. After a
+    /// [`EstimationService::drain`] with quiesced producers it reads 0.
     ///
     /// # Errors
     ///
@@ -598,6 +622,48 @@ mod tests {
         assert!(refused > 0, "a depth-1 queue under stall never filled");
         svc.drain().unwrap();
         assert_eq!(svc.batches(), 12, "every batch arrived exactly once");
+        svc.shutdown().unwrap();
+    }
+
+    #[test]
+    fn staleness_counts_unreduced_batches_and_drain_zeroes_it() {
+        let cfg = ct_cfg::builder::diamond();
+        let (bc, ec) = ([10u64, 100, 200, 5], [0u64; 4]);
+        let mut svc =
+            EstimationService::start(&ServiceConfig::new().shards(2), 1, EmOptions::default());
+        let handle = svc.handle();
+
+        // One fresh batch plus a duplicate redelivery; the drain's FIFO
+        // barrier guarantees both were processed before we look.
+        handle.ingest(tag(0, 0), delta_of(&[115, 215])).unwrap();
+        handle.ingest(tag(0, 0), delta_of(&[115, 215])).unwrap();
+        assert_eq!(svc.drain().unwrap(), 1);
+        let settled = svc
+            .serve(&EstimateRequest::latest("d"), &cfg, &bc, &ec)
+            .unwrap();
+        assert_eq!(settled.staleness, 0, "drain left nothing unreduced");
+        assert_eq!((settled.generation, settled.batches), (1, 1));
+
+        // Two accepted-but-unreduced batches must read as staleness 2 the
+        // moment `ingest` returns — they are counted at enqueue and stay
+        // counted until a reduce harvests them, so the read is
+        // deterministic even though the workers race ahead.
+        handle.ingest(tag(1, 0), delta_of(&[215])).unwrap();
+        handle.ingest(tag(2, 0), delta_of(&[115])).unwrap();
+        let stale = svc
+            .serve(&EstimateRequest::latest("d"), &cfg, &bc, &ec)
+            .unwrap();
+        assert_eq!(stale.staleness, 2, "accepted batches await reduction");
+        assert_eq!((stale.generation, stale.batches), (1, 1));
+
+        // Drain folds them in: depth back to 0 and the serve is current.
+        assert_eq!(svc.drain().unwrap(), 2);
+        assert_eq!(handle.queued(), 0);
+        let fresh = svc
+            .serve(&EstimateRequest::latest("d"), &cfg, &bc, &ec)
+            .unwrap();
+        assert_eq!(fresh.staleness, 0);
+        assert_eq!((fresh.generation, fresh.batches), (2, 3));
         svc.shutdown().unwrap();
     }
 

@@ -10,14 +10,16 @@ cargo fmt --all -- --check
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== cargo clippy (unwrap audit: core/faults/obs/mote/stats/pipeline/apps/ir/service) =="
+echo "== cargo clippy (unwrap audit: every library crate) =="
 # Estimation, fault-injection, observability, mote-interpreter, numeric
 # substrate (convolution cache), pipeline (checkpoint decode, fleet
-# ingestion), app corpus, NLC front end, and the sharded estimation
-# service must not panic on data: surface any unwrap()/expect() as
+# ingestion), app corpus, NLC front end, the sharded estimation service,
+# and the graph/profiling substrate (CFG, Markov chains, placement,
+# profilers) must not panic on data: surface any unwrap()/expect() as
 # warnings so reviewers see every remaining site.
 cargo clippy -p ct-core -p ct-faults -p ct-obs -p ct-mote -p ct-stats -p ct-pipeline \
     -p ct-apps -p ct-ir -p ct-service \
+    -p ct-cfg -p ct-markov -p ct-placement -p ct-profilers \
     --all-targets -- \
     -W clippy::unwrap_used -W clippy::expect_used
 
@@ -34,6 +36,13 @@ cargo test --release -p ct-pipeline --test merge_props --quiet
 echo "== e13 smoke sweep (fault-injection pipeline end to end) =="
 cargo build --release -p ct-bench --bin e13_faults
 E13_SMOKE=1 ./target/release/e13_faults > /dev/null
+
+echo "== e17 smoke sweep (per-rung estimator race incl. the GNT backend) =="
+# e17 enforces its own claims by exit status on the full grid; the smoke
+# run still exercises every rung (EM, trimmed EM, GNT, moments, prior)
+# plus both ladder variants end to end.
+cargo build --release -p ct-bench --bin e17_estimators
+CT_SMOKE=1 ./target/release/e17_estimators > /dev/null
 
 echo "== e15 smoke grid (chaos harness: crash/duplicate/straggler recovery) =="
 # e15 enforces its own claims by exit status: checkpoint-cycled recovery is

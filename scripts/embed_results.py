@@ -13,7 +13,8 @@ ORDER = [
     "e1_accuracy", "e2_resolution", "e3_overhead", "e4_placement",
     "e5_speedup", "e6_noise", "e7_estimators", "e8_scalability",
     "e9_pipeline", "e10_unroll_ablation", "e11_model_error", "e12_cross_mcu",
-    "e13_faults",
+    "e13_faults", "e14_incremental", "e15_chaos", "e16_fleet_scale",
+    "e17_estimators",
 ]
 
 
