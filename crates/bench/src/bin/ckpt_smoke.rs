@@ -8,6 +8,9 @@
 use ct_pipeline::{Checkpoint, CheckpointError, CheckpointPolicy, Fleet, RunConfig};
 
 fn main() {
+    ct_obs::flight::set_run_name("ckpt_smoke");
+    let flight_dump = ct_obs::flight::default_path();
+    let _ = std::fs::remove_file(&flight_dump);
     let path = std::env::temp_dir().join(format!("ct_ckpt_smoke_{}.ckpt", std::process::id()));
     let _ = std::fs::remove_file(&path);
 
@@ -61,6 +64,22 @@ fn main() {
         Checkpoint::load(&path).is_err(),
         "truncated snapshot accepted"
     );
+
+    // With the flight recorder on, the checksum rejection above must have
+    // cut an incident dump whose ring tail holds the typed warning.
+    if ct_obs::flight::enabled() {
+        let dump = std::fs::read_to_string(&flight_dump)
+            .expect("flight recorder on but no incident dump was cut");
+        assert!(
+            dump.contains("\"event\":\"flight.meta\""),
+            "incident dump is missing its meta header"
+        );
+        assert!(
+            dump.contains("warn.ckpt_rejected"),
+            "incident dump does not contain the rejection event"
+        );
+        println!("ckpt_smoke: incident dump cut at {}", flight_dump.display());
+    }
 
     let _ = std::fs::remove_file(&path);
     println!("ckpt_smoke: snapshot/restore bitwise, corruption typed-rejected");

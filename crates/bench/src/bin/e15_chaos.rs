@@ -31,6 +31,7 @@ fn cell_seed(base: u64, ci: usize, di: usize, si: usize) -> u64 {
 }
 
 fn main() {
+    ct_obs::flight::set_run_name("e15_chaos");
     quiet_injected_crashes();
     let env = EnvConfig::load();
     eprintln!("e15: {}", env.banner());

@@ -161,6 +161,7 @@ fn assert_bitwise(resp: &ct_service::EstimateResponse, reference: &EmResult, cel
 }
 
 fn main() {
+    ct_obs::flight::set_run_name("e16_fleet_scale");
     let env = EnvConfig::load();
     eprintln!("e16: {}", env.banner());
     let seed = env.seed_or(61);

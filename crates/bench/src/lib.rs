@@ -25,6 +25,7 @@
 //! | `e15_chaos` | fleet ingestion under injected crash/duplicate/straggler faults (Table, extension) |
 //! | `e16_fleet_scale` | sharded estimation service: throughput, backpressure, bitwise determinism (Table, extension) |
 //! | `e17_estimators` | per-rung estimator race (EM / trimmed EM / GNT / moments / prior) under channel faults (Table, extension) |
+//! | `e18_telemetry` | telemetry v2 overhead + fidelity: histograms, flight recorder, metrics pump (Table, extension) |
 //!
 //! Each binary drives the typed `ct-pipeline` flow (one seeded
 //! [`ct_pipeline::Session`] per measurement cell), prints a markdown table

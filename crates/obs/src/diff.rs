@@ -9,6 +9,7 @@
 //! are reported as notes, never as divergences.
 
 use crate::event::VOLATILE_FIELDS;
+use crate::hist::is_volatile_hist_name;
 use crate::json::{self, Json};
 
 /// Scheduling-dependent metrics: how often the service's coordinator
@@ -116,17 +117,23 @@ fn obj_entries<'a>(doc: &'a Json, section: &str) -> Vec<(&'a str, &'a Json)> {
     }
 }
 
-/// Compares one scalar-valued section (counters, pmu, gauges) key by key
-/// in both directions. [`VOLATILE_METRICS`] downgrade to notes — both on
-/// value drift and on one-sided presence.
-fn diff_scalar_section(section: &str, a: &Json, b: &Json, report: &mut DiffReport) {
+/// Compares one keyed section (counters, pmu, gauges, hists) entry by
+/// entry in both directions. Keys classified volatile by `volatile`
+/// downgrade to notes — both on value drift and on one-sided presence.
+fn diff_keyed_section(
+    section: &str,
+    a: &Json,
+    b: &Json,
+    volatile: fn(&str) -> bool,
+    report: &mut DiffReport,
+) {
     let ea = obj_entries(a, section);
     let eb = obj_entries(b, section);
     for (k, va) in &ea {
         match eb.iter().find(|(kb, _)| kb == k) {
             None => {
                 let msg = format!("{section}.{k}: present only in A");
-                if is_volatile_metric(k) {
+                if volatile(k) {
                     report.notes.push(format!("{msg} (volatile, ignored)"));
                 } else {
                     report.divergences.push(msg);
@@ -138,7 +145,7 @@ fn diff_scalar_section(section: &str, a: &Json, b: &Json, report: &mut DiffRepor
                 canon(vb, &mut cb);
                 if ca != cb {
                     let msg = format!("{section}.{k}: A={ca} B={cb}");
-                    if is_volatile_metric(k) {
+                    if volatile(k) {
                         report.notes.push(format!("{msg} (volatile, ignored)"));
                     } else {
                         report.divergences.push(msg);
@@ -150,13 +157,22 @@ fn diff_scalar_section(section: &str, a: &Json, b: &Json, report: &mut DiffRepor
     for (k, _) in &eb {
         if !ea.iter().any(|(ka, _)| ka == k) {
             let msg = format!("{section}.{k}: present only in B");
-            if is_volatile_metric(k) {
+            if volatile(k) {
                 report.notes.push(format!("{msg} (volatile, ignored)"));
             } else {
                 report.divergences.push(msg);
             }
         }
     }
+}
+
+/// Histogram volatility: the scalar volatile list still applies, plus the
+/// naming convention for wall-time-derived distributions (`_ns`/`_us`/
+/// `_ms` suffixes, queue depths) — their bucket counts are scheduling
+/// artifacts. Value-shaped histograms (batch sizes) compare strictly,
+/// bucket table included.
+fn is_volatile_hist(name: &str) -> bool {
+    is_volatile_metric(name) || is_volatile_hist_name(name)
 }
 
 /// Compares two rendered manifests for deterministic-content agreement.
@@ -187,9 +203,10 @@ pub fn diff_manifests(a: &str, b: &str) -> Result<DiffReport, String> {
             .push(format!("schema: A={sa:?} B={sb:?}"));
     }
 
-    diff_scalar_section("counters", &da, &db, &mut report);
-    diff_scalar_section("pmu", &da, &db, &mut report);
-    diff_scalar_section("gauges", &da, &db, &mut report);
+    diff_keyed_section("counters", &da, &db, is_volatile_metric, &mut report);
+    diff_keyed_section("pmu", &da, &db, is_volatile_metric, &mut report);
+    diff_keyed_section("gauges", &da, &db, is_volatile_metric, &mut report);
+    diff_keyed_section("hists", &da, &db, is_volatile_hist, &mut report);
 
     // Spans: the census (which spans ran, how often) is deterministic;
     // their timings are not.
@@ -403,6 +420,51 @@ mod tests {
             .divergences
             .iter()
             .any(|d| d.contains("gauges.fleet.coverage")));
+    }
+
+    #[test]
+    fn hist_sections_compare_bucket_tables_with_volatility_rules() {
+        let with_hists = |h: &str| {
+            manifest("", "", 1).replace(
+                "\"pmu\": {\"cond_taken\": 7}",
+                &format!("\"pmu\": {{\"cond_taken\": 7}},\n  \"hists\": {{{h}}}"),
+            )
+        };
+        let hist = |buckets: &str| {
+            format!(
+                r#"{{"count": 4, "sum": 102, "min": 4, "max": 90, "p50": 4, "p90": 90, "p99": 90, "buckets": "{buckets}"}}"#
+            )
+        };
+        // Latency histograms drift freely: noted, never a divergence.
+        let a = with_hists(&format!(
+            r#""svc.serve.latency_ns": {}, "svc.batch_samples": {}"#,
+            hist("4:3;86:1"),
+            hist("4:3;86:1")
+        ));
+        let b = with_hists(&format!(
+            r#""svc.serve.latency_ns": {}, "svc.batch_samples": {}"#,
+            hist("4:1;90:3"),
+            hist("4:3;86:1")
+        ));
+        let r = diff_manifests(&a, &b).unwrap();
+        assert!(r.is_clean(), "{:?}", r.divergences);
+        assert!(
+            r.notes.iter().any(|n| n.contains("svc.serve.latency_ns")),
+            "latency drift should be noted: {:?}",
+            r.notes
+        );
+        // A deterministic histogram's bucket table is contract: any drift
+        // diverges, even when the summary stats agree.
+        let c = with_hists(&format!(
+            r#""svc.serve.latency_ns": {}, "svc.batch_samples": {}"#,
+            hist("4:3;86:1"),
+            hist("4:2;5:1;86:1")
+        ));
+        let r = diff_manifests(&a, &c).unwrap();
+        assert!(r
+            .divergences
+            .iter()
+            .any(|d| d.contains("hists.svc.batch_samples")));
     }
 
     #[test]

@@ -1,0 +1,270 @@
+//! Crash flight recorder: a bounded ring of recent trace events per
+//! thread, dumped to `results/<run>.flight.jsonl` when something goes
+//! wrong.
+//!
+//! # Lifecycle
+//!
+//! Enabled by `CT_FLIGHT_RECORDER=1` (or [`set_enabled`]); ring depth per
+//! thread comes from `CT_FLIGHT_DEPTH` (default 256 events). While
+//! enabled, every [`crate::emit`] call is captured into the calling
+//! thread's ring **even when the full event stream is off** — the
+//! recorder exists precisely so production runs can keep tracing off yet
+//! still explain a failure after the fact. Rings are fixed-depth, so
+//! steady-state cost is one clone plus a ring rotation; nothing is ever
+//! written until an *incident*.
+//!
+//! An incident dumps every ring, merged and sorted by a global capture
+//! sequence number, to a single JSONL file. Incidents fire:
+//!
+//! - on **panic**, via a chained hook installed when the recorder is
+//!   first enabled (the previous hook still runs afterwards);
+//! - on **checkpoint rejection** (`ct-service` and the fleet harness call
+//!   [`incident`] right after emitting `warn.ckpt_rejected`, so the dump
+//!   contains the warning itself);
+//! - on an injected **mote crash** in the chaos harness (the catch site
+//!   calls [`incident`] — the quiet panic hook used for injected crashes
+//!   swallows the hook chain, so the catch site must dump explicitly);
+//! - **on demand**, via the service's `Dump` verb
+//!   ([`dump_to`] with any path).
+//!
+//! The dump file starts with a `flight.meta` header line (schema version,
+//! reason, ring depth, event count) followed by the captured events, each
+//! tagged with its capture sequence (`seq`) and an opaque recorder thread
+//! id (`tid`). Repeated incidents overwrite the file: latest wins, which
+//! is what a post-mortem wants.
+
+use std::cell::OnceCell;
+use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, Once, OnceLock};
+
+use crate::event::Event;
+
+/// Default per-thread ring depth when `CT_FLIGHT_DEPTH` is unset.
+pub const DEFAULT_DEPTH: usize = 256;
+
+struct Ring {
+    thread: u64,
+    events: VecDeque<(u64, Event)>,
+}
+
+static INIT: Once = Once::new();
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static DEPTH: AtomicUsize = AtomicUsize::new(DEFAULT_DEPTH);
+static SEQ: AtomicU64 = AtomicU64::new(0);
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
+static RUN_NAME: Mutex<String> = Mutex::new(String::new());
+
+fn registry() -> &'static Mutex<Vec<Arc<Mutex<Ring>>>> {
+    static R: OnceLock<Mutex<Vec<Arc<Mutex<Ring>>>>> = OnceLock::new();
+    R.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // Ring contents stay valid through a panic; recover the poison (the
+    // panic hook dumps *during* unwinding, when locks may be poisoned).
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+thread_local! {
+    static RING: OnceCell<Arc<Mutex<Ring>>> = const { OnceCell::new() };
+}
+
+fn init_from_env() {
+    INIT.call_once(|| {
+        let on = |k: &str| std::env::var(k).is_ok_and(|v| !v.is_empty() && v != "0");
+        if let Ok(d) = std::env::var("CT_FLIGHT_DEPTH") {
+            if let Ok(n) = d.parse::<usize>() {
+                if n > 0 {
+                    DEPTH.store(n, Ordering::Relaxed);
+                }
+            }
+        }
+        if on("CT_FLIGHT_RECORDER") {
+            ENABLED.store(true, Ordering::Relaxed);
+            install_panic_hook();
+        }
+    });
+}
+
+/// Whether the flight recorder is capturing. Lazily initialized from
+/// `CT_FLIGHT_RECORDER` / `CT_FLIGHT_DEPTH` on first call.
+pub fn enabled() -> bool {
+    init_from_env();
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Forces the recorder on or off, overriding the environment. Enabling
+/// also installs the panic-dump hook (once per process).
+pub fn set_enabled(on: bool) {
+    init_from_env();
+    if on {
+        install_panic_hook();
+    }
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Per-thread ring depth currently in effect.
+pub fn depth() -> usize {
+    init_from_env();
+    DEPTH.load(Ordering::Relaxed)
+}
+
+/// Names the current run; [`incident`] dumps to
+/// `results/<name>.flight.jsonl`. Binaries call this once at startup.
+pub fn set_run_name(name: &str) {
+    *lock(&RUN_NAME) = name.to_string();
+}
+
+/// The path [`incident`] writes to: `results/<run>.flight.jsonl`, where
+/// `<run>` defaults to `"run"` until [`set_run_name`] is called.
+pub fn default_path() -> PathBuf {
+    let name = lock(&RUN_NAME);
+    let stem: &str = if name.is_empty() { "run" } else { &name };
+    PathBuf::from("results").join(format!("{stem}.flight.jsonl"))
+}
+
+fn install_panic_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            incident("panic");
+            prev(info);
+        }));
+    });
+}
+
+/// Captures `event` into the calling thread's ring. Called from
+/// [`crate::emit`] when the recorder is enabled; cheap: one clone and a
+/// bounded ring rotation, no allocation in steady state.
+pub(crate) fn record(event: &Event) {
+    let cap = DEPTH.load(Ordering::Relaxed);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    let stored = RING
+        .try_with(|cell| {
+            let ring = cell.get_or_init(|| {
+                let ring = Arc::new(Mutex::new(Ring {
+                    thread: NEXT_THREAD.fetch_add(1, Ordering::Relaxed),
+                    events: VecDeque::with_capacity(cap.min(1024)),
+                }));
+                lock(registry()).push(Arc::clone(&ring));
+                ring
+            });
+            let mut r = lock(ring);
+            while r.events.len() >= cap {
+                r.events.pop_front();
+            }
+            r.events.push_back((seq, event.clone()));
+        })
+        .is_ok();
+    // TLS teardown: drop the capture rather than block — the ring registry
+    // keeps already-captured events alive for the dump either way.
+    let _ = stored;
+}
+
+/// Renders every ring, merged and sorted by capture sequence, as the
+/// flight-dump JSONL document (header line first).
+pub fn render_dump(reason: &str) -> String {
+    let mut all: Vec<(u64, u64, Event)> = Vec::new();
+    {
+        let regs = lock(registry());
+        for ring in regs.iter() {
+            let r = lock(ring);
+            for (seq, e) in &r.events {
+                all.push((*seq, r.thread, e.clone()));
+            }
+        }
+    }
+    all.sort_by_key(|(seq, _, _)| *seq);
+    let header = Event::new(
+        "flight.meta",
+        vec![
+            ("schema", crate::SCHEMA_VERSION.into()),
+            ("reason", reason.into()),
+            ("depth", DEPTH.load(Ordering::Relaxed).into()),
+            ("events", all.len().into()),
+        ],
+    );
+    let mut out = String::with_capacity(64 * (all.len() + 1));
+    out.push_str(&header.to_jsonl());
+    out.push('\n');
+    for (seq, tid, mut e) in all {
+        e.fields.push(("seq".to_string(), seq.into()));
+        e.fields.push(("tid".to_string(), tid.into()));
+        out.push_str(&e.to_jsonl());
+        out.push('\n');
+    }
+    out
+}
+
+/// Dumps every ring to `path` (parent directories created). Works even
+/// when capture is disabled — the dump is then just the header line.
+///
+/// # Errors
+///
+/// Propagates I/O errors from creating the directory or writing the file.
+pub fn dump_to(path: &Path, reason: &str) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    std::fs::write(path, render_dump(reason))
+}
+
+/// Records an incident: dumps the rings to [`default_path`] tagged with
+/// `reason`. No-op when the recorder is disabled; I/O errors go to stderr
+/// (a failing dump must never take down the run it is explaining).
+pub fn incident(reason: &str) {
+    if !enabled() {
+        return;
+    }
+    let path = default_path();
+    if let Err(e) = dump_to(&path, reason) {
+        eprintln!("ct-obs: flight dump to {} failed: {e}", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // set_enabled flips process state; sibling tests in this file would
+    // race each other, so everything lives in one test (the cross-process
+    // gating behavior is covered by tests/flight_gating.rs).
+    #[test]
+    fn rings_capture_and_dump_in_sequence_order() {
+        set_enabled(true);
+        crate::emit("t.flight.a", vec![("i", 1u64.into())]);
+        crate::emit("t.flight.b", vec![("i", 2u64.into())]);
+        std::thread::scope(|s| {
+            s.spawn(|| crate::emit("t.flight.c", vec![("i", 3u64.into())]));
+        });
+        let dump = render_dump("unit");
+        let mut lines = dump.lines();
+        let header = lines.next().unwrap_or_default();
+        assert!(header.contains("\"event\":\"flight.meta\""), "{header}");
+        assert!(header.contains("\"reason\":\"unit\""), "{header}");
+        for line in dump.lines() {
+            let doc =
+                crate::json::parse(line).unwrap_or_else(|e| panic!("bad dump line {line}: {e}"));
+            assert!(doc.get("event").is_some());
+        }
+        for name in ["t.flight.a", "t.flight.b", "t.flight.c"] {
+            assert!(dump.contains(name), "missing {name} in dump");
+        }
+        // Capture order is preserved: a precedes b (same thread).
+        let a = dump.find("t.flight.a").unwrap_or(usize::MAX);
+        let b = dump.find("t.flight.b").unwrap_or(0);
+        assert!(a < b, "ring order lost");
+        // Bounded: a burst longer than the depth keeps only the tail.
+        for i in 0..(depth() + 10) {
+            crate::emit("t.flight.burst", vec![("i", (i as u64).into())]);
+        }
+        let events_in_my_ring = RING.with(|cell| cell.get().map(|r| lock(r).events.len()));
+        assert!(events_in_my_ring.unwrap_or(0) <= depth());
+        set_enabled(false);
+    }
+}

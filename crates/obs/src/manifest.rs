@@ -23,6 +23,9 @@ pub const ENV_KNOBS: &[&str] = &[
     "CT_SHARDS",
     "CT_QUEUE_DEPTH",
     "CT_REDUCE_EVERY",
+    "CT_METRICS_PATH",
+    "CT_FLIGHT_RECORDER",
+    "CT_FLIGHT_DEPTH",
 ];
 
 /// Event-name prefixes that belong in the manifest's estimator audit trail.
@@ -167,6 +170,32 @@ pub fn render_manifest(run_name: &str, snap: &Snapshot, extra: &[(&str, Value)])
     }
     out.push_str("\n  }");
 
+    // Histograms: summary stats plus the compact bucket table, so
+    // `ct-obs-diff` can compare distribution shape, not just extremes.
+    // Additive to the schema (absent in pre-0.11 manifests).
+    out.push_str(",\n  \"hists\": {");
+    for (i, (name, h)) in snap.hists.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        write_escaped(&mut out, name);
+        let _ = write!(
+            out,
+            ": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"buckets\": ",
+            h.count(),
+            h.sum(),
+            h.min(),
+            h.max(),
+            h.p50(),
+            h.p90(),
+            h.p99()
+        );
+        write_escaped(&mut out, &h.render_buckets());
+        out.push('}');
+    }
+    out.push_str("\n  }");
+
     // Virtual-PMU bank: the `pmu.*` counters again, prefix stripped —
     // the section experiment gates diff (additive to the schema).
     out.push_str(",\n  \"pmu\": {");
@@ -286,6 +315,30 @@ mod tests {
             matches!(gauges.get("svc.reduce.latency_us"), Some(json::Json::Null)),
             "non-finite gauge must render as null, not break the JSON"
         );
+    }
+
+    #[test]
+    fn hists_render_with_summary_and_buckets() {
+        let mut h = crate::hist::HistData::default();
+        for v in [4u64, 4, 4, 90] {
+            h.record(v);
+        }
+        let mut snap = Snapshot::default();
+        snap.hists.push(("svc.batch_samples".to_string(), h));
+        let doc = render_manifest("e18_telemetry", &snap, &[]);
+        let parsed = json::parse(&doc).unwrap_or_else(|e| panic!("{e}\n{doc}"));
+        let hist = parsed
+            .get("hists")
+            .and_then(|hs| hs.get("svc.batch_samples"))
+            .expect("hist section entry");
+        assert_eq!(hist.get("count").and_then(json::Json::as_num), Some(4.0));
+        assert_eq!(hist.get("p50").and_then(json::Json::as_num), Some(4.0));
+        assert_eq!(hist.get("max").and_then(json::Json::as_num), Some(90.0));
+        let buckets = hist
+            .get("buckets")
+            .and_then(json::Json::as_str)
+            .expect("compact bucket table");
+        assert!(buckets.starts_with("4:3;"), "unexpected buckets {buckets}");
     }
 
     #[test]

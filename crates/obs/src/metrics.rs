@@ -1,0 +1,274 @@
+//! Metrics exposition: periodic JSONL samples and a Prometheus-style text
+//! rendering of the registry.
+//!
+//! Two consumers, two formats:
+//!
+//! - **JSONL samples** ([`MetricsPump`]): a coordinator ticks the pump
+//!   inside its reduce loop; at most once per interval it appends one
+//!   `metrics.sample` line (counters, gauges, histogram percentiles) to a
+//!   file, giving a coarse time series over the run — the
+//!   distribution-over-time view ROADMAP item 4's drift detection wants.
+//! - **Prometheus text** ([`render_prometheus`]): a point-in-time
+//!   exposition written to `CT_METRICS_PATH` by
+//!   [`crate::flush_env_sinks`] at the end of every instrumented binary,
+//!   scrapable by anything that speaks the text format. Names are
+//!   sanitized (`.` → `_`, `ct_` prefix); histograms render as cumulative
+//!   `_bucket{le="..."}` series plus `_sum`/`_count`.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use crate::hist::bucket_hi;
+use crate::json::write_escaped;
+use crate::recorder::Snapshot;
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+fn escape_label(value: &str) -> String {
+    value.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders `snap` in the Prometheus text exposition format.
+pub fn render_prometheus(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, n) in &snap.counters {
+        let m = sanitize(name);
+        let _ = writeln!(out, "# TYPE ct_{m} counter");
+        let _ = writeln!(out, "ct_{m} {n}");
+    }
+    for (name, v) in &snap.gauges {
+        let m = sanitize(name);
+        let _ = writeln!(out, "# TYPE ct_{m} gauge");
+        if v.is_finite() {
+            let _ = writeln!(out, "ct_{m} {v}");
+        } else {
+            let _ = writeln!(out, "ct_{m} NaN");
+        }
+    }
+    for (name, agg) in &snap.spans {
+        let label = escape_label(name);
+        let _ = writeln!(out, "ct_span_count{{span=\"{label}\"}} {}", agg.count);
+        let _ = writeln!(out, "ct_span_wall_ns{{span=\"{label}\"}} {}", agg.wall_ns);
+    }
+    for (name, h) in &snap.hists {
+        let m = sanitize(name);
+        let _ = writeln!(out, "# TYPE ct_{m} histogram");
+        let mut cum = 0u64;
+        for (idx, c) in h.buckets() {
+            cum = cum.saturating_add(c);
+            let _ = writeln!(out, "ct_{m}_bucket{{le=\"{}\"}} {cum}", bucket_hi(idx));
+        }
+        let _ = writeln!(out, "ct_{m}_bucket{{le=\"+Inf\"}} {}", h.count());
+        let _ = writeln!(out, "ct_{m}_sum {}", h.sum());
+        let _ = writeln!(out, "ct_{m}_count {}", h.count());
+    }
+    out
+}
+
+/// Renders one `metrics.sample` JSONL line from `snap` (no trailing
+/// newline). Histograms sample as percentile summaries, not full bucket
+/// tables — the time series wants shape, not replay fidelity.
+pub fn render_sample(snap: &Snapshot, sample: u64) -> String {
+    let mut out = String::from("{\"event\":\"metrics.sample\"");
+    let _ = write!(out, ",\"sample\":{sample}");
+    out.push_str(",\"counters\":{");
+    for (i, (name, n)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_escaped(&mut out, name);
+        let _ = write!(out, ":{n}");
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (name, v)) in snap.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_escaped(&mut out, name);
+        if v.is_finite() {
+            let _ = write!(out, ":{v}");
+        } else {
+            out.push_str(":null");
+        }
+    }
+    out.push_str("},\"hists\":{");
+    for (i, (name, h)) in snap.hists.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_escaped(&mut out, name);
+        let _ = write!(
+            out,
+            ":{{\"count\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}}",
+            h.count(),
+            h.p50(),
+            h.p90(),
+            h.p99(),
+            h.max()
+        );
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Appends periodic `metrics.sample` lines to a file: call [`tick`] from
+/// a loop; it samples at most once per interval.
+///
+/// [`tick`]: MetricsPump::tick
+#[derive(Debug)]
+pub struct MetricsPump {
+    path: PathBuf,
+    every: Duration,
+    last: Option<Instant>,
+    samples: u64,
+}
+
+impl MetricsPump {
+    /// A pump appending to `path` at most every `every`. The file is
+    /// truncated on creation so each run's series stands alone.
+    pub fn new(path: impl Into<PathBuf>, every: Duration) -> MetricsPump {
+        let path = path.into();
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+        }
+        let _ = std::fs::write(&path, "");
+        MetricsPump {
+            path,
+            every,
+            last: None,
+            samples: 0,
+        }
+    }
+
+    /// Samples the registry and appends one line if the interval elapsed
+    /// (always samples on the first call). Returns whether it sampled.
+    /// I/O errors go to stderr — telemetry must never fail the run.
+    pub fn tick(&mut self) -> bool {
+        let due = self.last.is_none_or(|t| t.elapsed() >= self.every);
+        if !due {
+            return false;
+        }
+        self.last = Some(Instant::now());
+        self.force_sample();
+        true
+    }
+
+    /// Samples unconditionally (call once after the loop for a final row).
+    pub fn force_sample(&mut self) {
+        let snap = crate::recorder::snapshot();
+        let line = render_sample(&snap, self.samples);
+        self.samples += 1;
+        let res = std::fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(&self.path)
+            .and_then(|mut f| {
+                use std::io::Write as _;
+                writeln!(f, "{line}")
+            });
+        if let Err(e) = res {
+            eprintln!(
+                "ct-obs: metrics sample to {} failed: {e}",
+                self.path.display()
+            );
+        }
+    }
+
+    /// Lines written so far.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+}
+
+/// Writes the Prometheus exposition of `snap` to `CT_METRICS_PATH` when
+/// that knob is set. Called from [`crate::flush_env_sinks`]; errors are
+/// reported to stderr, never propagated.
+pub(crate) fn write_env_exposition(snap: &Snapshot) {
+    let Ok(path) = std::env::var("CT_METRICS_PATH") else {
+        return;
+    };
+    if path.is_empty() || path == "0" {
+        return;
+    }
+    if let Err(e) = std::fs::write(&path, render_prometheus(snap)) {
+        eprintln!("ct-obs: failed to write metrics to {path}: {e}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::HistData;
+    use crate::recorder::SpanAgg;
+
+    fn sample_snapshot() -> Snapshot {
+        let mut h = HistData::default();
+        for v in [5u64, 5, 900] {
+            h.record(v);
+        }
+        let mut snap = Snapshot::default();
+        snap.counters.push(("svc.ingest.accepted".to_string(), 12));
+        snap.gauges.push(("svc.queue_depth".to_string(), 3.0));
+        snap.spans.push((
+            "svc.reduce".to_string(),
+            SpanAgg {
+                count: 2,
+                wall_ns: 100,
+                cpu_ticks: 1,
+            },
+        ));
+        snap.hists.push(("svc.batch_samples".to_string(), h));
+        snap
+    }
+
+    #[test]
+    fn prometheus_rendering_is_wellformed() {
+        let text = render_prometheus(&sample_snapshot());
+        assert!(text.contains("# TYPE ct_svc_ingest_accepted counter"));
+        assert!(text.contains("ct_svc_ingest_accepted 12"));
+        assert!(text.contains("ct_svc_queue_depth 3"));
+        assert!(text.contains("ct_span_count{span=\"svc.reduce\"} 2"));
+        assert!(text.contains("# TYPE ct_svc_batch_samples histogram"));
+        assert!(text.contains("ct_svc_batch_samples_count 3"));
+        assert!(text.contains("ct_svc_batch_samples_sum 910"));
+        assert!(text.contains("_bucket{le=\"+Inf\"} 3"));
+        // Cumulative: the +Inf bucket equals the count, and every bucket
+        // line parses as "name{le=...} value".
+        for line in text.lines().filter(|l| l.contains("_bucket")) {
+            assert!(line.split_whitespace().count() == 2, "bad line {line}");
+        }
+    }
+
+    #[test]
+    fn sample_lines_parse_as_json() {
+        let line = render_sample(&sample_snapshot(), 7);
+        let doc = crate::json::parse(&line).unwrap_or_else(|e| panic!("{e}\n{line}"));
+        assert_eq!(
+            doc.get("event").and_then(crate::json::Json::as_str),
+            Some("metrics.sample")
+        );
+        assert_eq!(
+            doc.get("sample").and_then(crate::json::Json::as_num),
+            Some(7.0)
+        );
+        let hist = doc
+            .get("hists")
+            .and_then(|h| h.get("svc.batch_samples"))
+            .expect("hist summary present");
+        assert_eq!(
+            hist.get("count").and_then(crate::json::Json::as_num),
+            Some(3.0)
+        );
+        assert_eq!(
+            hist.get("max").and_then(crate::json::Json::as_num),
+            Some(900.0)
+        );
+    }
+}

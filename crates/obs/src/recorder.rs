@@ -32,6 +32,7 @@ use std::sync::{Mutex, MutexGuard, Once};
 use std::time::Instant;
 
 use crate::event::{Event, Value};
+use crate::hist::HistData;
 
 /// Aggregated statistics for one span name.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -60,6 +61,7 @@ struct Buffers {
     spans: BTreeMap<String, SpanAgg>,
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
+    hists: BTreeMap<String, HistData>,
     events: Vec<Event>,
 }
 
@@ -69,6 +71,7 @@ impl Buffers {
             spans: BTreeMap::new(),
             counters: BTreeMap::new(),
             gauges: BTreeMap::new(),
+            hists: BTreeMap::new(),
             events: Vec::new(),
         }
     }
@@ -77,6 +80,7 @@ impl Buffers {
         self.spans.is_empty()
             && self.counters.is_empty()
             && self.gauges.is_empty()
+            && self.hists.is_empty()
             && self.events.is_empty()
     }
 
@@ -92,6 +96,14 @@ impl Buffers {
             let slot = self.gauges.entry(name).or_insert(f64::NEG_INFINITY);
             if v > *slot {
                 *slot = v;
+            }
+        }
+        for (name, h) in other.hists {
+            match self.hists.get_mut(&name) {
+                Some(slot) => slot.merge(&h),
+                None => {
+                    self.hists.insert(name, h);
+                }
             }
         }
         self.events.extend(other.events);
@@ -246,14 +258,26 @@ impl Counter {
 
     /// Adds `n` to the counter.
     pub fn add(&self, n: u64) {
-        let name = self.0;
-        with_local(|buf| *buf.counters.entry(name.to_string()).or_insert(0) += n);
+        counter_add(self.0, n);
     }
 
     /// Adds 1.
     pub fn incr(&self) {
         self.add(1);
     }
+}
+
+/// Adds `n` to counter `name`. The dynamic-name sibling of
+/// [`Counter::add`], for metrics whose name is built at runtime (the
+/// service's per-shard counters). Allocates only the first time a thread
+/// sees a name; steady-state increments are a map lookup.
+pub fn counter_add(name: &str, n: u64) {
+    with_local(|buf| match buf.counters.get_mut(name) {
+        Some(slot) => *slot += n,
+        None => {
+            buf.counters.insert(name.to_string(), n);
+        }
+    });
 }
 
 /// A named gauge. Merges across threads by maximum, which keeps the
@@ -270,25 +294,67 @@ impl Gauge {
     /// Records an observation; the registry keeps the maximum.
     pub fn set(&self, v: f64) {
         let name = self.0;
-        with_local(|buf| {
-            let slot = buf
-                .gauges
-                .entry(name.to_string())
-                .or_insert(f64::NEG_INFINITY);
-            if v > *slot {
-                *slot = v;
+        with_local(|buf| match buf.gauges.get_mut(name) {
+            Some(slot) => {
+                if v > *slot {
+                    *slot = v;
+                }
+            }
+            None => {
+                buf.gauges.insert(name.to_string(), v);
             }
         });
     }
 }
 
-/// Records a trace event if the stream is enabled (no-op otherwise).
+/// A named log-bucketed histogram (see [`crate::hist`]). Like counters,
+/// recording is always on: observations land in the thread-local buffer
+/// and merge deterministically into the registry.
+#[derive(Debug, Clone, Copy)]
+pub struct Hist(&'static str);
+
+impl Hist {
+    /// A histogram handle for `name`.
+    pub const fn new(name: &'static str) -> Hist {
+        Hist(name)
+    }
+
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        hist_record(self.0, v);
+    }
+}
+
+/// Records `v` into histogram `name`. The dynamic-name sibling of
+/// [`Hist::record`] (per-shard queue-depth histograms build their names at
+/// service launch). Allocates only the first time a thread sees a name.
+pub fn hist_record(name: &str, v: u64) {
+    with_local(|buf| match buf.hists.get_mut(name) {
+        Some(h) => h.record(v),
+        None => {
+            let mut h = HistData::default();
+            h.record(v);
+            buf.hists.insert(name.to_string(), h);
+        }
+    });
+}
+
+/// Records a trace event. No-op unless the event stream is enabled or the
+/// flight recorder is capturing (the flight recorder sees recent events
+/// even when the full stream is off — that is its whole point).
 pub fn emit(name: &str, fields: Vec<(&'static str, Value)>) {
-    if !stream_enabled() {
+    let stream = stream_enabled();
+    let flight = crate::flight::enabled();
+    if !stream && !flight {
         return;
     }
     let event = Event::new(name, fields);
-    with_local(|buf| buf.events.push(event));
+    if flight {
+        crate::flight::record(&event);
+    }
+    if stream {
+        with_local(|buf| buf.events.push(event));
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -304,6 +370,8 @@ pub struct Snapshot {
     pub counters: Vec<(String, u64)>,
     /// Gauge values (max-merged), sorted by name.
     pub gauges: Vec<(String, f64)>,
+    /// Histograms (deterministically merged), sorted by name.
+    pub hists: Vec<(String, HistData)>,
     /// Events, sorted by [`Event::stable_key`] (stable across
     /// `CT_THREADS`).
     pub events: Vec<Event>,
@@ -335,6 +403,11 @@ pub fn snapshot() -> Snapshot {
         spans: g.spans.iter().map(|(k, v)| (k.clone(), *v)).collect(),
         counters: g.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
         gauges: g.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+        hists: g
+            .hists
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect(),
         events,
     }
 }
@@ -399,6 +472,24 @@ pub fn render_jsonl(snap: &Snapshot) -> String {
         out.push_str(&line.to_jsonl());
         out.push('\n');
     }
+    for (name, h) in &snap.hists {
+        let line = Event::new(
+            "hist",
+            vec![
+                ("name", name.as_str().into()),
+                ("count", h.count().into()),
+                ("sum", h.sum().into()),
+                ("min", h.min().into()),
+                ("max", h.max().into()),
+                ("p50", h.p50().into()),
+                ("p90", h.p90().into()),
+                ("p99", h.p99().into()),
+                ("buckets", h.render_buckets().into()),
+            ],
+        );
+        out.push_str(&line.to_jsonl());
+        out.push('\n');
+    }
     out
 }
 
@@ -439,6 +530,26 @@ pub fn render_table(snap: &Snapshot) -> String {
             let _ = writeln!(out, "{name:<28} {n:>8}");
         }
     }
+    if !snap.hists.is_empty() {
+        let _ = writeln!(out, "-- trace: hists --");
+        let _ = writeln!(
+            out,
+            "{:<28} {:>8} {:>10} {:>10} {:>10} {:>10}",
+            "hist", "count", "p50", "p90", "p99", "max"
+        );
+        for (name, h) in &snap.hists {
+            let _ = writeln!(
+                out,
+                "{:<28} {:>8} {:>10} {:>10} {:>10} {:>10}",
+                name,
+                h.count(),
+                h.p50(),
+                h.p90(),
+                h.p99(),
+                h.max()
+            );
+        }
+    }
     let warnings: Vec<&Event> = snap
         .events
         .iter()
@@ -471,6 +582,7 @@ pub fn flush_env_sinks() {
     if std::env::var("CT_TRACE").is_ok_and(|v| !v.is_empty() && v != "0") {
         eprint!("{}", render_table(&snap));
     }
+    crate::metrics::write_env_exposition(&snap);
 }
 
 #[cfg(test)]
@@ -574,6 +686,38 @@ mod tests {
             let doc = crate::json::parse(line).unwrap_or_else(|e| panic!("bad line {line}: {e}"));
             assert!(doc.get("event").is_some(), "line missing event key: {line}");
         }
+    }
+
+    #[test]
+    fn hists_merge_across_threads_deterministically() {
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                scope.spawn(move || {
+                    for i in 0..100u64 {
+                        hist_record("t.hist.merge", t * 100 + i);
+                    }
+                    Hist::new("t.hist.handle").record(t);
+                    drain_thread();
+                });
+            }
+        });
+        let snap = snapshot();
+        let h = snap
+            .hists
+            .iter()
+            .find(|(n, _)| n == "t.hist.merge")
+            .map(|(_, h)| h.clone())
+            .unwrap_or_default();
+        // Same observations recorded monolithically must be bitwise equal.
+        let mut mono = HistData::default();
+        (0..400u64).for_each(|v| mono.record(v));
+        assert_eq!(h, mono);
+        let handle = snap
+            .hists
+            .iter()
+            .find(|(n, _)| n == "t.hist.handle")
+            .map(|(_, h)| h.count());
+        assert_eq!(handle, Some(4));
     }
 
     // Stream-gating behavior is covered by tests/gating.rs, which owns its

@@ -1,0 +1,51 @@
+//! Flight-recorder gating and dump lifecycle: owns its process so the
+//! global enable flag and panic hook cannot race other tests.
+
+use std::path::PathBuf;
+
+#[test]
+fn flight_recorder_captures_while_stream_stays_off() {
+    // Neither CT_TRACE nor CT_FLIGHT_RECORDER is set in the test
+    // environment: emits are dropped entirely.
+    ct_obs::emit("flight.before", vec![]);
+
+    // Flight on, stream off: events reach the ring but NOT the registry —
+    // the whole point is post-mortem capture without trace overhead in
+    // the snapshot/manifest path.
+    ct_obs::flight::set_enabled(true);
+    ct_obs::emit("flight.captured", vec![("k", 7u64.into())]);
+    let snap = ct_obs::snapshot();
+    assert!(
+        !snap.events.iter().any(|e| e.name == "flight.captured"),
+        "flight capture must not leak into the event stream"
+    );
+    let dump = ct_obs::flight::render_dump("test");
+    assert!(dump.contains("flight.captured"));
+    assert!(!dump.contains("flight.before"), "pre-enable event captured");
+
+    // Dump file: header first, every line valid JSON, seq/tid tags.
+    let dir = std::env::temp_dir().join(format!("ct-flight-{}", std::process::id()));
+    let path = dir.join("unit.flight.jsonl");
+    ct_obs::flight::dump_to(&path, "unit-test").expect("dump writes");
+    let text = std::fs::read_to_string(&path).expect("dump readable");
+    let first = text.lines().next().unwrap_or_default();
+    assert!(first.contains("\"event\":\"flight.meta\""));
+    assert!(first.contains("\"reason\":\"unit-test\""));
+    for line in text.lines() {
+        ct_obs::json::parse(line).unwrap_or_else(|e| panic!("bad line {line}: {e}"));
+    }
+    assert!(text.contains("\"seq\":"));
+    assert!(text.contains("\"tid\":"));
+
+    // incident() honours set_run_name and lands under results/.
+    ct_obs::flight::set_run_name("flight_unit");
+    let expected: PathBuf = PathBuf::from("results").join("flight_unit.flight.jsonl");
+    assert_eq!(ct_obs::flight::default_path(), expected);
+
+    // Disabled again: new emits are not captured (ring keeps old events).
+    ct_obs::flight::set_enabled(false);
+    ct_obs::emit("flight.after", vec![]);
+    assert!(!ct_obs::flight::render_dump("x").contains("flight.after"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,126 @@
+//! Property tests for the histogram determinism contract: merge is
+//! commutative, associative, permutation-invariant, and shard-count
+//! invariant, and the recorder produces bitwise-identical histogram
+//! snapshots at any thread count.
+
+use ct_obs::hist::{bucket_hi, bucket_index, bucket_lo, HistData};
+use proptest::prelude::*;
+
+fn build(values: &[u64]) -> HistData {
+    let mut h = HistData::default();
+    values.iter().for_each(|&v| h.record(v));
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn every_value_lands_in_its_bucket(v in any::<u64>()) {
+        let i = bucket_index(v);
+        prop_assert!(bucket_lo(i) <= v);
+        prop_assert!(v <= bucket_hi(i));
+    }
+
+    #[test]
+    fn merge_is_commutative(
+        a in prop::collection::vec(0u64..1_000_000, 0..200),
+        b in prop::collection::vec(0u64..1_000_000, 0..200),
+    ) {
+        let (ha, hb) = (build(&a), build(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_is_associative(
+        a in prop::collection::vec(0u64..1_000_000, 0..100),
+        b in prop::collection::vec(0u64..1_000_000, 0..100),
+        c in prop::collection::vec(0u64..1_000_000, 0..100),
+    ) {
+        let (ha, hb, hc) = (build(&a), build(&b), build(&c));
+        // (a ⊕ b) ⊕ c
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        // a ⊕ (b ⊕ c)
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn recording_order_is_irrelevant(
+        values in prop::collection::vec(0u64..1_000_000, 1..200),
+        rotate in 0usize..200,
+    ) {
+        let mut permuted = values.clone();
+        permuted.rotate_left(rotate % values.len());
+        prop_assert_eq!(build(&values), build(&permuted));
+    }
+
+    #[test]
+    fn sharded_recording_matches_monolithic(
+        values in prop::collection::vec(0u64..1_000_000, 1..300),
+        shards in 1usize..17,
+    ) {
+        // Route round-robin across `shards` partial histograms, merge —
+        // the result must be bitwise what a single recorder would hold.
+        let mut parts = vec![HistData::default(); shards];
+        for (i, &v) in values.iter().enumerate() {
+            parts[i % shards].record(v);
+        }
+        let mut merged = HistData::default();
+        parts.iter().for_each(|p| merged.merge(p));
+        prop_assert_eq!(merged, build(&values));
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded(
+        values in prop::collection::vec(0u64..1_000_000, 1..200),
+    ) {
+        let h = build(&values);
+        let (p50, p90, p99) = (h.p50(), h.p90(), h.p99());
+        prop_assert!(p50 <= p90 && p90 <= p99 && p99 <= h.max());
+        prop_assert!(h.min() <= p50);
+        prop_assert_eq!(h.quantile(1.0), h.max());
+        prop_assert_eq!(h.count(), values.len() as u64);
+    }
+}
+
+/// The recorder-level guarantee: the same observations recorded under 1
+/// or 4 threads produce bitwise-identical histogram snapshots. Uses its
+/// own name per thread-count so concurrent tests cannot interfere.
+#[test]
+fn snapshots_are_bitwise_identical_across_thread_counts() {
+    let values: Vec<u64> = (0..800u64).map(|i| (i * 2654435761) % 50_000).collect();
+    let mut result: Vec<HistData> = Vec::new();
+    for threads in [1usize, 4] {
+        let name = format!("t.hist.threads.{threads}");
+        let chunk = values.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for part in values.chunks(chunk) {
+                let name = name.as_str();
+                scope.spawn(move || {
+                    part.iter().for_each(|&v| ct_obs::hist_record(name, v));
+                    ct_obs::drain_thread();
+                });
+            }
+        });
+        let snap = ct_obs::snapshot();
+        let h = snap
+            .hists
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, h)| h.clone())
+            .expect("histogram recorded");
+        result.push(h);
+    }
+    assert_eq!(result[0], result[1], "1-thread vs 4-thread snapshot drift");
+    assert_eq!(result[0], build(&values));
+}

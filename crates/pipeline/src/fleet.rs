@@ -318,6 +318,10 @@ impl Fleet {
                 Err(payload) => {
                     if payload.is::<InjectedCrash>() {
                         ct_obs::Counter::new("fleet.retry").incr();
+                        // The quiet panic hook swallows injected crashes
+                        // before the flight recorder's hook can fire, so
+                        // the incident dump is cut here, at the catch site.
+                        ct_obs::flight::incident("mote_crash");
                         retries += 1;
                         continue;
                     }
@@ -532,10 +536,14 @@ impl Fleet {
 
     /// Records a checkpoint rejection: the typed reason goes to the trace
     /// stream, the counter to the manifest, and the caller falls back to a
-    /// clean start — a bad snapshot degrades a restart, never a run.
+    /// clean start — a bad snapshot degrades a restart, never a run. When
+    /// the flight recorder is on, the rejection also cuts an incident dump
+    /// (the `warn.ckpt_rejected` event lands in the ring first, so it is
+    /// in the dump's tail).
     fn reject_checkpoint(e: &CheckpointError) {
         ct_obs::Counter::new("ckpt.rejected").incr();
         ct_obs::emit("warn.ckpt_rejected", vec![("error", e.to_string().into())]);
+        ct_obs::flight::incident("ckpt_rejected");
     }
 
     /// Attempts to restore streaming state from the policy's snapshot into

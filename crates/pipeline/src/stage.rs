@@ -66,7 +66,12 @@ pub fn traced<S: Stage>(
 ) -> Result<S::Output, PipelineError> {
     let label = format!("stage.{}", stage.name());
     let _span = ct_obs::Span::enter(label.as_str());
+    let started = std::time::Instant::now();
     let result = stage.run(config, input);
+    ct_obs::hist_record(
+        &format!("{label}.wall_ns"),
+        u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+    );
     match &result {
         Ok(_) => ct_obs::emit(&label, vec![("ok", true.into())]),
         Err(e) => ct_obs::emit(

@@ -28,6 +28,9 @@ fn run_pipeline(traced: bool, threads: &str) -> (Fingerprint, Option<String>) {
     std::env::set_var("CT_THREADS", threads);
     ct_obs::reset();
     ct_obs::set_stream_enabled(traced);
+    // The flight recorder rides along in traced runs: capture into the
+    // rings must be as observer-effect-free as the stream itself.
+    ct_obs::flight::set_enabled(traced);
     let report = Session::new(RunConfig::new("sense").invocations(400).seeded(7).robust())
         .run(Strategy::Best)
         .expect("sense pipeline runs");
@@ -51,6 +54,7 @@ fn run_pipeline(traced: bool, threads: &str) -> (Fingerprint, Option<String>) {
     };
     let jsonl = traced.then(|| ct_obs::render_jsonl(&ct_obs::snapshot()));
     ct_obs::set_stream_enabled(false);
+    ct_obs::flight::set_enabled(false);
     ct_obs::reset();
     (fp, jsonl)
 }
@@ -158,9 +162,24 @@ fn tracing_is_schema_stable_and_observer_effect_free() {
         "expected pmu.totals from the run and both replays in:\n{jsonl_1}"
     );
 
-    // Determinism contract: with the volatile timing fields stripped, the
-    // 1-thread and 4-thread streams are line-for-line identical.
-    let stable_1: Vec<String> = jsonl_1.lines().map(strip_volatile).collect();
-    let stable_4: Vec<String> = jsonl_4.lines().map(strip_volatile).collect();
+    // Telemetry v2: every traced stage aggregates a wall-time histogram.
+    assert!(
+        lines
+            .iter()
+            .any(|l| l.starts_with("{\"event\":\"hist\",\"name\":\"stage.run.wall_ns\"")),
+        "no stage.run.wall_ns histogram line in:\n{jsonl_1}"
+    );
+
+    // Determinism contract: with the volatile timing fields stripped and
+    // the timing *histograms* dropped entirely (their bucket tables are
+    // wall-clock shaped — the shared `is_volatile_hist_name` convention),
+    // the 1-thread and 4-thread streams are line-for-line identical.
+    let stable = |line: &&str| {
+        line.strip_prefix("{\"event\":\"hist\",\"name\":\"")
+            .and_then(|rest| rest.split('"').next())
+            .is_none_or(|name| !ct_obs::is_volatile_hist_name(name))
+    };
+    let stable_1: Vec<String> = jsonl_1.lines().filter(stable).map(strip_volatile).collect();
+    let stable_4: Vec<String> = jsonl_4.lines().filter(stable).map(strip_volatile).collect();
     assert_eq!(stable_1, stable_4, "trace content depends on CT_THREADS");
 }

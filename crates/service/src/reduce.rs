@@ -87,9 +87,10 @@ impl ReduceTier {
     /// it likes without perturbing anything deterministic.
     ///
     /// Returns the number of fresh batches absorbed. Emits the
-    /// `svc.reduce.generations` counter and the `svc.reduce.latency_us`
-    /// gauge (both scheduling-dependent: `ct-obs-diff` treats `svc.`
-    /// volatile metrics as notes, not differences).
+    /// `svc.reduce.generations` counter, the `svc.reduce.latency_us`
+    /// gauge, and the `svc.reduce.latency_ns` histogram (all
+    /// scheduling-dependent: `ct-obs-diff` treats `svc.` volatile metrics
+    /// and `*_ns` histograms as notes, not differences).
     ///
     /// # Errors
     ///
@@ -119,7 +120,12 @@ impl ReduceTier {
         self.ledger.extend(tags);
         self.generation += 1;
         ct_obs::Counter::new("svc.reduce.generations").incr();
-        ct_obs::Gauge::new("svc.reduce.latency_us").set(started.elapsed().as_micros() as f64);
+        let elapsed = started.elapsed();
+        ct_obs::Gauge::new("svc.reduce.latency_us").set(elapsed.as_micros() as f64);
+        ct_obs::hist_record(
+            "svc.reduce.latency_ns",
+            u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
+        );
         Ok(fresh)
     }
 
@@ -145,7 +151,9 @@ impl ReduceTier {
     /// most once per generation (repeat requests replay the cached
     /// optimum). `staleness` is supplied by the caller — the composition
     /// layer knows how many accepted batches have not reached a reduced
-    /// generation yet.
+    /// generation yet. Successful serves record their end-to-end latency
+    /// under the `svc.serve.latency_ns` histogram (volatile by the `_ns`
+    /// convention).
     ///
     /// # Errors
     ///
@@ -159,6 +167,7 @@ impl ReduceTier {
         edge_costs: &[u64],
         staleness: u64,
     ) -> Result<EstimateResponse, ServiceError> {
+        let started = std::time::Instant::now();
         if self.inc.batches() == 0 {
             return Err(ServiceError::NoBatches);
         }
@@ -169,6 +178,10 @@ impl ReduceTier {
         let r = self.inc.last().ok_or(ServiceError::NoBatches)?;
         let samples = DurationSamples::len(self.inc.stats());
         ct_obs::Counter::new("svc.serve").incr();
+        ct_obs::hist_record(
+            "svc.serve.latency_ns",
+            u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        );
         // Only schedule-independent facts in the event: the generation
         // number counts reduce rounds, which a polling coordinator makes
         // nondeterministic, so it stays out of the audit trail.

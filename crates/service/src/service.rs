@@ -22,8 +22,10 @@
 //! statistics bitwise identical to the monolithic fold of the same
 //! distinct batches, at any shard count, queue depth, producer count, or
 //! polling cadence (see [`ReduceTier`]). Scheduling-dependent observability
-//! (`svc.queue_depth`, `svc.backpressure`, `svc.reduce.*`) is declared
-//! volatile to `ct-obs-diff`.
+//! (`svc.queue_depth`, `svc.backpressure`, `svc.reduce.*`, and the
+//! `*_ns` latency / `queue_depth` histograms) is declared volatile to
+//! `ct-obs-diff`; the value-shaped `svc.batch_samples` histogram and the
+//! accepted/dedup counters stay part of the determinism contract.
 //!
 //! ## Observability caveat
 //!
@@ -129,6 +131,9 @@ pub struct IngestHandle {
     senders: Vec<SyncSender<ShardMsg>>,
     depths: Vec<Arc<AtomicU64>>,
     queue_depth: usize,
+    /// Precomputed `svc.shard.<i>.queue_depth` histogram names, so the
+    /// per-enqueue depth observation never formats on the hot path.
+    depth_hists: Arc<Vec<String>>,
 }
 
 impl IngestHandle {
@@ -140,6 +145,7 @@ impl IngestHandle {
     ///
     /// [`IngestError::Closed`] when the shard worker is gone.
     pub fn ingest(&self, tag: BatchTag, delta: SuffStats) -> Result<(), IngestError> {
+        let started = std::time::Instant::now();
         let s = route(tag, self.senders.len());
         // Count the batch *before* it can be received: the worker uncounts
         // duplicates and rejects on receipt, so incrementing afterwards
@@ -147,7 +153,10 @@ impl IngestHandle {
         // a harvest absorbs them.
         self.note_enqueued(s);
         let msg = match self.senders[s].try_send(ShardMsg::Batch(tag, delta)) {
-            Ok(()) => return Ok(()),
+            Ok(()) => {
+                self.note_enqueue_latency(started);
+                return Ok(());
+            }
             Err(TrySendError::Full(msg)) => {
                 ct_obs::Counter::new("svc.backpressure").incr();
                 msg
@@ -160,7 +169,9 @@ impl IngestHandle {
         self.senders[s].send(msg).map_err(|_| {
             self.depths[s].fetch_sub(1, Ordering::Relaxed);
             IngestError::Closed { shard: s }
-        })
+        })?;
+        self.note_enqueue_latency(started);
+        Ok(())
     }
 
     /// Non-blocking ingest: a full shard queue returns the batch to the
@@ -171,10 +182,14 @@ impl IngestHandle {
     /// [`IngestError::QueueFull`] under backpressure;
     /// [`IngestError::Closed`] when the shard worker is gone.
     pub fn try_ingest(&self, tag: BatchTag, delta: SuffStats) -> Result<(), IngestError> {
+        let started = std::time::Instant::now();
         let s = route(tag, self.senders.len());
         self.note_enqueued(s);
         match self.senders[s].try_send(ShardMsg::Batch(tag, delta)) {
-            Ok(()) => Ok(()),
+            Ok(()) => {
+                self.note_enqueue_latency(started);
+                Ok(())
+            }
             Err(TrySendError::Full(_)) => {
                 self.depths[s].fetch_sub(1, Ordering::Relaxed);
                 ct_obs::Counter::new("svc.backpressure").incr();
@@ -199,7 +214,16 @@ impl IngestHandle {
 
     fn note_enqueued(&self, shard: usize) {
         let d = self.depths[shard].fetch_add(1, Ordering::Relaxed) + 1;
+        // The gauge max-merges, so it reads as the high-watermark only — a
+        // transient spike and sustained pressure look identical there. The
+        // per-shard histogram carries the depth distribution over time.
         ct_obs::Gauge::new("svc.queue_depth").set(d as f64);
+        ct_obs::hist_record(&self.depth_hists[shard], d);
+    }
+
+    fn note_enqueue_latency(&self, started: std::time::Instant) {
+        let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        ct_obs::hist_record("svc.ingest.enqueue_ns", ns);
     }
 }
 
@@ -208,6 +232,7 @@ impl IngestHandle {
 pub struct EstimationService {
     senders: Vec<SyncSender<ShardMsg>>,
     depths: Vec<Arc<AtomicU64>>,
+    depth_hists: Arc<Vec<String>>,
     workers: Vec<JoinHandle<()>>,
     tier: ReduceTier,
     config: ServiceConfig,
@@ -279,6 +304,8 @@ impl EstimationService {
     fn reject(e: &CheckpointError) {
         ct_obs::Counter::new("ckpt.rejected").incr();
         ct_obs::emit("warn.ckpt_rejected", vec![("error", e.to_string().into())]);
+        // After the emit, so the dump's tail contains the warning itself.
+        ct_obs::flight::incident("ckpt_rejected");
     }
 
     fn try_restore(
@@ -370,9 +397,15 @@ impl EstimationService {
             depths.push(depth);
         }
         let last_ckpt = tier.batches();
+        let depth_hists = Arc::new(
+            (0..shards)
+                .map(|i| format!("svc.shard.{i}.queue_depth"))
+                .collect::<Vec<String>>(),
+        );
         EstimationService {
             senders,
             depths,
+            depth_hists,
             workers,
             tier,
             config: config.clone(),
@@ -389,6 +422,7 @@ impl EstimationService {
             senders: self.senders.clone(),
             depths: self.depths.clone(),
             queue_depth: self.config.queue_depth,
+            depth_hists: Arc::clone(&self.depth_hists),
         }
     }
 
@@ -472,6 +506,20 @@ impl EstimationService {
             self.last_ckpt = self.tier.batches();
         }
         Ok(ck)
+    }
+
+    /// The `Dump` control verb: writes the flight recorder's recent-event
+    /// rings to `path` for post-mortem inspection (see
+    /// [`ct_obs::flight`]). Works even when capture is disabled — the
+    /// dump is then just its `flight.meta` header — so operators can
+    /// always ask "what did the service see lately?" without first
+    /// checking a knob.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from writing the dump file.
+    pub fn dump(&self, path: &std::path::Path) -> std::io::Result<()> {
+        ct_obs::flight::dump_to(path, "dump-verb")
     }
 
     /// Serves a front-door request from the latest reduced generation.

@@ -154,6 +154,32 @@ mod tests {
         }
     }
 
+    #[test]
+    fn worker_histograms_visible_when_par_map_returns() {
+        // Companion to the counter test for the histogram aggregates added
+        // in telemetry v2: the same end-of-closure drain must carry them,
+        // and the merged snapshot must be bitwise what a serial recorder
+        // would hold regardless of which worker recorded which value.
+        let mut want = ct_obs::HistData::default();
+        (0u64..64).for_each(|x| want.record(x * 37 % 1000));
+        for round in 0..20u64 {
+            let name = format!("t.parmap.hist.{round}");
+            let out = par_map_with(4, (0u64..64).collect(), |x| {
+                ct_obs::hist_record(&name, x * 37 % 1000);
+                x
+            });
+            assert_eq!(out.len(), 64);
+            let snap = ct_obs::snapshot();
+            let got = snap
+                .hists
+                .iter()
+                .find(|(k, _)| *k == name)
+                .map(|(_, h)| h.clone())
+                .unwrap_or_default();
+            assert_eq!(got, want, "round {round} lost or skewed hist records");
+        }
+    }
+
     /// Marker payload for the caught-panic drain test, so a quiet hook can
     /// filter exactly these panics without touching other tests' output.
     struct ExpectedPanic;

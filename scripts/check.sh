@@ -49,11 +49,28 @@ echo "== e15 smoke grid (chaos harness: crash/duplicate/straggler recovery) =="
 # bitwise exact, duplicates never change results, >= 80% coverage stays
 # within tolerance of full coverage.
 cargo build --release -p ct-bench --bin e15_chaos
-CT_SMOKE=1 ./target/release/e15_chaos > /dev/null
+# The injected mote crashes must also cut a flight-recorder incident dump
+# (reason mote_crash) when the recorder is on.
+rm -f results/e15_chaos.flight.jsonl
+CT_SMOKE=1 CT_FLIGHT_RECORDER=1 ./target/release/e15_chaos > /dev/null
+test -s results/e15_chaos.flight.jsonl
+grep -q '"reason":"mote_crash"' results/e15_chaos.flight.jsonl
+rm -f results/e15_chaos.flight.jsonl
 
 echo "== checkpoint round-trip smoke (snapshot -> corrupt -> typed rejection) =="
 cargo build --release -p ct-bench --bin ckpt_smoke
 ./target/release/ckpt_smoke > /dev/null
+
+echo "== flight recorder smoke (checksum rejection cuts an incident dump) =="
+# With CT_FLIGHT_RECORDER on, the corrupt-snapshot rejection inside
+# ckpt_smoke must cut results/ckpt_smoke.flight.jsonl: schema-valid JSONL
+# whose ring tail contains the warn.ckpt_rejected event (the binary
+# self-asserts both; we re-check the file exists and clean it up).
+rm -f results/ckpt_smoke.flight.jsonl
+CT_FLIGHT_RECORDER=1 ./target/release/ckpt_smoke > /dev/null
+test -s results/ckpt_smoke.flight.jsonl
+grep -q 'warn.ckpt_rejected' results/ckpt_smoke.flight.jsonl
+rm -f results/ckpt_smoke.flight.jsonl
 
 echo "== bench smoke (fast-mode kernels + BENCH_fb.json trajectory gate) =="
 # The convolution kernels must run clean at tiny budgets, the trajectory
@@ -112,6 +129,25 @@ CT_SMOKE=1 CT_THREADS=1 CT_MANIFEST="$trace_dir/e16_t1.json" \
 CT_SMOKE=1 CT_THREADS=4 CT_MANIFEST="$trace_dir/e16_t4.json" \
     ./target/release/e16_fleet_scale > /dev/null 2> /dev/null
 ./target/release/ct-obs-diff "$trace_dir/e16_t1.json" "$trace_dir/e16_t4.json"
+
+echo "== ct-obs-top (service breakdown renders from a fresh e16 manifest) =="
+cargo build --release -p ct-obs --bin ct-obs-top
+./target/release/ct-obs-top "$trace_dir/e16_t4.json" > /dev/null
+
+echo "== e18 smoke (telemetry on == off bitwise, overhead gate, flight dump) =="
+# e18 enforces its own claims by exit status: telemetry-on serves bitwise
+# the telemetry-off and monolithic estimates, best-of-N overhead stays
+# under the bound, latency histograms are populated, and the Dump verb +
+# metrics pump emit schema-valid JSONL. Diffing two thread counts extends
+# the determinism contract to the new histogram manifest section
+# (volatile *_ns / queue_depth histograms diff as notes only).
+cargo build --release -p ct-bench --bin e18_telemetry
+CT_SMOKE=1 CT_THREADS=1 CT_MANIFEST="$trace_dir/e18_t1.json" \
+    ./target/release/e18_telemetry > /dev/null 2> /dev/null
+CT_SMOKE=1 CT_THREADS=4 CT_MANIFEST="$trace_dir/e18_t4.json" \
+    ./target/release/e18_telemetry > /dev/null 2> /dev/null
+./target/release/ct-obs-diff "$trace_dir/e18_t1.json" "$trace_dir/e18_t4.json"
+./target/release/ct-obs-top "$trace_dir/e18_t4.json" > /dev/null
 
 echo "== ct-obs-diff self-test (must flag a known-divergent pair) =="
 sed 's/"pmu.cycles": \([0-9]*\)/"pmu.cycles": 1/' "$trace_dir/e4_t1.json" \
